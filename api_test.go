@@ -1,0 +1,107 @@
+package locofs_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"locofs"
+)
+
+// TestPublicAPIInProcess exercises the public surface a downstream user
+// would import: in-process cluster, client, directories, files, data.
+func TestPublicAPIInProcess(t *testing.T) {
+	cluster, err := locofs.Start(locofs.Options{FMSCount: 4, CheckPermissions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.NewClient(locofs.ClientConfig{UID: 1000, GID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	if err := fs.Mkdir("/pub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := fs.Create(fmt.Sprintf("/pub/f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := fs.Open("/pub/f0", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("public api data")
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if !bytes.Equal(got, data) {
+		t.Error("data round trip failed")
+	}
+	ents, err := fs.Readdir("/pub")
+	if err != nil || len(ents) != 10 {
+		t.Errorf("Readdir = %d entries, %v", len(ents), err)
+	}
+	var a *locofs.Attr
+	if a, err = fs.StatFile("/pub/f0"); err != nil || a.Size != uint64(len(data)) {
+		t.Errorf("StatFile = %+v, %v", a, err)
+	}
+	if moved, err := fs.RenameDir("/pub", "/pub2"); err != nil || moved != 1 {
+		t.Errorf("RenameDir = %d, %v", moved, err)
+	}
+	if _, err := fs.StatFile("/pub2/f0"); err != nil {
+		t.Errorf("stat after rename: %v", err)
+	}
+}
+
+// TestPublicAPIStandaloneServers wires the standalone server constructors
+// over TCP, as cmd/locofsd does.
+func TestPublicAPIStandaloneServers(t *testing.T) {
+	start := func(attach func(*locofs.RPCServer)) string {
+		l, err := locofs.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := locofs.NewRPCServer()
+		attach(rs)
+		go rs.Serve(l)
+		t.Cleanup(rs.Shutdown)
+		return l.Addr()
+	}
+	dmsAddr := start(locofs.NewDMS(locofs.DMSOptions{}).Attach)
+	fmsAddr := start(locofs.NewFMS(locofs.FMSOptions{ServerID: 1}).Attach)
+	ossAddr := start(locofs.NewObjectStore().Attach)
+
+	fs, err := locofs.Dial(locofs.DialConfig{
+		Dialer:   locofs.TCPDialer{},
+		DMSAddr:  dmsAddr,
+		FMSAddrs: []string{fmsAddr},
+		OSSAddrs: []string{ossAddr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Mkdir("/tcp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/tcp/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := fs.StatFile("/tcp/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u locofs.UUID = a.UUID
+	if u.IsNil() {
+		t.Error("file has nil UUID")
+	}
+}

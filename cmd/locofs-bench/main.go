@@ -1,0 +1,107 @@
+// Command locofs-bench regenerates the tables and figures of the LocoFS
+// paper's evaluation (SC'17, §4). Each experiment runs the reproduced
+// systems on the in-process fabric and prints a table whose rows mirror
+// what the paper reports; see EXPERIMENTS.md for the paper-vs-measured
+// comparison and the measurement model.
+//
+// Usage:
+//
+//	locofs-bench [-quick] [experiment ...]
+//
+// Experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 fig14, or "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"locofs/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale (fewer servers, ops)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	env := bench.Paper()
+	if *quick {
+		env = bench.Quick()
+	}
+
+	type experiment struct {
+		name string
+		run  func() (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"fig1", func() (*bench.Table, error) { return bench.Fig1(env) }},
+		{"table1", bench.Table1},
+		{"table2", func() (*bench.Table, error) { return bench.Table2(env) }},
+		{"table3", func() (*bench.Table, error) { return bench.Table3(env) }},
+		{"fig6", func() (*bench.Table, error) { return bench.Fig6(env) }},
+		{"fig7", func() (*bench.Table, error) { return bench.Fig7(env) }},
+		{"fig8", func() (*bench.Table, error) { return bench.Fig8(env) }},
+		{"fig9", func() (*bench.Table, error) { return bench.Fig9(env) }},
+		{"fig10", func() (*bench.Table, error) { return bench.Fig10(env) }},
+		{"fig11", func() (*bench.Table, error) { return bench.Fig11(env) }},
+		{"fig12", func() (*bench.Table, error) { return bench.Fig12(env) }},
+		{"fig13", func() (*bench.Table, error) { return bench.Fig13(env) }},
+		{"fig14", func() (*bench.Table, error) { return bench.Fig14(env) }},
+		// Extensions beyond the paper's figures: design-choice ablations.
+		{"ablation-rename", func() (*bench.Table, error) { return bench.AblationRenameRatio(env) }},
+		{"ablation-lease", func() (*bench.Table, error) { return bench.AblationCacheLease(env) }},
+		{"ablation-dirent", func() (*bench.Table, error) { return bench.AblationDirentGranularity(env) }},
+	}
+
+	want := flag.Args()
+	if len(want) == 0 {
+		want = []string{"all"}
+	}
+	selected := map[string]bool{}
+	for _, w := range want {
+		if w == "all" {
+			for _, e := range experiments {
+				selected[e.name] = true
+			}
+			continue
+		}
+		selected[w] = true
+	}
+	known := map[string]bool{}
+	for _, e := range experiments {
+		known[e.name] = true
+	}
+	for w := range selected {
+		if !known[w] {
+			fmt.Fprintf(os.Stderr, "locofs-bench: unknown experiment %q\n", w)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	for _, e := range experiments {
+		if !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locofs-bench: %s: %v\n", e.name, err)
+			failed = true
+			continue
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("(%s completed in %v)\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

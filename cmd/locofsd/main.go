@@ -1,0 +1,196 @@
+// Command locofsd runs LocoFS server components over real TCP, so an
+// actual multi-process cluster can be deployed, plus a small client mode
+// for poking at it.
+//
+// Server roles:
+//
+//	locofsd -role dms  -listen :7000
+//	locofsd -role fms  -listen :7001 -id 1 [-coupled]
+//	locofsd -role oss  -listen :7002
+//
+// Client:
+//
+//	locofsd -role client -dms host:7000 -fms host:7001,host:7003 -oss host:7002 \
+//	        -cmd "mkdir /a; touch /a/f; ls /a; stat /a/f; write /a/f hello; read /a/f; rm /a/f"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"locofs/internal/client"
+	"locofs/internal/dms"
+	"locofs/internal/fms"
+	"locofs/internal/kv"
+	"locofs/internal/netsim"
+	"locofs/internal/objstore"
+	"locofs/internal/rpc"
+)
+
+func main() {
+	role := flag.String("role", "", "dms | fms | oss | client")
+	listen := flag.String("listen", ":7000", "listen address (server roles)")
+	id := flag.Int("id", 1, "server id (fms role; must be unique per FMS)")
+	coupled := flag.Bool("coupled", false, "coupled file metadata (fms role)")
+	dataDir := flag.String("data", "", "data directory for durable metadata (server roles; empty = in-memory)")
+	dmsAddr := flag.String("dms", "", "DMS address (client role)")
+	fmsAddrs := flag.String("fms", "", "comma-separated FMS addresses in server-id order (client role)")
+	ossAddrs := flag.String("oss", "", "comma-separated OSS addresses (client role)")
+	cmds := flag.String("cmd", "", "semicolon-separated commands (client role)")
+	flag.Parse()
+
+	// With -data, metadata survives restarts: mutations are WAL-logged and
+	// periodically snapshotted (see kv.Persistent).
+	durable := func(name string, inner kv.Store) kv.Store {
+		if *dataDir == "" {
+			return inner
+		}
+		p, err := kv.OpenPersistent(filepath.Join(*dataDir, name), inner)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locofsd:", err)
+			os.Exit(1)
+		}
+		p.SnapshotEvery = 100000
+		return p
+	}
+
+	switch *role {
+	case "dms":
+		store := durable("dms", kv.NewBTreeStore())
+		serve(*listen, dms.New(dms.Options{Store: store, CheckPermissions: true}).Attach)
+	case "fms":
+		store := durable(fmt.Sprintf("fms-%d", *id), kv.NewHashStore())
+		f := fms.New(fms.Options{Store: store, ServerID: uint32(*id), Coupled: *coupled, CheckPermissions: true})
+		serve(*listen, f.Attach)
+	case "oss":
+		serve(*listen, objstore.New(durable("oss", kv.NewHashStore())).Attach)
+	case "client":
+		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds)
+	default:
+		fmt.Fprintln(os.Stderr, "locofsd: -role must be dms, fms, oss or client")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// serve runs one server role until interrupted.
+func serve(addr string, attach func(*rpc.Server)) {
+	l, err := netsim.ListenTCP(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locofsd:", err)
+		os.Exit(1)
+	}
+	rs := rpc.NewServer()
+	attach(rs)
+	go rs.Serve(l)
+	fmt.Printf("locofsd: serving on %s\n", l.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("locofsd: shutting down")
+	rs.Shutdown()
+}
+
+// runClient connects to a TCP cluster and executes simple commands.
+func runClient(dmsAddr, fmsList, ossList, cmds string) {
+	if dmsAddr == "" || fmsList == "" || ossList == "" {
+		fmt.Fprintln(os.Stderr, "locofsd client: -dms, -fms and -oss are required")
+		os.Exit(2)
+	}
+	cl, err := client.Dial(client.Config{
+		Dialer:   netsim.TCPDialer{},
+		DMSAddr:  dmsAddr,
+		FMSAddrs: strings.Split(fmsList, ","),
+		OSSAddrs: strings.Split(ossList, ","),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locofsd client:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	for _, raw := range strings.Split(cmds, ";") {
+		fields := strings.Fields(strings.TrimSpace(raw))
+		if len(fields) == 0 {
+			continue
+		}
+		if err := execCmd(cl, fields); err != nil {
+			fmt.Fprintf(os.Stderr, "locofsd client: %s: %v\n", strings.Join(fields, " "), err)
+			os.Exit(1)
+		}
+	}
+}
+
+func execCmd(cl *client.Client, fields []string) error {
+	cmd := fields[0]
+	arg := func(i int) string {
+		if i < len(fields) {
+			return fields[i]
+		}
+		return ""
+	}
+	switch cmd {
+	case "mkdir":
+		return cl.Mkdir(arg(1), 0o755)
+	case "rmdir":
+		return cl.Rmdir(arg(1))
+	case "touch":
+		return cl.Create(arg(1), 0o644)
+	case "rm":
+		return cl.Remove(arg(1))
+	case "ls":
+		ents, err := cl.Readdir(arg(1))
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			kind := "f"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %s\n", kind, e.Name)
+		}
+		return nil
+	case "stat":
+		a, err := cl.Stat(arg(1))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mode=%o uid=%d gid=%d size=%d uuid=%v dir=%v\n",
+			a.Mode, a.UID, a.GID, a.Size, a.UUID, a.IsDir)
+		return nil
+	case "write":
+		f, err := cl.Open(arg(1), true)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = f.WriteAt([]byte(strings.Join(fields[2:], " ")), 0)
+		return err
+	case "read":
+		f, err := cl.Open(arg(1), false)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		buf := make([]byte, f.Size())
+		n, err := f.ReadAt(buf, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", buf[:n])
+		return nil
+	case "mv":
+		if err := cl.RenameFile(arg(1), arg(2)); err == nil {
+			return nil
+		}
+		_, err := cl.RenameDir(arg(1), arg(2))
+		return err
+	}
+	return fmt.Errorf("unknown command %q (mkdir rmdir touch rm ls stat write read mv)", cmd)
+}

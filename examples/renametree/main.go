@@ -1,0 +1,90 @@
+// renametree demonstrates the paper's rename design (§3.4): renaming a
+// directory relocates only the directory inodes of its subtree — a single
+// contiguous prefix move on the DMS's B+-tree store — while files keep
+// their placement (indexed by the parent's immutable UUID) and data blocks
+// keep theirs (indexed by the file's immutable UUID). It also contrasts
+// the tree-store rename with the hash-store fallback that must scan every
+// record (Figure 14).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"locofs"
+)
+
+func main() {
+	for _, hashMode := range []bool{false, true} {
+		engine := "B+ tree"
+		if hashMode {
+			engine = "hash"
+		}
+		cluster, err := locofs.Start(locofs.Options{FMSCount: 4, DMSOnHashStore: hashMode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs, err := cluster.NewClient(locofs.ClientConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Build a project tree: 50 subdirectories, each with 10 files.
+		must(fs.Mkdir("/proj", 0o755))
+		for d := 0; d < 50; d++ {
+			dir := fmt.Sprintf("/proj/mod%02d", d)
+			must(fs.Mkdir(dir, 0o755))
+			for f := 0; f < 10; f++ {
+				must(fs.Create(fmt.Sprintf("%s/src%d.go", dir, f), 0o644))
+			}
+		}
+		// Park some content in one file to prove data survives.
+		f, err := fs.Open("/proj/mod00/src0.go", true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f.WriteAt([]byte("package mod00"), 0)
+		uuidBefore := f.UUID()
+		f.Close()
+
+		t0 := time.Now()
+		moved, err := fs.RenameDir("/proj", "/project-v2")
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(t0)
+
+		// Everything is reachable under the new name; the file's UUID (and
+		// therefore its data blocks) did not move.
+		g, err := fs.Open("/project-v2/mod00/src0.go", false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf := make([]byte, 13)
+		g.ReadAt(buf, 0)
+		uuidAfter := g.UUID()
+		g.Close()
+
+		fmt.Printf("[%s DMS] renamed /proj -> /project-v2: %d d-inodes relocated in %v\n",
+			engine, moved, wall.Round(time.Microsecond))
+		fmt.Printf("  file content after rename: %q (uuid stable: %v)\n",
+			buf, uuidBefore == uuidAfter)
+		ents, err := fs.Readdir("/project-v2/mod49")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  readdir /project-v2/mod49: %d entries — file dirents never moved\n", len(ents))
+
+		fs.Close()
+		cluster.Close()
+	}
+	fmt.Println("\nOnly the 51 directory inodes moved; 500 file inodes and all data")
+	fmt.Println("blocks stayed put, because they are indexed by immutable UUIDs.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module locofs
+
+go 1.22

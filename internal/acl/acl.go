@@ -1,0 +1,48 @@
+// Package acl implements the POSIX-style permission checks LocoFS performs
+// on directory ancestors. Because every directory inode lives on the single
+// DMS, the whole ancestor chain is checked server-side in one request
+// (§3.1) — this package is the per-inode predicate that check applies.
+package acl
+
+// Permission bit groups within a mode word.
+const (
+	bitRead  = 0o4
+	bitWrite = 0o2
+	bitExec  = 0o1
+)
+
+// check tests one permission bit against the owner/group/other classes.
+func check(mode, fuid, fgid, uid, gid uint32, bit uint32) bool {
+	if uid == 0 { // root bypasses permission checks
+		return true
+	}
+	var shift uint
+	switch {
+	case uid == fuid:
+		shift = 6
+	case gid == fgid:
+		shift = 3
+	default:
+		shift = 0
+	}
+	return mode>>shift&bit != 0
+}
+
+// CanRead reports whether (uid, gid) may read an object with the given
+// mode/owner.
+func CanRead(mode, fuid, fgid, uid, gid uint32) bool {
+	return check(mode, fuid, fgid, uid, gid, bitRead)
+}
+
+// CanWrite reports whether (uid, gid) may write the object.
+func CanWrite(mode, fuid, fgid, uid, gid uint32) bool {
+	return check(mode, fuid, fgid, uid, gid, bitWrite)
+}
+
+// CanExec reports whether (uid, gid) may execute/traverse the object.
+func CanExec(mode, fuid, fgid, uid, gid uint32) bool {
+	return check(mode, fuid, fgid, uid, gid, bitExec)
+}
+
+// IsOwner reports whether uid owns the object (or is root).
+func IsOwner(fuid, uid uint32) bool { return uid == 0 || uid == fuid }

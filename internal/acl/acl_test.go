@@ -1,0 +1,59 @@
+package acl
+
+import "testing"
+
+func TestOwnerBits(t *testing.T) {
+	// mode 0o640, owner 10, group 20
+	if !CanRead(0o640, 10, 20, 10, 99) {
+		t.Error("owner cannot read 0640")
+	}
+	if !CanWrite(0o640, 10, 20, 10, 99) {
+		t.Error("owner cannot write 0640")
+	}
+	if CanExec(0o640, 10, 20, 10, 99) {
+		t.Error("owner can exec 0640")
+	}
+}
+
+func TestGroupBits(t *testing.T) {
+	if !CanRead(0o640, 10, 20, 11, 20) {
+		t.Error("group member cannot read 0640")
+	}
+	if CanWrite(0o640, 10, 20, 11, 20) {
+		t.Error("group member can write 0640")
+	}
+}
+
+func TestOtherBits(t *testing.T) {
+	if CanRead(0o640, 10, 20, 11, 21) {
+		t.Error("other can read 0640")
+	}
+	if !CanRead(0o644, 10, 20, 11, 21) {
+		t.Error("other cannot read 0644")
+	}
+	if !CanExec(0o641, 10, 20, 11, 21) {
+		t.Error("other cannot exec 0641")
+	}
+}
+
+func TestRootBypasses(t *testing.T) {
+	if !CanWrite(0o000, 10, 20, 0, 0) {
+		t.Error("root cannot write 0000")
+	}
+	if !CanExec(0o000, 10, 20, 0, 99) {
+		t.Error("root cannot exec 0000")
+	}
+}
+
+func TestOwnerClassShadowsGroup(t *testing.T) {
+	// Owner matches: owner bits apply even if group bits are wider.
+	if CanWrite(0o060, 10, 20, 10, 20) {
+		t.Error("owner got group's write bit")
+	}
+}
+
+func TestIsOwner(t *testing.T) {
+	if !IsOwner(10, 10) || !IsOwner(10, 0) || IsOwner(10, 11) {
+		t.Error("IsOwner misbehaves")
+	}
+}

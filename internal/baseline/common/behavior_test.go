@@ -1,0 +1,199 @@
+package common_test
+
+import (
+	"fmt"
+	"testing"
+
+	"locofs/internal/baseline/cephfs"
+	"locofs/internal/baseline/common"
+	"locofs/internal/baseline/glusterfs"
+	"locofs/internal/baseline/indexfs"
+	"locofs/internal/baseline/lustrefs"
+	"locofs/internal/netsim"
+)
+
+// TestSubtreeKey checks the subtree-granularity helper.
+func TestSubtreeKey(t *testing.T) {
+	cases := []struct {
+		p     string
+		depth int
+		want  string
+	}{
+		{"/", 2, "/"},
+		{"/a", 2, "/a"},
+		{"/a/b", 2, "/a/b"},
+		{"/a/b/c", 2, "/a/b"},
+		{"/a/b/c/d", 2, "/a/b"},
+		{"/a/b/c", 1, "/a"},
+		{"/a", 0, "/"},
+	}
+	for _, c := range cases {
+		if got := common.SubtreeKey(c.p, c.depth); got != c.want {
+			t.Errorf("SubtreeKey(%q, %d) = %q, want %q", c.p, c.depth, got, c.want)
+		}
+	}
+}
+
+// TestGlusterMkdirBroadcast verifies the defining Gluster pathology: mkdir
+// issues requests to every brick, so its trip count grows linearly with the
+// brick count (the paper's 26x mkdir latency at 16 servers).
+func TestGlusterMkdirBroadcast(t *testing.T) {
+	trips := map[int]uint64{}
+	for _, n := range []int{2, 8} {
+		net := netsim.NewNetwork(netsim.Loopback)
+		sys, err := glusterfs.Start(net, n, netsim.Loopback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := sys.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := cl.Trips()
+		if err := cl.Mkdir("/d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		trips[n] = cl.Trips() - before
+		cl.Close()
+		sys.Close()
+		net.Close()
+	}
+	if trips[8] < 3*trips[2] {
+		t.Errorf("gluster mkdir trips: 2 bricks = %d, 8 bricks = %d; want ~4x growth", trips[2], trips[8])
+	}
+}
+
+// TestIndexFSLookupCache verifies the stateless-client lookup cache: the
+// first deep create walks the partitions; repeats in the same directory
+// skip the walk.
+func TestIndexFSLookupCache(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Loopback)
+	defer net.Close()
+	sys, err := indexfs.Start(net, 4, netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	setup, err := sys.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a", "/a/b", "/a/b/c"} {
+		if err := setup.Mkdir(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setup.Close()
+	// A fresh client has a cold lookup cache.
+	cl, err := sys.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	t0 := cl.Trips()
+	if err := cl.Create("/a/b/c/f1", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := cl.Trips() - t0
+	t0 = cl.Trips()
+	if err := cl.Create("/a/b/c/f2", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm := cl.Trips() - t0
+	if warm != 1 {
+		t.Errorf("warm indexfs create = %d trips, want 1 (cached resolution)", warm)
+	}
+	if cold <= warm {
+		t.Errorf("cold create (%d trips) not above warm (%d)", cold, warm)
+	}
+}
+
+// TestCephStatServedFromCache verifies CephFS's client inode cache: a stat
+// of a just-created file takes zero round trips.
+func TestCephStatServedFromCache(t *testing.T) {
+	net := netsim.NewNetwork(netsim.Loopback)
+	defer net.Close()
+	sys, err := cephfs.Start(net, 4, netsim.Loopback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cl, err := sys.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Mkdir("/d", 0o755)
+	cl.Create("/d/f", 0o644)
+	t0 := cl.Trips()
+	c0 := cl.Cost()
+	if err := cl.StatFile("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Trips() - t0; got != 0 {
+		t.Errorf("cached ceph stat took %d trips, want 0", got)
+	}
+	if cl.Cost() == c0 {
+		t.Error("cache hit charged no client-side cost at all")
+	}
+}
+
+// TestLustreVariantsPlaceFilesDifferently: DNE1 keeps a directory's files
+// on one MDT; DNE2 stripes them across MDTs.
+func TestLustreVariantsPlaceFilesDifferently(t *testing.T) {
+	countServersWithEntries := func(variant lustrefs.Variant) int {
+		net := netsim.NewNetwork(netsim.Loopback)
+		defer net.Close()
+		sys, err := lustrefs.Start(net, 4, variant, netsim.Loopback)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		cl, err := sys.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		cl.Mkdir("/dir", 0o755)
+		for i := 0; i < 40; i++ {
+			if err := cl.Create(fmt.Sprintf("/dir/f%d", i), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		used := 0
+		for _, srv := range sys.Cluster().Servers {
+			n := 0
+			srv.Store.ForEach(func(k, v []byte) bool {
+				if len(k) > 2 && string(k[:2]) == "E:" {
+					n++
+				}
+				return true
+			})
+			if n > 0 {
+				used++
+			}
+		}
+		return used
+	}
+	if used := countServersWithEntries(lustrefs.DNE1); used != 1 {
+		t.Errorf("DNE1 spread one directory's entries over %d MDTs, want 1", used)
+	}
+	if used := countServersWithEntries(lustrefs.DNE2); used < 3 {
+		t.Errorf("DNE2 used %d MDTs for 40 files, want >= 3 (striped)", used)
+	}
+}
+
+// TestBaselineProfilesOrdered sanity-checks the calibrated software costs:
+// Ceph is the heaviest path, Lustre the lightest of the journal-full
+// systems, IndexFS serialized but LSM-fast per op.
+func TestBaselineProfilesOrdered(t *testing.T) {
+	if cephfs.Profile.WriteService <= glusterfs.Profile.WriteService {
+		t.Error("CephFS mutation path should cost more than Gluster's")
+	}
+	if glusterfs.Profile.WriteService <= lustrefs.Profile.WriteService {
+		t.Error("Gluster brick path should cost more than Lustre's MDT path")
+	}
+	if indexfs.Profile.Workers != 1 {
+		t.Error("IndexFS mutations serialize through the LSM writer (workers=1)")
+	}
+}

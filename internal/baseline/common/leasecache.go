@@ -1,0 +1,64 @@
+package common
+
+import (
+	"sync"
+	"time"
+)
+
+// LeaseCache is a string-keyed presence/value cache with per-entry leases,
+// used by baseline clients for lookup caching (IndexFS's stateless dir
+// cache, CephFS's client inode cache).
+type LeaseCache struct {
+	mu      sync.RWMutex
+	lease   time.Duration
+	entries map[string]leaseEntry
+	now     func() time.Time
+}
+
+type leaseEntry struct {
+	val     []byte
+	expires time.Time
+}
+
+// NewLeaseCache returns a cache with the given lease duration.
+func NewLeaseCache(lease time.Duration) *LeaseCache {
+	return &LeaseCache{lease: lease, entries: make(map[string]leaseEntry), now: time.Now}
+}
+
+// Has reports whether key is cached with a live lease.
+func (c *LeaseCache) Has(key string) bool {
+	_, ok := c.Get(key)
+	return ok
+}
+
+// Get returns the cached value if its lease is live.
+func (c *LeaseCache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if !ok || c.now().After(e.expires) {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Put caches key (with an optional value) under a fresh lease.
+func (c *LeaseCache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.entries[key] = leaseEntry{val: val, expires: c.now().Add(c.lease)}
+	c.mu.Unlock()
+}
+
+// Drop removes key.
+func (c *LeaseCache) Drop(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
+// Len returns the number of entries (including expired, until touched).
+func (c *LeaseCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

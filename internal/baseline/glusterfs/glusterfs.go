@@ -1,0 +1,339 @@
+// Package glusterfs models Gluster as compared in the paper: no metadata
+// server at all — metadata is spread over the data servers by a distributed
+// hash (DHT) on the path, and directories exist on *every* server.
+//
+// Preserved behaviors:
+//
+//   - mkdir is a synchronous broadcast: the directory must be created on
+//     every brick, so its latency grows linearly with server count — the
+//     paper's most dramatic baseline pathology (26x LocoFS, §4.2.1).
+//   - File operations hash to one brick but pay extra xattr/layout round
+//     trips (DHT lookup, layout set), giving the high touch latency of
+//     Fig 6.
+//   - readdir and dir-stat must aggregate every brick.
+package glusterfs
+
+import (
+	"time"
+
+	"locofs/internal/baseline/common"
+	"locofs/internal/fsapi"
+	"locofs/internal/fspath"
+	"locofs/internal/kv"
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+// Profile is the Gluster brick software model (a userspace translator stack
+// over the local file system).
+var Profile = common.Profile{
+	Name:         "gluster",
+	ReadService:  90 * time.Microsecond,
+	WriteService: 150 * time.Microsecond,
+	Workers:      8,
+}
+
+// Key prefixes: directories (replicated on every brick), file inodes and
+// layout xattrs (on the hashed brick), dir entries (on the hashed brick).
+const (
+	kDir   = "D:"
+	kFile  = "F:"
+	kXattr = "X:"
+	kEnt   = "E:"
+)
+
+// System is a running Gluster-model deployment.
+type System struct {
+	cluster *common.Cluster
+	network *netsim.Network
+	link    netsim.LinkConfig
+}
+
+// Start launches n bricks.
+func Start(network *netsim.Network, n int, link netsim.LinkConfig) (*System, error) {
+	cl, err := common.StartCluster(network, n, Profile, func() kv.Store {
+		// Ordered store: real metadata servers index directory entries, so
+		// a readdir/emptiness check costs O(result), not a full scan.
+		return kv.NewBTreeStore()
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Every brick knows the root directory.
+	for _, srv := range cl.Servers {
+		srv.Store.Put([]byte(kDir+"/"), []byte{1})
+	}
+	return &System{cluster: cl, network: network, link: link}, nil
+}
+
+// Close shuts the system down.
+func (s *System) Close() { s.cluster.Close() }
+
+// Client is one Gluster client (libgfapi).
+type Client struct {
+	conn *common.Conn
+	n    int
+}
+
+// NewClient connects a client.
+func (s *System) NewClient() (*Client, error) {
+	conn, err := common.DialCluster(s.network, s.cluster.Addrs, s.link)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, n: len(s.cluster.Addrs)}, nil
+}
+
+// Trips returns total round trips issued.
+func (c *Client) Trips() uint64 { return c.conn.Trips() }
+
+// Cost returns the client's cumulative modeled time.
+func (c *Client) Cost() time.Duration { return c.conn.Cost() }
+
+// Cluster exposes the underlying servers (experiments read busy times).
+func (s *System) Cluster() *common.Cluster { return s.cluster }
+
+// Close implements fsapi.FS.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) srvOf(p string) int { return common.HashServer(p, c.n) }
+
+// Mkdir implements fsapi.FS: sequential lookup + create on every brick.
+func (c *Client) Mkdir(path string, mode uint32) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	if name == "" {
+		return wire.StatusExist.Err()
+	}
+	for i := 0; i < c.n; i++ {
+		ok, err := c.conn.Exists(i, []byte(kDir+parent))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return wire.StatusNotFound.Err()
+		}
+		st, err := c.conn.CreateX(i, []byte(kDir+p), []byte{1})
+		if err != nil {
+			return err
+		}
+		if st != wire.StatusOK {
+			return st.Err() // EEXIST surfaces from the first brick
+		}
+	}
+	return nil
+}
+
+// Create implements fsapi.FS: DHT layout lookup, parent check, create, and
+// layout-xattr set — four sequential requests to the hashed brick.
+func (c *Client) Create(path string, mode uint32) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	if name == "" {
+		return wire.StatusInval.Err()
+	}
+	srv := c.srvOf(p)
+	// DHT layout fetch for the parent directory.
+	if _, err := c.conn.Exists(srv, []byte(kXattr+parent)); err != nil {
+		return err
+	}
+	ok, err := c.conn.Exists(srv, []byte(kDir+parent))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.StatusNotFound.Err()
+	}
+	st, err := c.conn.CreateX(srv, []byte(kFile+p), []byte{0})
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	if st, err := c.conn.Put(srv, []byte(kEnt+parent+"/"+name), nil); err != nil || st != wire.StatusOK {
+		if err != nil {
+			return err
+		}
+		return st.Err()
+	}
+	st, err = c.conn.Put(srv, []byte(kXattr+p), []byte{1})
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// StatFile implements fsapi.FS: DHT lookup + getattr on the hashed brick.
+func (c *Client) StatFile(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	srv := c.srvOf(p)
+	ok, err := c.conn.Exists(srv, []byte(kFile+p))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.StatusNotFound.Err()
+	}
+	if _, _, err := c.conn.Get(srv, []byte(kXattr+p)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// StatDir implements fsapi.FS: a directory's attributes aggregate across
+// all bricks, so every server is consulted.
+func (c *Client) StatDir(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	for i := 0; i < c.n; i++ {
+		ok, err := c.conn.Exists(i, []byte(kDir+p))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return wire.StatusNotFound.Err()
+		}
+	}
+	return nil
+}
+
+// Remove implements fsapi.FS.
+func (c *Client) Remove(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	srv := c.srvOf(p)
+	st, err := c.conn.Del(srv, []byte(kFile+p))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	c.conn.Del(srv, []byte(kEnt+parent+"/"+name))
+	c.conn.Del(srv, []byte(kXattr+p))
+	return nil
+}
+
+// Readdir implements fsapi.FS: sequential aggregation over every brick.
+func (c *Client) Readdir(path string) (int, error) {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return 0, wire.StatusInval.Err()
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	total := 0
+	for i := 0; i < c.n; i++ {
+		// Files whose entries hash here.
+		names, err := c.conn.ListPrefix(i, []byte(kEnt+prefix))
+		if err != nil {
+			return 0, err
+		}
+		for _, nm := range names {
+			if fspath.ValidName(nm) {
+				total++
+			}
+		}
+	}
+	// Subdirectories are replicated; count them once from brick 0.
+	names, err := c.conn.ListPrefix(0, []byte(kDir+prefix))
+	if err != nil {
+		return 0, err
+	}
+	for _, nm := range names {
+		if fspath.ValidName(nm) {
+			total++
+		}
+	}
+	return total, nil
+}
+
+// Rmdir implements fsapi.FS: emptiness check and removal on every brick.
+func (c *Client) Rmdir(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil || p == "/" {
+		return wire.StatusInval.Err()
+	}
+	for i := 0; i < c.n; i++ {
+		cnt, err := c.conn.CountPrefix(i, []byte(kEnt+p+"/"))
+		if err != nil {
+			return err
+		}
+		if cnt > 0 {
+			return wire.StatusNotEmpty.Err()
+		}
+	}
+	if cnt, err := c.conn.CountPrefix(0, []byte(kDir+p+"/")); err != nil {
+		return err
+	} else if cnt > 0 {
+		return wire.StatusNotEmpty.Err()
+	}
+	removed := false
+	for i := 0; i < c.n; i++ {
+		st, err := c.conn.Del(i, []byte(kDir+p))
+		if err != nil {
+			return err
+		}
+		if st == wire.StatusOK {
+			removed = true
+		}
+	}
+	if !removed {
+		return wire.StatusNotFound.Err()
+	}
+	return nil
+}
+
+// Chmod implements fsapi.ExtendedFS: xattr read-modify-write on the brick.
+func (c *Client) Chmod(path string, mode uint32) error { return c.rmwXattr(path) }
+
+// Chown implements fsapi.ExtendedFS.
+func (c *Client) Chown(path string, uid, gid uint32) error { return c.rmwXattr(path) }
+
+// Truncate implements fsapi.ExtendedFS.
+func (c *Client) Truncate(path string, size uint64) error { return c.rmwXattr(path) }
+
+// Access implements fsapi.ExtendedFS.
+func (c *Client) Access(path string) error { return c.StatFile(path) }
+
+func (c *Client) rmwXattr(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	srv := c.srvOf(p)
+	ok, err := c.conn.Exists(srv, []byte(kFile+p))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.StatusNotFound.Err()
+	}
+	if _, _, err := c.conn.Get(srv, []byte(kXattr+p)); err != nil {
+		return err
+	}
+	st, err := c.conn.Put(srv, []byte(kXattr+p), []byte{2})
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+var _ fsapi.ExtendedFS = (*Client)(nil)

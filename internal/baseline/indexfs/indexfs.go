@@ -1,0 +1,373 @@
+// Package indexfs models IndexFS (Ren et al., SC'14), the paper's primary
+// point of comparison: file-system metadata stored as whole-inode values in
+// an LSM store (LevelDB there, internal/lsm here), with the namespace
+// partitioned per directory across metadata servers and a stateless client
+// lookup cache with leases.
+//
+// The behaviors that matter to the paper's experiments are preserved:
+//
+//   - Coupled inode values: every attribute update is a full-value
+//     read-modify-write through (de)serialization (§2.2.2).
+//   - Per-directory partitioning: a directory's entries all live on the
+//     server owning that directory; path resolution walks servers component
+//     by component on cache misses (the Fig 2 locating-latency problem).
+//   - mkdir touches two servers: the parent's (to insert the entry) and the
+//     new directory's (to install its partition).
+package indexfs
+
+import (
+	"time"
+
+	"locofs/internal/baseline/common"
+	"locofs/internal/fsapi"
+	"locofs/internal/fspath"
+	"locofs/internal/kv"
+	"locofs/internal/layout"
+	"locofs/internal/lsm"
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+// Profile is the IndexFS server software model. Reads are lease-checked
+// LevelDB gets; mutations serialize through the LSM writer and the
+// per-directory lease manager, so usable parallelism is ~1 — which is what
+// holds a node to the paper's ~6K creates/s (1.7% of raw LevelDB, §1).
+var Profile = common.Profile{
+	Name:         "indexfs",
+	ReadService:  60 * time.Microsecond,
+	WriteService: 150 * time.Microsecond,
+	Workers:      1,
+}
+
+// Key prefixes: entry records (stored on the parent directory's server) and
+// directory partition markers (stored on the directory's own server).
+const (
+	kEntry     = "E:"
+	kPartition = "M:"
+)
+
+// System is a running IndexFS deployment.
+type System struct {
+	cluster *common.Cluster
+	network *netsim.Network
+	link    netsim.LinkConfig
+}
+
+// Start launches n IndexFS metadata servers on the fabric; link is the
+// modeled network for virtual-time accounting.
+func Start(network *netsim.Network, n int, link netsim.LinkConfig) (*System, error) {
+	cl, err := common.StartCluster(network, n, Profile, func() kv.Store {
+		return lsm.MustNew(nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cl, network: network, link: link}, nil
+}
+
+// Cluster exposes the underlying servers (experiments read busy times).
+func (s *System) Cluster() *common.Cluster { return s.cluster }
+
+// Close shuts the system down.
+func (s *System) Close() { s.cluster.Close() }
+
+// Client is one IndexFS client.
+type Client struct {
+	conn  *common.Conn
+	n     int
+	cache *common.LeaseCache
+}
+
+// NewClient connects a client with the default 30 s lookup-cache lease.
+func (s *System) NewClient() (*Client, error) {
+	conn, err := common.DialCluster(s.network, s.cluster.Addrs, s.link)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, n: len(s.cluster.Addrs), cache: common.NewLeaseCache(30 * time.Second)}, nil
+}
+
+// Trips returns total round trips issued.
+func (c *Client) Trips() uint64 { return c.conn.Trips() }
+
+// Cost returns the client's cumulative modeled time.
+func (c *Client) Cost() time.Duration { return c.conn.Cost() }
+
+// Close implements fsapi.FS.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// srvOf returns the server owning directory path's partition.
+func (c *Client) srvOf(dirPath string) int { return common.HashServer(dirPath, c.n) }
+
+func entryKey(path string) []byte     { return append([]byte(kEntry), path...) }
+func partitionKey(path string) []byte { return append([]byte(kPartition), path...) }
+
+// record is the coupled on-server value: 1 flag byte + coupled inode.
+func encodeRecord(isDir bool, mode uint32) []byte {
+	ci := &layout.CoupledInode{Mode: mode, BlockSize: 4096}
+	flag := byte(0)
+	if isDir {
+		flag = 1
+	}
+	return append([]byte{flag}, ci.Encode()...)
+}
+
+func decodeRecord(v []byte) (isDir bool, ci *layout.CoupledInode, err error) {
+	if len(v) < 1 {
+		return false, nil, layout.ErrCorruptInode
+	}
+	ci, err = layout.DecodeCoupledInode(v[1:])
+	return v[0] == 1, ci, err
+}
+
+// resolveDir verifies every component of dirPath exists, walking the
+// per-directory partitions server by server on cache misses.
+func (c *Client) resolveDir(dirPath string) error {
+	if dirPath == "/" {
+		return nil
+	}
+	comps := append(fspath.Ancestors(dirPath)[1:], dirPath) // skip "/"
+	for _, p := range comps {
+		if c.cache.Has(p) {
+			continue
+		}
+		ok, err := c.conn.Exists(c.srvOf(p), partitionKey(p))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return wire.StatusNotFound.Err()
+		}
+		c.cache.Put(p, nil)
+	}
+	return nil
+}
+
+// Mkdir implements fsapi.FS: entry insert on the parent's server plus
+// partition install on the new directory's server.
+func (c *Client) Mkdir(path string, mode uint32) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	if name == "" {
+		return wire.StatusExist.Err()
+	}
+	if err := c.resolveDir(parent); err != nil {
+		return err
+	}
+	st, err := c.conn.CreateX(c.srvOf(parent), entryKey(p), encodeRecord(true, mode))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	if st, err := c.conn.Put(c.srvOf(p), partitionKey(p), []byte{1}); err != nil || st != wire.StatusOK {
+		if err != nil {
+			return err
+		}
+		return st.Err()
+	}
+	c.cache.Put(p, nil)
+	return nil
+}
+
+// Create implements fsapi.FS.
+func (c *Client) Create(path string, mode uint32) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	if name == "" {
+		return wire.StatusInval.Err()
+	}
+	if err := c.resolveDir(parent); err != nil {
+		return err
+	}
+	st, err := c.conn.CreateX(c.srvOf(parent), entryKey(p), encodeRecord(false, mode))
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// statEntry fetches and fully deserializes an entry record.
+func (c *Client) statEntry(p string, wantDir bool) error {
+	parent, name := fspath.Split(p)
+	if name == "" { // root
+		if wantDir {
+			return nil
+		}
+		return wire.StatusIsDir.Err()
+	}
+	if err := c.resolveDir(parent); err != nil {
+		return err
+	}
+	v, st, err := c.conn.Get(c.srvOf(parent), entryKey(p))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	isDir, _, err := decodeRecord(v)
+	if err != nil {
+		return err
+	}
+	if isDir != wantDir {
+		if wantDir {
+			return wire.StatusNotDir.Err()
+		}
+		return wire.StatusIsDir.Err()
+	}
+	return nil
+}
+
+// StatFile implements fsapi.FS.
+func (c *Client) StatFile(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	return c.statEntry(p, false)
+}
+
+// StatDir implements fsapi.FS.
+func (c *Client) StatDir(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	return c.statEntry(p, true)
+}
+
+// Remove implements fsapi.FS.
+func (c *Client) Remove(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, _ := fspath.Split(p)
+	if err := c.resolveDir(parent); err != nil {
+		return err
+	}
+	st, err := c.conn.Del(c.srvOf(parent), entryKey(p))
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Readdir implements fsapi.FS: one request to the directory's server, which
+// holds every child entry.
+func (c *Client) Readdir(path string) (int, error) {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return 0, wire.StatusInval.Err()
+	}
+	if err := c.resolveDir(p); err != nil {
+		return 0, err
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	names, err := c.conn.ListPrefix(c.srvOf(p), entryKey(prefix))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, nm := range names {
+		if fspath.ValidName(nm) { // direct children only
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Rmdir implements fsapi.FS.
+func (c *Client) Rmdir(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil || p == "/" {
+		return wire.StatusInval.Err()
+	}
+	if err := c.resolveDir(p); err != nil {
+		return err
+	}
+	cnt, err := c.conn.CountPrefix(c.srvOf(p), entryKey(p+"/"))
+	if err != nil {
+		return err
+	}
+	if cnt > 0 {
+		return wire.StatusNotEmpty.Err()
+	}
+	parent, _ := fspath.Split(p)
+	if st, err := c.conn.Del(c.srvOf(parent), entryKey(p)); err != nil || st != wire.StatusOK {
+		if err != nil {
+			return err
+		}
+		return st.Err()
+	}
+	c.conn.Del(c.srvOf(p), partitionKey(p))
+	c.cache.Drop(p)
+	return nil
+}
+
+// rmwEntry is the coupled-inode update cycle: fetch the whole value,
+// deserialize, mutate, re-serialize, write the whole value back.
+func (c *Client) rmwEntry(path string, fn func(*layout.CoupledInode)) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, _ := fspath.Split(p)
+	if err := c.resolveDir(parent); err != nil {
+		return err
+	}
+	srv := c.srvOf(parent)
+	v, st, err := c.conn.Get(srv, entryKey(p))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	isDir, ci, err := decodeRecord(v)
+	if err != nil {
+		return err
+	}
+	fn(ci)
+	flag := byte(0)
+	if isDir {
+		flag = 1
+	}
+	st, err = c.conn.Put(srv, entryKey(p), append([]byte{flag}, ci.Encode()...))
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Chmod implements fsapi.ExtendedFS.
+func (c *Client) Chmod(path string, mode uint32) error {
+	return c.rmwEntry(path, func(ci *layout.CoupledInode) { ci.Mode = mode })
+}
+
+// Chown implements fsapi.ExtendedFS.
+func (c *Client) Chown(path string, uid, gid uint32) error {
+	return c.rmwEntry(path, func(ci *layout.CoupledInode) { ci.UID, ci.GID = uid, gid })
+}
+
+// Truncate implements fsapi.ExtendedFS.
+func (c *Client) Truncate(path string, size uint64) error {
+	return c.rmwEntry(path, func(ci *layout.CoupledInode) { ci.Size = size })
+}
+
+// Access implements fsapi.ExtendedFS (a full stat in IndexFS: the access
+// fields cannot be read without deserializing the whole value).
+func (c *Client) Access(path string) error { return c.StatFile(path) }
+
+var _ fsapi.ExtendedFS = (*Client)(nil)

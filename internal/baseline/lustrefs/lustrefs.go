@@ -1,0 +1,417 @@
+// Package lustrefs models Lustre 2.9 with DNE (Distributed NamespacE) as
+// compared in the paper, in both configurations:
+//
+//   - DNE1 ("Lustre D1"): the namespace is divided manually — each
+//     top-level subtree is pinned to one MDT. Operations inside a subtree
+//     hit one MDT but pay Lustre's lock/lookup/execute round-trip pattern;
+//     creating a remote directory (a top-level dir whose parent lives on
+//     MDT0) is a cross-MDT transaction.
+//   - DNE2 ("Lustre D2"): directories are striped — the files of one
+//     directory are hashed across all MDTs. File creates touch both the
+//     directory's master MDT and the stripe MDT; readdir/rmdir must visit
+//     every stripe.
+//
+// Preserved behaviors: the multi-round-trip RPC pattern per operation
+// (LDLM lock + intent + execute) giving the ~4-6x-of-LocoFS latency of
+// Fig 6, good mkdir scaling with MDT count (each subtree/stripe is an
+// independent server — the one axis where Lustre beats LocoFS, §4.2.2),
+// and moderate per-request software cost (ldiskfs path, Fig 10).
+package lustrefs
+
+import (
+	"time"
+
+	"locofs/internal/baseline/common"
+	"locofs/internal/fsapi"
+	"locofs/internal/fspath"
+	"locofs/internal/kv"
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+// Profile is the Lustre MDT software model.
+var Profile = common.Profile{
+	Name:         "lustre",
+	ReadService:  40 * time.Microsecond,
+	WriteService: 90 * time.Microsecond,
+	Workers:      8,
+}
+
+// Variant selects DNE1 or DNE2 behavior.
+type Variant int
+
+// The two DNE configurations evaluated in the paper.
+const (
+	DNE1 Variant = 1
+	DNE2 Variant = 2
+)
+
+// Entry records, one per file/dir, on the owning MDT.
+const kEntry = "E:"
+
+// System is a running Lustre-model deployment.
+type System struct {
+	cluster *common.Cluster
+	network *netsim.Network
+	variant Variant
+	link    netsim.LinkConfig
+}
+
+// Start launches n MDTs with the given DNE variant.
+func Start(network *netsim.Network, n int, variant Variant, link netsim.LinkConfig) (*System, error) {
+	profile := Profile
+	if variant == DNE2 {
+		profile.Name = "lustre2"
+	}
+	cl, err := common.StartCluster(network, n, profile, func() kv.Store {
+		// Ordered store: real metadata servers index directory entries, so
+		// a readdir/emptiness check costs O(result), not a full scan.
+		return kv.NewBTreeStore()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{cluster: cl, network: network, variant: variant, link: link}, nil
+}
+
+// Close shuts the system down.
+func (s *System) Close() { s.cluster.Close() }
+
+// Client is one Lustre client.
+type Client struct {
+	conn    *common.Conn
+	n       int
+	variant Variant
+}
+
+// NewClient connects a client.
+func (s *System) NewClient() (*Client, error) {
+	conn, err := common.DialCluster(s.network, s.cluster.Addrs, s.link)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, n: len(s.cluster.Addrs), variant: s.variant}, nil
+}
+
+// Trips returns total round trips issued.
+func (c *Client) Trips() uint64 { return c.conn.Trips() }
+
+// Cost returns the client's cumulative modeled time.
+func (c *Client) Cost() time.Duration { return c.conn.Cost() }
+
+// Cluster exposes the underlying servers (experiments read busy times).
+func (s *System) Cluster() *common.Cluster { return s.cluster }
+
+// Close implements fsapi.FS.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// mdtOfDir returns the MDT owning directory p's contents. DNE1 divides the
+// namespace manually — modeled as two-component subtree granularity. DNE2
+// stripes directories themselves across MDTs by path hash. The root lives
+// on MDT 0.
+func (c *Client) mdtOfDir(p string) int {
+	if p == "/" {
+		return 0
+	}
+	if c.variant == DNE2 {
+		return common.HashServer(p, c.n)
+	}
+	return common.HashServer(common.SubtreeKey(p, 2), c.n)
+}
+
+// mdtOfEntry returns the MDT holding the entry record for p: entries are
+// contents of the parent directory.
+func (c *Client) mdtOfEntry(p string) int {
+	if c.variant == DNE2 {
+		return common.HashServer(p, c.n)
+	}
+	parent, _ := fspath.Split(p)
+	return c.mdtOfDir(parent)
+}
+
+// mdtOfFile returns the MDT holding a file's inode: with DNE1 it is the
+// directory's MDT; with DNE2 files stripe across all MDTs by name hash.
+func (c *Client) mdtOfFile(p string) int {
+	if c.variant == DNE2 {
+		return common.HashServer(p, c.n)
+	}
+	parent, _ := fspath.Split(p)
+	return c.mdtOfDir(parent)
+}
+
+func entryKey(p string) []byte { return append([]byte(kEntry), p...) }
+
+// lockLookup models the LDLM enqueue + intent lookup round trip that
+// precedes every Lustre metadata mutation.
+func (c *Client) lockLookup(mdt int, dir string) error {
+	ok, err := c.conn.Exists(mdt, entryKey(dir))
+	if err != nil {
+		return err
+	}
+	if !ok && dir != "/" {
+		return wire.StatusNotFound.Err()
+	}
+	return nil
+}
+
+// Mkdir implements fsapi.FS.
+func (c *Client) Mkdir(path string, mode uint32) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	if name == "" {
+		return wire.StatusExist.Err()
+	}
+	entryMDT := c.mdtOfEntry(p)
+	dirMDT := c.mdtOfDir(p)
+	// Lock + lookup on the MDT holding the parent's entry.
+	if err := c.lockLookup(c.mdtOfEntry(parent), parent); err != nil {
+		return err
+	}
+	// Create the directory entry where the parent's contents live.
+	st, err := c.conn.CreateX(entryMDT, entryKey(p), []byte{1})
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	// Cross-MDT ("remote") directory: the directory's contents will live on
+	// another MDT, which records the link — the DNE remote-dir transaction.
+	if entryMDT != dirMDT {
+		if st, err := c.conn.Put(dirMDT, []byte("L:"+p), nil); err != nil || st != wire.StatusOK {
+			if err != nil {
+				return err
+			}
+			return st.Err()
+		}
+	}
+	// Post-op attribute flush (the setattr piggyback).
+	st, err = c.conn.Put(entryMDT, []byte("A:"+p), []byte{1})
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Create implements fsapi.FS. DNE1: lock, create, layout set on the
+// directory's MDT. DNE2: lock on the master MDT, create + layout on the
+// stripe MDT.
+func (c *Client) Create(path string, mode uint32) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, name := fspath.Split(p)
+	if name == "" {
+		return wire.StatusInval.Err()
+	}
+	masterMDT := c.mdtOfDir(parent)
+	fileMDT := c.mdtOfFile(p)
+	if err := c.lockLookup(c.mdtOfEntry(parent), parent); err != nil {
+		return err
+	}
+	st, err := c.conn.CreateX(fileMDT, entryKey(p), []byte{0})
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	// Layout (LOV EA) write.
+	if st, err := c.conn.Put(fileMDT, []byte("A:"+p), []byte{1}); err != nil || st != wire.StatusOK {
+		if err != nil {
+			return err
+		}
+		return st.Err()
+	}
+	// DNE2 cross-MDT creates also update the master's shard index.
+	if c.variant == DNE2 && fileMDT != masterMDT {
+		if st, err := c.conn.Put(masterMDT, []byte("S:"+p), nil); err != nil || st != wire.StatusOK {
+			if err != nil {
+				return err
+			}
+			return st.Err()
+		}
+	}
+	return nil
+}
+
+// StatFile implements fsapi.FS: lock + getattr on the file's MDT.
+func (c *Client) StatFile(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	mdt := c.mdtOfFile(p)
+	ok, err := c.conn.Exists(mdt, entryKey(p))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.StatusNotFound.Err()
+	}
+	_, _, err = c.conn.Get(mdt, []byte("A:"+p))
+	return err
+}
+
+// StatDir implements fsapi.FS.
+func (c *Client) StatDir(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	if p == "/" {
+		return nil
+	}
+	mdt := c.mdtOfEntry(p)
+	ok, err := c.conn.Exists(mdt, entryKey(p))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.StatusNotFound.Err()
+	}
+	_, _, err = c.conn.Get(mdt, []byte("A:"+p))
+	return err
+}
+
+// Remove implements fsapi.FS.
+func (c *Client) Remove(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	parent, _ := fspath.Split(p)
+	masterMDT := c.mdtOfDir(parent)
+	fileMDT := c.mdtOfFile(p)
+	if err := c.lockLookup(c.mdtOfEntry(parent), parent); err != nil {
+		return err
+	}
+	st, err := c.conn.Del(fileMDT, entryKey(p))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	c.conn.Del(fileMDT, []byte("A:"+p))
+	if c.variant == DNE2 && fileMDT != masterMDT {
+		c.conn.Del(masterMDT, []byte("S:"+p))
+	}
+	return nil
+}
+
+// Readdir implements fsapi.FS. DNE1: one MDT holds the whole directory.
+// DNE2: entries stripe across every MDT.
+func (c *Client) Readdir(path string) (int, error) {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return 0, wire.StatusInval.Err()
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	count := func(mdt int) (int, error) {
+		names, err := c.conn.ListPrefix(mdt, entryKey(prefix))
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, nm := range names {
+			if fspath.ValidName(nm) {
+				n++
+			}
+		}
+		return n, nil
+	}
+	if c.variant == DNE1 && p != "/" {
+		return count(c.mdtOfDir(p))
+	}
+	total := 0
+	for i := 0; i < c.n; i++ {
+		n, err := count(i)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Rmdir implements fsapi.FS.
+func (c *Client) Rmdir(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil || p == "/" {
+		return wire.StatusInval.Err()
+	}
+	mdts := []int{c.mdtOfDir(p)}
+	if c.variant == DNE2 {
+		mdts = mdts[:0]
+		for i := 0; i < c.n; i++ {
+			mdts = append(mdts, i)
+		}
+	}
+	for _, m := range mdts {
+		cnt, err := c.conn.CountPrefix(m, entryKey(p+"/"))
+		if err != nil {
+			return err
+		}
+		if cnt > 0 {
+			return wire.StatusNotEmpty.Err()
+		}
+	}
+	entryMDT := c.mdtOfEntry(p)
+	st, err := c.conn.Del(entryMDT, entryKey(p))
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	c.conn.Del(entryMDT, []byte("A:"+p))
+	if dm := c.mdtOfDir(p); dm != entryMDT {
+		c.conn.Del(dm, []byte("L:"+p))
+	}
+	return nil
+}
+
+// Chmod implements fsapi.ExtendedFS: lock + setattr RMW on the MDT.
+func (c *Client) Chmod(path string, mode uint32) error { return c.rmwAttr(path) }
+
+// Chown implements fsapi.ExtendedFS.
+func (c *Client) Chown(path string, uid, gid uint32) error { return c.rmwAttr(path) }
+
+// Truncate implements fsapi.ExtendedFS.
+func (c *Client) Truncate(path string, size uint64) error { return c.rmwAttr(path) }
+
+// Access implements fsapi.ExtendedFS.
+func (c *Client) Access(path string) error { return c.StatFile(path) }
+
+func (c *Client) rmwAttr(path string) error {
+	p, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	mdt := c.mdtOfFile(p)
+	ok, err := c.conn.Exists(mdt, entryKey(p))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.StatusNotFound.Err()
+	}
+	if _, _, err := c.conn.Get(mdt, []byte("A:"+p)); err != nil {
+		return err
+	}
+	st, err := c.conn.Put(mdt, []byte("A:"+p), []byte{2})
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+var _ fsapi.ExtendedFS = (*Client)(nil)

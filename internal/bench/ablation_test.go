@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAblationRenameRatio asserts the §3.4.1 claim: realistic rename ratios
+// leave the overall metadata cost essentially unchanged.
+func TestAblationRenameRatio(t *testing.T) {
+	env := Quick()
+	tbl, err := AblationRenameRatio(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// At 1e-4 and 1e-3 the relative change must be small.
+	for _, row := range tbl.Rows[1:3] {
+		rel := strings.TrimSuffix(strings.TrimPrefix(row[2], "+"), "%")
+		v, err := strconv.ParseFloat(rel, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", row[2])
+		}
+		if v > 10 || v < -10 {
+			t.Errorf("rename ratio %s changed mean cost by %s — should be negligible", row[0], row[2])
+		}
+	}
+}
+
+// TestAblationCacheLease asserts the lease sweep spans the NC..C spectrum.
+func TestAblationCacheLease(t *testing.T) {
+	env := Quick()
+	tbl, err := AblationCacheLease(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	trips := func(row int) float64 {
+		v, err := strconv.ParseFloat(tbl.Cell(row, 2), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", tbl.Cell(row, 2))
+		}
+		return v
+	}
+	disabled := trips(0)
+	long := trips(len(tbl.Rows) - 1)
+	if disabled < 1.9 {
+		t.Errorf("disabled-cache creates took %.2f trips/op, want ~2", disabled)
+	}
+	if long > 1.1 {
+		t.Errorf("30s-lease creates took %.2f trips/op, want ~1", long)
+	}
+}
+
+// TestAblationDirentGranularity asserts concatenation wins and its edge
+// grows with directory size.
+func TestAblationDirentGranularity(t *testing.T) {
+	tbl, err := AblationDirentGranularity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	parseUS := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "us"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	var prevRatio float64
+	for i, row := range tbl.Rows {
+		concat := parseUS(row[1])
+		per := parseUS(row[2])
+		if concat >= per {
+			t.Errorf("entries %s: concatenated (%v) not cheaper than per-entry (%v)", row[0], concat, per)
+		}
+		ratio := per / concat
+		if i > 0 && ratio <= prevRatio {
+			t.Errorf("advantage did not grow with directory size: %.1f then %.1f", prevRatio, ratio)
+		}
+		prevRatio = ratio
+	}
+}

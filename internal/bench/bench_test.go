@@ -1,0 +1,554 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"locofs/internal/mdtest"
+	"locofs/internal/netsim"
+)
+
+// parseRTT parses a "1.3x" cell into its float.
+func parseRTT(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad RTT cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// parseKIOPS parses a "123.4K" cell into ops/sec.
+func parseKIOPS(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "K"), 64)
+	if err != nil {
+		t.Fatalf("bad KIOPS cell %q: %v", cell, err)
+	}
+	return v * 1e3
+}
+
+// col returns the column index of header h.
+func col(t *testing.T, tbl *Table, h string) int {
+	t.Helper()
+	for i, c := range tbl.Headers {
+		if c == h {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", h, tbl.Headers)
+	return -1
+}
+
+// TestFig6Shape asserts the paper's Figure 6 orderings: LocoFS-C touch is a
+// small number of RTTs and every baseline is slower; Gluster's mkdir
+// latency grows with server count.
+func TestFig6Shape(t *testing.T) {
+	env := Quick()
+	tbl, err := Fig6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	locoCol := col(t, tbl, SysLocoC)
+	ncCol := col(t, tbl, SysLocoNC)
+	cephCol := col(t, tbl, SysCephFS)
+	lustreCol := col(t, tbl, SysLustreD1)
+	glusterCol := col(t, tbl, SysGluster)
+
+	var glusterMkdir []float64
+	for _, row := range tbl.Rows {
+		op := row[1]
+		loco := parseRTT(t, row[locoCol])
+		if op == "touch" {
+			if loco > 3 {
+				t.Errorf("LocoFS-C touch = %.1f RTT, want <= 3 (paper: 1.3-3.2)", loco)
+			}
+			if nc := parseRTT(t, row[ncCol]); nc <= loco {
+				t.Errorf("LocoFS-NC touch (%.1f) not slower than LocoFS-C (%.1f)", nc, loco)
+			}
+		}
+		if op == "mkdir" && loco > 2 {
+			t.Errorf("LocoFS mkdir = %.1f RTT, want <= 2 (paper: 1.1)", loco)
+		}
+		for name, c := range map[string]int{"CephFS": cephCol, "Lustre": lustreCol, "Gluster": glusterCol} {
+			if v := parseRTT(t, row[c]); op == "touch" && v <= loco {
+				t.Errorf("%s touch (%.1f RTT) not slower than LocoFS-C (%.1f)", name, v, loco)
+			}
+		}
+		if op == "mkdir" {
+			glusterMkdir = append(glusterMkdir, parseRTT(t, row[glusterCol]))
+		}
+	}
+	// Gluster mkdir broadcast: latency grows with server count.
+	if len(glusterMkdir) >= 2 && glusterMkdir[len(glusterMkdir)-1] <= glusterMkdir[0] {
+		t.Errorf("Gluster mkdir latency did not grow with servers: %v", glusterMkdir)
+	}
+}
+
+// TestFig7Shape asserts Figure 7's orderings at the maximum server count.
+func TestFig7Shape(t *testing.T) {
+	tbl, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	lustreCol := col(t, tbl, SysLustreD1)
+	glusterCol := col(t, tbl, SysGluster)
+	cephCol := col(t, tbl, SysCephFS)
+	for _, row := range tbl.Rows {
+		op := row[0]
+		switch op {
+		case mdtest.PhaseRemove:
+			// LocoFS rm beats Lustre and Gluster (values are normalized to
+			// LocoFS-C, so > 1 means slower than LocoFS).
+			if v, _ := strconv.ParseFloat(row[lustreCol], 64); v <= 1 {
+				t.Errorf("Lustre rm ratio = %v, want > 1", v)
+			}
+			if v, _ := strconv.ParseFloat(row[glusterCol], 64); v <= 1 {
+				t.Errorf("Gluster rm ratio = %v, want > 1", v)
+			}
+		case mdtest.PhaseFileStat, mdtest.PhaseDirStat:
+			// CephFS's client inode cache gives it the lowest stats.
+			if v, _ := strconv.ParseFloat(row[cephCol], 64); v >= 1 {
+				t.Errorf("CephFS %s ratio = %v, want < 1 (client cache)", op, v)
+			}
+		}
+	}
+}
+
+// TestFig8Shape asserts the throughput orderings of Figure 8.
+func TestFig8Shape(t *testing.T) {
+	env := Quick()
+	tbl, err := Fig8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	locoCol := col(t, tbl, SysLocoC)
+	cephCol := col(t, tbl, SysCephFS)
+	lustreCol := col(t, tbl, SysLustreD1)
+
+	var locoMkdir, lustreMkdir, locoTouch []float64
+	for _, row := range tbl.Rows {
+		op := row[1]
+		loco := parseKIOPS(t, row[locoCol])
+		switch op {
+		case mdtest.PhaseMkdir:
+			locoMkdir = append(locoMkdir, loco)
+			lustreMkdir = append(lustreMkdir, parseKIOPS(t, row[lustreCol]))
+			if row[0] == "1" {
+				// Paper: ~100K creates with one metadata server, 67x CephFS.
+				if loco < 60e3 || loco > 250e3 {
+					t.Errorf("LocoFS 1-server mkdir = %.0f, want ~100K", loco)
+				}
+				if ceph := parseKIOPS(t, row[cephCol]); loco < 20*ceph {
+					t.Errorf("LocoFS mkdir (%.0f) < 20x CephFS (%.0f); paper reports 67x", loco, ceph)
+				}
+			}
+		case mdtest.PhaseTouch:
+			locoTouch = append(locoTouch, loco)
+		}
+	}
+	// touch scales with FMS count; mkdir (single DMS) must scale much less.
+	last := len(locoTouch) - 1
+	if locoTouch[last] < locoTouch[0]*1.5 {
+		t.Errorf("LocoFS touch did not scale with servers: %v", locoTouch)
+	}
+	mkdirGrowth := locoMkdir[last] / locoMkdir[0]
+	touchGrowth := locoTouch[last] / locoTouch[0]
+	if mkdirGrowth > touchGrowth {
+		t.Errorf("mkdir growth (%.2f) exceeds touch growth (%.2f); DMS is singular", mkdirGrowth, touchGrowth)
+	}
+	// Lustre's mkdir scales better than LocoFS's (paper §4.2.2 obs 3).
+	lustreGrowth := lustreMkdir[last] / lustreMkdir[0]
+	if lustreGrowth < mkdirGrowth {
+		t.Errorf("Lustre mkdir growth (%.2f) < LocoFS (%.2f); paper says Lustre scales mkdir better", lustreGrowth, mkdirGrowth)
+	}
+}
+
+// TestFig9Shape asserts the gap-bridging result: one LocoFS server delivers
+// a large fraction of the raw KV store (paper: 38%), and the largest
+// configuration matches or exceeds it (paper: 16 servers ≈ 1.08x).
+func TestFig9Shape(t *testing.T) {
+	tbl, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	frac0, err := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac0 < 0.2 || frac0 > 0.8 {
+		t.Errorf("1-server fraction of KV = %.2f, want ~0.38", frac0)
+	}
+	fracN, _ := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][3], 64)
+	if fracN < 0.9 {
+		t.Errorf("max-server fraction of KV = %.2f, want >= ~1 (paper: LocoFS reaches single-node KV)", fracN)
+	}
+}
+
+// TestFig1Shape asserts the conventional systems sit far below the KV store
+// while LocoFS closes most of the gap.
+func TestFig1Shape(t *testing.T) {
+	tbl, err := Fig1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	idxCol := col(t, tbl, SysIndexFS)
+	cephCol := col(t, tbl, SysCephFS)
+	locoCol := col(t, tbl, SysLocoC)
+	row0 := tbl.Rows[0] // one server
+	idx, _ := strconv.ParseFloat(row0[idxCol], 64)
+	ceph, _ := strconv.ParseFloat(row0[cephCol], 64)
+	loco, _ := strconv.ParseFloat(row0[locoCol], 64)
+	if idx > 0.10 {
+		t.Errorf("IndexFS 1-server fraction = %.2f, want ~0.02 (paper: 1.6%%)", idx)
+	}
+	if ceph > 0.05 {
+		t.Errorf("CephFS 1-server fraction = %.2f, want ~0.01", ceph)
+	}
+	if loco < 5*idx {
+		t.Errorf("LocoFS fraction (%.2f) < 5x IndexFS (%.2f)", loco, idx)
+	}
+}
+
+// TestFig10Shape asserts the co-located (software-only) latency ordering:
+// LocoFS < IndexFS < CephFS, with the LocoFS/CephFS gap near the paper's
+// 1/27.
+func TestFig10Shape(t *testing.T) {
+	tbl, err := Fig10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	parseUS := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "us"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	locoCol := col(t, tbl, SysLocoC)
+	idxCol := col(t, tbl, SysIndexFS)
+	cephCol := col(t, tbl, SysCephFS)
+	for _, row := range tbl.Rows {
+		op := row[0]
+		loco, idx, ceph := parseUS(row[locoCol]), parseUS(row[idxCol]), parseUS(row[cephCol])
+		if loco >= idx {
+			t.Errorf("%s: LocoFS (%v) not faster than IndexFS (%v) co-located", op, loco, idx)
+		}
+		if idx >= ceph {
+			t.Errorf("%s: IndexFS (%v) not faster than CephFS (%v) co-located", op, idx, ceph)
+		}
+		if op == mdtest.PhaseTouch {
+			ratio := ceph / loco
+			if ratio < 10 || ratio > 80 {
+				t.Errorf("touch CephFS/LocoFS co-located ratio = %.0f, want ~27", ratio)
+			}
+		}
+	}
+}
+
+// TestFig11Shape asserts decoupled file metadata beats the coupled ablation
+// on single-part operations.
+func TestFig11Shape(t *testing.T) {
+	tbl, err := Fig11(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	dfCol := col(t, tbl, SysLocoDF)
+	cfCol := col(t, tbl, SysLocoCF)
+	idxCol := col(t, tbl, SysIndexFS)
+	for _, row := range tbl.Rows {
+		op := row[0]
+		if op == mdtest.PhaseAccess {
+			continue // reads of one small part: DF and CF are close
+		}
+		df := parseKIOPS(t, row[dfCol])
+		cf := parseKIOPS(t, row[cfCol])
+		if df <= cf {
+			t.Errorf("%s: DF (%.0f) not above CF (%.0f)", op, df, cf)
+		}
+		if idx := parseKIOPS(t, row[idxCol]); cf <= idx {
+			t.Errorf("%s: LocoFS-CF (%.0f) not above IndexFS (%.0f)", op, cf, idx)
+		}
+	}
+}
+
+// TestFig12Shape asserts the full-system result: LocoFS wins clearly at
+// small I/O; by the largest size the systems converge (data dominates).
+func TestFig12Shape(t *testing.T) {
+	tbl, err := Fig12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	parseUS := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "us"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	locoCol := col(t, tbl, SysLocoC)
+	cephCol := col(t, tbl, SysCephFS)
+	var smallRatio, largeRatio float64
+	for _, row := range tbl.Rows {
+		if row[1] != "write" {
+			continue
+		}
+		ratio := parseUS(row[cephCol]) / parseUS(row[locoCol])
+		switch row[0] {
+		case "512B":
+			smallRatio = ratio
+		case "1MB":
+			largeRatio = ratio
+		}
+	}
+	if smallRatio < 2 {
+		t.Errorf("512B write CephFS/LocoFS = %.1f, want >= 2 (paper: ~5)", smallRatio)
+	}
+	// At large I/O the data transfer dominates and the ratio collapses
+	// toward 1 (paper: the benefit "lasts before the write size exceeds
+	// 1MB").
+	if largeRatio > 1.5 {
+		t.Errorf("1MB write ratio = %.1f, want near 1 (converged)", largeRatio)
+	}
+	if largeRatio >= smallRatio {
+		t.Errorf("ratio did not shrink with I/O size: 512B %.1f vs 1MB %.1f", smallRatio, largeRatio)
+	}
+}
+
+// TestFig13Shape asserts the cache flattens the depth sensitivity.
+func TestFig13Shape(t *testing.T) {
+	tbl, err := Fig13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	first := tbl.Rows[0]
+	last := tbl.Rows[len(tbl.Rows)-1]
+	cDrop := parseKIOPS(t, last[2]) / parseKIOPS(t, first[2])  // LocoFS-C 4
+	ncDrop := parseKIOPS(t, last[4]) / parseKIOPS(t, first[4]) // LocoFS-NC 4
+	if ncDrop >= 0.85 {
+		t.Errorf("LocoFS-NC retained %.2f of shallow throughput at max depth; paper shows a steep drop", ncDrop)
+	}
+	if cDrop <= ncDrop {
+		t.Errorf("cache did not flatten depth sensitivity: C retained %.2f, NC %.2f", cDrop, ncDrop)
+	}
+}
+
+// TestFig14Shape asserts the rename-overhead orderings: tree-store rename
+// is far cheaper than hash-store rename, and the device matters little.
+func TestFig14Shape(t *testing.T) {
+	btreeSSD, btreeHDD, hashSSD, hashHDD, err := Fig14Durations(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("btree SSD/HDD = %v/%v, hash SSD/HDD = %v/%v", btreeSSD, btreeHDD, hashSSD, hashHDD)
+	if btreeSSD <= 0 || hashSSD <= 0 {
+		t.Fatal("zero durations")
+	}
+	if hashSSD < 2*btreeSSD {
+		t.Errorf("hash rename (%v) not clearly above btree (%v)", hashSSD, btreeSSD)
+	}
+	if btreeHDD > 5*btreeSSD {
+		t.Errorf("HDD btree rename (%v) >> SSD (%v); paper: no big difference", btreeHDD, btreeSSD)
+	}
+	if hashHDD > 5*hashSSD {
+		t.Errorf("HDD hash rename (%v) >> SSD (%v); paper: no big difference", hashHDD, hashSSD)
+	}
+}
+
+// TestTable1MatchesPaper verifies the live probe reproduces the paper's
+// Table 1 access matrix exactly.
+func TestTable1MatchesPaper(t *testing.T) {
+	tbl, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	// expected: op -> [dir-inode, subdir-dirent, file-access, file-content, file-dirent]
+	expected := map[string][5]string{
+		"mkdir":    {"RW", "W", "-", "-", "-"},
+		"readdir":  {"R", "R", "-", "-", "R"},
+		"rmdir":    {"RW", "RW", "-", "-", "R"},
+		"create":   {"-", "-", "RW", "W", "W"},
+		"getattr":  {"-", "-", "R", "R", "-"},
+		"open":     {"-", "-", "R", "R", "-"},
+		"chmod":    {"-", "-", "W", "-", "-"},
+		"chown":    {"-", "-", "W", "-", "-"},
+		"write":    {"-", "-", "-", "RW", "-"},
+		"truncate": {"-", "-", "-", "RW", "-"},
+		"remove":   {"-", "-", "RW", "RW", "W"},
+	}
+	seen := map[string]bool{}
+	for _, row := range tbl.Rows {
+		want, ok := expected[row[0]]
+		if !ok {
+			continue
+		}
+		seen[row[0]] = true
+		for i := 0; i < 5; i++ {
+			if row[i+1] != want[i] {
+				t.Errorf("%s region %s: got %q, want %q (Table 1)", row[0], tbl.Headers[i+1], row[i+1], want[i])
+			}
+		}
+	}
+	for op := range expected {
+		if !seen[op] {
+			t.Errorf("probe missing op %s", op)
+		}
+	}
+}
+
+// TestTable3Produces asserts Table 3 yields sane saturation client counts.
+func TestTable3Produces(t *testing.T) {
+	tbl, err := Table3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	if len(tbl.Rows) != len(Fig6Systems) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(Fig6Systems))
+	}
+	for _, row := range tbl.Rows {
+		for _, cell := range row[1:] {
+			if cell == "-" {
+				continue
+			}
+			n, err := strconv.Atoi(cell)
+			if err != nil || n < 1 || n > 10000 {
+				t.Errorf("%s: implausible saturation count %q", row[0], cell)
+			}
+		}
+	}
+}
+
+// TestRawKVThroughput sanity-checks the modeled KV baseline against the
+// paper's cited numbers (LevelDB 128-190K, Kyoto Cabinet ~260K).
+func TestRawKVThroughput(t *testing.T) {
+	put, get := RawKVThroughput()
+	if put < 100e3 || put > 500e3 {
+		t.Errorf("modeled KV put = %.0f, want 100K-500K (paper cites 128-260K)", put)
+	}
+	if get < 100e3 || get > 500e3 {
+		t.Errorf("modeled KV get = %.0f, want 100K-500K (paper: 4us/get = 250K)", get)
+	}
+}
+
+// TestTableFormatting covers the table renderer.
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Note:    "n",
+		Headers: []string{"a", "long-header"},
+	}
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer-cell", "2")
+	s := tbl.String()
+	for _, want := range []string{"=== T ===", "long-header", "longer-cell"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if tbl.Cell(0, 1) != "1" || tbl.Cell(9, 9) != "" {
+		t.Error("Cell accessor misbehaves")
+	}
+}
+
+// TestEnvHelpers covers Env utilities.
+func TestEnvHelpers(t *testing.T) {
+	env := Quick()
+	if env.MaxServers() != 4 {
+		t.Errorf("MaxServers = %d", env.MaxServers())
+	}
+	if PaperClients(SysLocoC, 1) != 30 || PaperClients(SysLocoC, 16) != 144 {
+		t.Error("PaperClients table wrong for LocoFS")
+	}
+	if PaperClients(SysCephFS, 4) != 50 || PaperClients(SysLustreD1, 2) != 60 {
+		t.Error("PaperClients table wrong for baselines")
+	}
+	env.ClientScale = 0.001
+	if env.Clients(SysLocoC, 1) != 1 {
+		t.Error("Clients floor not applied")
+	}
+}
+
+// TestStartSystemUnknown covers the error path.
+func TestStartSystemUnknown(t *testing.T) {
+	if _, err := StartSystem("nope", 1, netsim.Loopback); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+// TestLatenciesSingleClient covers the latency helper against LocoFS.
+func TestLatenciesSingleClient(t *testing.T) {
+	sut, err := StartSystem(SysLocoC, 2, netsim.Paper1GbE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sut.Close()
+	lat, err := latencies(sut, 20, 1, []string{mdtest.PhaseMkdir, mdtest.PhaseTouch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := netsim.Paper1GbE.RTT
+	if lat[mdtest.PhaseMkdir] < rtt || lat[mdtest.PhaseMkdir] > 3*rtt {
+		t.Errorf("mkdir latency = %v, want ~1.3 RTT", lat[mdtest.PhaseMkdir])
+	}
+}
+
+// TestThroughputBounds verifies both bounds of the throughput model are
+// exercised: few clients → client-bound; many → capped by server capacity.
+func TestThroughputBounds(t *testing.T) {
+	mk := func() *SUT {
+		sut, err := StartSystem(SysLocoC, 1, netsim.Paper1GbE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sut
+	}
+	sut := mk()
+	few, _, err := throughputs(sut, 2, 40, 1, []string{mdtest.PhaseTouch})
+	sut.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sut = mk()
+	many, cap2, err := throughputs(sut, 60, 40, 1, []string{mdtest.PhaseTouch})
+	sut.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many[mdtest.PhaseTouch] <= few[mdtest.PhaseTouch] {
+		t.Errorf("more clients did not increase throughput: %v vs %v", many, few)
+	}
+	// With 60 clients a single server must be at/near its capacity.
+	if many[mdtest.PhaseTouch] > cap2[mdtest.PhaseTouch]*1.01 {
+		t.Errorf("achieved (%v) exceeds capacity (%v)", many[mdtest.PhaseTouch], cap2[mdtest.PhaseTouch])
+	}
+}
+
+// TestTable2Environment checks the environment table carries the key model
+// constants.
+func TestTable2Environment(t *testing.T) {
+	tbl, err := Table2(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, want := range []string{"174µs", "4µs", "Kyoto"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	if len(tbl.Rows) < 10 {
+		t.Errorf("Table 2 has only %d rows", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"locofs/internal/netsim"
+)
+
+// Env sets the scale of the experiments. Quick keeps unit tests fast;
+// Paper approaches the paper's workload sizes for the CLI.
+type Env struct {
+	// Link is the modeled client-server network.
+	Link netsim.LinkConfig
+	// Servers is the metadata-server sweep (the paper uses 1..16).
+	Servers []int
+	// LatItems is the per-phase op count for single-client latency runs.
+	LatItems int
+	// TputItems is the per-client op count for throughput runs.
+	TputItems int
+	// Depths is the directory-depth sweep of Fig 13.
+	Depths []int
+	// RenameCounts is the renamed-directory sweep of Fig 14.
+	RenameCounts []int
+	// IOSizes is the I/O size sweep of Fig 12, in bytes.
+	IOSizes []int
+	// ClientScale scales the paper's Table 3 client counts for throughput
+	// runs (1.0 = paper scale).
+	ClientScale float64
+}
+
+// Clients returns the (scaled) client count for a throughput run.
+func (e Env) Clients(sys string, servers int) int {
+	scale := e.ClientScale
+	if scale <= 0 {
+		scale = 1
+	}
+	c := int(float64(PaperClients(sys, servers)) * scale)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Quick is the scaled-down environment used by tests.
+func Quick() Env {
+	return Env{
+		Link:         netsim.Paper1GbE,
+		Servers:      []int{1, 4},
+		LatItems:     60,
+		TputItems:    40,
+		Depths:       []int{1, 4, 16},
+		RenameCounts: []int{100, 1000},
+		IOSizes:      []int{512, 64 << 10, 1 << 20},
+		ClientScale:  1,
+	}
+}
+
+// Paper is the full-scale environment used by cmd/locofs-bench.
+func Paper() Env {
+	return Env{
+		Link:         netsim.Paper1GbE,
+		Servers:      []int{1, 2, 4, 8, 16},
+		LatItems:     1000,
+		TputItems:    500,
+		Depths:       []int{1, 2, 4, 8, 16, 32},
+		RenameCounts: []int{1000, 10000, 100000},
+		IOSizes:      []int{512, 4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20},
+		ClientScale:  1,
+	}
+}
+
+// MaxServers returns the largest server count in the sweep.
+func (e Env) MaxServers() int {
+	m := 1
+	for _, s := range e.Servers {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// PaperClients returns the paper's Table 3 client counts for a system at a
+// server count (interpolating for counts the paper does not list).
+func PaperClients(sys string, servers int) int {
+	type row struct{ c1, c2, c4, c8, c16 int }
+	var r row
+	switch sys {
+	case SysLocoC, SysLocoNC, SysLocoCF, SysLocoDF:
+		r = row{30, 50, 70, 120, 144}
+	case SysCephFS, SysGluster, SysIndexFS:
+		r = row{20, 30, 50, 70, 110}
+	case SysLustreD1, SysLustreD2:
+		r = row{40, 60, 90, 120, 192}
+	default:
+		r = row{30, 50, 70, 120, 144}
+	}
+	switch {
+	case servers <= 1:
+		return r.c1
+	case servers <= 2:
+		return r.c2
+	case servers <= 4:
+		return r.c4
+	case servers <= 8:
+		return r.c8
+	default:
+		return r.c16
+	}
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/mdtest"
+	"locofs/internal/netsim"
+)
+
+// Fig6 reproduces "Latency Comparison for touch and mkdir operations":
+// single-client mean latency, normalized to the link RTT, for every system
+// as the metadata-server count grows.
+//
+// Paper shape to look for: LocoFS-C touch ~1-3 RTT and mkdir ~1.1 RTT at
+// every scale; Lustre ~4-6x, CephFS ~8x of LocoFS; Gluster's mkdir latency
+// grows linearly with servers (directory broadcast).
+func Fig6(env Env) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 6: touch/mkdir latency vs #metadata servers (normalized to RTT)",
+		Note:    fmt.Sprintf("modeled link RTT = %v; single client; mean of %d ops", env.Link.RTT, env.LatItems),
+		Headers: []string{"servers", "op"},
+	}
+	t.Headers = append(t.Headers, Fig6Systems...)
+	phases := []string{mdtest.PhaseMkdir, mdtest.PhaseTouch}
+	for _, n := range env.Servers {
+		perSys := map[string]map[string]time.Duration{}
+		for _, sys := range Fig6Systems {
+			sut, err := StartSystem(sys, n, env.Link)
+			if err != nil {
+				return nil, err
+			}
+			lat, err := latencies(sut, env.LatItems, 1, phases)
+			sut.Close()
+			if err != nil {
+				return nil, err
+			}
+			perSys[sys] = lat
+		}
+		for _, op := range []string{mdtest.PhaseTouch, mdtest.PhaseMkdir} {
+			row := []string{fmt.Sprint(n), op}
+			for _, sys := range Fig6Systems {
+				row = append(row, fmtRTT(perSys[sys][op], env.Link.RTT))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// fig7Phases are the operations of Figure 7, in paper order.
+var fig7Phases = []string{
+	mdtest.PhaseReaddir, mdtest.PhaseRmdir, mdtest.PhaseRemove,
+	mdtest.PhaseDirStat, mdtest.PhaseFileStat,
+}
+
+// Fig7 reproduces "Latency Comparison for readdir, rmdir, rm, dir-stat and
+// file-stat with 16 Metadata Servers", normalized to LocoFS-C.
+//
+// Paper shape: LocoFS's readdir/rmdir are comparable to Lustre/Gluster (it
+// must consult every FMS); rm and the stats are lower than Lustre/Gluster;
+// CephFS wins the stats outright thanks to its client inode cache.
+func Fig7(env Env) (*Table, error) {
+	n := env.MaxServers()
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 7: op latency with %d metadata servers (normalized to LocoFS-C)", n),
+		Note:    "single client; readdir scans a directory populated with the workload's files",
+		Headers: append([]string{"op"}, Fig6Systems...),
+	}
+	all := []string{mdtest.PhaseMkdir, mdtest.PhaseTouch, mdtest.PhaseFileStat,
+		mdtest.PhaseDirStat, mdtest.PhaseReaddir, mdtest.PhaseRemove, mdtest.PhaseRmdir}
+	perSys := map[string]map[string]time.Duration{}
+	for _, sys := range Fig6Systems {
+		sut, err := StartSystem(sys, n, env.Link)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := latencies(sut, env.LatItems, 1, all)
+		sut.Close()
+		if err != nil {
+			return nil, err
+		}
+		perSys[sys] = lat
+	}
+	for _, op := range fig7Phases {
+		base := perSys[SysLocoC][op]
+		row := []string{op}
+		for _, sys := range Fig6Systems {
+			if base <= 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmtRatio(float64(perSys[sys][op])/float64(base)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces "Effects of Flattened Directory Tree": every system
+// co-located with its client (zero network latency), isolating software
+// path cost. IndexFS joins the lineup here, as in the paper.
+//
+// Paper shape: LocoFS lowest for mkdir/rmdir/touch/rm; IndexFS beats
+// CephFS/Gluster (KV storage helps) but stays above LocoFS; the
+// LocoFS-to-CephFS gap is wider than in Fig 6 (≈1/27 vs ≈1/6) because
+// removing the network exposes software cost.
+func Fig10(env Env) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 10: co-located (no network) latency, single server",
+		Note:    "zero-RTT link; mean modeled service latency per op",
+		Headers: append([]string{"op"}, Fig10Systems...),
+	}
+	phases := []string{mdtest.PhaseMkdir, mdtest.PhaseTouch, mdtest.PhaseRemove, mdtest.PhaseRmdir}
+	perSys := map[string]map[string]time.Duration{}
+	for _, sys := range Fig10Systems {
+		sut, err := StartSystem(sys, 1, netsim.Loopback)
+		if err != nil {
+			return nil, err
+		}
+		lat, err := latencies(sut, env.LatItems, 1, phases)
+		sut.Close()
+		if err != nil {
+			return nil, err
+		}
+		perSys[sys] = lat
+	}
+	for _, op := range phases {
+		row := []string{op}
+		for _, sys := range Fig10Systems {
+			row = append(row, fmtUS(perSys[sys][op]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/core"
+	"locofs/internal/dms"
+	"locofs/internal/kv"
+	"locofs/internal/mdtest"
+)
+
+// Fig13 reproduces "Sensitivity to the Directory Depth": file-create
+// throughput as the working directory moves deeper (1..32 levels), with the
+// client cache enabled (LocoFS-C) and disabled (LocoFS-NC), on 2 and 4
+// metadata servers.
+//
+// Paper shape: LocoFS-NC drops steeply with depth (every create pays the
+// DMS ancestor ACL walk, which grows with depth); LocoFS-C degrades far
+// less (ancestors come from the client cache).
+func Fig13(env Env) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 13: create throughput vs directory depth (modeled IOPS)",
+		Note:    "C = client cache enabled, NC = disabled; number = metadata servers",
+		Headers: []string{"depth", "LocoFS-C 2", "LocoFS-C 4", "LocoFS-NC 2", "LocoFS-NC 4"},
+	}
+	configs := []struct {
+		sys     string
+		servers int
+	}{
+		{SysLocoC, 2}, {SysLocoC, 4}, {SysLocoNC, 2}, {SysLocoNC, 4},
+	}
+	for _, depth := range env.Depths {
+		row := []string{fmt.Sprint(depth)}
+		for _, cfg := range configs {
+			sut, err := StartSystem(cfg.sys, cfg.servers, env.Link)
+			if err != nil {
+				return nil, err
+			}
+			tp, _, err := throughputs(sut, env.Clients(cfg.sys, cfg.servers), env.TputItems,
+				depth, []string{mdtest.PhaseTouch})
+			sut.Close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtKIOPS(tp[mdtest.PhaseTouch]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig14 reproduces "Rename Overhead": the time to rename a directory with N
+// renamed subdirectories under four DMS configurations — B+-tree vs hash
+// store, on SSD vs HDD device models. The store is pre-populated with 10x
+// the largest rename count (the paper pre-creates 10 M directories).
+//
+// Paper shape: the tree store renames in seconds (the subtree is one
+// contiguous key range); the hash store must scan every record, costing
+// ~100 s at full scale; HDD and SSD barely differ (writes are buffered).
+func Fig14(env Env) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 14: directory rename overhead (modeled seconds)",
+		Note:    "DMS-local experiment; store pre-populated with 10x the largest rename count",
+		Headers: []string{"renamed dirs", "btree-SSD", "btree-HDD", "hash-SSD", "hash-HDD"},
+	}
+	total := env.RenameCounts[len(env.RenameCounts)-1] * 10
+	type cfg struct {
+		name    string
+		ordered bool
+		model   kv.DeviceModel
+	}
+	configs := []cfg{
+		{"btree-SSD", true, kv.SSD},
+		{"btree-HDD", true, kv.HDD},
+		{"hash-SSD", false, kv.SSD},
+		{"hash-HDD", false, kv.HDD},
+	}
+	cost := core.PaperKVCost
+	for _, count := range env.RenameCounts {
+		row := []string{fmt.Sprint(count)}
+		for _, c := range configs {
+			var base kv.Store
+			if c.ordered {
+				base = kv.NewBTreeStore()
+			} else {
+				base = kv.NewHashStore()
+			}
+			inst := kv.Instrument(base, c.model)
+			server := dms.New(dms.Options{Store: inst})
+			// Populate: `count` dirs under the victim, the rest elsewhere.
+			// Directories are bucketed (<= 1000 siblings) so population
+			// stays linear — appending to one directory's concatenated
+			// dirent value is O(list size) per insert.
+			mkTree := func(root string, n int) error {
+				if _, st := server.Mkdir(root, 0o755, 0, 0); st.Err() != nil {
+					return st.Err()
+				}
+				const bucketSize = 1000
+				created, b := 0, 0
+				for created < n {
+					bucket := fmt.Sprintf("%s/b%05d", root, b)
+					b++
+					if _, st := server.Mkdir(bucket, 0o755, 0, 0); st.Err() != nil {
+						return st.Err()
+					}
+					created++
+					for i := 0; created < n && i < bucketSize; i++ {
+						if _, st := server.Mkdir(fmt.Sprintf("%s/d%d", bucket, i), 0o755, 0, 0); st.Err() != nil {
+							return st.Err()
+						}
+						created++
+					}
+				}
+				return nil
+			}
+			if err := mkTree("/victim", count); err != nil {
+				return nil, err
+			}
+			if err := mkTree("/other", total-count); err != nil {
+				return nil, err
+			}
+			inst.ResetVirtualTime()
+			cnt := inst.Counters()
+			r0 := cnt.Gets.Load()
+			w0 := cnt.Puts.Load() + cnt.Deletes.Load() + cnt.Patches.Load() + cnt.Appends.Load()
+			s0 := cnt.Scans.Load()
+			b0 := cnt.BytesRead.Load() + cnt.BytesWritten.Load()
+			_ = r0
+			moved, st := server.Rename("/victim", "/renamed", 0, 0)
+			if st.Err() != nil {
+				return nil, st.Err()
+			}
+			if moved != count+1 {
+				return nil, fmt.Errorf("bench: fig14 moved %d, want %d", moved, count+1)
+			}
+			r1 := cnt.Gets.Load()
+			w1 := cnt.Puts.Load() + cnt.Deletes.Load() + cnt.Patches.Load() + cnt.Appends.Load()
+			s1 := cnt.Scans.Load()
+			b1 := cnt.BytesRead.Load() + cnt.BytesWritten.Load()
+			// Total modeled time: device time (seeks/scans on the medium)
+			// plus CPU-side KV work. A bulk subtree move re-emits records
+			// sequentially, so its writes are priced as scanned records,
+			// not random point writes.
+			cpu := cost.Price(r1-r0, 0, 0, (s1-s0)+(w1-w0), b1-b0) - cost.Fixed
+			totalTime := inst.VirtualTime() + cpu
+			row = append(row, fmt.Sprintf("%.3fs", totalTime.Seconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig14Durations returns the raw modeled durations of the largest rename
+// count for each configuration, for shape assertions in tests.
+func Fig14Durations(env Env) (btreeSSD, btreeHDD, hashSSD, hashHDD time.Duration, err error) {
+	tbl, err := Fig14(env)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	last := len(tbl.Rows) - 1
+	parse := func(col int) time.Duration {
+		var secs float64
+		fmt.Sscanf(tbl.Rows[last][col], "%fs", &secs)
+		return time.Duration(secs * float64(time.Second))
+	}
+	return parse(1), parse(2), parse(3), parse(4), nil
+}

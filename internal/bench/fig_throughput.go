@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/core"
+	"locofs/internal/mdtest"
+)
+
+// fig8Phases are the operations of Figure 8.
+var fig8Phases = []string{
+	mdtest.PhaseMkdir, mdtest.PhaseTouch, mdtest.PhaseFileStat,
+	mdtest.PhaseDirStat, mdtest.PhaseRemove, mdtest.PhaseRmdir,
+}
+
+// Fig8 reproduces "Throughput Comparison of touch, mkdir, rm, rmdir,
+// file-stat and dir-stat": modeled IOPS per system as metadata servers
+// scale from 1 to 16, using (scaled) Table 3 client counts.
+//
+// Paper shape: LocoFS leads touch/rm at every scale and mkdir/rmdir at one
+// server (~100K create IOPS); Lustre's mkdir scales better than LocoFS's
+// (one DMS vs many MDTs); LocoFS's rmdir scales poorly (it must probe every
+// FMS); CephFS wins the stats via its client cache.
+func Fig8(env Env) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 8: metadata throughput vs #metadata servers (modeled IOPS)",
+		Note:    "closed-loop clients per Table 3 (scaled); bound-based throughput model",
+		Headers: append([]string{"servers", "op"}, Fig6Systems...),
+	}
+	for _, n := range env.Servers {
+		perSys := map[string]Throughputs{}
+		for _, sys := range Fig6Systems {
+			sut, err := StartSystem(sys, n, env.Link)
+			if err != nil {
+				return nil, err
+			}
+			tp, _, err := throughputs(sut, env.Clients(sys, n), env.TputItems, 1, fig8Phases)
+			sut.Close()
+			if err != nil {
+				return nil, err
+			}
+			perSys[sys] = tp
+		}
+		for _, op := range fig8Phases {
+			row := []string{fmt.Sprint(n), op}
+			for _, sys := range Fig6Systems {
+				row = append(row, fmtKIOPS(perSys[sys][op]))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// RawKVThroughput models the single-node key-value store baseline the
+// paper compares file systems against (Kyoto Cabinet / LevelDB): random
+// puts and gets of file-inode-sized values, priced with the same KV cost
+// model used for LocoFS's servers (minus the RPC overhead a standalone KV
+// store does not pay).
+func RawKVThroughput() (putIOPS, getIOPS float64) {
+	const valueBytes = 64 // an access+content-part-sized record
+	cost := core.PaperKVCost
+	put := cost.WriteOp + time.Duration(valueBytes)*cost.PerKB/1024
+	get := cost.ReadOp + time.Duration(valueBytes)*cost.PerKB/1024
+	return 1 / put.Seconds(), 1 / get.Seconds()
+}
+
+// Fig9 reproduces "Bridging the Performance Gap Between File System
+// Metadata and Raw Key-value Store": LocoFS file-create throughput at 1..16
+// metadata servers as a fraction of a single-node raw KV store.
+//
+// Paper shape: one LocoFS server reaches ~38% of the raw KV store; around
+// 16 servers LocoFS matches or exceeds the single-node KV store.
+func Fig9(env Env) (*Table, error) {
+	kvPut, _ := RawKVThroughput()
+	t := &Table{
+		Title:   "Figure 9: LocoFS create throughput vs single-node raw KV store",
+		Note:    fmt.Sprintf("raw KV (B+ tree engine, modeled hardware) put throughput = %s IOPS", fmtKIOPS(kvPut)),
+		Headers: []string{"servers", "LocoFS-C IOPS", "raw-KV IOPS", "fraction of KV"},
+	}
+	for _, n := range env.Servers {
+		sut, err := StartSystem(SysLocoC, n, env.Link)
+		if err != nil {
+			return nil, err
+		}
+		tp, _, err := throughputs(sut, env.Clients(SysLocoC, n), env.TputItems, 1,
+			[]string{mdtest.PhaseTouch})
+		sut.Close()
+		if err != nil {
+			return nil, err
+		}
+		loco := tp[mdtest.PhaseTouch]
+		t.AddRow(fmt.Sprint(n), fmtKIOPS(loco), fmtKIOPS(kvPut), fmtRatio(loco/kvPut))
+	}
+	return t, nil
+}
+
+// Fig1 reproduces "Performance Gap between File System Metadata and KV
+// Stores": file-create throughput of the distributed file systems as a
+// fraction of the single-node raw KV store, across server counts.
+//
+// Paper shape: conventional DFSs sit at a few percent of the KV store even
+// with many servers (IndexFS ~1.6% at one server); the gap shrinks only
+// slowly with scale.
+func Fig1(env Env) (*Table, error) {
+	kvPut, _ := RawKVThroughput()
+	systems := []string{SysIndexFS, SysCephFS, SysLustreD1, SysGluster, SysLocoC}
+	t := &Table{
+		Title:   "Figure 1: FS metadata vs raw KV store (create throughput, fraction of single-node KV)",
+		Note:    fmt.Sprintf("raw KV put = %s IOPS (single node, modeled hardware)", fmtKIOPS(kvPut)),
+		Headers: append([]string{"servers"}, systems...),
+	}
+	for _, n := range env.Servers {
+		row := []string{fmt.Sprint(n)}
+		for _, sys := range systems {
+			sut, err := StartSystem(sys, n, env.Link)
+			if err != nil {
+				return nil, err
+			}
+			tp, _, err := throughputs(sut, env.Clients(sys, n), env.TputItems, 1,
+				[]string{mdtest.PhaseTouch})
+			sut.Close()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtRatio(tp[mdtest.PhaseTouch]/kvPut))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table3 reproduces "The Number of Clients in Each Test": for each system
+// and server count, the client count at which modeled create throughput
+// saturates. In the bound model, throughput rises linearly with clients
+// until the busiest server's capacity is reached; the saturation point is
+// (per-op latency × workers) / per-op service time.
+func Table3(env Env) (*Table, error) {
+	t := &Table{
+		Title:   "Table 3: clients needed to saturate the metadata service (create workload)",
+		Note:    "derived from measured per-op latency and per-op service time",
+		Headers: append([]string{"system"}, intsToStrings(env.Servers)...),
+	}
+	for _, sys := range Fig6Systems {
+		row := []string{sys}
+		for _, n := range env.Servers {
+			sut, err := StartSystem(sys, n, env.Link)
+			if err != nil {
+				return nil, err
+			}
+			// Measure with a couple of clients so per-op latency and busy
+			// time are populated.
+			busy0 := maxBusy(sut.MetaBusy())
+			rep, err := mdtest.Run(mdtest.Config{
+				Clients:        2,
+				ItemsPerClient: env.TputItems,
+				Phases:         []string{mdtest.PhaseTouch},
+			}, sut.NewFS)
+			if err != nil {
+				sut.Close()
+				return nil, err
+			}
+			pr, _ := rep.Result(mdtest.PhaseTouch)
+			busyPerOp := (maxBusy(sut.MetaBusy()) - busy0) / time.Duration(max(pr.Ops, 1))
+			sut.Close()
+			opLat := pr.VirtLatency.Mean
+			if busyPerOp <= 0 {
+				row = append(row, "-")
+				continue
+			}
+			saturation := int(float64(opLat) * float64(sut.Workers) / float64(busyPerOp))
+			if saturation < 1 {
+				saturation = 1
+			}
+			row = append(row, fmt.Sprint(saturation))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func maxBusy(b []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range b {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func intsToStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprint(x)
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

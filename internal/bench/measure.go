@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/mdtest"
+)
+
+// latencies runs a single-client workload on sut and returns the mean
+// modeled latency per phase.
+func latencies(sut *SUT, items, depth int, phases []string) (map[string]time.Duration, error) {
+	rep, err := mdtest.Run(mdtest.Config{
+		Clients:        1,
+		ItemsPerClient: items,
+		Depth:          depth,
+		Phases:         phases,
+	}, sut.NewFS)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s latency run: %w", sut.Name, err)
+	}
+	out := make(map[string]time.Duration, len(rep.Results))
+	for _, pr := range rep.Results {
+		if pr.Errors > 0 {
+			return nil, fmt.Errorf("bench: %s phase %s had %d errors", sut.Name, pr.Phase, pr.Errors)
+		}
+		out[pr.Phase] = pr.VirtLatency.Mean
+	}
+	return out, nil
+}
+
+// Throughputs holds per-phase modeled throughput.
+type Throughputs map[string]float64
+
+// throughputs runs a clients-wide workload on sut and returns per-phase
+// modeled IOPS.
+//
+// Phase duration is modeled as the larger of two bounds: the client bound
+// (each client issues its operations sequentially, so the phase lasts at
+// least the largest per-client total virtual time) and the server bound
+// (the busiest metadata server's accumulated service time divided by its
+// request parallelism). This is the standard closed-system bottleneck
+// estimate and reproduces the saturation behavior the paper sweeps client
+// counts to find (Table 3).
+func throughputs(sut *SUT, clients, items, depth int, phases []string) (achieved, capacity Throughputs, err error) {
+	var prevBusy []time.Duration
+	busyDelta := make(map[string]time.Duration, len(phases))
+	rep, err := mdtest.Run(mdtest.Config{
+		Clients:        clients,
+		ItemsPerClient: items,
+		Depth:          depth,
+		Phases:         phases,
+		SetupHook: func() {
+			// Exclude tree-setup work from the first phase's accounting.
+			prevBusy = sut.MetaBusy()
+		},
+		PhaseHook: func(phase string) {
+			cur := sut.MetaBusy()
+			var maxDelta time.Duration
+			for i := range cur {
+				d := cur[i]
+				if i < len(prevBusy) {
+					d -= prevBusy[i]
+				}
+				if d > maxDelta {
+					maxDelta = d
+				}
+			}
+			prevBusy = cur
+			busyDelta[phase] = maxDelta
+		},
+	}, sut.NewFS)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %s throughput run: %w", sut.Name, err)
+	}
+	achieved = make(Throughputs, len(rep.Results))
+	capacity = make(Throughputs, len(rep.Results))
+	for _, pr := range rep.Results {
+		if pr.Errors > 0 {
+			return nil, nil, fmt.Errorf("bench: %s phase %s had %d errors", sut.Name, pr.Phase, pr.Errors)
+		}
+		clientBound := pr.ClientCostMax
+		serverBound := busyDelta[pr.Phase]
+		workers := sut.Workers
+		if workers <= 0 {
+			workers = 1
+		}
+		serverBound /= time.Duration(workers)
+		if serverBound > 0 {
+			capacity[pr.Phase] = float64(pr.Ops) / serverBound.Seconds()
+		}
+		dur := clientBound
+		if serverBound > dur {
+			dur = serverBound
+		}
+		if dur <= 0 {
+			achieved[pr.Phase] = 0
+			continue
+		}
+		achieved[pr.Phase] = float64(pr.Ops) / dur.Seconds()
+	}
+	return achieved, capacity, nil
+}
+
+// fmtRTT formats a latency as a multiple of the link RTT ("1.3x").
+func fmtRTT(lat, rtt time.Duration) string {
+	if rtt <= 0 {
+		return fmtUS(lat)
+	}
+	return fmt.Sprintf("%.1fx", float64(lat)/float64(rtt))
+}
+
+// fmtUS formats a latency in microseconds.
+func fmtUS(lat time.Duration) string {
+	return fmt.Sprintf("%.1fus", float64(lat.Nanoseconds())/1e3)
+}
+
+// fmtKIOPS formats a throughput in thousands of operations per second.
+func fmtKIOPS(v float64) string {
+	return fmt.Sprintf("%.1fK", v/1e3)
+}
+
+// fmtRatio formats a dimensionless ratio.
+func fmtRatio(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}

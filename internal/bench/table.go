@@ -1,0 +1,87 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4). Each Fig*/Table* function runs the corresponding
+// experiment against the reproduced systems and returns a formatted result
+// table whose rows/series mirror what the paper reports.
+//
+// Measurement model: all systems run their real code paths over the
+// in-process fabric, but latency and throughput are reported in *virtual
+// time* — per-call link delays (the paper's 0.174 ms 1 GbE RTT) plus
+// server-side service times (measured handler work mapped onto the paper's
+// hardware via core.PaperService, or the baselines' calibrated profiles).
+// This keeps results deterministic and immune to OS timer granularity while
+// preserving exactly what the paper's experiments compare: round-trip
+// counts per operation and software path costs. See EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result grid.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// Cell returns the cell at (row, col) or "" if out of range.
+func (t *Table) Cell(row, col int) string {
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}

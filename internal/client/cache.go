@@ -1,0 +1,104 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"locofs/internal/layout"
+)
+
+// dirCache is the client directory metadata cache (§3.2.2): it holds only
+// directory inodes (never file inodes or dirents), each valid for a lease
+// period (30 s by default). A hit saves the DMS round trip on every file
+// operation in a cached directory.
+type dirCache struct {
+	mu      sync.RWMutex
+	lease   time.Duration
+	entries map[string]cacheEntry
+	now     func() time.Time
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	inode   layout.DirInode
+	expires time.Time
+}
+
+// DefaultLease is the paper's default client-cache lease.
+const DefaultLease = 30 * time.Second
+
+func newDirCache(lease time.Duration, now func() time.Time) *dirCache {
+	if lease <= 0 {
+		lease = DefaultLease
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &dirCache{lease: lease, entries: make(map[string]cacheEntry), now: now}
+}
+
+// get returns the cached inode for path if its lease is still valid.
+func (c *dirCache) get(path string) (layout.DirInode, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[path]
+	c.mu.RUnlock()
+	if !ok || c.now().After(e.expires) {
+		c.mu.Lock()
+		c.misses++
+		if ok { // expired: evict
+			delete(c.entries, path)
+		}
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return e.inode, true
+}
+
+// put caches an inode under path with a fresh lease.
+func (c *dirCache) put(path string, inode layout.DirInode) {
+	c.mu.Lock()
+	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: c.now().Add(c.lease)}
+	c.mu.Unlock()
+}
+
+// invalidate drops path from the cache.
+func (c *dirCache) invalidate(path string) {
+	c.mu.Lock()
+	delete(c.entries, path)
+	c.mu.Unlock()
+}
+
+// invalidateSubtree drops path and everything beneath it (after a directory
+// rename or removal).
+func (c *dirCache) invalidateSubtree(path string) {
+	prefix := path
+	if prefix != "/" {
+		prefix += "/"
+	}
+	c.mu.Lock()
+	for p := range c.entries {
+		if p == path || (len(p) >= len(prefix) && p[:len(prefix)] == prefix) {
+			delete(c.entries, p)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// stats returns hit/miss counts.
+func (c *dirCache) stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// size returns the number of cached entries.
+func (c *dirCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}

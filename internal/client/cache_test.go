@@ -1,0 +1,117 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"locofs/internal/layout"
+)
+
+func freshInode(uidTag uint32) layout.DirInode {
+	ino := layout.NewDirInode()
+	ino.SetUID(uidTag)
+	return ino
+}
+
+func TestCachePutGet(t *testing.T) {
+	now := time.Now()
+	c := newDirCache(30*time.Second, func() time.Time { return now })
+	c.put("/a", freshInode(1))
+	got, ok := c.get("/a")
+	if !ok || got.UID() != 1 {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	if _, ok := c.get("/b"); ok {
+		t.Error("got missing entry")
+	}
+	hits, misses := c.stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCacheLeaseExpiry(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := newDirCache(30*time.Second, clock)
+	c.put("/a", freshInode(1))
+	now = now.Add(29 * time.Second)
+	if _, ok := c.get("/a"); !ok {
+		t.Error("entry expired before lease")
+	}
+	now = now.Add(2 * time.Second) // lease was refreshed by put only, not get
+	if _, ok := c.get("/a"); ok {
+		t.Error("entry alive past lease")
+	}
+	if c.size() != 0 {
+		t.Error("expired entry not evicted")
+	}
+}
+
+func TestCachePutRefreshesLease(t *testing.T) {
+	now := time.Now()
+	c := newDirCache(30*time.Second, func() time.Time { return now })
+	c.put("/a", freshInode(1))
+	now = now.Add(20 * time.Second)
+	c.put("/a", freshInode(2))
+	now = now.Add(20 * time.Second) // 40s since first put, 20s since refresh
+	got, ok := c.get("/a")
+	if !ok || got.UID() != 2 {
+		t.Errorf("refreshed entry = %v, %v", got, ok)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := newDirCache(time.Hour, nil)
+	c.put("/a", freshInode(1))
+	c.invalidate("/a")
+	if _, ok := c.get("/a"); ok {
+		t.Error("invalidated entry still visible")
+	}
+}
+
+func TestCacheInvalidateSubtree(t *testing.T) {
+	c := newDirCache(time.Hour, nil)
+	for _, p := range []string{"/a", "/a/b", "/a/b/c", "/ab", "/z"} {
+		c.put(p, freshInode(1))
+	}
+	c.invalidateSubtree("/a")
+	for _, gone := range []string{"/a", "/a/b", "/a/b/c"} {
+		if _, ok := c.get(gone); ok {
+			t.Errorf("%s survived subtree invalidation", gone)
+		}
+	}
+	for _, kept := range []string{"/ab", "/z"} {
+		if _, ok := c.get(kept); !ok {
+			t.Errorf("%s wrongly invalidated", kept)
+		}
+	}
+}
+
+func TestCacheInvalidateSubtreeRoot(t *testing.T) {
+	c := newDirCache(time.Hour, nil)
+	c.put("/", freshInode(1))
+	c.put("/x", freshInode(1))
+	c.invalidateSubtree("/")
+	if c.size() != 0 {
+		t.Errorf("size = %d after invalidating /", c.size())
+	}
+}
+
+func TestCacheStoresCopy(t *testing.T) {
+	c := newDirCache(time.Hour, nil)
+	ino := freshInode(1)
+	c.put("/a", ino)
+	ino.SetUID(99) // mutate caller's copy
+	got, _ := c.get("/a")
+	if got.UID() != 1 {
+		t.Error("cache shares storage with caller")
+	}
+}
+
+func TestCacheDefaultLease(t *testing.T) {
+	c := newDirCache(0, nil)
+	if c.lease != DefaultLease {
+		t.Errorf("lease = %v, want %v", c.lease, DefaultLease)
+	}
+}

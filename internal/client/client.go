@@ -1,0 +1,668 @@
+// Package client implements LocoLib, the LocoFS client library (§3.1).
+//
+// LocoLib routes directory operations to the single Directory Metadata
+// Server, file metadata operations to the File Metadata Server chosen by
+// consistent-hashing directory_uuid + file_name, and data operations
+// straight to the object store — so the common path of every operation is
+// one or two round trips. A client-side directory inode cache with leases
+// (§3.2.2) removes the DMS hop from repeated operations in the same
+// directory.
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/chash"
+	"locofs/internal/fms"
+	"locofs/internal/fspath"
+	"locofs/internal/layout"
+	"locofs/internal/netsim"
+	"locofs/internal/objstore"
+	"locofs/internal/uuid"
+	"locofs/internal/wire"
+)
+
+// Config describes the cluster a client connects to and the client's
+// identity and caching behavior.
+type Config struct {
+	// Dialer connects to the addresses below (simulated or TCP).
+	Dialer netsim.Dialer
+	// Link is the modeled network link used for virtual-time accounting
+	// (see rpc.Client.SetLink). Zero models a co-located deployment.
+	Link netsim.LinkConfig
+	// DMSAddr is the directory metadata server address.
+	DMSAddr string
+	// FMSAddrs lists file metadata servers; the slice index is the server
+	// ID used by the consistent-hash ring.
+	FMSAddrs []string
+	// OSSAddrs lists object store servers (at least one).
+	OSSAddrs []string
+	// DisableCache turns off the client directory cache (LocoFS-NC).
+	DisableCache bool
+	// Lease overrides the default 30 s cache lease.
+	Lease time.Duration
+	// UID and GID are the credentials stamped on operations.
+	UID, GID uint32
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Client is one LocoLib instance. It is safe for concurrent use.
+type Client struct {
+	dms   *endpoint
+	fms   []*endpoint
+	oss   []*endpoint
+	ring  *chash.Ring
+	oring *chash.Ring
+	cache *dirCache // nil when disabled
+	uid   uint32
+	gid   uint32
+}
+
+// Dial connects to every server in cfg and returns a ready client.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Dialer == nil {
+		return nil, fmt.Errorf("client: nil dialer")
+	}
+	if len(cfg.FMSAddrs) == 0 || len(cfg.OSSAddrs) == 0 {
+		return nil, fmt.Errorf("client: need at least one FMS and one OSS")
+	}
+	c := &Client{uid: cfg.UID, gid: cfg.GID}
+	dial := func(addr string) (*endpoint, error) {
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link)
+	}
+	var err error
+	if c.dms, err = dial(cfg.DMSAddr); err != nil {
+		return nil, fmt.Errorf("client: dial DMS: %w", err)
+	}
+	for _, a := range cfg.FMSAddrs {
+		cl, err := dial(a)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: dial FMS %s: %w", a, err)
+		}
+		c.fms = append(c.fms, cl)
+	}
+	for _, a := range cfg.OSSAddrs {
+		cl, err := dial(a)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: dial OSS %s: %w", a, err)
+		}
+		c.oss = append(c.oss, cl)
+	}
+	ids := make([]int, len(c.fms))
+	for i := range ids {
+		ids[i] = i
+	}
+	c.ring = chash.NewRing(0, ids...)
+	oids := make([]int, len(c.oss))
+	for i := range oids {
+		oids[i] = i
+	}
+	c.oring = chash.NewRing(0, oids...)
+	if !cfg.DisableCache {
+		c.cache = newDirCache(cfg.Lease, cfg.Now)
+	}
+	return c, nil
+}
+
+// Close tears down every connection.
+func (c *Client) Close() error {
+	if c.dms != nil {
+		c.dms.Close()
+	}
+	for _, cl := range c.fms {
+		cl.Close()
+	}
+	for _, cl := range c.oss {
+		cl.Close()
+	}
+	return nil
+}
+
+// Trips returns the total network round trips issued by this client, the
+// unit the paper's latency figures are normalized in.
+func (c *Client) Trips() uint64 {
+	n := c.dms.Trips()
+	for _, cl := range c.fms {
+		n += cl.Trips()
+	}
+	for _, cl := range c.oss {
+		n += cl.Trips()
+	}
+	return n
+}
+
+// Cost returns the client's cumulative modeled time across every call:
+// link delays plus server-reported service times. Per-operation virtual
+// latency is the delta of Cost around the operation.
+func (c *Client) Cost() time.Duration {
+	d := c.dms.VirtualTime()
+	for _, cl := range c.fms {
+		d += cl.VirtualTime()
+	}
+	for _, cl := range c.oss {
+		d += cl.VirtualTime()
+	}
+	return d
+}
+
+// CacheStats returns directory-cache hits and misses (zero when disabled).
+func (c *Client) CacheStats() (hits, misses uint64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.stats()
+}
+
+// FMSCount returns the number of file metadata servers.
+func (c *Client) FMSCount() int { return len(c.fms) }
+
+// fmsFor returns the FMS endpoint owning (dir, name).
+func (c *Client) fmsFor(dir uuid.UUID, name string) *endpoint {
+	return c.fms[c.ring.Locate(fms.FileKey(dir, name))]
+}
+
+// ossFor returns the object store endpoint owning block blk of u.
+func (c *Client) ossFor(u uuid.UUID, blk uint64) *endpoint {
+	return c.oss[c.oring.Locate(objstore.BlockKey(u, blk))]
+}
+
+// resolveDir returns the d-inode of a cleaned directory path, from cache if
+// possible, otherwise via one DMS lookup (which returns the whole ancestor
+// chain; every link is cached).
+func (c *Client) resolveDir(cleaned string) (layout.DirInode, error) {
+	if c.cache != nil {
+		if ino, ok := c.cache.get(cleaned); ok {
+			return ino, nil
+		}
+	}
+	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
+	st, resp, err := c.dms.Call(wire.OpLookupDir, body)
+	if err != nil {
+		return nil, err
+	}
+	if st != wire.StatusOK {
+		return nil, st.Err()
+	}
+	d := wire.NewDec(resp)
+	n := d.U32()
+	var target layout.DirInode
+	for i := uint32(0); i < n; i++ {
+		p := d.Str()
+		ino := layout.DirInode(d.Blob())
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		if c.cache != nil {
+			c.cache.put(p, ino)
+		}
+		if p == cleaned {
+			target = ino
+		}
+	}
+	if target == nil {
+		return nil, wire.StatusIO.Err()
+	}
+	return target, nil
+}
+
+// splitPath cleans path and resolves its parent directory.
+func (c *Client) splitPath(path string) (parent layout.DirInode, cleaned, name string, err error) {
+	cleaned, err = fspath.Clean(path)
+	if err != nil {
+		return nil, "", "", wire.StatusInval.Err()
+	}
+	dir, name := fspath.Split(cleaned)
+	if name == "" {
+		return nil, "", "", wire.StatusInval.Err()
+	}
+	parent, err = c.resolveDir(dir)
+	return parent, cleaned, name, err
+}
+
+// Attr is the stat result for a file or directory.
+type Attr struct {
+	IsDir     bool
+	Mode      uint32
+	UID, GID  uint32
+	Size      uint64
+	BlockSize uint32
+	CTime     int64
+	MTime     int64
+	ATime     int64
+	UUID      uuid.UUID
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string, mode uint32) error {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
+	st, _, err := c.dms.Call(wire.OpMkdir, body)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Rmdir removes an empty directory. LocoFS cannot know from the DMS alone
+// whether any FMS still holds files of the directory, so the client probes
+// every FMS first — the fan-out the paper charges rmdir with (§4.2.1).
+func (c *Client) Rmdir(path string) error {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	ino, err := c.resolveDir(cleaned)
+	if err != nil {
+		return err
+	}
+	probe := wire.NewEnc().UUID(ino.UUID()).Bytes()
+	for _, f := range c.fms {
+		st, resp, err := f.Call(wire.OpDirHasFiles, probe)
+		if err != nil {
+			return err
+		}
+		if st != wire.StatusOK {
+			return st.Err()
+		}
+		if wire.NewDec(resp).Bool() {
+			return wire.StatusNotEmpty.Err()
+		}
+	}
+	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
+	st, _, err := c.dms.Call(wire.OpRmdir, body)
+	if err != nil {
+		return err
+	}
+	if st == wire.StatusOK && c.cache != nil {
+		c.cache.invalidateSubtree(cleaned)
+	}
+	return st.Err()
+}
+
+// DirEntry is one readdir result.
+type DirEntry struct {
+	Name  string
+	IsDir bool
+	UUID  uuid.UUID
+}
+
+// ReaddirPageSize is the number of entries fetched per server round trip
+// when listing a directory; it bounds response sizes for huge directories.
+const ReaddirPageSize = 1024
+
+// decodeEntryPage parses a paged readdir response.
+func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, err error) {
+	d := wire.NewDec(resp)
+	n := d.U32()
+	more = d.Bool()
+	ents = make([]DirEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		name := d.Str()
+		u := d.UUID()
+		if d.Err() != nil {
+			return nil, false, d.Err()
+		}
+		ents = append(ents, DirEntry{Name: name, IsDir: isDir, UUID: u})
+	}
+	return ents, more, nil
+}
+
+// readAllPages drains a paged readdir op via repeated calls.
+func readAllPages(call func(cursor string) (wire.Status, []byte, error), isDir bool) ([]DirEntry, error) {
+	var out []DirEntry
+	cursor := ""
+	for {
+		st, resp, err := call(cursor)
+		if err != nil {
+			return nil, err
+		}
+		if st != wire.StatusOK {
+			return nil, st.Err()
+		}
+		ents, more, err := decodeEntryPage(resp, isDir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ents...)
+		if !more || len(ents) == 0 {
+			return out, nil
+		}
+		cursor = ents[len(ents)-1].Name
+	}
+}
+
+// Readdir lists a directory: subdirectory entries from the DMS plus file
+// entries from every FMS, fetched in size-bounded pages, merged and
+// name-sorted.
+func (c *Client) Readdir(path string) ([]DirEntry, error) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, wire.StatusInval.Err()
+	}
+	out, err := readAllPages(func(cursor string) (wire.Status, []byte, error) {
+		body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
+			Str(cursor).U32(ReaddirPageSize).Bytes()
+		return c.dms.Call(wire.OpReaddirSubdirs, body)
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	ino, err := c.resolveDir(cleaned)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range c.fms {
+		f := f
+		files, err := readAllPages(func(cursor string) (wire.Status, []byte, error) {
+			body := wire.NewEnc().UUID(ino.UUID()).Str(cursor).U32(ReaddirPageSize).Bytes()
+			return f.Call(wire.OpReaddirFiles, body)
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, files...)
+	}
+	ents := make([]layout.Dirent, len(out))
+	for i, e := range out {
+		ents[i] = layout.Dirent{Name: e.Name, UUID: e.UUID}
+	}
+	layout.SortDirents(ents)
+	sorted := make([]DirEntry, len(out))
+	byName := make(map[string]DirEntry, len(out))
+	for _, e := range out {
+		byName[e.Name] = e
+	}
+	for i, e := range ents {
+		sorted[i] = byName[e.Name]
+	}
+	return sorted, nil
+}
+
+// StatDir stats a directory (one DMS round trip, or zero on a cache hit).
+func (c *Client) StatDir(path string) (*Attr, error) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, wire.StatusInval.Err()
+	}
+	ino, err := c.resolveDir(cleaned)
+	if err != nil {
+		return nil, err
+	}
+	return &Attr{
+		IsDir: true,
+		Mode:  ino.Mode(),
+		UID:   ino.UID(), GID: ino.GID(),
+		CTime: ino.CTime(),
+		UUID:  ino.UUID(),
+	}, nil
+}
+
+// Create makes an empty file (the mdtest "touch"): resolve the parent
+// directory (cached: zero trips) and issue one FMS create.
+func (c *Client) Create(path string, mode uint32) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).
+		U32(mode).U32(c.uid).U32(c.gid).Bool(false).Bytes()
+	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpCreateFile, body)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// StatFile stats a file: one round trip to its FMS.
+func (c *Client) StatFile(path string) (*Attr, error) {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.statOn(parent.UUID(), name)
+	if err != nil {
+		return nil, err
+	}
+	return metaToAttr(m), nil
+}
+
+func (c *Client) statOn(dir uuid.UUID, name string) (*fms.FileMeta, error) {
+	body := wire.NewEnc().UUID(dir).Str(name).Bytes()
+	st, resp, err := c.fmsFor(dir, name).Call(wire.OpStatFile, body)
+	if err != nil {
+		return nil, err
+	}
+	if st != wire.StatusOK {
+		return nil, st.Err()
+	}
+	d := wire.NewDec(resp)
+	a, ct := d.Blob(), d.Blob()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return &fms.FileMeta{Access: layout.FileAccess(a), Content: layout.FileContent(ct)}, nil
+}
+
+func metaToAttr(m *fms.FileMeta) *Attr {
+	return &Attr{
+		Mode: m.Access.Mode(),
+		UID:  m.Access.UID(), GID: m.Access.GID(),
+		Size:      m.Content.Size(),
+		BlockSize: m.Content.BlockSize(),
+		CTime:     m.Access.CTime(),
+		MTime:     m.Content.MTime(),
+		ATime:     m.Content.ATime(),
+		UUID:      m.Content.UUID(),
+	}
+}
+
+// Stat stats a path of unknown kind: it asks the file's FMS first (files
+// dominate) and falls back to the DMS for directories.
+func (c *Client) Stat(path string) (*Attr, error) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, wire.StatusInval.Err()
+	}
+	if cleaned == "/" {
+		return c.StatDir(cleaned)
+	}
+	a, err := c.StatFile(cleaned)
+	if err == nil {
+		return a, nil
+	}
+	if wire.StatusOf(err) != wire.StatusNotFound {
+		return nil, err
+	}
+	return c.StatDir(cleaned)
+}
+
+// Remove deletes a file and its data blocks.
+func (c *Client) Remove(path string) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bytes()
+	st, resp, err := c.fmsFor(parent.UUID(), name).Call(wire.OpRemoveFile, body)
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	u := wire.NewDec(resp).UUID()
+	c.deleteBlocks(u, 0)
+	return nil
+}
+
+// deleteBlocks reclaims blocks of u on every object store server.
+func (c *Client) deleteBlocks(u uuid.UUID, fromBlk uint64) {
+	body := wire.NewEnc().UUID(u).U64(fromBlk).Bytes()
+	for _, o := range c.oss {
+		o.Call(wire.OpDeleteBlocks, body)
+	}
+}
+
+// Chmod changes a file's permission bits (access part only, Table 1).
+func (c *Client) Chmod(path string, mode uint32) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(mode).U32(c.uid).Bytes()
+	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpChmodFile, body)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Chown changes a file's owner (access part only).
+func (c *Client) Chown(path string, uid, gid uint32) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(uid).U32(gid).U32(c.uid).Bytes()
+	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpChownFile, body)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Access checks permissions on a file (reads the access part only).
+func (c *Client) Access(path string, wantWrite bool) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bool(wantWrite).Bytes()
+	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpAccessFile, body)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Utimens sets a file's atime/mtime (content part only).
+func (c *Client) Utimens(path string, atime, mtime int64) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).I64(atime).I64(mtime).Bytes()
+	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpUtimensFile, body)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}
+
+// Truncate sets a file's size and trims its data blocks.
+func (c *Client) Truncate(path string, size uint64) error {
+	parent, _, name, err := c.splitPath(path)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U64(size).Bytes()
+	st, resp, err := c.fmsFor(parent.UUID(), name).Call(wire.OpTruncateFile, body)
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	d := wire.NewDec(resp)
+	u, oldSize, bs := d.UUID(), d.U64(), d.U32()
+	if d.Err() == nil && size < oldSize && bs > 0 {
+		from := (size + uint64(bs) - 1) / uint64(bs)
+		c.deleteBlocks(u, from)
+	}
+	return nil
+}
+
+// ChmodDir changes a directory's permission bits on the DMS.
+func (c *Client) ChmodDir(path string, mode uint32) error {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval.Err()
+	}
+	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
+	st, _, err := c.dms.Call(wire.OpChmodDir, body)
+	if err != nil {
+		return err
+	}
+	if st == wire.StatusOK && c.cache != nil {
+		c.cache.invalidate(cleaned)
+	}
+	return st.Err()
+}
+
+// RenameDir renames a directory; the DMS relocates the subtree's d-inodes
+// (a prefix move on the tree store) while files and data stay put (§3.4.2).
+// It returns the number of relocated directory inodes.
+func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
+	oldC, err := fspath.Clean(oldPath)
+	if err != nil {
+		return 0, wire.StatusInval.Err()
+	}
+	newC, err := fspath.Clean(newPath)
+	if err != nil {
+		return 0, wire.StatusInval.Err()
+	}
+	body := wire.NewEnc().Str(oldC).Str(newC).U32(c.uid).U32(c.gid).Bytes()
+	st, resp, err := c.dms.Call(wire.OpRenameDir, body)
+	if err != nil {
+		return 0, err
+	}
+	if st != wire.StatusOK {
+		return 0, st.Err()
+	}
+	if c.cache != nil {
+		c.cache.invalidateSubtree(oldC)
+		c.cache.invalidateSubtree(newC)
+	}
+	return int(wire.NewDec(resp).U64()), nil
+}
+
+// RenameFile renames a file. Only the metadata object moves (its placement
+// key directory_uuid + file_name changed); data blocks are addressed by the
+// stable file UUID and never move (§3.4.2).
+func (c *Client) RenameFile(oldPath, newPath string) error {
+	oldParent, _, oldName, err := c.splitPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newParent, _, newName, err := c.splitPath(newPath)
+	if err != nil {
+		return err
+	}
+	m, err := c.statOn(oldParent.UUID(), oldName)
+	if err != nil {
+		return err
+	}
+	body := wire.NewEnc().UUID(newParent.UUID()).Str(newName).
+		U32(0).U32(0).U32(0).Bool(true).
+		Blob(m.Access).Blob(m.Content).Bytes()
+	st, _, err := c.fmsFor(newParent.UUID(), newName).Call(wire.OpCreateFile, body)
+	if err != nil {
+		return err
+	}
+	if st != wire.StatusOK {
+		return st.Err()
+	}
+	rm := wire.NewEnc().UUID(oldParent.UUID()).Str(oldName).U32(c.uid).U32(c.gid).Bytes()
+	st, _, err = c.fmsFor(oldParent.UUID(), oldName).Call(wire.OpRemoveFile, rm)
+	if err != nil {
+		return err
+	}
+	return st.Err()
+}

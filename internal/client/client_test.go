@@ -1,0 +1,248 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"locofs/internal/dms"
+	"locofs/internal/fms"
+	"locofs/internal/netsim"
+	"locofs/internal/objstore"
+	"locofs/internal/rpc"
+	"locofs/internal/wire"
+)
+
+// testCluster wires a minimal DMS/FMS/OSS deployment directly (without the
+// core package, which has its own tests) so the client package can be
+// tested in isolation.
+func testCluster(t *testing.T, fmsCount int) (*netsim.Network, Config) {
+	t.Helper()
+	n := netsim.NewNetwork(netsim.Loopback)
+	t.Cleanup(func() { n.Close() })
+	serve := func(addr string, attach func(*rpc.Server)) {
+		rs := rpc.NewServer()
+		attach(rs)
+		l, err := n.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rs.Serve(l)
+		t.Cleanup(rs.Shutdown)
+	}
+	serve("dms", dms.New(dms.Options{}).Attach)
+	cfg := Config{Dialer: n, DMSAddr: "dms"}
+	for i := 0; i < fmsCount; i++ {
+		addr := fmt.Sprintf("fms-%d", i)
+		serve(addr, fms.New(fms.Options{ServerID: uint32(i + 1)}).Attach)
+		cfg.FMSAddrs = append(cfg.FMSAddrs, addr)
+	}
+	serve("oss", objstore.New(nil).Attach)
+	cfg.OSSAddrs = []string{"oss"}
+	return n, cfg
+}
+
+func dialTest(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	c, err := Dial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(Config{}); err == nil {
+		t.Error("Dial with nil dialer succeeded")
+	}
+	n := netsim.NewNetwork(netsim.Loopback)
+	defer n.Close()
+	if _, err := Dial(Config{Dialer: n}); err == nil {
+		t.Error("Dial without FMS/OSS succeeded")
+	}
+	if _, err := Dial(Config{Dialer: n, DMSAddr: "nowhere",
+		FMSAddrs: []string{"x"}, OSSAddrs: []string{"y"}}); err == nil {
+		t.Error("Dial to missing servers succeeded")
+	}
+}
+
+func TestInvalidPaths(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	c := dialTest(t, cfg)
+	for _, op := range []struct {
+		name string
+		fn   func(p string) error
+	}{
+		{"mkdir", func(p string) error { return c.Mkdir(p, 0o755) }},
+		{"create", func(p string) error { return c.Create(p, 0o644) }},
+		{"remove", func(p string) error { return c.Remove(p) }},
+		{"rmdir", func(p string) error { return c.Rmdir(p) }},
+		{"chmod", func(p string) error { return c.Chmod(p, 0o600) }},
+		{"statfile", func(p string) error { _, err := c.StatFile(p); return err }},
+	} {
+		for _, bad := range []string{"", "relative", "/.."} {
+			if err := op.fn(bad); wire.StatusOf(err) != wire.StatusInval {
+				t.Errorf("%s(%q) = %v, want EINVAL", op.name, bad, err)
+			}
+		}
+	}
+	// Operating on "/" as a file is invalid.
+	if err := c.Create("/", 0o644); wire.StatusOf(err) != wire.StatusInval {
+		t.Errorf("create(/) = %v, want EINVAL", err)
+	}
+}
+
+func TestPathNormalizationAliases(t *testing.T) {
+	_, cfg := testCluster(t, 2)
+	c := dialTest(t, cfg)
+	if err := c.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/a/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// All spellings of the same path resolve identically.
+	for _, alias := range []string{"/a/f", "//a//f", "/a/./f", "/a/b/../f"} {
+		if _, err := c.StatFile(alias); err != nil {
+			t.Errorf("StatFile(%q) = %v", alias, err)
+		}
+	}
+	// And the aliased create is EEXIST, not a second file.
+	if err := c.Create("/a//f", 0o644); wire.StatusOf(err) != wire.StatusExist {
+		t.Errorf("aliased create = %v, want EEXIST", err)
+	}
+}
+
+func TestFileHandleSemantics(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	c := dialTest(t, cfg)
+	c.Mkdir("/d", 0o755)
+	c.Create("/d/f", 0o644)
+
+	ro, err := c.Open("/d/f", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ro.WriteAt([]byte("x"), 0); wire.StatusOf(err) != wire.StatusPerm {
+		t.Errorf("write on read-only handle = %v, want EPERM", err)
+	}
+	ro.Close()
+	if _, err := ro.ReadAt(make([]byte, 1), 0); wire.StatusOf(err) != wire.StatusInval {
+		t.Errorf("read after close = %v, want EINVAL", err)
+	}
+
+	rw, err := c.Open("/d/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if n, err := rw.WriteAt(nil, 0); n != 0 || err != nil {
+		t.Errorf("empty write = %d, %v", n, err)
+	}
+	data := []byte("abc")
+	if _, err := rw.WriteAt(data, 5); err != nil {
+		t.Fatal(err)
+	}
+	if rw.Size() != 8 {
+		t.Errorf("Size = %d, want 8", rw.Size())
+	}
+	// Reads from offset 0 see the hole as zeros.
+	buf := make([]byte, 8)
+	if n, err := rw.ReadAt(buf, 0); err != nil || n != 8 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0, 0, 'a', 'b', 'c'}) {
+		t.Errorf("buf = %v", buf)
+	}
+	if _, err := c.Open("/d/missing", false); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("open missing = %v, want ENOENT", err)
+	}
+}
+
+func TestStatFallsBackToDir(t *testing.T) {
+	_, cfg := testCluster(t, 2)
+	c := dialTest(t, cfg)
+	c.Mkdir("/onlydir", 0o755)
+	a, err := c.Stat("/onlydir")
+	if err != nil || !a.IsDir {
+		t.Errorf("Stat(dir) = %+v, %v", a, err)
+	}
+	if _, err := c.Stat("/neither"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("Stat(missing) = %v, want ENOENT", err)
+	}
+	if a, err := c.Stat("/"); err != nil || !a.IsDir {
+		t.Errorf("Stat(/) = %+v, %v", a, err)
+	}
+}
+
+func TestRenameFileErrors(t *testing.T) {
+	_, cfg := testCluster(t, 4)
+	c := dialTest(t, cfg)
+	c.Mkdir("/a", 0o755)
+	c.Mkdir("/b", 0o755)
+	c.Create("/a/f", 0o644)
+	c.Create("/b/exists", 0o644)
+	if err := c.RenameFile("/a/missing", "/b/x"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("rename missing = %v, want ENOENT", err)
+	}
+	if err := c.RenameFile("/a/f", "/b/exists"); wire.StatusOf(err) != wire.StatusExist {
+		t.Errorf("rename onto existing = %v, want EEXIST", err)
+	}
+	// The failed rename must not have destroyed the source.
+	if _, err := c.StatFile("/a/f"); err != nil {
+		t.Errorf("source vanished after failed rename: %v", err)
+	}
+}
+
+func TestChmodDirInvalidatesCache(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	c := dialTest(t, cfg)
+	c.Mkdir("/d", 0o755)
+	c.Create("/d/warm", 0o644) // caches /d
+	if err := c.ChmodDir("/d", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	// Next op re-fetches the directory (fresh mode visible).
+	a, err := c.StatDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode&0o777 != 0o700 {
+		t.Errorf("mode after ChmodDir = %o (stale cache?)", a.Mode&0o777)
+	}
+}
+
+func TestCostMonotonic(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	cfg.Link = netsim.LinkConfig{RTT: time.Millisecond}
+	c := dialTest(t, cfg)
+	c0 := c.Cost()
+	c.Mkdir("/x", 0o755)
+	c1 := c.Cost()
+	if c1 <= c0 {
+		t.Errorf("Cost did not grow: %v -> %v", c0, c1)
+	}
+	if c1-c0 < time.Millisecond {
+		t.Errorf("mkdir cost %v < 1 RTT", c1-c0)
+	}
+}
+
+func TestReaddirEmptyAndRoot(t *testing.T) {
+	_, cfg := testCluster(t, 2)
+	c := dialTest(t, cfg)
+	ents, err := c.Readdir("/")
+	if err != nil || len(ents) != 0 {
+		t.Errorf("Readdir(empty /) = %v, %v", ents, err)
+	}
+	c.Mkdir("/z", 0o755)
+	ents, err = c.Readdir("/")
+	if err != nil || len(ents) != 1 || ents[0].Name != "z" || !ents[0].IsDir {
+		t.Errorf("Readdir(/) = %v, %v", ents, err)
+	}
+	ents, err = c.Readdir("/z")
+	if err != nil || len(ents) != 0 {
+		t.Errorf("Readdir(empty dir) = %v, %v", ents, err)
+	}
+}

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"locofs/internal/netsim"
+	"locofs/internal/rpc"
+	"locofs/internal/wire"
+)
+
+// endpoint is one server connection with transparent re-dial: a call that
+// fails at the transport layer redials the address once and retries, so a
+// server restarted on durable state (locofsd -data) resumes serving
+// existing clients. Application-level statuses are never retried.
+//
+// Trip and virtual-time counters aggregate across connection generations,
+// so measurement hooks see one continuous stream.
+type endpoint struct {
+	dialer netsim.Dialer
+	addr   string
+	link   netsim.LinkConfig
+
+	mu        sync.Mutex
+	cl        *rpc.Client
+	baseTrips uint64
+	baseVirt  time.Duration
+	closed    bool
+}
+
+// dialEndpoint connects the first generation.
+func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig) (*endpoint, error) {
+	e := &endpoint{dialer: d, addr: addr, link: link}
+	cl, err := rpc.Dial(d, addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.SetLink(link)
+	e.cl = cl
+	return e, nil
+}
+
+// current returns the live connection, redialing if the previous one died.
+func (e *endpoint) current() (*rpc.Client, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, rpc.ErrClientClosed
+	}
+	if e.cl != nil {
+		return e.cl, nil
+	}
+	cl, err := rpc.Dial(e.dialer, e.addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.SetLink(e.link)
+	e.cl = cl
+	return cl, nil
+}
+
+// retire discards cl if it is still the active generation, folding its
+// counters into the endpoint's running totals.
+func (e *endpoint) retire(cl *rpc.Client) {
+	e.mu.Lock()
+	if e.cl == cl {
+		e.baseTrips += cl.Trips()
+		e.baseVirt += cl.VirtualTime()
+		e.cl = nil
+		cl.Close()
+	}
+	e.mu.Unlock()
+}
+
+// Call issues one request, retrying exactly once through a fresh connection
+// on transport failure.
+func (e *endpoint) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
+	cl, err := e.current()
+	if err != nil {
+		return wire.StatusIO, nil, err
+	}
+	st, resp, callErr := cl.Call(op, body)
+	if callErr == nil {
+		return st, resp, nil
+	}
+	e.retire(cl)
+	cl, err = e.current()
+	if err != nil {
+		return wire.StatusIO, nil, callErr
+	}
+	return cl.Call(op, body)
+}
+
+// Trips returns cumulative round trips across all generations.
+func (e *endpoint) Trips() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.baseTrips
+	if e.cl != nil {
+		n += e.cl.Trips()
+	}
+	return n
+}
+
+// VirtualTime returns cumulative modeled time across all generations.
+func (e *endpoint) VirtualTime() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := e.baseVirt
+	if e.cl != nil {
+		d += e.cl.VirtualTime()
+	}
+	return d
+}
+
+// Close tears the endpoint down permanently.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	if e.cl != nil {
+		e.cl.Close()
+		e.cl = nil
+	}
+	return nil
+}

@@ -1,0 +1,669 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"locofs/internal/client"
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+func startCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func newClient(t *testing.T, c *Cluster, cfg ClientConfig) *client.Client {
+	t.Helper()
+	cl, err := c.NewClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestMkdirCreateStat(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 4, CheckPermissions: true})
+	cl := newClient(t, c, ClientConfig{UID: 1000, GID: 1000})
+	if err := cl.Mkdir("/home", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Mkdir("/home/user", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/home/user/data.txt", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := cl.StatFile("/home/user/data.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IsDir || a.Size != 0 || a.UID != 1000 {
+		t.Errorf("attr = %+v", a)
+	}
+	d, err := cl.StatDir("/home/user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsDir || d.UUID.IsNil() {
+		t.Errorf("dir attr = %+v", d)
+	}
+	// Generic Stat resolves both kinds.
+	if a2, err := cl.Stat("/home/user/data.txt"); err != nil || a2.IsDir {
+		t.Errorf("Stat(file) = %+v, %v", a2, err)
+	}
+	if d2, err := cl.Stat("/home/user"); err != nil || !d2.IsDir {
+		t.Errorf("Stat(dir) = %+v, %v", d2, err)
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1})
+	cl := newClient(t, c, ClientConfig{})
+	if err := cl.Mkdir("/a", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Mkdir("/a", 0o755); wire.StatusOf(err) != wire.StatusExist {
+		t.Errorf("duplicate mkdir = %v, want EEXIST", err)
+	}
+	if err := cl.Mkdir("/missing/child", 0o755); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("mkdir under missing parent = %v, want ENOENT", err)
+	}
+	if err := cl.Mkdir("relative", 0o755); wire.StatusOf(err) != wire.StatusInval {
+		t.Errorf("relative mkdir = %v, want EINVAL", err)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 2})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/d", 0o755)
+	if err := cl.Create("/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/d/f", 0o644); wire.StatusOf(err) != wire.StatusExist {
+		t.Errorf("duplicate create = %v, want EEXIST", err)
+	}
+	if err := cl.Create("/nodir/f", 0o644); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("create under missing dir = %v, want ENOENT", err)
+	}
+	if _, err := cl.StatFile("/d/missing"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("stat missing file = %v, want ENOENT", err)
+	}
+}
+
+func TestReaddirMergesDMSAndFMS(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 4})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/dir", 0o755)
+	for i := 0; i < 20; i++ {
+		if err := cl.Create(fmt.Sprintf("/dir/file%02d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := cl.Mkdir(fmt.Sprintf("/dir/sub%d", i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := cl.Readdir("/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 25 {
+		t.Fatalf("readdir returned %d entries, want 25", len(ents))
+	}
+	dirs, files := 0, 0
+	for i, e := range ents {
+		if e.IsDir {
+			dirs++
+		} else {
+			files++
+		}
+		if i > 0 && ents[i-1].Name >= e.Name {
+			t.Errorf("entries unsorted: %q >= %q", ents[i-1].Name, e.Name)
+		}
+	}
+	if dirs != 5 || files != 20 {
+		t.Errorf("dirs=%d files=%d", dirs, files)
+	}
+}
+
+func TestRemoveAndRmdir(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 4})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/d", 0o755)
+	cl.Create("/d/f1", 0o644)
+	cl.Create("/d/f2", 0o644)
+
+	// rmdir of a dir that still holds files must fail (FMS probe).
+	if err := cl.Rmdir("/d"); wire.StatusOf(err) != wire.StatusNotEmpty {
+		t.Errorf("rmdir non-empty = %v, want ENOTEMPTY", err)
+	}
+	if err := cl.Remove("/d/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove("/d/f2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Remove("/d/f1"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("double remove = %v, want ENOENT", err)
+	}
+	// Subdirectory also blocks rmdir.
+	cl.Mkdir("/d/sub", 0o755)
+	if err := cl.Rmdir("/d"); wire.StatusOf(err) != wire.StatusNotEmpty {
+		t.Errorf("rmdir with subdir = %v, want ENOTEMPTY", err)
+	}
+	if err := cl.Rmdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StatDir("/d"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("stat removed dir = %v, want ENOENT", err)
+	}
+}
+
+func TestChmodChownAccess(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 2, CheckPermissions: true})
+	owner := newClient(t, c, ClientConfig{UID: 1000, GID: 100})
+	other := newClient(t, c, ClientConfig{UID: 2000, GID: 200})
+	root := newClient(t, c, ClientConfig{UID: 0, GID: 0})
+
+	owner.Mkdir("/p", 0o777)
+	owner.Create("/p/f", 0o600)
+
+	if err := other.Access("/p/f", false); wire.StatusOf(err) != wire.StatusPerm {
+		t.Errorf("other read access to 0600 = %v, want EPERM", err)
+	}
+	if err := owner.Access("/p/f", true); err != nil {
+		t.Errorf("owner write access = %v", err)
+	}
+	// Non-owner chmod must fail; owner chmod opens it up.
+	if err := other.Chmod("/p/f", 0o644); wire.StatusOf(err) != wire.StatusPerm {
+		t.Errorf("non-owner chmod = %v, want EPERM", err)
+	}
+	if err := owner.Chmod("/p/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Access("/p/f", false); err != nil {
+		t.Errorf("other read after chmod 644 = %v", err)
+	}
+	// chown: only root.
+	if err := owner.Chown("/p/f", 2000, 200); wire.StatusOf(err) != wire.StatusPerm {
+		t.Errorf("non-root chown = %v, want EPERM", err)
+	}
+	if err := root.Chown("/p/f", 2000, 200); err != nil {
+		t.Fatal(err)
+	}
+	a, err := owner.StatFile("/p/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UID != 2000 || a.GID != 200 {
+		t.Errorf("after chown: uid=%d gid=%d", a.UID, a.GID)
+	}
+}
+
+func TestAncestorPermissionEnforced(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1, CheckPermissions: true})
+	owner := newClient(t, c, ClientConfig{UID: 1000, GID: 100})
+	other := newClient(t, c, ClientConfig{UID: 2000, GID: 200})
+	owner.Mkdir("/priv", 0o700)
+	owner.Mkdir("/priv/sub", 0o777)
+	if err := other.Create("/priv/sub/f", 0o644); wire.StatusOf(err) != wire.StatusPerm {
+		t.Errorf("create under non-traversable ancestor = %v, want EPERM", err)
+	}
+	if _, err := other.StatDir("/priv/sub"); wire.StatusOf(err) != wire.StatusPerm {
+		t.Errorf("stat under non-traversable ancestor = %v, want EPERM", err)
+	}
+}
+
+func TestFileReadWrite(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 2, OSSCount: 2})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/io", 0o755)
+	cl.Create("/io/f", 0o644)
+	f, err := cl.Open("/io/f", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Multi-block write (default block size 4096).
+	data := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16 KiB
+	n, err := f.WriteAt(data, 100)
+	if err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	if f.Size() != uint64(100+len(data)) {
+		t.Errorf("Size = %d, want %d", f.Size(), 100+len(data))
+	}
+	buf := make([]byte, len(data))
+	n, err = f.ReadAt(buf, 100)
+	if err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Error("read-back mismatch")
+	}
+	// The 100-byte hole reads as zeros.
+	hole := make([]byte, 100)
+	if n, err := f.ReadAt(hole, 0); err != nil || n != 100 {
+		t.Fatalf("hole read = %d, %v", n, err)
+	}
+	for i, b := range hole {
+		if b != 0 {
+			t.Fatalf("hole byte %d = %d", i, b)
+		}
+	}
+	// Reads past EOF are short.
+	if n, _ := f.ReadAt(buf, uint64(100+len(data))-10); n != 10 {
+		t.Errorf("tail read = %d, want 10", n)
+	}
+	// Size visible via a fresh stat.
+	a, err := cl.StatFile("/io/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != uint64(100+len(data)) {
+		t.Errorf("stat size = %d", a.Size)
+	}
+}
+
+func TestTruncateTrimsBlocks(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1, OSSCount: 1})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/t", 0o755)
+	cl.Create("/t/f", 0o644)
+	f, _ := cl.Open("/t/f", true)
+	data := bytes.Repeat([]byte("x"), 64<<10)
+	f.WriteAt(data, 0)
+	f.Close()
+	blocksBefore := c.OSS[0].BlockCount()
+	if blocksBefore == 0 {
+		t.Fatal("no blocks written")
+	}
+	if err := cl.Truncate("/t/f", 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OSS[0].BlockCount(); got >= blocksBefore {
+		t.Errorf("blocks after truncate = %d, before = %d", got, blocksBefore)
+	}
+	a, _ := cl.StatFile("/t/f")
+	if a.Size != 4096 {
+		t.Errorf("size after truncate = %d", a.Size)
+	}
+	// Reopen and confirm the tail is gone.
+	f2, _ := cl.Open("/t/f", false)
+	defer f2.Close()
+	buf := make([]byte, 10)
+	if n, _ := f2.ReadAt(buf, 8000); n != 0 {
+		t.Errorf("read past truncated size returned %d bytes", n)
+	}
+}
+
+func TestRemoveReclaimsBlocks(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1, OSSCount: 1})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/t", 0o755)
+	cl.Create("/t/f", 0o644)
+	f, _ := cl.Open("/t/f", true)
+	f.WriteAt(bytes.Repeat([]byte("y"), 32<<10), 0)
+	f.Close()
+	if c.OSS[0].BlockCount() == 0 {
+		t.Fatal("no blocks written")
+	}
+	if err := cl.Remove("/t/f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OSS[0].BlockCount(); got != 0 {
+		t.Errorf("blocks after remove = %d, want 0", got)
+	}
+}
+
+func TestUtimens(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/u", 0o755)
+	cl.Create("/u/f", 0o644)
+	if err := cl.Utimens("/u/f", 111, 222); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := cl.StatFile("/u/f")
+	if a.ATime != 111 || a.MTime != 222 {
+		t.Errorf("times = %d/%d, want 111/222", a.ATime, a.MTime)
+	}
+}
+
+func TestRenameFilePreservesDataWithoutMovingBlocks(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 4, OSSCount: 1})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/a", 0o755)
+	cl.Mkdir("/b", 0o755)
+	cl.Create("/a/f", 0o644)
+	f, _ := cl.Open("/a/f", true)
+	payload := []byte("rename should not move my data blocks")
+	f.WriteAt(payload, 0)
+	u := f.UUID()
+	f.Close()
+	blocks := c.OSS[0].BlockCount()
+
+	if err := cl.RenameFile("/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.StatFile("/a/f"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("old name still stats: %v", err)
+	}
+	g, err := cl.Open("/b/g", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.UUID() != u {
+		t.Error("file UUID changed across rename — blocks would be orphaned")
+	}
+	buf := make([]byte, len(payload))
+	if n, err := g.ReadAt(buf, 0); err != nil || n != len(payload) || !bytes.Equal(buf, payload) {
+		t.Errorf("data after rename = %q (%d, %v)", buf[:n], n, err)
+	}
+	if got := c.OSS[0].BlockCount(); got != blocks {
+		t.Errorf("block count changed across rename: %d -> %d", blocks, got)
+	}
+}
+
+func TestRenameDirSubtree(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 2})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/proj", 0o755)
+	cl.Mkdir("/proj/src", 0o755)
+	cl.Mkdir("/proj/src/pkg", 0o755)
+	cl.Create("/proj/src/main.go", 0o644)
+	cl.Create("/proj/src/pkg/lib.go", 0o644)
+
+	moved, err := cl.RenameDir("/proj", "/project")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 { // /proj, /proj/src, /proj/src/pkg
+		t.Errorf("moved = %d, want 3", moved)
+	}
+	// Everything is reachable under the new name...
+	if _, err := cl.StatDir("/project/src/pkg"); err != nil {
+		t.Errorf("stat new subtree: %v", err)
+	}
+	if _, err := cl.StatFile("/project/src/main.go"); err != nil {
+		t.Errorf("stat file via new path: %v", err)
+	}
+	if _, err := cl.StatFile("/project/src/pkg/lib.go"); err != nil {
+		t.Errorf("stat nested file via new path: %v", err)
+	}
+	// ...and gone under the old one.
+	if _, err := cl.StatDir("/proj"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("old dir still exists: %v", err)
+	}
+	if _, err := cl.StatFile("/proj/src/main.go"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("file reachable via old path: %v", err)
+	}
+	// Readdir through the new path still sees the file entries.
+	ents, err := cl.Readdir("/project/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Errorf("readdir after rename = %d entries, want 2", len(ents))
+	}
+}
+
+func TestRenameDirInvalid(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/a", 0o755)
+	cl.Mkdir("/a/b", 0o755)
+	if _, err := cl.RenameDir("/a", "/a/b/c"); wire.StatusOf(err) != wire.StatusInval {
+		t.Errorf("rename into own subtree = %v, want EINVAL", err)
+	}
+	cl.Mkdir("/x", 0o755)
+	if _, err := cl.RenameDir("/a", "/x"); wire.StatusOf(err) != wire.StatusExist {
+		t.Errorf("rename onto existing dir = %v, want EEXIST", err)
+	}
+	if _, err := cl.RenameDir("/missing", "/y"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("rename of missing dir = %v, want ENOENT", err)
+	}
+}
+
+func TestClientCacheSavesTrips(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 2, Link: netsim.Loopback})
+	cached := newClient(t, c, ClientConfig{})
+	uncached := newClient(t, c, ClientConfig{DisableCache: true})
+	cached.Mkdir("/w", 0o755)
+	uncached.Mkdir("/w2", 0o755)
+
+	// Warm the cached client's directory entry.
+	if err := cached.Create("/w/f0", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	t0 := cached.Trips()
+	for i := 1; i <= n; i++ {
+		if err := cached.Create(fmt.Sprintf("/w/f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cachedTrips := cached.Trips() - t0
+
+	uncached.Create("/w2/f0", 0o644)
+	t1 := uncached.Trips()
+	for i := 1; i <= n; i++ {
+		if err := uncached.Create(fmt.Sprintf("/w2/f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uncachedTrips := uncached.Trips() - t1
+
+	if cachedTrips != n {
+		t.Errorf("cached client used %d trips for %d creates, want %d (1/op)", cachedTrips, n, n)
+	}
+	if uncachedTrips != 2*n {
+		t.Errorf("uncached client used %d trips for %d creates, want %d (2/op)", uncachedTrips, n, 2*n)
+	}
+	hits, _ := cached.CacheStats()
+	if hits == 0 {
+		t.Error("cache reported no hits")
+	}
+}
+
+func TestCacheLeaseExpiry(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	c := startCluster(t, Options{FMSCount: 1})
+	cl := newClient(t, c, ClientConfig{Lease: 30 * time.Second, Now: clock})
+	cl.Mkdir("/lease", 0o755)
+	cl.Create("/lease/f1", 0o644) // warms cache
+	t0 := cl.Trips()
+	cl.Create("/lease/f2", 0o644) // hit: 1 trip
+	if got := cl.Trips() - t0; got != 1 {
+		t.Fatalf("create with fresh lease took %d trips, want 1", got)
+	}
+	now = now.Add(31 * time.Second) // lease expires
+	t1 := cl.Trips()
+	cl.Create("/lease/f3", 0o644) // miss: lookup + create
+	if got := cl.Trips() - t1; got != 2 {
+		t.Fatalf("create with expired lease took %d trips, want 2", got)
+	}
+}
+
+func TestCoupledModeEquivalence(t *testing.T) {
+	// The CF ablation must be functionally identical to DF.
+	for _, coupled := range []bool{false, true} {
+		name := "decoupled"
+		if coupled {
+			name = "coupled"
+		}
+		t.Run(name, func(t *testing.T) {
+			c := startCluster(t, Options{FMSCount: 2, CoupledFileMetadata: coupled})
+			cl := newClient(t, c, ClientConfig{UID: 7})
+			cl.Mkdir("/m", 0o755)
+			if err := cl.Create("/m/f", 0o640); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Chmod("/m/f", 0o600); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Utimens("/m/f", 5, 6); err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Truncate("/m/f", 12345); err != nil {
+				t.Fatal(err)
+			}
+			a, err := cl.StatFile("/m/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Mode&0o777 != 0o600 || a.ATime != 5 || a.Size != 12345 {
+				t.Errorf("attr = %+v", a)
+			}
+			if err := cl.Remove("/m/f"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHashDMSRenameStillCorrect(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 1, DMSOnHashStore: true})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/h", 0o755)
+	cl.Mkdir("/h/x", 0o755)
+	cl.Create("/h/x/f", 0o644)
+	moved, err := cl.RenameDir("/h", "/h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Errorf("moved = %d, want 2", moved)
+	}
+	if _, err := cl.StatFile("/h2/x/f"); err != nil {
+		t.Errorf("file lost after hash-mode rename: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 4})
+	setup := newClient(t, c, ClientConfig{})
+	setup.Mkdir("/shared", 0o777)
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := c.NewClient(ClientConfig{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perClient; i++ {
+				p := fmt.Sprintf("/shared/c%d-f%d", w, i)
+				if err := cl.Create(p, 0o644); err != nil {
+					t.Errorf("create %s: %v", p, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ents, err := setup.Readdir("/shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != clients*perClient {
+		t.Errorf("readdir sees %d entries, want %d", len(ents), clients*perClient)
+	}
+}
+
+func TestTripCountsMatchPaperModel(t *testing.T) {
+	// The trip counts behind Fig 6: mkdir = 1 trip; cached touch = 1 trip;
+	// uncached touch = 2 trips (DMS lookup + FMS create).
+	c := startCluster(t, Options{FMSCount: 4})
+	cl := newClient(t, c, ClientConfig{})
+	t0 := cl.Trips()
+	cl.Mkdir("/ops", 0o755)
+	if got := cl.Trips() - t0; got != 1 {
+		t.Errorf("mkdir trips = %d, want 1", got)
+	}
+	t0 = cl.Trips()
+	cl.Create("/ops/first", 0o644) // cold cache: lookup + create
+	if got := cl.Trips() - t0; got != 2 {
+		t.Errorf("cold create trips = %d, want 2", got)
+	}
+	t0 = cl.Trips()
+	cl.Create("/ops/second", 0o644) // warm: create only
+	if got := cl.Trips() - t0; got != 1 {
+		t.Errorf("warm create trips = %d, want 1", got)
+	}
+	t0 = cl.Trips()
+	cl.StatFile("/ops/first") // warm: 1 FMS trip
+	if got := cl.Trips() - t0; got != 1 {
+		t.Errorf("warm file-stat trips = %d, want 1", got)
+	}
+	// rmdir fans out to every FMS: lookup cached + 4 probes + 1 rmdir.
+	cl.Mkdir("/ops/victim", 0o755)
+	t0 = cl.Trips()
+	if err := cl.Rmdir("/ops/victim"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Trips() - t0; got != uint64(1+c.opts.FMSCount)+1 {
+		t.Errorf("rmdir trips = %d, want %d", got, 1+c.opts.FMSCount+1)
+	}
+}
+
+// TestReaddirPagination lists a directory larger than the client's page
+// size and verifies completeness (entries are fetched in multiple bounded
+// pages under the hood).
+func TestReaddirPagination(t *testing.T) {
+	c := startCluster(t, Options{FMSCount: 2})
+	cl := newClient(t, c, ClientConfig{})
+	cl.Mkdir("/big", 0o755)
+	total := client.ReaddirPageSize + 200
+	for i := 0; i < total; i++ {
+		if err := cl.Create(fmt.Sprintf("/big/f%05d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := cl.Mkdir(fmt.Sprintf("/big/d%05d", i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := cl.Readdir("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != total+40 {
+		t.Fatalf("readdir = %d entries, want %d", len(ents), total+40)
+	}
+	seen := map[string]bool{}
+	for i, e := range ents {
+		if seen[e.Name] {
+			t.Fatalf("duplicate entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if i > 0 && ents[i-1].Name >= e.Name {
+			t.Fatalf("unsorted at %d: %q >= %q", i, ents[i-1].Name, e.Name)
+		}
+	}
+}

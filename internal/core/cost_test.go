@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"locofs/internal/netsim"
+)
+
+func TestKVCostPrice(t *testing.T) {
+	k := KVCost{
+		Fixed:   10 * time.Microsecond,
+		ReadOp:  4 * time.Microsecond,
+		WriteOp: 3 * time.Microsecond,
+		PatchOp: 1 * time.Microsecond,
+		ScanRec: 500 * time.Nanosecond,
+		PerKB:   8 * time.Microsecond,
+	}
+	got := k.Price(2, 1, 3, 4, 2048)
+	want := 10*time.Microsecond + // fixed
+		8*time.Microsecond + // 2 reads
+		3*time.Microsecond + // 1 write
+		3*time.Microsecond + // 3 patches
+		2*time.Microsecond + // 4 scans
+		16*time.Microsecond // 2 KB
+	if got != want {
+		t.Errorf("Price = %v, want %v", got, want)
+	}
+	if k.Price(0, 0, 0, 0, 0) != k.Fixed {
+		t.Error("zero-activity price != Fixed")
+	}
+}
+
+// TestCostModelServiceFlowsToClient verifies the full pipeline: KV activity
+// on the server becomes ServiceNS, which becomes client virtual time.
+func TestCostModelServiceFlowsToClient(t *testing.T) {
+	cluster, err := Start(Options{FMSCount: 1, CostModel: &PaperKVCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	c0 := cl.Cost()
+	if err := cl.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cost := cl.Cost() - c0
+	// mkdir does at least: ancestor get + exists get + inode put + dirent
+	// append, so its cost must exceed Fixed + 2 reads + 2 writes.
+	min := PaperKVCost.Fixed + 2*PaperKVCost.ReadOp + 2*PaperKVCost.WriteOp
+	if cost < min {
+		t.Errorf("mkdir cost = %v, want >= %v", cost, min)
+	}
+	if cost > 10*min {
+		t.Errorf("mkdir cost = %v — implausibly high for one request", cost)
+	}
+	// Server busy time must account for the same service.
+	if busy := cluster.ServerBusy()[0]; busy < PaperKVCost.Fixed {
+		t.Errorf("DMS busy = %v after one mkdir", busy)
+	}
+}
+
+// TestCostModelDeterministicUnderConcurrency is the property that motivated
+// the cost model: virtual costs must not drift when many clients hammer the
+// servers concurrently (wall-clock measurement would).
+func TestCostModelDeterministicUnderConcurrency(t *testing.T) {
+	perOpCost := func(clients int) time.Duration {
+		cluster, err := Start(Options{
+			FMSCount:  2,
+			Link:      netsim.Paper1GbE,
+			CostModel: &PaperKVCost,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		setup, _ := cluster.NewClient(ClientConfig{})
+		setup.Mkdir("/w", 0o777)
+		setup.Close()
+		var wg sync.WaitGroup
+		costs := make([]time.Duration, clients)
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl, err := cluster.NewClient(ClientConfig{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer cl.Close()
+				cl.Create(fmt.Sprintf("/w/warm%d", w), 0o644) // warm cache
+				c0 := cl.Cost()
+				const ops = 30
+				for i := 0; i < ops; i++ {
+					if err := cl.Create(fmt.Sprintf("/w/c%d-f%d", w, i), 0o644); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				costs[w] = (cl.Cost() - c0) / ops
+			}(w)
+		}
+		wg.Wait()
+		var sum time.Duration
+		for _, c := range costs {
+			sum += c
+		}
+		return sum / time.Duration(clients)
+	}
+	solo := perOpCost(1)
+	loaded := perOpCost(16)
+	// The modeled per-op cost must be stable within a tight band regardless
+	// of concurrency (the fixed workload is identical per client).
+	ratio := float64(loaded) / float64(solo)
+	if ratio > 1.1 || ratio < 0.9 {
+		t.Errorf("per-op modeled cost drifted under load: solo %v vs 16 clients %v (%.2fx)",
+			solo, loaded, ratio)
+	}
+}
+
+// TestClusterBlockSizeOption verifies the block-size plumbing used by the
+// Fig 12 experiment.
+func TestClusterBlockSizeOption(t *testing.T) {
+	cluster, err := Start(Options{FMSCount: 1, BlockSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, _ := cluster.NewClient(ClientConfig{})
+	defer cl.Close()
+	cl.Mkdir("/d", 0o755)
+	cl.Create("/d/f", 0o644)
+	a, err := cl.StatFile("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BlockSize != 64<<10 {
+		t.Errorf("BlockSize = %d, want 64KiB", a.BlockSize)
+	}
+}
+
+// TestMetadataOpsServed verifies the aggregate op counter.
+func TestMetadataOpsServed(t *testing.T) {
+	cluster, err := Start(Options{FMSCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cl, _ := cluster.NewClient(ClientConfig{})
+	defer cl.Close()
+	cl.Mkdir("/d", 0o755)
+	cl.Create("/d/f", 0o644)
+	if got := cluster.MetadataOpsServed(); got < 2 {
+		t.Errorf("MetadataOpsServed = %d, want >= 2", got)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"locofs/internal/wire"
+)
+
+// TestSoakLargeNamespace pushes a moderately large namespace through the
+// full stack — tens of thousands of files across hundreds of directories,
+// from concurrent clients — and then audits the namespace exhaustively.
+// Skipped with -short.
+func TestSoakLargeNamespace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	const (
+		clients     = 8
+		dirsPerCli  = 25
+		filesPerDir = 40 // 8 * 25 * 40 = 8000 files, 200 dirs
+	)
+	cluster, err := Start(Options{FMSCount: 8, OSSCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := cluster.NewClient(ClientConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for d := 0; d < dirsPerCli; d++ {
+				dir := fmt.Sprintf("/c%d-d%d", w, d)
+				if err := cl.Mkdir(dir, 0o755); err != nil {
+					errs <- fmt.Errorf("mkdir %s: %w", dir, err)
+					return
+				}
+				for f := 0; f < filesPerDir; f++ {
+					p := fmt.Sprintf("%s/f%d", dir, f)
+					if err := cl.Create(p, 0o644); err != nil {
+						errs <- fmt.Errorf("create %s: %w", p, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Audit with a fresh client: every directory has exactly filesPerDir
+	// entries; every file stats; spot-renames and deletions behave.
+	audit, err := cluster.NewClient(ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+	rootEnts, err := audit.Readdir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootEnts) != clients*dirsPerCli {
+		t.Fatalf("root has %d dirs, want %d", len(rootEnts), clients*dirsPerCli)
+	}
+	for w := 0; w < clients; w++ {
+		for d := 0; d < dirsPerCli; d++ {
+			dir := fmt.Sprintf("/c%d-d%d", w, d)
+			ents, err := audit.Readdir(dir)
+			if err != nil {
+				t.Fatalf("readdir %s: %v", dir, err)
+			}
+			if len(ents) != filesPerDir {
+				t.Fatalf("%s has %d entries, want %d", dir, len(ents), filesPerDir)
+			}
+		}
+	}
+	// Spot checks across the namespace.
+	for _, p := range []string{"/c0-d0/f0", "/c7-d24/f39", "/c3-d12/f20"} {
+		if _, err := audit.StatFile(p); err != nil {
+			t.Errorf("stat %s: %v", p, err)
+		}
+	}
+	// Rename a loaded directory and verify reachability flips atomically
+	// from the client's perspective.
+	moved, err := audit.RenameDir("/c0-d0", "/renamed-soak")
+	if err != nil || moved != 1 {
+		t.Fatalf("RenameDir = %d, %v", moved, err)
+	}
+	if _, err := audit.StatFile("/renamed-soak/f39"); err != nil {
+		t.Errorf("file lost by rename: %v", err)
+	}
+	if _, err := audit.StatFile("/c0-d0/f39"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Errorf("old path alive: %v", err)
+	}
+	// Drain one directory and remove it.
+	for f := 0; f < filesPerDir; f++ {
+		if err := audit.Remove(fmt.Sprintf("/c1-d1/f%d", f)); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+	}
+	if err := audit.Rmdir("/c1-d1"); err != nil {
+		t.Fatalf("rmdir drained dir: %v", err)
+	}
+	// Per-server file counts must sum to the survivors.
+	total := 0
+	for _, f := range cluster.FMS {
+		total += f.FileCount()
+	}
+	want := clients*dirsPerCli*filesPerDir - filesPerDir
+	if total != want {
+		t.Errorf("FMS file counts sum to %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,567 @@
+// Package dms implements the LocoFS Directory Metadata Server.
+//
+// The DMS is the single server that owns every directory inode (§3.1). A
+// d-inode is stored as a key-value pair whose key is the directory's full
+// path and whose value is a fixed 256-byte inode; the dirents of a
+// directory's *subdirectories* are concatenated into one value keyed by the
+// directory's UUID (§3.2.1). Running on an ordered (B+-tree) store keeps all
+// paths under one directory adjacent, so directory rename is a prefix-range
+// move (§3.4.3); the hash-store mode — kept for the paper's Fig 14
+// comparison — must scan every record instead.
+//
+// Because all ancestors are local, a full ancestor existence + ACL check is
+// a handful of local KV gets inside one request, never a cross-server walk.
+package dms
+
+import (
+	"sync"
+	"time"
+
+	"locofs/internal/acl"
+	"locofs/internal/fspath"
+	"locofs/internal/kv"
+	"locofs/internal/layout"
+	"locofs/internal/rpc"
+	"locofs/internal/uuid"
+	"locofs/internal/wire"
+)
+
+// Key prefixes inside the DMS store. Directory inodes use "P:" + full path
+// so the tree engine clusters a directory's subtree; subdir dirent lists use
+// "S:" + uuid so rename (which changes paths, never UUIDs) leaves them
+// untouched.
+const (
+	prefixPath    = "P:"
+	prefixSubdirs = "S:"
+)
+
+// Options configures a DMS.
+type Options struct {
+	// Store is the backing KV store. Default: a fresh kv.BTreeStore.
+	Store kv.Store
+	// ServerID stamps generated UUIDs. Default 0.
+	ServerID uint32
+	// CheckPermissions enables ancestor ACL enforcement. Most experiments
+	// run with it on (it is the work Fig 13 measures).
+	CheckPermissions bool
+	// Now supplies timestamps; defaults to time.Now().UnixNano.
+	Now func() int64
+}
+
+// PathInode pairs a directory path with its inode, for lookup responses that
+// return the whole ancestor chain (the client caches every link, §3.2.2).
+type PathInode struct {
+	Path  string
+	Inode layout.DirInode
+}
+
+// Server is the directory metadata server. Its exported metadata methods are
+// the service logic; Attach wires them to an rpc.Server.
+type Server struct {
+	mu        sync.RWMutex
+	store     kv.Store
+	ordered   kv.Ordered // nil when running on a hash store
+	gen       *uuid.Generator
+	checkPerm bool
+	now       func() int64
+	tombs     uint64 // dirent tombstones logged, for amortized compaction
+}
+
+// New returns a DMS with the root directory ("/") created.
+func New(opts Options) *Server {
+	st := opts.Store
+	if st == nil {
+		st = kv.NewBTreeStore()
+	}
+	s := &Server{
+		store:     st,
+		gen:       uuid.NewGenerator(opts.ServerID),
+		checkPerm: opts.CheckPermissions,
+		now:       opts.Now,
+	}
+	if o, ok := st.(kv.Ordered); ok {
+		s.ordered = o
+	}
+	if inst, ok := st.(*kv.Instrumented); ok && !inst.IsOrdered() {
+		s.ordered = nil
+	}
+	if s.now == nil {
+		s.now = func() int64 { return time.Now().UnixNano() }
+	}
+	if _, ok := st.Get(pathKey("/")); !ok {
+		root := layout.NewDirInode()
+		root.SetUUID(uuid.Root)
+		root.SetCTime(s.now())
+		root.SetMode(layout.ModeDir | 0o777)
+		st.Put(pathKey("/"), root)
+	}
+	s.restoreGenerator()
+	return s
+}
+
+// restoreGenerator advances the UUID sequence past every identifier already
+// in the store, so a server restarted on persistent state never re-issues a
+// UUID.
+func (s *Server) restoreGenerator() {
+	sid := s.gen.SID()
+	var maxFid uint64
+	s.store.ForEach(func(k, v []byte) bool {
+		if len(k) < 2 || string(k[:2]) != prefixPath || len(v) != layout.DirInodeSize {
+			return true
+		}
+		u := layout.DirInode(v).UUID()
+		if u.SID() == sid && u.FID() > maxFid {
+			maxFid = u.FID()
+		}
+		return true
+	})
+	if maxFid > 0 {
+		s.gen.Restore(maxFid)
+	}
+}
+
+func pathKey(path string) []byte {
+	return append([]byte(prefixPath), path...)
+}
+
+func subdirsKey(u uuid.UUID) []byte {
+	return append([]byte(prefixSubdirs), u[:]...)
+}
+
+// Ordered reports whether the DMS runs on an ordered (tree) store.
+func (s *Server) Ordered() bool { return s.ordered != nil }
+
+// getInode fetches a directory inode by cleaned path. Caller holds s.mu.
+func (s *Server) getInode(path string) (layout.DirInode, bool) {
+	v, ok := s.store.Get(pathKey(path))
+	if !ok || len(v) != layout.DirInodeSize {
+		return nil, false
+	}
+	return layout.DirInode(v), true
+}
+
+// checkAncestors verifies that every proper ancestor of path exists and is
+// traversable by (uid, gid). It returns the ancestor chain on success. This
+// is the paper's single-server ACL walk: N local gets, zero network hops.
+func (s *Server) checkAncestors(path string, uid, gid uint32) ([]PathInode, wire.Status) {
+	ancestors := fspath.Ancestors(path)
+	chain := make([]PathInode, 0, len(ancestors)+1)
+	for _, a := range ancestors {
+		ino, ok := s.getInode(a)
+		if !ok {
+			return nil, wire.StatusNotFound
+		}
+		if s.checkPerm && !acl.CanExec(ino.Mode(), ino.UID(), ino.GID(), uid, gid) {
+			return nil, wire.StatusPerm
+		}
+		chain = append(chain, PathInode{Path: a, Inode: ino})
+	}
+	return chain, wire.StatusOK
+}
+
+// Mkdir creates a directory. It returns the new directory's UUID.
+func (s *Server) Mkdir(path string, mode, uid, gid uint32) (uuid.UUID, wire.Status) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return uuid.Nil, wire.StatusInval
+	}
+	if cleaned == "/" {
+		return uuid.Nil, wire.StatusExist
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain, st := s.checkAncestors(cleaned, uid, gid)
+	if st != wire.StatusOK {
+		return uuid.Nil, st
+	}
+	parent := chain[len(chain)-1].Inode
+	if s.checkPerm && !acl.CanWrite(parent.Mode(), parent.UID(), parent.GID(), uid, gid) {
+		return uuid.Nil, wire.StatusPerm
+	}
+	if _, ok := s.getInode(cleaned); ok {
+		return uuid.Nil, wire.StatusExist
+	}
+	ino := layout.NewDirInode()
+	u := s.gen.Next()
+	ino.SetUUID(u)
+	ino.SetCTime(s.now())
+	ino.SetMode(layout.ModeDir | (mode & layout.PermMask))
+	ino.SetUID(uid)
+	ino.SetGID(gid)
+	s.store.Put(pathKey(cleaned), ino)
+	_, name := fspath.Split(cleaned)
+	ent := layout.AppendDirent(nil, layout.Dirent{Name: name, UUID: u})
+	s.store.AppendValue(subdirsKey(parent.UUID()), ent)
+	return u, wire.StatusOK
+}
+
+// Lookup resolves path, enforcing the ancestor ACL walk, and returns the
+// full chain of (ancestor..., target) inodes so clients can warm their
+// directory cache from one round trip.
+func (s *Server) Lookup(path string, uid, gid uint32) ([]PathInode, wire.Status) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, wire.StatusInval
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain, st := s.checkAncestors(cleaned, uid, gid)
+	if st != wire.StatusOK {
+		return nil, st
+	}
+	ino, ok := s.getInode(cleaned)
+	if !ok {
+		return nil, wire.StatusNotFound
+	}
+	return append(chain, PathInode{Path: cleaned, Inode: ino}), wire.StatusOK
+}
+
+// Stat returns the inode of one directory (no chain).
+func (s *Server) Stat(path string, uid, gid uint32) (layout.DirInode, wire.Status) {
+	chain, st := s.Lookup(path, uid, gid)
+	if st != wire.StatusOK {
+		return nil, st
+	}
+	return chain[len(chain)-1].Inode, wire.StatusOK
+}
+
+// ReaddirSubdirs returns one page of path's subdirectory entries, in name
+// order, starting strictly after cursor (empty cursor = from the start).
+// more reports whether further pages exist. File entries live on the FMSs;
+// the client merges. Paging bounds response size for huge directories.
+func (s *Server) ReaddirSubdirs(path string, uid, gid uint32, cursor string, limit int) (ents []layout.Dirent, more bool, st wire.Status) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, false, wire.StatusInval
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, st := s.checkAncestors(cleaned, uid, gid); st != wire.StatusOK {
+		return nil, false, st
+	}
+	ino, ok := s.getInode(cleaned)
+	if !ok {
+		return nil, false, wire.StatusNotFound
+	}
+	if s.checkPerm && !acl.CanRead(ino.Mode(), ino.UID(), ino.GID(), uid, gid) {
+		return nil, false, wire.StatusPerm
+	}
+	list, _ := s.store.Get(subdirsKey(ino.UUID()))
+	ents, more, err = layout.DirentPage(list, cursor, limit)
+	if err != nil {
+		return nil, false, wire.StatusIO
+	}
+	return ents, more, wire.StatusOK
+}
+
+// Rmdir removes an empty directory. "Empty" here means no subdirectories;
+// the client is responsible for first confirming with every FMS that the
+// directory holds no files (§4.2.1 — the readdir/rmdir fan-out cost).
+func (s *Server) Rmdir(path string, uid, gid uint32) wire.Status {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval
+	}
+	if cleaned == "/" {
+		return wire.StatusPerm
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain, st := s.checkAncestors(cleaned, uid, gid)
+	if st != wire.StatusOK {
+		return st
+	}
+	parent := chain[len(chain)-1].Inode
+	if s.checkPerm && !acl.CanWrite(parent.Mode(), parent.UID(), parent.GID(), uid, gid) {
+		return wire.StatusPerm
+	}
+	ino, ok := s.getInode(cleaned)
+	if !ok {
+		return wire.StatusNotFound
+	}
+	if list, ok := s.store.Get(subdirsKey(ino.UUID())); ok {
+		n, err := layout.CountDirents(list)
+		if err != nil {
+			return wire.StatusIO
+		}
+		if n > 0 {
+			return wire.StatusNotEmpty
+		}
+	}
+	s.store.Delete(pathKey(cleaned))
+	s.store.Delete(subdirsKey(ino.UUID()))
+	s.removeParentDirent(parent.UUID(), cleaned)
+	return wire.StatusOK
+}
+
+// removeParentDirent logs a tombstone for cleaned in its parent's subdir
+// list — O(appended bytes) — with amortized compaction. Caller holds s.mu.
+func (s *Server) removeParentDirent(parentUUID uuid.UUID, cleaned string) {
+	_, name := fspath.Split(cleaned)
+	key := subdirsKey(parentUUID)
+	s.store.AppendValue(key, layout.AppendDirentTombstone(nil, name))
+	s.tombs++
+	if s.tombs%compactEvery == 0 {
+		if list, ok := s.store.Get(key); ok {
+			if out, live, err := layout.CompactDirents(list); err == nil {
+				if live == 0 {
+					s.store.Delete(key)
+				} else {
+					s.store.Put(key, out)
+				}
+			}
+		}
+	}
+}
+
+// compactEvery bounds dirent-tombstone garbage: one compaction per this
+// many removals.
+const compactEvery = 64
+
+// Chmod updates a directory's permission bits in place (no value rewrite).
+func (s *Server) Chmod(path string, mode, uid, gid uint32) wire.Status {
+	return s.patchInode(path, uid, gid, func(ino layout.DirInode) ([]layout.FieldPatch, wire.Status) {
+		if s.checkPerm && !acl.IsOwner(ino.UID(), uid) {
+			return nil, wire.StatusPerm
+		}
+		newMode := layout.ModeDir | (mode & layout.PermMask)
+		return layout.PatchDirMode(newMode, s.now()), wire.StatusOK
+	})
+}
+
+// Chown updates a directory's owner in place.
+func (s *Server) Chown(path string, newUID, newGID, uid, gid uint32) wire.Status {
+	return s.patchInode(path, uid, gid, func(ino layout.DirInode) ([]layout.FieldPatch, wire.Status) {
+		if s.checkPerm && uid != 0 {
+			return nil, wire.StatusPerm // only root may chown
+		}
+		return layout.PatchDirOwner(newUID, newGID, s.now()), wire.StatusOK
+	})
+}
+
+func (s *Server) patchInode(path string, uid, gid uint32, fn func(layout.DirInode) ([]layout.FieldPatch, wire.Status)) wire.Status {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, st := s.checkAncestors(cleaned, uid, gid); st != wire.StatusOK {
+		return st
+	}
+	ino, ok := s.getInode(cleaned)
+	if !ok {
+		return wire.StatusNotFound
+	}
+	patches, st := fn(ino)
+	if st != wire.StatusOK {
+		return st
+	}
+	for _, p := range patches {
+		if !s.store.PatchInPlace(pathKey(cleaned), p.Off, p.Data) {
+			return wire.StatusIO
+		}
+	}
+	return wire.StatusOK
+}
+
+// Rename moves a directory (and its whole subtree of directory inodes) from
+// oldPath to newPath. On the tree store this is a contiguous prefix move;
+// on a hash store it degenerates to a full scan (Fig 14). Files and subdir
+// dirent lists are indexed by UUID and never move (§3.4.2). It returns the
+// number of relocated directory inodes (including the directory itself).
+func (s *Server) Rename(oldPath, newPath string, uid, gid uint32) (int, wire.Status) {
+	oldC, err := fspath.Clean(oldPath)
+	if err != nil {
+		return 0, wire.StatusInval
+	}
+	newC, err := fspath.Clean(newPath)
+	if err != nil {
+		return 0, wire.StatusInval
+	}
+	if oldC == "/" || newC == "/" || oldC == newC {
+		return 0, wire.StatusInval
+	}
+	if fspath.IsAncestorOf(oldC, newC) {
+		return 0, wire.StatusInval // cannot move a directory under itself
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oldChain, st := s.checkAncestors(oldC, uid, gid)
+	if st != wire.StatusOK {
+		return 0, st
+	}
+	newChain, st := s.checkAncestors(newC, uid, gid)
+	if st != wire.StatusOK {
+		return 0, st
+	}
+	ino, ok := s.getInode(oldC)
+	if !ok {
+		return 0, wire.StatusNotFound
+	}
+	if _, exists := s.getInode(newC); exists {
+		return 0, wire.StatusExist
+	}
+	oldParent := oldChain[len(oldChain)-1].Inode
+	newParent := newChain[len(newChain)-1].Inode
+	if s.checkPerm {
+		if !acl.CanWrite(oldParent.Mode(), oldParent.UID(), oldParent.GID(), uid, gid) ||
+			!acl.CanWrite(newParent.Mode(), newParent.UID(), newParent.GID(), uid, gid) {
+			return 0, wire.StatusPerm
+		}
+	}
+
+	moved := 1
+	// Move the directory's own inode.
+	s.store.Delete(pathKey(oldC))
+	s.store.Put(pathKey(newC), ino)
+	// Move the subtree.
+	oldPrefix := pathKey(oldC + "/")
+	newPrefix := pathKey(newC + "/")
+	if s.ordered != nil {
+		moved += s.ordered.MovePrefix(oldPrefix, newPrefix)
+	} else {
+		moved += s.movePrefixByScan(oldPrefix, newPrefix)
+	}
+	// Fix parent dirent lists. The moved directory keeps its UUID, so its
+	// own subdir list and every file indexed by it are untouched.
+	s.removeParentDirent(oldParent.UUID(), oldC)
+	_, newName := fspath.Split(newC)
+	ent := layout.AppendDirent(nil, layout.Dirent{Name: newName, UUID: ino.UUID()})
+	s.store.AppendValue(subdirsKey(newParent.UUID()), ent)
+	return moved, wire.StatusOK
+}
+
+// movePrefixByScan is the hash-store rename path: every record in the store
+// must be visited to find the subtree (the paper's Fig 14 "hash" series).
+func (s *Server) movePrefixByScan(oldPrefix, newPrefix []byte) int {
+	type rec struct{ k, v []byte }
+	var hits []rec
+	s.store.ForEach(func(k, v []byte) bool {
+		if len(k) >= len(oldPrefix) && string(k[:len(oldPrefix)]) == string(oldPrefix) {
+			nk := append(append([]byte(nil), newPrefix...), k[len(oldPrefix):]...)
+			hits = append(hits, rec{k: nk, v: append([]byte(nil), v...)})
+		}
+		return true
+	})
+	for _, r := range hits {
+		ok := append(append([]byte(nil), oldPrefix...), r.k[len(newPrefix):]...)
+		s.store.Delete(ok)
+	}
+	for _, r := range hits {
+		s.store.Put(r.k, r.v)
+	}
+	return len(hits)
+}
+
+// DirCount returns the number of directories (for tests and experiments).
+func (s *Server) DirCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	s.store.ForEach(func(k, v []byte) bool {
+		if len(k) >= 2 && string(k[:2]) == prefixPath {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Attach registers the DMS request handlers on an rpc.Server.
+func (s *Server) Attach(rs *rpc.Server) {
+	rs.Handle(wire.OpMkdir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, mode, uid, gid := d.Str(), d.U32(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		u, st := s.Mkdir(path, mode, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		return wire.StatusOK, wire.NewEnc().UUID(u).Bytes()
+	})
+	rs.Handle(wire.OpLookupDir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, uid, gid := d.Str(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		chain, st := s.Lookup(path, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		e := wire.NewEnc().U32(uint32(len(chain)))
+		for _, pi := range chain {
+			e.Str(pi.Path).Blob(pi.Inode)
+		}
+		return wire.StatusOK, e.Bytes()
+	})
+	rs.Handle(wire.OpStatDir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, uid, gid := d.Str(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		ino, st := s.Stat(path, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		return wire.StatusOK, wire.NewEnc().Blob(ino).Bytes()
+	})
+	rs.Handle(wire.OpReaddirSubdirs, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, uid, gid := d.Str(), d.U32(), d.U32()
+		cursor := d.Str()
+		limit := d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		ents, more, st := s.ReaddirSubdirs(path, uid, gid, cursor, int(limit))
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		e := wire.NewEnc().U32(uint32(len(ents))).Bool(more)
+		for _, ent := range ents {
+			e.Str(ent.Name).UUID(ent.UUID)
+		}
+		return wire.StatusOK, e.Bytes()
+	})
+	rs.Handle(wire.OpRmdir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, uid, gid := d.Str(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		return s.Rmdir(path, uid, gid), nil
+	})
+	rs.Handle(wire.OpChmodDir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, mode, uid, gid := d.Str(), d.U32(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		return s.Chmod(path, mode, uid, gid), nil
+	})
+	rs.Handle(wire.OpChownDir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		path, newUID, newGID, uid, gid := d.Str(), d.U32(), d.U32(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		return s.Chown(path, newUID, newGID, uid, gid), nil
+	})
+	rs.Handle(wire.OpRenameDir, func(body []byte) (wire.Status, []byte) {
+		d := wire.NewDec(body)
+		oldPath, newPath, uid, gid := d.Str(), d.Str(), d.U32(), d.U32()
+		if d.Err() != nil {
+			return wire.StatusInval, nil
+		}
+		moved, st := s.Rename(oldPath, newPath, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		return wire.StatusOK, wire.NewEnc().U64(uint64(moved)).Bytes()
+	})
+}

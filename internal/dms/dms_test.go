@@ -1,0 +1,358 @@
+package dms
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"locofs/internal/kv"
+	"locofs/internal/layout"
+	"locofs/internal/wire"
+)
+
+func newDMS(t *testing.T, opts Options) *Server {
+	t.Helper()
+	return New(opts)
+}
+
+func TestRootExists(t *testing.T) {
+	s := newDMS(t, Options{})
+	chain, st := s.Lookup("/", 1, 1)
+	if st != wire.StatusOK || len(chain) != 1 || chain[0].Path != "/" {
+		t.Fatalf("Lookup(/) = %v, %v", chain, st)
+	}
+	if chain[0].Inode.UUID().IsNil() {
+		t.Error("root has nil uuid")
+	}
+}
+
+func TestMkdirLookupChain(t *testing.T) {
+	s := newDMS(t, Options{})
+	if _, st := s.Mkdir("/a", 0o755, 1, 1); st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	if _, st := s.Mkdir("/a/b", 0o755, 1, 1); st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	chain, st := s.Lookup("/a/b", 1, 1)
+	if st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	if len(chain) != 3 || chain[0].Path != "/" || chain[1].Path != "/a" || chain[2].Path != "/a/b" {
+		t.Errorf("chain = %+v", pathsOf(chain))
+	}
+}
+
+func pathsOf(chain []PathInode) []string {
+	out := make([]string, len(chain))
+	for i, pi := range chain {
+		out[i] = pi.Path
+	}
+	return out
+}
+
+func TestMkdirUUIDsUnique(t *testing.T) {
+	s := newDMS(t, Options{})
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		u, st := s.Mkdir(fmt.Sprintf("/d%d", i), 0o755, 1, 1)
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		if seen[u.String()] {
+			t.Fatalf("duplicate uuid %v", u)
+		}
+		seen[u.String()] = true
+	}
+}
+
+func TestMkdirStatuses(t *testing.T) {
+	s := newDMS(t, Options{})
+	s.Mkdir("/a", 0o755, 1, 1)
+	if _, st := s.Mkdir("/a", 0o755, 1, 1); st != wire.StatusExist {
+		t.Errorf("dup mkdir = %v", st)
+	}
+	if _, st := s.Mkdir("/nope/x", 0o755, 1, 1); st != wire.StatusNotFound {
+		t.Errorf("orphan mkdir = %v", st)
+	}
+	if _, st := s.Mkdir("bad", 0o755, 1, 1); st != wire.StatusInval {
+		t.Errorf("relative mkdir = %v", st)
+	}
+	if _, st := s.Mkdir("/", 0o755, 1, 1); st != wire.StatusExist {
+		t.Errorf("mkdir / = %v", st)
+	}
+}
+
+func TestPermissionChecks(t *testing.T) {
+	s := newDMS(t, Options{CheckPermissions: true})
+	if _, st := s.Mkdir("/priv", 0o700, 10, 10); st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	// Another user cannot traverse or create inside.
+	if _, st := s.Mkdir("/priv/x", 0o755, 20, 20); st != wire.StatusPerm {
+		t.Errorf("mkdir under 0700 by other = %v", st)
+	}
+	if _, st := s.Lookup("/priv/x", 20, 20); st != wire.StatusPerm {
+		t.Errorf("lookup under 0700 by other = %v", st)
+	}
+	// Parent writable but not by this user.
+	if _, st := s.Mkdir("/priv/y", 0o755, 10, 10); st != wire.StatusOK {
+		t.Errorf("owner mkdir = %v", st)
+	}
+	// Root bypasses.
+	if _, st := s.Mkdir("/priv/z", 0o755, 0, 0); st != wire.StatusOK {
+		t.Errorf("root mkdir = %v", st)
+	}
+}
+
+func TestReaddirSubdirs(t *testing.T) {
+	s := newDMS(t, Options{})
+	s.Mkdir("/p", 0o755, 1, 1)
+	for i := 0; i < 10; i++ {
+		s.Mkdir(fmt.Sprintf("/p/s%d", i), 0o755, 1, 1)
+	}
+	ents, more, st := s.ReaddirSubdirs("/p", 1, 1, "", 0)
+	if st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	if len(ents) != 10 || more {
+		t.Errorf("got %d entries (more=%v), want 10", len(ents), more)
+	}
+	// Paging: 3 at a time, resuming via cursor.
+	var paged []layout.Dirent
+	cursor := ""
+	for {
+		page, m, st := s.ReaddirSubdirs("/p", 1, 1, cursor, 3)
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		paged = append(paged, page...)
+		if !m {
+			break
+		}
+		cursor = page[len(page)-1].Name
+	}
+	if len(paged) != 10 {
+		t.Errorf("paged read returned %d entries, want 10", len(paged))
+	}
+}
+
+func TestRmdir(t *testing.T) {
+	s := newDMS(t, Options{})
+	s.Mkdir("/p", 0o755, 1, 1)
+	s.Mkdir("/p/c", 0o755, 1, 1)
+	if st := s.Rmdir("/p", 1, 1); st != wire.StatusNotEmpty {
+		t.Errorf("rmdir non-empty = %v", st)
+	}
+	if st := s.Rmdir("/p/c", 1, 1); st != wire.StatusOK {
+		t.Errorf("rmdir leaf = %v", st)
+	}
+	if st := s.Rmdir("/p", 1, 1); st != wire.StatusOK {
+		t.Errorf("rmdir emptied = %v", st)
+	}
+	if st := s.Rmdir("/p", 1, 1); st != wire.StatusNotFound {
+		t.Errorf("rmdir gone = %v", st)
+	}
+	if st := s.Rmdir("/", 1, 1); st != wire.StatusPerm {
+		t.Errorf("rmdir / = %v", st)
+	}
+	// Parent dirent list must no longer contain the removed dir.
+	rootEnts, _, _ := s.ReaddirSubdirs("/", 1, 1, "", 0)
+	for _, e := range rootEnts {
+		if e.Name == "p" {
+			t.Error("removed dir still in parent dirents")
+		}
+	}
+}
+
+func TestChmodChown(t *testing.T) {
+	s := newDMS(t, Options{CheckPermissions: true})
+	s.Mkdir("/d", 0o755, 10, 10)
+	if st := s.Chmod("/d", 0o700, 20, 20); st != wire.StatusPerm {
+		t.Errorf("chmod by non-owner = %v", st)
+	}
+	if st := s.Chmod("/d", 0o700, 10, 10); st != wire.StatusOK {
+		t.Errorf("chmod by owner = %v", st)
+	}
+	ino, _ := s.Stat("/d", 10, 10)
+	if ino.Mode()&layout.PermMask != 0o700 {
+		t.Errorf("mode = %o", ino.Mode())
+	}
+	if ino.Mode()&layout.ModeDir == 0 {
+		t.Error("chmod dropped the directory type bit")
+	}
+	if st := s.Chown("/d", 20, 20, 10, 10); st != wire.StatusPerm {
+		t.Errorf("chown by non-root = %v", st)
+	}
+	if st := s.Chown("/d", 20, 20, 0, 0); st != wire.StatusOK {
+		t.Errorf("chown by root = %v", st)
+	}
+	ino, _ = s.Stat("/d", 0, 0)
+	if ino.UID() != 20 || ino.GID() != 20 {
+		t.Errorf("owner = %d/%d", ino.UID(), ino.GID())
+	}
+}
+
+func TestRenameBasic(t *testing.T) {
+	s := newDMS(t, Options{})
+	s.Mkdir("/old", 0o755, 1, 1)
+	s.Mkdir("/old/a", 0o755, 1, 1)
+	s.Mkdir("/old/a/b", 0o755, 1, 1)
+	uBefore, _ := s.Stat("/old", 1, 1)
+
+	moved, st := s.Rename("/old", "/new", 1, 1)
+	if st != wire.StatusOK || moved != 3 {
+		t.Fatalf("Rename = %d, %v", moved, st)
+	}
+	uAfter, st := s.Stat("/new", 1, 1)
+	if st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	if uBefore.UUID() != uAfter.UUID() {
+		t.Error("rename changed the directory UUID")
+	}
+	if _, st := s.Stat("/old", 1, 1); st != wire.StatusNotFound {
+		t.Errorf("old path survives: %v", st)
+	}
+	if _, st := s.Stat("/new/a/b", 1, 1); st != wire.StatusOK {
+		t.Errorf("subtree lost: %v", st)
+	}
+	// Parent dirent list updated.
+	rootEnts, _, _ := s.ReaddirSubdirs("/", 1, 1, "", 0)
+	var names []string
+	for _, e := range rootEnts {
+		names = append(names, e.Name)
+	}
+	if len(names) != 1 || names[0] != "new" {
+		t.Errorf("root dirents = %v", names)
+	}
+}
+
+func TestRenameInvalid(t *testing.T) {
+	s := newDMS(t, Options{})
+	s.Mkdir("/a", 0o755, 1, 1)
+	s.Mkdir("/b", 0o755, 1, 1)
+	if _, st := s.Rename("/a", "/a/x", 1, 1); st != wire.StatusInval {
+		t.Errorf("rename into self = %v", st)
+	}
+	if _, st := s.Rename("/a", "/b", 1, 1); st != wire.StatusExist {
+		t.Errorf("rename onto existing = %v", st)
+	}
+	if _, st := s.Rename("/zz", "/y", 1, 1); st != wire.StatusNotFound {
+		t.Errorf("rename missing = %v", st)
+	}
+	if _, st := s.Rename("/", "/y", 1, 1); st != wire.StatusInval {
+		t.Errorf("rename root = %v", st)
+	}
+	if _, st := s.Rename("/a", "/a", 1, 1); st != wire.StatusInval {
+		t.Errorf("rename to self = %v", st)
+	}
+}
+
+func TestRenameSimilarPrefixNotMoved(t *testing.T) {
+	s := newDMS(t, Options{})
+	s.Mkdir("/ab", 0o755, 1, 1)
+	s.Mkdir("/abc", 0o755, 1, 1) // shares byte prefix with /ab
+	moved, st := s.Rename("/ab", "/xy", 1, 1)
+	if st != wire.StatusOK || moved != 1 {
+		t.Fatalf("Rename = %d, %v", moved, st)
+	}
+	if _, st := s.Stat("/abc", 1, 1); st != wire.StatusOK {
+		t.Error("sibling /abc was dragged along by the prefix move")
+	}
+}
+
+// TestRenameModelProperty compares rename behavior on tree- and hash-backed
+// DMS instances against a simple path-set model, with random tree shapes.
+func TestRenameModelProperty(t *testing.T) {
+	for _, engine := range []string{"btree", "hash"} {
+		t.Run(engine, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for round := 0; round < 20; round++ {
+				var store kv.Store
+				if engine == "hash" {
+					store = kv.NewHashStore()
+				} else {
+					store = kv.NewBTreeStore()
+				}
+				s := New(Options{Store: store})
+				model := map[string]bool{}
+				// Build a random tree.
+				paths := []string{"/"}
+				for i := 0; i < 30; i++ {
+					parent := paths[rng.Intn(len(paths))]
+					p := parent + "/" + fmt.Sprintf("d%d", i)
+					if parent == "/" {
+						p = "/" + fmt.Sprintf("d%d", i)
+					}
+					if _, st := s.Mkdir(p, 0o755, 1, 1); st == wire.StatusOK {
+						model[p] = true
+						paths = append(paths, p)
+					}
+				}
+				// Rename a random directory to a fresh root name.
+				var victim string
+				for p := range model {
+					victim = p
+					break
+				}
+				if victim == "" {
+					continue
+				}
+				target := fmt.Sprintf("/renamed%d", round)
+				moved, st := s.Rename(victim, target, 1, 1)
+				if st != wire.StatusOK {
+					t.Fatalf("rename %s -> %s: %v", victim, target, st)
+				}
+				// Apply to model.
+				newModel := map[string]bool{}
+				expectMoved := 0
+				for p := range model {
+					if p == victim || strings.HasPrefix(p, victim+"/") {
+						newModel[target+p[len(victim):]] = true
+						expectMoved++
+					} else {
+						newModel[p] = true
+					}
+				}
+				if moved != expectMoved {
+					t.Fatalf("moved %d, model says %d", moved, expectMoved)
+				}
+				for p := range newModel {
+					if _, st := s.Stat(p, 1, 1); st != wire.StatusOK {
+						t.Fatalf("model path %s missing after rename (%v)", p, st)
+					}
+				}
+				if got := s.DirCount(); got != len(newModel)+1 { // +1 for root
+					t.Fatalf("DirCount = %d, model = %d", got, len(newModel)+1)
+				}
+			}
+		})
+	}
+}
+
+func TestOrderedReportsEngine(t *testing.T) {
+	if !New(Options{Store: kv.NewBTreeStore()}).Ordered() {
+		t.Error("btree DMS not Ordered")
+	}
+	if New(Options{Store: kv.NewHashStore()}).Ordered() {
+		t.Error("hash DMS claims Ordered")
+	}
+	if !New(Options{Store: kv.Instrument(kv.NewBTreeStore(), kv.RAM)}).Ordered() {
+		t.Error("instrumented btree DMS not Ordered")
+	}
+	if New(Options{Store: kv.Instrument(kv.NewHashStore(), kv.RAM)}).Ordered() {
+		t.Error("instrumented hash DMS claims Ordered")
+	}
+}
+
+func TestDeterministicClock(t *testing.T) {
+	var tick int64
+	s := New(Options{Now: func() int64 { tick++; return tick }})
+	s.Mkdir("/a", 0o755, 1, 1)
+	ino, _ := s.Stat("/a", 1, 1)
+	if ino.CTime() == 0 {
+		t.Error("ctime not stamped from injected clock")
+	}
+}

@@ -1,0 +1,62 @@
+package dms
+
+import (
+	"fmt"
+	"testing"
+
+	"locofs/internal/kv"
+	"locofs/internal/wire"
+)
+
+// TestDMSRestartOnPersistentStore: a DMS restarted over a kv.Persistent
+// store recovers its namespace and never re-issues a UUID.
+func TestDMSRestartOnPersistentStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kv.OpenPersistent(dir, kv.NewBTreeStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Store: store})
+	var uuids = map[string]bool{}
+	for i := 0; i < 20; i++ {
+		u, st := s.Mkdir(fmt.Sprintf("/d%d", i), 0o755, 1, 1)
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		uuids[u.String()] = true
+	}
+	if _, st := s.Mkdir("/d0/nested", 0o755, 1, 1); st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	if _, st := s.Rename("/d1", "/renamed", 1, 1); st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	// Crash (no clean close), then restart on the same directory.
+	store2, err := kv.OpenPersistent(dir, kv.NewBTreeStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Options{Store: store2})
+	defer store2.Close()
+
+	if _, st := s2.Stat("/d0/nested", 1, 1); st != wire.StatusOK {
+		t.Errorf("nested dir lost across restart: %v", st)
+	}
+	if _, st := s2.Stat("/renamed", 1, 1); st != wire.StatusOK {
+		t.Errorf("renamed dir lost: %v", st)
+	}
+	if _, st := s2.Stat("/d1", 1, 1); st != wire.StatusNotFound {
+		t.Errorf("old rename source resurrected: %v", st)
+	}
+	// New UUIDs must not collide with recovered ones.
+	for i := 0; i < 20; i++ {
+		u, st := s2.Mkdir(fmt.Sprintf("/post%d", i), 0o755, 1, 1)
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		if uuids[u.String()] {
+			t.Fatalf("restarted DMS re-issued uuid %v", u)
+		}
+	}
+	store.Close()
+}

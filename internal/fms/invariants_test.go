@@ -1,0 +1,168 @@
+package fms
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"locofs/internal/kv"
+	"locofs/internal/uuid"
+	"locofs/internal/wire"
+)
+
+// TestInvariantDirentsMatchFiles (DESIGN.md invariant 4): after an arbitrary
+// concurrent create/remove storm, the concatenated dirent list equals
+// exactly the set of live files.
+func TestInvariantDirentsMatchFiles(t *testing.T) {
+	s := New(Options{ServerID: 1})
+	dir := uuid.New(0, 7)
+	const workers = 8
+	const opsPerWorker = 300
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerWorker; i++ {
+				name := fmt.Sprintf("w%d-f%d", w, rng.Intn(40))
+				if rng.Intn(2) == 0 {
+					s.Create(dir, name, 0o644, 1, 1)
+				} else {
+					s.Remove(dir, name, 1, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The dirent list and the access-part keys must describe the same set.
+	ents, _, st := s.ReaddirFiles(dir, "", 0)
+	if st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	fromDirents := map[string]bool{}
+	for _, e := range ents {
+		if fromDirents[e.Name] {
+			t.Errorf("duplicate dirent for %q", e.Name)
+		}
+		fromDirents[e.Name] = true
+	}
+	live := map[string]bool{}
+	for name := range fromDirents {
+		_ = name
+	}
+	for w := 0; w < workers; w++ {
+		for f := 0; f < 40; f++ {
+			name := fmt.Sprintf("w%d-f%d", w, f)
+			if _, st := s.Getattr(dir, name); st == wire.StatusOK {
+				live[name] = true
+			}
+		}
+	}
+	if len(live) != len(fromDirents) {
+		t.Errorf("live files = %d, dirents = %d", len(live), len(fromDirents))
+	}
+	for name := range live {
+		if !fromDirents[name] {
+			t.Errorf("live file %q missing from dirents", name)
+		}
+	}
+	for name := range fromDirents {
+		if !live[name] {
+			t.Errorf("dirent %q has no live file", name)
+		}
+	}
+}
+
+// TestInvariantNoOrphanParts (DESIGN.md invariant 2): in decoupled mode, a
+// file's access part and content part exist or vanish together, even under
+// concurrent create/remove of the same names.
+func TestInvariantNoOrphanParts(t *testing.T) {
+	store := kv.NewHashStore()
+	s := New(Options{Store: store, ServerID: 1})
+	dir := uuid.New(0, 9)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 400; i++ {
+				name := fmt.Sprintf("f%d", rng.Intn(25)) // heavy name contention
+				if rng.Intn(2) == 0 {
+					s.Create(dir, name, 0o644, 1, 1)
+				} else {
+					s.Remove(dir, name, 1, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	access := map[string]bool{}
+	content := map[string]bool{}
+	store.ForEach(func(k, v []byte) bool {
+		if len(k) < 2 {
+			return true
+		}
+		switch string(k[:2]) {
+		case "A:":
+			access[string(k[2:])] = true
+		case "C:":
+			content[string(k[2:])] = true
+		}
+		return true
+	})
+	for k := range access {
+		if !content[k] {
+			t.Errorf("access part without content part: %q", k)
+		}
+	}
+	for k := range content {
+		if !access[k] {
+			t.Errorf("content part without access part: %q", k)
+		}
+	}
+}
+
+// TestInvariantUUIDStableAcrossMetaMoves: CreateWithMeta + Remove (the
+// f-rename path) must preserve the UUID through arbitrarily many hops.
+func TestInvariantUUIDStableAcrossMetaMoves(t *testing.T) {
+	s := New(Options{ServerID: 1})
+	dirs := []uuid.UUID{uuid.New(0, 1), uuid.New(0, 2), uuid.New(0, 3)}
+	u, st := s.Create(dirs[0], "hop0", 0o644, 1, 1)
+	if st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	cur := 0
+	name := "hop0"
+	for hop := 1; hop < 10; hop++ {
+		m, st := s.Getattr(dirs[cur], name)
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		next := (cur + 1) % len(dirs)
+		newName := fmt.Sprintf("hop%d", hop)
+		if st := s.CreateWithMeta(dirs[next], newName, m); st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		if _, st := s.Remove(dirs[cur], name, 1, 1); st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		cur, name = next, newName
+	}
+	m, st := s.Getattr(dirs[cur], name)
+	if st != wire.StatusOK {
+		t.Fatal(st)
+	}
+	if m.UUID() != u {
+		t.Errorf("uuid changed across moves: %v -> %v", u, m.UUID())
+	}
+	if s.FileCount() != 1 {
+		t.Errorf("FileCount = %d, want 1", s.FileCount())
+	}
+}

@@ -1,0 +1,89 @@
+package fms
+
+import (
+	"fmt"
+	"testing"
+
+	"locofs/internal/kv"
+	"locofs/internal/uuid"
+	"locofs/internal/wire"
+)
+
+// TestFMSRestartOnPersistentStore: an FMS restarted over a kv.Persistent
+// store recovers file metadata (both parts, and dirent logs) and never
+// re-issues a UUID.
+func TestFMSRestartOnPersistentStore(t *testing.T) {
+	for _, coupled := range []bool{false, true} {
+		name := "decoupled"
+		if coupled {
+			name = "coupled"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			store, err := kv.OpenPersistent(dir, kv.NewHashStore())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := New(Options{Store: store, ServerID: 3, Coupled: coupled})
+			parent := uuid.New(0, 42)
+			seen := map[string]bool{}
+			for i := 0; i < 15; i++ {
+				u, st := s.Create(parent, fmt.Sprintf("f%d", i), 0o640, 7, 7)
+				if st != wire.StatusOK {
+					t.Fatal(st)
+				}
+				seen[u.String()] = true
+			}
+			if st := s.Chmod(parent, "f0", 0o600, 7); st != wire.StatusOK {
+				t.Fatal(st)
+			}
+			if st := s.UpdateSize(parent, "f1", 12345); st != wire.StatusOK {
+				t.Fatal(st)
+			}
+			if _, st := s.Remove(parent, "f2", 7, 7); st != wire.StatusOK {
+				t.Fatal(st)
+			}
+
+			// Crash + restart.
+			store2, err := kv.OpenPersistent(dir, kv.NewHashStore())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store2.Close()
+			s2 := New(Options{Store: store2, ServerID: 3, Coupled: coupled})
+
+			m, st := s2.Getattr(parent, "f0")
+			if st != wire.StatusOK {
+				t.Fatalf("f0 lost: %v", st)
+			}
+			if m.Access.Mode()&0o777 != 0o600 {
+				t.Errorf("chmod lost: mode %o", m.Access.Mode())
+			}
+			m, _ = s2.Getattr(parent, "f1")
+			if m == nil || m.Content.Size() != 12345 {
+				t.Error("size update lost")
+			}
+			if _, st := s2.Getattr(parent, "f2"); st != wire.StatusNotFound {
+				t.Errorf("removed file resurrected: %v", st)
+			}
+			if s2.FileCount() != 14 {
+				t.Errorf("FileCount = %d, want 14", s2.FileCount())
+			}
+			if !s2.DirHasFiles(parent) {
+				t.Error("dirents lost")
+			}
+			// UUID generator restored past the recovered maximum.
+			u, st := s2.Create(parent, "post", 0o644, 7, 7)
+			if st != wire.StatusOK {
+				t.Fatal(st)
+			}
+			if seen[u.String()] {
+				t.Errorf("restarted FMS re-issued uuid %v", u)
+			}
+			if u.SID() != 3 {
+				t.Errorf("sid = %d", u.SID())
+			}
+			store.Close()
+		})
+	}
+}

@@ -1,0 +1,128 @@
+// Package fsapi defines the file-system client interface the workload
+// generator drives, so LocoFS and every baseline system (IndexFS, CephFS,
+// Gluster, Lustre) can be benchmarked by identical code.
+package fsapi
+
+import (
+	"time"
+
+	"locofs/internal/client"
+)
+
+// FS is the metadata surface exercised by the mdtest-style workloads.
+type FS interface {
+	// Mkdir creates a directory.
+	Mkdir(path string, mode uint32) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Create makes an empty file (mdtest "touch").
+	Create(path string, mode uint32) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// StatFile stats a file.
+	StatFile(path string) error
+	// StatDir stats a directory.
+	StatDir(path string) error
+	// Readdir lists a directory, returning the entry count.
+	Readdir(path string) (int, error)
+	// Close releases client resources.
+	Close() error
+}
+
+// ExtendedFS adds the file-metadata operations of the paper's Fig 11
+// (decoupled-file-metadata study): chmod, chown, truncate and access.
+type ExtendedFS interface {
+	FS
+	Chmod(path string, mode uint32) error
+	Chown(path string, uid, gid uint32) error
+	Truncate(path string, size uint64) error
+	Access(path string) error
+}
+
+// Coster is implemented by clients that track modeled (virtual) time: the
+// cumulative link delays plus server service times of every call issued.
+// Experiments measure per-operation latency as the delta of Cost around the
+// operation, which is immune to OS timer granularity.
+type Coster interface {
+	Cost() time.Duration
+}
+
+// Renamer is implemented by systems supporting directory rename.
+type Renamer interface {
+	RenameDir(oldPath, newPath string) (moved int, err error)
+}
+
+// FileRenamer is implemented by systems supporting file rename.
+type FileRenamer interface {
+	RenameFile(oldPath, newPath string) error
+}
+
+// LocoFS adapts a LocoLib client to the FS interface.
+type LocoFS struct {
+	C *client.Client
+}
+
+// Mkdir implements FS.
+func (l LocoFS) Mkdir(path string, mode uint32) error { return l.C.Mkdir(path, mode) }
+
+// Rmdir implements FS.
+func (l LocoFS) Rmdir(path string) error { return l.C.Rmdir(path) }
+
+// Create implements FS.
+func (l LocoFS) Create(path string, mode uint32) error { return l.C.Create(path, mode) }
+
+// Remove implements FS.
+func (l LocoFS) Remove(path string) error { return l.C.Remove(path) }
+
+// StatFile implements FS.
+func (l LocoFS) StatFile(path string) error {
+	_, err := l.C.StatFile(path)
+	return err
+}
+
+// StatDir implements FS.
+func (l LocoFS) StatDir(path string) error {
+	_, err := l.C.StatDir(path)
+	return err
+}
+
+// Readdir implements FS.
+func (l LocoFS) Readdir(path string) (int, error) {
+	ents, err := l.C.Readdir(path)
+	return len(ents), err
+}
+
+// Close implements FS.
+func (l LocoFS) Close() error { return l.C.Close() }
+
+// Chmod implements ExtendedFS.
+func (l LocoFS) Chmod(path string, mode uint32) error { return l.C.Chmod(path, mode) }
+
+// Chown implements ExtendedFS.
+func (l LocoFS) Chown(path string, uid, gid uint32) error { return l.C.Chown(path, uid, gid) }
+
+// Truncate implements ExtendedFS.
+func (l LocoFS) Truncate(path string, size uint64) error { return l.C.Truncate(path, size) }
+
+// Access implements ExtendedFS.
+func (l LocoFS) Access(path string) error { return l.C.Access(path, false) }
+
+// RenameDir implements Renamer.
+func (l LocoFS) RenameDir(oldPath, newPath string) (int, error) {
+	return l.C.RenameDir(oldPath, newPath)
+}
+
+// RenameFile implements FileRenamer.
+func (l LocoFS) RenameFile(oldPath, newPath string) error {
+	return l.C.RenameFile(oldPath, newPath)
+}
+
+// Cost implements Coster.
+func (l LocoFS) Cost() time.Duration { return l.C.Cost() }
+
+var (
+	_ ExtendedFS  = LocoFS{}
+	_ Renamer     = LocoFS{}
+	_ FileRenamer = LocoFS{}
+	_ Coster      = LocoFS{}
+)

@@ -1,0 +1,158 @@
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"locofs/internal/uuid"
+)
+
+// CoupledInode is a conventional, *coupled* file inode: every field —
+// access fields, content fields, and the variable-length data-block index —
+// lives in one value that must be deserialized in full before any field can
+// be read and re-serialized in full after any field changes.
+//
+// This is the organization the paper attributes to IndexFS-style systems
+// (§2.2.2, §3.3) and is what the LocoFS-CF ablation and the IndexFS baseline
+// store. Its costs are real in this implementation: Encode allocates and
+// copies the whole record, Decode parses every field, and the block index
+// grows with file size.
+type CoupledInode struct {
+	CTime     int64
+	MTime     int64
+	ATime     int64
+	Mode      uint32
+	UID       uint32
+	GID       uint32
+	Size      uint64
+	BlockSize uint32
+	UUID      uuid.UUID
+	// Blocks is the forward data-block index (object IDs per block) that
+	// the decoupled design eliminates via uuid+blk_num addressing.
+	Blocks []uint64
+}
+
+// ErrCorruptInode reports a malformed encoded coupled inode.
+var ErrCorruptInode = errors.New("layout: corrupt coupled inode")
+
+// coupledMagic guards against decoding foreign values.
+const coupledMagic = 0xC0
+
+// coupledReserved is the fixed reserved region of a coupled inode value:
+// conventional inode records carry name/link/xattr space and stat padding
+// (the paper: "a file metadata object consumes hundreds of bytes", §3.3).
+const coupledReserved = 200
+
+// Encode serializes the inode into a fresh value string. Variable-length
+// fields (the block index) are length-prefixed, which is exactly what forces
+// a full parsing pass on read, and a reserved region pads the record to the
+// conventional several-hundred-byte inode size.
+func (ci *CoupledInode) Encode() []byte {
+	buf := make([]byte, 0, 64+coupledReserved+8*len(ci.Blocks))
+	buf = append(buf, coupledMagic)
+	buf = append(buf, make([]byte, coupledReserved)...)
+	var tmp [binary.MaxVarintLen64]byte
+	putU := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	putU(uint64(ci.CTime))
+	putU(uint64(ci.MTime))
+	putU(uint64(ci.ATime))
+	putU(uint64(ci.Mode))
+	putU(uint64(ci.UID))
+	putU(uint64(ci.GID))
+	putU(ci.Size)
+	putU(uint64(ci.BlockSize))
+	buf = append(buf, ci.UUID[:]...)
+	putU(uint64(len(ci.Blocks)))
+	for _, b := range ci.Blocks {
+		putU(b)
+	}
+	return buf
+}
+
+// DecodeCoupledInode parses a value produced by Encode.
+func DecodeCoupledInode(value []byte) (*CoupledInode, error) {
+	if len(value) < 1+coupledReserved || value[0] != coupledMagic {
+		return nil, ErrCorruptInode
+	}
+	value = value[1+coupledReserved:]
+	getU := func() (uint64, bool) {
+		v, n := binary.Uvarint(value)
+		if n <= 0 {
+			return 0, false
+		}
+		value = value[n:]
+		return v, true
+	}
+	var ci CoupledInode
+	fields := []*uint64{}
+	var ct, mt, at, mode, uid, gid, size, bsz uint64
+	for _, p := range append(fields, &ct, &mt, &at, &mode, &uid, &gid, &size, &bsz) {
+		v, ok := getU()
+		if !ok {
+			return nil, ErrCorruptInode
+		}
+		*p = v
+	}
+	ci.CTime, ci.MTime, ci.ATime = int64(ct), int64(mt), int64(at)
+	ci.Mode, ci.UID, ci.GID = uint32(mode), uint32(uid), uint32(gid)
+	ci.Size, ci.BlockSize = size, uint32(bsz)
+	if len(value) < uuid.Size {
+		return nil, ErrCorruptInode
+	}
+	ci.UUID = uuid.MustFromBytes(value[:uuid.Size])
+	value = value[uuid.Size:]
+	nblk, ok := getU()
+	if !ok {
+		return nil, ErrCorruptInode
+	}
+	if nblk > uint64(len(value)) { // each block takes >= 1 byte
+		return nil, ErrCorruptInode
+	}
+	ci.Blocks = make([]uint64, 0, nblk)
+	for i := uint64(0); i < nblk; i++ {
+		b, ok := getU()
+		if !ok {
+			return nil, ErrCorruptInode
+		}
+		ci.Blocks = append(ci.Blocks, b)
+	}
+	if len(value) != 0 {
+		return nil, ErrCorruptInode
+	}
+	return &ci, nil
+}
+
+// SplitCoupled converts a coupled inode into the two decoupled parts,
+// dropping the forward block index (which the decoupled design replaces with
+// uuid+blk_num addressing).
+func SplitCoupled(ci *CoupledInode) (FileAccess, FileContent) {
+	a := NewFileAccess()
+	a.SetCTime(ci.CTime)
+	a.SetMode(ci.Mode)
+	a.SetUID(ci.UID)
+	a.SetGID(ci.GID)
+	c := NewFileContent(ci.BlockSize)
+	c.SetMTime(ci.MTime)
+	c.SetATime(ci.ATime)
+	c.SetSize(ci.Size)
+	c.SetUUID(ci.UUID)
+	return a, c
+}
+
+// JoinParts builds a coupled inode from decoupled parts (no block index).
+func JoinParts(a FileAccess, c FileContent) *CoupledInode {
+	return &CoupledInode{
+		CTime:     a.CTime(),
+		MTime:     c.MTime(),
+		ATime:     c.ATime(),
+		Mode:      a.Mode(),
+		UID:       a.UID(),
+		GID:       a.GID(),
+		Size:      c.Size(),
+		BlockSize: c.BlockSize(),
+		UUID:      c.UUID(),
+	}
+}

@@ -1,0 +1,197 @@
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"locofs/internal/uuid"
+)
+
+// Dirent is one backward directory entry: the name of a child plus the
+// child's UUID. In the flattened directory tree (§3.2.1) dirents are not
+// stored inside their parent directory's data blocks; instead all children
+// of a directory that land on the same metadata server have their dirents
+// concatenated into a single KV value keyed by the parent's uuid.
+//
+// The concatenated value is an append-only log: an insertion appends a live
+// entry, a removal appends a *tombstone* for the name. This keeps both
+// create and remove O(appended bytes) regardless of directory width —
+// matching the append-friendly behavior of the log-structured KV stores the
+// design targets — at the cost of periodic compaction (CompactDirents),
+// which servers amortize over removals.
+//
+// Entry encoding: uvarint header = nameLen<<1 | tombstoneBit, name bytes,
+// and (live entries only) the 16-byte UUID.
+type Dirent struct {
+	Name string
+	UUID uuid.UUID
+}
+
+// ErrCorruptDirentList reports a malformed concatenated dirent value.
+var ErrCorruptDirentList = errors.New("layout: corrupt dirent list")
+
+// AppendDirent appends one live dirent to a concatenated dirent value.
+func AppendDirent(list []byte, e Dirent) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(e.Name))<<1)
+	list = append(list, lenBuf[:n]...)
+	list = append(list, e.Name...)
+	return append(list, e.UUID[:]...)
+}
+
+// AppendDirentTombstone appends a removal marker for name.
+func AppendDirentTombstone(list []byte, name string) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(name))<<1|1)
+	list = append(list, lenBuf[:n]...)
+	return append(list, name...)
+}
+
+// walkDirents replays the log in order, calling fn for every record. A
+// tombstone record has tomb == true and a zero UUID.
+func walkDirents(list []byte, fn func(name []byte, u []byte, tomb bool) bool) error {
+	for len(list) > 0 {
+		hdr, n := binary.Uvarint(list)
+		if n <= 0 {
+			return ErrCorruptDirentList
+		}
+		list = list[n:]
+		nameLen := hdr >> 1
+		tomb := hdr&1 == 1
+		need := nameLen
+		if !tomb {
+			need += uuid.Size
+		}
+		if uint64(len(list)) < need {
+			return ErrCorruptDirentList
+		}
+		name := list[:nameLen]
+		list = list[nameLen:]
+		var u []byte
+		if !tomb {
+			u = list[:uuid.Size]
+			list = list[uuid.Size:]
+		}
+		if !fn(name, u, tomb) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// DecodeDirents replays a concatenated dirent value into its live entries,
+// in first-insertion order.
+func DecodeDirents(list []byte) ([]Dirent, error) {
+	var order []string
+	ordered := map[string]bool{}
+	live := map[string]uuid.UUID{}
+	err := walkDirents(list, func(name, u []byte, tomb bool) bool {
+		key := string(name)
+		if tomb {
+			delete(live, key)
+			return true
+		}
+		if !ordered[key] {
+			ordered[key] = true
+			order = append(order, key)
+		}
+		live[key] = uuid.MustFromBytes(u)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Dirent, 0, len(live))
+	for _, name := range order {
+		if u, ok := live[name]; ok {
+			out = append(out, Dirent{Name: name, UUID: u})
+		}
+	}
+	return out, nil
+}
+
+// FindDirent replays the list and reports the final state of name.
+func FindDirent(list []byte, name string) (Dirent, bool, error) {
+	var found bool
+	var u uuid.UUID
+	err := walkDirents(list, func(ename, eu []byte, tomb bool) bool {
+		if string(ename) != name {
+			return true
+		}
+		if tomb {
+			found = false
+			return true
+		}
+		found = true
+		u = uuid.MustFromBytes(eu)
+		return true
+	})
+	if err != nil {
+		return Dirent{}, false, err
+	}
+	if !found {
+		return Dirent{}, false, nil
+	}
+	return Dirent{Name: name, UUID: u}, true, nil
+}
+
+// CountDirents returns the number of live entries in the list.
+func CountDirents(list []byte) (int, error) {
+	ents, err := DecodeDirents(list)
+	if err != nil {
+		return 0, err
+	}
+	return len(ents), nil
+}
+
+// CompactDirents rewrites the log with tombstones (and the records they
+// killed) dropped, returning the compacted value and the live entry count.
+func CompactDirents(list []byte) ([]byte, int, error) {
+	ents, err := DecodeDirents(list)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]byte, 0, len(list))
+	for _, e := range ents {
+		out = AppendDirent(out, e)
+	}
+	return out, len(ents), nil
+}
+
+// DirentPage decodes the log and returns up to limit live entries in name
+// order, strictly after cursor (empty cursor = from the start). more
+// reports whether entries remain beyond the page. limit <= 0 means no
+// bound. Servers use it to answer readdir in size-bounded pages.
+func DirentPage(list []byte, cursor string, limit int) (ents []Dirent, more bool, err error) {
+	all, err := DecodeDirents(list)
+	if err != nil {
+		return nil, false, err
+	}
+	SortDirents(all)
+	start := 0
+	if cursor != "" {
+		start = sort.Search(len(all), func(i int) bool { return all[i].Name > cursor })
+	}
+	all = all[start:]
+	if limit > 0 && len(all) > limit {
+		return all[:limit], true, nil
+	}
+	return all, false, nil
+}
+
+// DirentRecords returns the total record count (live + tombstones), which
+// servers use to decide when to compact.
+func DirentRecords(list []byte) (int, error) {
+	n := 0
+	err := walkDirents(list, func(name, u []byte, tomb bool) bool {
+		n++
+		return true
+	})
+	return n, err
+}
+
+// SortDirents orders entries by name, the order readdir presents them in.
+func SortDirents(ents []Dirent) {
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+}

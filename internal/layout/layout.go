@@ -1,0 +1,302 @@
+// Package layout defines the fixed-offset binary layouts of LocoFS metadata
+// values.
+//
+// The paper's "decoupled file metadata" design (§3.3) splits a file inode
+// into an access part and a content part, removes variable-length indexing
+// metadata, and — because every remaining field is fixed length — eliminates
+// (de)serialization entirely: a field is read or written at a constant byte
+// offset inside the stored value string (§3.3.3).
+//
+// This package is that idea made concrete. Each metadata kind is a thin
+// wrapper over a []byte of exactly its Size; accessors encode/decode single
+// fields in place with no intermediate struct, no allocation, and no parsing
+// pass. Servers can hand these byte slices straight to the KV store.
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"locofs/internal/uuid"
+)
+
+// Byte order used for every fixed-width field.
+var bo = binary.LittleEndian
+
+// Sizes of the fixed-length metadata values.
+const (
+	// DirInodeSize is the allocation for a directory inode. The paper
+	// allocates 256 bytes per d-inode (§3.2.2); the trailing bytes beyond
+	// the defined fields are reserved padding.
+	DirInodeSize = 256
+
+	// FileAccessSize is the size of the access part of a file inode:
+	// ctime, mode, uid, gid (§3.3.1, Table 1).
+	FileAccessSize = 8 + 4 + 4 + 4 // = 20
+
+	// FileContentSize is the size of the content part of a file inode:
+	// mtime, atime, size, block size, and the file uuid (suuid+sid)
+	// (§3.3.1, Table 1).
+	FileContentSize = 8 + 8 + 8 + 4 + uuid.Size // = 44
+)
+
+// Field offsets inside a directory inode value.
+const (
+	dirCTimeOff = 0
+	dirModeOff  = 8
+	dirUIDOff   = 12
+	dirGIDOff   = 16
+	dirUUIDOff  = 20
+)
+
+// Field offsets inside a file access-part value.
+const (
+	accCTimeOff = 0
+	accModeOff  = 8
+	accUIDOff   = 12
+	accGIDOff   = 16
+)
+
+// Field offsets inside a file content-part value. Exported consumers should
+// use the accessor methods; these are kept unexported to preserve freedom to
+// repack (the KV values are not an on-disk interchange format).
+const (
+	cntMTimeOff = 0
+	cntATimeOff = 8
+	cntSizeOff  = 16
+	cntBSizeOff = 24
+	cntUUIDOff  = 28
+)
+
+// Exported field offsets for serialization-free partial reads: a server can
+// fetch a single field of a stored value via kv.Store.ReadAt without
+// materializing the rest (§3.3.3).
+const (
+	OffAccessMode   = accModeOff
+	OffContentSize  = cntSizeOff
+	OffContentMTime = cntMTimeOff
+	OffContentATime = cntATimeOff
+)
+
+// Mode bits, a minimal POSIX-flavoured subset.
+const (
+	ModeDir  uint32 = 0o040000
+	ModeFile uint32 = 0o100000
+	// PermMask selects the permission bits of a mode.
+	PermMask uint32 = 0o7777
+)
+
+// DirInode is a view over a directory inode value.
+type DirInode []byte
+
+// NewDirInode allocates a zeroed directory inode value and stamps the
+// directory bit into its mode.
+func NewDirInode() DirInode {
+	d := make(DirInode, DirInodeSize)
+	d.SetMode(ModeDir | 0o755)
+	return d
+}
+
+// Valid reports whether the underlying slice has the exact inode size.
+func (d DirInode) Valid() bool { return len(d) == DirInodeSize }
+
+// CTime returns the inode change time in nanoseconds.
+func (d DirInode) CTime() int64 { return int64(bo.Uint64(d[dirCTimeOff:])) }
+
+// SetCTime stores the inode change time in nanoseconds.
+func (d DirInode) SetCTime(ns int64) { bo.PutUint64(d[dirCTimeOff:], uint64(ns)) }
+
+// Mode returns the mode word (type bits | permissions).
+func (d DirInode) Mode() uint32 { return bo.Uint32(d[dirModeOff:]) }
+
+// SetMode stores the mode word.
+func (d DirInode) SetMode(m uint32) { bo.PutUint32(d[dirModeOff:], m) }
+
+// UID returns the owning user id.
+func (d DirInode) UID() uint32 { return bo.Uint32(d[dirUIDOff:]) }
+
+// SetUID stores the owning user id.
+func (d DirInode) SetUID(v uint32) { bo.PutUint32(d[dirUIDOff:], v) }
+
+// GID returns the owning group id.
+func (d DirInode) GID() uint32 { return bo.Uint32(d[dirGIDOff:]) }
+
+// SetGID stores the owning group id.
+func (d DirInode) SetGID(v uint32) { bo.PutUint32(d[dirGIDOff:], v) }
+
+// UUID returns the directory's universally unique identifier.
+func (d DirInode) UUID() uuid.UUID { return uuid.MustFromBytes(d[dirUUIDOff : dirUUIDOff+uuid.Size]) }
+
+// SetUUID stores the directory's UUID.
+func (d DirInode) SetUUID(u uuid.UUID) { copy(d[dirUUIDOff:], u[:]) }
+
+// Clone returns an independent copy of the inode value.
+func (d DirInode) Clone() DirInode { return append(DirInode(nil), d...) }
+
+// FileAccess is a view over the access part of a file inode.
+type FileAccess []byte
+
+// NewFileAccess allocates a zeroed access part with the regular-file bit set.
+func NewFileAccess() FileAccess {
+	a := make(FileAccess, FileAccessSize)
+	a.SetMode(ModeFile | 0o644)
+	return a
+}
+
+// Valid reports whether the underlying slice has the exact part size.
+func (a FileAccess) Valid() bool { return len(a) == FileAccessSize }
+
+// CTime returns the inode change time in nanoseconds.
+func (a FileAccess) CTime() int64 { return int64(bo.Uint64(a[accCTimeOff:])) }
+
+// SetCTime stores the inode change time in nanoseconds.
+func (a FileAccess) SetCTime(ns int64) { bo.PutUint64(a[accCTimeOff:], uint64(ns)) }
+
+// Mode returns the mode word.
+func (a FileAccess) Mode() uint32 { return bo.Uint32(a[accModeOff:]) }
+
+// SetMode stores the mode word.
+func (a FileAccess) SetMode(m uint32) { bo.PutUint32(a[accModeOff:], m) }
+
+// UID returns the owning user id.
+func (a FileAccess) UID() uint32 { return bo.Uint32(a[accUIDOff:]) }
+
+// SetUID stores the owning user id.
+func (a FileAccess) SetUID(v uint32) { bo.PutUint32(a[accUIDOff:], v) }
+
+// GID returns the owning group id.
+func (a FileAccess) GID() uint32 { return bo.Uint32(a[accGIDOff:]) }
+
+// SetGID stores the owning group id.
+func (a FileAccess) SetGID(v uint32) { bo.PutUint32(a[accGIDOff:], v) }
+
+// Clone returns an independent copy.
+func (a FileAccess) Clone() FileAccess { return append(FileAccess(nil), a...) }
+
+// FileContent is a view over the content part of a file inode.
+type FileContent []byte
+
+// NewFileContent allocates a zeroed content part with the given block size.
+func NewFileContent(blockSize uint32) FileContent {
+	c := make(FileContent, FileContentSize)
+	c.SetBlockSize(blockSize)
+	return c
+}
+
+// Valid reports whether the underlying slice has the exact part size.
+func (c FileContent) Valid() bool { return len(c) == FileContentSize }
+
+// MTime returns the data modification time in nanoseconds.
+func (c FileContent) MTime() int64 { return int64(bo.Uint64(c[cntMTimeOff:])) }
+
+// SetMTime stores the data modification time in nanoseconds.
+func (c FileContent) SetMTime(ns int64) { bo.PutUint64(c[cntMTimeOff:], uint64(ns)) }
+
+// ATime returns the access time in nanoseconds.
+func (c FileContent) ATime() int64 { return int64(bo.Uint64(c[cntATimeOff:])) }
+
+// SetATime stores the access time in nanoseconds.
+func (c FileContent) SetATime(ns int64) { bo.PutUint64(c[cntATimeOff:], uint64(ns)) }
+
+// Size returns the file length in bytes.
+func (c FileContent) Size() uint64 { return bo.Uint64(c[cntSizeOff:]) }
+
+// SetSize stores the file length in bytes.
+func (c FileContent) SetSize(n uint64) { bo.PutUint64(c[cntSizeOff:], n) }
+
+// BlockSize returns the data block size used to index the object store.
+func (c FileContent) BlockSize() uint32 { return bo.Uint32(c[cntBSizeOff:]) }
+
+// SetBlockSize stores the data block size.
+func (c FileContent) SetBlockSize(n uint32) { bo.PutUint32(c[cntBSizeOff:], n) }
+
+// UUID returns the file's UUID (the paper's suuid+sid pair).
+func (c FileContent) UUID() uuid.UUID {
+	return uuid.MustFromBytes(c[cntUUIDOff : cntUUIDOff+uuid.Size])
+}
+
+// SetUUID stores the file's UUID.
+func (c FileContent) SetUUID(u uuid.UUID) { copy(c[cntUUIDOff:], u[:]) }
+
+// Clone returns an independent copy.
+func (c FileContent) Clone() FileContent { return append(FileContent(nil), c...) }
+
+// FieldPatch describes an in-place single-field update: len(Data) bytes at
+// byte offset Off of a stored value. It is the unit of the paper's
+// serialization-free writes — a server applies it directly to the value
+// bytes held by the KV store.
+type FieldPatch struct {
+	Off  int
+	Data []byte
+}
+
+// Apply writes the patch into value, which must be large enough.
+func (p FieldPatch) Apply(value []byte) error {
+	if p.Off < 0 || p.Off+len(p.Data) > len(value) {
+		return fmt.Errorf("layout: patch [%d,%d) out of range for %d-byte value",
+			p.Off, p.Off+len(p.Data), len(value))
+	}
+	copy(value[p.Off:], p.Data)
+	return nil
+}
+
+// PatchDirMode builds patches that update mode and ctime of a directory
+// inode in place (chmod on a directory).
+func PatchDirMode(mode uint32, ctime int64) []FieldPatch {
+	m := make([]byte, 4)
+	bo.PutUint32(m, mode)
+	t := make([]byte, 8)
+	bo.PutUint64(t, uint64(ctime))
+	return []FieldPatch{{Off: dirModeOff, Data: m}, {Off: dirCTimeOff, Data: t}}
+}
+
+// PatchDirOwner builds patches for chown on a directory inode.
+func PatchDirOwner(uid, gid uint32, ctime int64) []FieldPatch {
+	u := make([]byte, 4)
+	bo.PutUint32(u, uid)
+	g := make([]byte, 4)
+	bo.PutUint32(g, gid)
+	t := make([]byte, 8)
+	bo.PutUint64(t, uint64(ctime))
+	return []FieldPatch{{Off: dirUIDOff, Data: u}, {Off: dirGIDOff, Data: g}, {Off: dirCTimeOff, Data: t}}
+}
+
+// PatchAccessMode builds patches that update mode and ctime of an access
+// part, the exact byte footprint of chmod in the decoupled design.
+func PatchAccessMode(mode uint32, ctime int64) []FieldPatch {
+	m := make([]byte, 4)
+	bo.PutUint32(m, mode)
+	t := make([]byte, 8)
+	bo.PutUint64(t, uint64(ctime))
+	return []FieldPatch{{Off: accModeOff, Data: m}, {Off: accCTimeOff, Data: t}}
+}
+
+// PatchAccessOwner builds patches for chown (uid, gid, ctime).
+func PatchAccessOwner(uid, gid uint32, ctime int64) []FieldPatch {
+	u := make([]byte, 4)
+	bo.PutUint32(u, uid)
+	g := make([]byte, 4)
+	bo.PutUint32(g, gid)
+	t := make([]byte, 8)
+	bo.PutUint64(t, uint64(ctime))
+	return []FieldPatch{{Off: accUIDOff, Data: u}, {Off: accGIDOff, Data: g}, {Off: accCTimeOff, Data: t}}
+}
+
+// PatchContentTimes builds patches for utimens (atime + mtime).
+func PatchContentTimes(atime, mtime int64) []FieldPatch {
+	a := make([]byte, 8)
+	bo.PutUint64(a, uint64(atime))
+	m := make([]byte, 8)
+	bo.PutUint64(m, uint64(mtime))
+	return []FieldPatch{{Off: cntATimeOff, Data: a}, {Off: cntMTimeOff, Data: m}}
+}
+
+// PatchContentSize builds patches for a write/truncate that moves the file
+// size and mtime (the content-part footprint of write, Table 1).
+func PatchContentSize(size uint64, mtime int64) []FieldPatch {
+	s := make([]byte, 8)
+	bo.PutUint64(s, size)
+	t := make([]byte, 8)
+	bo.PutUint64(t, uint64(mtime))
+	return []FieldPatch{{Off: cntSizeOff, Data: s}, {Off: cntMTimeOff, Data: t}}
+}

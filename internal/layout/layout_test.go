@@ -1,0 +1,429 @@
+package layout
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"locofs/internal/uuid"
+)
+
+func TestDirInodeFields(t *testing.T) {
+	d := NewDirInode()
+	if !d.Valid() {
+		t.Fatalf("NewDirInode length = %d, want %d", len(d), DirInodeSize)
+	}
+	if d.Mode()&ModeDir == 0 {
+		t.Error("new dir inode lacks ModeDir bit")
+	}
+	u := uuid.New(2, 7)
+	d.SetCTime(123456789)
+	d.SetMode(ModeDir | 0o700)
+	d.SetUID(1000)
+	d.SetGID(2000)
+	d.SetUUID(u)
+	if d.CTime() != 123456789 {
+		t.Errorf("CTime = %d", d.CTime())
+	}
+	if d.Mode() != ModeDir|0o700 {
+		t.Errorf("Mode = %o", d.Mode())
+	}
+	if d.UID() != 1000 || d.GID() != 2000 {
+		t.Errorf("UID/GID = %d/%d", d.UID(), d.GID())
+	}
+	if d.UUID() != u {
+		t.Errorf("UUID = %v, want %v", d.UUID(), u)
+	}
+}
+
+func TestDirInodeCloneIndependent(t *testing.T) {
+	d := NewDirInode()
+	d.SetUID(1)
+	c := d.Clone()
+	c.SetUID(2)
+	if d.UID() != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestFileAccessFields(t *testing.T) {
+	a := NewFileAccess()
+	if !a.Valid() {
+		t.Fatalf("length = %d, want %d", len(a), FileAccessSize)
+	}
+	if a.Mode()&ModeFile == 0 {
+		t.Error("new access part lacks ModeFile bit")
+	}
+	a.SetCTime(-5) // negative times must round-trip
+	a.SetMode(ModeFile | 0o600)
+	a.SetUID(10)
+	a.SetGID(20)
+	if a.CTime() != -5 || a.Mode() != ModeFile|0o600 || a.UID() != 10 || a.GID() != 20 {
+		t.Errorf("fields = %d %o %d %d", a.CTime(), a.Mode(), a.UID(), a.GID())
+	}
+}
+
+func TestFileContentFields(t *testing.T) {
+	c := NewFileContent(4096)
+	if !c.Valid() {
+		t.Fatalf("length = %d, want %d", len(c), FileContentSize)
+	}
+	if c.BlockSize() != 4096 {
+		t.Errorf("BlockSize = %d", c.BlockSize())
+	}
+	u := uuid.New(9, 9)
+	c.SetMTime(1)
+	c.SetATime(2)
+	c.SetSize(1 << 40)
+	c.SetUUID(u)
+	if c.MTime() != 1 || c.ATime() != 2 || c.Size() != 1<<40 || c.UUID() != u {
+		t.Errorf("fields = %d %d %d %v", c.MTime(), c.ATime(), c.Size(), c.UUID())
+	}
+}
+
+func TestFieldPatchApply(t *testing.T) {
+	a := NewFileAccess()
+	for _, p := range PatchAccessMode(0o777, 42) {
+		if err := p.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Mode() != 0o777 || a.CTime() != 42 {
+		t.Errorf("after patch: mode=%o ctime=%d", a.Mode(), a.CTime())
+	}
+}
+
+func TestFieldPatchOutOfRange(t *testing.T) {
+	p := FieldPatch{Off: 100, Data: make([]byte, 8)}
+	if err := p.Apply(make([]byte, 20)); err == nil {
+		t.Error("out-of-range patch did not error")
+	}
+	p = FieldPatch{Off: -1, Data: []byte{1}}
+	if err := p.Apply(make([]byte, 20)); err == nil {
+		t.Error("negative-offset patch did not error")
+	}
+}
+
+func TestPatchAccessOwner(t *testing.T) {
+	a := NewFileAccess()
+	for _, p := range PatchAccessOwner(111, 222, 7) {
+		if err := p.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.UID() != 111 || a.GID() != 222 || a.CTime() != 7 {
+		t.Errorf("after chown patch: uid=%d gid=%d ctime=%d", a.UID(), a.GID(), a.CTime())
+	}
+}
+
+func TestPatchContentSize(t *testing.T) {
+	c := NewFileContent(512)
+	for _, p := range PatchContentSize(9999, 88) {
+		if err := p.Apply(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Size() != 9999 || c.MTime() != 88 {
+		t.Errorf("after size patch: size=%d mtime=%d", c.Size(), c.MTime())
+	}
+	if c.BlockSize() != 512 {
+		t.Error("size patch clobbered block size")
+	}
+}
+
+func TestDirentAppendDecode(t *testing.T) {
+	var list []byte
+	want := []Dirent{
+		{Name: "a", UUID: uuid.New(1, 1)},
+		{Name: "subdir-with-longer-name", UUID: uuid.New(1, 2)},
+		{Name: "文件", UUID: uuid.New(2, 3)},
+	}
+	for _, e := range want {
+		list = AppendDirent(list, e)
+	}
+	got, err := DecodeDirents(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDirentEmptyName(t *testing.T) {
+	list := AppendDirent(nil, Dirent{Name: "", UUID: uuid.New(1, 1)})
+	got, err := DecodeDirents(list)
+	if err != nil || len(got) != 1 || got[0].Name != "" {
+		t.Errorf("empty-name dirent: %v %v", got, err)
+	}
+}
+
+func TestDirentTombstone(t *testing.T) {
+	var list []byte
+	for _, n := range []string{"a", "b", "c"} {
+		list = AppendDirent(list, Dirent{Name: n, UUID: uuid.New(1, 1)})
+	}
+	list = AppendDirentTombstone(list, "b")
+	ents, err := DecodeDirents(list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 || ents[0].Name != "a" || ents[1].Name != "c" {
+		t.Errorf("after tombstone: %+v", ents)
+	}
+	// Tombstoning a missing name is harmless.
+	list = AppendDirentTombstone(list, "zzz")
+	if n, _ := CountDirents(list); n != 2 {
+		t.Errorf("count after no-op tombstone = %d", n)
+	}
+	// Re-adding after a tombstone resurrects the name with the new UUID.
+	list = AppendDirent(list, Dirent{Name: "b", UUID: uuid.New(2, 2)})
+	e, ok, err := FindDirent(list, "b")
+	if err != nil || !ok || e.UUID != uuid.New(2, 2) {
+		t.Errorf("resurrected b = %+v %v %v", e, ok, err)
+	}
+	ents, _ = DecodeDirents(list)
+	names := map[string]int{}
+	for _, e := range ents {
+		names[e.Name]++
+	}
+	for n, c := range names {
+		if c != 1 {
+			t.Errorf("name %q appears %d times", n, c)
+		}
+	}
+}
+
+func TestCompactDirents(t *testing.T) {
+	var list []byte
+	for i := 0; i < 10; i++ {
+		list = AppendDirent(list, Dirent{Name: fmt.Sprintf("f%d", i), UUID: uuid.New(1, uint64(i+1))})
+	}
+	for i := 0; i < 8; i++ {
+		list = AppendDirentTombstone(list, fmt.Sprintf("f%d", i))
+	}
+	recs, err := DirentRecords(list)
+	if err != nil || recs != 18 {
+		t.Fatalf("DirentRecords = %d, %v", recs, err)
+	}
+	out, live, err := CompactDirents(list)
+	if err != nil || live != 2 {
+		t.Fatalf("CompactDirents live = %d, %v", live, err)
+	}
+	if len(out) >= len(list) {
+		t.Errorf("compaction did not shrink: %d -> %d bytes", len(list), len(out))
+	}
+	ents, _ := DecodeDirents(out)
+	if len(ents) != 2 || ents[0].Name != "f8" || ents[1].Name != "f9" {
+		t.Errorf("compacted = %+v", ents)
+	}
+	if recs, _ := DirentRecords(out); recs != 2 {
+		t.Errorf("records after compaction = %d", recs)
+	}
+}
+
+func TestFindDirent(t *testing.T) {
+	var list []byte
+	for i, n := range []string{"x", "y", "z"} {
+		list = AppendDirent(list, Dirent{Name: n, UUID: uuid.New(0, uint64(i+1))})
+	}
+	e, ok, err := FindDirent(list, "y")
+	if err != nil || !ok || e.UUID.FID() != 2 {
+		t.Errorf("FindDirent(y) = %+v %v %v", e, ok, err)
+	}
+	_, ok, err = FindDirent(list, "nope")
+	if err != nil || ok {
+		t.Errorf("FindDirent(nope) ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCountDirents(t *testing.T) {
+	var list []byte
+	for i := 0; i < 37; i++ {
+		list = AppendDirent(list, Dirent{Name: fmt.Sprintf("f%d", i), UUID: uuid.New(1, uint64(i+1))})
+	}
+	n, err := CountDirents(list)
+	if err != nil || n != 37 {
+		t.Errorf("CountDirents = %d, %v", n, err)
+	}
+	// Re-inserting an existing name does not grow the live count.
+	list = AppendDirent(list, Dirent{Name: "f0", UUID: uuid.New(2, 1)})
+	if n, _ := CountDirents(list); n != 37 {
+		t.Errorf("CountDirents after re-insert = %d, want 37", n)
+	}
+}
+
+func TestDecodeDirentsCorrupt(t *testing.T) {
+	list := AppendDirent(nil, Dirent{Name: "abc", UUID: uuid.New(1, 1)})
+	if _, err := DecodeDirents(list[:len(list)-3]); err == nil {
+		t.Error("truncated list decoded without error")
+	}
+	if _, _, err := FindDirent(list[:len(list)-3], "abc"); err == nil {
+		t.Error("truncated list searched without error")
+	}
+	if _, err := CountDirents(list[:len(list)-3]); err == nil {
+		t.Error("truncated list counted without error")
+	}
+}
+
+func TestQuickDirentRoundTrip(t *testing.T) {
+	f := func(names []string, fid uint64) bool {
+		var list []byte
+		for i, n := range names {
+			list = AppendDirent(list, Dirent{Name: n, UUID: uuid.New(1, fid+uint64(i))})
+		}
+		got, err := DecodeDirents(list)
+		if err != nil {
+			return false
+		}
+		// Replay semantics: per-name last write wins, first-insertion order.
+		var wantOrder []string
+		seen := map[string]uint64{}
+		for i, n := range names {
+			if _, ok := seen[n]; !ok {
+				wantOrder = append(wantOrder, n)
+			}
+			seen[n] = fid + uint64(i)
+		}
+		if len(got) != len(wantOrder) {
+			return false
+		}
+		for i, n := range wantOrder {
+			if got[i].Name != n || got[i].UUID != uuid.New(1, seen[n]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDirentTombstoneReplay: arbitrary interleavings of inserts and
+// tombstones agree with a map model, and compaction preserves the result.
+func TestQuickDirentTombstoneReplay(t *testing.T) {
+	f := func(ops []struct {
+		Name byte
+		Del  bool
+	}) bool {
+		var list []byte
+		model := map[string]bool{}
+		for i, op := range ops {
+			name := fmt.Sprintf("n%d", op.Name%16)
+			if op.Del {
+				list = AppendDirentTombstone(list, name)
+				delete(model, name)
+			} else {
+				list = AppendDirent(list, Dirent{Name: name, UUID: uuid.New(1, uint64(i+1))})
+				model[name] = true
+			}
+		}
+		ents, err := DecodeDirents(list)
+		if err != nil || len(ents) != len(model) {
+			return false
+		}
+		for _, e := range ents {
+			if !model[e.Name] {
+				return false
+			}
+		}
+		compacted, live, err := CompactDirents(list)
+		if err != nil || live != len(model) {
+			return false
+		}
+		ents2, err := DecodeDirents(compacted)
+		if err != nil || len(ents2) != len(ents) {
+			return false
+		}
+		for i := range ents {
+			if ents[i] != ents2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoupledInodeRoundTrip(t *testing.T) {
+	ci := &CoupledInode{
+		CTime: 1, MTime: 2, ATime: 3,
+		Mode: ModeFile | 0o644, UID: 4, GID: 5,
+		Size: 6, BlockSize: 4096, UUID: uuid.New(7, 8),
+		Blocks: []uint64{10, 20, 30},
+	}
+	got, err := DecodeCoupledInode(ci.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CTime != 1 || got.MTime != 2 || got.ATime != 3 || got.Mode != ModeFile|0o644 ||
+		got.UID != 4 || got.GID != 5 || got.Size != 6 || got.BlockSize != 4096 ||
+		got.UUID != ci.UUID || len(got.Blocks) != 3 || got.Blocks[2] != 30 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeCoupledInodeCorrupt(t *testing.T) {
+	ci := &CoupledInode{UUID: uuid.New(1, 1)}
+	enc := ci.Encode()
+	cases := [][]byte{nil, {0x00}, enc[:len(enc)-1], append(append([]byte(nil), enc...), 9)}
+	for i, c := range cases {
+		if _, err := DecodeCoupledInode(c); err == nil {
+			t.Errorf("case %d: corrupt inode decoded without error", i)
+		}
+	}
+}
+
+func TestSplitJoinCoupled(t *testing.T) {
+	ci := &CoupledInode{
+		CTime: 11, MTime: 22, ATime: 33,
+		Mode: ModeFile | 0o755, UID: 1, GID: 2,
+		Size: 777, BlockSize: 1024, UUID: uuid.New(3, 4),
+	}
+	a, c := SplitCoupled(ci)
+	back := JoinParts(a, c)
+	if back.CTime != ci.CTime || back.MTime != ci.MTime || back.ATime != ci.ATime ||
+		back.Mode != ci.Mode || back.UID != ci.UID || back.GID != ci.GID ||
+		back.Size != ci.Size || back.BlockSize != ci.BlockSize || back.UUID != ci.UUID {
+		t.Errorf("JoinParts(SplitCoupled(ci)) = %+v, want %+v", back, ci)
+	}
+}
+
+func TestQuickCoupledRoundTrip(t *testing.T) {
+	f := func(ct, mt int64, mode, uid, gid uint32, size uint64, blocks []uint64) bool {
+		ci := &CoupledInode{CTime: ct, MTime: mt, Mode: mode, UID: uid, GID: gid,
+			Size: size, UUID: uuid.New(1, 2), Blocks: blocks}
+		got, err := DecodeCoupledInode(ci.Encode())
+		if err != nil {
+			return false
+		}
+		if got.CTime != ct || got.Mode != mode || got.Size != size || len(got.Blocks) != len(blocks) {
+			return false
+		}
+		for i := range blocks {
+			if got.Blocks[i] != blocks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortDirents(t *testing.T) {
+	ents := []Dirent{{Name: "c"}, {Name: "a"}, {Name: "b"}}
+	SortDirents(ents)
+	if ents[0].Name != "a" || ents[2].Name != "c" {
+		t.Errorf("sorted = %+v", ents)
+	}
+}

@@ -1,0 +1,86 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	b := newBloom(n)
+	for i := 0; i < n; i++ {
+		b.add([]byte(fmt.Sprintf("present-%d", i)))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if b.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key, 4 hashes → ~2%; allow generous slack.
+	if rate > 0.08 {
+		t.Errorf("false positive rate = %.3f, want < 0.08", rate)
+	}
+}
+
+func TestBloomEmptyAndTiny(t *testing.T) {
+	b := newBloom(0)
+	if b.mayContain([]byte("anything")) {
+		t.Error("empty filter claims containment")
+	}
+	b.add([]byte("x"))
+	if !b.mayContain([]byte("x")) {
+		t.Error("tiny filter lost its key")
+	}
+}
+
+// TestRunFilterSkipsAbsentKeys exercises the filter through the run API.
+func TestRunFilterSkipsAbsentKeys(t *testing.T) {
+	s := newSkiplist(1)
+	for i := 0; i < 500; i++ {
+		s.put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"), false)
+	}
+	r := runFromSkiplist(s)
+	if r.filter == nil {
+		t.Fatal("run has no filter")
+	}
+	if _, _, ok := r.get([]byte("k0123")); !ok {
+		t.Error("present key rejected")
+	}
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if r.filter.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			miss++
+		}
+	}
+	if miss > 100 {
+		t.Errorf("filter passes %d/1000 absent keys", miss)
+	}
+}
+
+// BenchmarkGetAbsentWithBloom quantifies the filter's benefit: point reads
+// of absent keys across several runs.
+func BenchmarkGetAbsentWithBloom(b *testing.B) {
+	s := MustNew(&Options{MemtableBytes: 16 << 10, L0Runs: 100}) // many L0 runs
+	for i := 0; i < 20000; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%08d", i)), make([]byte, 64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get([]byte(fmt.Sprintf("absent-%08d", i)))
+	}
+}

@@ -1,0 +1,318 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// small returns a store with tiny thresholds so flush/compaction paths are
+// exercised by modest workloads.
+func small() *Store {
+	return MustNew(&Options{MemtableBytes: 2 << 10, L0Runs: 3})
+}
+
+func TestBasicPutGetDelete(t *testing.T) {
+	s := small()
+	if _, ok := s.Get([]byte("x")); ok {
+		t.Error("Get on empty store returned ok")
+	}
+	s.Put([]byte("x"), []byte("1"))
+	if v, ok := s.Get([]byte("x")); !ok || string(v) != "1" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	s.Put([]byte("x"), []byte("2"))
+	if v, _ := s.Get([]byte("x")); string(v) != "2" {
+		t.Errorf("after overwrite Get = %q", v)
+	}
+	if !s.Delete([]byte("x")) {
+		t.Error("Delete = false for existing key")
+	}
+	if _, ok := s.Get([]byte("x")); ok {
+		t.Error("deleted key still visible")
+	}
+	if s.Delete([]byte("x")) {
+		t.Error("Delete = true for missing key")
+	}
+}
+
+func TestDeleteShadowsOlderRuns(t *testing.T) {
+	s := small()
+	s.Put([]byte("k"), []byte("old"))
+	s.Compact() // k now lives in L1
+	s.Delete([]byte("k"))
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Error("tombstone in memtable did not shadow L1")
+	}
+	s.Compact() // tombstone dropped, key gone entirely
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Error("key resurrected after compaction")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestFlushAndCompactionTriggered(t *testing.T) {
+	s := small()
+	for i := 0; i < 2000; i++ {
+		s.Put([]byte(fmt.Sprintf("key-%05d", i)), bytes.Repeat([]byte("v"), 32))
+	}
+	st := s.StatsSnapshot()
+	if st.Flushes == 0 {
+		t.Error("no flush despite exceeding memtable budget")
+	}
+	if st.Compactions == 0 {
+		t.Error("no compaction despite exceeding L0 budget")
+	}
+	if st.RunBytesWritten <= st.UserBytesWritten {
+		t.Error("no write amplification observed — runs not being rewritten?")
+	}
+	// All data still visible.
+	for _, i := range []int{0, 999, 1999} {
+		if _, ok := s.Get([]byte(fmt.Sprintf("key-%05d", i))); !ok {
+			t.Errorf("key-%05d lost", i)
+		}
+	}
+	if s.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", s.Len())
+	}
+}
+
+func TestAscendRangeMergesLevels(t *testing.T) {
+	s := small()
+	// Spread keys across L1, L0 and the memtable with overwrites.
+	for i := 0; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v-old"))
+	}
+	s.Compact()
+	for i := 50; i < 100; i++ {
+		s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v-new"))
+	}
+	s.Delete([]byte("k075"))
+	var keys []string
+	vals := map[string]string{}
+	s.AscendRange([]byte("k040"), []byte("k090"), func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		vals[string(k)] = string(v)
+		return true
+	})
+	if len(keys) != 49 { // 50 keys in [40,90) minus deleted k075
+		t.Fatalf("visited %d keys, want 49", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("unsorted: %q >= %q", keys[i-1], keys[i])
+		}
+	}
+	if vals["k049"] != "v-old" || vals["k050"] != "v-new" {
+		t.Errorf("merge picked wrong versions: k049=%q k050=%q", vals["k049"], vals["k050"])
+	}
+	if _, ok := vals["k075"]; ok {
+		t.Error("deleted key visible in scan")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := small()
+	for i := 0; i < 50; i++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+	}
+	n := 0
+	s.ForEach(func(k, v []byte) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Errorf("visited %d, want 7", n)
+	}
+}
+
+func TestPatchInPlaceIsReadModifyWrite(t *testing.T) {
+	s := small()
+	s.Put([]byte("k"), []byte("0123456789"))
+	before := s.StatsSnapshot().UserBytesWritten
+	if !s.PatchInPlace([]byte("k"), 4, []byte("XY")) {
+		t.Fatal("patch failed")
+	}
+	if v, _ := s.Get([]byte("k")); string(v) != "0123XY6789" {
+		t.Errorf("after patch = %q", v)
+	}
+	after := s.StatsSnapshot().UserBytesWritten
+	if after-before < 10 {
+		t.Errorf("LSM patch wrote only %d bytes; expected a full value rewrite", after-before)
+	}
+	if s.PatchInPlace([]byte("k"), 9, []byte("XY")) {
+		t.Error("out-of-range patch succeeded")
+	}
+	if s.PatchInPlace([]byte("zz"), 0, []byte("X")) {
+		t.Error("patch of missing key succeeded")
+	}
+}
+
+func TestReadAtAndAppendValue(t *testing.T) {
+	s := small()
+	s.AppendValue([]byte("k"), []byte("hello "))
+	s.AppendValue([]byte("k"), []byte("world"))
+	buf := make([]byte, 5)
+	if !s.ReadAt([]byte("k"), 6, buf) || string(buf) != "world" {
+		t.Errorf("ReadAt = %q", buf)
+	}
+	if s.ReadAt([]byte("k"), 20, buf) {
+		t.Error("out-of-range ReadAt succeeded")
+	}
+}
+
+func TestLenAcrossLevels(t *testing.T) {
+	s := small()
+	for i := 0; i < 300; i++ {
+		s.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	for i := 0; i < 100; i++ {
+		s.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	if s.Len() != 200 {
+		t.Errorf("Len = %d, want 200", s.Len())
+	}
+	s.Compact()
+	if s.Len() != 200 {
+		t.Errorf("Len after compact = %d, want 200", s.Len())
+	}
+}
+
+// TestModelQuick drives the LSM store against a map model.
+func TestModelQuick(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val uint16
+		Del bool
+	}) bool {
+		s := MustNew(&Options{MemtableBytes: 512, L0Runs: 2})
+		model := map[string]string{}
+		for _, op := range ops {
+			k := fmt.Sprintf("key-%03d", op.Key)
+			if op.Del {
+				delete(model, k)
+				s.Delete([]byte(k))
+			} else {
+				v := fmt.Sprintf("value-%05d", op.Val)
+				model[k] = v
+				s.Put([]byte(k), []byte(v))
+			}
+		}
+		if s.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := s.Get([]byte(k))
+			if !ok || string(got) != v {
+				return false
+			}
+		}
+		n := 0
+		good := true
+		var prev []byte
+		s.ForEach(func(k, v []byte) bool {
+			if model[string(k)] != string(v) {
+				good = false
+				return false
+			}
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				good = false
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		return good && n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := MustNew(&Options{MemtableBytes: 4 << 10, L0Runs: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := []byte(fmt.Sprintf("w%d-%d", w, i))
+				s.Put(k, []byte("v"))
+				if _, ok := s.Get(k); !ok {
+					t.Errorf("lost own write %s", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.ForEach(func(k, v []byte) bool { return true })
+		}
+	}()
+	wg.Wait()
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(&Options{MemtableBytes: 1 << 20, L0Runs: 4, WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put([]byte("a"), []byte("1"))
+	s.Put([]byte("b"), []byte("2"))
+	s.Delete([]byte("a"))
+	// Simulate a crash: do NOT flush or close cleanly; reopen from the WAL.
+	s2, err := New(&Options{MemtableBytes: 1 << 20, L0Runs: 4, WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get([]byte("a")); ok {
+		t.Error("deleted key resurrected by recovery")
+	}
+	if v, ok := s2.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Errorf("recovered b = %q, %v", v, ok)
+	}
+	s.Close()
+}
+
+func TestWALTornRecordIgnored(t *testing.T) {
+	recs := decodeWAL([]byte{200, 200}) // nonsense varint header
+	if len(recs) != 0 {
+		t.Errorf("decoded %d records from garbage", len(recs))
+	}
+}
+
+func TestRandomizedVsModelLarge(t *testing.T) {
+	s := MustNew(&Options{MemtableBytes: 8 << 10, L0Runs: 3})
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key-%04d", rng.Intn(3000))
+		switch rng.Intn(10) {
+		case 0:
+			delete(model, k)
+			s.Delete([]byte(k))
+		default:
+			v := fmt.Sprintf("val-%d", i)
+			model[k] = v
+			s.Put([]byte(k), []byte(v))
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", s.Len(), len(model))
+	}
+	for k, v := range model {
+		got, ok := s.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("key %q = %q/%v, want %q", k, got, ok, v)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lsm
+
+import (
+	"bytes"
+	"sort"
+)
+
+// run is an immutable sorted run of entries — the in-memory analog of an
+// SSTable. Entries are unique by key and sorted ascending. Each run carries
+// a Bloom filter so point reads skip runs that certainly lack the key (the
+// LevelDB technique that keeps read amplification down as runs accumulate).
+type run struct {
+	keys   [][]byte
+	vals   [][]byte
+	tomb   []bool
+	filter *bloom
+}
+
+func (r *run) len() int { return len(r.keys) }
+
+// buildFilter populates the run's Bloom filter from its keys.
+func (r *run) buildFilter() {
+	r.filter = newBloom(len(r.keys))
+	for _, k := range r.keys {
+		r.filter.add(k)
+	}
+}
+
+// get returns the entry for key if present.
+func (r *run) get(key []byte) (val []byte, tomb, ok bool) {
+	if r.filter != nil && !r.filter.mayContain(key) {
+		return nil, false, false
+	}
+	i := sort.Search(len(r.keys), func(i int) bool {
+		return bytes.Compare(r.keys[i], key) >= 0
+	})
+	if i < len(r.keys) && bytes.Equal(r.keys[i], key) {
+		return r.vals[i], r.tomb[i], true
+	}
+	return nil, false, false
+}
+
+// seek returns the index of the first key >= target.
+func (r *run) seek(target []byte) int {
+	if target == nil {
+		return 0
+	}
+	return sort.Search(len(r.keys), func(i int) bool {
+		return bytes.Compare(r.keys[i], target) >= 0
+	})
+}
+
+// runFromSkiplist freezes a memtable into a sorted run.
+func runFromSkiplist(s *skiplist) *run {
+	r := &run{
+		keys: make([][]byte, 0, s.size),
+		vals: make([][]byte, 0, s.size),
+		tomb: make([]bool, 0, s.size),
+	}
+	for n := s.head.next[0]; n != nil; n = n.next[0] {
+		r.keys = append(r.keys, n.key)
+		r.vals = append(r.vals, n.val)
+		r.tomb = append(r.tomb, n.tomb)
+	}
+	r.buildFilter()
+	return r
+}
+
+// mergeRuns merge-compacts runs ordered newest-first into a single run.
+// When dropTombstones is true (full compaction to the bottom level),
+// deleted keys are removed entirely; otherwise tombstones are retained so
+// they continue to shadow older data.
+func mergeRuns(newestFirst []*run, dropTombstones bool) *run {
+	total := 0
+	for _, r := range newestFirst {
+		total += r.len()
+	}
+	out := &run{
+		keys: make([][]byte, 0, total),
+		vals: make([][]byte, 0, total),
+		tomb: make([]bool, 0, total),
+	}
+	idx := make([]int, len(newestFirst))
+	for {
+		// Pick the smallest key among the run heads; on ties, the newest
+		// run (lowest index) wins and older duplicates are skipped.
+		var minKey []byte
+		src := -1
+		for i, r := range newestFirst {
+			if idx[i] >= r.len() {
+				continue
+			}
+			k := r.keys[idx[i]]
+			if src == -1 || bytes.Compare(k, minKey) < 0 {
+				minKey, src = k, i
+			}
+		}
+		if src == -1 {
+			out.buildFilter()
+			return out
+		}
+		r := newestFirst[src]
+		v, t := r.vals[idx[src]], r.tomb[idx[src]]
+		for i, o := range newestFirst {
+			if idx[i] < o.len() && bytes.Equal(o.keys[idx[i]], minKey) {
+				idx[i]++
+			}
+		}
+		if t && dropTombstones {
+			continue
+		}
+		out.keys = append(out.keys, minKey)
+		out.vals = append(out.vals, v)
+		out.tomb = append(out.tomb, t)
+	}
+}

@@ -1,0 +1,120 @@
+// Package lsm implements a log-structured merge-tree key-value store — the
+// role LevelDB plays inside IndexFS in the paper. Writes land in an in-memory
+// skiplist memtable (optionally mirrored to a write-ahead log), memtables
+// flush to immutable sorted runs, and runs are merge-compacted. The store
+// also satisfies the kv.Store interface, but note that PatchInPlace and
+// AppendValue are implemented as full read-modify-write cycles: an LSM store
+// cannot update a value in place, which is exactly the large-value overhead
+// the paper's decoupled metadata design avoids (§2.2.2).
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+const (
+	skipMaxLevel = 16
+	skipP        = 4 // 1/4 promotion probability
+)
+
+type skipNode struct {
+	key  []byte
+	val  []byte
+	tomb bool
+	next [skipMaxLevel]*skipNode
+}
+
+// skiplist is a sorted in-memory map from byte-string keys to (value,
+// tombstone) pairs. It is not safe for concurrent use; the Store serializes
+// access.
+type skiplist struct {
+	head  *skipNode
+	level int
+	size  int // number of nodes
+	bytes int // approximate memory footprint of keys+values
+	rng   *rand.Rand
+}
+
+func newSkiplist(seed int64) *skiplist {
+	return &skiplist{
+		head:  &skipNode{},
+		level: 1,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (s *skiplist) randomLevel() int {
+	lvl := 1
+	for lvl < skipMaxLevel && s.rng.Intn(skipP) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// findPrev fills prev[i] with the rightmost node at level i whose key is
+// strictly less than key.
+func (s *skiplist) findPrev(key []byte, prev *[skipMaxLevel]*skipNode) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		prev[i] = x
+	}
+}
+
+// put inserts or replaces key with (val, tomb).
+func (s *skiplist) put(key, val []byte, tomb bool) {
+	var prev [skipMaxLevel]*skipNode
+	s.findPrev(key, &prev)
+	if n := prev[0].next[0]; n != nil && bytes.Equal(n.key, key) {
+		s.bytes += len(val) - len(n.val)
+		n.val = val
+		n.tomb = tomb
+		return
+	}
+	lvl := s.randomLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			prev[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &skipNode{key: key, val: val, tomb: tomb}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	s.size++
+	s.bytes += len(key) + len(val) + 64 // 64 ≈ node overhead
+}
+
+// get returns the value and tombstone flag for key.
+func (s *skiplist) get(key []byte) (val []byte, tomb, ok bool) {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	n := x.next[0]
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.val, n.tomb, true
+	}
+	return nil, false, false
+}
+
+// seek returns the first node with key >= target (nil start = first node).
+func (s *skiplist) seek(target []byte) *skipNode {
+	if target == nil {
+		return s.head.next[0]
+	}
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, target) < 0 {
+			x = x.next[i]
+		}
+	}
+	return x.next[0]
+}

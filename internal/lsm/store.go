@@ -1,0 +1,392 @@
+package lsm
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MemtableBytes is the approximate memtable size that triggers a flush
+	// to a level-0 run. Default 4 MiB.
+	MemtableBytes int
+	// L0Runs is the number of level-0 runs that triggers a full compaction
+	// into level 1. Default 4.
+	L0Runs int
+	// WALDir, if non-empty, enables a write-ahead log in that directory.
+	WALDir string
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MemtableBytes: 4 << 20, L0Runs: 4}
+	if o != nil {
+		if o.MemtableBytes > 0 {
+			out.MemtableBytes = o.MemtableBytes
+		}
+		if o.L0Runs > 0 {
+			out.L0Runs = o.L0Runs
+		}
+		out.WALDir = o.WALDir
+	}
+	return out
+}
+
+// Stats reports the internal write activity of the store, from which write
+// amplification can be derived.
+type Stats struct {
+	Flushes          uint64
+	Compactions      uint64
+	UserBytesWritten uint64
+	RunBytesWritten  uint64 // bytes rewritten during flush+compaction
+}
+
+// Store is the LSM-tree store. It is safe for concurrent use. Flushes and
+// compactions run synchronously inside the triggering write, keeping the
+// store deterministic under test while still paying the merge cost.
+type Store struct {
+	mu   sync.RWMutex
+	opts Options
+	mem  *skiplist
+	l0   []*run // newest first
+	l1   *run
+	wal  *walWriter
+	seed int64
+
+	size atomic.Int64 // live key estimate (puts of new keys - deletes)
+
+	flushes     atomic.Uint64
+	compactions atomic.Uint64
+	userBytes   atomic.Uint64
+	runBytes    atomic.Uint64
+}
+
+// New returns an empty Store. If opts.WALDir is set, prior WAL contents are
+// replayed (crash recovery) before the store is returned.
+func New(opts *Options) (*Store, error) {
+	s := &Store{opts: opts.withDefaults(), seed: 1}
+	s.mem = newSkiplist(s.seed)
+	s.l1 = &run{}
+	if s.opts.WALDir != "" {
+		w, records, err := openWAL(s.opts.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+		for _, rec := range records {
+			s.applyLocked(rec.key, rec.val, rec.tomb)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations that cannot fail (no WAL).
+func MustNew(opts *Options) *Store {
+	s, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Get returns a copy of the newest value for key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if v, tomb, ok := s.mem.get(key); ok {
+		return copyVal(v, tomb)
+	}
+	for _, r := range s.l0 {
+		if v, tomb, ok := r.get(key); ok {
+			return copyVal(v, tomb)
+		}
+	}
+	if v, tomb, ok := s.l1.get(key); ok {
+		return copyVal(v, tomb)
+	}
+	return nil, false
+}
+
+func copyVal(v []byte, tomb bool) ([]byte, bool) {
+	if tomb {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put stores value under key.
+func (s *Store) Put(key, value []byte) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	s.userBytes.Add(uint64(len(k) + len(v)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.append(k, v, false)
+	}
+	s.applyLocked(k, v, false)
+}
+
+// Delete removes key. The LSM store cannot answer "was it present?" without
+// a read, so Delete performs one — matching the read-before-delete cost real
+// LSM-backed metadata pays.
+func (s *Store) Delete(key []byte) bool {
+	_, existed := s.Get(key)
+	k := append([]byte(nil), key...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.append(k, nil, true)
+	}
+	s.applyLocked(k, nil, true)
+	return existed
+}
+
+// applyLocked inserts into the memtable and triggers flush/compaction.
+func (s *Store) applyLocked(key, val []byte, tomb bool) {
+	_, liveBefore := s.getLocked(key)
+	s.mem.put(key, val, tomb)
+	if tomb && liveBefore {
+		s.size.Add(-1)
+	} else if !tomb && !liveBefore {
+		s.size.Add(1)
+	}
+	if s.mem.bytes >= s.opts.MemtableBytes {
+		s.flushLocked()
+	}
+}
+
+// flushLocked freezes the memtable into a new L0 run and compacts if L0 is
+// over its run budget.
+func (s *Store) flushLocked() {
+	if s.mem.size == 0 {
+		return
+	}
+	r := runFromSkiplist(s.mem)
+	s.flushes.Add(1)
+	s.runBytes.Add(uint64(runBytes(r)))
+	s.l0 = append([]*run{r}, s.l0...)
+	s.seed++
+	s.mem = newSkiplist(s.seed)
+	if s.wal != nil {
+		s.wal.rotate()
+	}
+	if len(s.l0) >= s.opts.L0Runs {
+		s.compactLocked()
+	}
+}
+
+// compactLocked merges every L0 run and L1 into a fresh L1.
+func (s *Store) compactLocked() {
+	all := make([]*run, 0, len(s.l0)+1)
+	all = append(all, s.l0...)
+	all = append(all, s.l1)
+	merged := mergeRuns(all, true)
+	s.compactions.Add(1)
+	s.runBytes.Add(uint64(runBytes(merged)))
+	s.l0 = nil
+	s.l1 = merged
+	// Recompute the live-key estimate exactly: after a full compaction the
+	// only live data is L1 plus the (empty) memtable.
+	s.size.Store(int64(merged.len()))
+}
+
+func runBytes(r *run) int {
+	n := 0
+	for i := range r.keys {
+		n += len(r.keys[i]) + len(r.vals[i])
+	}
+	return n
+}
+
+// Compact forces a full flush + compaction.
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+	s.compactLocked()
+}
+
+// PatchInPlace implements kv.Store. An LSM tree cannot modify stored values
+// in place: the whole value must be read, patched, and re-appended. That
+// read-modify-write is deliberate — it is the cost the paper's decoupled
+// fixed-offset design eliminates.
+func (s *Store) PatchInPlace(key []byte, off int, data []byte) bool {
+	s.mu.Lock()
+	v, ok := s.getLocked(key)
+	if !ok || off < 0 || off+len(data) > len(v) {
+		s.mu.Unlock()
+		return false
+	}
+	nv := append([]byte(nil), v...)
+	copy(nv[off:], data)
+	k := append([]byte(nil), key...)
+	if s.wal != nil {
+		s.wal.append(k, nv, false)
+	}
+	s.userBytes.Add(uint64(len(k) + len(nv)))
+	s.applyLocked(k, nv, false)
+	s.mu.Unlock()
+	return true
+}
+
+// ReadAt implements kv.Store via a full value read.
+func (s *Store) ReadAt(key []byte, off int, buf []byte) bool {
+	v, ok := s.Get(key)
+	if !ok || off < 0 || off+len(buf) > len(v) {
+		return false
+	}
+	copy(buf, v[off:])
+	return true
+}
+
+// AppendValue implements kv.Store via read-modify-write.
+func (s *Store) AppendValue(key, data []byte) {
+	s.mu.Lock()
+	v, _ := s.getLocked(key)
+	nv := make([]byte, len(v)+len(data))
+	copy(nv, v)
+	copy(nv[len(v):], data)
+	k := append([]byte(nil), key...)
+	if s.wal != nil {
+		s.wal.append(k, nv, false)
+	}
+	s.userBytes.Add(uint64(len(k) + len(nv)))
+	s.applyLocked(k, nv, false)
+	s.mu.Unlock()
+}
+
+// getLocked is Get without locking or copying; caller holds s.mu.
+func (s *Store) getLocked(key []byte) ([]byte, bool) {
+	if v, tomb, ok := s.mem.get(key); ok {
+		if tomb {
+			return nil, false
+		}
+		return v, true
+	}
+	for _, r := range s.l0 {
+		if v, tomb, ok := r.get(key); ok {
+			if tomb {
+				return nil, false
+			}
+			return v, true
+		}
+	}
+	if v, tomb, ok := s.l1.get(key); ok && !tomb {
+		return v, true
+	}
+	return nil, false
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	n := s.size.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// ForEach visits live records in ascending key order.
+func (s *Store) ForEach(fn func(key, value []byte) bool) {
+	s.AscendRange(nil, nil, fn)
+}
+
+// AscendRange visits live records with start <= key < end in ascending key
+// order, merging the memtable and every run with newest-wins semantics.
+func (s *Store) AscendRange(start, end []byte, fn func(key, value []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Build per-component cursors, newest first.
+	type cursor struct {
+		next func() (k, v []byte, tomb, ok bool)
+		k    []byte
+		v    []byte
+		tomb bool
+		ok   bool
+	}
+	var cs []*cursor
+	{
+		n := s.mem.seek(start)
+		c := &cursor{next: func() (k, v []byte, tomb, ok bool) {
+			if n == nil {
+				return nil, nil, false, false
+			}
+			k, v, tomb = n.key, n.val, n.tomb
+			n = n.next[0]
+			return k, v, tomb, true
+		}}
+		cs = append(cs, c)
+	}
+	runs := append(append([]*run{}, s.l0...), s.l1)
+	for _, r := range runs {
+		r := r
+		i := r.seek(start)
+		c := &cursor{next: func() (k, v []byte, tomb, ok bool) {
+			if i >= r.len() {
+				return nil, nil, false, false
+			}
+			k, v, tomb = r.keys[i], r.vals[i], r.tomb[i]
+			i++
+			return k, v, tomb, true
+		}}
+		cs = append(cs, c)
+	}
+	for _, c := range cs {
+		c.k, c.v, c.tomb, c.ok = c.next()
+	}
+	for {
+		var minKey []byte
+		src := -1
+		for i, c := range cs {
+			if !c.ok {
+				continue
+			}
+			if src == -1 || bytes.Compare(c.k, minKey) < 0 {
+				minKey, src = c.k, i
+			}
+		}
+		if src == -1 {
+			return
+		}
+		if end != nil && bytes.Compare(minKey, end) >= 0 {
+			return
+		}
+		winner := cs[src]
+		val, tomb := winner.v, winner.tomb
+		for _, c := range cs {
+			if c.ok && bytes.Equal(c.k, minKey) {
+				c.k, c.v, c.tomb, c.ok = c.next()
+			}
+		}
+		if tomb {
+			continue
+		}
+		if !fn(minKey, val) {
+			return
+		}
+	}
+}
+
+// StatsSnapshot returns a copy of the store's activity counters.
+func (s *Store) StatsSnapshot() Stats {
+	return Stats{
+		Flushes:          s.flushes.Load(),
+		Compactions:      s.compactions.Load(),
+		UserBytesWritten: s.userBytes.Load(),
+		RunBytesWritten:  s.runBytes.Load(),
+	}
+}
+
+// Close releases the WAL, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	key  []byte
+	val  []byte
+	tomb bool
+}
+
+// walWriter appends mutation records to a log file so that a crashed store
+// can rebuild its memtable on restart. A flush makes the log obsolete, at
+// which point rotate truncates it.
+type walWriter struct {
+	dir string
+	f   *os.File
+	w   *bufio.Writer
+}
+
+const walName = "lsm.wal"
+
+// openWAL opens (creating if needed) the WAL in dir and returns the records
+// currently in it, in append order.
+func openWAL(dir string) (*walWriter, []walRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("lsm: create wal dir: %w", err)
+	}
+	path := filepath.Join(dir, walName)
+	var records []walRecord
+	if data, err := os.ReadFile(path); err == nil {
+		records = decodeWAL(data)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lsm: open wal: %w", err)
+	}
+	return &walWriter{dir: dir, f: f, w: bufio.NewWriter(f)}, records, nil
+}
+
+// decodeWAL parses as many complete records as the buffer holds; a torn
+// trailing record (partial write at crash) is ignored.
+func decodeWAL(data []byte) []walRecord {
+	var out []walRecord
+	for len(data) > 0 {
+		kl, n := binary.Uvarint(data)
+		if n <= 0 {
+			return out
+		}
+		data = data[n:]
+		vl, n := binary.Uvarint(data)
+		if n <= 0 {
+			return out
+		}
+		data = data[n:]
+		if len(data) < 1 {
+			return out
+		}
+		tomb := data[0] == 1
+		data = data[1:]
+		if uint64(len(data)) < kl+vl {
+			return out
+		}
+		rec := walRecord{
+			key:  append([]byte(nil), data[:kl]...),
+			tomb: tomb,
+		}
+		data = data[kl:]
+		rec.val = append([]byte(nil), data[:vl]...)
+		data = data[vl:]
+		out = append(out, rec)
+	}
+	return out
+}
+
+// append logs one mutation. Errors are surfaced lazily on close; the store
+// treats the WAL as best-effort durability.
+func (w *walWriter) append(key, val []byte, tomb bool) {
+	var hdr [2*binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	n += binary.PutUvarint(hdr[n:], uint64(len(val)))
+	if tomb {
+		hdr[n] = 1
+	}
+	n++
+	w.w.Write(hdr[:n])
+	w.w.Write(key)
+	w.w.Write(val)
+	w.w.Flush()
+}
+
+// rotate truncates the log after a memtable flush made it obsolete.
+func (w *walWriter) rotate() {
+	w.w.Flush()
+	w.f.Truncate(0)
+	w.f.Seek(0, io.SeekStart)
+	w.w.Reset(w.f)
+}
+
+func (w *walWriter) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,369 @@
+// Package mdtest is the metadata workload generator used throughout the
+// evaluation — a Go analog of the mdtest benchmark the paper drives with
+// OpenMPI (§4.1.2). N concurrent clients each build a private directory
+// subtree of configurable depth, then run phases (mkdir, touch, stat,
+// readdir, remove, rmdir, plus the Fig 11 attribute operations) with a
+// barrier between phases, collecting per-operation latency and per-phase
+// throughput.
+package mdtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"locofs/internal/fsapi"
+)
+
+// Phase names.
+const (
+	PhaseMkdir    = "mkdir"
+	PhaseTouch    = "touch"
+	PhaseFileStat = "file-stat"
+	PhaseDirStat  = "dir-stat"
+	PhaseReaddir  = "readdir"
+	PhaseRemove   = "rm"
+	PhaseRmdir    = "rmdir"
+	PhaseChmod    = "chmod"
+	PhaseChown    = "chown"
+	PhaseTruncate = "truncate"
+	PhaseAccess   = "access"
+)
+
+// DefaultPhases is the paper's main metadata sequence (Fig 6–8).
+var DefaultPhases = []string{
+	PhaseMkdir, PhaseTouch, PhaseFileStat, PhaseDirStat,
+	PhaseReaddir, PhaseRemove, PhaseRmdir,
+}
+
+// AttrPhases is the Fig 11 sequence (decoupled-file-metadata study).
+var AttrPhases = []string{
+	PhaseTouch, PhaseChmod, PhaseChown, PhaseTruncate, PhaseAccess, PhaseRemove,
+}
+
+// Config describes one workload run.
+type Config struct {
+	// Clients is the number of concurrent workload clients.
+	Clients int
+	// ItemsPerClient is the number of files (and directories, for the
+	// mkdir/rmdir phases) each client creates.
+	ItemsPerClient int
+	// Depth places each client's working directory this many levels below
+	// its private root (Fig 13 varies this from 1 to 32).
+	Depth int
+	// Phases to run, in order; default DefaultPhases.
+	Phases []string
+	// Root is the namespace root for the run; default "/mdtest".
+	Root string
+	// PhaseHook, if set, is called after each phase completes (with every
+	// client quiescent). Experiments use it to snapshot server-side
+	// counters between phases.
+	PhaseHook func(phase string)
+	// SetupHook, if set, is called after tree setup and before the first
+	// phase, so experiments can exclude setup work from phase accounting.
+	SetupHook func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 1
+	}
+	if c.ItemsPerClient <= 0 {
+		c.ItemsPerClient = 100
+	}
+	if c.Depth < 0 {
+		c.Depth = 0
+	}
+	if len(c.Phases) == 0 {
+		c.Phases = DefaultPhases
+	}
+	if c.Root == "" {
+		c.Root = "/mdtest"
+	}
+	return c
+}
+
+// LatencyStats summarizes a latency distribution.
+type LatencyStats struct {
+	Mean time.Duration
+	P50  time.Duration
+	P90  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+}
+
+// PhaseResult reports one phase's aggregate outcome.
+type PhaseResult struct {
+	Phase   string
+	Ops     int
+	Errors  int
+	Elapsed time.Duration // wall time of the slowest client in the phase
+	Latency LatencyStats  // wall-clock per-op latency
+
+	// Virtual-time metrics, populated when the FS implements fsapi.Coster:
+	// per-op modeled latency and the largest per-client total (the
+	// client-bound virtual duration of the phase).
+	VirtLatency   LatencyStats
+	ClientCostMax time.Duration
+}
+
+// IOPS returns the phase throughput in operations per second (wall clock).
+func (r PhaseResult) IOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Report is a full run's outcome, phase by phase.
+type Report struct {
+	Config  Config
+	Results []PhaseResult
+}
+
+// Result returns the named phase's result.
+func (r *Report) Result(phase string) (PhaseResult, bool) {
+	for _, pr := range r.Results {
+		if pr.Phase == phase {
+			return pr, true
+		}
+	}
+	return PhaseResult{}, false
+}
+
+// summarize computes latency statistics from raw samples.
+func summarize(samples []time.Duration) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, s := range samples {
+		sum += s
+	}
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+	return LatencyStats{
+		Mean: sum / time.Duration(len(samples)),
+		P50:  pick(0.50),
+		P90:  pick(0.90),
+		P99:  pick(0.99),
+		Max:  samples[len(samples)-1],
+	}
+}
+
+// worker is one client's state.
+type worker struct {
+	fs      fsapi.FS
+	workDir string // leaf directory this client operates in
+}
+
+// Run executes the configured workload, building one FS client per workload
+// client via newFS. The returned report contains one result per phase.
+func Run(cfg Config, newFS func() (fsapi.FS, error)) (*Report, error) {
+	cfg = cfg.withDefaults()
+	setup, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	// Build the shared root and per-client working trees. Tree setup is
+	// not measured (mdtest measures phases only).
+	var workers []*worker
+	closeAll := func() {
+		setup.Close()
+		for _, w := range workers {
+			w.fs.Close()
+		}
+	}
+	if err := setup.Mkdir(cfg.Root, 0o777); err != nil {
+		closeAll()
+		return nil, fmt.Errorf("mdtest: setup root: %w", err)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		fs, err := newFS()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		dir := fmt.Sprintf("%s/c%d", cfg.Root, i)
+		workers = append(workers, &worker{fs: fs})
+		if err := setup.Mkdir(dir, 0o777); err != nil {
+			closeAll()
+			return nil, fmt.Errorf("mdtest: setup client dir: %w", err)
+		}
+		for d := 0; d < cfg.Depth; d++ {
+			dir = fmt.Sprintf("%s/d%d", dir, d)
+			if err := setup.Mkdir(dir, 0o777); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("mdtest: setup depth chain: %w", err)
+			}
+		}
+		workers[i].workDir = dir
+	}
+	defer closeAll()
+	if cfg.SetupHook != nil {
+		cfg.SetupHook()
+	}
+	report := &Report{Config: cfg}
+	for _, phase := range cfg.Phases {
+		pr, err := runPhase(cfg, phase, workers)
+		if err != nil {
+			return report, err
+		}
+		report.Results = append(report.Results, pr)
+		if cfg.PhaseHook != nil {
+			cfg.PhaseHook(phase)
+		}
+	}
+	return report, nil
+}
+
+// opFunc performs item i for a worker and returns its error.
+type opFunc func(w *worker, i int) error
+
+// phaseOp returns the operation a phase applies per item.
+func phaseOp(phase string) (opFunc, error) {
+	switch phase {
+	case PhaseMkdir:
+		return func(w *worker, i int) error {
+			return w.fs.Mkdir(fmt.Sprintf("%s/dir.%d", w.workDir, i), 0o755)
+		}, nil
+	case PhaseTouch:
+		return func(w *worker, i int) error {
+			return w.fs.Create(fmt.Sprintf("%s/file.%d", w.workDir, i), 0o644)
+		}, nil
+	case PhaseFileStat:
+		return func(w *worker, i int) error {
+			return w.fs.StatFile(fmt.Sprintf("%s/file.%d", w.workDir, i))
+		}, nil
+	case PhaseDirStat:
+		return func(w *worker, i int) error {
+			return w.fs.StatDir(fmt.Sprintf("%s/dir.%d", w.workDir, i))
+		}, nil
+	case PhaseReaddir:
+		return func(w *worker, i int) error {
+			_, err := w.fs.Readdir(w.workDir)
+			return err
+		}, nil
+	case PhaseRemove:
+		return func(w *worker, i int) error {
+			return w.fs.Remove(fmt.Sprintf("%s/file.%d", w.workDir, i))
+		}, nil
+	case PhaseRmdir:
+		return func(w *worker, i int) error {
+			return w.fs.Rmdir(fmt.Sprintf("%s/dir.%d", w.workDir, i))
+		}, nil
+	case PhaseChmod, PhaseChown, PhaseTruncate, PhaseAccess:
+		return func(w *worker, i int) error {
+			x, ok := w.fs.(fsapi.ExtendedFS)
+			if !ok {
+				return fmt.Errorf("mdtest: %T does not support attribute phases", w.fs)
+			}
+			p := fmt.Sprintf("%s/file.%d", w.workDir, i)
+			switch phase {
+			case PhaseChmod:
+				return x.Chmod(p, 0o600)
+			case PhaseChown:
+				return x.Chown(p, 1000, 1000)
+			case PhaseTruncate:
+				return x.Truncate(p, uint64(i%8192))
+			default:
+				return x.Access(p)
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("mdtest: unknown phase %q", phase)
+}
+
+// runPhase runs one phase across all workers with a start barrier.
+func runPhase(cfg Config, phase string, workers []*worker) (PhaseResult, error) {
+	op, err := phaseOp(phase)
+	if err != nil {
+		return PhaseResult{}, err
+	}
+	items := cfg.ItemsPerClient
+	if phase == PhaseReaddir {
+		// readdir is one scan of the (large) working dir per iteration; a
+		// handful of iterations keeps the phase comparable in duration.
+		items = min(items, 10)
+	}
+
+	type clientOut struct {
+		lat     []time.Duration
+		vlat    []time.Duration
+		vtotal  time.Duration
+		errs    int
+		elapsed time.Duration
+	}
+	outs := make([]clientOut, len(workers))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *worker) {
+			defer wg.Done()
+			coster, _ := w.fs.(fsapi.Coster)
+			lat := make([]time.Duration, 0, items)
+			var vlat []time.Duration
+			if coster != nil {
+				vlat = make([]time.Duration, 0, items)
+			}
+			errs := 0
+			<-start
+			t0 := time.Now()
+			var v0 time.Duration
+			if coster != nil {
+				v0 = coster.Cost()
+			}
+			for i := 0; i < items; i++ {
+				o0 := time.Now()
+				var c0 time.Duration
+				if coster != nil {
+					c0 = coster.Cost()
+				}
+				if err := op(w, i); err != nil {
+					errs++
+				}
+				lat = append(lat, time.Since(o0))
+				if coster != nil {
+					vlat = append(vlat, coster.Cost()-c0)
+				}
+			}
+			out := clientOut{lat: lat, vlat: vlat, errs: errs, elapsed: time.Since(t0)}
+			if coster != nil {
+				out.vtotal = coster.Cost() - v0
+			}
+			outs[wi] = out
+		}(wi, w)
+	}
+	close(start)
+	wg.Wait()
+
+	var all, vall []time.Duration
+	pr := PhaseResult{Phase: phase}
+	for _, o := range outs {
+		all = append(all, o.lat...)
+		vall = append(vall, o.vlat...)
+		pr.Ops += len(o.lat)
+		pr.Errors += o.errs
+		if o.elapsed > pr.Elapsed {
+			pr.Elapsed = o.elapsed
+		}
+		if o.vtotal > pr.ClientCostMax {
+			pr.ClientCostMax = o.vtotal
+		}
+	}
+	pr.Latency = summarize(all)
+	pr.VirtLatency = summarize(vall)
+	return pr, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

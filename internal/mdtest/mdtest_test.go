@@ -1,0 +1,118 @@
+package mdtest
+
+import (
+	"testing"
+	"time"
+
+	"locofs/internal/core"
+	"locofs/internal/fsapi"
+)
+
+func locoFactory(t *testing.T) func() (fsapi.FS, error) {
+	t.Helper()
+	cluster, err := core.Start(core.Options{FMSCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return func() (fsapi.FS, error) {
+		cl, err := cluster.NewClient(core.ClientConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return fsapi.LocoFS{C: cl}, nil
+	}
+}
+
+func TestRunDefaultPhases(t *testing.T) {
+	rep, err := Run(Config{Clients: 4, ItemsPerClient: 25}, locoFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(DefaultPhases) {
+		t.Fatalf("got %d phases, want %d", len(rep.Results), len(DefaultPhases))
+	}
+	for _, pr := range rep.Results {
+		wantOps := 4 * 25
+		if pr.Phase == PhaseReaddir {
+			wantOps = 4 * 10
+		}
+		if pr.Ops != wantOps {
+			t.Errorf("%s: ops = %d, want %d", pr.Phase, pr.Ops, wantOps)
+		}
+		if pr.Errors != 0 {
+			t.Errorf("%s: %d errors", pr.Phase, pr.Errors)
+		}
+		if pr.IOPS() <= 0 {
+			t.Errorf("%s: IOPS = %v", pr.Phase, pr.IOPS())
+		}
+		if pr.Latency.Mean <= 0 || pr.Latency.P99 < pr.Latency.P50 {
+			t.Errorf("%s: bad latency stats %+v", pr.Phase, pr.Latency)
+		}
+	}
+}
+
+func TestRunAttrPhases(t *testing.T) {
+	rep, err := Run(Config{Clients: 2, ItemsPerClient: 20, Phases: AttrPhases}, locoFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Results {
+		if pr.Errors != 0 {
+			t.Errorf("%s: %d errors", pr.Phase, pr.Errors)
+		}
+	}
+	if _, ok := rep.Result(PhaseChmod); !ok {
+		t.Error("chmod phase missing from report")
+	}
+}
+
+func TestRunWithDepth(t *testing.T) {
+	rep, err := Run(Config{Clients: 2, ItemsPerClient: 10, Depth: 5,
+		Phases: []string{PhaseTouch, PhaseFileStat, PhaseRemove}}, locoFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range rep.Results {
+		if pr.Errors != 0 {
+			t.Errorf("%s: %d errors at depth 5", pr.Phase, pr.Errors)
+		}
+	}
+}
+
+func TestUnknownPhaseRejected(t *testing.T) {
+	_, err := Run(Config{Clients: 1, ItemsPerClient: 1, Phases: []string{"bogus"}}, locoFactory(t))
+	if err == nil {
+		t.Error("unknown phase accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	s := summarize(samples)
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("P99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if z := summarize(nil); z.Mean != 0 {
+		t.Errorf("empty summarize = %+v", z)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Clients != 1 || c.ItemsPerClient != 100 || c.Root != "/mdtest" || len(c.Phases) == 0 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

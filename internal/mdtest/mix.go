@@ -1,0 +1,260 @@
+package mdtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"locofs/internal/fsapi"
+)
+
+// OpMix gives relative weights for a mixed metadata workload, in the spirit
+// of the file-system traces the paper analyzes (§3.4.1): the Sunway
+// TaihuLight trace contains no renames at all, and the BSC GPFS study
+// measured d-rename at 1e-7 of all operations. RunMix replays a synthetic
+// trace drawn from these weights and reports per-op-class costs, which is
+// how the repository quantifies the paper's claim that hash-based
+// placement's rename penalty is negligible in practice.
+type OpMix struct {
+	Create     float64
+	Stat       float64
+	Remove     float64
+	Readdir    float64
+	Mkdir      float64
+	FileRename float64
+	DirRename  float64
+}
+
+// TaihuLightMix approximates the paper's §3.4.1 observation: a
+// metadata-intensive HPC mix with *zero* renames (create/stat dominated,
+// per Leung et al. and Roselli et al. as cited in §1).
+var TaihuLightMix = OpMix{Create: 30, Stat: 55, Remove: 10, Readdir: 4, Mkdir: 1}
+
+// WithRenameRatio returns the mix with the given fraction of operations
+// converted into renames (split 10:1 between file and directory renames).
+func (m OpMix) WithRenameRatio(ratio float64) OpMix {
+	total := m.total()
+	extra := total * ratio / (1 - ratio)
+	m.FileRename = extra * 10 / 11
+	m.DirRename = extra * 1 / 11
+	return m
+}
+
+func (m OpMix) total() float64 {
+	return m.Create + m.Stat + m.Remove + m.Readdir + m.Mkdir + m.FileRename + m.DirRename
+}
+
+// MixConfig configures a mixed-workload run.
+type MixConfig struct {
+	// Ops is the total number of operations to replay.
+	Ops int
+	// Mix gives the op-class weights; default TaihuLightMix.
+	Mix OpMix
+	// Dirs is the number of working directories files spread over.
+	Dirs int
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Root is the namespace root; default "/mix".
+	Root string
+}
+
+// MixClassResult aggregates one op class.
+type MixClassResult struct {
+	Ops  int
+	Errs int
+	Cost time.Duration // total modeled time
+}
+
+// Mean returns the class's mean modeled latency.
+func (r MixClassResult) Mean() time.Duration {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.Cost / time.Duration(r.Ops)
+}
+
+// MixReport is the outcome of a mixed run.
+type MixReport struct {
+	Classes   map[string]MixClassResult
+	TotalOps  int
+	TotalCost time.Duration
+}
+
+// MeanLatency returns the overall mean modeled latency per operation.
+func (r *MixReport) MeanLatency() time.Duration {
+	if r.TotalOps == 0 {
+		return 0
+	}
+	return r.TotalCost / time.Duration(r.TotalOps)
+}
+
+// RunMix replays a synthetic operation trace against one FS client.
+func RunMix(cfg MixConfig, newFS func() (fsapi.FS, error)) (*MixReport, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 1000
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = TaihuLightMix
+	}
+	if cfg.Dirs <= 0 {
+		cfg.Dirs = 8
+	}
+	if cfg.Root == "" {
+		cfg.Root = "/mix"
+	}
+	fs, err := newFS()
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	coster, _ := fs.(fsapi.Coster)
+	fileRenamer, _ := fs.(fsapi.FileRenamer)
+	dirRenamer, _ := fs.(fsapi.Renamer)
+
+	if err := fs.Mkdir(cfg.Root, 0o777); err != nil {
+		return nil, fmt.Errorf("mdtest: mix setup: %w", err)
+	}
+	dirs := make([]string, cfg.Dirs)
+	for i := range dirs {
+		dirs[i] = fmt.Sprintf("%s/d%03d", cfg.Root, i)
+		if err := fs.Mkdir(dirs[i], 0o777); err != nil {
+			return nil, fmt.Errorf("mdtest: mix setup: %w", err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type classDef struct {
+		name   string
+		weight float64
+	}
+	classes := []classDef{
+		{"create", cfg.Mix.Create},
+		{"stat", cfg.Mix.Stat},
+		{"remove", cfg.Mix.Remove},
+		{"readdir", cfg.Mix.Readdir},
+		{"mkdir", cfg.Mix.Mkdir},
+		{"file-rename", cfg.Mix.FileRename},
+		{"dir-rename", cfg.Mix.DirRename},
+	}
+	cum := make([]float64, len(classes))
+	sum := 0.0
+	for i, c := range classes {
+		sum += c.weight
+		cum[i] = sum
+	}
+	pick := func() string {
+		x := rng.Float64() * sum
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(classes) {
+			i = len(classes) - 1
+		}
+		return classes[i].name
+	}
+
+	// Live-file pool so stats/removes hit existing files.
+	var files []string
+	addFile := func(p string) { files = append(files, p) }
+	takeFile := func() (string, bool) {
+		if len(files) == 0 {
+			return "", false
+		}
+		i := rng.Intn(len(files))
+		p := files[i]
+		files[i] = files[len(files)-1]
+		files = files[:len(files)-1]
+		return p, true
+	}
+	peekFile := func() (string, bool) {
+		if len(files) == 0 {
+			return "", false
+		}
+		return files[rng.Intn(len(files))], true
+	}
+
+	report := &MixReport{Classes: map[string]MixClassResult{}}
+	seq := 0
+	mkdirSeq := 0
+	renSeq := 0
+	cost := func() time.Duration {
+		if coster == nil {
+			return 0
+		}
+		return coster.Cost()
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		class := pick()
+		c0 := cost()
+		var err error
+		switch class {
+		case "create":
+			p := fmt.Sprintf("%s/f%06d", dirs[rng.Intn(len(dirs))], seq)
+			seq++
+			if err = fs.Create(p, 0o644); err == nil {
+				addFile(p)
+			}
+		case "stat":
+			if p, ok := peekFile(); ok {
+				err = fs.StatFile(p)
+			} else {
+				err = fs.StatDir(dirs[rng.Intn(len(dirs))])
+			}
+		case "remove":
+			if p, ok := takeFile(); ok {
+				err = fs.Remove(p)
+			} else {
+				class = "stat"
+				err = fs.StatDir(dirs[rng.Intn(len(dirs))])
+			}
+		case "readdir":
+			_, err = fs.Readdir(dirs[rng.Intn(len(dirs))])
+		case "mkdir":
+			p := fmt.Sprintf("%s/sub%06d", dirs[rng.Intn(len(dirs))], mkdirSeq)
+			mkdirSeq++
+			err = fs.Mkdir(p, 0o755)
+		case "file-rename":
+			if p, ok := takeFile(); ok && fileRenamer != nil {
+				np := fmt.Sprintf("%s.r%d", p, renSeq)
+				renSeq++
+				if err = fileRenamer.RenameFile(p, np); err == nil {
+					addFile(np)
+				}
+			} else {
+				class = "stat"
+				err = fs.StatDir(dirs[0])
+			}
+		case "dir-rename":
+			if dirRenamer != nil {
+				i := rng.Intn(len(dirs))
+				old := dirs[i]
+				np := fmt.Sprintf("%s.r%d", old, renSeq)
+				renSeq++
+				if _, err = dirRenamer.RenameDir(old, np); err == nil {
+					dirs[i] = np
+					// Files under the renamed directory keep working via
+					// their new paths; update the live pool.
+					prefix := old + "/"
+					for j, f := range files {
+						if len(f) > len(prefix) && f[:len(prefix)] == prefix {
+							files[j] = np + "/" + f[len(prefix):]
+						}
+					}
+				}
+			} else {
+				class = "stat"
+				err = fs.StatDir(dirs[0])
+			}
+		}
+		d := cost() - c0
+		cr := report.Classes[class]
+		cr.Ops++
+		cr.Cost += d
+		if err != nil {
+			cr.Errs++
+		}
+		report.Classes[class] = cr
+		report.TotalOps++
+		report.TotalCost += d
+	}
+	return report, nil
+}

@@ -1,0 +1,110 @@
+package mdtest
+
+import (
+	"testing"
+
+	"locofs/internal/core"
+	"locofs/internal/fsapi"
+	"locofs/internal/netsim"
+)
+
+func mixFactory(t *testing.T) func() (fsapi.FS, error) {
+	t.Helper()
+	cluster, err := core.Start(core.Options{
+		FMSCount:  2,
+		Link:      netsim.Paper1GbE,
+		CostModel: &core.PaperKVCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cluster.Close)
+	return func() (fsapi.FS, error) {
+		cl, err := cluster.NewClient(core.ClientConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return fsapi.LocoFS{C: cl}, nil
+	}
+}
+
+func TestRunMixTaihuLight(t *testing.T) {
+	rep, err := RunMix(MixConfig{Ops: 2000, Seed: 1}, mixFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOps != 2000 {
+		t.Fatalf("TotalOps = %d", rep.TotalOps)
+	}
+	for class, r := range rep.Classes {
+		if r.Errs > 0 {
+			t.Errorf("%s: %d errors", class, r.Errs)
+		}
+	}
+	// The default mix contains no renames at all (§3.4.1).
+	if rep.Classes["file-rename"].Ops != 0 || rep.Classes["dir-rename"].Ops != 0 {
+		t.Errorf("TaihuLight mix produced renames: %+v", rep.Classes)
+	}
+	// Stats dominate creates (55 vs 30 weights), loosely.
+	if rep.Classes["stat"].Ops < rep.Classes["create"].Ops {
+		t.Errorf("stat ops (%d) < create ops (%d)",
+			rep.Classes["stat"].Ops, rep.Classes["create"].Ops)
+	}
+	if rep.MeanLatency() <= 0 {
+		t.Error("zero mean latency")
+	}
+}
+
+func TestRunMixWithRenames(t *testing.T) {
+	mix := TaihuLightMix.WithRenameRatio(0.05) // absurdly high, to force hits
+	rep, err := RunMix(MixConfig{Ops: 3000, Mix: mix, Seed: 7}, mixFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	renames := rep.Classes["file-rename"].Ops + rep.Classes["dir-rename"].Ops
+	if renames == 0 {
+		t.Fatal("rename ratio 5% produced no renames")
+	}
+	frac := float64(renames) / float64(rep.TotalOps)
+	if frac < 0.01 || frac > 0.12 {
+		t.Errorf("rename fraction = %.3f, want ~0.05", frac)
+	}
+	for class, r := range rep.Classes {
+		if r.Errs > 0 {
+			t.Errorf("%s: %d errors", class, r.Errs)
+		}
+	}
+	// Renamed directories/files must remain usable: mean latencies exist.
+	if rep.Classes["file-rename"].Ops > 0 && rep.Classes["file-rename"].Mean() <= 0 {
+		t.Error("file-rename mean latency not recorded")
+	}
+}
+
+func TestRunMixDeterministic(t *testing.T) {
+	a, err := RunMix(MixConfig{Ops: 500, Seed: 42}, mixFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMix(MixConfig{Ops: 500, Seed: 42, Root: "/mix2"}, mixFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for class := range a.Classes {
+		if a.Classes[class].Ops != b.Classes[class].Ops {
+			t.Errorf("%s: op counts differ across identical seeds: %d vs %d",
+				class, a.Classes[class].Ops, b.Classes[class].Ops)
+		}
+	}
+}
+
+func TestWithRenameRatioMath(t *testing.T) {
+	m := TaihuLightMix.WithRenameRatio(0.1)
+	total := m.total()
+	renWeight := m.FileRename + m.DirRename
+	if frac := renWeight / total; frac < 0.09 || frac > 0.11 {
+		t.Errorf("rename weight fraction = %.3f, want 0.10", frac)
+	}
+	if m.FileRename <= m.DirRename {
+		t.Error("file renames should outweigh dir renames")
+	}
+}

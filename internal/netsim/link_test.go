@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"locofs/internal/wire"
+)
+
+func TestLinkDelayRTTOnly(t *testing.T) {
+	l := LinkConfig{RTT: 200 * time.Microsecond}
+	if got := l.Delay(0); got != 100*time.Microsecond {
+		t.Errorf("Delay(0) = %v, want RTT/2", got)
+	}
+	if got := l.Delay(1 << 20); got != 100*time.Microsecond {
+		t.Errorf("Delay with no bandwidth term = %v, want RTT/2", got)
+	}
+}
+
+func TestLinkDelayBandwidthTerm(t *testing.T) {
+	l := LinkConfig{RTT: 0, Bandwidth: 1e6} // 1 MB/s
+	got := l.Delay(1_000_000)
+	if got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Errorf("Delay(1MB at 1MB/s) = %v, want ~1s", got)
+	}
+	// Combined: RTT/2 + serialization.
+	l = Paper1GbE
+	small := l.Delay(100)
+	large := l.Delay(1 << 20)
+	if small < l.RTT/2 {
+		t.Errorf("small delay %v below propagation", small)
+	}
+	if large <= small {
+		t.Errorf("bandwidth term missing: %v vs %v", large, small)
+	}
+	// 1 MiB at 125 MB/s ≈ 8.4 ms on top of 87 µs.
+	if large < 8*time.Millisecond || large > 10*time.Millisecond {
+		t.Errorf("1MiB on 1GbE = %v, want ~8.5ms", large)
+	}
+}
+
+func TestWireSizeMatchesFraming(t *testing.T) {
+	m := &wire.Msg{ID: 1, Op: wire.OpPing, Body: make([]byte, 123)}
+	want := m.WireSize()
+	// The framed encoding must be exactly WireSize bytes.
+	var count countingWriter
+	if err := wire.WriteMsg(&count, m); err != nil {
+		t.Fatal(err)
+	}
+	if int(count) != want {
+		t.Errorf("framed size = %d, WireSize = %d", count, want)
+	}
+}
+
+type countingWriter int
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}

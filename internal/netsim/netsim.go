@@ -1,0 +1,285 @@
+// Package netsim provides the message transports LocoFS runs on.
+//
+// The paper's evaluation is dominated by network round trips: its clusters
+// are connected by 1 GbE with a measured RTT of 0.174 ms, and metadata
+// latencies are reported normalized to that RTT. To reproduce those
+// experiments deterministically on one machine, netsim offers an in-process
+// transport that injects a configurable one-way delay (plus an optional
+// bandwidth term) into every message, alongside a real TCP transport with
+// identical semantics for actual deployments.
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"locofs/internal/wire"
+)
+
+// Conn is a bidirectional, ordered message pipe. Send may be called
+// concurrently; Recv must be called from a single goroutine at a time.
+type Conn interface {
+	Send(m *wire.Msg) error
+	Recv() (*wire.Msg, error)
+	Close() error
+}
+
+// Listener accepts server-side Conns.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Dialer opens client-side Conns to named endpoints.
+type Dialer interface {
+	Dial(addr string) (Conn, error)
+}
+
+// ErrClosed is returned by operations on a closed Conn, Listener or Network.
+var ErrClosed = errors.New("netsim: closed")
+
+// LinkConfig models one network link.
+type LinkConfig struct {
+	// RTT is the round-trip time; each message is delayed RTT/2 one way.
+	RTT time.Duration
+	// Bandwidth in bytes/second adds a size-proportional serialization
+	// delay. Zero means infinite bandwidth.
+	Bandwidth float64
+}
+
+// Paper1GbE is the link measured in the paper: 0.174 ms RTT, 1 Gbps.
+var Paper1GbE = LinkConfig{RTT: 174 * time.Microsecond, Bandwidth: 125e6}
+
+// Loopback is a zero-latency, infinite-bandwidth link, used for the
+// co-located experiments (Fig 10).
+var Loopback = LinkConfig{}
+
+// Delay returns the one-way delay for a message of size bytes.
+func (lc LinkConfig) Delay(size int) time.Duration {
+	d := lc.RTT / 2
+	if lc.Bandwidth > 0 {
+		d += time.Duration(float64(size) / lc.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Network is an in-process fabric of named endpoints joined by simulated
+// links. It is safe for concurrent use.
+type Network struct {
+	link LinkConfig
+
+	mu        sync.Mutex
+	listeners map[string]*simListener
+	conns     []*pipeEnd
+	closed    bool
+}
+
+// NewNetwork returns a fabric whose links all share the given configuration.
+func NewNetwork(link LinkConfig) *Network {
+	return &Network{link: link, listeners: make(map[string]*simListener)}
+}
+
+// Link returns the fabric's link configuration.
+func (n *Network) Link() LinkConfig { return n.link }
+
+// Listen registers addr and returns its listener. Listening twice on one
+// address is an error.
+func (n *Network) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, errors.New("netsim: address in use: " + addr)
+	}
+	l := &simListener{net: n, addr: addr, backlog: make(chan Conn, 128)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to addr, returning the client half of a fresh pipe.
+func (n *Network) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok {
+		return nil, errors.New("netsim: no listener at " + addr)
+	}
+	client, server := newPipePair(n.link)
+	select {
+	case l.backlog <- server:
+		n.mu.Lock()
+		n.conns = append(n.conns, client, server)
+		// Long-lived fabrics accumulate many short-lived connections
+		// (e.g. workload clients); prune the already-closed ones so the
+		// tracking list stays proportional to live connections.
+		if len(n.conns) >= 4096 {
+			live := n.conns[:0]
+			for _, c := range n.conns {
+				select {
+				case <-c.closed:
+				default:
+					live = append(live, c)
+				}
+			}
+			n.conns = live
+		}
+		n.mu.Unlock()
+		return client, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+// Close tears down the fabric: all listeners and every open connection, so
+// server loops blocked in Recv unwind and Shutdown can complete.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, l := range n.listeners {
+		l.shutdown()
+	}
+	n.listeners = nil
+	for _, c := range n.conns {
+		c.Close()
+	}
+	n.conns = nil
+	return nil
+}
+
+type simListener struct {
+	net     *Network
+	addr    string
+	backlog chan Conn
+
+	once   sync.Once
+	doneCh chan struct{}
+	closed bool
+	mu     sync.Mutex
+}
+
+func (l *simListener) done() chan struct{} {
+	l.once.Do(func() { l.doneCh = make(chan struct{}) })
+	return l.doneCh
+}
+
+// Accept returns the next inbound connection.
+func (l *simListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+// Close unregisters the listener.
+func (l *simListener) Close() error {
+	l.net.mu.Lock()
+	if l.net.listeners != nil {
+		delete(l.net.listeners, l.addr)
+	}
+	l.net.mu.Unlock()
+	l.shutdown()
+	return nil
+}
+
+// shutdown marks the listener closed and releases blocked Accepts.
+func (l *simListener) shutdown() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done())
+	}
+}
+
+// Addr returns the listen address.
+func (l *simListener) Addr() string { return l.addr }
+
+// timedMsg is a message annotated with its earliest delivery time.
+type timedMsg struct {
+	m  *wire.Msg
+	at time.Time
+}
+
+// pipeEnd is one half of a bidirectional simulated pipe. Messages become
+// visible to the peer only after the link delay elapses, modeling
+// propagation + serialization latency while preserving FIFO order.
+type pipeEnd struct {
+	link   LinkConfig
+	out    chan timedMsg // messages we send
+	in     chan timedMsg // messages we receive
+	closed chan struct{}
+	peer   *pipeEnd
+	once   sync.Once
+}
+
+func newPipePair(link LinkConfig) (client, server *pipeEnd) {
+	ab := make(chan timedMsg, 1024)
+	ba := make(chan timedMsg, 1024)
+	a := &pipeEnd{link: link, out: ab, in: ba, closed: make(chan struct{})}
+	b := &pipeEnd{link: link, out: ba, in: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send enqueues m for delivery after the link delay.
+func (p *pipeEnd) Send(m *wire.Msg) error {
+	tm := timedMsg{m: m, at: time.Now().Add(p.link.Delay(m.WireSize()))}
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	case p.out <- tm:
+		return nil
+	}
+}
+
+// Recv blocks until the next message has both arrived and matured.
+func (p *pipeEnd) Recv() (*wire.Msg, error) {
+	select {
+	case tm := <-p.in:
+		if d := time.Until(tm.at); d > 0 {
+			time.Sleep(d)
+		}
+		return tm.m, nil
+	case <-p.closed:
+		return nil, ErrClosed
+	case <-p.peer.closed:
+		// Drain anything already in flight before reporting closure.
+		select {
+		case tm := <-p.in:
+			if d := time.Until(tm.at); d > 0 {
+				time.Sleep(d)
+			}
+			return tm.m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close shuts down this end; the peer's Recv drains then fails.
+func (p *pipeEnd) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+var (
+	_ Conn     = (*pipeEnd)(nil)
+	_ Dialer   = (*Network)(nil)
+	_ Listener = (*simListener)(nil)
+)

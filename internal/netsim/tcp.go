@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"locofs/internal/wire"
+)
+
+// tcpConn adapts a net.Conn to the message Conn interface using the wire
+// framing. Sends are serialized by a mutex so multiple goroutines may reply
+// on one connection.
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	wm sync.Mutex
+	bw *bufio.Writer
+}
+
+// NewTCPConn wraps an established net.Conn in the message framing.
+func NewTCPConn(c net.Conn) Conn {
+	return &tcpConn{c: c, br: bufio.NewReaderSize(c, 64<<10), bw: bufio.NewWriterSize(c, 64<<10)}
+}
+
+// Send writes one framed message.
+func (t *tcpConn) Send(m *wire.Msg) error {
+	t.wm.Lock()
+	defer t.wm.Unlock()
+	if err := wire.WriteMsg(t.bw, m); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+// Recv reads one framed message.
+func (t *tcpConn) Recv() (*wire.Msg, error) {
+	return wire.ReadMsg(t.br)
+}
+
+// Close closes the underlying socket.
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+// TCPListener adapts a net.Listener to the message Listener interface.
+type TCPListener struct{ L net.Listener }
+
+// ListenTCP starts a TCP listener on addr ("host:port", ":0" for ephemeral).
+func ListenTCP(addr string) (*TCPListener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPListener{L: l}, nil
+}
+
+// Accept waits for an inbound connection.
+func (l *TCPListener) Accept() (Conn, error) {
+	c, err := l.L.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+// Close stops the listener.
+func (l *TCPListener) Close() error { return l.L.Close() }
+
+// Addr returns the bound address.
+func (l *TCPListener) Addr() string { return l.L.Addr().String() }
+
+// TCPDialer dials real TCP endpoints.
+type TCPDialer struct{}
+
+// Dial opens a framed connection to addr.
+func (TCPDialer) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+var (
+	_ Listener = (*TCPListener)(nil)
+	_ Dialer   = TCPDialer{}
+)

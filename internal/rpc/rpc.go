@@ -1,0 +1,360 @@
+// Package rpc is the small request/response layer LocoFS servers and
+// clients speak over a netsim transport: numbered requests multiplexed over
+// a connection, dispatched to per-op handlers on the server side.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+// HandlerFunc serves one request body and returns a status and response
+// body. Handlers run concurrently; they must be safe for concurrent use.
+type HandlerFunc func(body []byte) (wire.Status, []byte)
+
+// Server dispatches requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[wire.Op]HandlerFunc
+	virtual  map[wire.Op]time.Duration
+
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	listener  netsim.Listener
+	workers   chan struct{} // nil = unlimited concurrency
+	workerCap int
+	serviceFn ServiceFunc
+
+	connMu sync.Mutex
+	conns  map[netsim.Conn]struct{}
+
+	// Served counts completed requests, for load accounting in experiments.
+	Served atomic.Uint64
+	// busyNS accumulates total service time (measured + modeled) across
+	// all requests; experiments derive server-bound throughput from it.
+	busyNS atomic.Uint64
+}
+
+// NewServer returns a Server with a default Ping handler registered and no
+// concurrency limit.
+func NewServer() *Server {
+	return NewServerWithWorkers(0)
+}
+
+// NewServerWithWorkers returns a Server that executes at most workers
+// handlers concurrently (0 = unlimited). The limit models the CPU capacity
+// of a metadata server: with per-request service times, throughput caps at
+// workers/serviceTime, which is how the experiments saturate servers.
+func NewServerWithWorkers(workers int) *Server {
+	s := &Server{
+		handlers:  make(map[wire.Op]HandlerFunc),
+		virtual:   make(map[wire.Op]time.Duration),
+		workerCap: workers,
+		conns:     make(map[netsim.Conn]struct{}),
+	}
+	if workers > 0 {
+		s.workers = make(chan struct{}, workers)
+	}
+	s.Handle(wire.OpPing, func(body []byte) (wire.Status, []byte) {
+		return wire.StatusOK, body
+	})
+	return s
+}
+
+// Handle registers fn for op, replacing any previous handler.
+func (s *Server) Handle(op wire.Op, fn HandlerFunc) {
+	s.mu.Lock()
+	s.handlers[op] = fn
+	s.mu.Unlock()
+}
+
+// SetVirtualCost declares a modeled software cost for op, added to the
+// measured handler time in every response's ServiceNS. Baseline systems use
+// this to model their (calibrated) metadata-path service times without
+// wall-clock sleeping.
+func (s *Server) SetVirtualCost(op wire.Op, d time.Duration) {
+	s.mu.Lock()
+	s.virtual[op] = d
+	s.mu.Unlock()
+}
+
+// ServiceFunc executes run (which invokes the handler) and returns the
+// request's modeled service time. Implementations may serialize requests to
+// read per-request deltas from shared counters; the per-op virtual cost, if
+// any, is added on top of the returned duration.
+type ServiceFunc func(op wire.Op, run func()) time.Duration
+
+// SetServiceFunc installs a modeled service-time calculator, replacing the
+// default wall-clock measurement (which is meaningless under CPU contention
+// on small machines). Experiments use cost models derived from the exact KV
+// work each request performs.
+func (s *Server) SetServiceFunc(fn ServiceFunc) {
+	s.mu.Lock()
+	s.serviceFn = fn
+	s.mu.Unlock()
+}
+
+// Busy returns the cumulative service time across all requests served.
+func (s *Server) Busy() time.Duration { return time.Duration(s.busyNS.Load()) }
+
+// Workers returns the configured concurrency cap (0 = unlimited).
+func (s *Server) Workers() int { return s.workerCap }
+
+// Serve accepts connections from l until l is closed. It blocks; run it in
+// a goroutine. Each connection's requests are served concurrently.
+func (s *Server) Serve(l netsim.Listener) {
+	s.connMu.Lock()
+	s.listener = l
+	closed := s.closed.Load()
+	s.connMu.Unlock()
+	if closed {
+		l.Close()
+		return
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		// Add under connMu: Shutdown flips closed before acquiring connMu,
+		// so every Add either precedes its Wait or is refused above.
+		s.wg.Add(1)
+		s.connMu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn netsim.Conn) {
+	defer func() {
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+	}()
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if req.IsResp {
+			continue // protocol violation; ignore
+		}
+		s.wg.Add(1)
+		go func(req *wire.Msg) {
+			defer s.wg.Done()
+			if s.workers != nil {
+				s.workers <- struct{}{}
+				defer func() { <-s.workers }()
+			}
+			var status wire.Status
+			var body []byte
+			s.mu.RLock()
+			fn := s.serviceFn
+			virtual := s.virtual[req.Op]
+			s.mu.RUnlock()
+			var service time.Duration
+			if fn != nil {
+				service = fn(req.Op, func() {
+					status, body = s.dispatch(req.Op, req.Body)
+				})
+			} else {
+				t0 := time.Now()
+				status, body = s.dispatch(req.Op, req.Body)
+				service = time.Since(t0)
+			}
+			service += virtual
+			s.busyNS.Add(uint64(service))
+			s.Served.Add(1)
+			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
+				Status: status, ServiceNS: uint64(service), Body: body}
+			_ = conn.Send(resp)
+		}(req)
+	}
+}
+
+func (s *Server) dispatch(op wire.Op, body []byte) (wire.Status, []byte) {
+	s.mu.RLock()
+	fn, ok := s.handlers[op]
+	s.mu.RUnlock()
+	if !ok {
+		return wire.StatusInval, []byte(fmt.Sprintf("unknown op %#x", uint16(op)))
+	}
+	return fn(body)
+}
+
+// Shutdown closes the listener and every established connection, then waits
+// for in-flight requests to finish. Clients observe transport errors on
+// outstanding and subsequent calls.
+func (s *Server) Shutdown() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.connMu.Lock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Client issues calls over one connection. Calls may be made concurrently;
+// responses are matched to requests by id. Every Call is exactly one network
+// round trip, and the client counts them — the paper reports metadata
+// latency in round trips, so this counter is the measurement hook.
+type Client struct {
+	conn    netsim.Conn
+	nextID  atomic.Uint64
+	trips   atomic.Uint64
+	virtNS  atomic.Uint64
+	linkVal atomic.Pointer[netsim.LinkConfig]
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Msg
+	err     error
+
+	closeOnce sync.Once
+}
+
+// NewClient wraps an established connection and starts its response reader.
+func NewClient(conn netsim.Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan *wire.Msg)}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to addr via d and returns a ready client.
+func Dial(d netsim.Dialer, addr string) (*Client, error) {
+	conn, err := d.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// SetLink installs the modeled network link for virtual-time accounting:
+// each Call's virtual cost is the link's request+response delay plus the
+// server-reported service time. The transport itself stays at loopback
+// speed — the virtual clock is how experiments measure latency without
+// depending on OS timer granularity.
+func (c *Client) SetLink(link netsim.LinkConfig) {
+	c.linkVal.Store(&link)
+}
+
+// VirtualTime returns the cumulative modeled time of all calls so far.
+func (c *Client) VirtualTime() time.Duration {
+	return time.Duration(c.virtNS.Load())
+}
+
+func (c *Client) readLoop() {
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if !m.IsResp {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// Call sends one request and blocks for its response. The returned error
+// covers transport failures only; application-level failures arrive as a
+// non-OK status.
+func (c *Client) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan *wire.Msg, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return wire.StatusIO, nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := &wire.Msg{ID: id, Op: op, Body: body}
+	if err := c.conn.Send(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.StatusIO, nil, err
+	}
+	c.trips.Add(1)
+	resp, ok := <-ch
+	if ok {
+		var virt time.Duration
+		if lp := c.linkVal.Load(); lp != nil {
+			virt += lp.Delay(req.WireSize()) + lp.Delay(resp.WireSize())
+		}
+		virt += time.Duration(resp.ServiceNS)
+		c.virtNS.Add(uint64(virt))
+	}
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return wire.StatusIO, nil, err
+	}
+	return resp.Status, resp.Body, nil
+}
+
+// Trips returns the number of round trips issued so far. Callers snapshot it
+// around an operation to count that operation's network cost.
+func (c *Client) Trips() uint64 { return c.trips.Load() }
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		err = c.conn.Close()
+		c.failAll(ErrClientClosed)
+	})
+	return err
+}

@@ -1,0 +1,165 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+// TestVirtualTimeAccumulation checks Call's modeled-time arithmetic:
+// per-call virtual time = request delay + response delay + ServiceNS.
+func TestVirtualTimeAccumulation(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	defer n.Close()
+	s := NewServer()
+	const svc = 50 * time.Microsecond
+	s.Handle(wire.Op(1), func(body []byte) (wire.Status, []byte) {
+		return wire.StatusOK, nil
+	})
+	s.SetVirtualCost(wire.Op(1), svc)
+	// Suppress wall-clock measurement so the expectation is exact.
+	s.SetServiceFunc(func(op wire.Op, run func()) time.Duration {
+		run()
+		return 0
+	})
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+
+	c, err := Dial(n, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	link := netsim.LinkConfig{RTT: 200 * time.Microsecond}
+	c.SetLink(link)
+
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, _, err := c.Call(wire.Op(1), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.VirtualTime()
+	want := calls * (link.RTT + svc) // zero-size adjustments are in Delay()
+	// Allow for the small per-message framing bytes (no bandwidth term, so
+	// exactly RTT + svc per call).
+	if got != want {
+		t.Errorf("VirtualTime = %v, want %v", got, want)
+	}
+	if s.Busy() != calls*svc {
+		t.Errorf("server Busy = %v, want %v", s.Busy(), calls*svc)
+	}
+}
+
+// TestVirtualTimeIncludesMeasuredService: without a ServiceFunc, the
+// measured handler time flows into ServiceNS.
+func TestVirtualTimeIncludesMeasuredService(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	defer n.Close()
+	s := NewServer()
+	s.Handle(wire.Op(1), func(body []byte) (wire.Status, []byte) {
+		time.Sleep(2 * time.Millisecond)
+		return wire.StatusOK, nil
+	})
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+	c, _ := Dial(n, "srv")
+	defer c.Close()
+	c.SetLink(netsim.Loopback)
+	c.Call(wire.Op(1), nil)
+	if c.VirtualTime() < 2*time.Millisecond {
+		t.Errorf("VirtualTime = %v, want >= 2ms of measured service", c.VirtualTime())
+	}
+}
+
+// TestServiceFuncSerializes checks that a cost-model ServiceFunc observes
+// the handler's effects (run() really runs inside it).
+func TestServiceFuncRuns(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	defer n.Close()
+	s := NewServer()
+	ran := false
+	s.Handle(wire.Op(1), func(body []byte) (wire.Status, []byte) {
+		ran = true
+		return wire.StatusOK, []byte("out")
+	})
+	s.SetServiceFunc(func(op wire.Op, run func()) time.Duration {
+		run()
+		return 7 * time.Microsecond
+	})
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+	c, _ := Dial(n, "srv")
+	defer c.Close()
+	c.SetLink(netsim.Loopback)
+	st, body, err := c.Call(wire.Op(1), nil)
+	if err != nil || st != wire.StatusOK || string(body) != "out" {
+		t.Fatalf("call = %v %q %v", st, body, err)
+	}
+	if !ran {
+		t.Error("handler did not run inside ServiceFunc")
+	}
+	if c.VirtualTime() != 7*time.Microsecond {
+		t.Errorf("VirtualTime = %v, want 7us", c.VirtualTime())
+	}
+}
+
+// TestBandwidthTermInVirtualTime checks the size-dependent link cost.
+func TestBandwidthTermInVirtualTime(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	defer n.Close()
+	s := NewServer()
+	s.SetServiceFunc(func(op wire.Op, run func()) time.Duration { run(); return 0 })
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+	c, _ := Dial(n, "srv")
+	defer c.Close()
+	c.SetLink(netsim.LinkConfig{Bandwidth: 1e6}) // 1 MB/s
+	body := make([]byte, 100_000)
+	c.Call(wire.OpPing, body) // ping echoes the body: ~100KB each way
+	if got := c.VirtualTime(); got < 150*time.Millisecond {
+		t.Errorf("VirtualTime = %v, want >= ~200ms for 200KB at 1MB/s", got)
+	}
+}
+
+// TestWorkersLimitConcurrency verifies the worker cap truly bounds
+// concurrent handler execution.
+func TestWorkersLimitConcurrency(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	defer n.Close()
+	s := NewServerWithWorkers(2)
+	if s.Workers() != 2 {
+		t.Fatalf("Workers = %d", s.Workers())
+	}
+	inFlight := make(chan int, 64)
+	cur := make(chan struct{}, 64)
+	s.Handle(wire.Op(1), func(body []byte) (wire.Status, []byte) {
+		cur <- struct{}{}
+		inFlight <- len(cur)
+		time.Sleep(5 * time.Millisecond)
+		<-cur
+		return wire.StatusOK, nil
+	})
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+	c, _ := Dial(n, "srv")
+	defer c.Close()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			c.Call(wire.Op(1), nil)
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	close(inFlight)
+	for v := range inFlight {
+		if v > 2 {
+			t.Fatalf("observed %d concurrent handlers; cap is 2", v)
+		}
+	}
+}

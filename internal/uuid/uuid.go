@@ -1,0 +1,119 @@
+// Package uuid implements the universally unique identifiers LocoFS assigns
+// to every directory and file.
+//
+// Following the paper (§3.3.2), a UUID is composed of a server ID (sid) —
+// the metadata server on which the object was first created — and a file ID
+// (fid) — a monotonically increasing counter local to that server. The pair
+// identifies an object for the lifetime of the file system and, crucially,
+// never changes on rename: everything indexed through a UUID (data blocks,
+// children dirents) stays put when the object's name changes.
+package uuid
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"sync/atomic"
+)
+
+// Size is the encoded size of a UUID in bytes.
+const Size = 16
+
+// UUID identifies a directory or file. The zero UUID is reserved as "no
+// object" and is never allocated; the root directory uses Root.
+type UUID [Size]byte
+
+// Nil is the zero UUID, used as "absent".
+var Nil UUID
+
+// Root is the fixed UUID of the file system root directory.
+var Root = UUID{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+
+// New composes a UUID from a server ID and a per-server file ID.
+func New(sid uint32, fid uint64) UUID {
+	var u UUID
+	binary.BigEndian.PutUint32(u[0:4], sid)
+	binary.BigEndian.PutUint64(u[4:12], fid)
+	return u
+}
+
+// SID returns the server-ID component.
+func (u UUID) SID() uint32 { return binary.BigEndian.Uint32(u[0:4]) }
+
+// FID returns the per-server file-ID component.
+func (u UUID) FID() uint64 { return binary.BigEndian.Uint64(u[4:12]) }
+
+// IsNil reports whether u is the zero UUID.
+func (u UUID) IsNil() bool { return u == Nil }
+
+// String returns the canonical lower-case hex form (32 characters).
+func (u UUID) String() string { return hex.EncodeToString(u[:]) }
+
+// Bytes returns the UUID as a fresh 16-byte slice.
+func (u UUID) Bytes() []byte {
+	b := make([]byte, Size)
+	copy(b, u[:])
+	return b
+}
+
+// AppendTo appends the binary form of u to dst and returns the extended slice.
+func (u UUID) AppendTo(dst []byte) []byte { return append(dst, u[:]...) }
+
+// ErrBadUUID is returned by FromBytes when the input is not Size bytes long.
+var ErrBadUUID = errors.New("uuid: invalid encoded length")
+
+// FromBytes decodes a UUID from a 16-byte slice.
+func FromBytes(b []byte) (UUID, error) {
+	var u UUID
+	if len(b) != Size {
+		return u, ErrBadUUID
+	}
+	copy(u[:], b)
+	return u, nil
+}
+
+// MustFromBytes is like FromBytes but panics on malformed input. It is meant
+// for decoding values that were produced by this package and whose length is
+// structurally guaranteed.
+func MustFromBytes(b []byte) UUID {
+	u, err := FromBytes(b)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Generator allocates UUIDs for one metadata server. It is safe for
+// concurrent use.
+type Generator struct {
+	sid  uint32
+	next atomic.Uint64
+}
+
+// NewGenerator returns a Generator producing UUIDs tagged with sid.
+// The fid sequence starts at 1 so that the zero UUID is never produced.
+func NewGenerator(sid uint32) *Generator {
+	return &Generator{sid: sid}
+}
+
+// Next returns a fresh, never-before-returned UUID.
+func (g *Generator) Next() UUID {
+	return New(g.sid, g.next.Add(1))
+}
+
+// SID returns the server ID this generator stamps onto UUIDs.
+func (g *Generator) SID() uint32 { return g.sid }
+
+// Restore advances the generator past fid, for recovery after restart. It
+// never moves the sequence backwards.
+func (g *Generator) Restore(fid uint64) {
+	for {
+		cur := g.next.Load()
+		if cur >= fid {
+			return
+		}
+		if g.next.CompareAndSwap(cur, fid) {
+			return
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package uuid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundTrip(t *testing.T) {
+	u := New(7, 42)
+	if u.SID() != 7 {
+		t.Errorf("SID = %d, want 7", u.SID())
+	}
+	if u.FID() != 42 {
+		t.Errorf("FID = %d, want 42", u.FID())
+	}
+	if u.IsNil() {
+		t.Error("New(7,42).IsNil() = true")
+	}
+}
+
+func TestNilAndRoot(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if Root.IsNil() {
+		t.Error("Root.IsNil() = true")
+	}
+	if Root == Nil {
+		t.Error("Root == Nil")
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	u := New(3, 99)
+	got, err := FromBytes(u.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != u {
+		t.Errorf("FromBytes(Bytes()) = %v, want %v", got, u)
+	}
+}
+
+func TestFromBytesBadLength(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 5)); err != ErrBadUUID {
+		t.Errorf("FromBytes(5 bytes) err = %v, want ErrBadUUID", err)
+	}
+	if _, err := FromBytes(make([]byte, 17)); err != ErrBadUUID {
+		t.Errorf("FromBytes(17 bytes) err = %v, want ErrBadUUID", err)
+	}
+}
+
+func TestMustFromBytesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromBytes did not panic on short input")
+		}
+	}()
+	MustFromBytes([]byte{1, 2, 3})
+}
+
+func TestStringIsHex(t *testing.T) {
+	u := New(0xDEADBEEF, 0x0102030405060708)
+	s := u.String()
+	if len(s) != 32 {
+		t.Fatalf("String() length = %d, want 32", len(s))
+	}
+	if s[:8] != "deadbeef" {
+		t.Errorf("String() prefix = %q, want deadbeef", s[:8])
+	}
+}
+
+func TestAppendTo(t *testing.T) {
+	u := New(1, 2)
+	got := u.AppendTo([]byte("k:"))
+	if len(got) != 2+Size {
+		t.Fatalf("AppendTo length = %d, want %d", len(got), 2+Size)
+	}
+	if string(got[:2]) != "k:" {
+		t.Errorf("prefix clobbered: %q", got[:2])
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(sid uint32, fid uint64) bool {
+		u := New(sid, fid)
+		v, err := FromBytes(u.Bytes())
+		return err == nil && v == u && u.SID() == sid && u.FID() == fid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorUnique(t *testing.T) {
+	g := NewGenerator(5)
+	const n = 1000
+	const workers = 8
+	var mu sync.Mutex
+	seen := make(map[UUID]bool, n*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UUID, 0, n)
+			for i := 0; i < n; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			for _, u := range local {
+				if seen[u] {
+					t.Errorf("duplicate uuid %v", u)
+				}
+				seen[u] = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n*workers {
+		t.Errorf("got %d unique uuids, want %d", len(seen), n*workers)
+	}
+	for u := range seen {
+		if u.SID() != 5 {
+			t.Fatalf("uuid with wrong sid: %v", u)
+		}
+		if u.IsNil() {
+			t.Fatal("generator produced the nil uuid")
+		}
+	}
+}
+
+func TestGeneratorRestore(t *testing.T) {
+	g := NewGenerator(1)
+	g.Restore(100)
+	if u := g.Next(); u.FID() != 101 {
+		t.Errorf("after Restore(100), Next().FID() = %d, want 101", u.FID())
+	}
+	g.Restore(50) // must not go backwards
+	if u := g.Next(); u.FID() != 102 {
+		t.Errorf("after Restore(50), Next().FID() = %d, want 102", u.FID())
+	}
+}

@@ -1,0 +1,201 @@
+// Package wire defines the message format spoken between LocoFS clients and
+// metadata/data servers: a binary header (request id, op code, status) plus
+// an opaque body, with a length-prefixed framing for byte-stream transports.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a remote procedure.
+type Op uint16
+
+// Operations served by the directory metadata server (DMS).
+const (
+	OpMkdir Op = 0x0100 + iota
+	OpRmdir
+	OpStatDir
+	OpReaddirSubdirs
+	OpLookupDir // resolve path -> d-inode with full ancestor ACL check
+	OpRenameDir // directory rename (prefix move)
+	OpChmodDir
+	OpChownDir
+)
+
+// Operations served by the file metadata servers (FMS).
+const (
+	OpCreateFile Op = 0x0200 + iota
+	OpRemoveFile
+	OpStatFile
+	OpOpenFile
+	OpCloseFile
+	OpChmodFile
+	OpChownFile
+	OpAccessFile
+	OpUtimensFile
+	OpTruncateFile
+	OpUpdateSize // content-part size+mtime update after a data write
+	OpReaddirFiles
+	OpRenameFile
+	OpDirHasFiles // rmdir support: does this FMS hold files of dir uuid?
+	OpRemoveDirFiles
+)
+
+// Operations served by the object store servers (OSS).
+const (
+	OpPutBlock Op = 0x0300 + iota
+	OpGetBlock
+	OpDeleteBlocks
+)
+
+// Generic/administrative operations.
+const (
+	OpPing Op = 0x0001
+)
+
+// Status is the result code of a request.
+type Status uint16
+
+// Status codes. StatusOK must be zero.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusExist
+	StatusNotDir
+	StatusIsDir
+	StatusNotEmpty
+	StatusPerm
+	StatusInval
+	StatusStale // lease/cache epoch mismatch
+	StatusIO
+)
+
+// String returns a short human-readable form of the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "ENOENT"
+	case StatusExist:
+		return "EEXIST"
+	case StatusNotDir:
+		return "ENOTDIR"
+	case StatusIsDir:
+		return "EISDIR"
+	case StatusNotEmpty:
+		return "ENOTEMPTY"
+	case StatusPerm:
+		return "EPERM"
+	case StatusInval:
+		return "EINVAL"
+	case StatusStale:
+		return "ESTALE"
+	case StatusIO:
+		return "EIO"
+	}
+	return fmt.Sprintf("status(%d)", uint16(s))
+}
+
+// Err converts a non-OK status into an error (nil for StatusOK).
+func (s Status) Err() error {
+	if s == StatusOK {
+		return nil
+	}
+	return &StatusError{Status: s}
+}
+
+// StatusError is the error form of a non-OK Status.
+type StatusError struct{ Status Status }
+
+// Error implements error.
+func (e *StatusError) Error() string { return "locofs: " + e.Status.String() }
+
+// StatusOf extracts the Status from an error produced by Status.Err,
+// returning StatusIO for foreign errors and StatusOK for nil.
+func StatusOf(err error) Status {
+	if err == nil {
+		return StatusOK
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return StatusIO
+}
+
+// Msg is one framed message.
+type Msg struct {
+	ID     uint64 // request id, echoed by the response
+	IsResp bool
+	Op     Op
+	Status Status // meaningful on responses
+	// ServiceNS reports, on responses, the server-side processing time of
+	// the request in nanoseconds: measured handler time plus any modeled
+	// software cost. Clients use it for virtual-time latency accounting.
+	ServiceNS uint64
+	Body      []byte
+}
+
+// header: id(8) flags(1) op(2) status(2) service(8)
+const headerSize = 21
+
+// MaxBody bounds a single message body (64 MiB), protecting servers from
+// malformed frames.
+const MaxBody = 64 << 20
+
+// ErrFrameTooLarge reports a frame exceeding MaxBody.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// WriteMsg writes one length-prefixed message to w.
+func WriteMsg(w io.Writer, m *Msg) error {
+	if len(m.Body) > MaxBody {
+		return ErrFrameTooLarge
+	}
+	var hdr [4 + headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(headerSize+len(m.Body)))
+	binary.BigEndian.PutUint64(hdr[4:], m.ID)
+	if m.IsResp {
+		hdr[12] = 1
+	}
+	binary.BigEndian.PutUint16(hdr[13:], uint16(m.Op))
+	binary.BigEndian.PutUint16(hdr[15:], uint16(m.Status))
+	binary.BigEndian.PutUint64(hdr[17:], m.ServiceNS)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Body)
+	return err
+}
+
+// ReadMsg reads one length-prefixed message from r.
+func ReadMsg(r io.Reader) (*Msg, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < headerSize || n > headerSize+MaxBody {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	m := &Msg{
+		ID:        binary.BigEndian.Uint64(payload[0:]),
+		IsResp:    payload[8] == 1,
+		Op:        Op(binary.BigEndian.Uint16(payload[9:])),
+		Status:    Status(binary.BigEndian.Uint16(payload[11:])),
+		ServiceNS: binary.BigEndian.Uint64(payload[13:]),
+		Body:      payload[headerSize:],
+	}
+	return m, nil
+}
+
+// WireSize returns the on-the-wire size of the message in bytes, used by the
+// simulated network's bandwidth model.
+func (m *Msg) WireSize() int { return 4 + headerSize + len(m.Body) }

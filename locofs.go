@@ -1,0 +1,125 @@
+// Package locofs is the public API of the LocoFS reproduction — a
+// distributed file system with a loosely-coupled metadata service
+// (Li et al., SC'17).
+//
+// The metadata service separates directory metadata (one Directory Metadata
+// Server holding every d-inode, keyed by full path in a B+-tree store) from
+// file metadata (File Metadata Servers holding per-file access/content
+// parts, placed by consistent-hashing directory UUID + name), with file
+// data in an object store addressed by immutable file UUID + block number.
+// Every hot-path metadata operation contacts one or two servers.
+//
+// # In-process cluster
+//
+//	cluster, err := locofs.Start(locofs.Options{FMSCount: 4})
+//	defer cluster.Close()
+//	fs, err := cluster.NewClient(locofs.ClientConfig{UID: 1000})
+//	defer fs.Close()
+//	fs.Mkdir("/data", 0o755)
+//	fs.Create("/data/f", 0o644)
+//
+// # Real deployment
+//
+// Servers run over TCP via DialConfig/NewClient and the server constructors
+// in this package; see cmd/locofsd for a complete daemon.
+//
+// The packages under internal/ hold the implementation: metadata layouts,
+// KV engines, the RPC stack, the servers, the baseline systems the paper
+// compares against, and the experiment harness (see DESIGN.md).
+package locofs
+
+import (
+	"locofs/internal/client"
+	"locofs/internal/core"
+	"locofs/internal/dms"
+	"locofs/internal/fms"
+	"locofs/internal/netsim"
+	"locofs/internal/objstore"
+	"locofs/internal/rpc"
+	"locofs/internal/uuid"
+)
+
+// Options configures an in-process cluster. See core.Options for fields.
+type Options = core.Options
+
+// ClientConfig tweaks one client of an in-process cluster.
+type ClientConfig = core.ClientConfig
+
+// Cluster is a running in-process LocoFS deployment.
+type Cluster = core.Cluster
+
+// Start launches an in-process cluster: one DMS, Options.FMSCount file
+// metadata servers, and Options.OSSCount object store servers.
+func Start(opts Options) (*Cluster, error) { return core.Start(opts) }
+
+// KVCost prices server-side work for modeled-hardware experiments.
+type KVCost = core.KVCost
+
+// PaperKVCost is the calibration reproducing the paper's metadata nodes.
+var PaperKVCost = core.PaperKVCost
+
+// Client is a LocoLib file-system client.
+type Client = client.Client
+
+// File is an open file handle.
+type File = client.File
+
+// Attr is a stat result.
+type Attr = client.Attr
+
+// DirEntry is one readdir result.
+type DirEntry = client.DirEntry
+
+// DialConfig describes a cluster to connect a standalone client to
+// (typically over TCP; see TCPDialer).
+type DialConfig = client.Config
+
+// Dial connects a client to the servers in cfg.
+func Dial(cfg DialConfig) (*Client, error) { return client.Dial(cfg) }
+
+// LinkConfig models a network link (RTT + bandwidth) for virtual-time
+// latency accounting.
+type LinkConfig = netsim.LinkConfig
+
+// Paper1GbE is the link measured in the paper: 0.174 ms RTT, 1 Gbps.
+var Paper1GbE = netsim.Paper1GbE
+
+// TCPDialer dials real TCP endpoints for DialConfig.Dialer.
+type TCPDialer = netsim.TCPDialer
+
+// ListenTCP starts a TCP listener for serving a LocoFS component.
+func ListenTCP(addr string) (*netsim.TCPListener, error) { return netsim.ListenTCP(addr) }
+
+// Server types for standalone (TCP) deployments. Construct with the
+// respective New functions, attach to an RPCServer, and serve a listener;
+// cmd/locofsd shows the full wiring.
+type (
+	// DMSOptions configures a directory metadata server.
+	DMSOptions = dms.Options
+	// DMS is the directory metadata server.
+	DMS = dms.Server
+	// FMSOptions configures a file metadata server.
+	FMSOptions = fms.Options
+	// FMS is a file metadata server.
+	FMS = fms.Server
+	// ObjectStore is a data block server.
+	ObjectStore = objstore.Server
+	// RPCServer dispatches LocoFS requests to an attached component.
+	RPCServer = rpc.Server
+)
+
+// NewDMS builds a directory metadata server.
+func NewDMS(opts DMSOptions) *DMS { return dms.New(opts) }
+
+// NewFMS builds a file metadata server. Each FMS needs a unique ServerID.
+func NewFMS(opts FMSOptions) *FMS { return fms.New(opts) }
+
+// NewObjectStore builds an object store server (nil store = in-memory).
+func NewObjectStore() *ObjectStore { return objstore.New(nil) }
+
+// NewRPCServer builds the request dispatcher a component attaches to.
+func NewRPCServer() *RPCServer { return rpc.NewServer() }
+
+// UUID identifies a directory or file for its whole lifetime; it never
+// changes on rename, which is what keeps renames cheap (§3.4.2).
+type UUID = uuid.UUID
