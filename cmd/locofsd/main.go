@@ -12,6 +12,11 @@
 //
 //	locofsd -role client -dms host:7000 -fms host:7001,host:7003 -oss host:7002 \
 //	        -cmd "mkdir /a; touch /a/f; ls /a; stat /a/f; write /a/f hello; read /a/f; rm /a/f"
+//
+// Every role accepts -metrics-addr to expose an admin HTTP endpoint with
+// Prometheus-text /metrics (per-op request counts and latency histograms,
+// KV engine activity), /debug/vars, and /debug/pprof, and -slow to log any
+// request slower than the given threshold with its trace id.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"locofs/internal/client"
 	"locofs/internal/dms"
@@ -30,6 +36,7 @@ import (
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
+	"locofs/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +49,8 @@ func main() {
 	fmsAddrs := flag.String("fms", "", "comma-separated FMS addresses in server-id order (client role)")
 	ossAddrs := flag.String("oss", "", "comma-separated OSS addresses (client role)")
 	cmds := flag.String("cmd", "", "semicolon-separated commands (client role)")
+	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = disabled)")
+	slow := flag.Duration("slow", 0, "log requests slower than this threshold with their trace id (0 = disabled)")
 	flag.Parse()
 
 	// With -data, metadata survives restarts: mutations are WAL-logged and
@@ -59,18 +68,21 @@ func main() {
 		return p
 	}
 
+	srv := serverFlags{metricsAddr: *metricsAddr, slow: *slow}
 	switch *role {
 	case "dms":
-		store := durable("dms", kv.NewBTreeStore())
-		serve(*listen, dms.New(dms.Options{Store: store, CheckPermissions: true}).Attach)
+		store := kv.Instrument(durable("dms", kv.NewBTreeStore()), kv.RAM)
+		srv.serve(*listen, "dms", store, dms.New(dms.Options{Store: store, CheckPermissions: true}).Attach)
 	case "fms":
-		store := durable(fmt.Sprintf("fms-%d", *id), kv.NewHashStore())
+		name := fmt.Sprintf("fms-%d", *id)
+		store := kv.Instrument(durable(name, kv.NewHashStore()), kv.RAM)
 		f := fms.New(fms.Options{Store: store, ServerID: uint32(*id), Coupled: *coupled, CheckPermissions: true})
-		serve(*listen, f.Attach)
+		srv.serve(*listen, name, store, f.Attach)
 	case "oss":
-		serve(*listen, objstore.New(durable("oss", kv.NewHashStore())).Attach)
+		store := kv.Instrument(durable("oss", kv.NewHashStore()), kv.RAM)
+		srv.serve(*listen, "oss", store, objstore.New(store).Attach)
 	case "client":
-		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds)
+		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv)
 	default:
 		fmt.Fprintln(os.Stderr, "locofsd: -role must be dms, fms, oss or client")
 		flag.Usage()
@@ -78,14 +90,51 @@ func main() {
 	}
 }
 
+// serverFlags carries the observability options shared by every role.
+type serverFlags struct {
+	metricsAddr string
+	slow        time.Duration
+}
+
+// registerKVGauges exports the store's live KV engine counters on reg as
+// gauges sampled at scrape time.
+func registerKVGauges(reg *telemetry.Registry, store *kv.Instrumented) {
+	c := store.Counters()
+	sample := func(get func(kv.CountersSnapshot) uint64) func() float64 {
+		return func() float64 { return float64(get(c.Snapshot())) }
+	}
+	reg.GaugeFunc("locofs_kv_ops_total", sample(func(s kv.CountersSnapshot) uint64 { return s.Gets }), telemetry.L("op", "get"))
+	reg.GaugeFunc("locofs_kv_ops_total", sample(func(s kv.CountersSnapshot) uint64 { return s.Puts }), telemetry.L("op", "put"))
+	reg.GaugeFunc("locofs_kv_ops_total", sample(func(s kv.CountersSnapshot) uint64 { return s.Deletes }), telemetry.L("op", "delete"))
+	reg.GaugeFunc("locofs_kv_ops_total", sample(func(s kv.CountersSnapshot) uint64 { return s.Patches }), telemetry.L("op", "patch"))
+	reg.GaugeFunc("locofs_kv_ops_total", sample(func(s kv.CountersSnapshot) uint64 { return s.Appends }), telemetry.L("op", "append"))
+	reg.GaugeFunc("locofs_kv_ops_total", sample(func(s kv.CountersSnapshot) uint64 { return s.Scans }), telemetry.L("op", "scan"))
+	reg.GaugeFunc("locofs_kv_bytes_total", sample(func(s kv.CountersSnapshot) uint64 { return s.BytesRead }), telemetry.L("dir", "read"))
+	reg.GaugeFunc("locofs_kv_bytes_total", sample(func(s kv.CountersSnapshot) uint64 { return s.BytesWritten }), telemetry.L("dir", "written"))
+}
+
 // serve runs one server role until interrupted.
-func serve(addr string, attach func(*rpc.Server)) {
+func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach func(*rpc.Server)) {
 	l, err := netsim.ListenTCP(addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locofsd:", err)
 		os.Exit(1)
 	}
 	rs := rpc.NewServer()
+	reg := telemetry.NewRegistry(telemetry.L("server", name))
+	rs.SetTelemetry(reg)
+	if sf.slow > 0 {
+		rs.SetSlowThreshold(sf.slow)
+	}
+	registerKVGauges(reg, store)
+	if sf.metricsAddr != "" {
+		_, bound, err := telemetry.Serve(sf.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locofsd: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("locofsd: metrics on http://%s/metrics\n", bound)
+	}
 	attach(rs)
 	go rs.Serve(l)
 	fmt.Printf("locofsd: serving on %s\n", l.Addr())
@@ -97,16 +146,27 @@ func serve(addr string, attach func(*rpc.Server)) {
 }
 
 // runClient connects to a TCP cluster and executes simple commands.
-func runClient(dmsAddr, fmsList, ossList, cmds string) {
+func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags) {
 	if dmsAddr == "" || fmsList == "" || ossList == "" {
 		fmt.Fprintln(os.Stderr, "locofsd client: -dms, -fms and -oss are required")
 		os.Exit(2)
 	}
+	reg := telemetry.NewRegistry(telemetry.L("server", "client"))
+	if sf.metricsAddr != "" {
+		_, bound, err := telemetry.Serve(sf.metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locofsd client: metrics:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("locofsd client: metrics on http://%s/metrics\n", bound)
+	}
 	cl, err := client.Dial(client.Config{
-		Dialer:   netsim.TCPDialer{},
-		DMSAddr:  dmsAddr,
-		FMSAddrs: strings.Split(fmsList, ","),
-		OSSAddrs: strings.Split(ossList, ","),
+		Dialer:        netsim.TCPDialer{},
+		DMSAddr:       dmsAddr,
+		FMSAddrs:      strings.Split(fmsList, ","),
+		OSSAddrs:      strings.Split(ossList, ","),
+		Metrics:       reg,
+		SlowThreshold: sf.slow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locofsd client:", err)

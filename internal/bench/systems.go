@@ -12,6 +12,7 @@ import (
 	"locofs/internal/core"
 	"locofs/internal/fsapi"
 	"locofs/internal/netsim"
+	"locofs/internal/telemetry"
 )
 
 // System identifiers used across experiments. The names match the paper's
@@ -48,6 +49,10 @@ type SUT struct {
 	MetaBusy func() []time.Duration
 	// Workers is the modeled request parallelism per metadata server.
 	Workers int
+	// Metrics aggregates per-op round-trip telemetry across every client
+	// created by NewFS (LocoFS systems only; nil for baselines). Use
+	// Metrics.Snapshot().OpTable(rpc.MetricRTT) for a per-op breakdown.
+	Metrics *telemetry.Registry
 	// Close shuts the system down.
 	Close func()
 }
@@ -68,10 +73,11 @@ func StartSystem(name string, n int, link netsim.LinkConfig) (*SUT, error) {
 		if err != nil {
 			return nil, err
 		}
+		reg := telemetry.NewRegistry()
 		return &SUT{
 			Name: name,
 			NewFS: func() (fsapi.FS, error) {
-				cl, err := cluster.NewClient(core.ClientConfig{})
+				cl, err := cluster.NewClient(core.ClientConfig{Metrics: reg})
 				if err != nil {
 					return nil, err
 				}
@@ -82,6 +88,7 @@ func StartSystem(name string, n int, link netsim.LinkConfig) (*SUT, error) {
 				return cluster.ServerBusy()[:1+n]
 			},
 			Workers: locoWorkers,
+			Metrics: reg,
 			Close:   cluster.Close,
 		}, nil
 	case SysIndexFS:

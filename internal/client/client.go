@@ -11,6 +11,7 @@ package client
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"locofs/internal/chash"
@@ -19,6 +20,7 @@ import (
 	"locofs/internal/layout"
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
+	"locofs/internal/telemetry"
 	"locofs/internal/uuid"
 	"locofs/internal/wire"
 )
@@ -46,6 +48,15 @@ type Config struct {
 	UID, GID uint32
 	// Now overrides the clock (tests).
 	Now func() time.Time
+	// Metrics receives the client's per-op telemetry (round-trip
+	// histograms and call counters). Nil means a private registry,
+	// reachable via Client.Metrics; passing a shared registry aggregates
+	// several clients into one view (e.g. a benchmark fleet).
+	Metrics *telemetry.Registry
+	// SlowThreshold enables slow-call logging: any RPC whose wall-clock
+	// round trip meets or exceeds it is logged with its trace ID and
+	// server address. Zero disables logging.
+	SlowThreshold time.Duration
 }
 
 // Client is one LocoLib instance. It is safe for concurrent use.
@@ -58,7 +69,25 @@ type Client struct {
 	cache *dirCache // nil when disabled
 	uid   uint32
 	gid   uint32
+
+	telem     *clientTelem
+	traceBase uint64        // client id in the top 16 bits of every trace
+	traceCtr  atomic.Uint64 // per-operation sequence in the low 48 bits
 }
+
+// nextClientID distinguishes trace IDs of clients within one process.
+var nextClientID atomic.Uint64
+
+// newTrace mints the trace ID for one logical file-system operation; every
+// RPC the operation issues carries it, so slow-request logs on different
+// servers can be correlated.
+func (c *Client) newTrace() uint64 {
+	return c.traceBase | (c.traceCtr.Add(1) & (1<<48 - 1))
+}
+
+// Metrics returns the registry holding this client's per-op round-trip
+// histograms and call counters (see rpc.MetricRTT, rpc.MetricCalls).
+func (c *Client) Metrics() *telemetry.Registry { return c.telem.reg }
 
 // Dial connects to every server in cfg and returns a ready client.
 func Dial(cfg Config) (*Client, error) {
@@ -68,9 +97,18 @@ func Dial(cfg Config) (*Client, error) {
 	if len(cfg.FMSAddrs) == 0 || len(cfg.OSSAddrs) == 0 {
 		return nil, fmt.Errorf("client: need at least one FMS and one OSS")
 	}
-	c := &Client{uid: cfg.UID, gid: cfg.GID}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c := &Client{
+		uid:       cfg.UID,
+		gid:       cfg.GID,
+		telem:     &clientTelem{reg: reg, slow: cfg.SlowThreshold},
+		traceBase: (nextClientID.Add(1) & 0xffff) << 48,
+	}
 	dial := func(addr string) (*endpoint, error) {
-		return dialEndpoint(cfg.Dialer, addr, cfg.Link)
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem)
 	}
 	var err error
 	if c.dms, err = dial(cfg.DMSAddr); err != nil {
@@ -172,15 +210,15 @@ func (c *Client) ossFor(u uuid.UUID, blk uint64) *endpoint {
 
 // resolveDir returns the d-inode of a cleaned directory path, from cache if
 // possible, otherwise via one DMS lookup (which returns the whole ancestor
-// chain; every link is cached).
-func (c *Client) resolveDir(cleaned string) (layout.DirInode, error) {
+// chain; every link is cached). tid is the logical operation's trace ID.
+func (c *Client) resolveDir(cleaned string, tid uint64) (layout.DirInode, error) {
 	if c.cache != nil {
 		if ino, ok := c.cache.get(cleaned); ok {
 			return ino, nil
 		}
 	}
 	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.Call(wire.OpLookupDir, body)
+	st, resp, err := c.dms.CallT(tid, wire.OpLookupDir, body)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +248,7 @@ func (c *Client) resolveDir(cleaned string) (layout.DirInode, error) {
 }
 
 // splitPath cleans path and resolves its parent directory.
-func (c *Client) splitPath(path string) (parent layout.DirInode, cleaned, name string, err error) {
+func (c *Client) splitPath(path string, tid uint64) (parent layout.DirInode, cleaned, name string, err error) {
 	cleaned, err = fspath.Clean(path)
 	if err != nil {
 		return nil, "", "", wire.StatusInval.Err()
@@ -219,7 +257,7 @@ func (c *Client) splitPath(path string) (parent layout.DirInode, cleaned, name s
 	if name == "" {
 		return nil, "", "", wire.StatusInval.Err()
 	}
-	parent, err = c.resolveDir(dir)
+	parent, err = c.resolveDir(dir, tid)
 	return parent, cleaned, name, err
 }
 
@@ -243,7 +281,7 @@ func (c *Client) Mkdir(path string, mode uint32) error {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.Call(wire.OpMkdir, body)
+	st, _, err := c.dms.CallT(c.newTrace(), wire.OpMkdir, body)
 	if err != nil {
 		return err
 	}
@@ -258,13 +296,14 @@ func (c *Client) Rmdir(path string) error {
 	if err != nil {
 		return wire.StatusInval.Err()
 	}
-	ino, err := c.resolveDir(cleaned)
+	tid := c.newTrace()
+	ino, err := c.resolveDir(cleaned, tid)
 	if err != nil {
 		return err
 	}
 	probe := wire.NewEnc().UUID(ino.UUID()).Bytes()
 	for _, f := range c.fms {
-		st, resp, err := f.Call(wire.OpDirHasFiles, probe)
+		st, resp, err := f.CallT(tid, wire.OpDirHasFiles, probe)
 		if err != nil {
 			return err
 		}
@@ -276,7 +315,7 @@ func (c *Client) Rmdir(path string) error {
 		}
 	}
 	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.Call(wire.OpRmdir, body)
+	st, _, err := c.dms.CallT(tid, wire.OpRmdir, body)
 	if err != nil {
 		return err
 	}
@@ -346,15 +385,16 @@ func (c *Client) Readdir(path string) ([]DirEntry, error) {
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
+	tid := c.newTrace()
 	out, err := readAllPages(func(cursor string) (wire.Status, []byte, error) {
 		body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
 			Str(cursor).U32(ReaddirPageSize).Bytes()
-		return c.dms.Call(wire.OpReaddirSubdirs, body)
+		return c.dms.CallT(tid, wire.OpReaddirSubdirs, body)
 	}, true)
 	if err != nil {
 		return nil, err
 	}
-	ino, err := c.resolveDir(cleaned)
+	ino, err := c.resolveDir(cleaned, tid)
 	if err != nil {
 		return nil, err
 	}
@@ -362,7 +402,7 @@ func (c *Client) Readdir(path string) ([]DirEntry, error) {
 		f := f
 		files, err := readAllPages(func(cursor string) (wire.Status, []byte, error) {
 			body := wire.NewEnc().UUID(ino.UUID()).Str(cursor).U32(ReaddirPageSize).Bytes()
-			return f.Call(wire.OpReaddirFiles, body)
+			return f.CallT(tid, wire.OpReaddirFiles, body)
 		}, false)
 		if err != nil {
 			return nil, err
@@ -391,7 +431,7 @@ func (c *Client) StatDir(path string) (*Attr, error) {
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
-	ino, err := c.resolveDir(cleaned)
+	ino, err := c.resolveDir(cleaned, c.newTrace())
 	if err != nil {
 		return nil, err
 	}
@@ -407,13 +447,14 @@ func (c *Client) StatDir(path string) (*Attr, error) {
 // Create makes an empty file (the mdtest "touch"): resolve the parent
 // directory (cached: zero trips) and issue one FMS create.
 func (c *Client) Create(path string, mode uint32) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).
 		U32(mode).U32(c.uid).U32(c.gid).Bool(false).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpCreateFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpCreateFile, body)
 	if err != nil {
 		return err
 	}
@@ -422,20 +463,21 @@ func (c *Client) Create(path string, mode uint32) error {
 
 // StatFile stats a file: one round trip to its FMS.
 func (c *Client) StatFile(path string) (*Attr, error) {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return nil, err
 	}
-	m, err := c.statOn(parent.UUID(), name)
+	m, err := c.statOn(parent.UUID(), name, tid)
 	if err != nil {
 		return nil, err
 	}
 	return metaToAttr(m), nil
 }
 
-func (c *Client) statOn(dir uuid.UUID, name string) (*fms.FileMeta, error) {
+func (c *Client) statOn(dir uuid.UUID, name string, tid uint64) (*fms.FileMeta, error) {
 	body := wire.NewEnc().UUID(dir).Str(name).Bytes()
-	st, resp, err := c.fmsFor(dir, name).Call(wire.OpStatFile, body)
+	st, resp, err := c.fmsFor(dir, name).CallT(tid, wire.OpStatFile, body)
 	if err != nil {
 		return nil, err
 	}
@@ -485,12 +527,13 @@ func (c *Client) Stat(path string) (*Attr, error) {
 
 // Remove deletes a file and its data blocks.
 func (c *Client) Remove(path string) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).Call(wire.OpRemoveFile, body)
+	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpRemoveFile, body)
 	if err != nil {
 		return err
 	}
@@ -498,26 +541,27 @@ func (c *Client) Remove(path string) error {
 		return st.Err()
 	}
 	u := wire.NewDec(resp).UUID()
-	c.deleteBlocks(u, 0)
+	c.deleteBlocks(u, 0, tid)
 	return nil
 }
 
 // deleteBlocks reclaims blocks of u on every object store server.
-func (c *Client) deleteBlocks(u uuid.UUID, fromBlk uint64) {
+func (c *Client) deleteBlocks(u uuid.UUID, fromBlk uint64, tid uint64) {
 	body := wire.NewEnc().UUID(u).U64(fromBlk).Bytes()
 	for _, o := range c.oss {
-		o.Call(wire.OpDeleteBlocks, body)
+		o.CallT(tid, wire.OpDeleteBlocks, body)
 	}
 }
 
 // Chmod changes a file's permission bits (access part only, Table 1).
 func (c *Client) Chmod(path string, mode uint32) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(mode).U32(c.uid).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpChmodFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpChmodFile, body)
 	if err != nil {
 		return err
 	}
@@ -526,12 +570,13 @@ func (c *Client) Chmod(path string, mode uint32) error {
 
 // Chown changes a file's owner (access part only).
 func (c *Client) Chown(path string, uid, gid uint32) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(uid).U32(gid).U32(c.uid).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpChownFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpChownFile, body)
 	if err != nil {
 		return err
 	}
@@ -540,12 +585,13 @@ func (c *Client) Chown(path string, uid, gid uint32) error {
 
 // Access checks permissions on a file (reads the access part only).
 func (c *Client) Access(path string, wantWrite bool) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bool(wantWrite).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpAccessFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpAccessFile, body)
 	if err != nil {
 		return err
 	}
@@ -554,12 +600,13 @@ func (c *Client) Access(path string, wantWrite bool) error {
 
 // Utimens sets a file's atime/mtime (content part only).
 func (c *Client) Utimens(path string, atime, mtime int64) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).I64(atime).I64(mtime).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).Call(wire.OpUtimensFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpUtimensFile, body)
 	if err != nil {
 		return err
 	}
@@ -568,12 +615,13 @@ func (c *Client) Utimens(path string, atime, mtime int64) error {
 
 // Truncate sets a file's size and trims its data blocks.
 func (c *Client) Truncate(path string, size uint64) error {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U64(size).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).Call(wire.OpTruncateFile, body)
+	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpTruncateFile, body)
 	if err != nil {
 		return err
 	}
@@ -584,7 +632,7 @@ func (c *Client) Truncate(path string, size uint64) error {
 	u, oldSize, bs := d.UUID(), d.U64(), d.U32()
 	if d.Err() == nil && size < oldSize && bs > 0 {
 		from := (size + uint64(bs) - 1) / uint64(bs)
-		c.deleteBlocks(u, from)
+		c.deleteBlocks(u, from, tid)
 	}
 	return nil
 }
@@ -596,7 +644,7 @@ func (c *Client) ChmodDir(path string, mode uint32) error {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.Call(wire.OpChmodDir, body)
+	st, _, err := c.dms.CallT(c.newTrace(), wire.OpChmodDir, body)
 	if err != nil {
 		return err
 	}
@@ -619,7 +667,7 @@ func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
 		return 0, wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(oldC).Str(newC).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.Call(wire.OpRenameDir, body)
+	st, resp, err := c.dms.CallT(c.newTrace(), wire.OpRenameDir, body)
 	if err != nil {
 		return 0, err
 	}
@@ -637,22 +685,23 @@ func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
 // key directory_uuid + file_name changed); data blocks are addressed by the
 // stable file UUID and never move (§3.4.2).
 func (c *Client) RenameFile(oldPath, newPath string) error {
-	oldParent, _, oldName, err := c.splitPath(oldPath)
+	tid := c.newTrace()
+	oldParent, _, oldName, err := c.splitPath(oldPath, tid)
 	if err != nil {
 		return err
 	}
-	newParent, _, newName, err := c.splitPath(newPath)
+	newParent, _, newName, err := c.splitPath(newPath, tid)
 	if err != nil {
 		return err
 	}
-	m, err := c.statOn(oldParent.UUID(), oldName)
+	m, err := c.statOn(oldParent.UUID(), oldName, tid)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(newParent.UUID()).Str(newName).
 		U32(0).U32(0).U32(0).Bool(true).
 		Blob(m.Access).Blob(m.Content).Bytes()
-	st, _, err := c.fmsFor(newParent.UUID(), newName).Call(wire.OpCreateFile, body)
+	st, _, err := c.fmsFor(newParent.UUID(), newName).CallT(tid, wire.OpCreateFile, body)
 	if err != nil {
 		return err
 	}
@@ -660,7 +709,7 @@ func (c *Client) RenameFile(oldPath, newPath string) error {
 		return st.Err()
 	}
 	rm := wire.NewEnc().UUID(oldParent.UUID()).Str(oldName).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err = c.fmsFor(oldParent.UUID(), oldName).Call(wire.OpRemoveFile, rm)
+	st, _, err = c.fmsFor(oldParent.UUID(), oldName).CallT(tid, wire.OpRemoveFile, rm)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,43 @@
 package client
 
 import (
+	"log"
 	"sync"
 	"time"
 
 	"locofs/internal/netsim"
 	"locofs/internal/rpc"
+	"locofs/internal/telemetry"
 	"locofs/internal/wire"
 )
+
+// clientTelem is the telemetry sink shared by every endpoint of one client:
+// per-op round-trip histograms and call counters, plus the slow-call log
+// threshold. The per-op handle cache keeps the hot path off the registry
+// lock.
+type clientTelem struct {
+	reg  *telemetry.Registry
+	slow time.Duration // 0 = slow-call logging disabled
+	byOp sync.Map      // wire.Op -> *clientOpMetrics
+}
+
+type clientOpMetrics struct {
+	rtt   *telemetry.Histogram
+	calls *telemetry.Counter
+}
+
+func (t *clientTelem) forOp(op wire.Op) *clientOpMetrics {
+	if m, ok := t.byOp.Load(op); ok {
+		return m.(*clientOpMetrics)
+	}
+	label := telemetry.L("op", op.String())
+	m := &clientOpMetrics{
+		rtt:   t.reg.Histogram(rpc.MetricRTT, label),
+		calls: t.reg.Counter(rpc.MetricCalls, label),
+	}
+	actual, _ := t.byOp.LoadOrStore(op, m)
+	return actual.(*clientOpMetrics)
+}
 
 // endpoint is one server connection with transparent re-dial: a call that
 // fails at the transport layer redials the address once and retries, so a
@@ -20,6 +50,7 @@ type endpoint struct {
 	dialer netsim.Dialer
 	addr   string
 	link   netsim.LinkConfig
+	telem  *clientTelem // never nil
 
 	mu        sync.Mutex
 	cl        *rpc.Client
@@ -29,8 +60,8 @@ type endpoint struct {
 }
 
 // dialEndpoint connects the first generation.
-func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig) (*endpoint, error) {
-	e := &endpoint{dialer: d, addr: addr, link: link}
+func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem) (*endpoint, error) {
+	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem}
 	cl, err := rpc.Dial(d, addr)
 	if err != nil {
 		return nil, err
@@ -72,14 +103,36 @@ func (e *endpoint) retire(cl *rpc.Client) {
 	e.mu.Unlock()
 }
 
-// Call issues one request, retrying exactly once through a fresh connection
-// on transport failure.
+// Call issues one untraced request; see CallT.
 func (e *endpoint) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
+	return e.CallT(0, op, body)
+}
+
+// CallT issues one request stamped with trace, retrying exactly once
+// through a fresh connection on transport failure. The wall-clock round
+// trip is recorded in the client's per-op telemetry, and calls slower than
+// the configured threshold are logged with the trace ID and server address
+// so they can be matched against server-side slow-request logs.
+func (e *endpoint) CallT(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, error) {
+	t0 := time.Now()
+	st, resp, err := e.callOnce(trace, op, body)
+	rtt := time.Since(t0)
+	m := e.telem.forOp(op)
+	m.calls.Inc()
+	m.rtt.Record(rtt)
+	if e.telem.slow > 0 && rtt >= e.telem.slow {
+		log.Printf("client: slow call trace=%#x op=%s addr=%s rtt=%v status=%s err=%v",
+			trace, op, e.addr, rtt, st, err)
+	}
+	return st, resp, err
+}
+
+func (e *endpoint) callOnce(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, error) {
 	cl, err := e.current()
 	if err != nil {
 		return wire.StatusIO, nil, err
 	}
-	st, resp, callErr := cl.Call(op, body)
+	st, resp, callErr := cl.CallTraced(op, body, trace)
 	if callErr == nil {
 		return st, resp, nil
 	}
@@ -88,7 +141,7 @@ func (e *endpoint) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
 	if err != nil {
 		return wire.StatusIO, nil, callErr
 	}
-	return cl.Call(op, body)
+	return cl.CallTraced(op, body, trace)
 }
 
 // Trips returns cumulative round trips across all generations.

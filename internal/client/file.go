@@ -26,13 +26,14 @@ type File struct {
 
 // Open opens a file for reading (write=false) or reading+writing.
 func (c *Client) Open(path string, write bool) (*File, error) {
-	parent, _, name, err := c.splitPath(path)
+	tid := c.newTrace()
+	parent, _, name, err := c.splitPath(path, tid)
 	if err != nil {
 		return nil, err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).
 		U32(c.uid).U32(c.gid).Bool(write).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).Call(wire.OpOpenFile, body)
+	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpOpenFile, body)
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +85,7 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	tid := f.c.newTrace()
 	bs := uint64(f.blockSize)
 	written := 0
 	for written < len(p) {
@@ -96,7 +98,7 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 		}
 		body := wire.NewEnc().UUID(f.uuid).U64(blk).U32(bo).U32(f.blockSize).
 			Blob(p[written : written+n]).Bytes()
-		st, _, err := f.c.ossFor(f.uuid, blk).Call(wire.OpPutBlock, body)
+		st, _, err := f.c.ossFor(f.uuid, blk).CallT(tid, wire.OpPutBlock, body)
 		if err != nil {
 			return written, err
 		}
@@ -110,7 +112,7 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 		f.size = end
 	}
 	body := wire.NewEnc().UUID(f.dir).Str(f.name).U64(end).Bytes()
-	st, _, err := f.c.fmsFor(f.dir, f.name).Call(wire.OpUpdateSize, body)
+	st, _, err := f.c.fmsFor(f.dir, f.name).CallT(tid, wire.OpUpdateSize, body)
 	if err != nil {
 		return written, err
 	}
@@ -137,6 +139,7 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 	if off+want > size {
 		want = size - off
 	}
+	tid := f.c.newTrace()
 	bs := uint64(f.blockSize)
 	read := uint64(0)
 	for read < want {
@@ -148,7 +151,7 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 			n = want - read
 		}
 		body := wire.NewEnc().UUID(f.uuid).U64(blk).U32(bo).U32(uint32(n)).Bytes()
-		st, resp, err := f.c.ossFor(f.uuid, blk).Call(wire.OpGetBlock, body)
+		st, resp, err := f.c.ossFor(f.uuid, blk).CallT(tid, wire.OpGetBlock, body)
 		if err != nil {
 			return int(read), err
 		}

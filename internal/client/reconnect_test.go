@@ -10,6 +10,7 @@ import (
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
+	"locofs/internal/telemetry"
 )
 
 // TestClientSurvivesServerRestart: an FMS is shut down and restarted (on
@@ -90,7 +91,8 @@ func TestEndpointRetryPreservesCounters(t *testing.T) {
 	l, _ := n.Listen("srv")
 	go rs1.Serve(l)
 
-	e, err := dialEndpoint(n, "srv", netsim.LinkConfig{RTT: time.Millisecond})
+	e, err := dialEndpoint(n, "srv", netsim.LinkConfig{RTT: time.Millisecond},
+		&clientTelem{reg: telemetry.NewRegistry()})
 	if err != nil {
 		t.Fatal(err)
 	}

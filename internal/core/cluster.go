@@ -17,6 +17,7 @@ import (
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
+	"locofs/internal/telemetry"
 	"locofs/internal/wire"
 )
 
@@ -114,21 +115,15 @@ func (k KVCost) Price(reads, writes, patches, scans, bytes uint64) time.Duration
 // deltas are exact — harmless, since throughput is modeled analytically.
 func (k KVCost) serviceFunc(c *kv.Counters) rpc.ServiceFunc {
 	var mu sync.Mutex
-	snap := func() (reads, writes, patches, scans, bytes uint64) {
-		reads = c.Gets.Load()
-		writes = c.Puts.Load() + c.Deletes.Load() + c.Appends.Load()
-		patches = c.Patches.Load()
-		scans = c.Scans.Load()
-		bytes = c.BytesRead.Load() + c.BytesWritten.Load()
-		return
-	}
 	return func(op wire.Op, run func()) time.Duration {
 		mu.Lock()
 		defer mu.Unlock()
-		r0, w0, p0, s0, b0 := snap()
+		before := c.Snapshot()
 		run()
-		r1, w1, p1, s1, b1 := snap()
-		return k.Price(r1-r0, w1-w0, p1-p0, s1-s0, b1-b0)
+		after := c.Snapshot()
+		return k.Price(after.Gets-before.Gets, after.Writes()-before.Writes(),
+			after.Patches-before.Patches, after.Scans-before.Scans,
+			after.Bytes()-before.Bytes())
 	}
 }
 
@@ -152,6 +147,12 @@ type Cluster struct {
 	FMS      []*fms.Server
 	OSS      []*objstore.Server
 
+	// Metrics holds one telemetry registry per server (keyed by the
+	// server's fabric address: "dms", "fms-0", ..., "oss-0", ...), each
+	// base-labeled server=<addr>, recording per-op request counts and
+	// service/queue latency histograms.
+	Metrics map[string]*telemetry.Registry
+
 	rpcServers []*rpc.Server
 	fmsAddrs   []string
 	ossAddrs   []string
@@ -160,7 +161,11 @@ type Cluster struct {
 // Start builds and starts a cluster.
 func Start(opts Options) (*Cluster, error) {
 	opts = opts.withDefaults()
-	c := &Cluster{opts: opts, net: netsim.NewNetwork(netsim.Loopback)}
+	c := &Cluster{
+		opts:    opts,
+		net:     netsim.NewNetwork(netsim.Loopback),
+		Metrics: make(map[string]*telemetry.Registry),
+	}
 
 	// Directory metadata server.
 	var base kv.Store
@@ -216,6 +221,9 @@ func (c *Cluster) serve(addr string, store *kv.Instrumented, attach func(*rpc.Se
 	if c.opts.CostModel != nil {
 		rs.SetServiceFunc(c.opts.CostModel.serviceFunc(store.Counters()))
 	}
+	reg := telemetry.NewRegistry(telemetry.L("server", addr))
+	rs.SetTelemetry(reg)
+	c.Metrics[addr] = reg
 	attach(rs)
 	l, err := c.net.Listen(addr)
 	if err != nil {
@@ -232,6 +240,12 @@ type ClientConfig struct {
 	DisableCache bool
 	Lease        time.Duration
 	Now          func() time.Time
+	// Metrics receives the client's per-op round-trip telemetry; nil means
+	// a private registry (see client.Config.Metrics). A shared registry
+	// aggregates a whole client fleet into one snapshot.
+	Metrics *telemetry.Registry
+	// SlowThreshold enables client-side slow-call logging.
+	SlowThreshold time.Duration
 }
 
 // NewClient connects a LocoLib client to the cluster.
@@ -241,16 +255,18 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		lease = c.opts.Lease
 	}
 	return client.Dial(client.Config{
-		Dialer:       c.net,
-		Link:         c.opts.Link,
-		DMSAddr:      "dms",
-		FMSAddrs:     c.fmsAddrs,
-		OSSAddrs:     c.ossAddrs,
-		DisableCache: cfg.DisableCache || c.opts.DisableClientCache,
-		Lease:        lease,
-		UID:          cfg.UID,
-		GID:          cfg.GID,
-		Now:          cfg.Now,
+		Dialer:        c.net,
+		Link:          c.opts.Link,
+		DMSAddr:       "dms",
+		FMSAddrs:      c.fmsAddrs,
+		OSSAddrs:      c.ossAddrs,
+		DisableCache:  cfg.DisableCache || c.opts.DisableClientCache,
+		Lease:         lease,
+		UID:           cfg.UID,
+		GID:           cfg.GID,
+		Now:           cfg.Now,
+		Metrics:       cfg.Metrics,
+		SlowThreshold: cfg.SlowThreshold,
 	})
 }
 

@@ -467,3 +467,35 @@ func TestInstrumentedOrderedOps(t *testing.T) {
 		t.Error("hash-backed Instrumented claims ordered")
 	}
 }
+
+func TestCountersSnapshot(t *testing.T) {
+	s := Instrument(NewBTreeStore(), RAM)
+	s.Put([]byte("a"), []byte("12345"))
+	s.Put([]byte("b"), []byte("xy"))
+	s.Get([]byte("a"))
+	s.PatchInPlace([]byte("a"), 1, []byte("AB"))
+	s.AppendValue([]byte("b"), []byte("z"))
+	s.Delete([]byte("b"))
+	n := 0
+	s.ForEach(func(k, v []byte) bool { n++; return true })
+
+	snap := s.Counters().Snapshot()
+	if snap.Puts != 2 || snap.Gets != 1 || snap.Deletes != 1 ||
+		snap.Patches != 1 || snap.Appends != 1 || snap.Scans != uint64(n) {
+		t.Errorf("snapshot = %+v (scans want %d)", snap, n)
+	}
+	if got, want := snap.Writes(), uint64(2+1+1); got != want {
+		t.Errorf("Writes() = %d, want %d", got, want)
+	}
+	if snap.BytesWritten != 5+2+2+1 {
+		t.Errorf("BytesWritten = %d, want 10", snap.BytesWritten)
+	}
+	if got := snap.Bytes(); got != snap.BytesRead+snap.BytesWritten {
+		t.Errorf("Bytes() = %d", got)
+	}
+	// A snapshot is a value copy: later store activity must not move it.
+	s.Put([]byte("c"), []byte("v"))
+	if snap.Puts != 2 {
+		t.Error("snapshot mutated by later store activity")
+	}
+}

@@ -6,7 +6,9 @@ import (
 )
 
 // Counters accumulates operation counts and byte totals for a Store. All
-// fields are updated atomically and may be read while the store is in use.
+// fields are updated atomically and may be read while the store is in use;
+// readers wanting a coherent view should take a Snapshot rather than
+// loading fields one by one.
 type Counters struct {
 	Gets         atomic.Uint64
 	Puts         atomic.Uint64
@@ -17,6 +19,41 @@ type Counters struct {
 	BytesRead    atomic.Uint64
 	BytesWritten atomic.Uint64
 }
+
+// CountersSnapshot is a plain-value copy of Counters.
+type CountersSnapshot struct {
+	Gets         uint64
+	Puts         uint64
+	Deletes      uint64
+	Patches      uint64
+	Appends      uint64
+	Scans        uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// Snapshot copies every counter in one pass. The copy is not a single
+// atomic cut across fields (no global lock is taken), but it gives callers
+// one consistent value set to compute deltas and export from, instead of
+// racing over the individual atomics at different times.
+func (c *Counters) Snapshot() CountersSnapshot {
+	return CountersSnapshot{
+		Gets:         c.Gets.Load(),
+		Puts:         c.Puts.Load(),
+		Deletes:      c.Deletes.Load(),
+		Patches:      c.Patches.Load(),
+		Appends:      c.Appends.Load(),
+		Scans:        c.Scans.Load(),
+		BytesRead:    c.BytesRead.Load(),
+		BytesWritten: c.BytesWritten.Load(),
+	}
+}
+
+// Writes returns the total mutating point operations in the snapshot.
+func (s CountersSnapshot) Writes() uint64 { return s.Puts + s.Deletes + s.Appends }
+
+// Bytes returns the total bytes moved in the snapshot.
+func (s CountersSnapshot) Bytes() uint64 { return s.BytesRead + s.BytesWritten }
 
 // DeviceModel charges a virtual time cost per storage operation, modeling
 // the random-access latency of the medium beneath the KV store. It is used

@@ -6,13 +6,57 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"locofs/internal/netsim"
+	"locofs/internal/telemetry"
 	"locofs/internal/wire"
 )
+
+// Metric names recorded by instrumented servers and clients. Histograms
+// observe seconds (Prometheus convention) bucketed logarithmically; every
+// series carries an op label with the wire.Op name.
+const (
+	MetricRequests = "locofs_rpc_requests_total"  // server: completed requests
+	MetricErrors   = "locofs_rpc_errors_total"    // server: non-OK responses
+	MetricService  = "locofs_rpc_service_seconds" // server: handler service time (measured + modeled)
+	MetricQueue    = "locofs_rpc_queue_seconds"   // server: receipt -> handler start (worker queue wait)
+	MetricRTT      = "locofs_client_rtt_seconds"  // client: wall-clock round trip
+	MetricCalls    = "locofs_client_calls_total"  // client: calls issued
+)
+
+// opMetrics caches one op's instrument handles so the hot path does not
+// take the registry lock per request.
+type opMetrics struct {
+	reqs    *telemetry.Counter
+	errs    *telemetry.Counter
+	service *telemetry.Histogram
+	queue   *telemetry.Histogram
+}
+
+// serverTelem is a server's telemetry sink plus its per-op handle cache.
+type serverTelem struct {
+	reg  *telemetry.Registry
+	byOp sync.Map // wire.Op -> *opMetrics
+}
+
+func (t *serverTelem) forOp(op wire.Op) *opMetrics {
+	if m, ok := t.byOp.Load(op); ok {
+		return m.(*opMetrics)
+	}
+	label := telemetry.L("op", op.String())
+	m := &opMetrics{
+		reqs:    t.reg.Counter(MetricRequests, label),
+		errs:    t.reg.Counter(MetricErrors, label),
+		service: t.reg.Histogram(MetricService, label),
+		queue:   t.reg.Histogram(MetricQueue, label),
+	}
+	actual, _ := t.byOp.LoadOrStore(op, m)
+	return actual.(*opMetrics)
+}
 
 // HandlerFunc serves one request body and returns a status and response
 // body. Handlers run concurrently; they must be safe for concurrent use.
@@ -33,6 +77,9 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[netsim.Conn]struct{}
+
+	telem  atomic.Pointer[serverTelem]
+	slowNS atomic.Int64 // slow-request log threshold (0 = disabled)
 
 	// Served counts completed requests, for load accounting in experiments.
 	Served atomic.Uint64
@@ -100,6 +147,23 @@ func (s *Server) SetServiceFunc(fn ServiceFunc) {
 	s.mu.Unlock()
 }
 
+// SetTelemetry installs a metrics registry: every subsequent request
+// records per-op request/error counts, service-time and queue-wait
+// histograms into it (see the Metric* names). Safe to call while serving.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		s.telem.Store(nil)
+		return
+	}
+	s.telem.Store(&serverTelem{reg: reg})
+}
+
+// SetSlowThreshold enables slow-request logging: any request whose service
+// time meets or exceeds d is logged with its trace ID, op, status, service
+// and queue time, so one logical operation can be followed across servers.
+// Zero disables logging.
+func (s *Server) SetSlowThreshold(d time.Duration) { s.slowNS.Store(int64(d)) }
+
 // Busy returns the cumulative service time across all requests served.
 func (s *Server) Busy() time.Duration { return time.Duration(s.busyNS.Load()) }
 
@@ -155,6 +219,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		if req.IsResp {
 			continue // protocol violation; ignore
 		}
+		recvT := time.Now()
 		s.wg.Add(1)
 		go func(req *wire.Msg) {
 			defer s.wg.Done()
@@ -162,6 +227,11 @@ func (s *Server) serveConn(conn netsim.Conn) {
 				s.workers <- struct{}{}
 				defer func() { <-s.workers }()
 			}
+			// Queue wait: receipt to handler start. With unlimited workers
+			// this is just goroutine scheduling; with a worker cap it is the
+			// time spent waiting for a CPU slot — the server-side queueing
+			// the paper's saturation experiments exercise.
+			queueWait := time.Since(recvT)
 			var status wire.Status
 			var body []byte
 			s.mu.RLock()
@@ -181,8 +251,21 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			service += virtual
 			s.busyNS.Add(uint64(service))
 			s.Served.Add(1)
+			if t := s.telem.Load(); t != nil {
+				m := t.forOp(req.Op)
+				m.reqs.Inc()
+				if status != wire.StatusOK {
+					m.errs.Inc()
+				}
+				m.service.Record(service)
+				m.queue.Record(queueWait)
+			}
+			if slow := time.Duration(s.slowNS.Load()); slow > 0 && service >= slow {
+				log.Printf("rpc: slow request trace=%#x op=%s status=%s service=%v queue=%v",
+					req.Trace, req.Op, status, service, queueWait)
+			}
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
-				Status: status, ServiceNS: uint64(service), Body: body}
+				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Body: body}
 			_ = conn.Send(resp)
 		}(req)
 	}
@@ -305,6 +388,13 @@ func (c *Client) failAll(err error) {
 // covers transport failures only; application-level failures arrive as a
 // non-OK status.
 func (c *Client) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
+	return c.CallTraced(op, body, 0)
+}
+
+// CallTraced is Call with an explicit trace ID stamped on the wire header,
+// so every RPC of one logical operation can be correlated in server-side
+// slow-request logs. Trace 0 means untraced.
+func (c *Client) CallTraced(op wire.Op, body []byte, trace uint64) (wire.Status, []byte, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan *wire.Msg, 1)
 	c.mu.Lock()
@@ -316,7 +406,7 @@ func (c *Client) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	req := &wire.Msg{ID: id, Op: op, Body: body}
+	req := &wire.Msg{ID: id, Op: op, Trace: trace, Body: body}
 	if err := c.conn.Send(req); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)

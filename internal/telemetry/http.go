@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the admin HTTP surface over the given registries:
+//
+//	/metrics     Prometheus text exposition (registries merged)
+//	/debug/vars  expvar JSON (includes Go runtime memstats)
+//	/debug/pprof profiling endpoints (index, profile, heap, trace, ...)
+func Handler(regs ...*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snaps := make([]Snapshot, len(regs))
+		for i, reg := range regs {
+			snaps[i] = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Merge(snaps...).WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "locofs admin: /metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the admin surface on addr in a background goroutine and
+// returns the server plus the bound address (useful with ":0").
+func Serve(addr string, regs ...*Registry) (*http.Server, string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(regs...)}
+	go func() { _ = srv.Serve(l) }()
+	return srv, l.Addr().String(), nil
+}

@@ -1,0 +1,325 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name=value metric dimension (e.g. op="Mkdir").
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Kind discriminates snapshot entries.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// metricKey is the registry identity of a metric: name plus canonical
+// (sorted) label rendering.
+type metricKey struct {
+	name   string
+	labels string
+}
+
+type gaugeFunc func() float64
+
+// Registry holds named metrics. All registration methods are get-or-create
+// and safe for concurrent use; base labels set at construction are stamped
+// on every metric (e.g. server="fms-0").
+type Registry struct {
+	base []Label
+
+	mu       sync.RWMutex
+	counters map[metricKey]*Counter
+	hists    map[metricKey]*Histogram
+	gauges   map[metricKey]gaugeFunc
+}
+
+// NewRegistry returns an empty registry with the given base labels.
+func NewRegistry(base ...Label) *Registry {
+	return &Registry{
+		base:     base,
+		counters: make(map[metricKey]*Counter),
+		hists:    make(map[metricKey]*Histogram),
+		gauges:   make(map[metricKey]gaugeFunc),
+	}
+}
+
+// canonLabels renders labels sorted by key into the {k="v",...} form used
+// both as map identity and in the Prometheus exposition.
+func canonLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func (r *Registry) key(name string, labels []Label) metricKey {
+	all := make([]Label, 0, len(r.base)+len(labels))
+	all = append(all, r.base...)
+	all = append(all, labels...)
+	return metricKey{name: name, labels: canonLabels(all)}
+}
+
+// Counter returns the counter for name+labels, creating it if needed.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	k := r.key(name, labels)
+	r.mu.RLock()
+	c := r.counters[k]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[k]; c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram for name+labels, creating it if needed.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	k := r.key(name, labels)
+	r.mu.RLock()
+	h := r.hists[k]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[k]; h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// GaugeFunc registers fn as a gauge sampled at snapshot time, replacing any
+// previous registration under the same name+labels.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	k := r.key(name, labels)
+	r.mu.Lock()
+	r.gauges[k] = fn
+	r.mu.Unlock()
+}
+
+// Metric is one snapshot entry. For histograms, Hist is set and Value is
+// the observation count.
+type Metric struct {
+	Name   string
+	Labels string // canonical {k="v",...} form, "" when unlabeled
+	Kind   Kind
+	Value  float64
+	Hist   HistSnapshot
+}
+
+// Snapshot is a stable point-in-time view of a registry (or several merged
+// ones), sorted by name then labels.
+type Snapshot struct {
+	Metrics []Metric
+}
+
+// Snapshot captures every metric. Gauge functions are invoked here.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	type histEntry struct {
+		k metricKey
+		h *Histogram
+	}
+	counters := make(map[metricKey]uint64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Load()
+	}
+	hists := make([]histEntry, 0, len(r.hists))
+	for k, h := range r.hists {
+		hists = append(hists, histEntry{k, h})
+	}
+	gauges := make(map[metricKey]gaugeFunc, len(r.gauges))
+	for k, fn := range r.gauges {
+		gauges[k] = fn
+	}
+	r.mu.RUnlock()
+
+	var s Snapshot
+	for k, v := range counters {
+		s.Metrics = append(s.Metrics, Metric{Name: k.name, Labels: k.labels, Kind: KindCounter, Value: float64(v)})
+	}
+	for k, fn := range gauges {
+		s.Metrics = append(s.Metrics, Metric{Name: k.name, Labels: k.labels, Kind: KindGauge, Value: fn()})
+	}
+	for _, e := range hists {
+		hs := e.h.Snapshot()
+		s.Metrics = append(s.Metrics, Metric{Name: e.k.name, Labels: e.k.labels, Kind: KindHistogram, Value: float64(hs.Count), Hist: hs})
+	}
+	sort.Slice(s.Metrics, func(i, j int) bool {
+		if s.Metrics[i].Name != s.Metrics[j].Name {
+			return s.Metrics[i].Name < s.Metrics[j].Name
+		}
+		return s.Metrics[i].Labels < s.Metrics[j].Labels
+	})
+	return s
+}
+
+// Merge combines snapshots from several registries into one sorted view.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	for _, s := range snaps {
+		out.Metrics = append(out.Metrics, s.Metrics...)
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool {
+		if out.Metrics[i].Name != out.Metrics[j].Name {
+			return out.Metrics[i].Name < out.Metrics[j].Name
+		}
+		return out.Metrics[i].Labels < out.Metrics[j].Labels
+	})
+	return out
+}
+
+// labelsWith splices extra k="v" pairs into a canonical label string.
+func labelsWith(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format.
+// Histograms emit cumulative le buckets (log-spaced, in seconds) up to the
+// highest populated bucket, plus _sum and _count. Snapshots are sorted by
+// name, so the TYPE header is emitted once per metric family.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	typeNames := map[Kind]string{KindCounter: "counter", KindGauge: "gauge", KindHistogram: "histogram"}
+	lastHeader := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastHeader {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typeNames[m.Kind]); err != nil {
+				return err
+			}
+			lastHeader = m.Name
+		}
+		switch m.Kind {
+		case KindCounter, KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %v\n", m.Name, m.Labels, m.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			top := 0
+			for i, c := range m.Hist.Buckets {
+				if c > 0 {
+					top = i
+				}
+			}
+			var cum uint64
+			for i := 0; i <= top; i++ {
+				cum += m.Hist.Buckets[i]
+				le := fmt.Sprintf("le=%q", fmt.Sprintf("%g", BucketUpper(i).Seconds()))
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelsWith(m.Labels, le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelsWith(m.Labels, `le="+Inf"`), m.Hist.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+				m.Name, m.Labels, m.Hist.Sum.Seconds(), m.Name, m.Labels, m.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OpRow is one per-op latency summary extracted from a snapshot.
+type OpRow struct {
+	Op    string
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// OpTable extracts the histograms named metric from the snapshot, keyed by
+// their op label, sorted by op name — the per-op latency breakdown the
+// paper-figure runs and examples/opstats print.
+func (s Snapshot) OpTable(metric string) []OpRow {
+	var rows []OpRow
+	for _, m := range s.Metrics {
+		if m.Kind != KindHistogram || m.Name != metric || m.Hist.Count == 0 {
+			continue
+		}
+		rows = append(rows, OpRow{
+			Op:    labelValue(m.Labels, "op"),
+			Count: m.Hist.Count,
+			Mean:  m.Hist.Mean(),
+			P50:   m.Hist.Quantile(0.50),
+			P90:   m.Hist.Quantile(0.90),
+			P99:   m.Hist.Quantile(0.99),
+			Max:   m.Hist.Max,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Op < rows[j].Op })
+	return rows
+}
+
+// labelValue extracts one label's value from a canonical label string.
+func labelValue(labels, key string) string {
+	rest := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	for _, part := range strings.Split(rest, ",") {
+		if k, v, ok := strings.Cut(part, "="); ok && k == key {
+			if uq, err := unquote(v); err == nil {
+				return uq
+			}
+			return v
+		}
+	}
+	return ""
+}
+
+func unquote(s string) (string, error) {
+	var out string
+	_, err := fmt.Sscanf(s, "%q", &out)
+	return out, err
+}

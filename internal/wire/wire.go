@@ -56,6 +56,68 @@ const (
 	OpPing Op = 0x0001
 )
 
+// String returns the operation's symbolic name, used as the op label on
+// telemetry metrics and in slow-request trace logs.
+func (o Op) String() string {
+	switch o {
+	case OpMkdir:
+		return "Mkdir"
+	case OpRmdir:
+		return "Rmdir"
+	case OpStatDir:
+		return "StatDir"
+	case OpReaddirSubdirs:
+		return "ReaddirSubdirs"
+	case OpLookupDir:
+		return "LookupDir"
+	case OpRenameDir:
+		return "RenameDir"
+	case OpChmodDir:
+		return "ChmodDir"
+	case OpChownDir:
+		return "ChownDir"
+	case OpCreateFile:
+		return "CreateFile"
+	case OpRemoveFile:
+		return "RemoveFile"
+	case OpStatFile:
+		return "StatFile"
+	case OpOpenFile:
+		return "OpenFile"
+	case OpCloseFile:
+		return "CloseFile"
+	case OpChmodFile:
+		return "ChmodFile"
+	case OpChownFile:
+		return "ChownFile"
+	case OpAccessFile:
+		return "AccessFile"
+	case OpUtimensFile:
+		return "UtimensFile"
+	case OpTruncateFile:
+		return "TruncateFile"
+	case OpUpdateSize:
+		return "UpdateSize"
+	case OpReaddirFiles:
+		return "ReaddirFiles"
+	case OpRenameFile:
+		return "RenameFile"
+	case OpDirHasFiles:
+		return "DirHasFiles"
+	case OpRemoveDirFiles:
+		return "RemoveDirFiles"
+	case OpPutBlock:
+		return "PutBlock"
+	case OpGetBlock:
+		return "GetBlock"
+	case OpDeleteBlocks:
+		return "DeleteBlocks"
+	case OpPing:
+		return "Ping"
+	}
+	return fmt.Sprintf("op(0x%04x)", uint16(o))
+}
+
 // Status is the result code of a request.
 type Status uint16
 
@@ -137,11 +199,17 @@ type Msg struct {
 	// the request in nanoseconds: measured handler time plus any modeled
 	// software cost. Clients use it for virtual-time latency accounting.
 	ServiceNS uint64
-	Body      []byte
+	// Trace is a client-generated request identifier carried end to end:
+	// every RPC a single logical file-system operation issues (e.g. the
+	// three calls of a file rename) shares one trace ID, and servers echo
+	// it, so slow-request logs on the DMS, an FMS, and the client can be
+	// correlated. Zero means untraced.
+	Trace uint64
+	Body  []byte
 }
 
-// header: id(8) flags(1) op(2) status(2) service(8)
-const headerSize = 21
+// header: id(8) flags(1) op(2) status(2) service(8) trace(8)
+const headerSize = 29
 
 // MaxBody bounds a single message body (64 MiB), protecting servers from
 // malformed frames.
@@ -164,6 +232,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 	binary.BigEndian.PutUint16(hdr[13:], uint16(m.Op))
 	binary.BigEndian.PutUint16(hdr[15:], uint16(m.Status))
 	binary.BigEndian.PutUint64(hdr[17:], m.ServiceNS)
+	binary.BigEndian.PutUint64(hdr[25:], m.Trace)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -191,6 +260,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		Op:        Op(binary.BigEndian.Uint16(payload[9:])),
 		Status:    Status(binary.BigEndian.Uint16(payload[11:])),
 		ServiceNS: binary.BigEndian.Uint64(payload[13:]),
+		Trace:     binary.BigEndian.Uint64(payload[21:]),
 		Body:      payload[headerSize:],
 	}
 	return m, nil
