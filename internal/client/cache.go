@@ -11,32 +11,67 @@ import (
 // directory inodes (never file inodes or dirents), each valid for a lease
 // period (30 s by default). A hit saves the DMS round trip on every file
 // operation in a cached directory.
+//
+// The cache is bounded: at most max entries live at once, and on overflow
+// the oldest entries are evicted first. Because every entry gets the same
+// lease, insertion order equals expiry order, so a simple FIFO of
+// insertion records doubles as an expiry queue — no heap needed. Records
+// whose entry was re-put or invalidated since are stale and skipped
+// lazily.
 type dirCache struct {
 	mu      sync.RWMutex
 	lease   time.Duration
 	entries map[string]cacheEntry
 	now     func() time.Time
 
-	hits   uint64
-	misses uint64
+	max  int       // entry cap; <= 0 means unbounded
+	fifo []fifoRec // insertion order; stale records skipped lazily
+	seq  uint64    // ties entries to their live fifo record
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
 	inode   layout.DirInode
 	expires time.Time
+	seq     uint64
+}
+
+type fifoRec struct {
+	path string
+	seq  uint64
 }
 
 // DefaultLease is the paper's default client-cache lease.
 const DefaultLease = 30 * time.Second
 
-func newDirCache(lease time.Duration, now func() time.Time) *dirCache {
+// DefaultCacheEntries bounds the directory cache when the configuration
+// leaves the cap zero: enough for a wide working set, small enough that a
+// metadata-heavy client cannot grow without limit.
+const DefaultCacheEntries = 64 << 10
+
+// MetricDirCacheSize is the gauge reporting a client's live directory-cache
+// entry count.
+const MetricDirCacheSize = "locofs_client_dircache_entries"
+
+func newDirCache(lease time.Duration, now func() time.Time, maxEntries int) *dirCache {
 	if lease <= 0 {
 		lease = DefaultLease
 	}
 	if now == nil {
 		now = time.Now
 	}
-	return &dirCache{lease: lease, entries: make(map[string]cacheEntry), now: now}
+	if maxEntries == 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &dirCache{
+		lease:   lease,
+		entries: make(map[string]cacheEntry),
+		now:     now,
+		max:     maxEntries,
+	}
 }
 
 // get returns the cached inode for path if its lease is still valid.
@@ -59,10 +94,34 @@ func (c *dirCache) get(path string) (layout.DirInode, bool) {
 	return e.inode, true
 }
 
-// put caches an inode under path with a fresh lease.
+// put caches an inode under path with a fresh lease, evicting the oldest
+// entries if the cap is exceeded.
 func (c *dirCache) put(path string, inode layout.DirInode) {
 	c.mu.Lock()
-	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: c.now().Add(c.lease)}
+	c.seq++
+	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: c.now().Add(c.lease), seq: c.seq}
+	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq})
+	if c.max > 0 {
+		for len(c.entries) > c.max && len(c.fifo) > 0 {
+			rec := c.fifo[0]
+			c.fifo = c.fifo[1:]
+			if e, ok := c.entries[rec.path]; ok && e.seq == rec.seq {
+				delete(c.entries, rec.path)
+				c.evictions++
+			}
+		}
+	}
+	// Re-puts and invalidations strand stale fifo records; compact once
+	// they dominate, so the queue stays proportional to the live set.
+	if len(c.fifo) > 2*len(c.entries)+16 {
+		live := c.fifo[:0]
+		for _, rec := range c.fifo {
+			if e, ok := c.entries[rec.path]; ok && e.seq == rec.seq {
+				live = append(live, rec)
+			}
+		}
+		c.fifo = live
+	}
 	c.mu.Unlock()
 }
 
@@ -94,6 +153,13 @@ func (c *dirCache) stats() (hits, misses uint64) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.hits, c.misses
+}
+
+// evicted returns the number of entries dropped by the size cap.
+func (c *dirCache) evicted() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.evictions
 }
 
 // size returns the number of cached entries.

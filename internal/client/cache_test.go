@@ -1,6 +1,7 @@
 package client
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -15,7 +16,7 @@ func freshInode(uidTag uint32) layout.DirInode {
 
 func TestCachePutGet(t *testing.T) {
 	now := time.Now()
-	c := newDirCache(30*time.Second, func() time.Time { return now })
+	c := newDirCache(30*time.Second, func() time.Time { return now }, 0)
 	c.put("/a", freshInode(1))
 	got, ok := c.get("/a")
 	if !ok || got.UID() != 1 {
@@ -33,7 +34,7 @@ func TestCachePutGet(t *testing.T) {
 func TestCacheLeaseExpiry(t *testing.T) {
 	now := time.Now()
 	clock := func() time.Time { return now }
-	c := newDirCache(30*time.Second, clock)
+	c := newDirCache(30*time.Second, clock, 0)
 	c.put("/a", freshInode(1))
 	now = now.Add(29 * time.Second)
 	if _, ok := c.get("/a"); !ok {
@@ -50,7 +51,7 @@ func TestCacheLeaseExpiry(t *testing.T) {
 
 func TestCachePutRefreshesLease(t *testing.T) {
 	now := time.Now()
-	c := newDirCache(30*time.Second, func() time.Time { return now })
+	c := newDirCache(30*time.Second, func() time.Time { return now }, 0)
 	c.put("/a", freshInode(1))
 	now = now.Add(20 * time.Second)
 	c.put("/a", freshInode(2))
@@ -62,7 +63,7 @@ func TestCachePutRefreshesLease(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := newDirCache(time.Hour, nil)
+	c := newDirCache(time.Hour, nil, 0)
 	c.put("/a", freshInode(1))
 	c.invalidate("/a")
 	if _, ok := c.get("/a"); ok {
@@ -71,7 +72,7 @@ func TestCacheInvalidate(t *testing.T) {
 }
 
 func TestCacheInvalidateSubtree(t *testing.T) {
-	c := newDirCache(time.Hour, nil)
+	c := newDirCache(time.Hour, nil, 0)
 	for _, p := range []string{"/a", "/a/b", "/a/b/c", "/ab", "/z"} {
 		c.put(p, freshInode(1))
 	}
@@ -89,7 +90,7 @@ func TestCacheInvalidateSubtree(t *testing.T) {
 }
 
 func TestCacheInvalidateSubtreeRoot(t *testing.T) {
-	c := newDirCache(time.Hour, nil)
+	c := newDirCache(time.Hour, nil, 0)
 	c.put("/", freshInode(1))
 	c.put("/x", freshInode(1))
 	c.invalidateSubtree("/")
@@ -99,7 +100,7 @@ func TestCacheInvalidateSubtreeRoot(t *testing.T) {
 }
 
 func TestCacheStoresCopy(t *testing.T) {
-	c := newDirCache(time.Hour, nil)
+	c := newDirCache(time.Hour, nil, 0)
 	ino := freshInode(1)
 	c.put("/a", ino)
 	ino.SetUID(99) // mutate caller's copy
@@ -110,8 +111,76 @@ func TestCacheStoresCopy(t *testing.T) {
 }
 
 func TestCacheDefaultLease(t *testing.T) {
-	c := newDirCache(0, nil)
+	c := newDirCache(0, nil, 0)
 	if c.lease != DefaultLease {
 		t.Errorf("lease = %v, want %v", c.lease, DefaultLease)
+	}
+}
+
+func TestCacheCapEvictsOldest(t *testing.T) {
+	c := newDirCache(time.Hour, nil, 4)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("/d%d", i), freshInode(uint32(i)))
+	}
+	if got := c.size(); got != 4 {
+		t.Fatalf("size = %d, want cap 4", got)
+	}
+	if got := c.evicted(); got != 6 {
+		t.Errorf("evicted = %d, want 6", got)
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := c.get(fmt.Sprintf("/d%d", i)); ok {
+			t.Errorf("oldest entry /d%d survived eviction", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if got, ok := c.get(fmt.Sprintf("/d%d", i)); !ok || got.UID() != uint32(i) {
+			t.Errorf("newest entry /d%d missing", i)
+		}
+	}
+}
+
+func TestCacheRePutKeepsSiblings(t *testing.T) {
+	c := newDirCache(time.Hour, nil, 3)
+	c.put("/a", freshInode(1))
+	c.put("/b", freshInode(2))
+	// Refreshing one path many times must not push siblings out.
+	for i := 0; i < 50; i++ {
+		c.put("/a", freshInode(uint32(100+i)))
+	}
+	if _, ok := c.get("/b"); !ok {
+		t.Error("re-puts of /a evicted sibling /b")
+	}
+	if got := c.size(); got != 2 {
+		t.Errorf("size = %d, want 2", got)
+	}
+	if got := c.evicted(); got != 0 {
+		t.Errorf("evicted = %d, want 0", got)
+	}
+}
+
+func TestCacheUnboundedWhenNegative(t *testing.T) {
+	c := newDirCache(time.Hour, nil, -1)
+	for i := 0; i < DefaultCacheEntries/8; i++ {
+		c.put(fmt.Sprintf("/u%d", i), freshInode(1))
+	}
+	if got := c.size(); got != DefaultCacheEntries/8 {
+		t.Errorf("size = %d, want %d (unbounded)", got, DefaultCacheEntries/8)
+	}
+}
+
+func TestCacheFifoCompaction(t *testing.T) {
+	c := newDirCache(time.Hour, nil, 1000)
+	// Many invalidated puts must not grow the fifo without bound.
+	for i := 0; i < 10000; i++ {
+		p := fmt.Sprintf("/t%d", i%7)
+		c.put(p, freshInode(1))
+		c.invalidate(p)
+	}
+	c.mu.Lock()
+	fifoLen := len(c.fifo)
+	c.mu.Unlock()
+	if fifoLen > 2*7+16+1 {
+		t.Errorf("fifo holds %d records for %d live entries", fifoLen, c.size())
 	}
 }

@@ -11,6 +11,7 @@ package client
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,18 @@ type Config struct {
 	// round trip meets or exceeds it is logged with its trace ID and
 	// server address. Zero disables logging.
 	SlowThreshold time.Duration
+	// SerialFanOut disables parallel multi-server fan-out: rmdir probes,
+	// readdir listings, block deletes and Close visit one server at a
+	// time, as the pre-parallel client did. Kept as the benchmark
+	// baseline (see internal/bench's fan-out experiment).
+	SerialFanOut bool
+	// DisableBatchRPC disables wire-level request batching (wire.OpBatch):
+	// every sub-request travels as its own framed message.
+	DisableBatchRPC bool
+	// CacheEntries bounds the directory cache; on overflow the oldest
+	// entries are evicted. Zero means DefaultCacheEntries, negative means
+	// unbounded.
+	CacheEntries int
 }
 
 // Client is one LocoLib instance. It is safe for concurrent use.
@@ -69,6 +82,14 @@ type Client struct {
 	cache *dirCache // nil when disabled
 	uid   uint32
 	gid   uint32
+
+	serialFanOut bool
+	disableBatch bool
+	// parSavedNS accumulates the virtual time parallel fan-out groups
+	// saved over serial execution (per group: sum of branch times minus
+	// the slowest branch). Cost subtracts it, so the deterministic
+	// virtual-time model sees concurrency.
+	parSavedNS atomic.Int64
 
 	telem     *clientTelem
 	traceBase uint64        // client id in the top 16 bits of every trace
@@ -102,10 +123,12 @@ func Dial(cfg Config) (*Client, error) {
 		reg = telemetry.NewRegistry()
 	}
 	c := &Client{
-		uid:       cfg.UID,
-		gid:       cfg.GID,
-		telem:     &clientTelem{reg: reg, slow: cfg.SlowThreshold},
-		traceBase: (nextClientID.Add(1) & 0xffff) << 48,
+		uid:          cfg.UID,
+		gid:          cfg.GID,
+		serialFanOut: cfg.SerialFanOut,
+		disableBatch: cfg.DisableBatchRPC,
+		telem:        &clientTelem{reg: reg, slow: cfg.SlowThreshold},
+		traceBase:    (nextClientID.Add(1) & 0xffff) << 48,
 	}
 	dial := func(addr string) (*endpoint, error) {
 		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem)
@@ -141,22 +164,34 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	c.oring = chash.NewRing(0, oids...)
 	if !cfg.DisableCache {
-		c.cache = newDirCache(cfg.Lease, cfg.Now)
+		c.cache = newDirCache(cfg.Lease, cfg.Now, cfg.CacheEntries)
+	}
+	// The client label keeps several clients sharing one registry (a
+	// benchmark fleet) from clobbering each other's gauges.
+	label := telemetry.L("client", fmt.Sprintf("%d", c.traceBase>>48))
+	reg.GaugeFunc(MetricInflight, func() float64 {
+		return float64(c.telem.inflight.Load())
+	}, label)
+	if c.cache != nil {
+		reg.GaugeFunc(MetricDirCacheSize, func() float64 {
+			return float64(c.cache.size())
+		}, label)
 	}
 	return c, nil
 }
 
-// Close tears down every connection.
+// Close tears down every connection, in parallel across servers.
 func (c *Client) Close() error {
+	eps := make([]*endpoint, 0, 1+len(c.fms)+len(c.oss))
 	if c.dms != nil {
-		c.dms.Close()
+		eps = append(eps, c.dms)
 	}
-	for _, cl := range c.fms {
-		cl.Close()
-	}
-	for _, cl := range c.oss {
-		cl.Close()
-	}
+	eps = append(eps, c.fms...)
+	eps = append(eps, c.oss...)
+	c.fanOut(len(eps), func(i int) (time.Duration, error) {
+		eps[i].Close()
+		return 0, nil
+	})
 	return nil
 }
 
@@ -174,8 +209,10 @@ func (c *Client) Trips() uint64 {
 }
 
 // Cost returns the client's cumulative modeled time across every call:
-// link delays plus server-reported service times. Per-operation virtual
-// latency is the delta of Cost around the operation.
+// link delays plus server-reported service times, minus the time parallel
+// fan-out groups saved over issuing the same calls serially (each group
+// costs its slowest branch, not the sum). Per-operation virtual latency is
+// the delta of Cost around the operation.
 func (c *Client) Cost() time.Duration {
 	d := c.dms.VirtualTime()
 	for _, cl := range c.fms {
@@ -184,7 +221,7 @@ func (c *Client) Cost() time.Duration {
 	for _, cl := range c.oss {
 		d += cl.VirtualTime()
 	}
-	return d
+	return d - time.Duration(c.parSavedNS.Load())
 }
 
 // CacheStats returns directory-cache hits and misses (zero when disabled).
@@ -217,14 +254,22 @@ func (c *Client) resolveDir(cleaned string, tid uint64) (layout.DirInode, error)
 			return ino, nil
 		}
 	}
-	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
+	enc := wire.GetEnc()
+	body := enc.Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
 	st, resp, err := c.dms.CallT(tid, wire.OpLookupDir, body)
+	enc.Free()
 	if err != nil {
 		return nil, err
 	}
 	if st != wire.StatusOK {
 		return nil, st.Err()
 	}
+	return c.cacheLookupChain(cleaned, resp)
+}
+
+// cacheLookupChain decodes an OpLookupDir response — the ancestor chain of
+// cleaned — caching every link and returning the target's inode.
+func (c *Client) cacheLookupChain(cleaned string, resp []byte) (layout.DirInode, error) {
 	d := wire.NewDec(resp)
 	n := d.U32()
 	var target layout.DirInode
@@ -301,18 +346,25 @@ func (c *Client) Rmdir(path string) error {
 	if err != nil {
 		return err
 	}
+	// Probe every FMS in parallel; the first non-empty (or failed) probe
+	// cancels the branches not yet started, so a busy directory answers at
+	// the speed of its first refusal rather than a full serial sweep.
 	probe := wire.NewEnc().UUID(ino.UUID()).Bytes()
-	for _, f := range c.fms {
-		st, resp, err := f.CallT(tid, wire.OpDirHasFiles, probe)
+	err = c.fanOut(len(c.fms), func(i int) (time.Duration, error) {
+		st, resp, virt, err := c.fms[i].CallV(tid, wire.OpDirHasFiles, probe)
 		if err != nil {
-			return err
+			return virt, err
 		}
 		if st != wire.StatusOK {
-			return st.Err()
+			return virt, st.Err()
 		}
 		if wire.NewDec(resp).Bool() {
-			return wire.StatusNotEmpty.Err()
+			return virt, wire.StatusNotEmpty.Err()
 		}
+		return virt, nil
+	})
+	if err != nil {
+		return err
 	}
 	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
 	st, _, err := c.dms.CallT(tid, wire.OpRmdir, body)
@@ -336,8 +388,10 @@ type DirEntry struct {
 // when listing a directory; it bounds response sizes for huge directories.
 const ReaddirPageSize = 1024
 
-// decodeEntryPage parses a paged readdir response.
-func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, err error) {
+// decodeEntryPage parses a paged readdir response. remaining is the
+// server's exact count of entries beyond this page, or -1 when the server
+// did not report one (more then only says whether any remain).
+func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remaining int, err error) {
 	d := wire.NewDec(resp)
 	n := d.U32()
 	more = d.Bool()
@@ -346,83 +400,111 @@ func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, err e
 		name := d.Str()
 		u := d.UUID()
 		if d.Err() != nil {
-			return nil, false, d.Err()
+			return nil, false, 0, d.Err()
 		}
 		ents = append(ents, DirEntry{Name: name, IsDir: isDir, UUID: u})
 	}
-	return ents, more, nil
+	remaining = -1
+	if d.Remaining() > 0 { // optional trailing exact remaining count
+		remaining = int(d.U32())
+		if d.Err() != nil {
+			return nil, false, 0, d.Err()
+		}
+	}
+	return ents, more, remaining, nil
 }
 
-// readAllPages drains a paged readdir op via repeated calls.
-func readAllPages(call func(cursor string) (wire.Status, []byte, error), isDir bool) ([]DirEntry, error) {
-	var out []DirEntry
-	cursor := ""
-	for {
-		st, resp, err := call(cursor)
-		if err != nil {
-			return nil, err
+// resolveForReaddir resolves the directory for a listing. On a cache miss
+// with batching enabled, the first subdirectory page rides along with the
+// lookup in one wire.OpBatch message — the two DMS round trips a cold
+// readdir used to open with collapse into one. seeded reports whether
+// first/more/remaining carry a prefetched page.
+func (c *Client) resolveForReaddir(cleaned string, tid uint64) (ino layout.DirInode, first []DirEntry, more bool, remaining int, seeded bool, err error) {
+	if c.cache != nil {
+		if cached, ok := c.cache.get(cleaned); ok {
+			return cached, nil, false, 0, false, nil
 		}
-		if st != wire.StatusOK {
-			return nil, st.Err()
-		}
-		ents, more, err := decodeEntryPage(resp, isDir)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, ents...)
-		if !more || len(ents) == 0 {
-			return out, nil
-		}
-		cursor = ents[len(ents)-1].Name
 	}
+	if c.disableBatch {
+		ino, err = c.resolveDir(cleaned, tid)
+		return ino, nil, false, 0, false, err
+	}
+	lookup := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
+	page := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
+		Str("").U32(ReaddirPageSize).U32(0).Bytes()
+	resps, _, err := c.dms.CallBatch(tid, []wire.SubReq{
+		{Op: wire.OpLookupDir, Body: lookup},
+		{Op: wire.OpReaddirSubdirs, Body: page},
+	})
+	if err != nil {
+		return nil, nil, false, 0, false, err
+	}
+	if st := resps[0].Status; st != wire.StatusOK {
+		return nil, nil, false, 0, false, st.Err()
+	}
+	if ino, err = c.cacheLookupChain(cleaned, resps[0].Body); err != nil {
+		return nil, nil, false, 0, false, err
+	}
+	if st := resps[1].Status; st != wire.StatusOK {
+		return nil, nil, false, 0, false, st.Err()
+	}
+	if first, more, remaining, err = decodeEntryPage(resps[1].Body, true); err != nil {
+		return nil, nil, false, 0, false, err
+	}
+	return ino, first, more, remaining, true, nil
 }
 
 // Readdir lists a directory: subdirectory entries from the DMS plus file
 // entries from every FMS, fetched in size-bounded pages, merged and
-// name-sorted.
+// name-sorted. The DMS and all FMSes are paged in parallel (one fan-out
+// branch per server), and each server's follow-up pages are prefetched in
+// batched round trips (see readPages).
 func (c *Client) Readdir(path string) ([]DirEntry, error) {
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
 	tid := c.newTrace()
-	out, err := readAllPages(func(cursor string) (wire.Status, []byte, error) {
-		body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
-			Str(cursor).U32(ReaddirPageSize).Bytes()
-		return c.dms.CallT(tid, wire.OpReaddirSubdirs, body)
-	}, true)
+	ino, firstSubs, firstMore, firstRemaining, seeded, err := c.resolveForReaddir(cleaned, tid)
 	if err != nil {
 		return nil, err
 	}
-	ino, err := c.resolveDir(cleaned, tid)
-	if err != nil {
-		return nil, err
+	subBody := func(cursor string, skip uint32) []byte {
+		return wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
+			Str(cursor).U32(ReaddirPageSize).U32(skip).Bytes()
 	}
-	for _, f := range c.fms {
-		f := f
-		files, err := readAllPages(func(cursor string) (wire.Status, []byte, error) {
-			body := wire.NewEnc().UUID(ino.UUID()).Str(cursor).U32(ReaddirPageSize).Bytes()
-			return f.CallT(tid, wire.OpReaddirFiles, body)
-		}, false)
-		if err != nil {
-			return nil, err
+	fileBody := func(cursor string, skip uint32) []byte {
+		return wire.NewEnc().UUID(ino.UUID()).Str(cursor).
+			U32(ReaddirPageSize).U32(skip).Bytes()
+	}
+	// Branch 0 pages the DMS subdirectory listing (continuing from the
+	// seeded first page, if any); branches 1..n page one FMS each.
+	parts := make([][]DirEntry, 1+len(c.fms))
+	err = c.fanOut(len(parts), func(i int) (time.Duration, error) {
+		var ents []DirEntry
+		var virt time.Duration
+		var err error
+		if i == 0 {
+			if seeded {
+				ents, virt, err = c.readMorePages(c.dms, tid, wire.OpReaddirSubdirs, subBody, true, firstSubs, firstMore, firstRemaining)
+			} else {
+				ents, virt, err = c.readPages(c.dms, tid, wire.OpReaddirSubdirs, subBody, true)
+			}
+		} else {
+			ents, virt, err = c.readPages(c.fms[i-1], tid, wire.OpReaddirFiles, fileBody, false)
 		}
-		out = append(out, files...)
+		parts[i] = ents
+		return virt, err
+	})
+	if err != nil {
+		return nil, err
 	}
-	ents := make([]layout.Dirent, len(out))
-	for i, e := range out {
-		ents[i] = layout.Dirent{Name: e.Name, UUID: e.UUID}
+	var out []DirEntry
+	for _, p := range parts {
+		out = append(out, p...)
 	}
-	layout.SortDirents(ents)
-	sorted := make([]DirEntry, len(out))
-	byName := make(map[string]DirEntry, len(out))
-	for _, e := range out {
-		byName[e.Name] = e
-	}
-	for i, e := range ents {
-		sorted[i] = byName[e.Name]
-	}
-	return sorted, nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
 }
 
 // StatDir stats a directory (one DMS round trip, or zero on a cache hit).
@@ -452,9 +534,11 @@ func (c *Client) Create(path string, mode uint32) error {
 	if err != nil {
 		return err
 	}
-	body := wire.NewEnc().UUID(parent.UUID()).Str(name).
+	enc := wire.GetEnc()
+	body := enc.UUID(parent.UUID()).Str(name).
 		U32(mode).U32(c.uid).U32(c.gid).Bool(false).Bytes()
 	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpCreateFile, body)
+	enc.Free()
 	if err != nil {
 		return err
 	}
@@ -476,8 +560,10 @@ func (c *Client) StatFile(path string) (*Attr, error) {
 }
 
 func (c *Client) statOn(dir uuid.UUID, name string, tid uint64) (*fms.FileMeta, error) {
-	body := wire.NewEnc().UUID(dir).Str(name).Bytes()
+	enc := wire.GetEnc()
+	body := enc.UUID(dir).Str(name).Bytes()
 	st, resp, err := c.fmsFor(dir, name).CallT(tid, wire.OpStatFile, body)
+	enc.Free()
 	if err != nil {
 		return nil, err
 	}
@@ -541,16 +627,47 @@ func (c *Client) Remove(path string) error {
 		return st.Err()
 	}
 	u := wire.NewDec(resp).UUID()
-	c.deleteBlocks(u, 0, tid)
+	c.deleteBlocks(tid, blockDel{u: u})
 	return nil
 }
 
-// deleteBlocks reclaims blocks of u on every object store server.
-func (c *Client) deleteBlocks(u uuid.UUID, fromBlk uint64, tid uint64) {
-	body := wire.NewEnc().UUID(u).U64(fromBlk).Bytes()
-	for _, o := range c.oss {
-		o.CallT(tid, wire.OpDeleteBlocks, body)
+// blockDel identifies one reclaim: every block of file u from block from
+// onward.
+type blockDel struct {
+	u    uuid.UUID
+	from uint64
+}
+
+// deleteBlocks reclaims blocks on every object store server in parallel.
+// Multiple files' deletions travel to each server packed into a single
+// wire.OpBatch message. Reclaim is best-effort: per-call failures are
+// ignored (the blocks leak until the UUID is reused — never, so this
+// matches the previous fire-and-forget behavior).
+func (c *Client) deleteBlocks(tid uint64, dels ...blockDel) {
+	if len(dels) == 0 {
+		return
 	}
+	bodies := make([][]byte, len(dels))
+	for i, del := range dels {
+		bodies[i] = wire.NewEnc().UUID(del.u).U64(del.from).Bytes()
+	}
+	c.fanOut(len(c.oss), func(i int) (time.Duration, error) {
+		o := c.oss[i]
+		if len(bodies) == 1 || c.disableBatch {
+			var vtotal time.Duration
+			for _, b := range bodies {
+				_, _, virt, _ := o.CallV(tid, wire.OpDeleteBlocks, b)
+				vtotal += virt
+			}
+			return vtotal, nil
+		}
+		subs := make([]wire.SubReq, len(bodies))
+		for j, b := range bodies {
+			subs[j] = wire.SubReq{Op: wire.OpDeleteBlocks, Body: b}
+		}
+		_, virt, _ := o.CallBatch(tid, subs)
+		return virt, nil
+	})
 }
 
 // Chmod changes a file's permission bits (access part only, Table 1).
@@ -632,7 +749,7 @@ func (c *Client) Truncate(path string, size uint64) error {
 	u, oldSize, bs := d.UUID(), d.U64(), d.U32()
 	if d.Err() == nil && size < oldSize && bs > 0 {
 		from := (size + uint64(bs) - 1) / uint64(bs)
-		c.deleteBlocks(u, from, tid)
+		c.deleteBlocks(tid, blockDel{u: u, from: from})
 	}
 	return nil
 }

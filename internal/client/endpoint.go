@@ -3,6 +3,7 @@ package client
 import (
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locofs/internal/netsim"
@@ -19,7 +20,16 @@ type clientTelem struct {
 	reg  *telemetry.Registry
 	slow time.Duration // 0 = slow-call logging disabled
 	byOp sync.Map      // wire.Op -> *clientOpMetrics
+
+	// inflight counts RPCs currently on the wire across every endpoint of
+	// the client, exported as the locofs_client_inflight_rpcs gauge. Fan-out
+	// operations push it to the width of their parallel burst.
+	inflight atomic.Int64
 }
+
+// MetricInflight is the gauge reporting a client's RPCs currently on the
+// wire (sampled at scrape time).
+const MetricInflight = "locofs_client_inflight_rpcs"
 
 type clientOpMetrics struct {
 	rtt   *telemetry.Histogram
@@ -108,14 +118,24 @@ func (e *endpoint) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
 	return e.CallT(0, op, body)
 }
 
-// CallT issues one request stamped with trace, retrying exactly once
-// through a fresh connection on transport failure. The wall-clock round
-// trip is recorded in the client's per-op telemetry, and calls slower than
-// the configured threshold are logged with the trace ID and server address
-// so they can be matched against server-side slow-request logs.
+// CallT issues one request stamped with trace; see CallV.
 func (e *endpoint) CallT(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, error) {
+	st, resp, _, err := e.CallV(trace, op, body)
+	return st, resp, err
+}
+
+// CallV issues one request stamped with trace, retrying exactly once
+// through a fresh connection on transport failure, and returns the call's
+// modeled (virtual) time alongside the response. The wall-clock round trip
+// is recorded in the client's per-op telemetry, the in-flight gauge covers
+// the call while it is on the wire, and calls slower than the configured
+// threshold are logged with the trace ID and server address so they can be
+// matched against server-side slow-request logs.
+func (e *endpoint) CallV(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
 	t0 := time.Now()
-	st, resp, err := e.callOnce(trace, op, body)
+	e.telem.inflight.Add(1)
+	st, resp, virt, err := e.callOnce(trace, op, body)
+	e.telem.inflight.Add(-1)
 	rtt := time.Since(t0)
 	m := e.telem.forOp(op)
 	m.calls.Inc()
@@ -124,24 +144,82 @@ func (e *endpoint) CallT(trace uint64, op wire.Op, body []byte) (wire.Status, []
 		log.Printf("client: slow call trace=%#x op=%s addr=%s rtt=%v status=%s err=%v",
 			trace, op, e.addr, rtt, st, err)
 	}
-	return st, resp, err
+	return st, resp, virt, err
 }
 
-func (e *endpoint) callOnce(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, error) {
+// pendingCall is the future returned by CallAsync.
+type pendingCall struct {
+	done chan struct{}
+	st   wire.Status
+	resp []byte
+	virt time.Duration
+	err  error
+}
+
+// Wait blocks for the call's completion and returns its outcome, including
+// the call's modeled (virtual) time.
+func (p *pendingCall) Wait() (wire.Status, []byte, time.Duration, error) {
+	<-p.done
+	return p.st, p.resp, p.virt, p.err
+}
+
+// CallAsync issues the request without blocking and returns a future. The
+// underlying rpc.Client multiplexes concurrent in-flight calls over one
+// connection, matching responses by request id, so many CallAsync calls on
+// one endpoint overlap on the wire; each is covered by the client's
+// in-flight gauge and per-op telemetry exactly like CallV.
+func (e *endpoint) CallAsync(trace uint64, op wire.Op, body []byte) *pendingCall {
+	p := &pendingCall{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.st, p.resp, p.virt, p.err = e.CallV(trace, op, body)
+	}()
+	return p
+}
+
+// CallBatch packs subs into one wire.OpBatch message, sends it as a single
+// framed request, and unpacks the per-sub-request outcomes (in sub-request
+// order). The returned virtual time is the whole batch's: one round of link
+// delays plus the server's summed sub-request service time.
+func (e *endpoint) CallBatch(trace uint64, subs []wire.SubReq) ([]wire.SubResp, time.Duration, error) {
+	body, err := wire.EncodeBatch(subs)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, resp, virt, err := e.CallV(trace, wire.OpBatch, body)
+	if err != nil {
+		return nil, virt, err
+	}
+	if st != wire.StatusOK {
+		// Envelope-level failure (malformed batch); sub-request failures
+		// arrive as per-sub statuses instead.
+		return nil, virt, st.Err()
+	}
+	resps, err := wire.DecodeBatchResp(resp)
+	if err != nil {
+		return nil, virt, err
+	}
+	if len(resps) != len(subs) {
+		return nil, virt, wire.StatusIO.Err()
+	}
+	return resps, virt, nil
+}
+
+func (e *endpoint) callOnce(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
 	cl, err := e.current()
 	if err != nil {
-		return wire.StatusIO, nil, err
+		return wire.StatusIO, nil, 0, err
 	}
-	st, resp, callErr := cl.CallTraced(op, body, trace)
+	st, resp, virt, callErr := cl.CallTracedV(op, body, trace)
 	if callErr == nil {
-		return st, resp, nil
+		return st, resp, virt, nil
 	}
 	e.retire(cl)
 	cl, err = e.current()
 	if err != nil {
-		return wire.StatusIO, nil, callErr
+		return wire.StatusIO, nil, 0, callErr
 	}
-	return cl.CallTraced(op, body, trace)
+	return cl.CallTracedV(op, body, trace)
 }
 
 // Trips returns cumulative round trips across all generations.

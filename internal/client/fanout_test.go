@@ -1,0 +1,294 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"locofs/internal/netsim"
+	"testing"
+	"time"
+
+	"locofs/internal/wire"
+)
+
+// TestFanOutRunsAllBranches: every branch runs exactly once and the group's
+// virtual savings (sum - max) land in parSavedNS.
+func TestFanOutRunsAllBranches(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	c := dialTest(t, cfg)
+	var mu sync.Mutex
+	ran := make(map[int]int)
+	err := c.fanOut(40, func(i int) (time.Duration, error) {
+		mu.Lock()
+		ran[i]++
+		mu.Unlock()
+		return time.Millisecond, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if ran[i] != 1 {
+			t.Errorf("branch %d ran %d times", i, ran[i])
+		}
+	}
+	// 40 branches x 1ms, slowest 1ms: 39ms saved.
+	if saved := time.Duration(c.parSavedNS.Load()); saved != 39*time.Millisecond {
+		t.Errorf("parSaved = %v, want 39ms", saved)
+	}
+}
+
+// TestFanOutFirstErrorCancels: a failing branch stops unstarted branches and
+// its error is returned.
+func TestFanOutFirstErrorCancels(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	cfg.SerialFanOut = false
+	c := dialTest(t, cfg)
+	boom := errors.New("boom")
+	var started sync.Map
+	err := c.fanOut(1000, func(i int) (time.Duration, error) {
+		started.Store(i, true)
+		if i < fanOutLimit {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	n := 0
+	started.Range(func(_, _ any) bool { n++; return true })
+	if n == 1000 {
+		t.Error("error did not cancel any unstarted branches")
+	}
+}
+
+// TestFanOutSerialMode: SerialFanOut visits branches in order, stops at the
+// first error, and records no parallel savings.
+func TestFanOutSerialMode(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	cfg.SerialFanOut = true
+	c := dialTest(t, cfg)
+	var order []int
+	boom := errors.New("boom")
+	err := c.fanOut(8, func(i int) (time.Duration, error) {
+		order = append(order, i)
+		if i == 3 {
+			return time.Millisecond, boom
+		}
+		return time.Millisecond, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+	if saved := c.parSavedNS.Load(); saved != 0 {
+		t.Errorf("serial mode recorded %v parallel savings", time.Duration(saved))
+	}
+}
+
+// fillDir creates dirs/files for the listing tests: width files spread
+// across the FMSes plus a few subdirectories.
+func fillDir(t *testing.T, c *Client, dir string, files, subdirs int) {
+	t.Helper()
+	if err := c.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < subdirs; i++ {
+		if err := c.Mkdir(fmt.Sprintf("%s/sub-%03d", dir, i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < files; i++ {
+		if err := c.Create(fmt.Sprintf("%s/file-%05d", dir, i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReaddirParityAcrossModes: parallel+batched, parallel-only, and serial
+// clients must all return the identical sorted listing, including one wider
+// than several pages.
+func TestReaddirParityAcrossModes(t *testing.T) {
+	_, cfg := testCluster(t, 4)
+	seed := dialTest(t, cfg)
+	width := 3*ReaddirPageSize + 57
+	fillDir(t, seed, "/wide", width, 5)
+
+	modes := map[string]Config{
+		"parallel+batch": cfg,
+		"parallel-only":  func() Config { c := cfg; c.DisableBatchRPC = true; return c }(),
+		"serial":         func() Config { c := cfg; c.SerialFanOut = true; c.DisableBatchRPC = true; return c }(),
+	}
+	var reference []DirEntry
+	for name, mcfg := range modes {
+		c := dialTest(t, mcfg)
+		ents, err := c.Readdir("/wide")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ents) != width+5 {
+			t.Fatalf("%s: %d entries, want %d", name, len(ents), width+5)
+		}
+		for i := 1; i < len(ents); i++ {
+			if ents[i-1].Name >= ents[i].Name {
+				t.Fatalf("%s: entries not sorted at %d: %q >= %q",
+					name, i, ents[i-1].Name, ents[i].Name)
+			}
+		}
+		if reference == nil {
+			reference = ents
+			continue
+		}
+		for i := range ents {
+			if ents[i] != reference[i] {
+				t.Fatalf("%s: entry %d = %+v, differs from reference %+v",
+					name, i, ents[i], reference[i])
+			}
+		}
+	}
+}
+
+// TestReaddirBatchedPagingSavesTrips: with batching on, a multi-page listing
+// must cost fewer round trips than one per page.
+func TestReaddirBatchedPagingSavesTrips(t *testing.T) {
+	_, cfg := testCluster(t, 1)
+	seed := dialTest(t, cfg)
+	pages := 6
+	fillDir(t, seed, "/paged", pages*ReaddirPageSize, 0)
+
+	serialCfg := cfg
+	serialCfg.DisableBatchRPC = true
+	serialCfg.SerialFanOut = true
+	serial := dialTest(t, serialCfg)
+	t0 := serial.Trips()
+	if _, err := serial.Readdir("/paged"); err != nil {
+		t.Fatal(err)
+	}
+	serialTrips := serial.Trips() - t0
+
+	batched := dialTest(t, cfg)
+	t0 = batched.Trips()
+	if _, err := batched.Readdir("/paged"); err != nil {
+		t.Fatal(err)
+	}
+	batchedTrips := batched.Trips() - t0
+
+	if batchedTrips >= serialTrips {
+		t.Errorf("batched readdir cost %d trips, serial cost %d — batching saved nothing",
+			batchedTrips, serialTrips)
+	}
+}
+
+// TestRmdirParallelProbes: rmdir succeeds on an empty dir and refuses a
+// non-empty one with ENOTEMPTY under parallel probing.
+func TestRmdirParallelProbes(t *testing.T) {
+	_, cfg := testCluster(t, 4)
+	c := dialTest(t, cfg)
+	fillDir(t, c, "/busy", 12, 0)
+	if err := c.Rmdir("/busy"); wire.StatusOf(err) != wire.StatusNotEmpty {
+		t.Errorf("rmdir non-empty = %v, want ENOTEMPTY", err)
+	}
+	if err := c.Mkdir("/hollow", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/hollow"); err != nil {
+		t.Errorf("rmdir empty = %v", err)
+	}
+}
+
+// TestParallelCostBelowSerial: the virtual-time model must show the fan-out
+// win — the same rmdir probe sweep and readdir cost less on a parallel
+// client than a serial one (acceptance criterion's mechanism).
+func TestParallelCostBelowSerial(t *testing.T) {
+	_, cfg := testCluster(t, 8)
+	// A non-trivial modeled link so per-call virtual time is nonzero.
+	cfg.Link = netsim.Paper1GbE
+
+	seed := dialTest(t, cfg)
+	fillDir(t, seed, "/d", 64, 3)
+
+	serialCfg := cfg
+	serialCfg.SerialFanOut = true
+	serialCfg.DisableBatchRPC = true
+	serial := dialTest(t, serialCfg)
+	par := dialTest(t, cfg)
+
+	measure := func(c *Client, op func() error) time.Duration {
+		before := c.Cost()
+		if err := op(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Cost() - before
+	}
+	serialReaddir := measure(serial, func() error { _, err := serial.Readdir("/d"); return err })
+	parReaddir := measure(par, func() error { _, err := par.Readdir("/d"); return err })
+	if parReaddir >= serialReaddir {
+		t.Errorf("parallel readdir virt %v >= serial %v", parReaddir, serialReaddir)
+	}
+
+	serialRmdir := measure(serial, func() error {
+		if err := serial.Mkdir("/gone-s", 0o755); err != nil {
+			return err
+		}
+		return serial.Rmdir("/gone-s")
+	})
+	parRmdir := measure(par, func() error {
+		if err := par.Mkdir("/gone-p", 0o755); err != nil {
+			return err
+		}
+		return par.Rmdir("/gone-p")
+	})
+	if parRmdir >= serialRmdir {
+		t.Errorf("parallel rmdir virt %v >= serial %v", parRmdir, serialRmdir)
+	}
+}
+
+// TestConcurrentFanOutRace drives concurrent Readdir/Rmdir against Create
+// and Remove mutators — the go test -race workload for the fan-out paths.
+func TestConcurrentFanOutRace(t *testing.T) {
+	_, cfg := testCluster(t, 4)
+	seed := dialTest(t, cfg)
+	fillDir(t, seed, "/race", 40, 2)
+
+	c := dialTest(t, cfg)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch w % 4 {
+				case 0:
+					c.Readdir("/race")
+				case 1:
+					c.Rmdir("/race") // always ENOTEMPTY; exercises probes
+				case 2:
+					p := fmt.Sprintf("/race/tmp-%d-%d", w, i)
+					c.Create(p, 0o644)
+					c.Remove(p)
+				case 3:
+					c.StatDir("/race")
+				}
+			}
+		}(w)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

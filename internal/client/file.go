@@ -96,9 +96,11 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 		if n > len(p)-written {
 			n = len(p) - written
 		}
-		body := wire.NewEnc().UUID(f.uuid).U64(blk).U32(bo).U32(f.blockSize).
+		enc := wire.GetEnc()
+		body := enc.UUID(f.uuid).U64(blk).U32(bo).U32(f.blockSize).
 			Blob(p[written : written+n]).Bytes()
 		st, _, err := f.c.ossFor(f.uuid, blk).CallT(tid, wire.OpPutBlock, body)
+		enc.Free()
 		if err != nil {
 			return written, err
 		}
@@ -150,8 +152,10 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 		if n > want-read {
 			n = want - read
 		}
-		body := wire.NewEnc().UUID(f.uuid).U64(blk).U32(bo).U32(uint32(n)).Bytes()
+		enc := wire.GetEnc()
+		body := enc.UUID(f.uuid).U64(blk).U32(bo).U32(uint32(n)).Bytes()
 		st, resp, err := f.c.ossFor(f.uuid, blk).CallT(tid, wire.OpGetBlock, body)
+		enc.Free()
 		if err != nil {
 			return int(read), err
 		}

@@ -246,6 +246,14 @@ type ClientConfig struct {
 	Metrics *telemetry.Registry
 	// SlowThreshold enables client-side slow-call logging.
 	SlowThreshold time.Duration
+	// SerialFanOut disables parallel multi-server fan-out (the benchmark
+	// baseline; see client.Config.SerialFanOut).
+	SerialFanOut bool
+	// DisableBatchRPC disables wire-level request batching (wire.OpBatch).
+	DisableBatchRPC bool
+	// CacheEntries bounds the client directory cache (0 = default cap,
+	// negative = unbounded; see client.Config.CacheEntries).
+	CacheEntries int
 }
 
 // NewClient connects a LocoLib client to the cluster.
@@ -255,18 +263,21 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		lease = c.opts.Lease
 	}
 	return client.Dial(client.Config{
-		Dialer:        c.net,
-		Link:          c.opts.Link,
-		DMSAddr:       "dms",
-		FMSAddrs:      c.fmsAddrs,
-		OSSAddrs:      c.ossAddrs,
-		DisableCache:  cfg.DisableCache || c.opts.DisableClientCache,
-		Lease:         lease,
-		UID:           cfg.UID,
-		GID:           cfg.GID,
-		Now:           cfg.Now,
-		Metrics:       cfg.Metrics,
-		SlowThreshold: cfg.SlowThreshold,
+		Dialer:          c.net,
+		Link:            c.opts.Link,
+		DMSAddr:         "dms",
+		FMSAddrs:        c.fmsAddrs,
+		OSSAddrs:        c.ossAddrs,
+		DisableCache:    cfg.DisableCache || c.opts.DisableClientCache,
+		Lease:           lease,
+		UID:             cfg.UID,
+		GID:             cfg.GID,
+		Now:             cfg.Now,
+		Metrics:         cfg.Metrics,
+		SlowThreshold:   cfg.SlowThreshold,
+		SerialFanOut:    cfg.SerialFanOut,
+		DisableBatchRPC: cfg.DisableBatchRPC,
+		CacheEntries:    cfg.CacheEntries,
 	})
 }
 

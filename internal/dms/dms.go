@@ -230,28 +230,37 @@ func (s *Server) Stat(path string, uid, gid uint32) (layout.DirInode, wire.Statu
 // more reports whether further pages exist. File entries live on the FMSs;
 // the client merges. Paging bounds response size for huge directories.
 func (s *Server) ReaddirSubdirs(path string, uid, gid uint32, cursor string, limit int) (ents []layout.Dirent, more bool, st wire.Status) {
+	ents, remaining, st := s.ReaddirSubdirsAt(path, uid, gid, cursor, 0, limit)
+	return ents, remaining > 0, st
+}
+
+// ReaddirSubdirsAt is ReaddirSubdirs with a page offset: it returns the
+// skip-th page after cursor, letting a client prefetch several consecutive
+// pages of one listing in a single batched round trip. remaining is the
+// exact entry count beyond the returned page.
+func (s *Server) ReaddirSubdirsAt(path string, uid, gid uint32, cursor string, skip, limit int) (ents []layout.Dirent, remaining int, st wire.Status) {
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
-		return nil, false, wire.StatusInval
+		return nil, 0, wire.StatusInval
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if _, st := s.checkAncestors(cleaned, uid, gid); st != wire.StatusOK {
-		return nil, false, st
+		return nil, 0, st
 	}
 	ino, ok := s.getInode(cleaned)
 	if !ok {
-		return nil, false, wire.StatusNotFound
+		return nil, 0, wire.StatusNotFound
 	}
 	if s.checkPerm && !acl.CanRead(ino.Mode(), ino.UID(), ino.GID(), uid, gid) {
-		return nil, false, wire.StatusPerm
+		return nil, 0, wire.StatusPerm
 	}
 	list, _ := s.store.Get(subdirsKey(ino.UUID()))
-	ents, more, err = layout.DirentPage(list, cursor, limit)
+	ents, remaining, err = layout.DirentPageAt(list, cursor, skip, limit)
 	if err != nil {
-		return nil, false, wire.StatusIO
+		return nil, 0, wire.StatusIO
 	}
-	return ents, more, wire.StatusOK
+	return ents, remaining, wire.StatusOK
 }
 
 // Rmdir removes an empty directory. "Empty" here means no subdirectories;
@@ -515,17 +524,24 @@ func (s *Server) Attach(rs *rpc.Server) {
 		path, uid, gid := d.Str(), d.U32(), d.U32()
 		cursor := d.Str()
 		limit := d.U32()
+		var skip uint32
+		if d.Remaining() > 0 { // optional trailing page offset (batched paging)
+			skip = d.U32()
+		}
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
-		ents, more, st := s.ReaddirSubdirs(path, uid, gid, cursor, int(limit))
+		ents, remaining, st := s.ReaddirSubdirsAt(path, uid, gid, cursor, int(skip), int(limit))
 		if st != wire.StatusOK {
 			return st, nil
 		}
-		e := wire.NewEnc().U32(uint32(len(ents))).Bool(more)
+		e := wire.NewEnc().U32(uint32(len(ents))).Bool(remaining > 0)
 		for _, ent := range ents {
 			e.Str(ent.Name).UUID(ent.UUID)
 		}
+		// Trailing exact remaining count (newer clients size prefetch
+		// batches from it; older ones ignore it).
+		e.U32(uint32(remaining))
 		return wire.StatusOK, e.Bytes()
 	})
 	rs.Handle(wire.OpRmdir, func(body []byte) (wire.Status, []byte) {

@@ -553,14 +553,23 @@ func (s *Server) rmwCoupled(dir uuid.UUID, name string, fn func(*layout.CoupledI
 // server, in name order, strictly after cursor (empty = from the start).
 // The client unions pages from every FMS. more reports remaining entries.
 func (s *Server) ReaddirFiles(dir uuid.UUID, cursor string, limit int) (ents []layout.Dirent, more bool, st wire.Status) {
+	ents, remaining, st := s.ReaddirFilesAt(dir, cursor, 0, limit)
+	return ents, remaining > 0, st
+}
+
+// ReaddirFilesAt is ReaddirFiles with a page offset: it returns the skip-th
+// page after cursor, letting a client prefetch several consecutive pages of
+// one listing in a single batched round trip. remaining is the exact entry
+// count beyond the returned page.
+func (s *Server) ReaddirFilesAt(dir uuid.UUID, cursor string, skip, limit int) (ents []layout.Dirent, remaining int, st wire.Status) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	list, _ := s.store.Get(direntsKey(dir))
-	ents, more, err := layout.DirentPage(list, cursor, limit)
+	ents, remaining, err := layout.DirentPageAt(list, cursor, skip, limit)
 	if err != nil {
-		return nil, false, wire.StatusIO
+		return nil, 0, wire.StatusIO
 	}
-	return ents, more, wire.StatusOK
+	return ents, remaining, wire.StatusOK
 }
 
 // DirHasFiles reports whether this server holds any file of dir — the
@@ -746,17 +755,24 @@ func (s *Server) Attach(rs *rpc.Server) {
 		dir := d.UUID()
 		cursor := d.Str()
 		limit := d.U32()
+		var skip uint32
+		if d.Remaining() > 0 { // optional trailing page offset (batched paging)
+			skip = d.U32()
+		}
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
-		ents, more, st := s.ReaddirFiles(dir, cursor, int(limit))
+		ents, remaining, st := s.ReaddirFilesAt(dir, cursor, int(skip), int(limit))
 		if st != wire.StatusOK {
 			return st, nil
 		}
-		e := wire.NewEnc().U32(uint32(len(ents))).Bool(more)
+		e := wire.NewEnc().U32(uint32(len(ents))).Bool(remaining > 0)
 		for _, ent := range ents {
 			e.Str(ent.Name).UUID(ent.UUID)
 		}
+		// Trailing exact remaining count (newer clients size prefetch
+		// batches from it; older ones ignore it).
+		e.U32(uint32(remaining))
 		return wire.StatusOK, e.Bytes()
 	})
 	rs.Handle(wire.OpDirHasFiles, func(body []byte) (wire.Status, []byte) {

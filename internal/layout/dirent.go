@@ -164,9 +164,21 @@ func CompactDirents(list []byte) ([]byte, int, error) {
 // reports whether entries remain beyond the page. limit <= 0 means no
 // bound. Servers use it to answer readdir in size-bounded pages.
 func DirentPage(list []byte, cursor string, limit int) (ents []Dirent, more bool, err error) {
+	ents, remaining, err := DirentPageAt(list, cursor, 0, limit)
+	return ents, remaining > 0, err
+}
+
+// DirentPageAt is DirentPage with a page offset: it returns the skip-th
+// page of size limit after cursor. skip > 0 lets a client prefetch several
+// consecutive pages with one cursor — e.g. a batch of sub-requests sharing
+// a cursor with skip 0..k-1 fetches k pages in one round trip. skip is
+// ignored when limit <= 0 (unbounded page). remaining is the exact number
+// of live entries beyond the returned page, letting clients size their
+// prefetch batches with no speculative over-fetch.
+func DirentPageAt(list []byte, cursor string, skip, limit int) (ents []Dirent, remaining int, err error) {
 	all, err := DecodeDirents(list)
 	if err != nil {
-		return nil, false, err
+		return nil, 0, err
 	}
 	SortDirents(all)
 	start := 0
@@ -174,10 +186,17 @@ func DirentPage(list []byte, cursor string, limit int) (ents []Dirent, more bool
 		start = sort.Search(len(all), func(i int) bool { return all[i].Name > cursor })
 	}
 	all = all[start:]
-	if limit > 0 && len(all) > limit {
-		return all[:limit], true, nil
+	if limit > 0 && skip > 0 {
+		off := skip * limit
+		if off >= len(all) {
+			return nil, 0, nil
+		}
+		all = all[off:]
 	}
-	return all, false, nil
+	if limit > 0 && len(all) > limit {
+		return all[:limit], len(all) - limit, nil
+	}
+	return all, 0, nil
 }
 
 // DirentRecords returns the total record count (live + tombstones), which

@@ -223,6 +223,13 @@ func (s *Server) serveConn(conn netsim.Conn) {
 		s.wg.Add(1)
 		go func(req *wire.Msg) {
 			defer s.wg.Done()
+			if req.Op == wire.OpBatch {
+				// The batch envelope is pure framing: it takes no worker
+				// slot itself — each sub-request competes for one — so a
+				// batch can never deadlock a 1-worker server.
+				s.serveBatch(conn, req, recvT)
+				return
+			}
 			if s.workers != nil {
 				s.workers <- struct{}{}
 				defer func() { <-s.workers }()
@@ -231,44 +238,98 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			// this is just goroutine scheduling; with a worker cap it is the
 			// time spent waiting for a CPU slot — the server-side queueing
 			// the paper's saturation experiments exercise.
-			queueWait := time.Since(recvT)
-			var status wire.Status
-			var body []byte
-			s.mu.RLock()
-			fn := s.serviceFn
-			virtual := s.virtual[req.Op]
-			s.mu.RUnlock()
-			var service time.Duration
-			if fn != nil {
-				service = fn(req.Op, func() {
-					status, body = s.dispatch(req.Op, req.Body)
-				})
-			} else {
-				t0 := time.Now()
-				status, body = s.dispatch(req.Op, req.Body)
-				service = time.Since(t0)
-			}
-			service += virtual
-			s.busyNS.Add(uint64(service))
-			s.Served.Add(1)
-			if t := s.telem.Load(); t != nil {
-				m := t.forOp(req.Op)
-				m.reqs.Inc()
-				if status != wire.StatusOK {
-					m.errs.Inc()
-				}
-				m.service.Record(service)
-				m.queue.Record(queueWait)
-			}
-			if slow := time.Duration(s.slowNS.Load()); slow > 0 && service >= slow {
-				log.Printf("rpc: slow request trace=%#x op=%s status=%s service=%v queue=%v",
-					req.Trace, req.Op, status, service, queueWait)
-			}
+			status, body, service := s.execute(req.Op, req.Body, req.Trace, time.Since(recvT))
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Body: body}
 			_ = conn.Send(resp)
 		}(req)
 	}
+}
+
+// execute runs one request (or one batched sub-request) through the full
+// service pipeline: modeled/measured service time, busy and served
+// accounting, per-op telemetry, and slow-request logging stamped with the
+// request's trace id.
+func (s *Server) execute(op wire.Op, reqBody []byte, trace uint64, queueWait time.Duration) (wire.Status, []byte, time.Duration) {
+	var status wire.Status
+	var body []byte
+	s.mu.RLock()
+	fn := s.serviceFn
+	virtual := s.virtual[op]
+	s.mu.RUnlock()
+	var service time.Duration
+	if fn != nil {
+		service = fn(op, func() {
+			status, body = s.dispatch(op, reqBody)
+		})
+	} else {
+		t0 := time.Now()
+		status, body = s.dispatch(op, reqBody)
+		service = time.Since(t0)
+	}
+	service += virtual
+	s.busyNS.Add(uint64(service))
+	s.Served.Add(1)
+	if t := s.telem.Load(); t != nil {
+		m := t.forOp(op)
+		m.reqs.Inc()
+		if status != wire.StatusOK {
+			m.errs.Inc()
+		}
+		m.service.Record(service)
+		m.queue.Record(queueWait)
+	}
+	if slow := time.Duration(s.slowNS.Load()); slow > 0 && service >= slow {
+		log.Printf("rpc: slow request trace=%#x op=%s status=%s service=%v queue=%v",
+			trace, op, status, service, queueWait)
+	}
+	return status, body, service
+}
+
+// serveBatch answers one wire.OpBatch request: every sub-request is
+// dispatched to its registered handler across the server's worker pool
+// (concurrently, each acquiring its own worker slot), and the one response
+// carries a (status, body) pair per sub-request in sub-request order — a
+// failing sub-request never disturbs its siblings. Each sub-request runs
+// the full service pipeline under the envelope's trace id, so batched
+// sub-ops appear individually in telemetry and slow-request logs, and the
+// envelope's ServiceNS is the sum of sub-request service times (the
+// server's CPU serializes the work even though one message carried it).
+// Nested batches are rejected per-sub-request via the normal unknown-op
+// path, since OpBatch never reaches the handler table.
+func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
+	reply := func(st wire.Status, body []byte, service time.Duration) {
+		resp := &wire.Msg{ID: req.ID, IsResp: true, Op: wire.OpBatch,
+			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Body: body}
+		_ = conn.Send(resp)
+	}
+	subs, err := wire.DecodeBatch(req.Body)
+	if err != nil {
+		reply(wire.StatusInval, []byte(err.Error()), 0)
+		return
+	}
+	resps := make([]wire.SubResp, len(subs))
+	services := make([]time.Duration, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if s.workers != nil {
+				s.workers <- struct{}{}
+				defer func() { <-s.workers }()
+			}
+			st, body, service := s.execute(subs[i].Op, subs[i].Body, req.Trace, time.Since(recvT))
+			resps[i] = wire.SubResp{Status: st, Body: body}
+			services[i] = service
+		}(i)
+	}
+	wg.Wait()
+	var total time.Duration
+	for _, d := range services {
+		total += d
+	}
+	reply(wire.StatusOK, wire.EncodeBatchResp(resps), total)
 }
 
 func (s *Server) dispatch(op wire.Op, body []byte) (wire.Status, []byte) {
@@ -395,13 +456,23 @@ func (c *Client) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
 // so every RPC of one logical operation can be correlated in server-side
 // slow-request logs. Trace 0 means untraced.
 func (c *Client) CallTraced(op wire.Op, body []byte, trace uint64) (wire.Status, []byte, error) {
+	st, resp, _, err := c.CallTracedV(op, body, trace)
+	return st, resp, err
+}
+
+// CallTracedV is CallTraced that additionally returns this call's modeled
+// (virtual) time — link delays plus server-reported service time — so
+// callers that overlap several calls can account the group's latency as the
+// slowest branch instead of the serial sum. The per-call cost is also
+// accumulated into VirtualTime as before.
+func (c *Client) CallTracedV(op wire.Op, body []byte, trace uint64) (wire.Status, []byte, time.Duration, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan *wire.Msg, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return wire.StatusIO, nil, err
+		return wire.StatusIO, nil, 0, err
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
@@ -411,18 +482,10 @@ func (c *Client) CallTraced(op wire.Op, body []byte, trace uint64) (wire.Status,
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return wire.StatusIO, nil, err
+		return wire.StatusIO, nil, 0, err
 	}
 	c.trips.Add(1)
 	resp, ok := <-ch
-	if ok {
-		var virt time.Duration
-		if lp := c.linkVal.Load(); lp != nil {
-			virt += lp.Delay(req.WireSize()) + lp.Delay(resp.WireSize())
-		}
-		virt += time.Duration(resp.ServiceNS)
-		c.virtNS.Add(uint64(virt))
-	}
 	if !ok {
 		c.mu.Lock()
 		err := c.err
@@ -430,9 +493,15 @@ func (c *Client) CallTraced(op wire.Op, body []byte, trace uint64) (wire.Status,
 		if err == nil {
 			err = ErrClientClosed
 		}
-		return wire.StatusIO, nil, err
+		return wire.StatusIO, nil, 0, err
 	}
-	return resp.Status, resp.Body, nil
+	var virt time.Duration
+	if lp := c.linkVal.Load(); lp != nil {
+		virt += lp.Delay(req.WireSize()) + lp.Delay(resp.WireSize())
+	}
+	virt += time.Duration(resp.ServiceNS)
+	c.virtNS.Add(uint64(virt))
+	return resp.Status, resp.Body, virt, nil
 }
 
 // Trips returns the number of round trips issued so far. Callers snapshot it

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	subs := []SubReq{
+		{Op: OpMkdir, Body: []byte("alpha")},
+		{Op: OpPing, Body: nil},
+		{Op: OpPutBlock, Body: bytes.Repeat([]byte{0x7}, 1000)},
+		{Op: OpBatch, Body: []byte("nested bodies still encode")},
+	}
+	body, err := EncodeBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(subs) {
+		t.Fatalf("decoded %d subs, want %d", len(got), len(subs))
+	}
+	for i := range subs {
+		if got[i].Op != subs[i].Op || !bytes.Equal(got[i].Body, subs[i].Body) {
+			t.Errorf("sub %d = {%v %q}, want {%v %q}",
+				i, got[i].Op, got[i].Body, subs[i].Op, subs[i].Body)
+		}
+	}
+}
+
+func TestBatchRespRoundTrip(t *testing.T) {
+	resps := []SubResp{
+		{Status: StatusOK, Body: []byte("first")},
+		{Status: StatusNotFound, Body: nil},
+		{Status: StatusNotEmpty, Body: []byte{1}},
+	}
+	got, err := DecodeBatchResp(EncodeBatchResp(resps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(resps) {
+		t.Fatalf("decoded %d resps, want %d", len(got), len(resps))
+	}
+	for i := range resps {
+		if got[i].Status != resps[i].Status || !bytes.Equal(got[i].Body, resps[i].Body) {
+			t.Errorf("resp %d = {%v %q}, want {%v %q}",
+				i, got[i].Status, got[i].Body, resps[i].Status, resps[i].Body)
+		}
+	}
+}
+
+func TestBatchEmptyRoundTrip(t *testing.T) {
+	body, err := EncodeBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := DecodeBatch(body)
+	if err != nil || len(subs) != 0 {
+		t.Errorf("empty batch = %v subs, err %v", subs, err)
+	}
+}
+
+func TestEncodeBatchTooLarge(t *testing.T) {
+	subs := make([]SubReq, MaxBatchSubs+1)
+	if _, err := EncodeBatch(subs); err != ErrBatchTooLarge {
+		t.Errorf("err = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	good, _ := EncodeBatch([]SubReq{{Op: OpPing, Body: []byte("x")}})
+	cases := map[string][]byte{
+		"empty":             {},
+		"short count":       {0, 0},
+		"huge count":        NewEnc().U32(MaxBatchSubs + 1).Bytes(),
+		"truncated sub":     good[:len(good)-1],
+		"trailing garbage":  append(append([]byte{}, good...), 0xEE),
+		"count over bodies": NewEnc().U32(3).Bytes(),
+	}
+	for name, body := range cases {
+		if _, err := DecodeBatch(body); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeBatchResp(good[:len(good)-1]); err == nil {
+		t.Error("truncated resp body decoded without error")
+	}
+}

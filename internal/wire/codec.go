@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sync"
 
 	"locofs/internal/uuid"
 )
@@ -16,6 +17,34 @@ type Enc struct {
 
 // NewEnc returns an encoder with a small preallocated buffer.
 func NewEnc() *Enc { return &Enc{b: make([]byte, 0, 64)} }
+
+// encPool recycles encoders between RPCs so the hot path stops allocating a
+// fresh buffer per request. See GetEnc/Free.
+var encPool = sync.Pool{New: func() any { return &Enc{b: make([]byte, 0, 64)} }}
+
+// maxPooledCap bounds the buffers the pool retains: encoders that grew past
+// it (huge write bodies) are dropped rather than pinned forever.
+const maxPooledCap = 64 << 10
+
+// GetEnc returns a pooled encoder. Callers that know the encoded body's
+// lifetime is over — the RPC completed, so both transports have consumed
+// the bytes — hand it back with Free; callers that cannot tell just drop it
+// and the GC reclaims it like a NewEnc one.
+func GetEnc() *Enc {
+	e := encPool.Get().(*Enc)
+	e.b = e.b[:0]
+	return e
+}
+
+// Free recycles the encoder (and the buffer behind its last Bytes result)
+// into the pool. The caller must not touch the encoder or any slice
+// returned by Bytes afterwards.
+func (e *Enc) Free() {
+	if cap(e.b) > maxPooledCap {
+		return
+	}
+	encPool.Put(e)
+}
 
 // U8 appends a byte.
 func (e *Enc) U8(v uint8) *Enc { e.b = append(e.b, v); return e }

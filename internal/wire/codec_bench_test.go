@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"testing"
+
+	"locofs/internal/uuid"
+)
+
+// encodeTypical builds a body shaped like the metadata hot path's (a create:
+// uuid, name, three u32s, bool).
+func encodeTypical(e *Enc) []byte {
+	return e.UUID(uuid.UUID{1, 2, 3}).Str("file-name-0001").
+		U32(0o644).U32(1000).U32(1000).Bool(false).Bytes()
+}
+
+// TestPooledEncReusesBuffer guards the sync.Pool satellite: once the pool is
+// warm, a Get/encode/Free cycle must not allocate a fresh buffer per
+// request.
+func TestPooledEncReusesBuffer(t *testing.T) {
+	for i := 0; i < 8; i++ { // warm the pool
+		e := GetEnc()
+		encodeTypical(e)
+		e.Free()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		e := GetEnc()
+		encodeTypical(e)
+		e.Free()
+	})
+	if allocs >= 1 {
+		t.Errorf("pooled encode allocates %.1f objects per op, want < 1", allocs)
+	}
+}
+
+// TestEncFreeDropsHugeBuffers: encoders grown past maxPooledCap must not be
+// retained (they would pin large buffers forever).
+func TestEncFreeDropsHugeBuffers(t *testing.T) {
+	e := GetEnc()
+	e.Blob(make([]byte, maxPooledCap+1))
+	e.Free()
+	got := GetEnc()
+	defer got.Free()
+	if cap(got.b) > maxPooledCap {
+		t.Errorf("pool retained a %d-byte buffer, cap is %d", cap(got.b), maxPooledCap)
+	}
+}
+
+func BenchmarkEncFresh(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		encodeTypical(NewEnc())
+	}
+}
+
+func BenchmarkEncPooled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := GetEnc()
+		encodeTypical(e)
+		e.Free()
+	}
+}

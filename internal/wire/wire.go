@@ -114,6 +114,8 @@ func (o Op) String() string {
 		return "DeleteBlocks"
 	case OpPing:
 		return "Ping"
+	case OpBatch:
+		return "Batch"
 	}
 	return fmt.Sprintf("op(0x%04x)", uint16(o))
 }
