@@ -15,13 +15,19 @@
 //
 // Every role accepts -metrics-addr to expose an admin HTTP endpoint with
 // Prometheus-text /metrics (per-op request counts and latency histograms,
-// KV engine activity), /debug/vars, and /debug/pprof, and -slow to log any
-// request slower than the given threshold with its trace id.
+// KV engine activity), /debug/vars, /debug/pprof, /debug/traces (span-level
+// trace trees, see internal/trace) and /debug/hot (top-K hot metadata keys),
+// and -slow to log any request slower than the given threshold with its
+// trace id. Span retention is off by default; enable it with
+// -trace-sample (keep probability, 1 = every trace) and size the span ring
+// with -trace-buf. Slow or failed requests are always retained once
+// sampling is on.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -37,6 +43,7 @@ import (
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
 	"locofs/internal/telemetry"
+	"locofs/internal/trace"
 )
 
 func main() {
@@ -51,6 +58,8 @@ func main() {
 	cmds := flag.String("cmd", "", "semicolon-separated commands (client role)")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	slow := flag.Duration("slow", 0, "log requests slower than this threshold with their trace id (0 = disabled)")
+	traceSample := flag.Float64("trace-sample", 0, "probability a trace's spans are retained for /debug/traces (0 = tracing off, 1 = all)")
+	traceBuf := flag.Int("trace-buf", trace.DefaultBufSpans, "span ring capacity when tracing is on")
 	flag.Parse()
 
 	// With -data, metadata survives restarts: mutations are WAL-logged and
@@ -68,15 +77,22 @@ func main() {
 		return p
 	}
 
-	srv := serverFlags{metricsAddr: *metricsAddr, slow: *slow}
+	srv := serverFlags{
+		metricsAddr: *metricsAddr,
+		slow:        *slow,
+		tracer:      trace.New(trace.Config{Sample: *traceSample, BufSpans: *traceBuf}),
+	}
 	switch *role {
 	case "dms":
 		store := kv.Instrument(durable("dms", kv.NewBTreeStore()), kv.RAM)
-		srv.serve(*listen, "dms", store, dms.New(dms.Options{Store: store, CheckPermissions: true}).Attach)
+		d := dms.New(dms.Options{Store: store, CheckPermissions: true})
+		srv.hot = map[string]*trace.TopK{"dms": d.HotKeys()}
+		srv.serve(*listen, "dms", store, d.Attach)
 	case "fms":
 		name := fmt.Sprintf("fms-%d", *id)
 		store := kv.Instrument(durable(name, kv.NewHashStore()), kv.RAM)
 		f := fms.New(fms.Options{Store: store, ServerID: uint32(*id), Coupled: *coupled, CheckPermissions: true})
+		srv.hot = map[string]*trace.TopK{name: f.HotKeys()}
 		srv.serve(*listen, name, store, f.Attach)
 	case "oss":
 		store := kv.Instrument(durable("oss", kv.NewHashStore()), kv.RAM)
@@ -94,6 +110,19 @@ func main() {
 type serverFlags struct {
 	metricsAddr string
 	slow        time.Duration
+	tracer      *trace.Tracer          // nil when -trace-sample is 0
+	hot         map[string]*trace.TopK // hot-key sketches for /debug/hot
+}
+
+// adminRoutes builds the extra admin endpoints mounted next to /metrics:
+// span trees under /debug/traces and heavy-hitter keys under /debug/hot.
+// Both endpoints exist even when their feed is empty, so operators can
+// probe them to check whether tracing is enabled.
+func (sf serverFlags) adminRoutes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/debug/traces/": trace.TracesHandler(sf.tracer),
+		"/debug/hot":     trace.HotHandler(sf.hot),
+	}
 }
 
 // registerKVGauges exports the store's live KV engine counters on reg as
@@ -126,9 +155,12 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 	if sf.slow > 0 {
 		rs.SetSlowThreshold(sf.slow)
 	}
+	if sf.tracer != nil {
+		rs.SetTracer(sf.tracer, name)
+	}
 	registerKVGauges(reg, store)
 	if sf.metricsAddr != "" {
-		_, bound, err := telemetry.Serve(sf.metricsAddr, reg)
+		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(), reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locofsd: metrics:", err)
 			os.Exit(1)
@@ -153,7 +185,7 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags) {
 	}
 	reg := telemetry.NewRegistry(telemetry.L("server", "client"))
 	if sf.metricsAddr != "" {
-		_, bound, err := telemetry.Serve(sf.metricsAddr, reg)
+		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(), reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locofsd client: metrics:", err)
 			os.Exit(1)
@@ -167,6 +199,7 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags) {
 		OSSAddrs:      strings.Split(ossList, ","),
 		Metrics:       reg,
 		SlowThreshold: sf.slow,
+		Tracer:        sf.tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locofsd client:", err)

@@ -22,6 +22,7 @@ import (
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
 	"locofs/internal/telemetry"
+	"locofs/internal/trace"
 	"locofs/internal/uuid"
 	"locofs/internal/wire"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	// entries are evicted. Zero means DefaultCacheEntries, negative means
 	// unbounded.
 	CacheEntries int
+	// Tracer receives client-side spans: a root span per logical operation,
+	// a child span per RPC (annotated with the server address and retries),
+	// and a child span per fan-out branch. Nil disables client tracing; a
+	// tracer shared with in-process servers yields complete trees.
+	Tracer *trace.Tracer
 }
 
 // Client is one LocoLib instance. It is safe for concurrent use.
@@ -92,8 +98,50 @@ type Client struct {
 	parSavedNS atomic.Int64
 
 	telem     *clientTelem
-	traceBase uint64        // client id in the top 16 bits of every trace
-	traceCtr  atomic.Uint64 // per-operation sequence in the low 48 bits
+	tracer    *trace.Tracer   // nil when tracing is disabled
+	label     telemetry.Label // gauge identity, unregistered by Close
+	traceBase uint64          // client id in the top 16 bits of every trace
+	traceCtr  atomic.Uint64   // per-operation sequence in the low 48 bits
+}
+
+// opCtx carries one logical file-system operation's identity through the
+// client: the trace ID stamped on every RPC the operation issues, and the
+// client-side root span (nil when tracing is disabled or sampled out —
+// every use is nil-safe, so the disabled path stays allocation-free).
+type opCtx struct {
+	tid uint64
+	sp  *trace.Span
+}
+
+// startOp mints the opCtx for one logical operation, opening its client
+// root span when tracing is enabled.
+func (c *Client) startOp(name string) opCtx {
+	oc := opCtx{tid: c.newTrace()}
+	oc.sp = c.tracer.StartSpan(oc.tid, 0, name, "client")
+	return oc
+}
+
+// finish closes the operation's (or branch's) span, recording err as the
+// span status.
+func (oc opCtx) finish(err error) {
+	if oc.sp == nil {
+		return
+	}
+	if err != nil {
+		oc.sp.SetStatus(wire.StatusOf(err).String())
+	}
+	oc.sp.Finish()
+}
+
+// branch derives the opCtx for fan-out branch i: same trace, with a child
+// span named label when the parent operation carries one.
+func (oc opCtx) branch(label string, i int) opCtx {
+	boc := opCtx{tid: oc.tid}
+	if oc.sp != nil {
+		boc.sp = oc.sp.StartChild(label)
+		boc.sp.SetSub(i)
+	}
+	return boc
 }
 
 // nextClientID distinguishes trace IDs of clients within one process.
@@ -128,6 +176,7 @@ func Dial(cfg Config) (*Client, error) {
 		serialFanOut: cfg.SerialFanOut,
 		disableBatch: cfg.DisableBatchRPC,
 		telem:        &clientTelem{reg: reg, slow: cfg.SlowThreshold},
+		tracer:       cfg.Tracer,
 		traceBase:    (nextClientID.Add(1) & 0xffff) << 48,
 	}
 	dial := func(addr string) (*endpoint, error) {
@@ -168,27 +217,31 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	// The client label keeps several clients sharing one registry (a
 	// benchmark fleet) from clobbering each other's gauges.
-	label := telemetry.L("client", fmt.Sprintf("%d", c.traceBase>>48))
+	c.label = telemetry.L("client", fmt.Sprintf("%d", c.traceBase>>48))
 	reg.GaugeFunc(MetricInflight, func() float64 {
 		return float64(c.telem.inflight.Load())
-	}, label)
+	}, c.label)
 	if c.cache != nil {
 		reg.GaugeFunc(MetricDirCacheSize, func() float64 {
 			return float64(c.cache.size())
-		}, label)
+		}, c.label)
 	}
 	return c, nil
 }
 
-// Close tears down every connection, in parallel across servers.
+// Close tears down every connection, in parallel across servers, and
+// unregisters the client's gauges so shared registries don't accumulate
+// dead per-client series.
 func (c *Client) Close() error {
+	c.telem.reg.Unregister(MetricInflight, c.label)
+	c.telem.reg.Unregister(MetricDirCacheSize, c.label)
 	eps := make([]*endpoint, 0, 1+len(c.fms)+len(c.oss))
 	if c.dms != nil {
 		eps = append(eps, c.dms)
 	}
 	eps = append(eps, c.fms...)
 	eps = append(eps, c.oss...)
-	c.fanOut(len(eps), func(i int) (time.Duration, error) {
+	c.fanOut(opCtx{}, "close", len(eps), func(_ opCtx, i int) (time.Duration, error) {
 		eps[i].Close()
 		return 0, nil
 	})
@@ -247,16 +300,23 @@ func (c *Client) ossFor(u uuid.UUID, blk uint64) *endpoint {
 
 // resolveDir returns the d-inode of a cleaned directory path, from cache if
 // possible, otherwise via one DMS lookup (which returns the whole ancestor
-// chain; every link is cached). tid is the logical operation's trace ID.
-func (c *Client) resolveDir(cleaned string, tid uint64) (layout.DirInode, error) {
+// chain; every link is cached). oc is the logical operation's context; its
+// span is annotated with the cache outcome.
+func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 	if c.cache != nil {
 		if ino, ok := c.cache.get(cleaned); ok {
+			if oc.sp != nil {
+				oc.sp.Annotate("cache=hit " + cleaned)
+			}
 			return ino, nil
+		}
+		if oc.sp != nil {
+			oc.sp.Annotate("cache=miss " + cleaned)
 		}
 	}
 	enc := wire.GetEnc()
 	body := enc.Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(tid, wire.OpLookupDir, body)
+	st, resp, err := c.dms.CallT(oc, wire.OpLookupDir, body)
 	enc.Free()
 	if err != nil {
 		return nil, err
@@ -293,7 +353,7 @@ func (c *Client) cacheLookupChain(cleaned string, resp []byte) (layout.DirInode,
 }
 
 // splitPath cleans path and resolves its parent directory.
-func (c *Client) splitPath(path string, tid uint64) (parent layout.DirInode, cleaned, name string, err error) {
+func (c *Client) splitPath(path string, oc opCtx) (parent layout.DirInode, cleaned, name string, err error) {
 	cleaned, err = fspath.Clean(path)
 	if err != nil {
 		return nil, "", "", wire.StatusInval.Err()
@@ -302,7 +362,7 @@ func (c *Client) splitPath(path string, tid uint64) (parent layout.DirInode, cle
 	if name == "" {
 		return nil, "", "", wire.StatusInval.Err()
 	}
-	parent, err = c.resolveDir(dir, tid)
+	parent, err = c.resolveDir(dir, oc)
 	return parent, cleaned, name, err
 }
 
@@ -320,13 +380,15 @@ type Attr struct {
 }
 
 // Mkdir creates a directory.
-func (c *Client) Mkdir(path string, mode uint32) error {
+func (c *Client) Mkdir(path string, mode uint32) (err error) {
+	oc := c.startOp("Mkdir")
+	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.CallT(c.newTrace(), wire.OpMkdir, body)
+	st, _, err := c.dms.CallT(oc, wire.OpMkdir, body)
 	if err != nil {
 		return err
 	}
@@ -336,13 +398,14 @@ func (c *Client) Mkdir(path string, mode uint32) error {
 // Rmdir removes an empty directory. LocoFS cannot know from the DMS alone
 // whether any FMS still holds files of the directory, so the client probes
 // every FMS first — the fan-out the paper charges rmdir with (§4.2.1).
-func (c *Client) Rmdir(path string) error {
+func (c *Client) Rmdir(path string) (err error) {
+	oc := c.startOp("Rmdir")
+	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return wire.StatusInval.Err()
 	}
-	tid := c.newTrace()
-	ino, err := c.resolveDir(cleaned, tid)
+	ino, err := c.resolveDir(cleaned, oc)
 	if err != nil {
 		return err
 	}
@@ -350,8 +413,8 @@ func (c *Client) Rmdir(path string) error {
 	// cancels the branches not yet started, so a busy directory answers at
 	// the speed of its first refusal rather than a full serial sweep.
 	probe := wire.NewEnc().UUID(ino.UUID()).Bytes()
-	err = c.fanOut(len(c.fms), func(i int) (time.Duration, error) {
-		st, resp, virt, err := c.fms[i].CallV(tid, wire.OpDirHasFiles, probe)
+	err = c.fanOut(oc, "probe", len(c.fms), func(boc opCtx, i int) (time.Duration, error) {
+		st, resp, virt, err := c.fms[i].CallV(boc, wire.OpDirHasFiles, probe)
 		if err != nil {
 			return virt, err
 		}
@@ -367,7 +430,7 @@ func (c *Client) Rmdir(path string) error {
 		return err
 	}
 	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.CallT(tid, wire.OpRmdir, body)
+	st, _, err := c.dms.CallT(oc, wire.OpRmdir, body)
 	if err != nil {
 		return err
 	}
@@ -419,20 +482,26 @@ func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remai
 // lookup in one wire.OpBatch message — the two DMS round trips a cold
 // readdir used to open with collapse into one. seeded reports whether
 // first/more/remaining carry a prefetched page.
-func (c *Client) resolveForReaddir(cleaned string, tid uint64) (ino layout.DirInode, first []DirEntry, more bool, remaining int, seeded bool, err error) {
+func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInode, first []DirEntry, more bool, remaining int, seeded bool, err error) {
 	if c.cache != nil {
 		if cached, ok := c.cache.get(cleaned); ok {
+			if oc.sp != nil {
+				oc.sp.Annotate("cache=hit " + cleaned)
+			}
 			return cached, nil, false, 0, false, nil
+		}
+		if oc.sp != nil {
+			oc.sp.Annotate("cache=miss " + cleaned)
 		}
 	}
 	if c.disableBatch {
-		ino, err = c.resolveDir(cleaned, tid)
+		ino, err = c.resolveDir(cleaned, oc)
 		return ino, nil, false, 0, false, err
 	}
 	lookup := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
 	page := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
 		Str("").U32(ReaddirPageSize).U32(0).Bytes()
-	resps, _, err := c.dms.CallBatch(tid, []wire.SubReq{
+	resps, _, err := c.dms.CallBatch(oc, []wire.SubReq{
 		{Op: wire.OpLookupDir, Body: lookup},
 		{Op: wire.OpReaddirSubdirs, Body: page},
 	})
@@ -459,13 +528,14 @@ func (c *Client) resolveForReaddir(cleaned string, tid uint64) (ino layout.DirIn
 // name-sorted. The DMS and all FMSes are paged in parallel (one fan-out
 // branch per server), and each server's follow-up pages are prefetched in
 // batched round trips (see readPages).
-func (c *Client) Readdir(path string) ([]DirEntry, error) {
+func (c *Client) Readdir(path string) (out []DirEntry, err error) {
+	oc := c.startOp("Readdir")
+	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
-	tid := c.newTrace()
-	ino, firstSubs, firstMore, firstRemaining, seeded, err := c.resolveForReaddir(cleaned, tid)
+	ino, firstSubs, firstMore, firstRemaining, seeded, err := c.resolveForReaddir(cleaned, oc)
 	if err != nil {
 		return nil, err
 	}
@@ -480,18 +550,18 @@ func (c *Client) Readdir(path string) ([]DirEntry, error) {
 	// Branch 0 pages the DMS subdirectory listing (continuing from the
 	// seeded first page, if any); branches 1..n page one FMS each.
 	parts := make([][]DirEntry, 1+len(c.fms))
-	err = c.fanOut(len(parts), func(i int) (time.Duration, error) {
+	err = c.fanOut(oc, "page", len(parts), func(boc opCtx, i int) (time.Duration, error) {
 		var ents []DirEntry
 		var virt time.Duration
 		var err error
 		if i == 0 {
 			if seeded {
-				ents, virt, err = c.readMorePages(c.dms, tid, wire.OpReaddirSubdirs, subBody, true, firstSubs, firstMore, firstRemaining)
+				ents, virt, err = c.readMorePages(c.dms, boc, wire.OpReaddirSubdirs, subBody, true, firstSubs, firstMore, firstRemaining)
 			} else {
-				ents, virt, err = c.readPages(c.dms, tid, wire.OpReaddirSubdirs, subBody, true)
+				ents, virt, err = c.readPages(c.dms, boc, wire.OpReaddirSubdirs, subBody, true)
 			}
 		} else {
-			ents, virt, err = c.readPages(c.fms[i-1], tid, wire.OpReaddirFiles, fileBody, false)
+			ents, virt, err = c.readPages(c.fms[i-1], boc, wire.OpReaddirFiles, fileBody, false)
 		}
 		parts[i] = ents
 		return virt, err
@@ -499,7 +569,6 @@ func (c *Client) Readdir(path string) ([]DirEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []DirEntry
 	for _, p := range parts {
 		out = append(out, p...)
 	}
@@ -508,12 +577,14 @@ func (c *Client) Readdir(path string) ([]DirEntry, error) {
 }
 
 // StatDir stats a directory (one DMS round trip, or zero on a cache hit).
-func (c *Client) StatDir(path string) (*Attr, error) {
+func (c *Client) StatDir(path string) (a *Attr, err error) {
+	oc := c.startOp("StatDir")
+	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
-	ino, err := c.resolveDir(cleaned, c.newTrace())
+	ino, err := c.resolveDir(cleaned, oc)
 	if err != nil {
 		return nil, err
 	}
@@ -528,16 +599,17 @@ func (c *Client) StatDir(path string) (*Attr, error) {
 
 // Create makes an empty file (the mdtest "touch"): resolve the parent
 // directory (cached: zero trips) and issue one FMS create.
-func (c *Client) Create(path string, mode uint32) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Create(path string, mode uint32) (err error) {
+	oc := c.startOp("Create")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	enc := wire.GetEnc()
 	body := enc.UUID(parent.UUID()).Str(name).
 		U32(mode).U32(c.uid).U32(c.gid).Bool(false).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpCreateFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpCreateFile, body)
 	enc.Free()
 	if err != nil {
 		return err
@@ -546,23 +618,24 @@ func (c *Client) Create(path string, mode uint32) error {
 }
 
 // StatFile stats a file: one round trip to its FMS.
-func (c *Client) StatFile(path string) (*Attr, error) {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) StatFile(path string) (a *Attr, err error) {
+	oc := c.startOp("StatFile")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return nil, err
 	}
-	m, err := c.statOn(parent.UUID(), name, tid)
+	m, err := c.statOn(parent.UUID(), name, oc)
 	if err != nil {
 		return nil, err
 	}
 	return metaToAttr(m), nil
 }
 
-func (c *Client) statOn(dir uuid.UUID, name string, tid uint64) (*fms.FileMeta, error) {
+func (c *Client) statOn(dir uuid.UUID, name string, oc opCtx) (*fms.FileMeta, error) {
 	enc := wire.GetEnc()
 	body := enc.UUID(dir).Str(name).Bytes()
-	st, resp, err := c.fmsFor(dir, name).CallT(tid, wire.OpStatFile, body)
+	st, resp, err := c.fmsFor(dir, name).CallT(oc, wire.OpStatFile, body)
 	enc.Free()
 	if err != nil {
 		return nil, err
@@ -612,14 +685,15 @@ func (c *Client) Stat(path string) (*Attr, error) {
 }
 
 // Remove deletes a file and its data blocks.
-func (c *Client) Remove(path string) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Remove(path string) (err error) {
+	oc := c.startOp("Remove")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpRemoveFile, body)
+	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpRemoveFile, body)
 	if err != nil {
 		return err
 	}
@@ -627,7 +701,7 @@ func (c *Client) Remove(path string) error {
 		return st.Err()
 	}
 	u := wire.NewDec(resp).UUID()
-	c.deleteBlocks(tid, blockDel{u: u})
+	c.deleteBlocks(oc, blockDel{u: u})
 	return nil
 }
 
@@ -643,7 +717,7 @@ type blockDel struct {
 // wire.OpBatch message. Reclaim is best-effort: per-call failures are
 // ignored (the blocks leak until the UUID is reused — never, so this
 // matches the previous fire-and-forget behavior).
-func (c *Client) deleteBlocks(tid uint64, dels ...blockDel) {
+func (c *Client) deleteBlocks(oc opCtx, dels ...blockDel) {
 	if len(dels) == 0 {
 		return
 	}
@@ -651,12 +725,12 @@ func (c *Client) deleteBlocks(tid uint64, dels ...blockDel) {
 	for i, del := range dels {
 		bodies[i] = wire.NewEnc().UUID(del.u).U64(del.from).Bytes()
 	}
-	c.fanOut(len(c.oss), func(i int) (time.Duration, error) {
+	c.fanOut(oc, "reclaim", len(c.oss), func(boc opCtx, i int) (time.Duration, error) {
 		o := c.oss[i]
 		if len(bodies) == 1 || c.disableBatch {
 			var vtotal time.Duration
 			for _, b := range bodies {
-				_, _, virt, _ := o.CallV(tid, wire.OpDeleteBlocks, b)
+				_, _, virt, _ := o.CallV(boc, wire.OpDeleteBlocks, b)
 				vtotal += virt
 			}
 			return vtotal, nil
@@ -665,20 +739,21 @@ func (c *Client) deleteBlocks(tid uint64, dels ...blockDel) {
 		for j, b := range bodies {
 			subs[j] = wire.SubReq{Op: wire.OpDeleteBlocks, Body: b}
 		}
-		_, virt, _ := o.CallBatch(tid, subs)
+		_, virt, _ := o.CallBatch(boc, subs)
 		return virt, nil
 	})
 }
 
 // Chmod changes a file's permission bits (access part only, Table 1).
-func (c *Client) Chmod(path string, mode uint32) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Chmod(path string, mode uint32) (err error) {
+	oc := c.startOp("Chmod")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(mode).U32(c.uid).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpChmodFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpChmodFile, body)
 	if err != nil {
 		return err
 	}
@@ -686,14 +761,15 @@ func (c *Client) Chmod(path string, mode uint32) error {
 }
 
 // Chown changes a file's owner (access part only).
-func (c *Client) Chown(path string, uid, gid uint32) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Chown(path string, uid, gid uint32) (err error) {
+	oc := c.startOp("Chown")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(uid).U32(gid).U32(c.uid).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpChownFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpChownFile, body)
 	if err != nil {
 		return err
 	}
@@ -701,14 +777,15 @@ func (c *Client) Chown(path string, uid, gid uint32) error {
 }
 
 // Access checks permissions on a file (reads the access part only).
-func (c *Client) Access(path string, wantWrite bool) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Access(path string, wantWrite bool) (err error) {
+	oc := c.startOp("Access")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bool(wantWrite).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpAccessFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpAccessFile, body)
 	if err != nil {
 		return err
 	}
@@ -716,14 +793,15 @@ func (c *Client) Access(path string, wantWrite bool) error {
 }
 
 // Utimens sets a file's atime/mtime (content part only).
-func (c *Client) Utimens(path string, atime, mtime int64) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Utimens(path string, atime, mtime int64) (err error) {
+	oc := c.startOp("Utimens")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).I64(atime).I64(mtime).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpUtimensFile, body)
+	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpUtimensFile, body)
 	if err != nil {
 		return err
 	}
@@ -731,14 +809,15 @@ func (c *Client) Utimens(path string, atime, mtime int64) error {
 }
 
 // Truncate sets a file's size and trims its data blocks.
-func (c *Client) Truncate(path string, size uint64) error {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Truncate(path string, size uint64) (err error) {
+	oc := c.startOp("Truncate")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U64(size).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpTruncateFile, body)
+	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpTruncateFile, body)
 	if err != nil {
 		return err
 	}
@@ -749,19 +828,21 @@ func (c *Client) Truncate(path string, size uint64) error {
 	u, oldSize, bs := d.UUID(), d.U64(), d.U32()
 	if d.Err() == nil && size < oldSize && bs > 0 {
 		from := (size + uint64(bs) - 1) / uint64(bs)
-		c.deleteBlocks(tid, blockDel{u: u, from: from})
+		c.deleteBlocks(oc, blockDel{u: u, from: from})
 	}
 	return nil
 }
 
 // ChmodDir changes a directory's permission bits on the DMS.
-func (c *Client) ChmodDir(path string, mode uint32) error {
+func (c *Client) ChmodDir(path string, mode uint32) (err error) {
+	oc := c.startOp("ChmodDir")
+	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.CallT(c.newTrace(), wire.OpChmodDir, body)
+	st, _, err := c.dms.CallT(oc, wire.OpChmodDir, body)
 	if err != nil {
 		return err
 	}
@@ -774,7 +855,9 @@ func (c *Client) ChmodDir(path string, mode uint32) error {
 // RenameDir renames a directory; the DMS relocates the subtree's d-inodes
 // (a prefix move on the tree store) while files and data stay put (§3.4.2).
 // It returns the number of relocated directory inodes.
-func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
+func (c *Client) RenameDir(oldPath, newPath string) (n int, err error) {
+	oc := c.startOp("RenameDir")
+	defer func() { oc.finish(err) }()
 	oldC, err := fspath.Clean(oldPath)
 	if err != nil {
 		return 0, wire.StatusInval.Err()
@@ -784,7 +867,7 @@ func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
 		return 0, wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(oldC).Str(newC).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(c.newTrace(), wire.OpRenameDir, body)
+	st, resp, err := c.dms.CallT(oc, wire.OpRenameDir, body)
 	if err != nil {
 		return 0, err
 	}
@@ -801,24 +884,25 @@ func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
 // RenameFile renames a file. Only the metadata object moves (its placement
 // key directory_uuid + file_name changed); data blocks are addressed by the
 // stable file UUID and never move (§3.4.2).
-func (c *Client) RenameFile(oldPath, newPath string) error {
-	tid := c.newTrace()
-	oldParent, _, oldName, err := c.splitPath(oldPath, tid)
+func (c *Client) RenameFile(oldPath, newPath string) (err error) {
+	oc := c.startOp("RenameFile")
+	defer func() { oc.finish(err) }()
+	oldParent, _, oldName, err := c.splitPath(oldPath, oc)
 	if err != nil {
 		return err
 	}
-	newParent, _, newName, err := c.splitPath(newPath, tid)
+	newParent, _, newName, err := c.splitPath(newPath, oc)
 	if err != nil {
 		return err
 	}
-	m, err := c.statOn(oldParent.UUID(), oldName, tid)
+	m, err := c.statOn(oldParent.UUID(), oldName, oc)
 	if err != nil {
 		return err
 	}
 	body := wire.NewEnc().UUID(newParent.UUID()).Str(newName).
 		U32(0).U32(0).U32(0).Bool(true).
 		Blob(m.Access).Blob(m.Content).Bytes()
-	st, _, err := c.fmsFor(newParent.UUID(), newName).CallT(tid, wire.OpCreateFile, body)
+	st, _, err := c.fmsFor(newParent.UUID(), newName).CallT(oc, wire.OpCreateFile, body)
 	if err != nil {
 		return err
 	}
@@ -826,7 +910,7 @@ func (c *Client) RenameFile(oldPath, newPath string) error {
 		return st.Err()
 	}
 	rm := wire.NewEnc().UUID(oldParent.UUID()).Str(oldName).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err = c.fmsFor(oldParent.UUID(), oldName).CallT(tid, wire.OpRemoveFile, rm)
+	st, _, err = c.fmsFor(oldParent.UUID(), oldName).CallT(oc, wire.OpRemoveFile, rm)
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"locofs/internal/netsim"
 	"locofs/internal/rpc"
 	"locofs/internal/telemetry"
+	"locofs/internal/trace"
 	"locofs/internal/wire"
 )
 
@@ -115,26 +116,33 @@ func (e *endpoint) retire(cl *rpc.Client) {
 
 // Call issues one untraced request; see CallT.
 func (e *endpoint) Call(op wire.Op, body []byte) (wire.Status, []byte, error) {
-	return e.CallT(0, op, body)
+	return e.CallT(opCtx{}, op, body)
 }
 
-// CallT issues one request stamped with trace; see CallV.
-func (e *endpoint) CallT(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, error) {
-	st, resp, _, err := e.CallV(trace, op, body)
+// CallT issues one request in the context of operation oc; see CallV.
+func (e *endpoint) CallT(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte, error) {
+	st, resp, _, err := e.CallV(oc, op, body)
 	return st, resp, err
 }
 
-// CallV issues one request stamped with trace, retrying exactly once
-// through a fresh connection on transport failure, and returns the call's
-// modeled (virtual) time alongside the response. The wall-clock round trip
-// is recorded in the client's per-op telemetry, the in-flight gauge covers
-// the call while it is on the wire, and calls slower than the configured
-// threshold are logged with the trace ID and server address so they can be
-// matched against server-side slow-request logs.
-func (e *endpoint) CallV(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
+// CallV issues one request stamped with oc's trace ID, retrying exactly
+// once through a fresh connection on transport failure, and returns the
+// call's modeled (virtual) time alongside the response. The wall-clock
+// round trip is recorded in the client's per-op telemetry, the in-flight
+// gauge covers the call while it is on the wire, and calls slower than the
+// configured threshold are logged with the trace ID and server address so
+// they can be matched against server-side slow-request logs. When the
+// operation carries a span, the RPC gets its own child span (annotated with
+// the server address and any retry) whose ID rides the wire header as the
+// parent of the server-side span.
+func (e *endpoint) CallV(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
+	sp := oc.sp.StartChild("rpc:" + op.String())
+	if sp != nil {
+		sp.Annotate("addr=" + e.addr)
+	}
 	t0 := time.Now()
 	e.telem.inflight.Add(1)
-	st, resp, virt, err := e.callOnce(trace, op, body)
+	st, resp, virt, err := e.callOnce(oc.tid, sp, op, body)
 	e.telem.inflight.Add(-1)
 	rtt := time.Since(t0)
 	m := e.telem.forOp(op)
@@ -142,7 +150,15 @@ func (e *endpoint) CallV(trace uint64, op wire.Op, body []byte) (wire.Status, []
 	m.rtt.Record(rtt)
 	if e.telem.slow > 0 && rtt >= e.telem.slow {
 		log.Printf("client: slow call trace=%#x op=%s addr=%s rtt=%v status=%s err=%v",
-			trace, op, e.addr, rtt, st, err)
+			oc.tid, op, e.addr, rtt, st, err)
+	}
+	if sp != nil {
+		if err != nil {
+			sp.SetStatus(wire.StatusOf(err).String())
+		} else if st != wire.StatusOK {
+			sp.SetStatus(st.String())
+		}
+		sp.Finish()
 	}
 	return st, resp, virt, err
 }
@@ -168,11 +184,11 @@ func (p *pendingCall) Wait() (wire.Status, []byte, time.Duration, error) {
 // connection, matching responses by request id, so many CallAsync calls on
 // one endpoint overlap on the wire; each is covered by the client's
 // in-flight gauge and per-op telemetry exactly like CallV.
-func (e *endpoint) CallAsync(trace uint64, op wire.Op, body []byte) *pendingCall {
+func (e *endpoint) CallAsync(oc opCtx, op wire.Op, body []byte) *pendingCall {
 	p := &pendingCall{done: make(chan struct{})}
 	go func() {
 		defer close(p.done)
-		p.st, p.resp, p.virt, p.err = e.CallV(trace, op, body)
+		p.st, p.resp, p.virt, p.err = e.CallV(oc, op, body)
 	}()
 	return p
 }
@@ -180,13 +196,15 @@ func (e *endpoint) CallAsync(trace uint64, op wire.Op, body []byte) *pendingCall
 // CallBatch packs subs into one wire.OpBatch message, sends it as a single
 // framed request, and unpacks the per-sub-request outcomes (in sub-request
 // order). The returned virtual time is the whole batch's: one round of link
-// delays plus the server's summed sub-request service time.
-func (e *endpoint) CallBatch(trace uint64, subs []wire.SubReq) ([]wire.SubResp, time.Duration, error) {
+// delays plus the server's summed sub-request service time. The batch RPC's
+// client span becomes the parent of the server-side envelope span, under
+// which the server opens one child span per sub-request.
+func (e *endpoint) CallBatch(oc opCtx, subs []wire.SubReq) ([]wire.SubResp, time.Duration, error) {
 	body, err := wire.EncodeBatch(subs)
 	if err != nil {
 		return nil, 0, err
 	}
-	st, resp, virt, err := e.CallV(trace, wire.OpBatch, body)
+	st, resp, virt, err := e.CallV(oc, wire.OpBatch, body)
 	if err != nil {
 		return nil, virt, err
 	}
@@ -205,12 +223,12 @@ func (e *endpoint) CallBatch(trace uint64, subs []wire.SubReq) ([]wire.SubResp, 
 	return resps, virt, nil
 }
 
-func (e *endpoint) callOnce(trace uint64, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
+func (e *endpoint) callOnce(tid uint64, sp *trace.Span, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
 	cl, err := e.current()
 	if err != nil {
 		return wire.StatusIO, nil, 0, err
 	}
-	st, resp, virt, callErr := cl.CallTracedV(op, body, trace)
+	st, resp, virt, callErr := cl.CallSpanV(op, body, tid, sp.ID())
 	if callErr == nil {
 		return st, resp, virt, nil
 	}
@@ -219,7 +237,10 @@ func (e *endpoint) callOnce(trace uint64, op wire.Op, body []byte) (wire.Status,
 	if err != nil {
 		return wire.StatusIO, nil, 0, callErr
 	}
-	return cl.CallTracedV(op, body, trace)
+	if sp != nil {
+		sp.Annotate("retry=1")
+	}
+	return cl.CallSpanV(op, body, tid, sp.ID())
 }
 
 // Trips returns cumulative round trips across all generations.

@@ -34,16 +34,24 @@ const batchPageDepth = 4
 // inside the endpoints sums serially, so the difference (sum - max) is
 // recorded as parallel savings and subtracted by Client.Cost.
 //
+// When oc carries a span, every branch runs under its own child span named
+// label (with the branch index as its Sub), so traces show the fan-out
+// width and per-branch timing. fn receives the branch's opCtx and must pass
+// it to the RPCs it issues.
+//
 // With Config.SerialFanOut the branches run one at a time in order,
 // stopping at the first error — the pre-parallel client, kept as the
 // benchmark baseline.
-func (c *Client) fanOut(n int, fn func(i int) (time.Duration, error)) error {
+func (c *Client) fanOut(oc opCtx, label string, n int, fn func(boc opCtx, i int) (time.Duration, error)) error {
 	if n == 0 {
 		return nil
 	}
 	if c.serialFanOut || n == 1 {
 		for i := 0; i < n; i++ {
-			if _, err := fn(i); err != nil {
+			boc := oc.branch(label, i)
+			_, err := fn(boc, i)
+			boc.finish(err)
+			if err != nil {
 				return err
 			}
 		}
@@ -72,7 +80,9 @@ func (c *Client) fanOut(n int, fn func(i int) (time.Duration, error)) error {
 				if i >= n || cancel.Load() {
 					return
 				}
-				virt, err := fn(i)
+				boc := oc.branch(label, i)
+				virt, err := fn(boc, i)
+				boc.finish(err)
 				virtMu.Lock()
 				virtSum += virt
 				if virt > virtMax {
@@ -103,8 +113,8 @@ func (c *Client) fanOut(n int, fn func(i int) (time.Duration, error)) error {
 // batchPageDepth pages instead of one per page. mkBody builds the request
 // body for a (cursor, skip) page. Returns the entries and the branch's
 // summed virtual time.
-func (c *Client) readPages(e *endpoint, tid uint64, op wire.Op, mkBody func(cursor string, skip uint32) []byte, isDir bool) ([]DirEntry, time.Duration, error) {
-	st, resp, virt, err := e.CallV(tid, op, mkBody("", 0))
+func (c *Client) readPages(e *endpoint, oc opCtx, op wire.Op, mkBody func(cursor string, skip uint32) []byte, isDir bool) ([]DirEntry, time.Duration, error) {
+	st, resp, virt, err := e.CallV(oc, op, mkBody("", 0))
 	if err != nil {
 		return nil, virt, err
 	}
@@ -115,14 +125,14 @@ func (c *Client) readPages(e *endpoint, tid uint64, op wire.Op, mkBody func(curs
 	if err != nil {
 		return nil, virt, err
 	}
-	out, vrest, err := c.readMorePages(e, tid, op, mkBody, isDir, ents, more, remaining)
+	out, vrest, err := c.readMorePages(e, oc, op, mkBody, isDir, ents, more, remaining)
 	return out, virt + vrest, err
 }
 
 // readMorePages continues a paged listing whose first page (first, more,
 // remaining) was already fetched — by readPages, or prefetched inside a
 // batched DMS lookup (see resolveForReaddir).
-func (c *Client) readMorePages(e *endpoint, tid uint64, op wire.Op, mkBody func(cursor string, skip uint32) []byte, isDir bool, first []DirEntry, more bool, remaining int) ([]DirEntry, time.Duration, error) {
+func (c *Client) readMorePages(e *endpoint, oc opCtx, op wire.Op, mkBody func(cursor string, skip uint32) []byte, isDir bool, first []DirEntry, more bool, remaining int) ([]DirEntry, time.Duration, error) {
 	out := first
 	var vtotal time.Duration
 	for more && len(out) > 0 {
@@ -139,7 +149,7 @@ func (c *Client) readMorePages(e *endpoint, tid uint64, op wire.Op, mkBody func(
 			}
 		}
 		if pages == 1 {
-			st, resp, virt, err := e.CallV(tid, op, mkBody(cursor, 0))
+			st, resp, virt, err := e.CallV(oc, op, mkBody(cursor, 0))
 			vtotal += virt
 			if err != nil {
 				return nil, vtotal, err
@@ -160,7 +170,7 @@ func (c *Client) readMorePages(e *endpoint, tid uint64, op wire.Op, mkBody func(
 		for i := range subs {
 			subs[i] = wire.SubReq{Op: op, Body: mkBody(cursor, uint32(i))}
 		}
-		resps, virt, err := e.CallBatch(tid, subs)
+		resps, virt, err := e.CallBatch(oc, subs)
 		vtotal += virt
 		if err != nil {
 			return nil, vtotal, err

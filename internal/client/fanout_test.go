@@ -19,7 +19,7 @@ func TestFanOutRunsAllBranches(t *testing.T) {
 	c := dialTest(t, cfg)
 	var mu sync.Mutex
 	ran := make(map[int]int)
-	err := c.fanOut(40, func(i int) (time.Duration, error) {
+	err := c.fanOut(opCtx{}, "test", 40, func(_ opCtx, i int) (time.Duration, error) {
 		mu.Lock()
 		ran[i]++
 		mu.Unlock()
@@ -47,7 +47,7 @@ func TestFanOutFirstErrorCancels(t *testing.T) {
 	c := dialTest(t, cfg)
 	boom := errors.New("boom")
 	var started sync.Map
-	err := c.fanOut(1000, func(i int) (time.Duration, error) {
+	err := c.fanOut(opCtx{}, "test", 1000, func(_ opCtx, i int) (time.Duration, error) {
 		started.Store(i, true)
 		if i < fanOutLimit {
 			return 0, boom
@@ -72,7 +72,7 @@ func TestFanOutSerialMode(t *testing.T) {
 	c := dialTest(t, cfg)
 	var order []int
 	boom := errors.New("boom")
-	err := c.fanOut(8, func(i int) (time.Duration, error) {
+	err := c.fanOut(opCtx{}, "test", 8, func(_ opCtx, i int) (time.Duration, error) {
 		order = append(order, i)
 		if i == 3 {
 			return time.Millisecond, boom

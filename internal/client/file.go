@@ -25,15 +25,16 @@ type File struct {
 }
 
 // Open opens a file for reading (write=false) or reading+writing.
-func (c *Client) Open(path string, write bool) (*File, error) {
-	tid := c.newTrace()
-	parent, _, name, err := c.splitPath(path, tid)
+func (c *Client) Open(path string, write bool) (f *File, err error) {
+	oc := c.startOp("Open")
+	defer func() { oc.finish(err) }()
+	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
 		return nil, err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).
 		U32(c.uid).U32(c.gid).Bool(write).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(tid, wire.OpOpenFile, body)
+	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpOpenFile, body)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +74,7 @@ func (f *File) Size() uint64 {
 
 // WriteAt writes p at byte offset off, spanning blocks as needed, then
 // pushes the new size to the FMS (a content-part patch, Table 1's "write").
-func (f *File) WriteAt(p []byte, off uint64) (int, error) {
+func (f *File) WriteAt(p []byte, off uint64) (n int, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -85,7 +86,8 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	tid := f.c.newTrace()
+	oc := f.c.startOp("WriteAt")
+	defer func() { oc.finish(err) }()
 	bs := uint64(f.blockSize)
 	written := 0
 	for written < len(p) {
@@ -99,7 +101,7 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 		enc := wire.GetEnc()
 		body := enc.UUID(f.uuid).U64(blk).U32(bo).U32(f.blockSize).
 			Blob(p[written : written+n]).Bytes()
-		st, _, err := f.c.ossFor(f.uuid, blk).CallT(tid, wire.OpPutBlock, body)
+		st, _, err := f.c.ossFor(f.uuid, blk).CallT(oc, wire.OpPutBlock, body)
 		enc.Free()
 		if err != nil {
 			return written, err
@@ -114,7 +116,7 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 		f.size = end
 	}
 	body := wire.NewEnc().UUID(f.dir).Str(f.name).U64(end).Bytes()
-	st, _, err := f.c.fmsFor(f.dir, f.name).CallT(tid, wire.OpUpdateSize, body)
+	st, _, err := f.c.fmsFor(f.dir, f.name).CallT(oc, wire.OpUpdateSize, body)
 	if err != nil {
 		return written, err
 	}
@@ -126,7 +128,7 @@ func (f *File) WriteAt(p []byte, off uint64) (int, error) {
 
 // ReadAt reads len(p) bytes at offset off, returning the count actually
 // read (short at end of file). Unwritten holes read as zeros.
-func (f *File) ReadAt(p []byte, off uint64) (int, error) {
+func (f *File) ReadAt(p []byte, off uint64) (n int, err error) {
 	f.mu.Lock()
 	size := f.size
 	closed := f.closed
@@ -141,7 +143,8 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 	if off+want > size {
 		want = size - off
 	}
-	tid := f.c.newTrace()
+	oc := f.c.startOp("ReadAt")
+	defer func() { oc.finish(err) }()
 	bs := uint64(f.blockSize)
 	read := uint64(0)
 	for read < want {
@@ -154,7 +157,7 @@ func (f *File) ReadAt(p []byte, off uint64) (int, error) {
 		}
 		enc := wire.GetEnc()
 		body := enc.UUID(f.uuid).U64(blk).U32(bo).U32(uint32(n)).Bytes()
-		st, resp, err := f.c.ossFor(f.uuid, blk).CallT(tid, wire.OpGetBlock, body)
+		st, resp, err := f.c.ossFor(f.uuid, blk).CallT(oc, wire.OpGetBlock, body)
 		enc.Free()
 		if err != nil {
 			return int(read), err

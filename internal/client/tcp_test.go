@@ -115,7 +115,7 @@ func TestFMSCrashSurfacesErrors(t *testing.T) {
 	c.Mkdir("/d", 0o755)
 
 	// Find names landing on each FMS.
-	parent, err := c.resolveDir("/d", 0)
+	parent, err := c.resolveDir("/d", opCtx{})
 	if err != nil {
 		t.Fatal(err)
 	}

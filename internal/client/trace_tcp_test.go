@@ -1,0 +1,260 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"locofs/internal/dms"
+	"locofs/internal/fms"
+	"locofs/internal/netsim"
+	"locofs/internal/objstore"
+	"locofs/internal/rpc"
+	"locofs/internal/trace"
+)
+
+// TestTracePropagationOverTCP proves span context crosses real process
+// boundaries: client and servers record into *separate* rings (as separate
+// locofsd processes would), linked only by the trace and parent-span IDs on
+// the wire. A traced Readdir over two FMS must yield one joined tree — the
+// client root, an rpc child per server call, server-side handler spans
+// parented on those rpc spans, and per-sub-op spans under the DMS OpBatch
+// envelope — retrievable as JSON from /debug/traces/<id>.
+func TestTracePropagationOverTCP(t *testing.T) {
+	srvTracer := trace.New(trace.Config{Sample: 1, Slow: -1})
+	cliTracer := trace.New(trace.Config{Sample: 1, Slow: -1})
+
+	listen := func(name string, attach func(*rpc.Server)) string {
+		l, err := netsim.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := rpc.NewServer()
+		rs.SetTracer(srvTracer, name)
+		attach(rs)
+		go rs.Serve(l)
+		t.Cleanup(rs.Shutdown)
+		return l.Addr()
+	}
+	dmsAddr := listen("dms", dms.New(dms.Options{}).Attach)
+	fms1 := listen("fms-0", fms.New(fms.Options{ServerID: 1}).Attach)
+	fms2 := listen("fms-1", fms.New(fms.Options{ServerID: 2}).Attach)
+	ossAddr := listen("oss", objstore.New(nil).Attach)
+
+	c, err := Dial(Config{
+		Dialer:   netsim.TCPDialer{},
+		DMSAddr:  dmsAddr,
+		FMSAddrs: []string{fms1, fms2},
+		OSSAddrs: []string{ossAddr},
+		Tracer:   cliTracer,
+		// No cache: the Readdir resolve must go to the DMS, as a batched
+		// LookupDir + ReaddirSubdirs — the OpBatch linkage under test.
+		DisableCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Mkdir("/traced", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Enough files that consistent hashing lands some on each FMS.
+	for i := 0; i < 24; i++ {
+		if err := c.Create(fmt.Sprintf("/traced/f%d", i), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Readdir("/traced"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client ring has the Readdir root; take the newest one.
+	var root *trace.Span
+	for _, sp := range cliTracer.Spans() {
+		if sp.Name == "Readdir" && sp.Parent == 0 {
+			root = sp
+		}
+	}
+	if root == nil {
+		t.Fatal("no client root span for Readdir")
+	}
+	tid := root.TraceID
+
+	clientSpans := cliTracer.Trace(tid)
+	serverSpans := srvTracer.Trace(tid)
+	if len(serverSpans) == 0 {
+		t.Fatal("server ring has no spans for the client's trace ID")
+	}
+	clientByID := make(map[uint64]*trace.Span)
+	for _, sp := range clientSpans {
+		clientByID[sp.SpanID] = sp
+	}
+
+	// Every server-side request span must hang off a client rpc span; both
+	// FMSes must appear, and the DMS Batch envelope must carry sub-op spans.
+	servers := map[string]bool{}
+	var batchEnvelope *trace.Span
+	for _, sp := range serverSpans {
+		servers[sp.Server] = true
+		if sp.Name == "Batch" {
+			batchEnvelope = sp
+		}
+	}
+	for _, want := range []string{"dms", "fms-0", "fms-1"} {
+		if !servers[want] {
+			t.Errorf("no server span from %s in trace (got %v)", want, servers)
+		}
+	}
+	// NB: span IDs are process-local, so a server span's Parent only means
+	// "client span" when resolved against the client ring.
+	rootLevel := 0
+	for _, sp := range serverSpans {
+		if sp.Server == "" || sp.Parent == 0 {
+			t.Errorf("server span %s@%s missing server or parent", sp.Name, sp.Server)
+		}
+		if parent, ok := clientByID[sp.Parent]; ok {
+			rootLevel++
+			if !strings.HasPrefix(parent.Name, "rpc:") {
+				t.Errorf("server span %s@%s parented on client span %q, want rpc:*",
+					sp.Name, sp.Server, parent.Name)
+			}
+		}
+	}
+	if rootLevel == 0 {
+		t.Error("no server span is parented on a client rpc span")
+	}
+	if batchEnvelope == nil {
+		t.Fatal("no DMS Batch envelope span (uncached Readdir resolve should batch)")
+	}
+	subOps := 0
+	for _, sp := range serverSpans {
+		if sp.Parent == batchEnvelope.SpanID {
+			subOps++
+			if sp.Sub < 0 {
+				t.Errorf("batch sub-op span %s has no sub index", sp.Name)
+			}
+		}
+	}
+	if subOps < 2 {
+		t.Errorf("Batch envelope has %d sub-op spans, want >= 2 (LookupDir + ReaddirSubdirs)", subOps)
+	}
+
+	// The merged admin endpoint returns the joined tree as JSON.
+	h := trace.TracesHandler(cliTracer, srvTracer)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/debug/traces/%#x", tid), nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%#x = %d: %s", tid, rec.Code, rec.Body)
+	}
+	var out struct {
+		Trace string `json:"trace"`
+		Spans int    `json:"spans"`
+		Tree  []struct {
+			Name     string          `json:"name"`
+			Server   string          `json:"server"`
+			Children json.RawMessage `json:"children"`
+		} `json:"tree"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON from /debug/traces: %v", err)
+	}
+	if out.Spans != len(clientSpans)+len(serverSpans) {
+		t.Errorf("JSON reports %d spans, rings hold %d", out.Spans, len(clientSpans)+len(serverSpans))
+	}
+	if len(out.Tree) != 1 || out.Tree[0].Name != "Readdir" || out.Tree[0].Server != "client" {
+		t.Fatalf("joined tree root = %+v, want single Readdir@client root", out.Tree)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"fms-0"`, `"fms-1"`, `"dms"`, "ReaddirFiles"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/traces JSON missing %s", want)
+		}
+	}
+}
+
+// TestHotKeysRankSkewedWorkload: after a skewed workload the DMS hot-key
+// sketch — and the /debug/hot endpoint reading it — rank the hot directory
+// first.
+func TestHotKeysRankSkewedWorkload(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	t.Cleanup(func() { n.Close() })
+	serve := func(addr string, attach func(*rpc.Server)) {
+		rs := rpc.NewServer()
+		attach(rs)
+		l, err := n.Listen(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rs.Serve(l)
+		t.Cleanup(rs.Shutdown)
+	}
+	d := dms.New(dms.Options{})
+	f := fms.New(fms.Options{ServerID: 1})
+	serve("dms", d.Attach)
+	serve("fms-0", f.Attach)
+	serve("oss", objstore.New(nil).Attach)
+
+	c, err := Dial(Config{
+		Dialer:       n,
+		DMSAddr:      "dms",
+		FMSAddrs:     []string{"fms-0"},
+		OSSAddrs:     []string{"oss"},
+		DisableCache: true, // every lookup must reach the DMS sketch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, dir := range []string{"/hot", "/cold1", "/cold2", "/cold3"} {
+		if err := c.Mkdir(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := c.StatDir("/hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dir := range []string{"/cold1", "/cold2", "/cold3"} {
+		if _, err := c.StatDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	top := d.HotKeys().Top(1)
+	if len(top) == 0 || top[0].Key != "/hot" {
+		t.Fatalf("DMS top key = %+v, want /hot first", top)
+	}
+	if top[0].Count < 50 {
+		t.Errorf("hot key count = %d, want >= 50", top[0].Count)
+	}
+
+	rec := httptest.NewRecorder()
+	trace.HotHandler(map[string]*trace.TopK{"dms": d.HotKeys(), "fms-0": f.HotKeys()}).
+		ServeHTTP(rec, httptest.NewRequest("GET", "/debug/hot?n=3", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/hot = %d", rec.Code)
+	}
+	var sources []struct {
+		Source string `json:"source"`
+		Total  uint64 `json:"total"`
+		Top    []struct {
+			Key   string `json:"key"`
+			Count uint64 `json:"count"`
+		} `json:"top"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &sources); err != nil {
+		t.Fatalf("bad JSON from /debug/hot: %v", err)
+	}
+	if len(sources) != 2 || sources[0].Source != "dms" {
+		t.Fatalf("/debug/hot sources = %+v, want dms first", sources)
+	}
+	if len(sources[0].Top) == 0 || sources[0].Top[0].Key != "/hot" {
+		t.Errorf("/debug/hot dms ranking = %+v, want /hot first", sources[0].Top)
+	}
+}

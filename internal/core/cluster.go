@@ -18,6 +18,7 @@ import (
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
 	"locofs/internal/telemetry"
+	"locofs/internal/trace"
 	"locofs/internal/wire"
 )
 
@@ -59,6 +60,11 @@ type Options struct {
 	// metadata nodes; when nil (tests), service time is wall-clock
 	// measured and unused.
 	CostModel *KVCost
+	// Tracer receives every server's request spans. Because the cluster is
+	// in-process, sharing the same tracer with clients (ClientConfig.Tracer)
+	// yields complete client+server span trees in one ring. Nil disables
+	// server-side tracing.
+	Tracer *trace.Tracer
 }
 
 // KVCost prices Kyoto-Cabinet-style storage work on the paper's metadata
@@ -221,6 +227,9 @@ func (c *Cluster) serve(addr string, store *kv.Instrumented, attach func(*rpc.Se
 	if c.opts.CostModel != nil {
 		rs.SetServiceFunc(c.opts.CostModel.serviceFunc(store.Counters()))
 	}
+	if c.opts.Tracer != nil {
+		rs.SetTracer(c.opts.Tracer, addr)
+	}
 	reg := telemetry.NewRegistry(telemetry.L("server", addr))
 	rs.SetTelemetry(reg)
 	c.Metrics[addr] = reg
@@ -254,6 +263,9 @@ type ClientConfig struct {
 	// CacheEntries bounds the client directory cache (0 = default cap,
 	// negative = unbounded; see client.Config.CacheEntries).
 	CacheEntries int
+	// Tracer receives the client's spans (see client.Config.Tracer). Pass
+	// the cluster's tracer to get joined client+server trees.
+	Tracer *trace.Tracer
 }
 
 // NewClient connects a LocoLib client to the cluster.
@@ -278,6 +290,7 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		SerialFanOut:    cfg.SerialFanOut,
 		DisableBatchRPC: cfg.DisableBatchRPC,
 		CacheEntries:    cfg.CacheEntries,
+		Tracer:          cfg.Tracer,
 	})
 }
 

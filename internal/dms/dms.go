@@ -22,6 +22,7 @@ import (
 	"locofs/internal/kv"
 	"locofs/internal/layout"
 	"locofs/internal/rpc"
+	"locofs/internal/trace"
 	"locofs/internal/uuid"
 	"locofs/internal/wire"
 )
@@ -65,6 +66,11 @@ type Server struct {
 	checkPerm bool
 	now       func() int64
 	tombs     uint64 // dirent tombstones logged, for amortized compaction
+
+	// hot ranks the directories the RPC handlers touch most (space-saving
+	// top-K; always on — a Touch is a few atomic-free map operations under
+	// the sketch's own lock). Served by the admin plane's /debug/hot.
+	hot *trace.TopK
 }
 
 // New returns a DMS with the root directory ("/") created.
@@ -78,6 +84,7 @@ func New(opts Options) *Server {
 		gen:       uuid.NewGenerator(opts.ServerID),
 		checkPerm: opts.CheckPermissions,
 		now:       opts.Now,
+		hot:       trace.NewTopK(trace.DefaultTopKCapacity),
 	}
 	if o, ok := st.(kv.Ordered); ok {
 		s.ordered = o
@@ -477,7 +484,12 @@ func (s *Server) DirCount() int {
 	return n
 }
 
-// Attach registers the DMS request handlers on an rpc.Server.
+// HotKeys returns the server's hot-directory sketch: the top-K paths its
+// RPC handlers touch, ranked by touch count (see /debug/hot).
+func (s *Server) HotKeys() *trace.TopK { return s.hot }
+
+// Attach registers the DMS request handlers on an rpc.Server. Every handler
+// feeds the path it operates on into the hot-directory sketch.
 func (s *Server) Attach(rs *rpc.Server) {
 	rs.Handle(wire.OpMkdir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
@@ -485,6 +497,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		u, st := s.Mkdir(path, mode, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil
@@ -497,6 +510,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		chain, st := s.Lookup(path, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil
@@ -513,6 +527,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		ino, st := s.Stat(path, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil
@@ -531,6 +546,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		ents, remaining, st := s.ReaddirSubdirsAt(path, uid, gid, cursor, int(skip), int(limit))
 		if st != wire.StatusOK {
 			return st, nil
@@ -550,6 +566,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		return s.Rmdir(path, uid, gid), nil
 	})
 	rs.Handle(wire.OpChmodDir, func(body []byte) (wire.Status, []byte) {
@@ -558,6 +575,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		return s.Chmod(path, mode, uid, gid), nil
 	})
 	rs.Handle(wire.OpChownDir, func(body []byte) (wire.Status, []byte) {
@@ -566,6 +584,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(path)
 		return s.Chown(path, newUID, newGID, uid, gid), nil
 	})
 	rs.Handle(wire.OpRenameDir, func(body []byte) (wire.Status, []byte) {
@@ -574,6 +593,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(oldPath)
 		moved, st := s.Rename(oldPath, newPath, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil

@@ -23,6 +23,7 @@ import (
 	"locofs/internal/kv"
 	"locofs/internal/layout"
 	"locofs/internal/rpc"
+	"locofs/internal/trace"
 	"locofs/internal/uuid"
 	"locofs/internal/wire"
 )
@@ -73,6 +74,11 @@ type Server struct {
 	blockSize uint32
 	now       func() int64
 	tombs     atomic.Uint64 // dirent tombstones since start, for compaction
+
+	// hot ranks this server's most-touched file keys (dir-uuid/name for
+	// per-file ops, bare dir-uuid for directory-wide ops). Always on;
+	// served by the admin plane's /debug/hot.
+	hot *trace.TopK
 }
 
 // New returns an FMS.
@@ -88,6 +94,7 @@ func New(opts Options) *Server {
 		checkPerm: opts.CheckPermissions,
 		blockSize: opts.BlockSize,
 		now:       opts.Now,
+		hot:       trace.NewTopK(trace.DefaultTopKCapacity),
 	}
 	if s.blockSize == 0 {
 		s.blockSize = DefaultBlockSize
@@ -630,13 +637,27 @@ func (s *Server) FileCount() int {
 	return n
 }
 
-// Attach registers the FMS request handlers on an rpc.Server.
+// HotKeys returns the server's hot-key sketch: the top-K dir-uuid/name (or
+// bare dir-uuid) keys its RPC handlers touch, ranked by touch count.
+func (s *Server) HotKeys() *trace.TopK { return s.hot }
+
+// touchFile feeds one per-file operation's placement key into the sketch.
+func (s *Server) touchFile(dir uuid.UUID, name string) {
+	s.hot.Touch(dir.String() + "/" + name)
+}
+
+// Attach registers the FMS request handlers on an rpc.Server. Per-file
+// handlers feed the file's placement key (dir-uuid/name) into the hot-key
+// sketch; directory-wide handlers feed the bare dir-uuid.
 func (s *Server) Attach(rs *rpc.Server) {
 	rs.Handle(wire.OpCreateFile, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
 		dir, name := d.UUID(), d.Str()
 		mode, uid, gid := d.U32(), d.U32(), d.U32()
 		withMeta := d.Bool()
+		if d.Err() == nil {
+			s.touchFile(dir, name)
+		}
 		if withMeta {
 			access, content := d.Blob(), d.Blob()
 			if d.Err() != nil {
@@ -660,6 +681,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		m, st := s.Getattr(dir, name)
 		if st != wire.StatusOK {
 			return st, nil
@@ -673,6 +695,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		m, st := s.Open(dir, name, uid, gid, write)
 		if st != wire.StatusOK {
 			return st, nil
@@ -686,6 +709,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		return s.Access(dir, name, uid, gid, write), nil
 	})
 	rs.Handle(wire.OpRemoveFile, func(body []byte) (wire.Status, []byte) {
@@ -695,6 +719,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		u, st := s.Remove(dir, name, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil
@@ -708,6 +733,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		return s.Chmod(dir, name, mode, uid), nil
 	})
 	rs.Handle(wire.OpChownFile, func(body []byte) (wire.Status, []byte) {
@@ -717,6 +743,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		return s.Chown(dir, name, newUID, newGID, uid), nil
 	})
 	rs.Handle(wire.OpUtimensFile, func(body []byte) (wire.Status, []byte) {
@@ -726,6 +753,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		return s.Utimens(dir, name, atime, mtime), nil
 	})
 	rs.Handle(wire.OpTruncateFile, func(body []byte) (wire.Status, []byte) {
@@ -735,6 +763,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		u, old, bs, st := s.Truncate(dir, name, size)
 		if st != wire.StatusOK {
 			return st, nil
@@ -748,6 +777,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.touchFile(dir, name)
 		return s.UpdateSize(dir, name, size), nil
 	})
 	rs.Handle(wire.OpReaddirFiles, func(body []byte) (wire.Status, []byte) {
@@ -762,6 +792,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(dir.String())
 		ents, remaining, st := s.ReaddirFilesAt(dir, cursor, int(skip), int(limit))
 		if st != wire.StatusOK {
 			return st, nil
@@ -781,6 +812,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(dir.String())
 		return wire.StatusOK, wire.NewEnc().Bool(s.DirHasFiles(dir)).Bytes()
 	})
 	rs.Handle(wire.OpRemoveDirFiles, func(body []byte) (wire.Status, []byte) {
@@ -789,6 +821,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 		if d.Err() != nil {
 			return wire.StatusInval, nil
 		}
+		s.hot.Touch(dir.String())
 		removed := s.RemoveDirFiles(dir)
 		e := wire.NewEnc().U32(uint32(len(removed)))
 		for _, u := range removed {

@@ -13,6 +13,7 @@ import (
 
 	"locofs/internal/netsim"
 	"locofs/internal/telemetry"
+	"locofs/internal/trace"
 	"locofs/internal/wire"
 )
 
@@ -79,6 +80,7 @@ type Server struct {
 	conns  map[netsim.Conn]struct{}
 
 	telem  atomic.Pointer[serverTelem]
+	tracer atomic.Pointer[serverTracer]
 	slowNS atomic.Int64 // slow-request log threshold (0 = disabled)
 
 	// Served counts completed requests, for load accounting in experiments.
@@ -164,6 +166,42 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 // Zero disables logging.
 func (s *Server) SetSlowThreshold(d time.Duration) { s.slowNS.Store(int64(d)) }
 
+// serverTracer couples a span tracer with the server name stamped on every
+// span it opens.
+type serverTracer struct {
+	t    *trace.Tracer
+	name string
+}
+
+// SetTracer installs span-level tracing: every subsequent request opens a
+// server-side child span under the wire header's parent-span ID — and every
+// sub-request of a wire.OpBatch envelope opens its own child span under the
+// envelope's span, stamped with its sub-request index — completing into the
+// tracer's ring per its sampling policy. name labels the spans (e.g.
+// "fms-1"). A nil tracer disables tracing. Safe to call while serving.
+func (s *Server) SetTracer(t *trace.Tracer, name string) {
+	if t == nil {
+		s.tracer.Store(nil)
+		return
+	}
+	s.tracer.Store(&serverTracer{t: t, name: name})
+}
+
+// startSpan opens the server-side span for one request (nil when tracing is
+// off; all span methods are nil-safe). sub is the batch sub-request index,
+// -1 outside a batch.
+func (s *Server) startSpan(traceID, parent uint64, op wire.Op, sub int) *trace.Span {
+	st := s.tracer.Load()
+	if st == nil {
+		return nil
+	}
+	sp := st.t.StartSpan(traceID, parent, op.String(), st.name)
+	if sub >= 0 {
+		sp.SetSub(sub)
+	}
+	return sp
+}
+
 // Busy returns the cumulative service time across all requests served.
 func (s *Server) Busy() time.Duration { return time.Duration(s.busyNS.Load()) }
 
@@ -238,21 +276,26 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			// this is just goroutine scheduling; with a worker cap it is the
 			// time spent waiting for a CPU slot — the server-side queueing
 			// the paper's saturation experiments exercise.
-			status, body, service := s.execute(req.Op, req.Body, req.Trace, time.Since(recvT))
+			status, body, service := s.execute(req.Op, req.Body, req.Trace, req.Span, -1, time.Since(recvT))
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
-				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Body: body}
+				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span, Body: body}
 			_ = conn.Send(resp)
 		}(req)
 	}
 }
 
 // execute runs one request (or one batched sub-request) through the full
-// service pipeline: modeled/measured service time, busy and served
-// accounting, per-op telemetry, and slow-request logging stamped with the
-// request's trace id.
-func (s *Server) execute(op wire.Op, reqBody []byte, trace uint64, queueWait time.Duration) (wire.Status, []byte, time.Duration) {
+// service pipeline: a server-side child span under parentSpan, modeled/
+// measured service time, busy and served accounting, per-op telemetry, and
+// slow-request logging stamped with the request's trace id. sub is the
+// sub-request index inside a wire.OpBatch envelope (-1 outside a batch); it
+// appears on the span and in the slow-request log line, so a slow batched
+// sub-op is attributable to its position and opcode, not just the parent
+// trace.
+func (s *Server) execute(op wire.Op, reqBody []byte, trace, parentSpan uint64, sub int, queueWait time.Duration) (wire.Status, []byte, time.Duration) {
 	var status wire.Status
 	var body []byte
+	sp := s.startSpan(trace, parentSpan, op, sub)
 	s.mu.RLock()
 	fn := s.serviceFn
 	virtual := s.virtual[op]
@@ -270,6 +313,10 @@ func (s *Server) execute(op wire.Op, reqBody []byte, trace uint64, queueWait tim
 	service += virtual
 	s.busyNS.Add(uint64(service))
 	s.Served.Add(1)
+	if status != wire.StatusOK {
+		sp.SetStatus(status.String())
+	}
+	sp.Finish()
 	if t := s.telem.Load(); t != nil {
 		m := t.forOp(op)
 		m.reqs.Inc()
@@ -280,8 +327,13 @@ func (s *Server) execute(op wire.Op, reqBody []byte, trace uint64, queueWait tim
 		m.queue.Record(queueWait)
 	}
 	if slow := time.Duration(s.slowNS.Load()); slow > 0 && service >= slow {
-		log.Printf("rpc: slow request trace=%#x op=%s status=%s service=%v queue=%v",
-			trace, op, status, service, queueWait)
+		if sub >= 0 {
+			log.Printf("rpc: slow request trace=%#x op=Batch[%d]=%s status=%s service=%v queue=%v",
+				trace, sub, op, status, service, queueWait)
+		} else {
+			log.Printf("rpc: slow request trace=%#x op=%s status=%s service=%v queue=%v",
+				trace, op, status, service, queueWait)
+		}
 	}
 	return status, body, service
 }
@@ -300,11 +352,16 @@ func (s *Server) execute(op wire.Op, reqBody []byte, trace uint64, queueWait tim
 func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 	reply := func(st wire.Status, body []byte, service time.Duration) {
 		resp := &wire.Msg{ID: req.ID, IsResp: true, Op: wire.OpBatch,
-			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Body: body}
+			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span, Body: body}
 		_ = conn.Send(resp)
 	}
+	// The envelope gets its own server-side span under the client's span;
+	// each sub-request's span hangs off the envelope span with its index.
+	esp := s.startSpan(req.Trace, req.Span, wire.OpBatch, -1)
 	subs, err := wire.DecodeBatch(req.Body)
 	if err != nil {
+		esp.SetStatus(wire.StatusInval.String())
+		esp.Finish()
 		reply(wire.StatusInval, []byte(err.Error()), 0)
 		return
 	}
@@ -319,7 +376,7 @@ func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 				s.workers <- struct{}{}
 				defer func() { <-s.workers }()
 			}
-			st, body, service := s.execute(subs[i].Op, subs[i].Body, req.Trace, time.Since(recvT))
+			st, body, service := s.execute(subs[i].Op, subs[i].Body, req.Trace, esp.ID(), i, time.Since(recvT))
 			resps[i] = wire.SubResp{Status: st, Body: body}
 			services[i] = service
 		}(i)
@@ -329,6 +386,7 @@ func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 	for _, d := range services {
 		total += d
 	}
+	esp.Finish()
 	reply(wire.StatusOK, wire.EncodeBatchResp(resps), total)
 }
 
@@ -466,6 +524,14 @@ func (c *Client) CallTraced(op wire.Op, body []byte, trace uint64) (wire.Status,
 // slowest branch instead of the serial sum. The per-call cost is also
 // accumulated into VirtualTime as before.
 func (c *Client) CallTracedV(op wire.Op, body []byte, trace uint64) (wire.Status, []byte, time.Duration, error) {
+	return c.CallSpanV(op, body, trace, 0)
+}
+
+// CallSpanV is CallTracedV with the caller's span ID stamped on the wire
+// header's parent-span field, so the server opens its child span under the
+// caller's — the link that joins client-side and server-side span trees.
+// Span 0 means no parent span.
+func (c *Client) CallSpanV(op wire.Op, body []byte, trace, span uint64) (wire.Status, []byte, time.Duration, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan *wire.Msg, 1)
 	c.mu.Lock()
@@ -477,7 +543,7 @@ func (c *Client) CallTracedV(op wire.Op, body []byte, trace uint64) (wire.Status
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	req := &wire.Msg{ID: id, Op: op, Trace: trace, Body: body}
+	req := &wire.Msg{ID: id, Op: op, Trace: trace, Span: span, Body: body}
 	if err := c.conn.Send(req); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)

@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 )
 
 // Handler builds the admin HTTP surface over the given registries:
@@ -14,6 +16,15 @@ import (
 //	/debug/vars  expvar JSON (includes Go runtime memstats)
 //	/debug/pprof profiling endpoints (index, profile, heap, trace, ...)
 func Handler(regs ...*Registry) http.Handler {
+	return HandlerWith(nil, regs...)
+}
+
+// HandlerWith is Handler plus extra routes mounted on the same mux — the
+// hook the tracing/introspection endpoints (/debug/traces, /debug/hot) use
+// to ride on the one admin port. A pattern ending in "/" also serves its
+// subtree (net/http semantics); patterns must not collide with the built-in
+// routes above.
+func HandlerWith(extra map[string]http.Handler, regs ...*Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snaps := make([]Snapshot, len(regs))
@@ -29,8 +40,29 @@ func Handler(regs ...*Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	seen := make(map[string]bool, len(extra))
+	extras := make([]string, 0, len(extra))
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+		// A subtree pattern ("/x/") answers "/x" with a redirect; mounting
+		// the bare path too spares clients (curl) the extra round trip.
+		if bare := strings.TrimSuffix(pattern, "/"); bare != pattern && bare != "" {
+			if _, taken := extra[bare]; !taken {
+				mux.Handle(bare, h)
+			}
+		}
+		if name := strings.TrimSuffix(pattern, "/"); !seen[name] {
+			seen[name] = true
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	index := "locofs admin: /metrics /debug/vars /debug/pprof/"
+	if len(extras) > 0 {
+		index += " " + strings.Join(extras, " ")
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "locofs admin: /metrics /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, index)
 	})
 	return mux
 }
@@ -38,11 +70,16 @@ func Handler(regs ...*Registry) http.Handler {
 // Serve starts the admin surface on addr in a background goroutine and
 // returns the server plus the bound address (useful with ":0").
 func Serve(addr string, regs ...*Registry) (*http.Server, string, error) {
+	return ServeWith(addr, nil, regs...)
+}
+
+// ServeWith is Serve with extra routes (see HandlerWith).
+func ServeWith(addr string, extra map[string]http.Handler, regs ...*Registry) (*http.Server, string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(regs...)}
+	srv := &http.Server{Handler: HandlerWith(extra, regs...)}
 	go func() { _ = srv.Serve(l) }()
 	return srv, l.Addr().String(), nil
 }

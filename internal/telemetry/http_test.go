@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrape GETs path from the handler and returns the body.
+func scrape(t *testing.T, h http.Handler, path string) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, rec.Code)
+	}
+	b, _ := io.ReadAll(rec.Body)
+	return string(b)
+}
+
+// TestMetricsEndpoint: /metrics renders counters, gauges and histograms from
+// every registry in the Prometheus text format, with base labels stamped.
+func TestMetricsEndpoint(t *testing.T) {
+	r1 := NewRegistry(L("server", "dms"))
+	r1.Counter("locofs_test_calls", L("op", "Mkdir")).Add(3)
+	r1.Histogram("locofs_test_latency", L("op", "Mkdir")).Record(2 * time.Millisecond)
+	r2 := NewRegistry()
+	r2.GaugeFunc("locofs_test_depth", func() float64 { return 7 }, L("q", "rx"))
+
+	body := scrape(t, Handler(r1, r2), "/metrics")
+	for _, want := range []string{
+		"# TYPE locofs_test_calls counter",
+		`locofs_test_calls{op="Mkdir",server="dms"} 3`,
+		"# TYPE locofs_test_depth gauge",
+		`locofs_test_depth{q="rx"} 7`,
+		"# TYPE locofs_test_latency histogram",
+		`locofs_test_latency_count{op="Mkdir",server="dms"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "locofs_test_latency_bucket") {
+		t.Errorf("/metrics has no le buckets:\n%s", body)
+	}
+}
+
+// TestDebugVarsAndIndex: /debug/vars serves expvar JSON and the index page
+// lists the built-in routes.
+func TestDebugVarsAndIndex(t *testing.T) {
+	h := Handler(NewRegistry())
+	if body := scrape(t, h, "/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars missing memstats: %.120s", body)
+	}
+	if body := scrape(t, h, "/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index missing /metrics: %q", body)
+	}
+}
+
+// TestHandlerWithExtraRoutes: extra handlers are mounted and advertised on
+// the index line.
+func TestHandlerWithExtraRoutes(t *testing.T) {
+	extra := map[string]http.Handler{
+		"/debug/hot": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "hot!")
+		}),
+		"/debug/traces/": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.WriteString(w, "traces:"+r.URL.Path)
+		}),
+	}
+	h := HandlerWith(extra, NewRegistry())
+	if body := scrape(t, h, "/debug/hot"); body != "hot!" {
+		t.Errorf("/debug/hot = %q", body)
+	}
+	if body := scrape(t, h, "/debug/traces/abc"); body != "traces:/debug/traces/abc" {
+		t.Errorf("subtree route = %q", body)
+	}
+	index := scrape(t, h, "/")
+	if !strings.Contains(index, "/debug/hot") || !strings.Contains(index, "/debug/traces") {
+		t.Errorf("index does not advertise extra routes: %q", index)
+	}
+}
+
+// TestUnregisterStopsLabelLeak: a gauge unregistered after its owner shuts
+// down must disappear from subsequent snapshots, while other kinds under
+// different keys stay.
+func TestUnregisterStopsLabelLeak(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", func() float64 { return 1 }, L("client", "1"))
+	r.GaugeFunc("g", func() float64 { return 2 }, L("client", "2"))
+	r.Counter("c").Inc()
+	if !r.Unregister("g", L("client", "1")) {
+		t.Fatal("Unregister reported nothing removed")
+	}
+	if r.Unregister("g", L("client", "1")) {
+		t.Fatal("second Unregister reported a removal")
+	}
+	s := r.Snapshot()
+	if len(s.Metrics) != 2 {
+		t.Fatalf("snapshot = %+v, want g{client=2} and c only", s.Metrics)
+	}
+	for _, m := range s.Metrics {
+		if m.Name == "g" && strings.Contains(m.Labels, `"1"`) {
+			t.Errorf("unregistered gauge still present: %+v", m)
+		}
+	}
+}
+
+// TestUnregisterAllKinds: Unregister removes counters and histograms too.
+func TestUnregisterAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Histogram("x").Record(time.Millisecond)
+	if !r.Unregister("x") {
+		t.Fatal("Unregister(x) removed nothing")
+	}
+	if n := len(r.Snapshot().Metrics); n != 0 {
+		t.Fatalf("%d metrics left after Unregister", n)
+	}
+}
+
+// TestReset: Reset returns the registry to empty while keeping base labels
+// on metrics registered afterwards.
+func TestReset(t *testing.T) {
+	r := NewRegistry(L("server", "fms-0"))
+	r.Counter("a").Inc()
+	r.Histogram("b").Record(time.Second)
+	r.GaugeFunc("c", func() float64 { return 1 })
+	r.Reset()
+	if n := len(r.Snapshot().Metrics); n != 0 {
+		t.Fatalf("%d metrics left after Reset", n)
+	}
+	r.Counter("a").Add(5)
+	s := r.Snapshot()
+	if len(s.Metrics) != 1 || s.Metrics[0].Value != 5 ||
+		!strings.Contains(s.Metrics[0].Labels, `server="fms-0"`) {
+		t.Fatalf("post-Reset counter = %+v, want fresh a=5 with base label", s.Metrics)
+	}
+}

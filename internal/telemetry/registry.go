@@ -144,6 +144,43 @@ func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
 	r.mu.Unlock()
 }
 
+// Unregister removes the metric registered under name+labels — whatever its
+// kind — reporting whether anything was removed. Components that register
+// gauges against a shared registry (e.g. a client's in-flight gauge keyed by
+// client ID) must unregister them on teardown, or snapshots accumulate dead
+// series across instances — the cross-test label leakage this exists to
+// stop.
+func (r *Registry) Unregister(name string, labels ...Label) bool {
+	k := r.key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	removed := false
+	if _, ok := r.counters[k]; ok {
+		delete(r.counters, k)
+		removed = true
+	}
+	if _, ok := r.hists[k]; ok {
+		delete(r.hists, k)
+		removed = true
+	}
+	if _, ok := r.gauges[k]; ok {
+		delete(r.gauges, k)
+		removed = true
+	}
+	return removed
+}
+
+// Reset removes every metric, returning the registry to its freshly
+// constructed state (base labels kept). Intended for tests sharing one
+// registry across cases.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = make(map[metricKey]*Counter)
+	r.hists = make(map[metricKey]*Histogram)
+	r.gauges = make(map[metricKey]gaugeFunc)
+	r.mu.Unlock()
+}
+
 // Metric is one snapshot entry. For histograms, Hist is set and Value is
 // the observation count.
 type Metric struct {

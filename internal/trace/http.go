@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// jsonSpan is the wire form of a Span on the admin surface. IDs render as
+// 0x-prefixed hex strings: uint64 values exceed JavaScript's safe-integer
+// range, and hex is what the slow-request log lines print, so the two can be
+// grepped against each other.
+type jsonSpan struct {
+	Trace       string   `json:"trace"`
+	ID          string   `json:"id"`
+	Parent      string   `json:"parent,omitempty"`
+	Name        string   `json:"name"`
+	Server      string   `json:"server"`
+	Status      string   `json:"status,omitempty"`
+	Sub         *int     `json:"sub,omitempty"`
+	Start       string   `json:"start"`
+	DurNS       int64    `json:"dur_ns"`
+	Dur         string   `json:"dur"`
+	Annotations []string `json:"annotations,omitempty"`
+}
+
+// jsonNode is one vertex of the span-tree JSON.
+type jsonNode struct {
+	jsonSpan
+	Children []jsonNode `json:"children,omitempty"`
+}
+
+func hexID(v uint64) string { return fmt.Sprintf("%#x", v) }
+
+func toJSONSpan(sp *Span) jsonSpan {
+	js := jsonSpan{
+		Trace:       hexID(sp.TraceID),
+		ID:          hexID(sp.SpanID),
+		Name:        sp.Name,
+		Server:      sp.Server,
+		Status:      sp.Status,
+		Start:       sp.Start.Format(time.RFC3339Nano),
+		DurNS:       int64(sp.Dur),
+		Dur:         sp.Dur.String(),
+		Annotations: sp.Annotations,
+	}
+	if sp.Parent != 0 {
+		js.Parent = hexID(sp.Parent)
+	}
+	if sp.Sub >= 0 {
+		sub := sp.Sub
+		js.Sub = &sub
+	}
+	return js
+}
+
+func toJSONNodes(nodes []*Node) []jsonNode {
+	out := make([]jsonNode, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, jsonNode{jsonSpan: toJSONSpan(n.Span), Children: toJSONNodes(n.Children)})
+	}
+	return out
+}
+
+// parseTraceID accepts 0x-prefixed hex, bare hex, or decimal trace IDs.
+func parseTraceID(s string) (uint64, error) {
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return v, nil
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// TracesHandler serves the trace introspection endpoints over the given
+// tracers (nil tracers are skipped; several tracers — e.g. every server of
+// an in-process cluster sharing one admin port — are merged):
+//
+//	GET /debug/traces            JSON list of retained traces, newest first
+//	                             (?limit=N, default 100)
+//	GET /debug/traces/<traceID>  JSON span tree(s) for one trace; spans whose
+//	                             parent lives in another process's ring
+//	                             surface as additional roots
+func TracesHandler(tracers ...*Tracer) http.Handler {
+	live := make([]*Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
+		if rest == "" {
+			limit := 100
+			if q := r.URL.Query().Get("limit"); q != "" {
+				if v, err := strconv.Atoi(q); err == nil && v > 0 {
+					limit = v
+				}
+			}
+			type jsonSummary struct {
+				Trace  string `json:"trace"`
+				Root   string `json:"root,omitempty"`
+				Server string `json:"server,omitempty"`
+				Spans  int    `json:"spans"`
+				Errors int    `json:"errors,omitempty"`
+				Start  string `json:"start"`
+				Dur    string `json:"dur"`
+			}
+			merged := make(map[uint64]Summary)
+			for _, t := range live {
+				for _, s := range t.Summaries(0) {
+					m, ok := merged[s.TraceID]
+					if !ok {
+						merged[s.TraceID] = s
+						continue
+					}
+					m.Spans += s.Spans
+					m.Errors += s.Errors
+					if s.Start.Before(m.Start) {
+						m.Start = s.Start
+					}
+					if m.Root == "" {
+						m.Root, m.Server, m.Dur = s.Root, s.Server, s.Dur
+					}
+					merged[s.TraceID] = m
+				}
+			}
+			sums := make([]Summary, 0, len(merged))
+			for _, s := range merged {
+				sums = append(sums, s)
+			}
+			sort.Slice(sums, func(i, j int) bool { return sums[i].Start.After(sums[j].Start) })
+			if len(sums) > limit {
+				sums = sums[:limit]
+			}
+			out := make([]jsonSummary, 0, len(sums))
+			for _, s := range sums {
+				out = append(out, jsonSummary{
+					Trace:  hexID(s.TraceID),
+					Root:   s.Root,
+					Server: s.Server,
+					Spans:  s.Spans,
+					Errors: s.Errors,
+					Start:  s.Start.Format(time.RFC3339Nano),
+					Dur:    s.Dur.String(),
+				})
+			}
+			writeJSON(w, out)
+			return
+		}
+		id, err := parseTraceID(rest)
+		if err != nil {
+			http.Error(w, "trace: bad trace id "+strconv.Quote(rest), http.StatusBadRequest)
+			return
+		}
+		var spans []*Span
+		for _, t := range live {
+			spans = append(spans, t.Trace(id)...)
+		}
+		if len(spans) == 0 {
+			http.Error(w, "trace: no spans retained for "+hexID(id), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, struct {
+			Trace string     `json:"trace"`
+			Spans int        `json:"spans"`
+			Tree  []jsonNode `json:"tree"`
+		}{hexID(id), len(spans), toJSONNodes(BuildTree(spans))})
+	})
+}
+
+// HotHandler serves GET /debug/hot: per-source top-K heavy hitters as JSON,
+// each source being one server's sketch (e.g. "dms" → hot directory paths,
+// "fms-1" → hot file keys). ?n=K bounds entries per source (default 10).
+// Nil sketches are skipped.
+func HotHandler(sources map[string]*TopK) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		type jsonSource struct {
+			Source string   `json:"source"`
+			Total  uint64   `json:"total"`
+			Top    []HotKey `json:"top"`
+		}
+		names := make([]string, 0, len(sources))
+		for name, tk := range sources {
+			if tk != nil {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		out := make([]jsonSource, 0, len(names))
+		for _, name := range names {
+			tk := sources[name]
+			out = append(out, jsonSource{Source: name, Total: tk.Total(), Top: tk.Top(n)})
+		}
+		writeJSON(w, out)
+	})
+}

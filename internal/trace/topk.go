@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultTopKCapacity is the monitored-key capacity used by NewTopK(0):
+// large enough to rank a realistically skewed workload's head, small enough
+// that the eviction scan stays trivial.
+const DefaultTopKCapacity = 128
+
+// HotKey is one ranked entry of a TopK sketch. Count may overestimate the
+// key's true frequency by at most Err (the space-saving guarantee).
+type HotKey struct {
+	Key   string `json:"key"`
+	Count uint64 `json:"count"`
+	Err   uint64 `json:"err"`
+}
+
+// TopK is a space-saving heavy-hitter sketch (Metwally et al.): it monitors
+// at most cap keys; a new key arriving at capacity replaces the current
+// minimum, inheriting its count as the overestimation error. Any key whose
+// true frequency exceeds total/cap is guaranteed to be monitored, which is
+// exactly the hot-directory / hot-file-key skew the introspection plane
+// needs to surface. Safe for concurrent use; Touch is one short mutex hold
+// (O(1) on monitored keys, O(cap) when evicting).
+type TopK struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*hotEntry
+	total uint64
+}
+
+type hotEntry struct {
+	key   string
+	count uint64
+	err   uint64
+}
+
+// NewTopK returns a sketch monitoring at most capacity keys
+// (DefaultTopKCapacity when <= 0).
+func NewTopK(capacity int) *TopK {
+	if capacity <= 0 {
+		capacity = DefaultTopKCapacity
+	}
+	return &TopK{cap: capacity, m: make(map[string]*hotEntry, capacity)}
+}
+
+// Touch counts one occurrence of key.
+func (t *TopK) Touch(key string) {
+	t.mu.Lock()
+	t.total++
+	if e := t.m[key]; e != nil {
+		e.count++
+		t.mu.Unlock()
+		return
+	}
+	if len(t.m) < t.cap {
+		t.m[key] = &hotEntry{key: key, count: 1}
+		t.mu.Unlock()
+		return
+	}
+	var min *hotEntry
+	for _, e := range t.m {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	delete(t.m, min.key)
+	// Reuse the evicted entry: the newcomer inherits the minimum count as
+	// its upper bound, with the previous count as the error margin.
+	min.err = min.count
+	min.count++
+	min.key = key
+	t.m[key] = min
+	t.mu.Unlock()
+}
+
+// Total returns the number of touches observed.
+func (t *TopK) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Top returns up to n entries ranked by count descending (0 = all
+// monitored). Ties break by key for stable output.
+func (t *TopK) Top(n int) []HotKey {
+	t.mu.Lock()
+	out := make([]HotKey, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, HotKey{Key: e.key, Count: e.count, Err: e.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Reset clears the sketch.
+func (t *TopK) Reset() {
+	t.mu.Lock()
+	t.m = make(map[string]*hotEntry, t.cap)
+	t.total = 0
+	t.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTopKRanksSkewFirst(t *testing.T) {
+	// A Zipf-ish skew over far more distinct keys than the sketch monitors:
+	// the heavy hitter must rank first despite constant churn.
+	tk := NewTopK(16)
+	for i := 0; i < 2000; i++ {
+		tk.Touch("/hot")
+		tk.Touch(fmt.Sprintf("/cold/%d", i))
+		if i%3 == 0 {
+			tk.Touch("/warm")
+		}
+	}
+	top := tk.Top(2)
+	if len(top) < 2 {
+		t.Fatalf("Top(2) = %v", top)
+	}
+	if top[0].Key != "/hot" {
+		t.Fatalf("top key = %q, want /hot (top=%v)", top[0].Key, top)
+	}
+	if top[1].Key != "/warm" {
+		t.Errorf("second key = %q, want /warm", top[1].Key)
+	}
+	// Space-saving overestimates by at most Err; the true count is 2000.
+	if got := top[0].Count - top[0].Err; got > 2000 {
+		t.Errorf("lower bound %d exceeds true count 2000", got)
+	}
+	if top[0].Count < 2000 {
+		t.Errorf("count %d underestimates true count 2000", top[0].Count)
+	}
+	if tk.Total() != uint64(2000+2000+667) {
+		t.Errorf("Total = %d, want 4667", tk.Total())
+	}
+}
+
+func TestTopKCapacityAndReset(t *testing.T) {
+	tk := NewTopK(4)
+	for i := 0; i < 100; i++ {
+		tk.Touch(fmt.Sprintf("k%d", i))
+	}
+	if got := len(tk.Top(0)); got != 4 {
+		t.Errorf("monitored %d keys, want 4", got)
+	}
+	tk.Reset()
+	if len(tk.Top(0)) != 0 || tk.Total() != 0 {
+		t.Error("Reset did not clear the sketch")
+	}
+	if NewTopK(0).cap != DefaultTopKCapacity {
+		t.Error("NewTopK(0) did not apply the default capacity")
+	}
+}
+
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tk.Touch("/shared")
+				tk.Touch(fmt.Sprintf("/g%d/%d", g, i%50))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if top := tk.Top(1); top[0].Key != "/shared" {
+		t.Errorf("top = %v, want /shared", top)
+	}
+	if tk.Total() != 16000 {
+		t.Errorf("Total = %d, want 16000", tk.Total())
+	}
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAssembly(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	root := tr.StartSpan(42, 0, "Readdir", "client")
+	c1 := root.StartChild("ReaddirSubdirs")
+	c1.Annotate("addr=dms")
+	g1 := tr.StartSpan(42, c1.ID(), "ReaddirSubdirs", "dms")
+	g1.Finish()
+	c1.Finish()
+	c2 := root.StartChild("ReaddirFiles")
+	c2.SetSub(1)
+	c2.Finish()
+	root.Finish()
+	// A span from another trace must not leak in.
+	other := tr.StartSpan(7, 0, "Mkdir", "client")
+	other.Finish()
+
+	spans := tr.Trace(42)
+	if len(spans) != 4 {
+		t.Fatalf("Trace(42) = %d spans, want 4", len(spans))
+	}
+	roots := tr.Tree(42)
+	if len(roots) != 1 || roots[0].Span.Name != "Readdir" {
+		t.Fatalf("Tree(42) roots = %+v, want single Readdir root", roots)
+	}
+	if len(roots[0].Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(roots[0].Children))
+	}
+	rpc := roots[0].Children[0]
+	if len(rpc.Children) != 1 || rpc.Children[0].Span.Server != "dms" {
+		t.Fatalf("server child not linked under rpc span: %+v", rpc.Children)
+	}
+	if got := roots[0].Children[1].Span.Sub; got != 1 {
+		t.Errorf("Sub = %d, want 1", got)
+	}
+}
+
+func TestSamplingDeterministicAcrossTracers(t *testing.T) {
+	// Two tracers (two processes) must reach identical keep/drop decisions
+	// per trace ID, so sampled trees arrive complete.
+	a := New(Config{Sample: 0.25, Slow: -1})
+	b := New(Config{Sample: 0.25, Slow: -1})
+	kept := 0
+	for id := uint64(1); id <= 2000; id++ {
+		if a.sampled(id) != b.sampled(id) {
+			t.Fatalf("divergent sampling decision for trace %d", id)
+		}
+		if a.sampled(id) {
+			kept++
+		}
+	}
+	if kept < 350 || kept > 650 {
+		t.Errorf("sample=0.25 kept %d/2000 traces, want ~500", kept)
+	}
+}
+
+func TestSlowAndErrorSpansAlwaysKept(t *testing.T) {
+	// Sampling probability is astronomically small, so probabilistic
+	// retention effectively never fires; slow and error spans must land in
+	// the ring anyway.
+	tr := New(Config{Sample: 1e-18, Slow: time.Nanosecond})
+	slow := tr.StartSpan(1, 0, "Slow", "srv")
+	time.Sleep(time.Millisecond)
+	slow.Finish()
+	errSpan := tr.StartSpan(2, 0, "Err", "srv")
+	errSpan.SetStatus("EIO")
+	errSpan.Finish()
+	if len(tr.Trace(1)) != 1 {
+		t.Error("slow span was not retained")
+	}
+	if len(tr.Trace(2)) != 1 {
+		t.Error("error span was not retained")
+	}
+
+	// With the slow force-keep disabled and the same tiny probability, a
+	// fast OK span is dropped.
+	tr2 := New(Config{Sample: 1e-18, Slow: -1})
+	ok := tr2.StartSpan(3, 0, "Fast", "srv")
+	ok.Finish()
+	if n := len(tr2.Spans()); n != 0 {
+		t.Errorf("fast OK span retained (%d spans) despite ~0 sample", n)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	tr := New(Config{Sample: 1, BufSpans: 8})
+	for i := 0; i < 100; i++ {
+		tr.StartSpan(uint64(i), 0, "op", "srv").Finish()
+	}
+	if got := len(tr.Spans()); got != 8 {
+		t.Errorf("ring holds %d spans, want 8", got)
+	}
+	if tr.Recorded() != 100 {
+		t.Errorf("Recorded = %d, want 100", tr.Recorded())
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	sp := tr.StartSpan(1, 0, "op", "srv")
+	sp.Annotate("cache=hit")
+	sp.SetStatus("EIO")
+	sp.SetSub(3)
+	child := sp.StartChild("child")
+	child.Finish()
+	sp.Finish()
+	if sp.ID() != 0 || child != nil {
+		t.Error("nil span produced non-nil results")
+	}
+	if tr.Spans() != nil || tr.Recorded() != 0 {
+		t.Error("nil tracer retained spans")
+	}
+	if New(Config{Sample: 0}) != nil {
+		t.Error("New(Sample=0) did not return the nil (disabled) tracer")
+	}
+}
+
+// TestDisabledTracerAllocs guards the acceptance criterion that tracing
+// disabled adds no allocation on the hot path: the full span lifecycle on a
+// nil tracer must be allocation-free.
+func TestDisabledTracerAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan(99, 0, "CreateFile", "client")
+		child := sp.StartChild("rpc")
+		child.Annotate("retry=1")
+		child.Finish()
+		sp.SetStatus("")
+		sp.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan(uint64(i), 0, "CreateFile", "client")
+		child := sp.StartChild("rpc")
+		child.Finish()
+		sp.Finish()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := New(Config{Sample: 1, BufSpans: 1 << 14})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan(uint64(i), 0, "CreateFile", "client")
+		child := sp.StartChild("rpc")
+		child.Finish()
+		sp.Finish()
+	}
+}
+
+func TestTracesHandlerJSON(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	root := tr.StartSpan(0xabc, 0, "Readdir", "client")
+	child := root.StartChild("ReaddirFiles")
+	child.SetSub(0)
+	child.Finish()
+	root.Finish()
+
+	h := TracesHandler(tr, nil) // nil tracer must be tolerated
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var list []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatalf("list JSON: %v\n%s", err, rec.Body)
+	}
+	if len(list) != 1 || list[0]["trace"] != "0xabc" || list[0]["root"] != "Readdir" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/0xabc", nil))
+	var tree struct {
+		Trace string `json:"trace"`
+		Spans int    `json:"spans"`
+		Tree  []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+				Sub  *int   `json:"sub"`
+			} `json:"children"`
+		} `json:"tree"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &tree); err != nil {
+		t.Fatalf("tree JSON: %v\n%s", err, rec.Body)
+	}
+	if tree.Spans != 2 || len(tree.Tree) != 1 || tree.Tree[0].Name != "Readdir" {
+		t.Fatalf("tree = %+v", tree)
+	}
+	kids := tree.Tree[0].Children
+	if len(kids) != 1 || kids[0].Name != "ReaddirFiles" || kids[0].Sub == nil || *kids[0].Sub != 0 {
+		t.Fatalf("children = %+v", kids)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/0xdead", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown trace returned %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces/notanid", nil))
+	if rec.Code != 400 {
+		t.Errorf("bad trace id returned %d, want 400", rec.Code)
+	}
+}
+
+func TestHotHandlerJSON(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 50; i++ {
+		tk.Touch("/hot")
+	}
+	tk.Touch("/cold")
+	h := HotHandler(map[string]*TopK{"dms": tk, "absent": nil})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/hot?n=1", nil))
+	body := rec.Body.String()
+	var out []struct {
+		Source string   `json:"source"`
+		Total  uint64   `json:"total"`
+		Top    []HotKey `json:"top"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("hot JSON: %v\n%s", err, body)
+	}
+	if len(out) != 1 || out[0].Source != "dms" || out[0].Total != 51 {
+		t.Fatalf("hot = %+v", out)
+	}
+	if len(out[0].Top) != 1 || out[0].Top[0].Key != "/hot" || out[0].Top[0].Count != 50 {
+		t.Fatalf("top = %+v", out[0].Top)
+	}
+	if strings.Contains(body, "absent") {
+		t.Error("nil sketch rendered")
+	}
+}

@@ -207,11 +207,16 @@ type Msg struct {
 	// it, so slow-request logs on the DMS, an FMS, and the client can be
 	// correlated. Zero means untraced.
 	Trace uint64
-	Body  []byte
+	// Span is the sender's span ID — the parent under which the receiver
+	// opens its own child span, linking client-side and server-side spans
+	// of one trace into a single tree (see internal/trace). Servers echo
+	// it on responses. Zero means no parent span.
+	Span uint64
+	Body []byte
 }
 
-// header: id(8) flags(1) op(2) status(2) service(8) trace(8)
-const headerSize = 29
+// header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8)
+const headerSize = 37
 
 // MaxBody bounds a single message body (64 MiB), protecting servers from
 // malformed frames.
@@ -235,6 +240,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 	binary.BigEndian.PutUint16(hdr[15:], uint16(m.Status))
 	binary.BigEndian.PutUint64(hdr[17:], m.ServiceNS)
 	binary.BigEndian.PutUint64(hdr[25:], m.Trace)
+	binary.BigEndian.PutUint64(hdr[33:], m.Span)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -263,6 +269,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		Status:    Status(binary.BigEndian.Uint16(payload[11:])),
 		ServiceNS: binary.BigEndian.Uint64(payload[13:]),
 		Trace:     binary.BigEndian.Uint64(payload[21:]),
+		Span:      binary.BigEndian.Uint64(payload[29:]),
 		Body:      payload[headerSize:],
 	}
 	return m, nil

@@ -9,7 +9,7 @@ import (
 
 func TestMsgRoundTrip(t *testing.T) {
 	m := &Msg{ID: 42, IsResp: true, Op: OpCreateFile, Status: StatusExist,
-		ServiceNS: 123456, Trace: 0xdeadbeef, Body: []byte("hello")}
+		ServiceNS: 123456, Trace: 0xdeadbeef, Span: 0xfeedface, Body: []byte("hello")}
 	var buf bytes.Buffer
 	if err := WriteMsg(&buf, m); err != nil {
 		t.Fatal(err)
@@ -19,7 +19,8 @@ func TestMsgRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.ID != 42 || !got.IsResp || got.Op != OpCreateFile || got.Status != StatusExist ||
-		got.ServiceNS != 123456 || got.Trace != 0xdeadbeef || string(got.Body) != "hello" {
+		got.ServiceNS != 123456 || got.Trace != 0xdeadbeef || got.Span != 0xfeedface ||
+		string(got.Body) != "hello" {
 		t.Errorf("round trip = %+v", got)
 	}
 }
@@ -39,9 +40,9 @@ func TestMsgEmptyBody(t *testing.T) {
 }
 
 func TestMsgQuickRoundTrip(t *testing.T) {
-	f := func(id uint64, isResp bool, op uint16, status uint16, service, trace uint64, body []byte) bool {
+	f := func(id uint64, isResp bool, op uint16, status uint16, service, trace, span uint64, body []byte) bool {
 		m := &Msg{ID: id, IsResp: isResp, Op: Op(op), Status: Status(status),
-			ServiceNS: service, Trace: trace, Body: body}
+			ServiceNS: service, Trace: trace, Span: span, Body: body}
 		var buf bytes.Buffer
 		if err := WriteMsg(&buf, m); err != nil {
 			return false
@@ -52,7 +53,7 @@ func TestMsgQuickRoundTrip(t *testing.T) {
 		}
 		return got.ID == id && got.IsResp == isResp && got.Op == Op(op) &&
 			got.Status == Status(status) && got.ServiceNS == service &&
-			got.Trace == trace && bytes.Equal(got.Body, body)
+			got.Trace == trace && got.Span == span && bytes.Equal(got.Body, body)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
