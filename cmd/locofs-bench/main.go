@@ -9,7 +9,7 @@
 //	locofs-bench [-quick] [experiment ...]
 //
 // Experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fanout opstats spans, or "all" (default).
+// fig13 fig14 fanout opstats spans faults, or "all" (default).
 package main
 
 import (
@@ -26,7 +26,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,6 +66,9 @@ func main() {
 		// Fully-traced run: per-op-class span-tree breakdown across the
 		// client, the DMS and the FMSes (see internal/trace).
 		{"spans", func() (*bench.Table, error) { return bench.Spans(env) }},
+		// Fault-injection study: deadlines, retries and the circuit breaker
+		// against a blackholed / lossy FMS (see internal/netsim faults).
+		{"faults", func() (*bench.Table, error) { return bench.FigFaults(env) }},
 	}
 
 	want := flag.Args()

@@ -13,6 +13,16 @@
 //	locofsd -role client -dms host:7000 -fms host:7001,host:7003 -oss host:7002 \
 //	        -cmd "mkdir /a; touch /a/f; ls /a; stat /a/f; write /a/f hello; read /a/f; rm /a/f"
 //
+// The client role also takes fault-tolerance flags: -op-timeout bounds each
+// RPC attempt, -retries and -retry-backoff configure automatic retries
+// (non-idempotent operations are deduplicated server-side, so retried
+// mutations execute at most once), and -breaker-failures/-breaker-cooldown
+// arm a per-server circuit breaker that fails calls fast while a server is
+// down. For example:
+//
+//	locofsd -role client ... -op-timeout 200ms -retries 3 -retry-backoff 10ms \
+//	        -breaker-failures 5 -breaker-cooldown 2s
+//
 // Every role accepts -metrics-addr to expose an admin HTTP endpoint with
 // Prometheus-text /metrics (per-op request counts and latency histograms,
 // KV engine activity), /debug/vars, /debug/pprof, /debug/traces (span-level
@@ -56,6 +66,11 @@ func main() {
 	fmsAddrs := flag.String("fms", "", "comma-separated FMS addresses in server-id order (client role)")
 	ossAddrs := flag.String("oss", "", "comma-separated OSS addresses (client role)")
 	cmds := flag.String("cmd", "", "semicolon-separated commands (client role)")
+	opTimeout := flag.Duration("op-timeout", 0, "per-attempt RPC deadline (client role; 0 = unbounded)")
+	retries := flag.Int("retries", 0, "max automatic retries per call (client role; 0 = default one reconnect retry, negative = none)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first retry, doubling with jitter (client role)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that trip the per-server circuit breaker (client role; 0 = breaker off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped breaker fails fast before probing (client role; 0 = 1s)")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	slow := flag.Duration("slow", 0, "log requests slower than this threshold with their trace id (0 = disabled)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a trace's spans are retained for /debug/traces (0 = tracing off, 1 = all)")
@@ -98,7 +113,13 @@ func main() {
 		store := kv.Instrument(durable("oss", kv.NewHashStore()), kv.RAM)
 		srv.serve(*listen, "oss", store, objstore.New(store).Attach)
 	case "client":
-		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv)
+		// Fault-tolerance policy, layered onto the dial as options.
+		opts := []client.DialOption{
+			client.WithOpTimeout(*opTimeout),
+			client.WithRetry(client.RetryPolicy{Max: *retries, Base: *retryBackoff}),
+			client.WithBreaker(client.BreakerConfig{Threshold: *breakerFailures, Cooldown: *breakerCooldown}),
+		}
+		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv, opts)
 	default:
 		fmt.Fprintln(os.Stderr, "locofsd: -role must be dms, fms, oss or client")
 		flag.Usage()
@@ -178,7 +199,7 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 }
 
 // runClient connects to a TCP cluster and executes simple commands.
-func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags) {
+func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, opts []client.DialOption) {
 	if dmsAddr == "" || fmsList == "" || ossList == "" {
 		fmt.Fprintln(os.Stderr, "locofsd client: -dms, -fms and -oss are required")
 		os.Exit(2)
@@ -200,7 +221,7 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags) {
 		Metrics:       reg,
 		SlowThreshold: sf.slow,
 		Tracer:        sf.tracer,
-	})
+	}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locofsd client:", err)
 		os.Exit(1)

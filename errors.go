@@ -1,0 +1,35 @@
+package locofs
+
+import "locofs/internal/wire"
+
+// Sentinel errors for the failure classes callers branch on. Every error
+// returned by a Client (and by the servers' wire responses) matches exactly
+// one of these under errors.Is, regardless of the wrapping added along the
+// way:
+//
+//	if err := fs.Create(path, 0o644); errors.Is(err, locofs.ErrExist) {
+//		// already created — e.g. by an earlier retried attempt
+//	}
+//
+// ErrUnavailable and ErrDeadlineExceeded are the fault-tolerance layer's
+// two outcomes of a server being unreachable: the former when the circuit
+// breaker fails the call fast (or the server explicitly refused), the
+// latter when an attempt's deadline expired. ErrDeadlineExceeded also
+// matches context.DeadlineExceeded, so code written against the standard
+// library's convention works unchanged.
+var (
+	// ErrNotFound: the file or directory does not exist (ENOENT).
+	ErrNotFound error = wire.StatusNotFound.Err()
+	// ErrExist: the file or directory already exists (EEXIST).
+	ErrExist error = wire.StatusExist.Err()
+	// ErrNotEmpty: the directory still has entries (ENOTEMPTY).
+	ErrNotEmpty error = wire.StatusNotEmpty.Err()
+	// ErrPerm: the caller lacks permission (EACCES/EPERM).
+	ErrPerm error = wire.StatusPerm.Err()
+	// ErrUnavailable: the server is unreachable or refusing work — raised
+	// by an open circuit breaker or an explicit EUNAVAIL response.
+	ErrUnavailable error = wire.StatusUnavailable.Err()
+	// ErrDeadlineExceeded: the per-attempt deadline (DialConfig.OpTimeout)
+	// expired before a response arrived.
+	ErrDeadlineExceeded error = wire.StatusDeadline.Err()
+)

@@ -1,0 +1,171 @@
+package locofs_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"locofs"
+	"locofs/internal/fsapi"
+	"locofs/internal/netsim"
+)
+
+// TestSentinelErrors checks that every failure class coming out of a Client
+// is matchable with errors.Is against the package-level sentinels.
+func TestSentinelErrors(t *testing.T) {
+	cluster, err := locofs.Start(locofs.Options{FMSCount: 2, CheckPermissions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.NewClient(locofs.ClientConfig{UID: 1000, GID: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	if err := fs.Mkdir("/s", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/s/t", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/s/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := fs.StatFile("/s/missing"); !errors.Is(err, locofs.ErrNotFound) {
+		t.Errorf("stat of missing file: %v, want ErrNotFound", err)
+	}
+	if err := fs.Create("/s/f", 0o644); !errors.Is(err, locofs.ErrExist) {
+		t.Errorf("duplicate create: %v, want ErrExist", err)
+	}
+	if err := fs.Rmdir("/s"); !errors.Is(err, locofs.ErrNotEmpty) {
+		t.Errorf("rmdir of non-empty dir: %v, want ErrNotEmpty", err)
+	}
+	// A different user without permission.
+	other, err := cluster.NewClient(locofs.ClientConfig{UID: 2000, GID: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	// /s is 0700: user 2000 cannot traverse it to reach /s/t.
+	if err := other.Create("/s/t/g", 0o644); !errors.Is(err, locofs.ErrPerm) {
+		t.Errorf("create without permission: %v, want ErrPerm", err)
+	}
+	// Sentinels are distinct from each other.
+	if _, err := fs.StatFile("/s/missing"); errors.Is(err, locofs.ErrExist) {
+		t.Errorf("ENOENT matched ErrExist")
+	}
+}
+
+// TestDeadlineAndUnavailableSentinels drives the fault-tolerance errors
+// through the public Dial options: a blackholed FMS yields
+// ErrDeadlineExceeded (also matching context.DeadlineExceeded), and a
+// tripped breaker yields ErrUnavailable; fsapi.Unavailable covers both.
+func TestDeadlineAndUnavailableSentinels(t *testing.T) {
+	cluster, err := locofs.Start(locofs.Options{FMSCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	seed, err := cluster.NewClient(locofs.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Create("/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	fs, err := cluster.NewClient(locofs.ClientConfig{
+		OpTimeout: 30 * time.Millisecond,
+		Retry:     locofs.RetryPolicy{Max: -1},
+		Breaker:   locofs.BreakerConfig{Threshold: 1, Cooldown: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.StatDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Network().SetFault("fms-0", netsim.FaultConfig{Blackhole: true})
+
+	_, err = fs.StatFile("/d/f")
+	if !errors.Is(err, locofs.ErrDeadlineExceeded) {
+		t.Errorf("blackholed stat: %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline error does not match context.DeadlineExceeded: %v", err)
+	}
+	if !fsapi.Unavailable(err) {
+		t.Errorf("fsapi.Unavailable(%v) = false", err)
+	}
+
+	// The breaker is open now: the next call fails fast with EUNAVAIL.
+	_, err = fs.StatFile("/d/f")
+	if !errors.Is(err, locofs.ErrUnavailable) {
+		t.Errorf("fast-failed stat: %v, want ErrUnavailable", err)
+	}
+	if !fsapi.Unavailable(err) {
+		t.Errorf("fsapi.Unavailable(%v) = false", err)
+	}
+	// Application errors are NOT "unavailable".
+	cluster.Network().ClearFault("fms-0")
+	if fsapi.Unavailable(locofs.ErrNotFound) {
+		t.Error("fsapi.Unavailable(ErrNotFound) = true")
+	}
+	if fsapi.Unavailable(nil) {
+		t.Error("fsapi.Unavailable(nil) = true")
+	}
+}
+
+// TestDialOptionsOverTCP exercises the functional options through the
+// public Dial against a real TCP server stack.
+func TestDialOptionsOverTCP(t *testing.T) {
+	newServer := func(attach func(*locofs.RPCServer)) string {
+		rs := locofs.NewRPCServer()
+		attach(rs)
+		l, err := locofs.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rs.Serve(l)
+		t.Cleanup(rs.Shutdown)
+		return l.Addr()
+	}
+	dmsAddr := newServer(locofs.NewDMS(locofs.DMSOptions{}).Attach)
+	fmsAddr := newServer(locofs.NewFMS(locofs.FMSOptions{ServerID: 1}).Attach)
+	ossAddr := newServer(func(rs *locofs.RPCServer) { locofs.NewObjectStore().Attach(rs) })
+
+	fs, err := locofs.Dial(locofs.DialConfig{
+		Dialer:   locofs.TCPDialer{},
+		DMSAddr:  dmsAddr,
+		FMSAddrs: []string{fmsAddr},
+		OSSAddrs: []string{ossAddr},
+	},
+		locofs.WithOpTimeout(2*time.Second),
+		locofs.WithRetry(locofs.RetryPolicy{Max: 2, Base: time.Millisecond}),
+		locofs.WithBreaker(locofs.BreakerConfig{Threshold: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Mkdir("/tcp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/tcp/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.StatFile("/tcp/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.StatFile("/tcp/missing"); !errors.Is(err, locofs.ErrNotFound) {
+		t.Errorf("TCP stat of missing file: %v, want ErrNotFound", err)
+	}
+}

@@ -76,6 +76,37 @@ type Config struct {
 	// and a child span per fan-out branch. Nil disables client tracing; a
 	// tracer shared with in-process servers yields complete trees.
 	Tracer *trace.Tracer
+	// OpTimeout bounds each RPC attempt; an attempt exceeding it fails with
+	// wire.StatusDeadline and the connection is replaced. Zero disables
+	// per-attempt deadlines (the historical behavior).
+	OpTimeout time.Duration
+	// Retry governs automatic retries of failed attempts. The zero value
+	// means DefaultRetry (one immediate retry); Max < 0 disables retries.
+	Retry RetryPolicy
+	// Breaker configures the per-endpoint circuit breaker. The zero value
+	// disables it.
+	Breaker BreakerConfig
+}
+
+// DialOption mutates a Config before Dial uses it; see WithOpTimeout,
+// WithRetry and WithBreaker. Options exist so callers holding a canonical
+// cluster Config can layer fault-tolerance policy on top without copying
+// and editing the struct.
+type DialOption func(*Config)
+
+// WithOpTimeout sets Config.OpTimeout, the per-attempt RPC deadline.
+func WithOpTimeout(d time.Duration) DialOption {
+	return func(c *Config) { c.OpTimeout = d }
+}
+
+// WithRetry sets Config.Retry, the automatic retry policy.
+func WithRetry(p RetryPolicy) DialOption {
+	return func(c *Config) { c.Retry = p }
+}
+
+// WithBreaker sets Config.Breaker, the per-endpoint circuit breaker.
+func WithBreaker(b BreakerConfig) DialOption {
+	return func(c *Config) { c.Breaker = b }
 }
 
 // Client is one LocoLib instance. It is safe for concurrent use.
@@ -158,8 +189,12 @@ func (c *Client) newTrace() uint64 {
 // histograms and call counters (see rpc.MetricRTT, rpc.MetricCalls).
 func (c *Client) Metrics() *telemetry.Registry { return c.telem.reg }
 
-// Dial connects to every server in cfg and returns a ready client.
-func Dial(cfg Config) (*Client, error) {
+// Dial connects to every server in cfg — with any opts applied on top —
+// and returns a ready client.
+func Dial(cfg Config, opts ...DialOption) (*Client, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if cfg.Dialer == nil {
 		return nil, fmt.Errorf("client: nil dialer")
 	}
@@ -179,8 +214,9 @@ func Dial(cfg Config) (*Client, error) {
 		tracer:       cfg.Tracer,
 		traceBase:    (nextClientID.Add(1) & 0xffff) << 48,
 	}
+	res := newResilience(cfg.OpTimeout, cfg.Retry, cfg.Breaker, cfg.Now)
 	dial := func(addr string) (*endpoint, error) {
-		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem)
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res)
 	}
 	var err error
 	if c.dms, err = dial(cfg.DMSAddr); err != nil {

@@ -43,9 +43,9 @@ func testCluster(t *testing.T, fmsCount int) (*netsim.Network, Config) {
 	return n, cfg
 }
 
-func dialTest(t *testing.T, cfg Config) *Client {
+func dialTest(t *testing.T, cfg Config, opts ...DialOption) *Client {
 	t.Helper()
-	c, err := Dial(cfg)
+	c, err := Dial(cfg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"fmt"
 	"log"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,15 @@ type clientTelem struct {
 	// the client, exported as the locofs_client_inflight_rpcs gauge. Fan-out
 	// operations push it to the width of their parallel burst.
 	inflight atomic.Int64
+
+	ffOnce sync.Once
+	ff     *telemetry.Counter
+}
+
+// fastFails returns the breaker fast-fail counter, created on first use.
+func (t *clientTelem) fastFails() *telemetry.Counter {
+	t.ffOnce.Do(func() { t.ff = t.reg.Counter(MetricFastFails) })
+	return t.ff
 }
 
 // MetricInflight is the gauge reporting a client's RPCs currently on the
@@ -33,8 +43,10 @@ type clientTelem struct {
 const MetricInflight = "locofs_client_inflight_rpcs"
 
 type clientOpMetrics struct {
-	rtt   *telemetry.Histogram
-	calls *telemetry.Counter
+	rtt       *telemetry.Histogram
+	calls     *telemetry.Counter
+	retries   *telemetry.Counter
+	deadlines *telemetry.Counter
 }
 
 func (t *clientTelem) forOp(op wire.Op) *clientOpMetrics {
@@ -43,17 +55,24 @@ func (t *clientTelem) forOp(op wire.Op) *clientOpMetrics {
 	}
 	label := telemetry.L("op", op.String())
 	m := &clientOpMetrics{
-		rtt:   t.reg.Histogram(rpc.MetricRTT, label),
-		calls: t.reg.Counter(rpc.MetricCalls, label),
+		rtt:       t.reg.Histogram(rpc.MetricRTT, label),
+		calls:     t.reg.Counter(rpc.MetricCalls, label),
+		retries:   t.reg.Counter(MetricRetries, label),
+		deadlines: t.reg.Counter(MetricDeadlines, label),
 	}
 	actual, _ := t.byOp.LoadOrStore(op, m)
 	return actual.(*clientOpMetrics)
 }
 
-// endpoint is one server connection with transparent re-dial: a call that
-// fails at the transport layer redials the address once and retries, so a
-// server restarted on durable state (locofsd -data) resumes serving
-// existing clients. Application-level statuses are never retried.
+// endpoint is one server connection with transparent re-dial and the
+// client's fault-tolerance policy applied per call: a bounded number of
+// retry attempts with jittered exponential backoff on attempt-level
+// failures (transport errors, per-attempt deadline expiry, explicit
+// EUNAVAIL), a per-attempt deadline from the resilience configuration, and
+// a circuit breaker that fails calls fast while the server is known-dead.
+// Application-level statuses are never retried. Non-idempotent requests
+// carry a dedup id so a retried mutation executes at most once server-side
+// (see wire.Msg.Req).
 //
 // Trip and virtual-time counters aggregate across connection generations,
 // so measurement hooks see one continuous stream.
@@ -62,6 +81,8 @@ type endpoint struct {
 	addr   string
 	link   netsim.LinkConfig
 	telem  *clientTelem // never nil
+	res    *resilience  // never nil
+	brk    *breaker     // never nil (may be disabled)
 
 	mu        sync.Mutex
 	cl        *rpc.Client
@@ -71,8 +92,12 @@ type endpoint struct {
 }
 
 // dialEndpoint connects the first generation.
-func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem) (*endpoint, error) {
-	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem}
+func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience) (*endpoint, error) {
+	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res}
+	e.brk = newBreaker(res.breaker, res.now, func(state string) {
+		telem.reg.Counter(MetricBreaker,
+			telemetry.L("addr", addr), telemetry.L("state", state)).Inc()
+	})
 	cl, err := rpc.Dial(d, addr)
 	if err != nil {
 		return nil, err
@@ -125,16 +150,17 @@ func (e *endpoint) CallT(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte
 	return st, resp, err
 }
 
-// CallV issues one request stamped with oc's trace ID, retrying exactly
-// once through a fresh connection on transport failure, and returns the
+// CallV issues one request stamped with oc's trace ID under the client's
+// fault-tolerance policy (per-attempt deadline, bounded retries through
+// fresh connections, circuit breaker — see callAttempts), and returns the
 // call's modeled (virtual) time alongside the response. The wall-clock
 // round trip is recorded in the client's per-op telemetry, the in-flight
 // gauge covers the call while it is on the wire, and calls slower than the
 // configured threshold are logged with the trace ID and server address so
 // they can be matched against server-side slow-request logs. When the
 // operation carries a span, the RPC gets its own child span (annotated with
-// the server address and any retry) whose ID rides the wire header as the
-// parent of the server-side span.
+// the server address, each retry and any breaker fast-fail) whose ID rides
+// the wire header as the parent of the server-side span.
 func (e *endpoint) CallV(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
 	sp := oc.sp.StartChild("rpc:" + op.String())
 	if sp != nil {
@@ -142,7 +168,7 @@ func (e *endpoint) CallV(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte
 	}
 	t0 := time.Now()
 	e.telem.inflight.Add(1)
-	st, resp, virt, err := e.callOnce(oc.tid, sp, op, body)
+	st, resp, virt, err := e.callAttempts(oc.tid, sp, op, body)
 	e.telem.inflight.Add(-1)
 	rtt := time.Since(t0)
 	m := e.telem.forOp(op)
@@ -223,24 +249,80 @@ func (e *endpoint) CallBatch(oc opCtx, subs []wire.SubReq) ([]wire.SubResp, time
 	return resps, virt, nil
 }
 
-func (e *endpoint) callOnce(tid uint64, sp *trace.Span, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
+// callAttempts runs the per-call resilience loop: up to 1+Retry.Max
+// attempts, each gated by the endpoint's circuit breaker and bounded by the
+// per-attempt deadline. An attempt fails at the attempt level on a
+// transport error, a deadline expiry, or an explicit EUNAVAIL status —
+// anything else (including application errors like ENOENT) returns
+// immediately. Failed attempts retire the connection so the next attempt
+// redials; retries back off with jitter and are annotated on the call's
+// span and counted in telemetry. Non-idempotent operations carry one dedup
+// request id across every attempt, so the server executes them at most
+// once no matter how deliveries are duplicated (wire.Op.Idempotent is the
+// retry matrix; OpBatch envelopes are retried freely because the client
+// only batches idempotent sub-ops: readdir pages and block deletes).
+func (e *endpoint) callAttempts(tid uint64, sp *trace.Span, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
+	var req uint64
+	if !op.Idempotent() && op != wire.OpBatch {
+		req = e.res.nextReq()
+	}
+	m := e.telem.forOp(op)
+	var st wire.Status
+	var resp []byte
+	var virt time.Duration
+	var err error
+	for attempt := 0; attempt <= e.res.retry.Max; attempt++ {
+		if attempt > 0 {
+			d := e.res.retry.backoff(attempt)
+			m.retries.Inc()
+			if sp != nil {
+				sp.Annotate(fmt.Sprintf("retry=%d backoff=%v", attempt, d))
+			}
+			if d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if berr := e.brk.allow(); berr != nil {
+			// Open circuit: fail fast instead of burning a timeout on a
+			// server already known to be down.
+			if sp != nil {
+				sp.Annotate("breaker=fastfail")
+			}
+			e.telem.fastFails().Inc()
+			return wire.StatusUnavailable, nil, virt, berr
+		}
+		st, resp, virt, err = e.callOnce(tid, sp, op, body, req)
+		failed := err != nil || st == wire.StatusUnavailable
+		e.brk.report(!failed)
+		if !failed {
+			return st, resp, virt, nil
+		}
+		if wire.StatusOf(err) == wire.StatusDeadline {
+			m.deadlines.Inc()
+		}
+	}
+	return st, resp, virt, err
+}
+
+// callOnce performs a single attempt on the current connection generation,
+// retiring it on any transport- or deadline-level failure so the next
+// attempt (or call) starts from a fresh dial.
+func (e *endpoint) callOnce(tid uint64, sp *trace.Span, op wire.Op, body []byte, req uint64) (wire.Status, []byte, time.Duration, error) {
 	cl, err := e.current()
 	if err != nil {
 		return wire.StatusIO, nil, 0, err
 	}
-	st, resp, virt, callErr := cl.CallSpanV(op, body, tid, sp.ID())
-	if callErr == nil {
-		return st, resp, virt, nil
-	}
-	e.retire(cl)
-	cl, err = e.current()
+	st, resp, virt, err := cl.Do(rpc.CallSpec{
+		Op: op, Body: body,
+		Trace: tid, Span: sp.ID(), Req: req,
+		Timeout: e.res.timeout,
+	})
 	if err != nil {
-		return wire.StatusIO, nil, 0, callErr
+		// The connection is unusable (died) or suspect (a response may
+		// arrive arbitrarily late after a deadline miss); replace it.
+		e.retire(cl)
 	}
-	if sp != nil {
-		sp.Annotate("retry=1")
-	}
-	return cl.CallSpanV(op, body, tid, sp.ID())
+	return st, resp, virt, err
 }
 
 // Trips returns cumulative round trips across all generations.

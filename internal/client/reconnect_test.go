@@ -92,7 +92,8 @@ func TestEndpointRetryPreservesCounters(t *testing.T) {
 	go rs1.Serve(l)
 
 	e, err := dialEndpoint(n, "srv", netsim.LinkConfig{RTT: time.Millisecond},
-		&clientTelem{reg: telemetry.NewRegistry()})
+		&clientTelem{reg: telemetry.NewRegistry()},
+		newResilience(0, RetryPolicy{}, BreakerConfig{}, nil))
 	if err != nil {
 		t.Fatal(err)
 	}

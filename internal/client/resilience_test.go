@@ -1,0 +1,130 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"locofs/internal/wire"
+)
+
+func TestRetryPolicyNormalized(t *testing.T) {
+	if got := (RetryPolicy{}).normalized(); got != DefaultRetry {
+		t.Errorf("zero policy normalized to %+v, want DefaultRetry", got)
+	}
+	if got := (RetryPolicy{Max: -1}).normalized(); got.Max != 0 {
+		t.Errorf("disabled policy Max = %d, want 0", got.Max)
+	}
+	custom := RetryPolicy{Max: 3, Base: time.Millisecond}
+	if got := custom.normalized(); got != custom {
+		t.Errorf("custom policy altered: %+v", got)
+	}
+}
+
+func TestBackoffEnvelope(t *testing.T) {
+	p := RetryPolicy{Max: 10, Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond}
+	for n, max := range map[int]time.Duration{
+		1:  10 * time.Millisecond,
+		2:  20 * time.Millisecond,
+		3:  40 * time.Millisecond,
+		10: 40 * time.Millisecond, // capped, and the shift must not overflow
+	} {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(n)
+			if d < max/2 || d > max {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", n, d, max/2, max)
+			}
+		}
+	}
+	if d := (RetryPolicy{Max: 1}).backoff(1); d != 0 {
+		t.Errorf("zero-base backoff = %v, want 0", d)
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var transitions []string
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second}, clock,
+		func(s string) { transitions = append(transitions, s) })
+
+	// Closed: failures below the threshold keep admitting calls.
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker refused call %d: %v", i, err)
+		}
+		b.report(false)
+	}
+	// A success resets the consecutive-failure count.
+	b.report(true)
+	b.report(false)
+	b.report(false)
+	if err := b.allow(); err != nil {
+		t.Fatal("breaker tripped before threshold")
+	}
+	// Third consecutive failure trips it.
+	b.report(false)
+	if err := b.allow(); err == nil {
+		t.Fatal("open breaker admitted a call")
+	} else if wire.StatusOf(err) != wire.StatusUnavailable {
+		t.Fatalf("open breaker error = %v, want EUNAVAIL", err)
+	}
+
+	// Cooldown elapses: exactly one probe is admitted (half-open); others
+	// are still refused until it reports.
+	now = now.Add(2 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if err := b.allow(); err == nil {
+		t.Fatal("second call admitted during half-open probe")
+	}
+	// Failed probe re-opens and restarts the cooldown.
+	b.report(false)
+	if err := b.allow(); err == nil {
+		t.Fatal("breaker admitted call right after failed probe")
+	}
+	now = now.Add(2 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	// Successful probe closes the circuit for everyone.
+	b.report(true)
+	if err := b.allow(); err != nil {
+		t.Fatalf("closed breaker refused call: %v", err)
+	}
+
+	want := []string{"open", "half-open", "open", "half-open", "closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerDisabledIsNoop(t *testing.T) {
+	b := newBreaker(BreakerConfig{}, nil, nil)
+	for i := 0; i < 100; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatal("disabled breaker refused a call")
+		}
+		b.report(false)
+	}
+}
+
+func TestNextReqNonZeroAndDistinct(t *testing.T) {
+	r := newResilience(0, RetryPolicy{}, BreakerConfig{}, nil)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := r.nextReq()
+		if id == 0 {
+			t.Fatal("minted zero request id")
+		}
+		if seen[id] {
+			t.Fatalf("request id %#x repeated", id)
+		}
+		seen[id] = true
+	}
+}

@@ -266,6 +266,13 @@ type ClientConfig struct {
 	// Tracer receives the client's spans (see client.Config.Tracer). Pass
 	// the cluster's tracer to get joined client+server trees.
 	Tracer *trace.Tracer
+	// OpTimeout bounds each RPC attempt (see client.Config.OpTimeout).
+	OpTimeout time.Duration
+	// Retry governs automatic retries (see client.RetryPolicy; the zero
+	// value keeps the legacy one-immediate-retry behavior).
+	Retry client.RetryPolicy
+	// Breaker configures the per-endpoint circuit breaker (zero = disabled).
+	Breaker client.BreakerConfig
 }
 
 // NewClient connects a LocoLib client to the cluster.
@@ -291,8 +298,16 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		DisableBatchRPC: cfg.DisableBatchRPC,
 		CacheEntries:    cfg.CacheEntries,
 		Tracer:          cfg.Tracer,
+		OpTimeout:       cfg.OpTimeout,
+		Retry:           cfg.Retry,
+		Breaker:         cfg.Breaker,
 	})
 }
+
+// Network exposes the cluster's in-process fabric, mainly so tests and the
+// fault-injection experiment can plant faults on server addresses (see
+// netsim.Network.SetFault).
+func (c *Cluster) Network() *netsim.Network { return c.net }
 
 // MetadataOpsServed sums completed requests over every metadata server.
 func (c *Cluster) MetadataOpsServed() uint64 {

@@ -4,9 +4,11 @@
 package fsapi
 
 import (
+	"errors"
 	"time"
 
 	"locofs/internal/client"
+	"locofs/internal/wire"
 )
 
 // FS is the metadata surface exercised by the mdtest-style workloads.
@@ -39,6 +41,12 @@ type ExtendedFS interface {
 	Access(path string) error
 }
 
+// Optional interfaces. Not every system implements every capability, so
+// workloads type-assert for these on the FS they were handed and skip (or
+// fall back) when the assertion fails — the same pattern net/http uses for
+// http.Flusher/http.Hijacker. Keep capability extensions here rather than
+// widening FS, so baselines without them keep compiling.
+
 // Coster is implemented by clients that track modeled (virtual) time: the
 // cumulative link delays plus server service times of every call issued.
 // Experiments measure per-operation latency as the delta of Cost around the
@@ -47,7 +55,9 @@ type Coster interface {
 	Cost() time.Duration
 }
 
-// Renamer is implemented by systems supporting directory rename.
+// Renamer is implemented by systems supporting directory rename. moved is
+// the number of relocated directory inodes — the paper's rename-cost metric
+// (§3.4.2).
 type Renamer interface {
 	RenameDir(oldPath, newPath string) (moved int, err error)
 }
@@ -55,6 +65,17 @@ type Renamer interface {
 // FileRenamer is implemented by systems supporting file rename.
 type FileRenamer interface {
 	RenameFile(oldPath, newPath string) error
+}
+
+// Unavailable reports whether err means the operation failed because a
+// server was unreachable rather than because of the operation itself: a
+// per-attempt deadline expired after retries, or the client's circuit
+// breaker failed the call fast. Workloads use it to separate
+// availability-induced errors (worth waiting out or recording as downtime)
+// from genuine application errors like "not found".
+func Unavailable(err error) bool {
+	return errors.Is(err, wire.StatusUnavailable.Err()) ||
+		errors.Is(err, wire.StatusDeadline.Err())
 }
 
 // LocoFS adapts a LocoLib client to the FS interface.

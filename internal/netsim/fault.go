@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultConfig describes an injected fault on every link to one simulated
+// address. Faults are installed with Network.SetFault, apply to existing
+// and future connections alike, and can be changed or cleared while
+// traffic is flowing — which is how tests and the bench "faults"
+// experiment model a flapping server.
+//
+// The zero value injects nothing.
+type FaultConfig struct {
+	// Blackhole silently discards every message in both directions.
+	// Sends still succeed (as they do on a real network whose far end
+	// stopped answering), so only a deadline or health check can detect
+	// the outage.
+	Blackhole bool
+	// DropRequests discards the next N client→server messages.
+	DropRequests int
+	// DropResponses discards the next N server→client messages.
+	DropResponses int
+	// DropEveryN discards every Nth message (both directions counted
+	// together), modeling a lossy link. Zero disables.
+	DropEveryN int
+	// ExtraDelay is added to every message's delivery time on top of the
+	// link's modeled delay, simulating a slow or congested path.
+	ExtraDelay time.Duration
+	// DisconnectAfter closes the connection (both ends, like a TCP reset)
+	// after N more messages have been accepted for delivery. Zero
+	// disables; the countdown is shared by every connection to the
+	// address, so exactly one disconnect fires per installation.
+	DisconnectAfter int
+}
+
+// faultState is the live, mutable fault on one address, shared by every
+// pipe dialed to it.
+type faultState struct {
+	mu  sync.Mutex
+	cfg FaultConfig
+	// seen counts messages that reached the fault filter, driving
+	// DropEveryN and DisconnectAfter.
+	seen int
+}
+
+// faultVerdict is the filter's decision for one message.
+type faultVerdict int
+
+const (
+	faultDeliver    faultVerdict = iota // pass (possibly delayed)
+	faultDrop                           // silently discard
+	faultDisconnect                     // close the connection
+)
+
+// filter decides one message's fate. toServer reports the direction
+// (client→server when true). The returned delay is extra delivery latency.
+func (f *faultState) filter(toServer bool) (faultVerdict, time.Duration) {
+	if f == nil {
+		return faultDeliver, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen++
+	if f.cfg.DisconnectAfter > 0 {
+		f.cfg.DisconnectAfter--
+		if f.cfg.DisconnectAfter == 0 {
+			return faultDisconnect, 0
+		}
+	}
+	if f.cfg.Blackhole {
+		return faultDrop, 0
+	}
+	if toServer && f.cfg.DropRequests > 0 {
+		f.cfg.DropRequests--
+		return faultDrop, 0
+	}
+	if !toServer && f.cfg.DropResponses > 0 {
+		f.cfg.DropResponses--
+		return faultDrop, 0
+	}
+	if n := f.cfg.DropEveryN; n > 0 && f.seen%n == 0 {
+		return faultDrop, 0
+	}
+	return faultDeliver, f.cfg.ExtraDelay
+}
+
+// SetFault installs (or replaces) the fault injected on every connection to
+// addr — those already open and those dialed later. Countdown fields
+// (DropRequests, DropResponses, DisconnectAfter) restart from the new
+// configuration.
+func (n *Network) SetFault(addr string, cfg FaultConfig) {
+	f := n.fault(addr)
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// ClearFault removes any fault injected on addr.
+func (n *Network) ClearFault(addr string) {
+	n.SetFault(addr, FaultConfig{})
+}
+
+// fault returns addr's fault state, creating an empty one on first use so
+// connections share it with later SetFault calls.
+func (n *Network) fault(addr string) *faultState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.faults == nil {
+		n.faults = make(map[string]*faultState)
+	}
+	f, ok := n.faults[addr]
+	if !ok {
+		f = &faultState{}
+		n.faults[addr] = f
+	}
+	return f
+}

@@ -73,6 +73,7 @@ type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*simListener
 	conns     []*pipeEnd
+	faults    map[string]*faultState // per-address injected faults
 	closed    bool
 }
 
@@ -113,6 +114,7 @@ func (n *Network) Dial(addr string) (Conn, error) {
 		return nil, errors.New("netsim: no listener at " + addr)
 	}
 	client, server := newPipePair(n.link)
+	client.fault, server.fault = n.fault(addr), n.fault(addr)
 	select {
 	case l.backlog <- server:
 		n.mu.Lock()
@@ -218,26 +220,50 @@ type timedMsg struct {
 // visible to the peer only after the link delay elapses, modeling
 // propagation + serialization latency while preserving FIFO order.
 type pipeEnd struct {
-	link   LinkConfig
-	out    chan timedMsg // messages we send
-	in     chan timedMsg // messages we receive
-	closed chan struct{}
-	peer   *pipeEnd
-	once   sync.Once
+	link     LinkConfig
+	out      chan timedMsg // messages we send
+	in       chan timedMsg // messages we receive
+	closed   chan struct{}
+	peer     *pipeEnd
+	once     sync.Once
+	fault    *faultState // shared per-address fault filter (nil = none)
+	toServer bool        // true on the client end: our sends travel client→server
 }
 
 func newPipePair(link LinkConfig) (client, server *pipeEnd) {
 	ab := make(chan timedMsg, 1024)
 	ba := make(chan timedMsg, 1024)
-	a := &pipeEnd{link: link, out: ab, in: ba, closed: make(chan struct{})}
+	a := &pipeEnd{link: link, out: ab, in: ba, closed: make(chan struct{}), toServer: true}
 	b := &pipeEnd{link: link, out: ba, in: ab, closed: make(chan struct{})}
 	a.peer, b.peer = b, a
 	return a, b
 }
 
-// Send enqueues m for delivery after the link delay.
+// Send enqueues m for delivery after the link delay, subject to any fault
+// injected on the address (see Network.SetFault): dropped messages vanish
+// with Send still reporting success — exactly what a peer that stopped
+// answering looks like — while an injected disconnect closes both pipe ends
+// like a connection reset.
 func (p *pipeEnd) Send(m *wire.Msg) error {
-	tm := timedMsg{m: m, at: time.Now().Add(p.link.Delay(m.WireSize()))}
+	verdict, extra := p.fault.filter(p.toServer)
+	switch verdict {
+	case faultDrop:
+		return nil
+	case faultDisconnect:
+		p.Close()
+		p.peer.Close()
+		return ErrClosed
+	}
+	// Check closure before racing it against the (usually ready) buffered
+	// channel, so sends on a closed pipe fail deterministically.
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	default:
+	}
+	tm := timedMsg{m: m, at: time.Now().Add(p.link.Delay(m.WireSize()) + extra)}
 	select {
 	case <-p.closed:
 		return ErrClosed

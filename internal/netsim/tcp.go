@@ -4,9 +4,21 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"time"
 
 	"locofs/internal/wire"
 )
+
+// DeadlineSender is the optional Conn extension for transports that can
+// bound how long one send may block (real sockets whose kernel buffers are
+// full because the peer hung). The RPC client uses it when a per-call
+// timeout is configured; transports without it (the in-process pipes, whose
+// sends never block indefinitely) are simply sent to without a bound.
+type DeadlineSender interface {
+	// SendDeadline is Send with an upper bound on blocking time. A zero
+	// timeout means no bound.
+	SendDeadline(m *wire.Msg, timeout time.Duration) error
+}
 
 // tcpConn adapts a net.Conn to the message Conn interface using the wire
 // framing. Sends are serialized by a mutex so multiple goroutines may reply
@@ -25,8 +37,20 @@ func NewTCPConn(c net.Conn) Conn {
 
 // Send writes one framed message.
 func (t *tcpConn) Send(m *wire.Msg) error {
+	return t.SendDeadline(m, 0)
+}
+
+// SendDeadline writes one framed message, bounding the socket write by
+// timeout (zero = unbounded). The write deadline is set and cleared under
+// the send mutex, so concurrent callers with different timeouts do not
+// clobber each other's bounds.
+func (t *tcpConn) SendDeadline(m *wire.Msg, timeout time.Duration) error {
 	t.wm.Lock()
 	defer t.wm.Unlock()
+	if timeout > 0 {
+		t.c.SetWriteDeadline(time.Now().Add(timeout))
+		defer t.c.SetWriteDeadline(time.Time{})
+	}
 	if err := wire.WriteMsg(t.bw, m); err != nil {
 		return err
 	}

@@ -1,0 +1,66 @@
+package rpc
+
+import (
+	"sync"
+
+	"locofs/internal/wire"
+)
+
+// DedupWindow is how many recently-executed request ids a server remembers
+// for at-most-once replay. A retried mutation whose first delivery executed
+// is answered from this window instead of executing twice; a duplicate
+// arriving after its entry was evicted re-executes (and then typically
+// observes its own first execution as EEXIST/ENOENT — the same outcome the
+// pre-dedup client always risked). The window only needs to outlive one
+// client's retry horizon, not the full request history.
+const DedupWindow = 1024
+
+// dedupEntry records one request's outcome. done is closed once the first
+// execution completes, releasing any duplicate deliveries waiting to replay
+// the response.
+type dedupEntry struct {
+	done    chan struct{}
+	status  wire.Status
+	body    []byte
+	service uint64
+}
+
+// dedupWindow is a bounded FIFO map of request id → outcome. The zero value
+// is ready to use.
+type dedupWindow struct {
+	mu   sync.Mutex
+	m    map[uint64]*dedupEntry
+	fifo []uint64
+}
+
+// begin registers req. When req is new it returns (entry, false) and the
+// caller must execute the request and complete the entry; when req was
+// already seen it returns (entry, true) and the caller must wait on
+// entry.done and replay the recorded response.
+func (w *dedupWindow) begin(req uint64) (*dedupEntry, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.m == nil {
+		w.m = make(map[uint64]*dedupEntry)
+	}
+	if e, ok := w.m[req]; ok {
+		return e, true
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	w.m[req] = e
+	w.fifo = append(w.fifo, req)
+	if len(w.fifo) > DedupWindow {
+		evict := w.fifo[0]
+		w.fifo = w.fifo[1:]
+		delete(w.m, evict)
+	}
+	return e, false
+}
+
+// complete records the first execution's outcome and releases duplicates.
+func (e *dedupEntry) complete(status wire.Status, body []byte, service uint64) {
+	e.status = status
+	e.body = body
+	e.service = service
+	close(e.done)
+}

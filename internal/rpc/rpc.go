@@ -27,6 +27,7 @@ const (
 	MetricQueue    = "locofs_rpc_queue_seconds"   // server: receipt -> handler start (worker queue wait)
 	MetricRTT      = "locofs_client_rtt_seconds"  // client: wall-clock round trip
 	MetricCalls    = "locofs_client_calls_total"  // client: calls issued
+	MetricDedup    = "locofs_rpc_dedup_hits_total" // server: duplicate requests answered from the dedup window
 )
 
 // opMetrics caches one op's instrument handles so the hot path does not
@@ -34,6 +35,7 @@ const (
 type opMetrics struct {
 	reqs    *telemetry.Counter
 	errs    *telemetry.Counter
+	dedup   *telemetry.Counter
 	service *telemetry.Histogram
 	queue   *telemetry.Histogram
 }
@@ -52,6 +54,7 @@ func (t *serverTelem) forOp(op wire.Op) *opMetrics {
 	m := &opMetrics{
 		reqs:    t.reg.Counter(MetricRequests, label),
 		errs:    t.reg.Counter(MetricErrors, label),
+		dedup:   t.reg.Counter(MetricDedup, label),
 		service: t.reg.Histogram(MetricService, label),
 		queue:   t.reg.Histogram(MetricQueue, label),
 	}
@@ -82,6 +85,7 @@ type Server struct {
 	telem  atomic.Pointer[serverTelem]
 	tracer atomic.Pointer[serverTracer]
 	slowNS atomic.Int64 // slow-request log threshold (0 = disabled)
+	dedup  dedupWindow  // at-most-once replay cache for retried mutations
 
 	// Served counts completed requests, for load accounting in experiments.
 	Served atomic.Uint64
@@ -268,6 +272,26 @@ func (s *Server) serveConn(conn netsim.Conn) {
 				s.serveBatch(conn, req, recvT)
 				return
 			}
+			// At-most-once: a request carrying a dedup id either registers
+			// as the first delivery (and records its outcome below) or is a
+			// retried duplicate, answered by replaying the first execution's
+			// response — after waiting for it if it is still running. The
+			// duplicate path takes no worker slot: it performs no service
+			// work.
+			var ent *dedupEntry
+			if req.Req != 0 {
+				var dup bool
+				if ent, dup = s.dedup.begin(req.Req); dup {
+					<-ent.done
+					if t := s.telem.Load(); t != nil {
+						t.forOp(req.Op).dedup.Inc()
+					}
+					resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
+						Status: ent.status, ServiceNS: ent.service, Trace: req.Trace, Span: req.Span, Body: ent.body}
+					_ = conn.Send(resp)
+					return
+				}
+			}
 			if s.workers != nil {
 				s.workers <- struct{}{}
 				defer func() { <-s.workers }()
@@ -277,6 +301,9 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			// time spent waiting for a CPU slot — the server-side queueing
 			// the paper's saturation experiments exercise.
 			status, body, service := s.execute(req.Op, req.Body, req.Trace, req.Span, -1, time.Since(recvT))
+			if ent != nil {
+				ent.complete(status, body, uint64(service))
+			}
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span, Body: body}
 			_ = conn.Send(resp)
@@ -532,6 +559,36 @@ func (c *Client) CallTracedV(op wire.Op, body []byte, trace uint64) (wire.Status
 // caller's — the link that joins client-side and server-side span trees.
 // Span 0 means no parent span.
 func (c *Client) CallSpanV(op wire.Op, body []byte, trace, span uint64) (wire.Status, []byte, time.Duration, error) {
+	return c.Do(CallSpec{Op: op, Body: body, Trace: trace, Span: span})
+}
+
+// CallSpec fully describes one RPC: the operation and body plus the wire
+// header's correlation fields and the call's resilience bounds. The zero
+// value of every optional field means "off" (untraced, no dedup id, no
+// deadline).
+type CallSpec struct {
+	Op   wire.Op
+	Body []byte
+	// Trace and Span are the correlation ids stamped on the wire header
+	// (see wire.Msg).
+	Trace, Span uint64
+	// Req is the client-unique request id for server-side duplicate
+	// suppression of retried non-idempotent requests (see wire.Msg.Req).
+	Req uint64
+	// Timeout bounds this attempt: if no response arrives in time the call
+	// returns a wire.StatusDeadline error and the (possibly still
+	// in-flight) response is discarded on arrival. On transports with
+	// bounded sends (netsim.DeadlineSender, i.e. real TCP) the socket
+	// write is bounded by the same timeout. Zero means wait forever.
+	Timeout time.Duration
+}
+
+// Do issues the call described by spec and blocks for its response (or
+// spec.Timeout). The returned error covers transport failures and deadline
+// expiry — the latter distinguishable as wire.StatusOf(err) ==
+// wire.StatusDeadline; application-level failures arrive as a non-OK
+// status with a nil error.
+func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan *wire.Msg, 1)
 	c.mu.Lock()
@@ -543,15 +600,38 @@ func (c *Client) CallSpanV(op wire.Op, body []byte, trace, span uint64) (wire.St
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	req := &wire.Msg{ID: id, Op: op, Trace: trace, Span: span, Body: body}
-	if err := c.conn.Send(req); err != nil {
+	req := &wire.Msg{ID: id, Op: spec.Op, Trace: spec.Trace, Span: spec.Span, Req: spec.Req, Body: spec.Body}
+	var sendErr error
+	if ds, ok := c.conn.(netsim.DeadlineSender); ok && spec.Timeout > 0 {
+		sendErr = ds.SendDeadline(req, spec.Timeout)
+	} else {
+		sendErr = c.conn.Send(req)
+	}
+	if sendErr != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return wire.StatusIO, nil, 0, err
+		return wire.StatusIO, nil, 0, sendErr
 	}
 	c.trips.Add(1)
-	resp, ok := <-ch
+
+	var timeout <-chan time.Time
+	if spec.Timeout > 0 {
+		t := time.NewTimer(spec.Timeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var resp *wire.Msg
+	var ok bool
+	select {
+	case resp, ok = <-ch:
+	case <-timeout:
+		// Forget the pending call; a late response is dropped by readLoop.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return wire.StatusDeadline, nil, 0, wire.StatusDeadline.Err()
+	}
 	if !ok {
 		c.mu.Lock()
 		err := c.err

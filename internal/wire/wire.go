@@ -4,6 +4,7 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -120,6 +121,32 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(0x%04x)", uint16(o))
 }
 
+// Idempotent reports whether re-executing the operation with an identical
+// body is safe — the retry matrix the client's fault-tolerance layer keys
+// off (see DESIGN.md §11). Two classes qualify:
+//
+//   - pure reads: stat, lookup, readdir pages, access checks, open, the
+//     rmdir emptiness probe, block reads, ping;
+//   - absolute-state mutations, where a duplicate execution converges to
+//     the same state and status: chmod/chown (set exact bits/owner),
+//     utimens (set exact times), size updates, block put (same bytes) and
+//     block delete (already-gone is fine).
+//
+// Everything else — create, remove, mkdir, rmdir, renames, truncate,
+// subtree file removal, and the OpBatch envelope — reports false: a replay
+// observes the first execution's effects (EEXIST, ENOENT, an empty removal
+// list), so retries must instead be deduplicated server-side via Msg.Req.
+func (o Op) Idempotent() bool {
+	switch o {
+	case OpPing, OpStatDir, OpStatFile, OpLookupDir, OpReaddirSubdirs,
+		OpReaddirFiles, OpAccessFile, OpOpenFile, OpDirHasFiles, OpGetBlock,
+		OpChmodFile, OpChownFile, OpChmodDir, OpChownDir, OpUtimensFile,
+		OpUpdateSize, OpPutBlock, OpDeleteBlocks:
+		return true
+	}
+	return false
+}
+
 // Status is the result code of a request.
 type Status uint16
 
@@ -135,6 +162,15 @@ const (
 	StatusInval
 	StatusStale // lease/cache epoch mismatch
 	StatusIO
+	// StatusUnavailable reports that the server (or the path to it) is
+	// known-bad right now: the client's circuit breaker is open, or the
+	// server sheds load. Unlike StatusIO it is explicitly retryable after a
+	// backoff.
+	StatusUnavailable
+	// StatusDeadline reports that a call's per-operation deadline expired
+	// before a response arrived. The request may or may not have executed;
+	// mutations are protected by the request-id dedup window (see Msg.Req).
+	StatusDeadline
 )
 
 // String returns a short human-readable form of the status.
@@ -160,6 +196,10 @@ func (s Status) String() string {
 		return "ESTALE"
 	case StatusIO:
 		return "EIO"
+	case StatusUnavailable:
+		return "EUNAVAIL"
+	case StatusDeadline:
+		return "ETIMEDOUT"
 	}
 	return fmt.Sprintf("status(%d)", uint16(s))
 }
@@ -177,6 +217,21 @@ type StatusError struct{ Status Status }
 
 // Error implements error.
 func (e *StatusError) Error() string { return "locofs: " + e.Status.String() }
+
+// Is makes every StatusError of one status match every other via errors.Is,
+// so the public package can export sentinel values (locofs.ErrNotFound etc.)
+// that match errors produced anywhere in the stack. A StatusDeadline error
+// additionally matches context.DeadlineExceeded, the standard-library
+// convention for expired deadlines.
+func (e *StatusError) Is(target error) bool {
+	if se, ok := target.(*StatusError); ok {
+		return se.Status == e.Status
+	}
+	if e.Status == StatusDeadline && target == context.DeadlineExceeded {
+		return true
+	}
+	return false
+}
 
 // StatusOf extracts the Status from an error produced by Status.Err,
 // returning StatusIO for foreign errors and StatusOK for nil.
@@ -212,11 +267,18 @@ type Msg struct {
 	// of one trace into a single tree (see internal/trace). Servers echo
 	// it on responses. Zero means no parent span.
 	Span uint64
+	// Req is a client-unique request identifier stamped on non-idempotent
+	// requests (see Op.Idempotent). It is stable across retry attempts of
+	// one logical call — unlike ID, which is per-connection — so a server
+	// that already executed the request recognizes a retried duplicate in
+	// its dedup window and replays the recorded response instead of
+	// executing twice (at-most-once semantics). Zero means no dedup.
+	Req  uint64
 	Body []byte
 }
 
-// header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8)
-const headerSize = 37
+// header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8) req(8)
+const headerSize = 45
 
 // MaxBody bounds a single message body (64 MiB), protecting servers from
 // malformed frames.
@@ -241,6 +303,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 	binary.BigEndian.PutUint64(hdr[17:], m.ServiceNS)
 	binary.BigEndian.PutUint64(hdr[25:], m.Trace)
 	binary.BigEndian.PutUint64(hdr[33:], m.Span)
+	binary.BigEndian.PutUint64(hdr[41:], m.Req)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -270,6 +333,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		ServiceNS: binary.BigEndian.Uint64(payload[13:]),
 		Trace:     binary.BigEndian.Uint64(payload[21:]),
 		Span:      binary.BigEndian.Uint64(payload[29:]),
+		Req:       binary.BigEndian.Uint64(payload[37:]),
 		Body:      payload[headerSize:],
 	}
 	return m, nil

@@ -29,6 +29,8 @@
 package locofs
 
 import (
+	"time"
+
 	"locofs/internal/client"
 	"locofs/internal/core"
 	"locofs/internal/dms"
@@ -74,8 +76,38 @@ type DirEntry = client.DirEntry
 // (typically over TCP; see TCPDialer).
 type DialConfig = client.Config
 
-// Dial connects a client to the servers in cfg.
-func Dial(cfg DialConfig) (*Client, error) { return client.Dial(cfg) }
+// Dial connects a client to the servers in cfg, with any options applied
+// on top:
+//
+//	fs, err := locofs.Dial(cfg,
+//		locofs.WithOpTimeout(200*time.Millisecond),
+//		locofs.WithRetry(locofs.RetryPolicy{Max: 3, Base: 10 * time.Millisecond}),
+//		locofs.WithBreaker(locofs.BreakerConfig{Threshold: 5}))
+//
+// A zero-option Dial behaves exactly as before the fault-tolerance layer:
+// no per-attempt deadline, one transparent reconnect-retry per call, no
+// circuit breaker.
+func Dial(cfg DialConfig, opts ...DialOption) (*Client, error) { return client.Dial(cfg, opts...) }
+
+// DialOption layers fault-tolerance policy onto a DialConfig at Dial time.
+type DialOption = client.DialOption
+
+// RetryPolicy bounds automatic retries of failed RPC attempts; see
+// client.RetryPolicy for the semantics and the idempotency matrix.
+type RetryPolicy = client.RetryPolicy
+
+// BreakerConfig configures the per-endpoint circuit breaker.
+type BreakerConfig = client.BreakerConfig
+
+// WithOpTimeout bounds each RPC attempt; expiry fails the attempt with
+// ErrDeadlineExceeded (and the retry policy decides whether to try again).
+func WithOpTimeout(d time.Duration) DialOption { return client.WithOpTimeout(d) }
+
+// WithRetry sets the automatic retry policy.
+func WithRetry(p RetryPolicy) DialOption { return client.WithRetry(p) }
+
+// WithBreaker enables the per-endpoint circuit breaker.
+func WithBreaker(b BreakerConfig) DialOption { return client.WithBreaker(b) }
 
 // LinkConfig models a network link (RTT + bandwidth) for virtual-time
 // latency accounting.
