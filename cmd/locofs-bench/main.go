@@ -26,7 +26,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -69,6 +69,9 @@ func main() {
 		// Fault-injection study: deadlines, retries and the circuit breaker
 		// against a blackholed / lossy FMS (see internal/netsim faults).
 		{"faults", func() (*bench.Table, error) { return bench.FigFaults(env) }},
+		// Elasticity study: online FMS add/remove with key migration under
+		// a live workload (see internal/client migrate).
+		{"rebalance", func() (*bench.Table, error) { return bench.FigRebalance(env) }},
 	}
 
 	want := flag.Args()

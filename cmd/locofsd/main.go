@@ -23,6 +23,14 @@
 //	locofsd -role client ... -op-timeout 200ms -retries 3 -retry-backoff 10ms \
 //	        -breaker-failures 5 -breaker-cooldown 2s
 //
+// Online elasticity: the client role doubles as the membership-change
+// coordinator. Start the new FMS process first, then grow the ring from
+// any client (the namespace stays fully readable while keys migrate):
+//
+//	locofsd -role fms -listen :7005 -id 4       # new server, fresh ring ID
+//	locofsd -role client ... -cmd "addfms 4 host:7005"
+//	locofsd -role client ... -cmd "rmfms 4"     # drain it back out
+//
 // Every role accepts -metrics-addr to expose an admin HTTP endpoint with
 // Prometheus-text /metrics (per-op request counts and latency histograms,
 // KV engine activity), /debug/vars, /debug/pprof, /debug/traces (span-level
@@ -41,6 +49,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -305,6 +314,26 @@ func execCmd(cl *client.Client, fields []string) error {
 		}
 		_, err := cl.RenameDir(arg(1), arg(2))
 		return err
+	case "addfms", "rmfms":
+		id, err := strconv.Atoi(arg(1))
+		if err != nil {
+			return fmt.Errorf("%s: ring ID %q: %w", cmd, arg(1), err)
+		}
+		var rep *client.RebalanceReport
+		if cmd == "addfms" {
+			if arg(2) == "" {
+				return fmt.Errorf("addfms: usage: addfms <ring-id> <addr>")
+			}
+			rep, err = cl.AddFMS(int32(id), arg(2))
+		} else {
+			rep, err = cl.RemoveFMS(int32(id))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d -> %d: moved %d/%d files in %d scan passes\n",
+			rep.FromEpoch, rep.ToEpoch, rep.Moved, rep.Total, rep.Passes)
+		return nil
 	}
-	return fmt.Errorf("unknown command %q (mkdir rmdir touch rm ls stat write read mv)", cmd)
+	return fmt.Errorf("unknown command %q (mkdir rmdir touch rm ls stat write read mv addfms rmfms)", cmd)
 }

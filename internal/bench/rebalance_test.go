@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestFigRebalanceShape runs the elasticity experiment at Quick scale and
+// asserts its invariants: both membership changes move the same key set
+// (grow places ~1/5 of the namespace on the new server, shrink drains it
+// back), every file is scanned, and the background workload sees zero
+// ENOENTs for existing files (FigRebalance itself errors otherwise).
+func TestFigRebalanceShape(t *testing.T) {
+	env := Quick()
+	tbl, err := FigRebalance(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (grow + shrink)", len(tbl.Rows))
+	}
+	movedCol := col(t, tbl, "moved")
+	fracCol := col(t, tbl, "frac")
+	enoentCol := col(t, tbl, "ENOENT")
+	grow, shrink := tbl.Rows[0], tbl.Rows[1]
+	if grow[movedCol] != shrink[movedCol] {
+		t.Errorf("grow moved %s keys but shrink moved %s — the same set must drain back",
+			grow[movedCol], shrink[movedCol])
+	}
+	for _, row := range tbl.Rows {
+		frac, err := strconv.ParseFloat(row[fracCol], 64)
+		if err != nil {
+			t.Fatalf("bad frac cell %q: %v", row[fracCol], err)
+		}
+		if frac <= 0 || frac > 0.40 {
+			t.Errorf("%s: moved fraction %.3f implausible for 1/5 ideal", row[0], frac)
+		}
+		if row[enoentCol] != "0" {
+			t.Errorf("%s: %s availability violations", row[0], row[enoentCol])
+		}
+	}
+}

@@ -21,6 +21,7 @@ const DefaultVirtualNodes = 128
 type Ring struct {
 	mu     sync.RWMutex
 	vnodes int
+	epoch  uint64
 	points []point // sorted by hash
 	ids    map[int]struct{}
 }
@@ -128,4 +129,53 @@ func (r *Ring) Size() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.ids)
+}
+
+// Epoch returns the ring's membership epoch. Epochs are assigned by the
+// membership-change coordinator; a ring built statically has epoch 0.
+func (r *Ring) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// SetEpoch stamps the ring with a membership epoch.
+func (r *Ring) SetEpoch(e uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch = e
+}
+
+// Clone returns an independent copy of the ring (same vnode count, servers
+// and epoch). The copy shares no state with the original, so one side can be
+// mutated to model a membership change while the other keeps serving.
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Ring{vnodes: r.vnodes, epoch: r.epoch, ids: make(map[int]struct{}, len(r.ids))}
+	for id := range r.ids {
+		c.ids[id] = struct{}{}
+	}
+	c.points = append([]point(nil), r.points...)
+	return c
+}
+
+// Moved reports whether key is owned by different servers on the two rings —
+// i.e. whether a membership change from old to next relocates it. Both rings
+// must be non-empty.
+func Moved(old, next *Ring, key []byte) bool {
+	return old.Locate(key) != next.Locate(key)
+}
+
+// MovedKeys filters keys down to those whose owner differs between old and
+// next — the ~1/n slice a membership change actually migrates. The returned
+// indices refer to positions in keys.
+func MovedKeys(old, next *Ring, keys [][]byte) []int {
+	var out []int
+	for i, k := range keys {
+		if Moved(old, next, k) {
+			out = append(out, i)
+		}
+	}
+	return out
 }

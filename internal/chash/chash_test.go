@@ -97,6 +97,59 @@ func TestAddIdempotent(t *testing.T) {
 	}
 }
 
+func TestEpochAndClone(t *testing.T) {
+	r := NewRing(0, 0, 1, 2, 3)
+	if r.Epoch() != 0 {
+		t.Errorf("fresh ring epoch = %d, want 0", r.Epoch())
+	}
+	r.SetEpoch(7)
+	c := r.Clone()
+	if c.Epoch() != 7 {
+		t.Errorf("clone epoch = %d, want 7", c.Epoch())
+	}
+	if got := c.Servers(); len(got) != 4 {
+		t.Fatalf("clone servers = %v", got)
+	}
+	// Mutating the clone must not affect the original.
+	c.Add(4)
+	c.SetEpoch(8)
+	if r.Size() != 4 || r.Epoch() != 7 {
+		t.Errorf("original mutated by clone: size=%d epoch=%d", r.Size(), r.Epoch())
+	}
+	// Identical membership ⇒ identical placement.
+	key := []byte("dir-uuid+file-name")
+	c2 := r.Clone()
+	if r.Locate(key) != c2.Locate(key) {
+		t.Error("clone places keys differently")
+	}
+}
+
+func TestMovedKeysFraction(t *testing.T) {
+	old := NewRing(DefaultVirtualNodes, 0, 1, 2, 3)
+	next := old.Clone()
+	next.Add(4)
+	const n = 20000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%d", i))
+	}
+	moved := MovedKeys(old, next, keys)
+	// Ideal is 1/5 of keys; allow generous slack either way.
+	if len(moved) == 0 || len(moved) > n/3 {
+		t.Errorf("MovedKeys moved %d/%d keys, want ≈%d", len(moved), n, n/5)
+	}
+	// Every moved key must be owned by the new server (add case), and every
+	// moved index must agree with Moved.
+	for _, i := range moved {
+		if !Moved(old, next, keys[i]) {
+			t.Fatalf("MovedKeys returned index %d but Moved reports false", i)
+		}
+		if next.Locate(keys[i]) != 4 {
+			t.Fatalf("key %d moved to server %d, not the added server", i, next.Locate(keys[i]))
+		}
+	}
+}
+
 func TestLocateEmptyPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

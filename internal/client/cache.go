@@ -82,8 +82,15 @@ func (c *dirCache) get(path string) (layout.DirInode, bool) {
 	if !ok || c.now().After(e.expires) {
 		c.mu.Lock()
 		c.misses++
-		if ok { // expired: evict
-			delete(c.entries, path)
+		if ok { // expired: evict — but only the entry we actually saw.
+			// Between dropping the read lock and taking the write lock a
+			// concurrent put may have installed a fresh entry under the
+			// same path; deleting blindly would evict it and turn a valid
+			// lease into a spurious miss for every subsequent get. The seq
+			// check deletes only the exact expired entry.
+			if cur, still := c.entries[path]; still && cur.seq == e.seq {
+				delete(c.entries, path)
+			}
 		}
 		c.mu.Unlock()
 		return nil, false

@@ -2,6 +2,8 @@ package client
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -182,5 +184,93 @@ func TestCacheFifoCompaction(t *testing.T) {
 	c.mu.Unlock()
 	if fifoLen > 2*7+16+1 {
 		t.Errorf("fifo holds %d records for %d live entries", fifoLen, c.size())
+	}
+}
+
+// TestCacheExpiryRePutRace: an expired-entry eviction inside get must not
+// delete a fresh entry a concurrent put installed under the same path
+// between get's read-lock probe and its write-lock cleanup. The clock is
+// driven from an atomic so expiry flips while getters are in that window;
+// with the blind delete this loses fresh leases (and the final re-put +
+// get assertion flushes the loss out deterministically).
+func TestCacheExpiryRePutRace(t *testing.T) {
+	var nowNS atomic.Int64
+	base := time.Unix(1000, 0)
+	nowNS.Store(0)
+	clock := func() time.Time { return base.Add(time.Duration(nowNS.Load())) }
+	c := newDirCache(time.Millisecond, clock, 0)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := fmt.Sprintf("/race/%d", i%3)
+				switch w % 3 {
+				case 0:
+					c.put(p, freshInode(uint32(w)))
+				case 1:
+					c.get(p)
+				case 2:
+					nowNS.Add(int64(time.Millisecond) / 4) // expire entries mid-flight
+					c.get(p)
+				}
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// A put must always be visible for its full lease afterwards.
+	c.put("/race/0", freshInode(9))
+	if got, ok := c.get("/race/0"); !ok || got.UID() != 9 {
+		t.Fatalf("fresh put invisible after stress: %v %v", got, ok)
+	}
+}
+
+// TestCacheStressOverlappingSubtrees hammers get/put/invalidateSubtree on
+// overlapping paths; run with -race this is the regression net for the
+// cache's lock discipline.
+func TestCacheStressOverlappingSubtrees(t *testing.T) {
+	c := newDirCache(5*time.Millisecond, nil, 64)
+	paths := []string{"/a", "/a/b", "/a/b/c", "/a/b/c/d", "/a/x", "/z"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 9; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := paths[(i+w)%len(paths)]
+				switch w % 3 {
+				case 0:
+					c.put(p, freshInode(uint32(i)))
+				case 1:
+					c.get(p)
+				case 2:
+					c.invalidateSubtree(paths[w%2]) // "/a" and "/a/b"
+				}
+			}
+		}(w)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if c.size() > 64 {
+		t.Errorf("size %d exceeds cap", c.size())
 	}
 }

@@ -12,6 +12,7 @@ package client
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -38,8 +39,14 @@ type Config struct {
 	// DMSAddr is the directory metadata server address.
 	DMSAddr string
 	// FMSAddrs lists file metadata servers; the slice index is the server
-	// ID used by the consistent-hash ring.
+	// ID used by the consistent-hash ring (unless FMSIDs overrides it).
 	FMSAddrs []string
+	// FMSIDs optionally assigns each FMS its stable ring ID (parallel to
+	// FMSAddrs). Ring IDs must stay stable across membership changes — a
+	// grown cluster keeps existing servers' arcs only if their IDs do not
+	// shift — so clusters that may scale online pass explicit IDs. Nil
+	// means the slice index, the historical static-topology behavior.
+	FMSIDs []int
 	// OSSAddrs lists object store servers (at least one).
 	OSSAddrs []string
 	// DisableCache turns off the client directory cache (LocoFS-NC).
@@ -112,13 +119,23 @@ func WithBreaker(b BreakerConfig) DialOption {
 // Client is one LocoLib instance. It is safe for concurrent use.
 type Client struct {
 	dms   *endpoint
-	fms   []*endpoint
 	oss   []*endpoint
-	ring  *chash.Ring
 	oring *chash.Ring
 	cache *dirCache // nil when disabled
 	uid   uint32
 	gid   uint32
+
+	// FMS routing is epoch-versioned (see view.go): view holds the
+	// immutable current picture, eps is the by-address connection registry
+	// feeding it, maxEpoch the highest membership epoch seen on the wire,
+	// and refreshing collapses concurrent async refreshes into one.
+	view       atomic.Pointer[fmsView]
+	viewMu     sync.Mutex // serializes view installs
+	epMu       sync.Mutex
+	eps        map[string]*endpoint
+	dialFMS    func(addr string) (*endpoint, error)
+	maxEpoch   atomic.Uint64
+	refreshing atomic.Bool
 
 	serialFanOut bool
 	disableBatch bool
@@ -216,20 +233,37 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 	}
 	res := newResilience(cfg.OpTimeout, cfg.Retry, cfg.Breaker, cfg.Now)
 	dial := func(addr string) (*endpoint, error) {
-		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res)
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res, c.observeEpoch)
 	}
+	c.eps = make(map[string]*endpoint)
+	c.dialFMS = dial
 	var err error
 	if c.dms, err = dial(cfg.DMSAddr); err != nil {
 		return nil, fmt.Errorf("client: dial DMS: %w", err)
 	}
-	for _, a := range cfg.FMSAddrs {
-		cl, err := dial(a)
+	if cfg.FMSIDs != nil && len(cfg.FMSIDs) != len(cfg.FMSAddrs) {
+		c.Close()
+		return nil, fmt.Errorf("client: FMSIDs/FMSAddrs length mismatch")
+	}
+	// The initial view is epoch 0 — a static topology. A cluster running
+	// the membership protocol stamps its epoch on the first response and
+	// the client refreshes to the real membership from there.
+	members := make([]fmsMember, 0, len(cfg.FMSAddrs))
+	ids := make([]int, 0, len(cfg.FMSAddrs))
+	for i, a := range cfg.FMSAddrs {
+		ep, err := c.fmsEndpoint(a)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("client: dial FMS %s: %w", a, err)
 		}
-		c.fms = append(c.fms, cl)
+		id := i
+		if cfg.FMSIDs != nil {
+			id = cfg.FMSIDs[i]
+		}
+		members = append(members, fmsMember{id: int32(id), ep: ep})
+		ids = append(ids, id)
 	}
+	c.view.Store(&fmsView{cur: members, ring: chash.NewRing(0, ids...)})
 	for _, a := range cfg.OSSAddrs {
 		cl, err := dial(a)
 		if err != nil {
@@ -238,11 +272,6 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 		}
 		c.oss = append(c.oss, cl)
 	}
-	ids := make([]int, len(c.fms))
-	for i := range ids {
-		ids[i] = i
-	}
-	c.ring = chash.NewRing(0, ids...)
 	oids := make([]int, len(c.oss))
 	for i := range oids {
 		oids[i] = i
@@ -262,6 +291,15 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 			return float64(c.cache.size())
 		}, c.label)
 	}
+	// Align the view with the cluster's installed membership (if any) up
+	// front: the static config above may be behind a cluster that has
+	// already grown or shrunk, and a synchronous refresh here means the
+	// first workload response never triggers a background one — keeping
+	// per-operation trip counts deterministic.
+	if err := c.refreshView(opCtx{}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("client: fetch membership: %w", err)
+	}
 	return c, nil
 }
 
@@ -271,11 +309,12 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 func (c *Client) Close() error {
 	c.telem.reg.Unregister(MetricInflight, c.label)
 	c.telem.reg.Unregister(MetricDirCacheSize, c.label)
-	eps := make([]*endpoint, 0, 1+len(c.fms)+len(c.oss))
+	fmsEps := c.fmsEndpoints()
+	eps := make([]*endpoint, 0, 1+len(fmsEps)+len(c.oss))
 	if c.dms != nil {
 		eps = append(eps, c.dms)
 	}
-	eps = append(eps, c.fms...)
+	eps = append(eps, fmsEps...)
 	eps = append(eps, c.oss...)
 	c.fanOut(opCtx{}, "close", len(eps), func(_ opCtx, i int) (time.Duration, error) {
 		eps[i].Close()
@@ -288,7 +327,7 @@ func (c *Client) Close() error {
 // unit the paper's latency figures are normalized in.
 func (c *Client) Trips() uint64 {
 	n := c.dms.Trips()
-	for _, cl := range c.fms {
+	for _, cl := range c.fmsEndpoints() {
 		n += cl.Trips()
 	}
 	for _, cl := range c.oss {
@@ -304,7 +343,7 @@ func (c *Client) Trips() uint64 {
 // the delta of Cost around the operation.
 func (c *Client) Cost() time.Duration {
 	d := c.dms.VirtualTime()
-	for _, cl := range c.fms {
+	for _, cl := range c.fmsEndpoints() {
 		d += cl.VirtualTime()
 	}
 	for _, cl := range c.oss {
@@ -321,13 +360,13 @@ func (c *Client) CacheStats() (hits, misses uint64) {
 	return c.cache.stats()
 }
 
-// FMSCount returns the number of file metadata servers.
-func (c *Client) FMSCount() int { return len(c.fms) }
+// FMSCount returns the number of file metadata servers in the current
+// membership view.
+func (c *Client) FMSCount() int { return len(c.view.Load().cur) }
 
-// fmsFor returns the FMS endpoint owning (dir, name).
-func (c *Client) fmsFor(dir uuid.UUID, name string) *endpoint {
-	return c.fms[c.ring.Locate(fms.FileKey(dir, name))]
-}
+// Epoch returns the client's installed membership epoch (zero on a static
+// topology).
+func (c *Client) Epoch() uint64 { return c.view.Load().epoch }
 
 // ossFor returns the object store endpoint owning block blk of u.
 func (c *Client) ossFor(u uuid.UUID, blk uint64) *endpoint {
@@ -448,9 +487,13 @@ func (c *Client) Rmdir(path string) (err error) {
 	// Probe every FMS in parallel; the first non-empty (or failed) probe
 	// cancels the branches not yet started, so a busy directory answers at
 	// the speed of its first refusal rather than a full serial sweep.
+	// During a migration window the probe set is the union of the current
+	// and previous FMS sets — a not-yet-migrated file must still veto the
+	// rmdir.
+	fmsEps := c.view.Load().endpoints()
 	probe := wire.NewEnc().UUID(ino.UUID()).Bytes()
-	err = c.fanOut(oc, "probe", len(c.fms), func(boc opCtx, i int) (time.Duration, error) {
-		st, resp, virt, err := c.fms[i].CallV(boc, wire.OpDirHasFiles, probe)
+	err = c.fanOut(oc, "probe", len(fmsEps), func(boc opCtx, i int) (time.Duration, error) {
+		st, resp, virt, err := fmsEps[i].CallV(boc, wire.OpDirHasFiles, probe)
 		if err != nil {
 			return virt, err
 		}
@@ -584,8 +627,11 @@ func (c *Client) Readdir(path string) (out []DirEntry, err error) {
 			U32(ReaddirPageSize).U32(skip).Bytes()
 	}
 	// Branch 0 pages the DMS subdirectory listing (continuing from the
-	// seeded first page, if any); branches 1..n page one FMS each.
-	parts := make([][]DirEntry, 1+len(c.fms))
+	// seeded first page, if any); branches 1..n page one FMS each. During
+	// a migration window the FMS set is the union of the current and
+	// previous members, so files not yet migrated still list.
+	fmsEps := c.view.Load().endpoints()
+	parts := make([][]DirEntry, 1+len(fmsEps))
 	err = c.fanOut(oc, "page", len(parts), func(boc opCtx, i int) (time.Duration, error) {
 		var ents []DirEntry
 		var virt time.Duration
@@ -597,7 +643,7 @@ func (c *Client) Readdir(path string) (out []DirEntry, err error) {
 				ents, virt, err = c.readPages(c.dms, boc, wire.OpReaddirSubdirs, subBody, true)
 			}
 		} else {
-			ents, virt, err = c.readPages(c.fms[i-1], boc, wire.OpReaddirFiles, fileBody, false)
+			ents, virt, err = c.readPages(fmsEps[i-1], boc, wire.OpReaddirFiles, fileBody, false)
 		}
 		parts[i] = ents
 		return virt, err
@@ -609,7 +655,24 @@ func (c *Client) Readdir(path string) (out []DirEntry, err error) {
 		out = append(out, p...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out, nil
+	// A file mid-migration (installed at its new owner, source delete
+	// pending) is listed by both servers; collapse exact duplicates. The
+	// sort groups same-name entries, so only the current run needs
+	// scanning.
+	dedup := out[:0]
+	for _, e := range out {
+		dup := false
+		for j := len(dedup) - 1; j >= 0 && dedup[j].Name == e.Name; j-- {
+			if dedup[j] == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dedup = append(dedup, e)
+		}
+	}
+	return dedup, nil
 }
 
 // StatDir stats a directory (one DMS round trip, or zero on a cache hit).
@@ -642,10 +705,27 @@ func (c *Client) Create(path string, mode uint32) (err error) {
 	if err != nil {
 		return err
 	}
+	// While a migration window is open the file may still live only at its
+	// previous owner; creating blindly at the new owner would succeed and
+	// then be clobbered when the old copy migrates over. Check the previous
+	// owner first — one extra read, paid only during the window.
+	if v := c.view.Load(); v.window() {
+		key := fms.FileKey(parent.UUID(), name)
+		if pe := v.prevOwner(key); pe != nil && pe != v.owner(key) {
+			probe := wire.NewEnc().UUID(parent.UUID()).Str(name).Bytes()
+			pst, _, perr := pe.CallT(oc, wire.OpStatFile, probe)
+			if perr != nil {
+				return perr
+			}
+			if pst == wire.StatusOK {
+				return wire.StatusExist.Err()
+			}
+		}
+	}
 	enc := wire.GetEnc()
 	body := enc.UUID(parent.UUID()).Str(name).
 		U32(mode).U32(c.uid).U32(c.gid).Bool(false).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpCreateFile, body)
+	st, _, err := c.fmsCall(oc, parent.UUID(), name, wire.OpCreateFile, body)
 	enc.Free()
 	if err != nil {
 		return err
@@ -671,7 +751,7 @@ func (c *Client) StatFile(path string) (a *Attr, err error) {
 func (c *Client) statOn(dir uuid.UUID, name string, oc opCtx) (*fms.FileMeta, error) {
 	enc := wire.GetEnc()
 	body := enc.UUID(dir).Str(name).Bytes()
-	st, resp, err := c.fmsFor(dir, name).CallT(oc, wire.OpStatFile, body)
+	st, resp, err := c.fmsCall(oc, dir, name, wire.OpStatFile, body)
 	enc.Free()
 	if err != nil {
 		return nil, err
@@ -729,12 +809,23 @@ func (c *Client) Remove(path string) (err error) {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpRemoveFile, body)
+	st, resp, err := c.fmsCall(oc, parent.UUID(), name, wire.OpRemoveFile, body)
 	if err != nil {
 		return err
 	}
 	if st != wire.StatusOK {
 		return st.Err()
+	}
+	// During a migration window the file may exist at both owners (exported
+	// and installed, source delete pending); removing only one copy would
+	// let the coordinator's next pass resurrect the file from the other.
+	// Best-effort remove at the previous owner too — ENOENT there just
+	// means there was no second copy.
+	if v := c.view.Load(); v.window() {
+		key := fms.FileKey(parent.UUID(), name)
+		if pe := v.prevOwner(key); pe != nil && pe != v.owner(key) {
+			pe.CallT(oc, wire.OpRemoveFile, body)
+		}
 	}
 	u := wire.NewDec(resp).UUID()
 	c.deleteBlocks(oc, blockDel{u: u})
@@ -789,7 +880,7 @@ func (c *Client) Chmod(path string, mode uint32) (err error) {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(mode).U32(c.uid).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpChmodFile, body)
+	st, _, err := c.fmsCall(oc, parent.UUID(), name, wire.OpChmodFile, body)
 	if err != nil {
 		return err
 	}
@@ -805,7 +896,7 @@ func (c *Client) Chown(path string, uid, gid uint32) (err error) {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(uid).U32(gid).U32(c.uid).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpChownFile, body)
+	st, _, err := c.fmsCall(oc, parent.UUID(), name, wire.OpChownFile, body)
 	if err != nil {
 		return err
 	}
@@ -821,7 +912,7 @@ func (c *Client) Access(path string, wantWrite bool) (err error) {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U32(c.uid).U32(c.gid).Bool(wantWrite).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpAccessFile, body)
+	st, _, err := c.fmsCall(oc, parent.UUID(), name, wire.OpAccessFile, body)
 	if err != nil {
 		return err
 	}
@@ -837,7 +928,7 @@ func (c *Client) Utimens(path string, atime, mtime int64) (err error) {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).I64(atime).I64(mtime).Bytes()
-	st, _, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpUtimensFile, body)
+	st, _, err := c.fmsCall(oc, parent.UUID(), name, wire.OpUtimensFile, body)
 	if err != nil {
 		return err
 	}
@@ -853,7 +944,7 @@ func (c *Client) Truncate(path string, size uint64) (err error) {
 		return err
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).U64(size).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpTruncateFile, body)
+	st, resp, err := c.fmsCall(oc, parent.UUID(), name, wire.OpTruncateFile, body)
 	if err != nil {
 		return err
 	}
@@ -938,7 +1029,7 @@ func (c *Client) RenameFile(oldPath, newPath string) (err error) {
 	body := wire.NewEnc().UUID(newParent.UUID()).Str(newName).
 		U32(0).U32(0).U32(0).Bool(true).
 		Blob(m.Access).Blob(m.Content).Bytes()
-	st, _, err := c.fmsFor(newParent.UUID(), newName).CallT(oc, wire.OpCreateFile, body)
+	st, _, err := c.fmsCall(oc, newParent.UUID(), newName, wire.OpCreateFile, body)
 	if err != nil {
 		return err
 	}
@@ -946,7 +1037,7 @@ func (c *Client) RenameFile(oldPath, newPath string) (err error) {
 		return st.Err()
 	}
 	rm := wire.NewEnc().UUID(oldParent.UUID()).Str(oldName).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err = c.fmsFor(oldParent.UUID(), oldName).CallT(oc, wire.OpRemoveFile, rm)
+	st, _, err = c.fmsCall(oc, oldParent.UUID(), oldName, wire.OpRemoveFile, rm)
 	if err != nil {
 		return err
 	}

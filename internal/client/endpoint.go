@@ -84,6 +84,11 @@ type endpoint struct {
 	res    *resilience  // never nil
 	brk    *breaker     // never nil (may be disabled)
 
+	// onEpoch, when set, receives the membership epoch stamped on every
+	// response (see wire.Msg.Epoch) — the client's passive channel for
+	// noticing an FMS membership change without any push protocol.
+	onEpoch func(epoch uint64)
+
 	mu        sync.Mutex
 	cl        *rpc.Client
 	baseTrips uint64
@@ -92,8 +97,8 @@ type endpoint struct {
 }
 
 // dialEndpoint connects the first generation.
-func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience) (*endpoint, error) {
-	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res}
+func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience, onEpoch func(uint64)) (*endpoint, error) {
+	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res, onEpoch: onEpoch}
 	e.brk = newBreaker(res.breaker, res.now, func(state string) {
 		telem.reg.Counter(MetricBreaker,
 			telemetry.L("addr", addr), telemetry.L("state", state)).Inc()
@@ -316,6 +321,7 @@ func (e *endpoint) callOnce(tid uint64, sp *trace.Span, op wire.Op, body []byte,
 		Op: op, Body: body,
 		Trace: tid, Span: sp.ID(), Req: req,
 		Timeout: e.res.timeout,
+		OnEpoch: e.onEpoch,
 	})
 	if err != nil {
 		// The connection is unusable (died) or suspect (a response may

@@ -34,7 +34,7 @@ func (c *Client) Open(path string, write bool) (f *File, err error) {
 	}
 	body := wire.NewEnc().UUID(parent.UUID()).Str(name).
 		U32(c.uid).U32(c.gid).Bool(write).Bytes()
-	st, resp, err := c.fmsFor(parent.UUID(), name).CallT(oc, wire.OpOpenFile, body)
+	st, resp, err := c.fmsCall(oc, parent.UUID(), name, wire.OpOpenFile, body)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +116,7 @@ func (f *File) WriteAt(p []byte, off uint64) (n int, err error) {
 		f.size = end
 	}
 	body := wire.NewEnc().UUID(f.dir).Str(f.name).U64(end).Bytes()
-	st, _, err := f.c.fmsFor(f.dir, f.name).CallT(oc, wire.OpUpdateSize, body)
+	st, _, err := f.c.fmsCall(oc, f.dir, f.name, wire.OpUpdateSize, body)
 	if err != nil {
 		return written, err
 	}

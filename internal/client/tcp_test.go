@@ -122,7 +122,7 @@ func TestFMSCrashSurfacesErrors(t *testing.T) {
 	var on0, on1 string
 	for i := 0; on0 == "" || on1 == ""; i++ {
 		name := fmt.Sprintf("probe%d", i)
-		if c.ring.Locate(fms.FileKey(parent.UUID(), name)) == 0 {
+		if c.view.Load().ring.Locate(fms.FileKey(parent.UUID(), name)) == 0 {
 			if on0 == "" {
 				on0 = name
 			}

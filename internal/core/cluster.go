@@ -160,17 +160,27 @@ type Cluster struct {
 	Metrics map[string]*telemetry.Registry
 
 	rpcServers []*rpc.Server
-	fmsAddrs   []string
+	rsByAddr   map[string]*rpc.Server
 	ossAddrs   []string
+
+	// mu guards the mutable membership state below. members is the live
+	// FMS set (stable ring IDs, never reused); nextFMSID is the next fresh
+	// ID an AddFMS will assign.
+	mu        sync.Mutex
+	fmsAddrs  []string
+	members   []wire.Member
+	nextFMSID int32
+	epoch     uint64
 }
 
 // Start builds and starts a cluster.
 func Start(opts Options) (*Cluster, error) {
 	opts = opts.withDefaults()
 	c := &Cluster{
-		opts:    opts,
-		net:     netsim.NewNetwork(netsim.Loopback),
-		Metrics: make(map[string]*telemetry.Registry),
+		opts:     opts,
+		net:      netsim.NewNetwork(netsim.Loopback),
+		Metrics:  make(map[string]*telemetry.Registry),
+		rsByAddr: make(map[string]*rpc.Server),
 	}
 
 	// Directory metadata server.
@@ -218,6 +228,26 @@ func Start(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 	}
+
+	// Install the initial membership (epoch 1) on every server, making the
+	// cluster elasticity-ready: servers stamp the epoch on responses and
+	// AddFMS/RemoveFMS can install successors. Ring IDs start as the FMS
+	// indices, matching the client's static-config ring exactly.
+	for i := 0; i < opts.FMSCount; i++ {
+		c.members = append(c.members, wire.Member{ID: int32(i), Addr: c.fmsAddrs[i]})
+	}
+	c.nextFMSID = int32(opts.FMSCount)
+	c.epoch = 1
+	m := &wire.Membership{Epoch: c.epoch, FMS: c.members}
+	for addr, rs := range c.rsByAddr {
+		self := -1
+		for _, mm := range c.members {
+			if mm.Addr == addr {
+				self = int(mm.ID)
+			}
+		}
+		rs.SetMembership(m, self)
+	}
 	return c, nil
 }
 
@@ -240,6 +270,7 @@ func (c *Cluster) serve(addr string, store *kv.Instrumented, attach func(*rpc.Se
 	}
 	go rs.Serve(l)
 	c.rpcServers = append(c.rpcServers, rs)
+	c.rsByAddr[addr] = rs
 	return nil
 }
 
@@ -281,11 +312,19 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 	if lease == 0 {
 		lease = c.opts.Lease
 	}
+	c.mu.Lock()
+	fmsAddrs := append([]string{}, c.fmsAddrs...)
+	fmsIDs := make([]int, len(c.members))
+	for i, m := range c.members {
+		fmsIDs[i] = int(m.ID)
+	}
+	c.mu.Unlock()
 	return client.Dial(client.Config{
 		Dialer:          c.net,
 		Link:            c.opts.Link,
 		DMSAddr:         "dms",
-		FMSAddrs:        c.fmsAddrs,
+		FMSAddrs:        fmsAddrs,
+		FMSIDs:          fmsIDs,
 		OSSAddrs:        c.ossAddrs,
 		DisableCache:    cfg.DisableCache || c.opts.DisableClientCache,
 		Lease:           lease,
@@ -302,6 +341,92 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		Retry:           cfg.Retry,
 		Breaker:         cfg.Breaker,
 	})
+}
+
+// AddFMS grows the cluster by one file metadata server while it serves
+// traffic: it starts the server, installs the next membership epoch with
+// the migration window open, relocates the ~1/n of keys the grown ring
+// places on the newcomer, and closes the window. Clients notice the new
+// epoch on their next response and re-route; the namespace stays fully
+// readable throughout (dual-read). Returns the coordinator's report.
+func (c *Cluster) AddFMS() (*client.RebalanceReport, error) {
+	c.mu.Lock()
+	id := c.nextFMSID
+	c.nextFMSID++
+	addr := fmt.Sprintf("fms-%d", id)
+	c.mu.Unlock()
+
+	fstore := kv.Instrument(kv.NewHashStore(), kv.RAM)
+	f := fms.New(fms.Options{
+		Store:            fstore,
+		ServerID:         uint32(id + 1),
+		Coupled:          c.opts.CoupledFileMetadata,
+		CheckPermissions: c.opts.CheckPermissions,
+		BlockSize:        c.opts.BlockSize,
+	})
+	if err := c.serve(addr, fstore, f.Attach); err != nil {
+		return nil, err
+	}
+
+	admin, err := c.NewClient(ClientConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer admin.Close()
+	rep, err := admin.AddFMS(id, addr)
+	if err != nil {
+		return rep, err
+	}
+	c.mu.Lock()
+	c.FMS = append(c.FMS, f)
+	c.fmsAddrs = append(c.fmsAddrs, addr)
+	c.members = append(c.members, wire.Member{ID: id, Addr: addr})
+	c.epoch = rep.ToEpoch
+	c.mu.Unlock()
+	return rep, nil
+}
+
+// RemoveFMS shrinks the cluster by the most recently listed file metadata
+// server, draining every file it holds to the survivors before the window
+// closes. The drained server keeps running — in-flight dual-reads may
+// still land on it — but owns no keys afterwards.
+func (c *Cluster) RemoveFMS() (*client.RebalanceReport, error) {
+	c.mu.Lock()
+	if len(c.members) <= 1 {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: cannot remove the last FMS")
+	}
+	victim := c.members[len(c.members)-1]
+	c.mu.Unlock()
+
+	admin, err := c.NewClient(ClientConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer admin.Close()
+	rep, err := admin.RemoveFMS(victim.ID)
+	if err != nil {
+		return rep, err
+	}
+	c.mu.Lock()
+	c.members = c.members[:len(c.members)-1]
+	for i, a := range c.fmsAddrs {
+		if a == victim.Addr {
+			c.fmsAddrs = append(c.fmsAddrs[:i], c.fmsAddrs[i+1:]...)
+			c.FMS = append(c.FMS[:i], c.FMS[i+1:]...)
+			break
+		}
+	}
+	c.epoch = rep.ToEpoch
+	c.mu.Unlock()
+	return rep, nil
+}
+
+// Epoch returns the cluster's current membership epoch.
+func (c *Cluster) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // Network exposes the cluster's in-process fabric, mainly so tests and the

@@ -657,6 +657,14 @@ func (s *Server) Attach(rs *rpc.Server) {
 		withMeta := d.Bool()
 		if d.Err() == nil {
 			s.touchFile(dir, name)
+			// Ownership guard: when a membership is installed and the
+			// current ring places this key elsewhere, refuse the create
+			// with ESTALE so a client on an old ring refreshes and
+			// retries at the right owner instead of stranding the file
+			// here. Static topologies (no membership) skip the check.
+			if owns, known := rs.OwnsKey(FileKey(dir, name)); known && !owns {
+				return wire.StatusStale, nil
+			}
 		}
 		if withMeta {
 			access, content := d.Blob(), d.Blob()
@@ -829,4 +837,5 @@ func (s *Server) Attach(rs *rpc.Server) {
 		}
 		return wire.StatusOK, e.Bytes()
 	})
+	s.attachMigration(rs)
 }

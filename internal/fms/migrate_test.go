@@ -1,0 +1,172 @@
+package fms
+
+import (
+	"fmt"
+	"testing"
+
+	"locofs/internal/chash"
+	"locofs/internal/uuid"
+	"locofs/internal/wire"
+)
+
+func testModes(t *testing.T, fn func(t *testing.T, coupled bool)) {
+	t.Run("decoupled", func(t *testing.T) { fn(t, false) })
+	t.Run("coupled", func(t *testing.T) { fn(t, true) })
+}
+
+// TestExportMoved: the scan returns exactly the files a grown ring places
+// off this server, with metadata intact, and the unaffected files stay.
+func TestExportMoved(t *testing.T) {
+	testModes(t, func(t *testing.T, coupled bool) {
+		s := New(Options{ServerID: 1, Coupled: coupled})
+		dir := uuid.New(9, 1)
+		// This server is ring id 0 of {0,1,2,3}; place only its share of
+		// the keyspace here, as a correctly-routing client would.
+		old := chash.NewRing(0, 0, 1, 2, 3)
+		next := old.Clone()
+		next.Add(4)
+		const n = 2000
+		placed, want := 0, 0
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("f%04d", i)
+			key := FileKey(dir, name)
+			if old.Locate(key) != 0 {
+				continue
+			}
+			if _, st := s.Create(dir, name, 0o644, 0, 0); st != wire.StatusOK {
+				t.Fatalf("create %d: %v", i, st)
+			}
+			placed++
+			if next.Locate(key) != 0 {
+				want++
+			}
+		}
+		moved, total, more := s.ExportMoved(next, 0, 0)
+		if total != placed {
+			t.Errorf("total = %d, want %d", total, placed)
+		}
+		if more {
+			t.Error("unlimited scan reported more")
+		}
+		if len(moved) != want {
+			t.Errorf("moved %d files, want %d", len(moved), want)
+		}
+		// A grown ring moves roughly 1/5 of this server's keys; certainly
+		// not more than half.
+		if want == 0 || want > placed/2 {
+			t.Fatalf("test setup degenerate: %d/%d keys moved", want, placed)
+		}
+		for _, f := range moved {
+			if next.Locate(FileKey(f.Dir, f.Name)) == 0 {
+				t.Fatalf("exported %q but new ring keeps it here", f.Name)
+			}
+			if f.Meta == nil || !f.Meta.Access.Valid() || !f.Meta.Content.Valid() {
+				t.Fatalf("exported %q with invalid metadata", f.Name)
+			}
+		}
+		// A limited scan pages and reports more.
+		if want > 1 {
+			part, total2, more2 := s.ExportMoved(next, 0, 1)
+			if len(part) != 1 || !more2 || total2 != placed {
+				t.Errorf("limited scan: %d files, more=%v, total=%d", len(part), more2, total2)
+			}
+		}
+	})
+}
+
+// TestMigrateInstallAndDelete: a moved file installs at the new owner
+// (listable there exactly once, even after a replayed install) and the
+// conditional delete retires the source copy only while it is unmutated.
+func TestMigrateInstallAndDelete(t *testing.T) {
+	testModes(t, func(t *testing.T, coupled bool) {
+		src := New(Options{ServerID: 1, Coupled: coupled})
+		dst := New(Options{ServerID: 2, Coupled: coupled})
+		dir := uuid.New(9, 1)
+		u, st := src.Create(dir, "victim", 0o640, 7, 8)
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		meta, st := src.Getattr(dir, "victim")
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+
+		if st := dst.MigrateInstall(dir, "victim", meta); st != wire.StatusOK {
+			t.Fatalf("install: %v", st)
+		}
+		got, st := dst.Getattr(dir, "victim")
+		if st != wire.StatusOK || got.UUID() != u || got.Access.Mode()&0o777 != 0o640 {
+			t.Fatalf("installed meta = %+v st=%v", got, st)
+		}
+		// Replayed install must not duplicate the dirent.
+		if st := dst.MigrateInstall(dir, "victim", meta); st != wire.StatusOK {
+			t.Fatalf("re-install: %v", st)
+		}
+		ents, _, st := dst.ReaddirFiles(dir, "", 100)
+		if st != wire.StatusOK || len(ents) != 1 || ents[0].Name != "victim" {
+			t.Fatalf("dirents after replayed install = %v (%v)", ents, st)
+		}
+
+		// Delete with stale bytes (simulating a post-export mutation at the
+		// source) must be refused.
+		if st := src.Chmod(dir, "victim", 0o600, 7); st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		deleted, st := src.MigrateDelete(dir, "victim", meta.Access, meta.Content)
+		if st != wire.StatusOK || deleted {
+			t.Fatalf("stale delete: deleted=%v st=%v — mutation would be lost", deleted, st)
+		}
+		if _, st := src.Getattr(dir, "victim"); st != wire.StatusOK {
+			t.Fatal("mutated source copy gone after refused delete")
+		}
+
+		// Re-export (next scan pass) and delete with current bytes.
+		meta2, st := src.Getattr(dir, "victim")
+		if st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		deleted, st = src.MigrateDelete(dir, "victim", meta2.Access, meta2.Content)
+		if st != wire.StatusOK || !deleted {
+			t.Fatalf("delete: deleted=%v st=%v", deleted, st)
+		}
+		if _, st := src.Getattr(dir, "victim"); st != wire.StatusNotFound {
+			t.Fatal("source copy survives delete")
+		}
+		ents, _, st = src.ReaddirFiles(dir, "", 100)
+		if st != wire.StatusOK || len(ents) != 0 {
+			t.Fatalf("source dirents after delete = %v (%v)", ents, st)
+		}
+		// A retried delete converges: already gone, not an error.
+		deleted, st = src.MigrateDelete(dir, "victim", meta2.Access, meta2.Content)
+		if st != wire.StatusOK || deleted {
+			t.Fatalf("retried delete: deleted=%v st=%v", deleted, st)
+		}
+	})
+}
+
+// TestMigrateInstallOverwrites: a second install with newer bytes replaces
+// the copy (re-export after a source mutation must converge on the newest
+// export).
+func TestMigrateInstallOverwrites(t *testing.T) {
+	testModes(t, func(t *testing.T, coupled bool) {
+		src := New(Options{ServerID: 1, Coupled: coupled})
+		dst := New(Options{ServerID: 2, Coupled: coupled})
+		dir := uuid.New(9, 1)
+		if _, st := src.Create(dir, "f", 0o644, 0, 0); st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		m1, _ := src.Getattr(dir, "f")
+		if st := dst.MigrateInstall(dir, "f", m1); st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		src.Chmod(dir, "f", 0o755, 0)
+		m2, _ := src.Getattr(dir, "f")
+		if st := dst.MigrateInstall(dir, "f", m2); st != wire.StatusOK {
+			t.Fatal(st)
+		}
+		got, st := dst.Getattr(dir, "f")
+		if st != wire.StatusOK || got.Access.Mode()&0o777 != 0o755 {
+			t.Fatalf("overwritten meta mode = %o st=%v", got.Access.Mode()&0o777, st)
+		}
+	})
+}

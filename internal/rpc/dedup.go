@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"locofs/internal/wire"
 )
@@ -19,10 +20,11 @@ const DedupWindow = 1024
 // execution completes, releasing any duplicate deliveries waiting to replay
 // the response.
 type dedupEntry struct {
-	done    chan struct{}
-	status  wire.Status
-	body    []byte
-	service uint64
+	done      chan struct{}
+	completed atomic.Bool // set just before done is closed; eviction guard
+	status    wire.Status
+	body      []byte
+	service   uint64
 }
 
 // dedupWindow is a bounded FIFO map of request id → outcome. The zero value
@@ -31,6 +33,12 @@ type dedupWindow struct {
 	mu   sync.Mutex
 	m    map[uint64]*dedupEntry
 	fifo []uint64
+	// inflightSkips counts entries that reached the head of the eviction
+	// queue while their request was still executing and were spared —
+	// evicting them would let a concurrent retry re-execute the mutation,
+	// breaking at-most-once. Exported as
+	// locofs_rpc_dedup_inflight_skips_total.
+	inflightSkips atomic.Uint64
 }
 
 // begin registers req. When req is new it returns (entry, false) and the
@@ -50,11 +58,34 @@ func (w *dedupWindow) begin(req uint64) (*dedupEntry, bool) {
 	w.m[req] = e
 	w.fifo = append(w.fifo, req)
 	if len(w.fifo) > DedupWindow {
-		evict := w.fifo[0]
-		w.fifo = w.fifo[1:]
-		delete(w.m, evict)
+		// Evict the oldest *completed* entry. In-flight entries must stay:
+		// their first delivery is still executing, so evicting them would
+		// let a retry slip past the window and run the mutation twice. If
+		// every entry is in-flight (a pathological burst) the window
+		// temporarily overflows rather than giving up the guarantee.
+		for i, id := range w.fifo {
+			ent := w.m[id]
+			if ent != nil && !ent.completed.Load() {
+				w.inflightSkips.Add(1)
+				continue
+			}
+			delete(w.m, id)
+			w.fifo = append(w.fifo[:i], w.fifo[i+1:]...)
+			break
+		}
 	}
 	return e, false
+}
+
+// InflightSkips returns how many evictions were skipped because the entry's
+// request was still executing.
+func (w *dedupWindow) InflightSkips() uint64 { return w.inflightSkips.Load() }
+
+// size returns the current number of remembered request ids.
+func (w *dedupWindow) size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.fifo)
 }
 
 // complete records the first execution's outcome and releases duplicates.
@@ -62,5 +93,6 @@ func (e *dedupEntry) complete(status wire.Status, body []byte, service uint64) {
 	e.status = status
 	e.body = body
 	e.service = service
+	e.completed.Store(true)
 	close(e.done)
 }

@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"locofs/internal/chash"
+	"locofs/internal/netsim"
+	"locofs/internal/wire"
+)
+
+func testMembership(epoch uint64) *wire.Membership {
+	return &wire.Membership{
+		Epoch: epoch,
+		FMS:   []wire.Member{{ID: 0, Addr: "fms-0"}, {ID: 1, Addr: "fms-1"}},
+	}
+}
+
+// TestSetMembershipEpochGuard: an install with an older epoch is refused,
+// same-or-newer accepted, and Epoch tracks the installed membership.
+func TestSetMembershipEpochGuard(t *testing.T) {
+	s := NewServer()
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh server epoch = %d", s.Epoch())
+	}
+	if m, self := s.Membership(); m != nil || self != -1 {
+		t.Fatalf("fresh server membership = %v self=%d", m, self)
+	}
+	if !s.SetMembership(testMembership(3), 0) {
+		t.Fatal("install epoch 3 refused")
+	}
+	if s.SetMembership(testMembership(2), 0) {
+		t.Error("older epoch accepted")
+	}
+	if !s.SetMembership(testMembership(3), 0) {
+		t.Error("equal epoch refused (re-push must be idempotent)")
+	}
+	if !s.SetMembership(testMembership(4), 1) {
+		t.Error("newer epoch refused")
+	}
+	if s.Epoch() != 4 {
+		t.Errorf("epoch = %d, want 4", s.Epoch())
+	}
+	if m, self := s.Membership(); m.Epoch != 4 || self != 1 {
+		t.Errorf("membership = %+v self=%d", m, self)
+	}
+}
+
+// TestOwnsKey: with a membership installed the server answers ownership
+// exactly as the equivalent client-side ring would; without one (or as a
+// non-FMS) ownership is unknowable.
+func TestOwnsKey(t *testing.T) {
+	s := NewServer()
+	if _, known := s.OwnsKey([]byte("k")); known {
+		t.Error("static topology reported known ownership")
+	}
+	s.SetMembership(testMembership(1), 1)
+	ring := chash.NewRing(0, 0, 1)
+	agree := 0
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		owns, known := s.OwnsKey([]byte(k))
+		if !known {
+			t.Fatalf("ownership unknown for %q", k)
+		}
+		if owns == (ring.Locate([]byte(k)) == 1) {
+			agree++
+		}
+	}
+	if agree != 8 {
+		t.Errorf("OwnsKey disagrees with ring on %d/8 keys", 8-agree)
+	}
+	// A non-FMS participant (self=-1) tracks the epoch but not ownership.
+	s2 := NewServer()
+	s2.SetMembership(testMembership(2), -1)
+	if _, known := s2.OwnsKey([]byte("k")); known {
+		t.Error("self=-1 reported known ownership")
+	}
+	if s2.Epoch() != 2 {
+		t.Errorf("non-FMS epoch = %d, want 2", s2.Epoch())
+	}
+}
+
+// TestMembershipOverWire: OpSetMembership/OpGetMembership round trip over
+// the transport, responses carry the installed epoch, and CallSpec.OnEpoch
+// observes it.
+func TestMembershipOverWire(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	t.Cleanup(func() { n.Close() })
+	s := NewServer()
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+	c, err := Dial(n, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// No membership yet: get reports ENOENT, responses carry epoch 0.
+	st, _, _, err := c.Do(CallSpec{Op: wire.OpGetMembership})
+	if err != nil || st != wire.StatusNotFound {
+		t.Fatalf("get before set = %v %v", st, err)
+	}
+
+	m := testMembership(5)
+	st, _, _, err = c.Do(CallSpec{Op: wire.OpSetMembership, Body: wire.EncodeSetMembership(m, 0)})
+	if err != nil || st != wire.StatusOK {
+		t.Fatalf("set = %v %v", st, err)
+	}
+	// A stale push is refused with ESTALE.
+	st, _, _, _ = c.Do(CallSpec{Op: wire.OpSetMembership, Body: wire.EncodeSetMembership(testMembership(4), 0)})
+	if st != wire.StatusStale {
+		t.Errorf("stale set = %v, want ESTALE", st)
+	}
+
+	var seen atomic.Uint64
+	st, body, _, err := c.Do(CallSpec{Op: wire.OpGetMembership, OnEpoch: func(e uint64) { seen.Store(e) }})
+	if err != nil || st != wire.StatusOK {
+		t.Fatalf("get = %v %v", st, err)
+	}
+	got, err := wire.DecodeMembership(body)
+	if err != nil || got.Epoch != 5 || len(got.FMS) != 2 {
+		t.Errorf("membership = %+v err=%v", got, err)
+	}
+	if seen.Load() != 5 {
+		t.Errorf("OnEpoch observed %d, want 5", seen.Load())
+	}
+}

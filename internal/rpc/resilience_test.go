@@ -173,13 +173,16 @@ func TestDedupInFlightDuplicateWaits(t *testing.T) {
 	}
 }
 
-// TestDedupWindowEviction: the FIFO window forgets the oldest ids, so a
-// very late duplicate re-executes rather than pinning memory forever.
+// TestDedupWindowEviction: the FIFO window forgets the oldest completed
+// ids, so a very late duplicate re-executes rather than pinning memory
+// forever.
 func TestDedupWindowEviction(t *testing.T) {
 	var w dedupWindow
-	if _, dup := w.begin(1); dup {
+	e1, dup := w.begin(1)
+	if dup {
 		t.Fatal("fresh id reported as duplicate")
 	}
+	e1.complete(wire.StatusOK, nil, 0)
 	for i := 2; i <= DedupWindow+1; i++ {
 		e, dup := w.begin(uint64(i))
 		if dup {
@@ -194,6 +197,129 @@ func TestDedupWindowEviction(t *testing.T) {
 	// A live id is still recognized.
 	if _, dup := w.begin(DedupWindow + 1); !dup {
 		t.Error("recent id forgotten")
+	}
+}
+
+// TestDedupWindowInFlightNotEvicted: an entry whose request is still
+// executing survives the FIFO overflowing past DedupWindow — evicting it
+// would let a concurrent retry re-execute the mutation. The spared
+// evictions are counted, and completed neighbors are evicted instead.
+func TestDedupWindowInFlightNotEvicted(t *testing.T) {
+	var w dedupWindow
+	parked, dup := w.begin(1) // in-flight: never completed during the flood
+	if dup {
+		t.Fatal("fresh id reported as duplicate")
+	}
+	// Flood the window far past DedupWindow with completed entries.
+	for i := 2; i <= 2*DedupWindow; i++ {
+		e, dup := w.begin(uint64(i))
+		if dup {
+			t.Fatalf("id %d reported as duplicate", i)
+		}
+		e.complete(wire.StatusOK, []byte{byte(i)}, 0)
+	}
+	// The parked entry must still be tracked: its duplicate must wait and
+	// replay, not re-execute.
+	got, dup := w.begin(1)
+	if !dup {
+		t.Fatal("in-flight entry was evicted by the flood")
+	}
+	if got != parked {
+		t.Fatal("duplicate resolved to a different entry")
+	}
+	if w.InflightSkips() == 0 {
+		t.Error("no in-flight eviction skips counted")
+	}
+	// The window did not balloon: only the one in-flight entry overflows.
+	if n := w.size(); n > DedupWindow+1 {
+		t.Errorf("window size = %d, want <= %d", n, DedupWindow+1)
+	}
+	// Once completed, the parked entry's duplicate replays its outcome...
+	parked.complete(wire.StatusExist, []byte("first"), 7)
+	select {
+	case <-got.done:
+	default:
+		t.Fatal("duplicate's entry not released by complete")
+	}
+	if got.status != wire.StatusExist || string(got.body) != "first" {
+		t.Errorf("replayed outcome = %v %q", got.status, got.body)
+	}
+	// ...and the entry becomes evictable by further traffic.
+	for i := 2 * DedupWindow; i <= 3*DedupWindow+2; i++ {
+		e, dup := w.begin(uint64(i))
+		if !dup {
+			e.complete(wire.StatusOK, nil, 0)
+		}
+	}
+	if _, dup := w.begin(1); dup {
+		t.Error("completed entry never evicted")
+	}
+}
+
+// TestDedupInFlightSkipsEndToEnd: with a server worker parked mid-mutation,
+// flooding the dedup window does not evict the parked request's entry; its
+// retry replays the recorded response (one execution total) and the skip
+// counter surfaces through the server.
+func TestDedupInFlightSkipsEndToEnd(t *testing.T) {
+	n := netsim.NewNetwork(netsim.Loopback)
+	t.Cleanup(func() { n.Close() })
+	s := NewServer()
+	var execs atomic.Int64
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.Handle(wire.Op(0x0F00), func(body []byte) (wire.Status, []byte) {
+		execs.Add(1)
+		entered <- struct{}{}
+		<-release
+		return wire.StatusOK, []byte("once")
+	})
+	s.Handle(wire.Op(0x0F01), func(body []byte) (wire.Status, []byte) {
+		return wire.StatusOK, nil
+	})
+	l, _ := n.Listen("srv")
+	go s.Serve(l)
+	c, err := Dial(n, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Park one mutation mid-execution.
+	parkedDone := make(chan string, 1)
+	go func() {
+		_, b, _, _ := c.Do(CallSpec{Op: wire.Op(0x0F00), Req: 0xAAAA})
+		parkedDone <- string(b)
+	}()
+	<-entered
+	// Flood the window past DedupWindow with other deduped requests.
+	for i := 0; i < DedupWindow+64; i++ {
+		if st, _, _, err := c.Do(CallSpec{Op: wire.Op(0x0F01), Req: 0x10000 + uint64(i)}); err != nil || st != wire.StatusOK {
+			t.Fatalf("flood call %d: %v %v", i, st, err)
+		}
+	}
+	if s.DedupInflightSkips() == 0 {
+		t.Error("server counted no in-flight eviction skips")
+	}
+	// Retry of the parked request must wait for the original, not re-run.
+	retryDone := make(chan string, 1)
+	go func() {
+		_, b, _, _ := c.Do(CallSpec{Op: wire.Op(0x0F00), Req: 0xAAAA})
+		retryDone <- string(b)
+	}()
+	select {
+	case b := <-retryDone:
+		t.Fatalf("retry completed while original parked (body %q)", b)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if b := <-parkedDone; b != "once" {
+		t.Errorf("original body = %q", b)
+	}
+	if b := <-retryDone; b != "once" {
+		t.Errorf("retry body = %q, want replay", b)
+	}
+	if execs.Load() != 1 {
+		t.Errorf("handler executed %d times, want 1", execs.Load())
 	}
 }
 

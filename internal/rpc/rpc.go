@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locofs/internal/chash"
 	"locofs/internal/netsim"
 	"locofs/internal/telemetry"
 	"locofs/internal/trace"
@@ -28,6 +29,10 @@ const (
 	MetricRTT      = "locofs_client_rtt_seconds"  // client: wall-clock round trip
 	MetricCalls    = "locofs_client_calls_total"  // client: calls issued
 	MetricDedup    = "locofs_rpc_dedup_hits_total" // server: duplicate requests answered from the dedup window
+	// MetricDedupInflightSkips counts dedup-window evictions skipped because
+	// the entry's first delivery was still executing — evicting it would
+	// have let a retry re-execute the mutation.
+	MetricDedupInflightSkips = "locofs_rpc_dedup_inflight_skips_total"
 )
 
 // opMetrics caches one op's instrument handles so the hot path does not
@@ -87,6 +92,13 @@ type Server struct {
 	slowNS atomic.Int64 // slow-request log threshold (0 = disabled)
 	dedup  dedupWindow  // at-most-once replay cache for retried mutations
 
+	// member holds the installed FMS membership (nil on a static
+	// topology); epoch mirrors member's epoch for lock-free stamping on
+	// every response header. memberMu serializes installs (a cold path).
+	memberMu sync.Mutex
+	member   atomic.Pointer[memberState]
+	epoch    atomic.Uint64
+
 	// Served counts completed requests, for load accounting in experiments.
 	Served atomic.Uint64
 	// busyNS accumulates total service time (measured + modeled) across
@@ -117,8 +129,84 @@ func NewServerWithWorkers(workers int) *Server {
 	s.Handle(wire.OpPing, func(body []byte) (wire.Status, []byte) {
 		return wire.StatusOK, body
 	})
+	s.Handle(wire.OpGetMembership, func(body []byte) (wire.Status, []byte) {
+		ms := s.member.Load()
+		if ms == nil {
+			return wire.StatusNotFound, nil
+		}
+		return wire.StatusOK, wire.EncodeMembership(ms.m)
+	})
+	s.Handle(wire.OpSetMembership, func(body []byte) (wire.Status, []byte) {
+		m, self, err := wire.DecodeSetMembership(body)
+		if err != nil {
+			return wire.StatusInval, []byte(err.Error())
+		}
+		if !s.SetMembership(m, self) {
+			return wire.StatusStale, nil
+		}
+		return wire.StatusOK, nil
+	})
 	return s
 }
+
+// memberState couples an installed membership with this server's own ring
+// ID inside it (-1 for servers off the FMS ring) and the ring built from
+// the membership's current FMS set, cached for OwnsKey.
+type memberState struct {
+	m    *wire.Membership
+	self int
+	ring *chash.Ring
+}
+
+// SetMembership installs m if its epoch is not older than the currently
+// installed one, reporting whether it was accepted. self is this server's
+// ring ID within m (-1 when the server is not an FMS — it then tracks the
+// epoch but OwnsKey stays unknowable). Subsequent responses carry m.Epoch
+// in their headers, which is how clients discover a membership change.
+func (s *Server) SetMembership(m *wire.Membership, self int) bool {
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+	if cur := s.member.Load(); cur != nil && m.Epoch < cur.m.Epoch {
+		return false
+	}
+	ms := &memberState{m: m, self: self}
+	if self >= 0 && len(m.FMS) > 0 {
+		ms.ring = chash.NewRing(0, m.IDs()...)
+		ms.ring.SetEpoch(m.Epoch)
+	}
+	s.member.Store(ms)
+	s.epoch.Store(m.Epoch)
+	return true
+}
+
+// Membership returns the installed membership and this server's ring ID in
+// it, or (nil, -1) on a static topology.
+func (s *Server) Membership() (*wire.Membership, int) {
+	ms := s.member.Load()
+	if ms == nil {
+		return nil, -1
+	}
+	return ms.m, ms.self
+}
+
+// Epoch returns the installed membership epoch (0 = static topology).
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// OwnsKey reports whether this server owns key under the installed
+// membership's current ring. known is false when no membership is
+// installed or the server is not an FMS — callers must then skip the
+// check (static topologies keep working unguarded).
+func (s *Server) OwnsKey(key []byte) (owns, known bool) {
+	ms := s.member.Load()
+	if ms == nil || ms.ring == nil {
+		return false, false
+	}
+	return ms.ring.Locate(key) == ms.self, true
+}
+
+// DedupInflightSkips returns how many dedup-window evictions were skipped
+// because the entry's request was still executing.
+func (s *Server) DedupInflightSkips() uint64 { return s.dedup.InflightSkips() }
 
 // Handle registers fn for op, replacing any previous handler.
 func (s *Server) Handle(op wire.Op, fn HandlerFunc) {
@@ -161,6 +249,9 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 		s.telem.Store(nil)
 		return
 	}
+	reg.GaugeFunc(MetricDedupInflightSkips, func() float64 {
+		return float64(s.dedup.InflightSkips())
+	})
 	s.telem.Store(&serverTelem{reg: reg})
 }
 
@@ -287,7 +378,8 @@ func (s *Server) serveConn(conn netsim.Conn) {
 						t.forOp(req.Op).dedup.Inc()
 					}
 					resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
-						Status: ent.status, ServiceNS: ent.service, Trace: req.Trace, Span: req.Span, Body: ent.body}
+						Status: ent.status, ServiceNS: ent.service, Trace: req.Trace, Span: req.Span,
+						Epoch: s.epoch.Load(), Body: ent.body}
 					_ = conn.Send(resp)
 					return
 				}
@@ -305,7 +397,8 @@ func (s *Server) serveConn(conn netsim.Conn) {
 				ent.complete(status, body, uint64(service))
 			}
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
-				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span, Body: body}
+				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span,
+				Epoch: s.epoch.Load(), Body: body}
 			_ = conn.Send(resp)
 		}(req)
 	}
@@ -379,7 +472,8 @@ func (s *Server) execute(op wire.Op, reqBody []byte, trace, parentSpan uint64, s
 func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 	reply := func(st wire.Status, body []byte, service time.Duration) {
 		resp := &wire.Msg{ID: req.ID, IsResp: true, Op: wire.OpBatch,
-			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span, Body: body}
+			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span,
+			Epoch: s.epoch.Load(), Body: body}
 		_ = conn.Send(resp)
 	}
 	// The envelope gets its own server-side span under the client's span;
@@ -581,6 +675,11 @@ type CallSpec struct {
 	// bounded sends (netsim.DeadlineSender, i.e. real TCP) the socket
 	// write is bounded by the same timeout. Zero means wait forever.
 	Timeout time.Duration
+	// OnEpoch, if set, is invoked with the response header's membership
+	// epoch when it is non-zero — the hook the client library uses to
+	// notice, on ordinary traffic, that the cluster installed a newer FMS
+	// membership than the one its ring was built from.
+	OnEpoch func(epoch uint64)
 }
 
 // Do issues the call described by spec and blocks for its response (or
@@ -647,6 +746,9 @@ func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
 	}
 	virt += time.Duration(resp.ServiceNS)
 	c.virtNS.Add(uint64(virt))
+	if resp.Epoch != 0 && spec.OnEpoch != nil {
+		spec.OnEpoch(resp.Epoch)
+	}
 	return resp.Status, resp.Body, virt, nil
 }
 

@@ -1,0 +1,89 @@
+package wire
+
+// Member is one FMS in a cluster membership: a stable ring ID (the label
+// the consistent-hash ring hashes, so it must never be reused for a
+// different server) and the server's transport address.
+type Member struct {
+	ID   int32
+	Addr string
+}
+
+// Membership is the epoch-versioned FMS set of the cluster. During a
+// membership change the coordinator installs an intermediate membership
+// whose Prev holds the outgoing set: while Prev is non-empty the migration
+// window is open and clients fall back to the previous owner when the new
+// owner does not have a key yet (dual-read). Once every moved key has
+// landed, a final membership with an empty Prev closes the window.
+type Membership struct {
+	Epoch uint64
+	FMS   []Member
+	Prev  []Member
+}
+
+// IDs returns the ring IDs of the current FMS set, in listed order.
+func (m *Membership) IDs() []int {
+	out := make([]int, len(m.FMS))
+	for i, f := range m.FMS {
+		out[i] = int(f.ID)
+	}
+	return out
+}
+
+// PrevIDs returns the ring IDs of the previous FMS set, in listed order.
+func (m *Membership) PrevIDs() []int {
+	out := make([]int, len(m.Prev))
+	for i, f := range m.Prev {
+		out[i] = int(f.ID)
+	}
+	return out
+}
+
+// EncodeMembership serializes a membership.
+// Layout: epoch u64, n u32, n×(id i64, addr str), p u32, p×(id i64, addr str).
+func EncodeMembership(m *Membership) []byte {
+	e := NewEnc().U64(m.Epoch).U32(uint32(len(m.FMS)))
+	for _, f := range m.FMS {
+		e.I64(int64(f.ID)).Str(f.Addr)
+	}
+	e.U32(uint32(len(m.Prev)))
+	for _, f := range m.Prev {
+		e.I64(int64(f.ID)).Str(f.Addr)
+	}
+	return e.Bytes()
+}
+
+// DecodeMembership parses an EncodeMembership body.
+func DecodeMembership(body []byte) (*Membership, error) {
+	d := NewDec(body)
+	m := &Membership{Epoch: d.U64()}
+	n := d.U32()
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		m.FMS = append(m.FMS, Member{ID: int32(d.I64()), Addr: d.Str()})
+	}
+	p := d.U32()
+	for i := uint32(0); i < p && d.Err() == nil; i++ {
+		m.Prev = append(m.Prev, Member{ID: int32(d.I64()), Addr: d.Str()})
+	}
+	return m, d.Err()
+}
+
+// EncodeSetMembership builds an OpSetMembership request: the membership
+// plus the receiver's own ring ID within it (-1 for servers that are not
+// on the FMS ring, like the DMS or OSS — they track the epoch but never
+// answer ownership checks). The coordinator customizes self per
+// destination so a server need not guess which listed address is its own.
+func EncodeSetMembership(m *Membership, self int) []byte {
+	return NewEnc().I64(int64(self)).Blob(EncodeMembership(m)).Bytes()
+}
+
+// DecodeSetMembership parses an OpSetMembership request.
+func DecodeSetMembership(body []byte) (m *Membership, self int, err error) {
+	d := NewDec(body)
+	self = int(d.I64())
+	blob := d.Blob()
+	if err := d.Err(); err != nil {
+		return nil, 0, err
+	}
+	m, err = DecodeMembership(blob)
+	return m, self, err
+}

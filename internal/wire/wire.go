@@ -43,6 +43,13 @@ const (
 	OpRenameFile
 	OpDirHasFiles // rmdir support: does this FMS hold files of dir uuid?
 	OpRemoveDirFiles
+	// Migration operations for online membership changes: a scan that
+	// exports the keys a new ring would place elsewhere, an install that
+	// imports one file's metadata at its new owner, and a conditional
+	// delete that retires the source copy once the install landed.
+	OpMigrateScan
+	OpMigrateInstall
+	OpMigrateDelete
 )
 
 // Operations served by the object store servers (OSS).
@@ -55,6 +62,12 @@ const (
 // Generic/administrative operations.
 const (
 	OpPing Op = 0x0001
+	// OpGetMembership returns the server's current encoded Membership
+	// (StatusNotFound if none was ever installed — a static topology).
+	OpGetMembership Op = 0x0002
+	// OpSetMembership installs a Membership on the server if its epoch is
+	// not older than the installed one (StatusStale otherwise).
+	OpSetMembership Op = 0x0003
 )
 
 // String returns the operation's symbolic name, used as the op label on
@@ -107,6 +120,12 @@ func (o Op) String() string {
 		return "DirHasFiles"
 	case OpRemoveDirFiles:
 		return "RemoveDirFiles"
+	case OpMigrateScan:
+		return "MigrateScan"
+	case OpMigrateInstall:
+		return "MigrateInstall"
+	case OpMigrateDelete:
+		return "MigrateDelete"
 	case OpPutBlock:
 		return "PutBlock"
 	case OpGetBlock:
@@ -115,6 +134,10 @@ func (o Op) String() string {
 		return "DeleteBlocks"
 	case OpPing:
 		return "Ping"
+	case OpGetMembership:
+		return "GetMembership"
+	case OpSetMembership:
+		return "SetMembership"
 	case OpBatch:
 		return "Batch"
 	}
@@ -132,6 +155,11 @@ func (o Op) String() string {
 //     utimens (set exact times), size updates, block put (same bytes) and
 //     block delete (already-gone is fine).
 //
+// The migration/membership ops are all retry-safe too: scan and
+// get-membership are reads, install overwrites with absolute state,
+// delete is conditional on the stored bytes, and set-membership installs
+// an absolute epoch-guarded state.
+//
 // Everything else — create, remove, mkdir, rmdir, renames, truncate,
 // subtree file removal, and the OpBatch envelope — reports false: a replay
 // observes the first execution's effects (EEXIST, ENOENT, an empty removal
@@ -141,7 +169,9 @@ func (o Op) Idempotent() bool {
 	case OpPing, OpStatDir, OpStatFile, OpLookupDir, OpReaddirSubdirs,
 		OpReaddirFiles, OpAccessFile, OpOpenFile, OpDirHasFiles, OpGetBlock,
 		OpChmodFile, OpChownFile, OpChmodDir, OpChownDir, OpUtimensFile,
-		OpUpdateSize, OpPutBlock, OpDeleteBlocks:
+		OpUpdateSize, OpPutBlock, OpDeleteBlocks,
+		OpMigrateScan, OpMigrateInstall, OpMigrateDelete,
+		OpGetMembership, OpSetMembership:
 		return true
 	}
 	return false
@@ -273,12 +303,19 @@ type Msg struct {
 	// that already executed the request recognizes a retried duplicate in
 	// its dedup window and replays the recorded response instead of
 	// executing twice (at-most-once semantics). Zero means no dedup.
-	Req  uint64
-	Body []byte
+	Req uint64
+	// Epoch is the sender's FMS-membership epoch. Servers stamp their
+	// current epoch on every response so clients piggyback staleness
+	// detection on ordinary traffic: a response epoch newer than the
+	// client's ring triggers an asynchronous membership refresh. Zero
+	// means "no membership installed" (static topology) and is ignored.
+	Epoch uint64
+	Body  []byte
 }
 
-// header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8) req(8)
-const headerSize = 45
+// header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8)
+// req(8) epoch(8)
+const headerSize = 53
 
 // MaxBody bounds a single message body (64 MiB), protecting servers from
 // malformed frames.
@@ -304,6 +341,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 	binary.BigEndian.PutUint64(hdr[25:], m.Trace)
 	binary.BigEndian.PutUint64(hdr[33:], m.Span)
 	binary.BigEndian.PutUint64(hdr[41:], m.Req)
+	binary.BigEndian.PutUint64(hdr[49:], m.Epoch)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -334,6 +372,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		Trace:     binary.BigEndian.Uint64(payload[21:]),
 		Span:      binary.BigEndian.Uint64(payload[29:]),
 		Req:       binary.BigEndian.Uint64(payload[37:]),
+		Epoch:     binary.BigEndian.Uint64(payload[45:]),
 		Body:      payload[headerSize:],
 	}
 	return m, nil
