@@ -9,7 +9,8 @@
 //	locofs-bench [-quick] [experiment ...]
 //
 // Experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fanout opstats spans faults, or "all" (default).
+// fig13 fig14 fanout opstats spans faults rebalance slostorm, or "all"
+// (default).
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,6 +73,10 @@ func main() {
 		// Elasticity study: online FMS add/remove with key migration under
 		// a live workload (see internal/client migrate).
 		{"rebalance", func() (*bench.Table, error) { return bench.FigRebalance(env) }},
+		// SLO study: windowed quantiles, burn rates and error budgets from
+		// the cluster-health aggregator under a zipfian mixed workload
+		// (see internal/slo).
+		{"slostorm", func() (*bench.Table, error) { return bench.FigSLOStorm(env) }},
 	}
 
 	want := flag.Args()

@@ -40,6 +40,15 @@
 // -trace-sample (keep probability, 1 = every trace) and size the span ring
 // with -trace-buf. Slow or failed requests are always retained once
 // sampling is on.
+//
+// SLO monitoring: every role also serves /debug/slo (this process's
+// windowed per-op quantiles, burn rates and error budgets, see
+// internal/slo) and /debug/cluster (the same merged across this process
+// plus every -peers admin endpoint). -window/-window-num size the rotating
+// telemetry window behind the time-local quantiles. A standalone health
+// check renders the merged table:
+//
+//	locofsd -role status -peers dms=host:9100,fms0=host:9101,fms1=host:9102
 package main
 
 import (
@@ -55,12 +64,14 @@ import (
 	"time"
 
 	"locofs/internal/client"
+	"locofs/internal/core"
 	"locofs/internal/dms"
 	"locofs/internal/fms"
 	"locofs/internal/kv"
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
+	"locofs/internal/slo"
 	"locofs/internal/telemetry"
 	"locofs/internal/trace"
 )
@@ -84,6 +95,9 @@ func main() {
 	slow := flag.Duration("slow", 0, "log requests slower than this threshold with their trace id (0 = disabled)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a trace's spans are retained for /debug/traces (0 = tracing off, 1 = all)")
 	traceBuf := flag.Int("trace-buf", trace.DefaultBufSpans, "span ring capacity when tracing is on")
+	window := flag.Duration("window", 0, "telemetry sub-window width for time-local quantiles and SLO burn (0 = default 10s)")
+	windowNum := flag.Int("window-num", 0, "number of telemetry sub-windows merged per snapshot (0 = default 6)")
+	peers := flag.String("peers", "", "comma-separated peer admin endpoints (name=http://host:port or bare URL) merged into /debug/cluster and the status role")
 	flag.Parse()
 
 	// With -data, metadata survives restarts: mutations are WAL-logged and
@@ -105,6 +119,8 @@ func main() {
 		metricsAddr: *metricsAddr,
 		slow:        *slow,
 		tracer:      trace.New(trace.Config{Sample: *traceSample, BufSpans: *traceBuf}),
+		window:      telemetry.WindowConfig{Width: *window, Num: *windowNum},
+		peers:       parsePeers(*peers),
 	}
 	switch *role {
 	case "dms":
@@ -129,8 +145,10 @@ func main() {
 			client.WithBreaker(client.BreakerConfig{Threshold: *breakerFailures, Cooldown: *breakerCooldown}),
 		}
 		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv, opts)
+	case "status":
+		runStatus(srv.peers)
 	default:
-		fmt.Fprintln(os.Stderr, "locofsd: -role must be dms, fms, oss or client")
+		fmt.Fprintln(os.Stderr, "locofsd: -role must be dms, fms, oss, client or status")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -142,16 +160,84 @@ type serverFlags struct {
 	slow        time.Duration
 	tracer      *trace.Tracer          // nil when -trace-sample is 0
 	hot         map[string]*trace.TopK // hot-key sketches for /debug/hot
+	window      telemetry.WindowConfig
+	peers       []peer
+}
+
+// peer is one -peers entry: a display name and its /debug/slo URL.
+type peer struct {
+	name, url string
+}
+
+// parsePeers parses the -peers flag: comma-separated "name=url" pairs or
+// bare URLs (then the URL doubles as the name). A bare host:port gains
+// http:// and URLs without a path gain /debug/slo.
+func parsePeers(s string) []peer {
+	var out []peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p := peer{name: part, url: part}
+		if name, url, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			p = peer{name: name, url: url}
+		}
+		if !strings.Contains(p.url, "://") {
+			p.url = "http://" + p.url
+		}
+		if !strings.Contains(strings.TrimPrefix(p.url, "http://"), "/") {
+			p.url += "/debug/slo"
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// peerSources converts the -peers list into HTTP status sources.
+func (sf serverFlags) peerSources() []core.StatusSource {
+	out := make([]core.StatusSource, 0, len(sf.peers))
+	for _, p := range sf.peers {
+		out = append(out, core.HTTPSource(p.name, p.url, 0))
+	}
+	return out
+}
+
+// hotEntries flattens the role's TopK sketches into status entries.
+func hotEntries(hot map[string]*trace.TopK) []slo.HotEntry {
+	var out []slo.HotEntry
+	for src, tk := range hot {
+		if tk == nil {
+			continue
+		}
+		for _, hk := range tk.Top(5) {
+			out = append(out, slo.HotEntry{Source: src, Key: hk.Key, Count: hk.Count})
+		}
+	}
+	return out
 }
 
 // adminRoutes builds the extra admin endpoints mounted next to /metrics:
-// span trees under /debug/traces and heavy-hitter keys under /debug/hot.
-// Both endpoints exist even when their feed is empty, so operators can
-// probe them to check whether tracing is enabled.
-func (sf serverFlags) adminRoutes() map[string]http.Handler {
+// span trees under /debug/traces, heavy-hitter keys under /debug/hot, this
+// process's SLO evaluation under /debug/slo, and the merged view of this
+// process plus every -peers endpoint under /debug/cluster. All endpoints
+// exist even when their feed is empty, so operators can probe them to check
+// whether a feature is enabled.
+func (sf serverFlags) adminRoutes(local func() *slo.ServerStatus) map[string]http.Handler {
+	sources := func() []core.StatusSource {
+		self := core.StatusSource{
+			Name:  "self",
+			Fetch: func() (*slo.ServerStatus, error) { return local(), nil },
+		}
+		return append([]core.StatusSource{self}, sf.peerSources()...)
+	}
 	return map[string]http.Handler{
 		"/debug/traces/": trace.TracesHandler(sf.tracer),
 		"/debug/hot":     trace.HotHandler(sf.hot),
+		"/debug/slo":     slo.StatusHandler(func() any { return local() }),
+		"/debug/cluster": slo.StatusHandler(func() any {
+			return (&core.Aggregator{Sources: sources}).Poll()
+		}),
 	}
 }
 
@@ -181,6 +267,9 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 	}
 	rs := rpc.NewServer()
 	reg := telemetry.NewRegistry(telemetry.L("server", name))
+	reg.SetWindow(sf.window)
+	telemetry.RegisterBuildInfo(reg)
+	trace.RegisterMetrics(reg, sf.tracer)
 	rs.SetTelemetry(reg)
 	if sf.slow > 0 {
 		rs.SetSlowThreshold(sf.slow)
@@ -189,8 +278,16 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 		rs.SetTracer(sf.tracer, name)
 	}
 	registerKVGauges(reg, store)
+	slo.NewTracker(reg, slo.ServerObjectives()).Export(reg)
+	local := func() *slo.ServerStatus {
+		return slo.Collect(reg, slo.CollectOptions{
+			Server: name,
+			Epoch:  rs.Epoch(),
+			Hot:    hotEntries(sf.hot),
+		})
+	}
 	if sf.metricsAddr != "" {
-		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(), reg)
+		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(local), reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locofsd: metrics:", err)
 			os.Exit(1)
@@ -207,6 +304,24 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 	rs.Shutdown()
 }
 
+// runStatus scrapes every -peers endpoint, merges the statuses, and prints
+// the cluster-health table — `locofsd -role status -peers dms=host:9100,...`.
+func runStatus(peers []peer) {
+	if len(peers) == 0 {
+		fmt.Fprintln(os.Stderr, "locofsd status: -peers is required (comma-separated name=http://host:port admin endpoints)")
+		os.Exit(2)
+	}
+	var sources []core.StatusSource
+	for _, p := range peers {
+		sources = append(sources, core.HTTPSource(p.name, p.url, 0))
+	}
+	cs := (&core.Aggregator{Sources: func() []core.StatusSource { return sources }}).Poll()
+	cs.Format(os.Stdout)
+	if len(cs.Unreachable) == len(peers) {
+		os.Exit(1)
+	}
+}
+
 // runClient connects to a TCP cluster and executes simple commands.
 func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, opts []client.DialOption) {
 	if dmsAddr == "" || fmsList == "" || ossList == "" {
@@ -214,8 +329,18 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, opts []cl
 		os.Exit(2)
 	}
 	reg := telemetry.NewRegistry(telemetry.L("server", "client"))
+	reg.SetWindow(sf.window)
+	telemetry.RegisterBuildInfo(reg)
+	trace.RegisterMetrics(reg, sf.tracer)
+	slo.NewTracker(reg, slo.ClientObjectives()).Export(reg)
+	local := func() *slo.ServerStatus {
+		return slo.Collect(reg, slo.CollectOptions{
+			Server:     "client",
+			Objectives: slo.ClientObjectives(),
+		})
+	}
 	if sf.metricsAddr != "" {
-		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(), reg)
+		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(local), reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locofsd client: metrics:", err)
 			os.Exit(1)

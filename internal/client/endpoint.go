@@ -42,8 +42,11 @@ func (t *clientTelem) fastFails() *telemetry.Counter {
 // wire (sampled at scrape time).
 const MetricInflight = "locofs_client_inflight_rpcs"
 
+// clientOpMetrics caches one op's instrument handles. RTT records through a
+// rotating-window histogram so the client exposes time-local p50/p95/p99
+// and rate alongside the lifetime distribution.
 type clientOpMetrics struct {
-	rtt       *telemetry.Histogram
+	rtt       *telemetry.Windowed
 	calls     *telemetry.Counter
 	retries   *telemetry.Counter
 	deadlines *telemetry.Counter
@@ -55,7 +58,7 @@ func (t *clientTelem) forOp(op wire.Op) *clientOpMetrics {
 	}
 	label := telemetry.L("op", op.String())
 	m := &clientOpMetrics{
-		rtt:       t.reg.Histogram(rpc.MetricRTT, label),
+		rtt:       t.reg.Windowed(rpc.MetricRTT, label),
 		calls:     t.reg.Counter(rpc.MetricCalls, label),
 		retries:   t.reg.Counter(MetricRetries, label),
 		deadlines: t.reg.Counter(MetricDeadlines, label),

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"locofs/internal/slo"
+	"locofs/internal/telemetry"
+	"locofs/internal/trace"
+)
+
+// hotTopN bounds how many hot keys each server contributes to a status
+// snapshot.
+const hotTopN = 5
+
+// StatusSource is one scrapable server: a name and a fetch that yields its
+// current ServerStatus. Local sources close over a registry; remote ones
+// wrap slo.FetchStatus over HTTP.
+type StatusSource struct {
+	Name  string
+	Fetch func() (*slo.ServerStatus, error)
+}
+
+// LocalSource builds a StatusSource over an in-process server's registry.
+// epoch (nil ok) supplies the server's live membership epoch and hot
+// (nil ok) its heavy-hitter sketch.
+func LocalSource(name string, reg *telemetry.Registry, epoch func() uint64, hot *trace.TopK, objs []slo.Objective) StatusSource {
+	return StatusSource{
+		Name: name,
+		Fetch: func() (*slo.ServerStatus, error) {
+			opts := slo.CollectOptions{Server: name, Objectives: objs}
+			if epoch != nil {
+				opts.Epoch = epoch()
+			}
+			if hot != nil {
+				for _, hk := range hot.Top(hotTopN) {
+					opts.Hot = append(opts.Hot, slo.HotEntry{Source: name, Key: hk.Key, Count: hk.Count})
+				}
+			}
+			return slo.Collect(reg, opts), nil
+		},
+	}
+}
+
+// HTTPSource builds a StatusSource scraping a peer's /debug/slo endpoint.
+func HTTPSource(name, url string, timeout time.Duration) StatusSource {
+	client := &http.Client{Timeout: timeout}
+	if timeout <= 0 {
+		client.Timeout = slo.DefaultFetchTimeout
+	}
+	return StatusSource{
+		Name:  name,
+		Fetch: func() (*slo.ServerStatus, error) { return slo.FetchStatus(client, url) },
+	}
+}
+
+// Aggregator polls a set of status sources and merges them into one
+// cluster-wide snapshot. Sources is re-invoked on every poll, so a source
+// list derived from live membership (Cluster.StatusSources) automatically
+// follows AddFMS/RemoveFMS.
+//
+// A source whose fetch fails does not fail the poll: the merged snapshot
+// simply lists it under Unreachable — a partially-scraped cluster view is
+// exactly what an operator needs while a server is down.
+type Aggregator struct {
+	Sources func() []StatusSource
+
+	mu   sync.Mutex
+	last *slo.ClusterStatus
+}
+
+// Poll scrapes every source concurrently and merges the results, caching
+// and returning the snapshot.
+func (a *Aggregator) Poll() *slo.ClusterStatus {
+	srcs := a.Sources()
+	statuses := make([]*slo.ServerStatus, len(srcs))
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	for i, s := range srcs {
+		wg.Add(1)
+		go func(i int, s StatusSource) {
+			defer wg.Done()
+			statuses[i], errs[i] = s.Fetch()
+		}(i, s)
+	}
+	wg.Wait()
+
+	var ok []*slo.ServerStatus
+	var unreachable []string
+	for i, st := range statuses {
+		if errs[i] != nil || st == nil {
+			unreachable = append(unreachable, srcs[i].Name)
+			continue
+		}
+		ok = append(ok, st)
+	}
+	cs := slo.MergeCluster(ok, unreachable)
+	a.mu.Lock()
+	a.last = cs
+	a.mu.Unlock()
+	return cs
+}
+
+// Last returns the most recent snapshot (nil before the first poll).
+func (a *Aggregator) Last() *slo.ClusterStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.last
+}
+
+// Run polls every interval until stop closes. Typical deployments instead
+// poll lazily from the /debug/cluster handler; Run exists for dashboards
+// that want a warm Last().
+func (a *Aggregator) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			a.Poll()
+		}
+	}
+}
+
+// StatusSources returns one local source per live server — DMS, the
+// current FMS set (membership-driven: servers added or removed online
+// appear/disappear on the next poll), and every OSS.
+func (c *Cluster) StatusSources() []StatusSource {
+	c.mu.Lock()
+	addrs := append([]string{"dms"}, c.fmsAddrs...)
+	addrs = append(addrs, c.ossAddrs...)
+	hots := map[string]*trace.TopK{"dms": c.DMS.HotKeys()}
+	for i, fa := range c.fmsAddrs {
+		if i < len(c.FMS) {
+			hots[fa] = c.FMS[i].HotKeys()
+		}
+	}
+	regs := make(map[string]*telemetry.Registry, len(addrs))
+	epochs := make(map[string]func() uint64, len(addrs))
+	for _, addr := range addrs {
+		if rs := c.rsByAddr[addr]; rs != nil {
+			epochs[addr] = rs.Epoch
+		}
+		regs[addr] = c.Metrics[addr]
+	}
+	c.mu.Unlock()
+
+	var out []StatusSource
+	for _, addr := range addrs {
+		if regs[addr] == nil || epochs[addr] == nil {
+			continue
+		}
+		out = append(out, LocalSource(addr, regs[addr], epochs[addr], hots[addr], slo.ServerObjectives()))
+	}
+	return out
+}
+
+// ClusterStatus scrapes every live server and returns the merged
+// cluster-health snapshot — the in-process equivalent of /debug/cluster.
+func (c *Cluster) ClusterStatus() *slo.ClusterStatus {
+	return (&Aggregator{Sources: c.StatusSources}).Poll()
+}

@@ -65,6 +65,10 @@ type Options struct {
 	// yields complete client+server span trees in one ring. Nil disables
 	// server-side tracing.
 	Tracer *trace.Tracer
+	// Window configures the rotating telemetry window on every server
+	// registry (time-local quantiles, SLO burn). The zero value keeps the
+	// telemetry package defaults (6 × 10 s).
+	Window telemetry.WindowConfig
 }
 
 // KVCost prices Kyoto-Cabinet-style storage work on the paper's metadata
@@ -261,16 +265,22 @@ func (c *Cluster) serve(addr string, store *kv.Instrumented, attach func(*rpc.Se
 		rs.SetTracer(c.opts.Tracer, addr)
 	}
 	reg := telemetry.NewRegistry(telemetry.L("server", addr))
+	reg.SetWindow(c.opts.Window)
+	telemetry.RegisterBuildInfo(reg)
+	trace.RegisterMetrics(reg, c.opts.Tracer)
 	rs.SetTelemetry(reg)
-	c.Metrics[addr] = reg
 	attach(rs)
 	l, err := c.net.Listen(addr)
 	if err != nil {
 		return fmt.Errorf("core: listen %s: %w", addr, err)
 	}
 	go rs.Serve(l)
+	// AddFMS calls serve while status pollers may be reading these maps.
+	c.mu.Lock()
+	c.Metrics[addr] = reg
 	c.rpcServers = append(c.rpcServers, rs)
 	c.rsByAddr[addr] = rs
+	c.mu.Unlock()
 	return nil
 }
 

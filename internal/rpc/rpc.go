@@ -36,13 +36,16 @@ const (
 )
 
 // opMetrics caches one op's instrument handles so the hot path does not
-// take the registry lock per request.
+// take the registry lock per request. Service and queue time record through
+// rotating-window histograms, so the same observation stream yields both
+// lifetime aggregates (/metrics histogram families, unchanged) and
+// time-local quantiles/rates (the _window gauge families and the SLO layer).
 type opMetrics struct {
 	reqs    *telemetry.Counter
 	errs    *telemetry.Counter
 	dedup   *telemetry.Counter
-	service *telemetry.Histogram
-	queue   *telemetry.Histogram
+	service *telemetry.Windowed
+	queue   *telemetry.Windowed
 }
 
 // serverTelem is a server's telemetry sink plus its per-op handle cache.
@@ -60,8 +63,8 @@ func (t *serverTelem) forOp(op wire.Op) *opMetrics {
 		reqs:    t.reg.Counter(MetricRequests, label),
 		errs:    t.reg.Counter(MetricErrors, label),
 		dedup:   t.reg.Counter(MetricDedup, label),
-		service: t.reg.Histogram(MetricService, label),
-		queue:   t.reg.Histogram(MetricQueue, label),
+		service: t.reg.Windowed(MetricService, label),
+		queue:   t.reg.Windowed(MetricQueue, label),
 	}
 	actual, _ := t.byOp.LoadOrStore(op, m)
 	return actual.(*opMetrics)

@@ -1,0 +1,47 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// StatusHandler serves the JSON of fetch() — a *ServerStatus for
+// /debug/slo, a *ClusterStatus for /debug/cluster. fetch runs per request,
+// so the body is always a fresh evaluation.
+func StatusHandler(fetch func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fetch()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// DefaultFetchTimeout bounds one status scrape when the caller passes a nil
+// http.Client.
+const DefaultFetchTimeout = 2 * time.Second
+
+// FetchStatus scrapes one peer's /debug/slo endpoint. url must be the full
+// endpoint URL (e.g. "http://127.0.0.1:9101/debug/slo").
+func FetchStatus(client *http.Client, url string) (*ServerStatus, error) {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultFetchTimeout}
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	var st ServerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return &st, nil
+}

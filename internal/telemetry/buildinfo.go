@@ -1,0 +1,33 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// Version identifies the build in the locofs_build_info gauge. Override at
+// link time (go build -ldflags "-X locofs/internal/telemetry.Version=v1.2")
+// so aggregated cluster snapshots can distinguish server generations during
+// a rolling change; "dev" otherwise.
+var Version = "dev"
+
+// processStart anchors the uptime gauge; one value per process, shared by
+// every registry.
+var processStart = time.Now()
+
+// Uptime returns how long this process has been running.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// RegisterBuildInfo exports the build-identity gauges on r:
+//
+//	locofs_build_info{version=...,go=...} 1
+//	locofs_uptime_seconds                 <seconds since process start>
+//
+// The registry's base labels (server=...) distinguish processes when
+// several registries are merged, and the aggregator uses both to tell
+// server generations apart across a rolling restart.
+func RegisterBuildInfo(r *Registry) {
+	r.GaugeFunc("locofs_build_info", func() float64 { return 1 },
+		L("version", Version), L("go", runtime.Version()))
+	r.GaugeFunc("locofs_uptime_seconds", func() float64 { return Uptime().Seconds() })
+}

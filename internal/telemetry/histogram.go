@@ -102,6 +102,39 @@ func (s HistSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// CountAtMost estimates how many observations were <= d: full buckets below
+// d's bucket plus a linear fraction of the containing bucket. This is the
+// good-event counter behind SLO tracking (events within the latency
+// objective), with the same log-bucket resolution as Quantile.
+func (s HistSnapshot) CountAtMost(d time.Duration) uint64 {
+	if d < 0 {
+		return 0
+	}
+	b := bucketOf(d)
+	var n uint64
+	for i := 0; i < b && i < NumBuckets; i++ {
+		n += s.Buckets[i]
+	}
+	if b < NumBuckets && s.Buckets[b] > 0 {
+		lo := float64(BucketUpper(b)) / 2
+		if b == 0 {
+			lo = 0
+		}
+		hi := float64(BucketUpper(b))
+		frac := (float64(d) - lo) / (hi - lo)
+		if frac > 1 {
+			frac = 1
+		}
+		if frac > 0 {
+			n += uint64(frac * float64(s.Buckets[b]))
+		}
+	}
+	if n > s.Count {
+		n = s.Count
+	}
+	return n
+}
+
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
 // inside the containing log bucket, clamped to the observed max.
 func (s HistSnapshot) Quantile(q float64) time.Duration {

@@ -59,6 +59,8 @@ type Registry struct {
 	counters map[metricKey]*Counter
 	hists    map[metricKey]*Histogram
 	gauges   map[metricKey]gaugeFunc
+	windows  map[metricKey]*Windowed
+	winCfg   WindowConfig
 }
 
 // NewRegistry returns an empty registry with the given base labels.
@@ -68,7 +70,24 @@ func NewRegistry(base ...Label) *Registry {
 		counters: make(map[metricKey]*Counter),
 		hists:    make(map[metricKey]*Histogram),
 		gauges:   make(map[metricKey]gaugeFunc),
+		windows:  make(map[metricKey]*Windowed),
 	}
+}
+
+// SetWindow configures the rotating window applied to histograms created by
+// Windowed from now on (already-created windows keep their geometry). The
+// zero config means the package defaults.
+func (r *Registry) SetWindow(cfg WindowConfig) {
+	r.mu.Lock()
+	r.winCfg = cfg
+	r.mu.Unlock()
+}
+
+// Window returns the registry's effective window configuration.
+func (r *Registry) Window() WindowConfig {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.winCfg.withDefaults()
 }
 
 // canonLabels renders labels sorted by key into the {k="v",...} form used
@@ -135,6 +154,28 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// Windowed returns the rotating-window view of the histogram registered
+// under name+labels, creating both if needed. Recording through the
+// returned Windowed feeds the cumulative histogram (so /metrics and
+// lifetime aggregates are unchanged) and the time-local window.
+func (r *Registry) Windowed(name string, labels ...Label) *Windowed {
+	h := r.Histogram(name, labels...)
+	k := r.key(name, labels)
+	r.mu.RLock()
+	w := r.windows[k]
+	r.mu.RUnlock()
+	if w != nil {
+		return w
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w = r.windows[k]; w == nil {
+		w = NewWindowed(h, r.winCfg)
+		r.windows[k] = w
+	}
+	return w
+}
+
 // GaugeFunc registers fn as a gauge sampled at snapshot time, replacing any
 // previous registration under the same name+labels.
 func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
@@ -167,6 +208,10 @@ func (r *Registry) Unregister(name string, labels ...Label) bool {
 		delete(r.gauges, k)
 		removed = true
 	}
+	if _, ok := r.windows[k]; ok {
+		delete(r.windows, k)
+		removed = true
+	}
 	return removed
 }
 
@@ -178,6 +223,7 @@ func (r *Registry) Reset() {
 	r.counters = make(map[metricKey]*Counter)
 	r.hists = make(map[metricKey]*Histogram)
 	r.gauges = make(map[metricKey]gaugeFunc)
+	r.windows = make(map[metricKey]*Windowed)
 	r.mu.Unlock()
 }
 
@@ -216,9 +262,35 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, fn := range r.gauges {
 		gauges[k] = fn
 	}
+	type winEntry struct {
+		k metricKey
+		w *Windowed
+	}
+	windows := make([]winEntry, 0, len(r.windows))
+	for k, w := range r.windows {
+		windows = append(windows, winEntry{k, w})
+	}
 	r.mu.RUnlock()
 
 	var s Snapshot
+	// Windowed histograms surface as synthetic gauge families next to their
+	// cumulative parents: time-local quantiles, the per-window max (which
+	// ages out, unlike the lifetime max), and the observation rate.
+	for _, e := range windows {
+		ws := e.w.Snapshot()
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{
+			{`q="0.5"`, ws.Merged.Quantile(0.50).Seconds()},
+			{`q="0.95"`, ws.Merged.Quantile(0.95).Seconds()},
+			{`q="0.99"`, ws.Merged.Quantile(0.99).Seconds()},
+		} {
+			s.Metrics = append(s.Metrics, Metric{Name: e.k.name + "_window", Labels: labelsWith(e.k.labels, q.label), Kind: KindGauge, Value: q.v})
+		}
+		s.Metrics = append(s.Metrics, Metric{Name: e.k.name + "_window_max", Labels: e.k.labels, Kind: KindGauge, Value: ws.Merged.Max.Seconds()})
+		s.Metrics = append(s.Metrics, Metric{Name: e.k.name + "_window_rate", Labels: e.k.labels, Kind: KindGauge, Value: ws.Rate()})
+	}
 	for k, v := range counters {
 		s.Metrics = append(s.Metrics, Metric{Name: k.name, Labels: k.labels, Kind: KindCounter, Value: float64(v)})
 	}
@@ -340,6 +412,75 @@ func (s Snapshot) OpTable(metric string) []OpRow {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Op < rows[j].Op })
 	return rows
 }
+
+// HistogramMetrics captures only the cumulative histograms, sorted by name
+// then labels. Unlike Snapshot it does NOT invoke gauge functions, so it is
+// safe to call from inside a gauge callback (e.g. the SLO tracker's
+// exported burn rate evaluates histograms of the very registry it is
+// registered on — going through Snapshot there would recurse forever).
+func (r *Registry) HistogramMetrics() []Metric {
+	type histEntry struct {
+		k metricKey
+		h *Histogram
+	}
+	r.mu.RLock()
+	hists := make([]histEntry, 0, len(r.hists))
+	for k, h := range r.hists {
+		hists = append(hists, histEntry{k, h})
+	}
+	r.mu.RUnlock()
+	out := make([]Metric, 0, len(hists))
+	for _, e := range hists {
+		hs := e.h.Snapshot()
+		out = append(out, Metric{Name: e.k.name, Labels: e.k.labels, Kind: KindHistogram, Value: float64(hs.Count), Hist: hs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// WindowMetric is one windowed histogram's structured snapshot, for
+// consumers (the SLO tracker, the cluster aggregator) that need bucket-level
+// data rather than the pre-rendered gauges.
+type WindowMetric struct {
+	Name   string
+	Labels string // canonical {k="v",...} form
+	Win    WindowedSnapshot
+}
+
+// WindowMetrics captures every windowed histogram, sorted by name then
+// labels.
+func (r *Registry) WindowMetrics() []WindowMetric {
+	type winEntry struct {
+		k metricKey
+		w *Windowed
+	}
+	r.mu.RLock()
+	windows := make([]winEntry, 0, len(r.windows))
+	for k, w := range r.windows {
+		windows = append(windows, winEntry{k, w})
+	}
+	r.mu.RUnlock()
+	out := make([]WindowMetric, 0, len(windows))
+	for _, e := range windows {
+		out = append(out, WindowMetric{Name: e.k.name, Labels: e.k.labels, Win: e.w.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// LabelValue extracts one label's value from a canonical {k="v",...} label
+// string ("" when absent).
+func LabelValue(labels, key string) string { return labelValue(labels, key) }
 
 // labelValue extracts one label's value from a canonical label string.
 func labelValue(labels, key string) string {

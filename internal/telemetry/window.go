@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Windowed-histogram defaults: six 10-second windows give a one-minute
+// time-local view, the horizon SLO burn rates are usually judged over.
+const (
+	DefaultWindowWidth = 10 * time.Second
+	DefaultWindowNum   = 6
+)
+
+// WindowConfig sizes a rotating-window histogram: Num sub-windows of Width
+// each, so a merged snapshot spans the most recent Num×Width of wall time.
+// The zero value means DefaultWindowWidth × DefaultWindowNum.
+type WindowConfig struct {
+	Width time.Duration
+	Num   int
+}
+
+func (c WindowConfig) withDefaults() WindowConfig {
+	if c.Width <= 0 {
+		c.Width = DefaultWindowWidth
+	}
+	if c.Num <= 1 {
+		c.Num = DefaultWindowNum
+	}
+	return c
+}
+
+// Windowed adds a rotating time window to a cumulative Histogram, so the
+// same stream of observations yields both lifetime aggregates (the wrapped
+// histogram, unchanged) and time-local quantiles/rates that age out.
+//
+// Implementation: rather than resetting sub-histograms under concurrent
+// recording (which loses observations), rotation checkpoints the cumulative
+// histogram's snapshot on a coarse tick; a closed window is the bucket-wise
+// difference of two consecutive checkpoints, which conserves counts exactly
+// no matter how Record races with rotation. The only windowed state written
+// on the hot path is a per-window max (the cumulative max is monotone since
+// boot — stamping a per-window max lets slow-outlier spikes age out instead
+// of pinning the reported max forever); an observation racing rotation may
+// attribute its max to the neighboring window, never lose it.
+//
+// Rotation is lazy — driven by whoever calls Record or Snapshot past the
+// window boundary — so idle processes pay nothing and no background
+// goroutine is needed.
+type Windowed struct {
+	h       *Histogram
+	width   time.Duration
+	num     int
+	nowFn   atomic.Pointer[func() time.Time] // injectable clock (tests)
+	liveMax atomic.Uint64                    // max observed in the live window
+	nextNS  atomic.Int64                     // next rotation deadline (unix ns)
+
+	mu     sync.Mutex // guards base/baseAt/closed (rotation + snapshot: cold)
+	base   HistSnapshot
+	baseAt time.Time
+	closed []WindowSnapshot // oldest first; len <= num-1
+}
+
+// NewWindowed wraps h with a rotating window per cfg. The wrapped histogram
+// keeps accumulating lifetime totals; Record on the Windowed feeds both.
+func NewWindowed(h *Histogram, cfg WindowConfig) *Windowed {
+	cfg = cfg.withDefaults()
+	w := &Windowed{h: h, width: cfg.Width, num: cfg.Num}
+	now := time.Now
+	w.nowFn.Store(&now)
+	w.mu.Lock()
+	w.resetTo(time.Now())
+	w.mu.Unlock()
+	return w
+}
+
+// SetNow injects the clock used for rotation (tests). Must be safe for
+// concurrent use by recorders.
+func (w *Windowed) SetNow(now func() time.Time) {
+	w.mu.Lock()
+	w.nowFn.Store(&now)
+	w.resetTo(now())
+	w.mu.Unlock()
+}
+
+func (w *Windowed) now() time.Time { return (*w.nowFn.Load())() }
+
+// resetTo restarts the window sequence at t (caller holds mu).
+func (w *Windowed) resetTo(t time.Time) {
+	w.base = w.h.Snapshot()
+	w.baseAt = t
+	w.closed = nil
+	w.liveMax.Store(0)
+	w.nextNS.Store(t.Add(w.width).UnixNano())
+}
+
+// Record adds one observation to the wrapped histogram and the live window.
+// Rotation happens first so an observation arriving after a window boundary
+// lands in the window it belongs to, not the one being closed.
+func (w *Windowed) Record(d time.Duration) {
+	w.maybeRotate()
+	w.h.Record(d)
+	if d < 0 {
+		d = 0
+	}
+	for {
+		cur := w.liveMax.Load()
+		if uint64(d) <= cur || w.liveMax.CompareAndSwap(cur, uint64(d)) {
+			break
+		}
+	}
+}
+
+// Hist returns the wrapped cumulative histogram.
+func (w *Windowed) Hist() *Histogram { return w.h }
+
+// maybeRotate closes every window boundary the clock has passed. The fast
+// path is one atomic load and a compare.
+func (w *Windowed) maybeRotate() {
+	nowT := w.now()
+	if nowT.UnixNano() < w.nextNS.Load() {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked(nowT)
+}
+
+func (w *Windowed) rotateLocked(nowT time.Time) {
+	nowNS := nowT.UnixNano()
+	if nowNS < w.nextNS.Load() {
+		return // another rotator won the race
+	}
+	// After an idle gap longer than the whole window span, every retained
+	// window would be empty anyway: restart aligned at now instead of
+	// closing them one by one.
+	if nowT.Sub(w.baseAt) >= w.width*time.Duration(w.num+1) {
+		w.resetTo(nowT)
+		return
+	}
+	for end := w.baseAt.Add(w.width); end.UnixNano() <= nowNS; end = w.baseAt.Add(w.width) {
+		cur := w.h.Snapshot()
+		delta := subSnapshot(cur, w.base)
+		delta.Max = time.Duration(w.liveMax.Swap(0))
+		w.closed = append(w.closed, WindowSnapshot{Start: w.baseAt, Width: w.width, Hist: delta})
+		if len(w.closed) > w.num-1 {
+			w.closed = append(w.closed[:0], w.closed[1:]...)
+		}
+		w.base = cur
+		w.baseAt = end
+	}
+	w.nextNS.Store(w.baseAt.Add(w.width).UnixNano())
+}
+
+// WindowSnapshot is one closed (or, at the tail of a windowed snapshot, the
+// still-filling live) sub-window: the observations that landed in
+// [Start, Start+Width), with Hist.Max stamped per-window.
+type WindowSnapshot struct {
+	Start time.Time
+	Width time.Duration
+	Hist  HistSnapshot
+}
+
+// WindowedSnapshot is a point-in-time view of the rotating window.
+type WindowedSnapshot struct {
+	// Merged is the bucket-wise sum of every retained sub-window — the
+	// time-local distribution over the last Covered of wall time. Its Max is
+	// the max across retained windows, so a spike ages out with its window.
+	Merged HistSnapshot
+	// Covered is the wall time Merged spans (closed windows plus the live
+	// window's elapsed fraction).
+	Covered time.Duration
+	// Windows lists the sub-windows oldest first; the final entry is the
+	// live, still-filling window.
+	Windows []WindowSnapshot
+}
+
+// Rate returns the merged observation rate in events per second.
+func (s WindowedSnapshot) Rate() float64 {
+	if s.Covered <= 0 {
+		return 0
+	}
+	return float64(s.Merged.Count) / s.Covered.Seconds()
+}
+
+// Snapshot captures the retained sub-windows and their merge.
+func (w *Windowed) Snapshot() WindowedSnapshot {
+	nowT := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if nowT.UnixNano() >= w.nextNS.Load() {
+		w.rotateLocked(nowT)
+	}
+	cur := w.h.Snapshot()
+	live := subSnapshot(cur, w.base)
+	live.Max = time.Duration(w.liveMax.Load())
+	var s WindowedSnapshot
+	s.Windows = make([]WindowSnapshot, 0, len(w.closed)+1)
+	s.Windows = append(s.Windows, w.closed...)
+	liveFor := nowT.Sub(w.baseAt)
+	if liveFor < 0 {
+		liveFor = 0
+	}
+	s.Windows = append(s.Windows, WindowSnapshot{Start: w.baseAt, Width: liveFor, Hist: live})
+	for _, ws := range s.Windows {
+		s.Merged = addSnapshot(s.Merged, ws.Hist)
+		s.Covered += ws.Width
+	}
+	return s
+}
+
+// subSnapshot returns the bucket-wise difference cur−base of two snapshots
+// of one monotone histogram. Max is left zero for the caller to stamp.
+func subSnapshot(cur, base HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	var n uint64
+	for i := range cur.Buckets {
+		if cur.Buckets[i] > base.Buckets[i] {
+			d.Buckets[i] = cur.Buckets[i] - base.Buckets[i]
+		}
+		n += d.Buckets[i]
+	}
+	d.Count = n
+	if cur.Sum > base.Sum {
+		d.Sum = cur.Sum - base.Sum
+	}
+	return d
+}
+
+// addSnapshot merges two disjoint distributions bucket-wise.
+func addSnapshot(a, b HistSnapshot) HistSnapshot {
+	var s HistSnapshot
+	var n uint64
+	for i := range a.Buckets {
+		s.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+		n += s.Buckets[i]
+	}
+	s.Count = n
+	s.Sum = a.Sum + b.Sum
+	s.Max = a.Max
+	if b.Max > s.Max {
+		s.Max = b.Max
+	}
+	return s
+}

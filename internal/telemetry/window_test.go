@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a goroutine-safe injectable clock for deterministic rotation.
+type fakeClock struct{ ns atomic.Int64 }
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+func (c *fakeClock) Now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func TestWindowedRotationAndMerge(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowed(&Histogram{}, WindowConfig{Width: time.Second, Num: 3})
+	w.SetNow(clk.Now)
+
+	// Window 0: 10 fast observations.
+	for i := 0; i < 10; i++ {
+		w.Record(100 * time.Microsecond)
+	}
+	clk.Advance(time.Second)
+	// Window 1: 5 slow observations.
+	for i := 0; i < 5; i++ {
+		w.Record(50 * time.Millisecond)
+	}
+	s := w.Snapshot()
+	if s.Merged.Count != 15 {
+		t.Fatalf("merged count = %d, want 15", s.Merged.Count)
+	}
+	if len(s.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2 (one closed + live)", len(s.Windows))
+	}
+	if c := s.Windows[0].Hist.Count; c != 10 {
+		t.Errorf("closed window count = %d, want 10", c)
+	}
+	if c := s.Windows[1].Hist.Count; c != 5 {
+		t.Errorf("live window count = %d, want 5", c)
+	}
+	if m := s.Windows[0].Hist.Max; m >= time.Millisecond {
+		t.Errorf("closed window max = %v, want the fast window's ~100µs", m)
+	}
+
+	// Advance until the slow window ages out of the 3-window ring: the
+	// merged max must drop back — the monotone lifetime max must not pin it.
+	clk.Advance(4 * time.Second)
+	w.Record(200 * time.Microsecond)
+	s = w.Snapshot()
+	if s.Merged.Count != 1 {
+		t.Fatalf("after aging, merged count = %d, want 1", s.Merged.Count)
+	}
+	if s.Merged.Max >= time.Millisecond {
+		t.Errorf("after aging, merged max = %v; slow spike should have aged out", s.Merged.Max)
+	}
+	if lt := w.Hist().Snapshot(); lt.Count != 16 || lt.Max < 50*time.Millisecond {
+		t.Errorf("lifetime histogram disturbed: count=%d max=%v", lt.Count, lt.Max)
+	}
+}
+
+// TestWindowedConservation hammers Record concurrently with rotation and
+// asserts no observation is ever lost or double-counted: with a ring wide
+// enough that nothing ages out, the merged windowed count must equal the
+// cumulative histogram's exactly.
+func TestWindowedConservation(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowed(&Histogram{}, WindowConfig{Width: 10 * time.Millisecond, Num: 10000})
+	w.SetNow(clk.Now)
+
+	const writers = 8
+	const perWriter = 5000
+	var writeWG, rotWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Rotator: advance the clock continuously so rotations race the writers.
+	rotWG.Add(1)
+	go func() {
+		defer rotWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clk.Advance(3 * time.Millisecond)
+				w.Snapshot()
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		writeWG.Add(1)
+		go func(g int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				w.Record(time.Duration(g*1000+i) * time.Nanosecond)
+			}
+		}(g)
+	}
+	writeWG.Wait()
+	close(stop)
+	rotWG.Wait()
+
+	s := w.Snapshot()
+	want := uint64(writers * perWriter)
+	if s.Merged.Count != want {
+		t.Fatalf("merged count = %d, want %d (counts must be conserved across rotation)", s.Merged.Count, want)
+	}
+	var sum uint64
+	for _, ws := range s.Windows {
+		sum += ws.Hist.Count
+	}
+	if sum != want {
+		t.Fatalf("sum of window counts = %d, want %d", sum, want)
+	}
+}
+
+func TestWindowedIdleGapResets(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowed(&Histogram{}, WindowConfig{Width: time.Second, Num: 4})
+	w.SetNow(clk.Now)
+	w.Record(time.Millisecond)
+	// Idle far longer than the whole span: the ring restarts empty rather
+	// than looping per elapsed window.
+	clk.Advance(time.Hour)
+	s := w.Snapshot()
+	if s.Merged.Count != 0 {
+		t.Fatalf("after idle gap, merged count = %d, want 0", s.Merged.Count)
+	}
+	if w.Hist().Count() != 1 {
+		t.Fatalf("lifetime count = %d, want 1", w.Hist().Count())
+	}
+}
+
+func TestWindowedRate(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindowed(&Histogram{}, WindowConfig{Width: time.Second, Num: 3})
+	w.SetNow(clk.Now)
+	for i := 0; i < 100; i++ {
+		w.Record(time.Microsecond)
+	}
+	clk.Advance(time.Second) // one full closed window, empty live window
+	s := w.Snapshot()
+	rate := s.Rate()
+	if rate < 90 || rate > 110 {
+		t.Fatalf("rate = %v ev/s, want ~100", rate)
+	}
+}
+
+func TestRegistryWindowGauges(t *testing.T) {
+	r := NewRegistry(L("server", "fms-0"))
+	r.SetWindow(WindowConfig{Width: time.Minute, Num: 2})
+	w := r.Windowed("locofs_rpc_service_seconds", L("op", "Mkdir"))
+	for i := 0; i < 50; i++ {
+		w.Record(2 * time.Millisecond)
+	}
+	// Same key returns the same window, and the cumulative histogram is the
+	// registry's.
+	if r.Windowed("locofs_rpc_service_seconds", L("op", "Mkdir")) != w {
+		t.Fatal("Windowed not idempotent per key")
+	}
+	if r.Histogram("locofs_rpc_service_seconds", L("op", "Mkdir")) != w.Hist() {
+		t.Fatal("Windowed does not wrap the registered histogram")
+	}
+
+	var sb strings.Builder
+	if err := r.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`locofs_rpc_service_seconds_window{op="Mkdir",server="fms-0",q="0.95"}`,
+		`locofs_rpc_service_seconds_window_rate{op="Mkdir",server="fms-0"}`,
+		`locofs_rpc_service_seconds_window_max{op="Mkdir",server="fms-0"}`,
+		`locofs_rpc_service_seconds_count{op="Mkdir",server="fms-0"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+
+	wm := r.WindowMetrics()
+	if len(wm) != 1 || wm[0].Name != "locofs_rpc_service_seconds" || wm[0].Win.Merged.Count != 50 {
+		t.Fatalf("WindowMetrics = %+v, want one entry with 50 observations", wm)
+	}
+	if op := LabelValue(wm[0].Labels, "op"); op != "Mkdir" {
+		t.Fatalf("LabelValue(op) = %q", op)
+	}
+
+	if !r.Unregister("locofs_rpc_service_seconds", L("op", "Mkdir")) {
+		t.Fatal("Unregister found nothing")
+	}
+	if len(r.WindowMetrics()) != 0 {
+		t.Fatal("window survived Unregister")
+	}
+}
+
+func TestCountAtMost(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Record(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(80 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if n := s.CountAtMost(time.Millisecond); n < 85 || n > 95 {
+		t.Errorf("CountAtMost(1ms) = %d, want ~90", n)
+	}
+	if n := s.CountAtMost(time.Second); n != 100 {
+		t.Errorf("CountAtMost(1s) = %d, want 100", n)
+	}
+	if n := s.CountAtMost(0); n != 0 {
+		t.Errorf("CountAtMost(0) = %d, want 0", n)
+	}
+}
+
+func TestBuildInfoGauges(t *testing.T) {
+	r := NewRegistry(L("server", "dms"))
+	RegisterBuildInfo(r)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `locofs_build_info{go="`) || !strings.Contains(out, `version="dev"`) {
+		t.Errorf("missing build info gauge:\n%s", out)
+	}
+	if !strings.Contains(out, "locofs_uptime_seconds") {
+		t.Errorf("missing uptime gauge:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+package trace
+
+import "locofs/internal/telemetry"
+
+// Metric names for span-ring accounting. Without these, sampling loss is
+// silent: a ring too small (evictions) or a sample rate too low (drops)
+// simply makes traces vanish with no signal in /metrics.
+const (
+	// MetricSpansDropped counts finished spans not retained because their
+	// trace lost the sampling draw.
+	MetricSpansDropped = "locofs_trace_dropped_spans_total"
+	// MetricSpansEvicted counts retained spans overwritten by ring wrap.
+	MetricSpansEvicted = "locofs_trace_evicted_spans_total"
+	// MetricSpansRetained counts spans ever retained in the ring.
+	MetricSpansRetained = "locofs_trace_retained_spans_total"
+)
+
+// RegisterMetrics exports t's span-ring accounting on reg, sampled at
+// scrape time. Nil-safe: a nil tracer exports zeros, so the series exist
+// (and read as "tracing off") on every process.
+func RegisterMetrics(reg *telemetry.Registry, t *Tracer) {
+	reg.GaugeFunc(MetricSpansDropped, func() float64 { return float64(t.Dropped()) })
+	reg.GaugeFunc(MetricSpansEvicted, func() float64 { return float64(t.Evicted()) })
+	reg.GaugeFunc(MetricSpansRetained, func() float64 { return float64(t.Recorded()) })
+}

@@ -56,6 +56,8 @@ type Tracer struct {
 	ring      []atomic.Pointer[Span]
 	pos       atomic.Uint64 // next ring slot (monotonic; wraps via modulo)
 	spanIDs   atomic.Uint64 // process-local span ID allocator (IDs start at 1)
+	dropped   atomic.Uint64 // finished spans not retained (lost the sampling draw)
+	evicted   atomic.Uint64 // retained spans overwritten by ring wrap-around
 }
 
 // New returns a Tracer for cfg, or nil when cfg.Sample <= 0 (tracing
@@ -204,8 +206,31 @@ func (s *Span) Finish() {
 		t.sampled(s.TraceID)
 	if keep {
 		i := t.pos.Add(1) - 1
-		t.ring[i%uint64(len(t.ring))].Store(s)
+		if old := t.ring[i%uint64(len(t.ring))].Swap(s); old != nil {
+			t.evicted.Add(1)
+		}
+	} else {
+		t.dropped.Add(1)
 	}
+}
+
+// Dropped returns how many finished spans were not retained because their
+// trace lost the sampling draw (and they were neither slow nor failed) —
+// the sampling loss that would otherwise be invisible. Nil-safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Evicted returns how many retained spans the ring has overwritten — the
+// signal that the span buffer is too small for the retention rate. Nil-safe.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted.Load()
 }
 
 // Recorded returns the number of spans retained so far (including ones the

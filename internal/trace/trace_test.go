@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"locofs/internal/telemetry"
 )
 
 func TestSpanTreeAssembly(t *testing.T) {
@@ -249,5 +251,45 @@ func TestHotHandlerJSON(t *testing.T) {
 	}
 	if strings.Contains(body, "absent") {
 		t.Error("nil sketch rendered")
+	}
+}
+
+func TestRingDropAndEvictCounters(t *testing.T) {
+	// Sample ~nothing: every unsampled fast span must count as dropped.
+	tr := New(Config{Sample: 1e-12, Slow: -1, BufSpans: 4})
+	for i := 0; i < 50; i++ {
+		tr.StartSpan(uint64(1000+i), 0, "Mkdir", "dms").Finish()
+	}
+	if d := tr.Dropped(); d < 45 {
+		t.Fatalf("Dropped() = %d, want ~50 (sampling loss must be counted)", d)
+	}
+
+	// Keep everything into a 4-slot ring: 10 spans retained, 6 evicted.
+	tr2 := New(Config{Sample: 1, BufSpans: 4})
+	for i := 0; i < 10; i++ {
+		tr2.StartSpan(uint64(i), 0, "Mkdir", "dms").Finish()
+	}
+	if e := tr2.Evicted(); e != 6 {
+		t.Fatalf("Evicted() = %d, want 6", e)
+	}
+	if tr2.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d, want 0 with Sample=1", tr2.Dropped())
+	}
+
+	// Nil tracer: zero everywhere, and metric registration still works.
+	var nilT *Tracer
+	if nilT.Dropped() != 0 || nilT.Evicted() != 0 {
+		t.Fatal("nil tracer counters not zero")
+	}
+	reg := telemetry.NewRegistry()
+	RegisterMetrics(reg, tr2)
+	var found bool
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Name == MetricSpansEvicted && m.Value == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("evicted gauge not exported")
 	}
 }
