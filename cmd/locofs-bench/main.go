@@ -9,7 +9,8 @@
 //	locofs-bench [-quick] [experiment ...]
 //
 // Experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fanout opstats spans faults rebalance slostorm, or "all"
+// fig13 fig14 fanout opstats spans faults rebalance slostorm cachestorm, or
+// "all"
 // (default).
 package main
 
@@ -27,7 +28,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm cachestorm all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,6 +78,7 @@ func main() {
 		// the cluster-health aggregator under a zipfian mixed workload
 		// (see internal/slo).
 		{"slostorm", func() (*bench.Table, error) { return bench.FigSLOStorm(env) }},
+		{"cachestorm", func() (*bench.Table, error) { return bench.FigCacheStorm(env) }},
 	}
 
 	want := flag.Args()

@@ -23,6 +23,18 @@
 //	locofsd -role client ... -op-timeout 200ms -retries 3 -retry-backoff 10ms \
 //	        -breaker-failures 5 -breaker-cooldown 2s
 //
+// Metadata caching: clients keep a lease-coherent directory cache by
+// default (positive, negative and readdir-listing entries, kept coherent
+// by DMS-granted leases — see DESIGN.md). The DMS side takes -lease-dur to
+// size the granted leases; the client side takes -no-coherent-cache to
+// fall back to plain TTL caching, -lease to set the TTL for that fallback,
+// -no-neg-cache to disable negative (ENOENT) entries, and
+// -hot-entries/-hot-factor/-hot-refresh to keep the N hottest directories
+// on stretched, background-refreshed leases:
+//
+//	locofsd -role dms -listen :7000 -lease-dur 30s
+//	locofsd -role client ... -hot-entries 64 -hot-factor 4 -hot-refresh 5s
+//
 // Online elasticity: the client role doubles as the membership-change
 // coordinator. Start the new FMS process first, then grow the ring from
 // any client (the namespace stays fully readable while keys migrate):
@@ -91,6 +103,13 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first retry, doubling with jitter (client role)")
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that trip the per-server circuit breaker (client role; 0 = breaker off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped breaker fails fast before probing (client role; 0 = 1s)")
+	leaseDur := flag.Duration("lease-dur", 0, "directory lease duration granted to clients (dms role; 0 = default 30s)")
+	lease := flag.Duration("lease", 0, "directory cache lease for the TTL-only fallback (client role; 0 = default 30s)")
+	noCoherent := flag.Bool("no-coherent-cache", false, "revert the directory cache to TTL-only semantics, no lease coherence (client role)")
+	noNegCache := flag.Bool("no-neg-cache", false, "disable negative-entry (ENOENT) caching (client role)")
+	hotEntriesN := flag.Int("hot-entries", 0, "hot-entry tier size: keep the top N resolved directories on stretched leases (client role; 0 = off)")
+	hotFactor := flag.Int("hot-factor", 0, "lease stretch for hot entries (client role; 0 = default)")
+	hotRefresh := flag.Duration("hot-refresh", 0, "hot-entry background refresh period (client role; 0 = default)")
 	metricsAddr := flag.String("metrics-addr", "", "admin HTTP address serving /metrics, /debug/vars and /debug/pprof (empty = disabled)")
 	slow := flag.Duration("slow", 0, "log requests slower than this threshold with their trace id (0 = disabled)")
 	traceSample := flag.Float64("trace-sample", 0, "probability a trace's spans are retained for /debug/traces (0 = tracing off, 1 = all)")
@@ -125,7 +144,7 @@ func main() {
 	switch *role {
 	case "dms":
 		store := kv.Instrument(durable("dms", kv.NewBTreeStore()), kv.RAM)
-		d := dms.New(dms.Options{Store: store, CheckPermissions: true})
+		d := dms.New(dms.Options{Store: store, CheckPermissions: true, LeaseDur: *leaseDur})
 		srv.hot = map[string]*trace.TopK{"dms": d.HotKeys()}
 		srv.serve(*listen, "dms", store, d.Attach)
 	case "fms":
@@ -144,7 +163,15 @@ func main() {
 			client.WithRetry(client.RetryPolicy{Max: *retries, Base: *retryBackoff}),
 			client.WithBreaker(client.BreakerConfig{Threshold: *breakerFailures, Cooldown: *breakerCooldown}),
 		}
-		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv, opts)
+		cc := cacheFlags{
+			lease:      *lease,
+			noCoherent: *noCoherent,
+			noNeg:      *noNegCache,
+			hotEntries: *hotEntriesN,
+			hotFactor:  *hotFactor,
+			hotRefresh: *hotRefresh,
+		}
+		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv, cc, opts)
 	case "status":
 		runStatus(srv.peers)
 	default:
@@ -322,8 +349,19 @@ func runStatus(peers []peer) {
 	}
 }
 
+// cacheFlags carries the client-role directory-cache knobs (see the flag
+// block in main for their meaning).
+type cacheFlags struct {
+	lease      time.Duration
+	noCoherent bool
+	noNeg      bool
+	hotEntries int
+	hotFactor  int
+	hotRefresh time.Duration
+}
+
 // runClient connects to a TCP cluster and executes simple commands.
-func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, opts []client.DialOption) {
+func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, cc cacheFlags, opts []client.DialOption) {
 	if dmsAddr == "" || fmsList == "" || ossList == "" {
 		fmt.Fprintln(os.Stderr, "locofsd client: -dms, -fms and -oss are required")
 		os.Exit(2)
@@ -348,13 +386,19 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, opts []cl
 		fmt.Printf("locofsd client: metrics on http://%s/metrics\n", bound)
 	}
 	cl, err := client.Dial(client.Config{
-		Dialer:        netsim.TCPDialer{},
-		DMSAddr:       dmsAddr,
-		FMSAddrs:      strings.Split(fmsList, ","),
-		OSSAddrs:      strings.Split(ossList, ","),
-		Metrics:       reg,
-		SlowThreshold: sf.slow,
-		Tracer:        sf.tracer,
+		Dialer:                netsim.TCPDialer{},
+		DMSAddr:               dmsAddr,
+		FMSAddrs:              strings.Split(fmsList, ","),
+		OSSAddrs:              strings.Split(ossList, ","),
+		Metrics:               reg,
+		SlowThreshold:         sf.slow,
+		Tracer:                sf.tracer,
+		Lease:                 cc.lease,
+		DisableLeaseCoherence: cc.noCoherent,
+		DisableNegativeCache:  cc.noNeg,
+		HotEntries:            cc.hotEntries,
+		HotLeaseFactor:        cc.hotFactor,
+		HotRefreshInterval:    cc.hotRefresh,
 	}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locofsd client:", err)

@@ -86,6 +86,10 @@ func AblationCacheLease(env Env) (*Table, error) {
 			CostModel:          &core.PaperKVCost,
 			DisableClientCache: lease == 0,
 			Lease:              lease,
+			// This ablation sweeps the TTL itself, so run the cache in
+			// its TTL-only mode; with lease coherence on, expiry no
+			// longer drives re-lookups the way §3.2.2 describes.
+			DisableLeaseCoherence: true,
 		})
 		if err != nil {
 			return nil, err

@@ -1,47 +1,114 @@
 package client
 
 import (
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"locofs/internal/fspath"
 	"locofs/internal/layout"
+	"locofs/internal/telemetry"
+	"locofs/internal/trace"
+	"locofs/internal/wire"
 )
 
-// dirCache is the client directory metadata cache (§3.2.2): it holds only
-// directory inodes (never file inodes or dirents), each valid for a lease
-// period (30 s by default). A hit saves the DMS round trip on every file
-// operation in a cached directory.
+// dirCache is the client directory metadata cache (§3.2.2, DESIGN.md §14).
+// It holds directory inodes, negative entries (paths known absent) and
+// complete DMS subdirectory listings. A hit saves the DMS round trip on
+// every file operation in a cached directory; a negative hit saves the
+// round trip of a lookup that would only return ENOENT.
 //
-// The cache is bounded: at most max entries live at once, and on overflow
-// the oldest entries are evicted first. Because every entry gets the same
-// lease, insertion order equals expiry order, so a simple FIFO of
-// insertion records doubles as an expiry queue — no heap needed. Records
-// whose entry was re-put or invalidated since are stale and skipped
-// lazily.
+// In coherent mode (the default) every entry carries the DMS recall
+// sequence it was granted at, and the cache tracks two watermarks: maxSeq,
+// the highest sequence seen stamped on any response header, and appliedSeq,
+// the highest sequence whose recall entries have been applied. An entry is
+// served only while it is provably unaffected by unseen recalls —
+// grantSeq >= maxSeq (granted after every observed mutation) or
+// appliedSeq >= maxSeq (every observed recall already applied). Otherwise
+// the entry is kept but the access degrades to a miss; the next DMS round
+// trip piggybacks an OpLeaseRecall fetch and drops exactly the directories
+// that changed. TTL-only mode (DisableLeaseCoherence) skips all of it and
+// trusts entries for the configured lease, the paper's original semantics.
+//
+// The cache is bounded: at most max entries (of all three kinds) live at
+// once, and on overflow the oldest are evicted first. Because entries of
+// one kind get the same lease, insertion order approximates expiry order,
+// so a simple FIFO of insertion records doubles as an eviction queue — no
+// heap needed. Records whose entry was re-put or invalidated since are
+// stale and skipped lazily.
 type dirCache struct {
-	mu      sync.RWMutex
-	lease   time.Duration
-	entries map[string]cacheEntry
-	now     func() time.Time
+	mu    sync.RWMutex
+	lease time.Duration
+	now   func() time.Time
 
-	max  int       // entry cap; <= 0 means unbounded
+	coherent  bool // lease-coherent mode (grants, recalls, watermarks)
+	negatives bool // cache ENOENT results (coherent mode only)
+
+	entries map[string]cacheEntry
+	negs    map[string]negEntry
+	lists   map[string]listEntry
+
+	max  int       // total entry cap; <= 0 means unbounded
 	fifo []fifoRec // insertion order; stale records skipped lazily
 	seq  uint64    // ties entries to their live fifo record
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	// maxSeq is the highest DMS recall sequence observed on any response
+	// header; appliedSeq the highest sequence fully applied to this cache.
+	// appliedSeq <= maxSeq always; they are equal when the cache is
+	// provably coherent.
+	maxSeq     atomic.Uint64
+	appliedSeq atomic.Uint64
+
+	hits        atomic.Uint64
+	negHits     atomic.Uint64
+	listHits    atomic.Uint64
+	misses      atomic.Uint64
+	staleMisses atomic.Uint64
+	evictions   atomic.Uint64
+	recalls     atomic.Uint64
+
+	met *cacheMetrics // nil in direct-constructed tests
+
+	// Hot-entry tier (optional): hot ranks the client's most-resolved
+	// directories; paths in hotSet get their lease stretched hotFactor×,
+	// and the client's background refresher re-resolves them before expiry.
+	hot       *trace.TopK
+	hotFactor int
+	hotSet    atomic.Pointer[map[string]struct{}]
 }
 
 type cacheEntry struct {
-	inode   layout.DirInode
-	expires time.Time
-	seq     uint64
+	inode    layout.DirInode
+	expires  time.Time
+	seq      uint64
+	grantSeq uint64
 }
+
+type negEntry struct {
+	expires  time.Time
+	seq      uint64
+	grantSeq uint64
+}
+
+type listEntry struct {
+	ents     []DirEntry
+	expires  time.Time
+	seq      uint64
+	grantSeq uint64
+}
+
+// fifoRec kinds: which map the record's entry lives in.
+const (
+	recInode = iota
+	recNeg
+	recList
+)
 
 type fifoRec struct {
 	path string
 	seq  uint64
+	kind uint8
 }
 
 // DefaultLease is the paper's default client-cache lease.
@@ -52,11 +119,67 @@ const DefaultLease = 30 * time.Second
 // metadata-heavy client cannot grow without limit.
 const DefaultCacheEntries = 64 << 10
 
+// maxHotLeaseFactor bounds the hot-tier lease stretch. It must not exceed
+// the DMS grant horizon factor (dms.maxHotFactor): the server keeps
+// suppression records for dur×(factor+1), so a client stretching further
+// could hold an entry the server no longer publishes recalls for.
+const maxHotLeaseFactor = 8
+
+// DefaultHotLeaseFactor is the lease stretch applied to hot entries when
+// Config.HotLeaseFactor is zero.
+const DefaultHotLeaseFactor = 4
+
 // MetricDirCacheSize is the gauge reporting a client's live directory-cache
-// entry count.
+// entry count (inodes + negative entries + listings).
 const MetricDirCacheSize = "locofs_client_dircache_entries"
 
-func newDirCache(lease time.Duration, now func() time.Time, maxEntries int) *dirCache {
+// Directory-cache counters, labeled client=<id> like every client series.
+const (
+	MetricDirCacheHits      = "locofs_client_dircache_hits_total"
+	MetricDirCacheMisses    = "locofs_client_dircache_misses_total"
+	MetricDirCacheEvictions = "locofs_client_dircache_evictions_total"
+	MetricDirCacheNegHits   = "locofs_client_dircache_neg_hits_total"
+	MetricDirCacheListHits  = "locofs_client_dircache_list_hits_total"
+	MetricDirCacheStale     = "locofs_client_dircache_stale_total"
+	MetricDirCacheRecalls   = "locofs_client_dircache_recalls_total"
+)
+
+// cacheMetrics holds the cache's counter handles; nil-receiver-safe so the
+// cache can run without a registry in unit tests.
+type cacheMetrics struct {
+	hits, misses, evictions *telemetry.Counter
+	negHits, listHits       *telemetry.Counter
+	stale, recalls          *telemetry.Counter
+}
+
+func newCacheMetrics(reg *telemetry.Registry, label telemetry.Label) *cacheMetrics {
+	return &cacheMetrics{
+		hits:      reg.Counter(MetricDirCacheHits, label),
+		misses:    reg.Counter(MetricDirCacheMisses, label),
+		evictions: reg.Counter(MetricDirCacheEvictions, label),
+		negHits:   reg.Counter(MetricDirCacheNegHits, label),
+		listHits:  reg.Counter(MetricDirCacheListHits, label),
+		stale:     reg.Counter(MetricDirCacheStale, label),
+		recalls:   reg.Counter(MetricDirCacheRecalls, label),
+	}
+}
+
+// unregister removes the counters from reg so shared registries don't
+// accumulate dead per-client series.
+func (m *cacheMetrics) unregister(reg *telemetry.Registry, label telemetry.Label) {
+	if m == nil {
+		return
+	}
+	for _, name := range []string{
+		MetricDirCacheHits, MetricDirCacheMisses, MetricDirCacheEvictions,
+		MetricDirCacheNegHits, MetricDirCacheListHits,
+		MetricDirCacheStale, MetricDirCacheRecalls,
+	} {
+		reg.Unregister(name, label)
+	}
+}
+
+func newDirCache(lease time.Duration, now func() time.Time, maxEntries int, coherent, negatives bool, met *cacheMetrics) *dirCache {
 	if lease <= 0 {
 		lease = DefaultLease
 	}
@@ -67,111 +190,544 @@ func newDirCache(lease time.Duration, now func() time.Time, maxEntries int) *dir
 		maxEntries = DefaultCacheEntries
 	}
 	return &dirCache{
-		lease:   lease,
-		entries: make(map[string]cacheEntry),
-		now:     now,
-		max:     maxEntries,
+		lease:     lease,
+		now:       now,
+		coherent:  coherent,
+		negatives: coherent && negatives,
+		entries:   make(map[string]cacheEntry),
+		negs:      make(map[string]negEntry),
+		lists:     make(map[string]listEntry),
+		max:       maxEntries,
+		met:       met,
 	}
 }
 
-// get returns the cached inode for path if its lease is still valid.
+// enableHot turns the hot-entry tier on: track the top `entries` resolved
+// directories and stretch their leases factor× (clamped to the server's
+// grant horizon).
+func (c *dirCache) enableHot(entries, factor int) {
+	if factor <= 0 {
+		factor = DefaultHotLeaseFactor
+	}
+	if factor > maxHotLeaseFactor {
+		factor = maxHotLeaseFactor
+	}
+	c.hot = trace.NewTopK(4 * entries)
+	c.hotFactor = factor
+}
+
+// setHot installs the current hot-path set (from the refresher).
+func (c *dirCache) setHot(set map[string]struct{}) { c.hotSet.Store(&set) }
+
+func (c *dirCache) isHot(path string) bool {
+	hs := c.hotSet.Load()
+	if hs == nil {
+		return false
+	}
+	_, ok := (*hs)[path]
+	return ok
+}
+
+// observe records a recall sequence seen on a response header. Monotonic.
+func (c *dirCache) observe(seq uint64) {
+	for {
+		cur := c.maxSeq.Load()
+		if seq <= cur || c.maxSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// behind reports whether the cache has observed recalls it has not applied,
+// returning the applied watermark to fetch from.
+func (c *dirCache) behind() (since uint64, ok bool) {
+	if !c.coherent {
+		return 0, false
+	}
+	applied := c.appliedSeq.Load()
+	return applied, applied < c.maxSeq.Load()
+}
+
+// fresh reports whether an entry granted at gseq may be served: either it
+// postdates every observed mutation, or the cache has applied every
+// observed recall (so the entry surviving proves it untouched).
+func (c *dirCache) fresh(gseq uint64) bool {
+	if !c.coherent {
+		return true
+	}
+	max := c.maxSeq.Load()
+	return gseq >= max || c.appliedSeq.Load() >= max
+}
+
+// get returns the cached inode for path if its lease is valid and it is
+// coherent with every observed recall.
 func (c *dirCache) get(path string) (layout.DirInode, bool) {
+	if c.hot != nil {
+		c.hot.Touch(path)
+	}
 	c.mu.RLock()
 	e, ok := c.entries[path]
 	c.mu.RUnlock()
-	if !ok || c.now().After(e.expires) {
+	if ok && !c.now().After(e.expires) && c.fresh(e.grantSeq) {
+		c.hits.Add(1)
+		if c.met != nil {
+			c.met.hits.Inc()
+		}
+		return e.inode, true
+	}
+	if ok && c.now().After(e.expires) {
+		// Expired: evict — but only the entry we actually saw. Between
+		// dropping the read lock and taking the write lock a concurrent put
+		// may have installed a fresh entry under the same path; deleting
+		// blindly would evict it and turn a valid lease into a spurious
+		// miss for every subsequent get. The seq check deletes only the
+		// exact expired entry.
 		c.mu.Lock()
-		c.misses++
-		if ok { // expired: evict — but only the entry we actually saw.
-			// Between dropping the read lock and taking the write lock a
-			// concurrent put may have installed a fresh entry under the
-			// same path; deleting blindly would evict it and turn a valid
-			// lease into a spurious miss for every subsequent get. The seq
-			// check deletes only the exact expired entry.
-			if cur, still := c.entries[path]; still && cur.seq == e.seq {
-				delete(c.entries, path)
-			}
+		if cur, still := c.entries[path]; still && cur.seq == e.seq {
+			delete(c.entries, path)
+		}
+		c.mu.Unlock()
+	} else if ok {
+		// Unexpired but possibly invalidated by a recall not yet applied:
+		// degrade to a miss, keep the entry — it may prove untouched once
+		// the recalls are fetched and applied.
+		c.staleMisses.Add(1)
+		if c.met != nil {
+			c.met.stale.Inc()
+		}
+	}
+	c.misses.Add(1)
+	if c.met != nil {
+		c.met.misses.Inc()
+	}
+	return nil, false
+}
+
+// negHit reports whether path is cached as known-absent. Callers count the
+// preceding get() as the miss; negHit only ever adds a negative hit.
+func (c *dirCache) negHit(path string) bool {
+	if !c.negatives {
+		return false
+	}
+	c.mu.RLock()
+	e, ok := c.negs[path]
+	c.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	if c.now().After(e.expires) {
+		c.mu.Lock()
+		if cur, still := c.negs[path]; still && cur.seq == e.seq {
+			delete(c.negs, path)
+		}
+		c.mu.Unlock()
+		return false
+	}
+	if !c.fresh(e.grantSeq) {
+		c.staleMisses.Add(1)
+		if c.met != nil {
+			c.met.stale.Inc()
+		}
+		return false
+	}
+	c.negHits.Add(1)
+	if c.met != nil {
+		c.met.negHits.Inc()
+	}
+	return true
+}
+
+// getList returns the cached complete subdirectory listing for path. The
+// returned slice is shared; callers must not mutate it.
+func (c *dirCache) getList(path string) ([]DirEntry, bool) {
+	if !c.coherent {
+		return nil, false
+	}
+	c.mu.RLock()
+	e, ok := c.lists[path]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if c.now().After(e.expires) {
+		c.mu.Lock()
+		if cur, still := c.lists[path]; still && cur.seq == e.seq {
+			delete(c.lists, path)
 		}
 		c.mu.Unlock()
 		return nil, false
 	}
-	c.mu.Lock()
-	c.hits++
-	c.mu.Unlock()
-	return e.inode, true
+	if !c.fresh(e.grantSeq) {
+		c.staleMisses.Add(1)
+		if c.met != nil {
+			c.met.stale.Inc()
+		}
+		return nil, false
+	}
+	c.listHits.Add(1)
+	if c.met != nil {
+		c.met.listHits.Inc()
+	}
+	return e.ents, true
 }
 
-// put caches an inode under path with a fresh lease, evicting the oldest
-// entries if the cap is exceeded.
-func (c *dirCache) put(path string, inode layout.DirInode) {
+// leaseFor returns the entry lifetime and grant sequence for a server grant
+// (hot paths get the stretched lease).
+func (c *dirCache) leaseFor(path string, g wire.LeaseGrant) (time.Duration, uint64) {
+	if !c.coherent || !g.Valid() {
+		return c.lease, 0
+	}
+	dur := time.Duration(g.DurMS) * time.Millisecond
+	if c.hotFactor > 1 && c.isHot(path) {
+		dur *= time.Duration(c.hotFactor)
+	}
+	return dur, g.Seq
+}
+
+// put caches an inode under path, evicting the oldest entries if the cap is
+// exceeded.
+func (c *dirCache) put(path string, inode layout.DirInode, g wire.LeaseGrant) {
+	dur, gseq := c.leaseFor(path, g)
+	expires := c.now().Add(dur)
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.coherent && gseq < c.appliedSeq.Load() {
+		// A recall newer than this grant has already been applied; caching
+		// the value could resurrect an entry that recall dropped.
+		return
+	}
 	c.seq++
-	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: c.now().Add(c.lease), seq: c.seq}
-	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq})
-	if c.max > 0 {
-		for len(c.entries) > c.max && len(c.fifo) > 0 {
-			rec := c.fifo[0]
-			c.fifo = c.fifo[1:]
-			if e, ok := c.entries[rec.path]; ok && e.seq == rec.seq {
-				delete(c.entries, rec.path)
-				c.evictions++
+	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: expires, seq: c.seq, grantSeq: gseq}
+	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq, kind: recInode})
+	c.evictLocked()
+	c.compactLocked()
+}
+
+// putNeg caches an ENOENT result under the server's negative-entry grant.
+func (c *dirCache) putNeg(path string, g wire.LeaseGrant) {
+	if !c.negatives || !g.Valid() {
+		return
+	}
+	dur, gseq := c.leaseFor(path, g)
+	expires := c.now().Add(dur)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gseq < c.appliedSeq.Load() {
+		return
+	}
+	c.seq++
+	c.negs[path] = negEntry{expires: expires, seq: c.seq, grantSeq: gseq}
+	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq, kind: recNeg})
+	c.evictLocked()
+	c.compactLocked()
+}
+
+// putList caches a complete subdirectory listing under the server's listing
+// grant.
+func (c *dirCache) putList(path string, ents []DirEntry, g wire.LeaseGrant) {
+	if !c.coherent || !g.Valid() {
+		return
+	}
+	dur, gseq := c.leaseFor(path, g)
+	expires := c.now().Add(dur)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gseq < c.appliedSeq.Load() {
+		return
+	}
+	c.seq++
+	c.lists[path] = listEntry{ents: ents, expires: expires, seq: c.seq, grantSeq: gseq}
+	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq, kind: recList})
+	c.evictLocked()
+	c.compactLocked()
+}
+
+func (c *dirCache) liveLocked() int { return len(c.entries) + len(c.negs) + len(c.lists) }
+
+// evictLocked enforces the entry cap, oldest-first. Caller holds c.mu.
+func (c *dirCache) evictLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.liveLocked() > c.max && len(c.fifo) > 0 {
+		rec := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		if c.dropRecLocked(rec) {
+			c.evictions.Add(1)
+			if c.met != nil {
+				c.met.evictions.Inc()
 			}
 		}
 	}
-	// Re-puts and invalidations strand stale fifo records; compact once
-	// they dominate, so the queue stays proportional to the live set.
-	if len(c.fifo) > 2*len(c.entries)+16 {
+}
+
+// dropRecLocked deletes the entry a fifo record points at, if the record is
+// still live (the entry was not re-put or invalidated since).
+func (c *dirCache) dropRecLocked(rec fifoRec) bool {
+	switch rec.kind {
+	case recInode:
+		if e, ok := c.entries[rec.path]; ok && e.seq == rec.seq {
+			delete(c.entries, rec.path)
+			return true
+		}
+	case recNeg:
+		if e, ok := c.negs[rec.path]; ok && e.seq == rec.seq {
+			delete(c.negs, rec.path)
+			return true
+		}
+	case recList:
+		if e, ok := c.lists[rec.path]; ok && e.seq == rec.seq {
+			delete(c.lists, rec.path)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *dirCache) recLiveLocked(rec fifoRec) bool {
+	switch rec.kind {
+	case recInode:
+		e, ok := c.entries[rec.path]
+		return ok && e.seq == rec.seq
+	case recNeg:
+		e, ok := c.negs[rec.path]
+		return ok && e.seq == rec.seq
+	case recList:
+		e, ok := c.lists[rec.path]
+		return ok && e.seq == rec.seq
+	}
+	return false
+}
+
+// compactLocked trims the fifo: re-puts and invalidations strand stale
+// records; compact once they dominate, so the queue stays proportional to
+// the live set. Caller holds c.mu.
+func (c *dirCache) compactLocked() {
+	if len(c.fifo) > 2*c.liveLocked()+16 {
 		live := c.fifo[:0]
 		for _, rec := range c.fifo {
-			if e, ok := c.entries[rec.path]; ok && e.seq == rec.seq {
+			if c.recLiveLocked(rec) {
 				live = append(live, rec)
 			}
 		}
 		c.fifo = live
 	}
-	c.mu.Unlock()
 }
 
-// invalidate drops path from the cache.
-func (c *dirCache) invalidate(path string) {
+// applyRecalls applies a fetched recall log segment: every entry drops
+// exactly the cached state its mutation could have invalidated, skipping
+// entries granted at or after the recall (they postdate the mutation). A
+// reset — the client fell behind the server's bounded log — drops
+// everything. The applied watermark advances to cur.
+func (c *dirCache) applyRecalls(cur uint64, reset bool, entries []wire.Recall) {
+	if !c.coherent {
+		return
+	}
+	c.observe(cur)
 	c.mu.Lock()
-	delete(c.entries, path)
+	if reset {
+		clear(c.entries)
+		clear(c.negs)
+		clear(c.lists)
+		c.fifo = c.fifo[:0]
+		c.recalls.Add(1)
+		if c.met != nil {
+			c.met.recalls.Inc()
+		}
+	} else {
+		for _, r := range entries {
+			c.applyOneLocked(r.Seq, r.Kind, r.Path)
+		}
+		c.recalls.Add(uint64(len(entries)))
+		if c.met != nil {
+			c.met.recalls.Add(uint64(len(entries)))
+		}
+	}
 	c.mu.Unlock()
+	for {
+		a := c.appliedSeq.Load()
+		if cur <= a || c.appliedSeq.CompareAndSwap(a, cur) {
+			return
+		}
+	}
 }
 
-// invalidateSubtree drops path and everything beneath it (after a directory
-// rename or removal).
-func (c *dirCache) invalidateSubtree(path string) {
+// applyOneLocked performs one recall's drops. Entries granted at or after
+// seq survive: their grant postdates the mutation. Caller holds c.mu.
+func (c *dirCache) applyOneLocked(seq uint64, kind wire.RecallKind, path string) {
+	switch kind {
+	case wire.RecallPatched:
+		// In-place attribute change: only the exact inode entry is stale.
+		if e, ok := c.entries[path]; ok && e.grantSeq < seq {
+			delete(c.entries, path)
+		}
+	case wire.RecallCreated:
+		// The path now exists: negative entries at/under it are wrong (a
+		// rename can materialize a whole subtree), and listings of it and
+		// of its parent gained an entry.
+		c.dropTreeLocked(path, seq, false, true, true)
+		c.dropParentListLocked(path, seq)
+	case wire.RecallRemoved:
+		// The subtree is gone: inodes and listings at/under it are stale,
+		// and the parent's listing lost an entry. Negative entries are
+		// dropped too (over-broad but cheap and safe).
+		c.dropTreeLocked(path, seq, true, true, true)
+		c.dropParentListLocked(path, seq)
+	}
+}
+
+// dropTreeLocked drops cached state at and under path from the selected
+// maps, honoring the grant-sequence guard. Caller holds c.mu.
+func (c *dirCache) dropTreeLocked(path string, seq uint64, inodes, negs, lists bool) {
 	prefix := path
 	if prefix != "/" {
 		prefix += "/"
 	}
-	c.mu.Lock()
-	for p := range c.entries {
-		if p == path || (len(p) >= len(prefix) && p[:len(prefix)] == prefix) {
-			delete(c.entries, p)
+	at := func(p string) bool {
+		return p == path || strings.HasPrefix(p, prefix)
+	}
+	if inodes {
+		for p, e := range c.entries {
+			if e.grantSeq < seq && at(p) {
+				delete(c.entries, p)
+			}
 		}
 	}
+	if negs {
+		for p, e := range c.negs {
+			if e.grantSeq < seq && at(p) {
+				delete(c.negs, p)
+			}
+		}
+	}
+	if lists {
+		for p, e := range c.lists {
+			if e.grantSeq < seq && at(p) {
+				delete(c.lists, p)
+			}
+		}
+	}
+}
+
+func (c *dirCache) dropParentListLocked(path string, seq uint64) {
+	if path == "/" {
+		return
+	}
+	parent, _ := fspath.Split(path)
+	if e, ok := c.lists[parent]; ok && e.grantSeq < seq {
+		delete(c.lists, parent)
+	}
+}
+
+// selfOp is one drop of a client's own mutation (see selfApply).
+type selfOp struct {
+	kind wire.RecallKind
+	path string
+}
+
+// selfApply applies the client's own mutation to its cache using the same
+// drop rules a recall would, and — when the mutation's response carried a
+// publication trailer (last, n) — accounts the recalls as applied, so the
+// mutating client never pays a recall fetch for its own writes. last == 0
+// (TTL mode, or a fully suppressed mutation) drops unconditionally.
+func (c *dirCache) selfApply(last uint64, n uint32, ops ...selfOp) {
+	guard := last
+	if guard == 0 {
+		guard = ^uint64(0)
+	}
+	if last > 0 {
+		c.observe(last)
+	}
+	c.mu.Lock()
+	for _, op := range ops {
+		c.applyOneLocked(guard, op.kind, op.path)
+	}
+	c.mu.Unlock()
+	if last > 0 && n > 0 {
+		// The published seqs last-n+1..last are exactly this mutation's;
+		// if everything before them was applied, they now are too.
+		c.appliedSeq.CompareAndSwap(last-uint64(n), last)
+	}
+}
+
+func (c *dirCache) selfCreated(path string, last uint64, n uint32) {
+	c.selfApply(last, n, selfOp{wire.RecallCreated, path})
+}
+
+func (c *dirCache) selfRemoved(path string, last uint64, n uint32) {
+	c.selfApply(last, n, selfOp{wire.RecallRemoved, path})
+}
+
+func (c *dirCache) selfPatched(path string, last uint64, n uint32) {
+	c.selfApply(last, n, selfOp{wire.RecallPatched, path})
+}
+
+func (c *dirCache) selfRenamed(oldPath, newPath string, last uint64, n uint32) {
+	// Mirror the published removed(old)+created(new), plus an entry drop
+	// under the new path (matches the legacy invalidateSubtree there).
+	c.selfApply(last, n,
+		selfOp{wire.RecallRemoved, oldPath},
+		selfOp{wire.RecallRemoved, newPath},
+		selfOp{wire.RecallCreated, newPath})
+}
+
+// invalidate drops path from the cache (every kind, unconditionally).
+func (c *dirCache) invalidate(path string) {
+	c.mu.Lock()
+	delete(c.entries, path)
+	delete(c.negs, path)
+	delete(c.lists, path)
 	c.mu.Unlock()
 }
 
-// stats returns hit/miss counts.
+// invalidateSubtree drops path and everything beneath it, unconditionally.
+func (c *dirCache) invalidateSubtree(path string) {
+	c.mu.Lock()
+	c.dropTreeLocked(path, ^uint64(0), true, true, true)
+	c.mu.Unlock()
+}
+
+// stats returns inode hit/miss counts.
 func (c *dirCache) stats() (hits, misses uint64) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // evicted returns the number of entries dropped by the size cap.
-func (c *dirCache) evicted() uint64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.evictions
-}
+func (c *dirCache) evicted() uint64 { return c.evictions.Load() }
 
-// size returns the number of cached entries.
+// size returns the number of cached entries of all kinds.
 func (c *dirCache) size() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.entries)
+	return c.liveLocked()
+}
+
+// CacheDetail is a point-in-time snapshot of the directory cache's
+// counters, occupancy and coherence watermarks.
+type CacheDetail struct {
+	Hits, NegHits, ListHits      uint64
+	Misses, StaleMisses          uint64
+	Evictions, RecallsApplied    uint64
+	Entries, Negatives, Listings int
+	MaxSeq, AppliedSeq           uint64
+}
+
+func (c *dirCache) detail() CacheDetail {
+	c.mu.RLock()
+	entries, negs, lists := len(c.entries), len(c.negs), len(c.lists)
+	c.mu.RUnlock()
+	return CacheDetail{
+		Hits:           c.hits.Load(),
+		NegHits:        c.negHits.Load(),
+		ListHits:       c.listHits.Load(),
+		Misses:         c.misses.Load(),
+		StaleMisses:    c.staleMisses.Load(),
+		Evictions:      c.evictions.Load(),
+		RecallsApplied: c.recalls.Load(),
+		Entries:        entries,
+		Negatives:      negs,
+		Listings:       lists,
+		MaxSeq:         c.maxSeq.Load(),
+		AppliedSeq:     c.appliedSeq.Load(),
+	}
 }

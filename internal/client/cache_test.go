@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"locofs/internal/layout"
+	"locofs/internal/wire"
 )
 
 func freshInode(uidTag uint32) layout.DirInode {
@@ -18,8 +19,8 @@ func freshInode(uidTag uint32) layout.DirInode {
 
 func TestCachePutGet(t *testing.T) {
 	now := time.Now()
-	c := newDirCache(30*time.Second, func() time.Time { return now }, 0)
-	c.put("/a", freshInode(1))
+	c := newDirCache(30*time.Second, func() time.Time { return now }, 0, false, false, nil)
+	c.put("/a", freshInode(1), wire.LeaseGrant{})
 	got, ok := c.get("/a")
 	if !ok || got.UID() != 1 {
 		t.Fatalf("get = %v, %v", got, ok)
@@ -36,8 +37,8 @@ func TestCachePutGet(t *testing.T) {
 func TestCacheLeaseExpiry(t *testing.T) {
 	now := time.Now()
 	clock := func() time.Time { return now }
-	c := newDirCache(30*time.Second, clock, 0)
-	c.put("/a", freshInode(1))
+	c := newDirCache(30*time.Second, clock, 0, false, false, nil)
+	c.put("/a", freshInode(1), wire.LeaseGrant{})
 	now = now.Add(29 * time.Second)
 	if _, ok := c.get("/a"); !ok {
 		t.Error("entry expired before lease")
@@ -53,10 +54,10 @@ func TestCacheLeaseExpiry(t *testing.T) {
 
 func TestCachePutRefreshesLease(t *testing.T) {
 	now := time.Now()
-	c := newDirCache(30*time.Second, func() time.Time { return now }, 0)
-	c.put("/a", freshInode(1))
+	c := newDirCache(30*time.Second, func() time.Time { return now }, 0, false, false, nil)
+	c.put("/a", freshInode(1), wire.LeaseGrant{})
 	now = now.Add(20 * time.Second)
-	c.put("/a", freshInode(2))
+	c.put("/a", freshInode(2), wire.LeaseGrant{})
 	now = now.Add(20 * time.Second) // 40s since first put, 20s since refresh
 	got, ok := c.get("/a")
 	if !ok || got.UID() != 2 {
@@ -65,8 +66,8 @@ func TestCachePutRefreshesLease(t *testing.T) {
 }
 
 func TestCacheInvalidate(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 0)
-	c.put("/a", freshInode(1))
+	c := newDirCache(time.Hour, nil, 0, false, false, nil)
+	c.put("/a", freshInode(1), wire.LeaseGrant{})
 	c.invalidate("/a")
 	if _, ok := c.get("/a"); ok {
 		t.Error("invalidated entry still visible")
@@ -74,9 +75,9 @@ func TestCacheInvalidate(t *testing.T) {
 }
 
 func TestCacheInvalidateSubtree(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 0)
+	c := newDirCache(time.Hour, nil, 0, false, false, nil)
 	for _, p := range []string{"/a", "/a/b", "/a/b/c", "/ab", "/z"} {
-		c.put(p, freshInode(1))
+		c.put(p, freshInode(1), wire.LeaseGrant{})
 	}
 	c.invalidateSubtree("/a")
 	for _, gone := range []string{"/a", "/a/b", "/a/b/c"} {
@@ -92,9 +93,9 @@ func TestCacheInvalidateSubtree(t *testing.T) {
 }
 
 func TestCacheInvalidateSubtreeRoot(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 0)
-	c.put("/", freshInode(1))
-	c.put("/x", freshInode(1))
+	c := newDirCache(time.Hour, nil, 0, false, false, nil)
+	c.put("/", freshInode(1), wire.LeaseGrant{})
+	c.put("/x", freshInode(1), wire.LeaseGrant{})
 	c.invalidateSubtree("/")
 	if c.size() != 0 {
 		t.Errorf("size = %d after invalidating /", c.size())
@@ -102,9 +103,9 @@ func TestCacheInvalidateSubtreeRoot(t *testing.T) {
 }
 
 func TestCacheStoresCopy(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 0)
+	c := newDirCache(time.Hour, nil, 0, false, false, nil)
 	ino := freshInode(1)
-	c.put("/a", ino)
+	c.put("/a", ino, wire.LeaseGrant{})
 	ino.SetUID(99) // mutate caller's copy
 	got, _ := c.get("/a")
 	if got.UID() != 1 {
@@ -113,16 +114,16 @@ func TestCacheStoresCopy(t *testing.T) {
 }
 
 func TestCacheDefaultLease(t *testing.T) {
-	c := newDirCache(0, nil, 0)
+	c := newDirCache(0, nil, 0, false, false, nil)
 	if c.lease != DefaultLease {
 		t.Errorf("lease = %v, want %v", c.lease, DefaultLease)
 	}
 }
 
 func TestCacheCapEvictsOldest(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 4)
+	c := newDirCache(time.Hour, nil, 4, false, false, nil)
 	for i := 0; i < 10; i++ {
-		c.put(fmt.Sprintf("/d%d", i), freshInode(uint32(i)))
+		c.put(fmt.Sprintf("/d%d", i), freshInode(uint32(i)), wire.LeaseGrant{})
 	}
 	if got := c.size(); got != 4 {
 		t.Fatalf("size = %d, want cap 4", got)
@@ -143,12 +144,12 @@ func TestCacheCapEvictsOldest(t *testing.T) {
 }
 
 func TestCacheRePutKeepsSiblings(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 3)
-	c.put("/a", freshInode(1))
-	c.put("/b", freshInode(2))
+	c := newDirCache(time.Hour, nil, 3, false, false, nil)
+	c.put("/a", freshInode(1), wire.LeaseGrant{})
+	c.put("/b", freshInode(2), wire.LeaseGrant{})
 	// Refreshing one path many times must not push siblings out.
 	for i := 0; i < 50; i++ {
-		c.put("/a", freshInode(uint32(100+i)))
+		c.put("/a", freshInode(uint32(100+i)), wire.LeaseGrant{})
 	}
 	if _, ok := c.get("/b"); !ok {
 		t.Error("re-puts of /a evicted sibling /b")
@@ -162,9 +163,9 @@ func TestCacheRePutKeepsSiblings(t *testing.T) {
 }
 
 func TestCacheUnboundedWhenNegative(t *testing.T) {
-	c := newDirCache(time.Hour, nil, -1)
+	c := newDirCache(time.Hour, nil, -1, false, false, nil)
 	for i := 0; i < DefaultCacheEntries/8; i++ {
-		c.put(fmt.Sprintf("/u%d", i), freshInode(1))
+		c.put(fmt.Sprintf("/u%d", i), freshInode(1), wire.LeaseGrant{})
 	}
 	if got := c.size(); got != DefaultCacheEntries/8 {
 		t.Errorf("size = %d, want %d (unbounded)", got, DefaultCacheEntries/8)
@@ -172,11 +173,11 @@ func TestCacheUnboundedWhenNegative(t *testing.T) {
 }
 
 func TestCacheFifoCompaction(t *testing.T) {
-	c := newDirCache(time.Hour, nil, 1000)
+	c := newDirCache(time.Hour, nil, 1000, false, false, nil)
 	// Many invalidated puts must not grow the fifo without bound.
 	for i := 0; i < 10000; i++ {
 		p := fmt.Sprintf("/t%d", i%7)
-		c.put(p, freshInode(1))
+		c.put(p, freshInode(1), wire.LeaseGrant{})
 		c.invalidate(p)
 	}
 	c.mu.Lock()
@@ -198,7 +199,7 @@ func TestCacheExpiryRePutRace(t *testing.T) {
 	base := time.Unix(1000, 0)
 	nowNS.Store(0)
 	clock := func() time.Time { return base.Add(time.Duration(nowNS.Load())) }
-	c := newDirCache(time.Millisecond, clock, 0)
+	c := newDirCache(time.Millisecond, clock, 0, false, false, nil)
 
 	const workers = 8
 	var wg sync.WaitGroup
@@ -216,7 +217,7 @@ func TestCacheExpiryRePutRace(t *testing.T) {
 				p := fmt.Sprintf("/race/%d", i%3)
 				switch w % 3 {
 				case 0:
-					c.put(p, freshInode(uint32(w)))
+					c.put(p, freshInode(uint32(w)), wire.LeaseGrant{})
 				case 1:
 					c.get(p)
 				case 2:
@@ -231,7 +232,7 @@ func TestCacheExpiryRePutRace(t *testing.T) {
 	wg.Wait()
 
 	// A put must always be visible for its full lease afterwards.
-	c.put("/race/0", freshInode(9))
+	c.put("/race/0", freshInode(9), wire.LeaseGrant{})
 	if got, ok := c.get("/race/0"); !ok || got.UID() != 9 {
 		t.Fatalf("fresh put invisible after stress: %v %v", got, ok)
 	}
@@ -241,7 +242,7 @@ func TestCacheExpiryRePutRace(t *testing.T) {
 // overlapping paths; run with -race this is the regression net for the
 // cache's lock discipline.
 func TestCacheStressOverlappingSubtrees(t *testing.T) {
-	c := newDirCache(5*time.Millisecond, nil, 64)
+	c := newDirCache(5*time.Millisecond, nil, 64, false, false, nil)
 	paths := []string{"/a", "/a/b", "/a/b/c", "/a/b/c/d", "/a/x", "/z"}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -258,7 +259,7 @@ func TestCacheStressOverlappingSubtrees(t *testing.T) {
 				p := paths[(i+w)%len(paths)]
 				switch w % 3 {
 				case 0:
-					c.put(p, freshInode(uint32(i)))
+					c.put(p, freshInode(uint32(i)), wire.LeaseGrant{})
 				case 1:
 					c.get(p)
 				case 2:

@@ -51,8 +51,31 @@ type Config struct {
 	OSSAddrs []string
 	// DisableCache turns off the client directory cache (LocoFS-NC).
 	DisableCache bool
-	// Lease overrides the default 30 s cache lease.
+	// Lease overrides the default 30 s cache lease. In coherent mode the
+	// server's granted duration wins; this value only governs the TTL-only
+	// fallback (see DisableLeaseCoherence).
 	Lease time.Duration
+	// DisableLeaseCoherence reverts the directory cache to the paper's
+	// TTL-only semantics: entries are trusted for the configured lease with
+	// no staleness detection, no negative entries and no listing cache.
+	// The default (false) is lease-coherent caching: the DMS grants leases
+	// on lookups, stamps its recall sequence on every response, and the
+	// client drops exactly the directories that changed (DESIGN.md §14).
+	DisableLeaseCoherence bool
+	// DisableNegativeCache turns off negative-entry caching (ENOENT
+	// results) while keeping lease coherence for positive entries.
+	DisableNegativeCache bool
+	// HotEntries enables the hot-entry tier: the client ranks its most
+	// frequently resolved directories with a space-saving sketch, keeps the
+	// top HotEntries of them on stretched leases, and refreshes them in the
+	// background. Zero disables the tier. Requires lease coherence.
+	HotEntries int
+	// HotLeaseFactor is the lease stretch for hot entries (default
+	// DefaultHotLeaseFactor, clamped to the server's grant horizon).
+	HotLeaseFactor int
+	// HotRefreshInterval is the hot-tier background refresh period
+	// (default DefaultHotRefreshInterval).
+	HotRefreshInterval time.Duration
 	// UID and GID are the credentials stamped on operations.
 	UID, GID uint32
 	// Now overrides the clock (tests).
@@ -145,6 +168,11 @@ type Client struct {
 	// virtual-time model sees concurrency.
 	parSavedNS atomic.Int64
 
+	// hotStop/hotDone bracket the hot-tier background refresher's
+	// lifetime; nil when the tier is disabled.
+	hotStop chan struct{}
+	hotDone chan struct{}
+
 	telem     *clientTelem
 	tracer    *trace.Tracer   // nil when tracing is disabled
 	label     telemetry.Label // gauge identity, unregistered by Close
@@ -233,7 +261,7 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 	}
 	res := newResilience(cfg.OpTimeout, cfg.Retry, cfg.Breaker, cfg.Now)
 	dial := func(addr string) (*endpoint, error) {
-		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res, c.observeEpoch)
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res, c.observeEpoch, c.observeLease)
 	}
 	c.eps = make(map[string]*endpoint)
 	c.dialFMS = dial
@@ -277,12 +305,24 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 		oids[i] = i
 	}
 	c.oring = chash.NewRing(0, oids...)
-	if !cfg.DisableCache {
-		c.cache = newDirCache(cfg.Lease, cfg.Now, cfg.CacheEntries)
-	}
 	// The client label keeps several clients sharing one registry (a
-	// benchmark fleet) from clobbering each other's gauges.
+	// benchmark fleet) from clobbering each other's gauges and counters.
 	c.label = telemetry.L("client", fmt.Sprintf("%d", c.traceBase>>48))
+	if !cfg.DisableCache {
+		coherent := !cfg.DisableLeaseCoherence
+		c.cache = newDirCache(cfg.Lease, cfg.Now, cfg.CacheEntries,
+			coherent, !cfg.DisableNegativeCache, newCacheMetrics(reg, c.label))
+		if coherent && cfg.HotEntries > 0 {
+			c.cache.enableHot(cfg.HotEntries, cfg.HotLeaseFactor)
+			interval := cfg.HotRefreshInterval
+			if interval <= 0 {
+				interval = DefaultHotRefreshInterval
+			}
+			c.hotStop = make(chan struct{})
+			c.hotDone = make(chan struct{})
+			go c.hotRefreshLoop(cfg.HotEntries, interval)
+		}
+	}
 	reg.GaugeFunc(MetricInflight, func() float64 {
 		return float64(c.telem.inflight.Load())
 	}, c.label)
@@ -307,8 +347,16 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 // unregisters the client's gauges so shared registries don't accumulate
 // dead per-client series.
 func (c *Client) Close() error {
+	if c.hotStop != nil {
+		close(c.hotStop)
+		<-c.hotDone
+		c.hotStop = nil
+	}
 	c.telem.reg.Unregister(MetricInflight, c.label)
 	c.telem.reg.Unregister(MetricDirCacheSize, c.label)
+	if c.cache != nil {
+		c.cache.met.unregister(c.telem.reg, c.label)
+	}
 	fmsEps := c.fmsEndpoints()
 	eps := make([]*endpoint, 0, 1+len(fmsEps)+len(c.oss))
 	if c.dms != nil {
@@ -352,12 +400,23 @@ func (c *Client) Cost() time.Duration {
 	return d - time.Duration(c.parSavedNS.Load())
 }
 
-// CacheStats returns directory-cache hits and misses (zero when disabled).
+// CacheStats returns directory-cache inode hits and misses (zero when
+// disabled).
 func (c *Client) CacheStats() (hits, misses uint64) {
 	if c.cache == nil {
 		return 0, 0
 	}
 	return c.cache.stats()
+}
+
+// CacheDetail returns the full directory-cache snapshot: per-kind hit
+// counters, stale misses, occupancy and the coherence watermarks. Zero
+// value when the cache is disabled.
+func (c *Client) CacheDetail() CacheDetail {
+	if c.cache == nil {
+		return CacheDetail{}
+	}
+	return c.cache.detail()
 }
 
 // FMSCount returns the number of file metadata servers in the current
@@ -374,9 +433,14 @@ func (c *Client) ossFor(u uuid.UUID, blk uint64) *endpoint {
 }
 
 // resolveDir returns the d-inode of a cleaned directory path, from cache if
-// possible, otherwise via one DMS lookup (which returns the whole ancestor
-// chain; every link is cached). oc is the logical operation's context; its
-// span is annotated with the cache outcome.
+// possible — including a cached negative entry, which answers ENOENT with
+// zero trips — otherwise via one DMS lookup (which returns the whole
+// ancestor chain; every link is cached under its granted lease). When the
+// cache has observed recalls it has not applied, the missed entries are
+// fetched in the same round trip as the lookup, so a coherence catch-up
+// costs exactly one DMS trip — the same as the plain miss. oc is the
+// logical operation's context; its span is annotated with the cache
+// outcome.
 func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 	if c.cache != nil {
 		if ino, ok := c.cache.get(cleaned); ok {
@@ -385,16 +449,64 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 			}
 			return ino, nil
 		}
+		if c.cache.negHit(cleaned) {
+			if oc.sp != nil {
+				oc.sp.Annotate("cache=neg " + cleaned)
+			}
+			return nil, wire.StatusNotFound.Err()
+		}
 		if oc.sp != nil {
 			oc.sp.Annotate("cache=miss " + cleaned)
 		}
 	}
 	enc := wire.GetEnc()
 	body := enc.Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(oc, wire.OpLookupDir, body)
+	var (
+		st         wire.Status
+		resp       []byte
+		err        error
+		recallResp []byte
+	)
+	if since, behind := c.cacheBehind(); behind && !c.disableBatch {
+		var resps []wire.SubResp
+		resps, _, err = c.dms.CallBatch(oc, []wire.SubReq{
+			{Op: wire.OpLookupDir, Body: body},
+			{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)},
+		})
+		if err == nil {
+			st, resp = resps[0].Status, resps[0].Body
+			if resps[1].Status == wire.StatusOK {
+				recallResp = resps[1].Body
+			}
+		}
+	} else {
+		st, resp, err = c.dms.CallT(oc, wire.OpLookupDir, body)
+	}
 	enc.Free()
 	if err != nil {
 		return nil, err
+	}
+	// Cache the lookup result first, then apply the recalls: the fresh
+	// entries carry their grant sequence, so any newer recall in the batch
+	// still drops them, while older ones leave them alone.
+	ino, rerr := c.finishLookup(cleaned, st, resp)
+	if recallResp != nil {
+		c.applyRecallResp(recallResp)
+	}
+	return ino, rerr
+}
+
+// finishLookup turns an OpLookupDir outcome into the resolved inode,
+// caching the ancestor chain on success and the negative entry (under its
+// grant) on ENOENT.
+func (c *Client) finishLookup(cleaned string, st wire.Status, resp []byte) (layout.DirInode, error) {
+	if st == wire.StatusNotFound {
+		if c.cache != nil {
+			if g := wire.DecodeLeaseGrant(wire.NewDec(resp)); g.Valid() {
+				c.cache.putNeg(cleaned, g)
+			}
+		}
+		return nil, st.Err()
 	}
 	if st != wire.StatusOK {
 		return nil, st.Err()
@@ -403,22 +515,32 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 }
 
 // cacheLookupChain decodes an OpLookupDir response — the ancestor chain of
-// cleaned — caching every link and returning the target's inode.
+// cleaned plus the trailing lease grant — caching every link under the
+// grant and returning the target's inode.
 func (c *Client) cacheLookupChain(cleaned string, resp []byte) (layout.DirInode, error) {
 	d := wire.NewDec(resp)
 	n := d.U32()
-	var target layout.DirInode
+	type link struct {
+		path string
+		ino  layout.DirInode
+	}
+	links := make([]link, 0, n)
 	for i := uint32(0); i < n; i++ {
 		p := d.Str()
 		ino := layout.DirInode(d.Blob())
 		if d.Err() != nil {
 			return nil, d.Err()
 		}
+		links = append(links, link{p, ino})
+	}
+	g := wire.DecodeLeaseGrant(d)
+	var target layout.DirInode
+	for _, l := range links {
 		if c.cache != nil {
-			c.cache.put(p, ino)
+			c.cache.put(l.path, l.ino, g)
 		}
-		if p == cleaned {
-			target = ino
+		if l.path == cleaned {
+			target = l.ino
 		}
 	}
 	if target == nil {
@@ -463,9 +585,19 @@ func (c *Client) Mkdir(path string, mode uint32) (err error) {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.CallT(oc, wire.OpMkdir, body)
+	st, resp, err := c.dms.CallT(oc, wire.OpMkdir, body)
 	if err != nil {
 		return err
+	}
+	if st == wire.StatusOK && c.cache != nil {
+		// Self-apply: drop the negative entry and the parent's listing this
+		// creation invalidates, and account the published recalls (carried
+		// in the response trailer) as applied — no recall fetch needed for
+		// the client's own writes.
+		d := wire.NewDec(resp)
+		d.UUID() // created directory's uuid
+		last, n := decodePub(d)
+		c.cache.selfCreated(cleaned, last, n)
 	}
 	return st.Err()
 }
@@ -509,12 +641,13 @@ func (c *Client) Rmdir(path string) (err error) {
 		return err
 	}
 	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.CallT(oc, wire.OpRmdir, body)
+	st, resp, err := c.dms.CallT(oc, wire.OpRmdir, body)
 	if err != nil {
 		return err
 	}
 	if st == wire.StatusOK && c.cache != nil {
-		c.cache.invalidateSubtree(cleaned)
+		last, n := decodePub(wire.NewDec(resp))
+		c.cache.selfRemoved(cleaned, last, n)
 	}
 	return st.Err()
 }
@@ -532,8 +665,10 @@ const ReaddirPageSize = 1024
 
 // decodeEntryPage parses a paged readdir response. remaining is the
 // server's exact count of entries beyond this page, or -1 when the server
-// did not report one (more then only says whether any remain).
-func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remaining int, err error) {
+// did not report one (more then only says whether any remain). g is the
+// trailing listing lease grant, present (Valid) only on a complete DMS
+// subdirectory listing.
+func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remaining int, g wire.LeaseGrant, err error) {
 	d := wire.NewDec(resp)
 	n := d.U32()
 	more = d.Bool()
@@ -542,7 +677,7 @@ func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remai
 		name := d.Str()
 		u := d.UUID()
 		if d.Err() != nil {
-			return nil, false, 0, d.Err()
+			return nil, false, 0, g, d.Err()
 		}
 		ents = append(ents, DirEntry{Name: name, IsDir: isDir, UUID: u})
 	}
@@ -550,10 +685,11 @@ func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remai
 	if d.Remaining() > 0 { // optional trailing exact remaining count
 		remaining = int(d.U32())
 		if d.Err() != nil {
-			return nil, false, 0, d.Err()
+			return nil, false, 0, g, d.Err()
 		}
 	}
-	return ents, more, remaining, nil
+	g = wire.DecodeLeaseGrant(d)
+	return ents, more, remaining, g, nil
 }
 
 // resolveForReaddir resolves the directory for a listing. On a cache miss
@@ -564,10 +700,24 @@ func decodeEntryPage(resp []byte, isDir bool) (ents []DirEntry, more bool, remai
 func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInode, first []DirEntry, more bool, remaining int, seeded bool, err error) {
 	if c.cache != nil {
 		if cached, ok := c.cache.get(cleaned); ok {
+			if ents, lok := c.cache.getList(cleaned); lok {
+				// Both the inode and the complete subdirectory listing are
+				// cached: the DMS branch of this readdir costs zero trips.
+				if oc.sp != nil {
+					oc.sp.Annotate("cache=hit+list " + cleaned)
+				}
+				return cached, ents, false, 0, true, nil
+			}
 			if oc.sp != nil {
 				oc.sp.Annotate("cache=hit " + cleaned)
 			}
 			return cached, nil, false, 0, false, nil
+		}
+		if c.cache.negHit(cleaned) {
+			if oc.sp != nil {
+				oc.sp.Annotate("cache=neg " + cleaned)
+			}
+			return nil, nil, false, 0, false, wire.StatusNotFound.Err()
 		}
 		if oc.sp != nil {
 			oc.sp.Annotate("cache=miss " + cleaned)
@@ -580,24 +730,34 @@ func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInod
 	lookup := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
 	page := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
 		Str("").U32(ReaddirPageSize).U32(0).Bytes()
-	resps, _, err := c.dms.CallBatch(oc, []wire.SubReq{
+	subs := []wire.SubReq{
 		{Op: wire.OpLookupDir, Body: lookup},
 		{Op: wire.OpReaddirSubdirs, Body: page},
-	})
+	}
+	recallAt := -1
+	if since, behind := c.cacheBehind(); behind {
+		recallAt = len(subs)
+		subs = append(subs, wire.SubReq{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)})
+	}
+	resps, _, err := c.dms.CallBatch(oc, subs)
 	if err != nil {
 		return nil, nil, false, 0, false, err
 	}
-	if st := resps[0].Status; st != wire.StatusOK {
-		return nil, nil, false, 0, false, st.Err()
+	if recallAt >= 0 && resps[recallAt].Status == wire.StatusOK {
+		defer c.applyRecallResp(resps[recallAt].Body)
 	}
-	if ino, err = c.cacheLookupChain(cleaned, resps[0].Body); err != nil {
+	if ino, err = c.finishLookup(cleaned, resps[0].Status, resps[0].Body); err != nil {
 		return nil, nil, false, 0, false, err
 	}
 	if st := resps[1].Status; st != wire.StatusOK {
 		return nil, nil, false, 0, false, st.Err()
 	}
-	if first, more, remaining, err = decodeEntryPage(resps[1].Body, true); err != nil {
+	var g wire.LeaseGrant
+	if first, more, remaining, g, err = decodeEntryPage(resps[1].Body, true); err != nil {
 		return nil, nil, false, 0, false, err
+	}
+	if c.cache != nil && g.Valid() && !more {
+		c.cache.putList(cleaned, first, g)
 	}
 	return ino, first, more, remaining, true, nil
 }
@@ -640,7 +800,7 @@ func (c *Client) Readdir(path string) (out []DirEntry, err error) {
 			if seeded {
 				ents, virt, err = c.readMorePages(c.dms, boc, wire.OpReaddirSubdirs, subBody, true, firstSubs, firstMore, firstRemaining)
 			} else {
-				ents, virt, err = c.readPages(c.dms, boc, wire.OpReaddirSubdirs, subBody, true)
+				ents, virt, err = c.readSubdirPages(cleaned, boc, subBody)
 			}
 		} else {
 			ents, virt, err = c.readPages(fmsEps[i-1], boc, wire.OpReaddirFiles, fileBody, false)
@@ -969,12 +1129,13 @@ func (c *Client) ChmodDir(path string, mode uint32) (err error) {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, _, err := c.dms.CallT(oc, wire.OpChmodDir, body)
+	st, resp, err := c.dms.CallT(oc, wire.OpChmodDir, body)
 	if err != nil {
 		return err
 	}
 	if st == wire.StatusOK && c.cache != nil {
-		c.cache.invalidate(cleaned)
+		last, n := decodePub(wire.NewDec(resp))
+		c.cache.selfPatched(cleaned, last, n)
 	}
 	return st.Err()
 }
@@ -1001,11 +1162,13 @@ func (c *Client) RenameDir(oldPath, newPath string) (n int, err error) {
 	if st != wire.StatusOK {
 		return 0, st.Err()
 	}
+	d := wire.NewDec(resp)
+	moved := d.U64()
 	if c.cache != nil {
-		c.cache.invalidateSubtree(oldC)
-		c.cache.invalidateSubtree(newC)
+		last, n := decodePub(d)
+		c.cache.selfRenamed(oldC, newC, last, n)
 	}
-	return int(wire.NewDec(resp).U64()), nil
+	return int(moved), nil
 }
 
 // RenameFile renames a file. Only the metadata object moves (its placement

@@ -92,6 +92,11 @@ type endpoint struct {
 	// noticing an FMS membership change without any push protocol.
 	onEpoch func(epoch uint64)
 
+	// onLease, when set, receives the recall sequence stamped on every
+	// response (see wire.Msg.Lease) — the same passive channel, for
+	// noticing directory mutations that may invalidate cached leases.
+	onLease func(seq uint64)
+
 	mu        sync.Mutex
 	cl        *rpc.Client
 	baseTrips uint64
@@ -100,8 +105,8 @@ type endpoint struct {
 }
 
 // dialEndpoint connects the first generation.
-func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience, onEpoch func(uint64)) (*endpoint, error) {
-	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res, onEpoch: onEpoch}
+func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience, onEpoch, onLease func(uint64)) (*endpoint, error) {
+	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res, onEpoch: onEpoch, onLease: onLease}
 	e.brk = newBreaker(res.breaker, res.now, func(state string) {
 		telem.reg.Counter(MetricBreaker,
 			telemetry.L("addr", addr), telemetry.L("state", state)).Inc()
@@ -325,6 +330,7 @@ func (e *endpoint) callOnce(tid uint64, sp *trace.Span, op wire.Op, body []byte,
 		Trace: tid, Span: sp.ID(), Req: req,
 		Timeout: e.res.timeout,
 		OnEpoch: e.onEpoch,
+		OnLease: e.onLease,
 	})
 	if err != nil {
 		// The connection is unusable (died) or suspect (a response may

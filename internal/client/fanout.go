@@ -121,11 +121,36 @@ func (c *Client) readPages(e *endpoint, oc opCtx, op wire.Op, mkBody func(cursor
 	if st != wire.StatusOK {
 		return nil, virt, st.Err()
 	}
-	ents, more, remaining, err := decodeEntryPage(resp, isDir)
+	ents, more, remaining, _, err := decodeEntryPage(resp, isDir)
 	if err != nil {
 		return nil, virt, err
 	}
 	out, vrest, err := c.readMorePages(e, oc, op, mkBody, isDir, ents, more, remaining)
+	return out, virt + vrest, err
+}
+
+// readSubdirPages drains the DMS subdirectory listing for a directory
+// whose inode was cached but whose listing was not. It is readPages with
+// one addition: when the first page is the complete listing and carries a
+// listing lease, it is installed in the directory cache, so the next
+// readdir's DMS branch costs zero trips (the cold-miss path does the same
+// inside resolveForReaddir).
+func (c *Client) readSubdirPages(cleaned string, oc opCtx, mkBody func(cursor string, skip uint32) []byte) ([]DirEntry, time.Duration, error) {
+	st, resp, virt, err := c.dms.CallV(oc, wire.OpReaddirSubdirs, mkBody("", 0))
+	if err != nil {
+		return nil, virt, err
+	}
+	if st != wire.StatusOK {
+		return nil, virt, st.Err()
+	}
+	ents, more, remaining, g, err := decodeEntryPage(resp, true)
+	if err != nil {
+		return nil, virt, err
+	}
+	if c.cache != nil && g.Valid() && !more {
+		c.cache.putList(cleaned, ents, g)
+	}
+	out, vrest, err := c.readMorePages(c.dms, oc, wire.OpReaddirSubdirs, mkBody, true, ents, more, remaining)
 	return out, virt + vrest, err
 }
 
@@ -157,7 +182,7 @@ func (c *Client) readMorePages(e *endpoint, oc opCtx, op wire.Op, mkBody func(cu
 			if st != wire.StatusOK {
 				return nil, vtotal, st.Err()
 			}
-			ents, m, rem, err := decodeEntryPage(resp, isDir)
+			ents, m, rem, _, err := decodeEntryPage(resp, isDir)
 			if err != nil {
 				return nil, vtotal, err
 			}
@@ -180,7 +205,7 @@ func (c *Client) readMorePages(e *endpoint, oc opCtx, op wire.Op, mkBody func(cu
 			if r.Status != wire.StatusOK {
 				return nil, vtotal, r.Status.Err()
 			}
-			ents, m, rem, err := decodeEntryPage(r.Body, isDir)
+			ents, m, rem, _, err := decodeEntryPage(r.Body, isDir)
 			if err != nil {
 				return nil, vtotal, err
 			}

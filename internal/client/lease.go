@@ -1,0 +1,141 @@
+package client
+
+import (
+	"time"
+
+	"locofs/internal/wire"
+)
+
+// Lease coherence, client side (DESIGN.md §14). Every DMS response header
+// carries the server's recall sequence (wire.Msg.Lease); observeLease feeds
+// it into the cache's maxSeq watermark. When the watermark runs ahead of
+// what the cache has applied, cached entries stop being served (they might
+// be stale) and the next DMS round trip piggybacks an OpLeaseRecall fetch —
+// so catching up costs zero extra trips. Mutation responses additionally
+// carry a publication trailer (decodePub) letting the mutating client
+// account for its own recalls without any fetch.
+
+// DefaultHotRefreshInterval is the hot-tier refresher period when
+// Config.HotRefreshInterval is zero.
+const DefaultHotRefreshInterval = 5 * time.Second
+
+// observeLease receives the recall sequence stamped on every response
+// header (rpc.CallSpec.OnLease). TTL-only caches ignore it: they trust
+// entries for the configured lease regardless of server-side mutations.
+func (c *Client) observeLease(seq uint64) {
+	if ca := c.cache; ca != nil && ca.coherent {
+		ca.observe(seq)
+	}
+}
+
+// cacheBehind reports whether the cache must fetch missed recalls, and the
+// applied watermark to fetch from.
+func (c *Client) cacheBehind() (since uint64, ok bool) {
+	if c.cache == nil {
+		return 0, false
+	}
+	return c.cache.behind()
+}
+
+// applyRecallResp decodes an OpLeaseRecall response body and applies it.
+func (c *Client) applyRecallResp(body []byte) {
+	if c.cache == nil {
+		return
+	}
+	cur, reset, entries, err := wire.DecodeRecallResp(body)
+	if err != nil {
+		return
+	}
+	c.cache.applyRecalls(cur, reset, entries)
+}
+
+// decodePub reads the publication trailer (last recall sequence, entry
+// count) a successful DMS mutation response ends with. Absent trailer —
+// a pre-lease server — reads as zero, which selfApply treats as "drop
+// unconditionally", the legacy behavior.
+func decodePub(d *wire.Dec) (last uint64, n uint32) {
+	if d.Remaining() >= 12 {
+		last = d.U64()
+		n = d.U32()
+	}
+	return last, n
+}
+
+// hotRefreshLoop periodically promotes the client's most-resolved
+// directories into the hot tier and refreshes their leases.
+func (c *Client) hotRefreshLoop(n int, interval time.Duration) {
+	defer close(c.hotDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hotStop:
+			return
+		case <-t.C:
+			c.refreshHot(n)
+		}
+	}
+}
+
+// refreshHot ranks the top n resolved directories, installs them as the hot
+// set (so subsequent puts stretch their leases), and re-resolves them — in
+// one batched DMS round trip when batching is enabled — so hot entries are
+// renewed in the background instead of expiring under foreground traffic.
+func (c *Client) refreshHot(n int) {
+	ca := c.cache
+	if ca == nil || ca.hot == nil {
+		return
+	}
+	top := ca.hot.Top(n)
+	if len(top) == 0 {
+		return
+	}
+	set := make(map[string]struct{}, len(top))
+	paths := make([]string, 0, len(top))
+	for _, h := range top {
+		set[h.Key] = struct{}{}
+		paths = append(paths, h.Key)
+	}
+	ca.setHot(set)
+	oc := c.startOp("HotRefresh")
+	var err error
+	defer func() { oc.finish(err) }()
+	if c.disableBatch {
+		for _, p := range paths {
+			body := wire.NewEnc().Str(p).U32(c.uid).U32(c.gid).Bytes()
+			st, resp, cerr := c.dms.CallT(oc, wire.OpLookupDir, body)
+			if cerr != nil {
+				err = cerr
+				return
+			}
+			if st == wire.StatusOK {
+				c.cacheLookupChain(p, resp)
+			}
+		}
+		return
+	}
+	subs := make([]wire.SubReq, 0, len(paths)+1)
+	for _, p := range paths {
+		subs = append(subs, wire.SubReq{
+			Op:   wire.OpLookupDir,
+			Body: wire.NewEnc().Str(p).U32(c.uid).U32(c.gid).Bytes(),
+		})
+	}
+	recallAt := -1
+	if since, behind := c.cacheBehind(); behind {
+		recallAt = len(subs)
+		subs = append(subs, wire.SubReq{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)})
+	}
+	resps, _, err := c.dms.CallBatch(oc, subs)
+	if err != nil {
+		return
+	}
+	for i, p := range paths {
+		if resps[i].Status == wire.StatusOK {
+			c.cacheLookupChain(p, resps[i].Body)
+		}
+	}
+	if recallAt >= 0 && resps[recallAt].Status == wire.StatusOK {
+		c.applyRecallResp(resps[recallAt].Body)
+	}
+}

@@ -1,0 +1,167 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"locofs/internal/dms"
+	"locofs/internal/fms"
+	"locofs/internal/netsim"
+	"locofs/internal/objstore"
+	"locofs/internal/rpc"
+	"locofs/internal/wire"
+)
+
+// TestLeaseCoherenceOverTCP runs the stale-lease detection flow over real
+// TCP sockets — the deployment mode of cmd/locofsd: a reader caches
+// directory state, a writer mutates it, the reader observes the bumped
+// recall sequence stamped on an unrelated response header, and its next
+// access must re-resolve instead of serving the stale entry.
+func TestLeaseCoherenceOverTCP(t *testing.T) {
+	listen := func(attach func(*rpc.Server)) string {
+		l, err := netsim.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := rpc.NewServer()
+		attach(rs)
+		go rs.Serve(l)
+		t.Cleanup(rs.Shutdown)
+		return l.Addr()
+	}
+	dmsAddr := listen(dms.New(dms.Options{}).Attach)
+	fmsAddr := listen(fms.New(fms.Options{ServerID: 1}).Attach)
+	ossAddr := listen(objstore.New(nil).Attach)
+
+	dial := func() *Client {
+		c, err := Dial(Config{
+			Dialer:   netsim.TCPDialer{},
+			DMSAddr:  dmsAddr,
+			FMSAddrs: []string{fmsAddr},
+			OSSAddrs: []string{ossAddr},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	reader, writer := dial(), dial()
+
+	for _, p := range []string{"/d", "/obs"} {
+		if err := writer.Mkdir(p, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reader caches the attr and a negative entry, both over TCP.
+	if a, err := reader.StatDir("/d"); err != nil || a.Mode&0o777 != 0o755 {
+		t.Fatalf("stat over tcp: %+v, %v", a, err)
+	}
+	if _, err := reader.StatDir("/d/x"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Fatalf("want ENOENT over tcp, got %v", err)
+	}
+	trips := reader.Trips()
+	if _, err := reader.StatDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.StatDir("/d/x"); wire.StatusOf(err) != wire.StatusNotFound {
+		t.Fatalf("want cached ENOENT, got %v", err)
+	}
+	if reader.Trips() != trips {
+		t.Fatal("repeat accesses not served from cache over tcp")
+	}
+
+	// Writer invalidates both; its grants are live so the DMS publishes.
+	if err := writer.ChmodDir("/d", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Mkdir("/d/x", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader sees the new sequence stamped on an unrelated response's
+	// 61-byte header, detects its entries as possibly stale, and
+	// re-resolves both on next access.
+	if _, err := reader.StatDir("/obs"); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := reader.StatDir("/d"); err != nil || a.Mode&0o777 != 0o700 {
+		t.Fatalf("stale attr over tcp: %+v, %v", a, err)
+	}
+	if _, err := reader.StatDir("/d/x"); err != nil {
+		t.Fatalf("stale ENOENT over tcp: %v", err)
+	}
+	d := reader.CacheDetail()
+	if d.StaleMisses == 0 {
+		t.Error("freshness gate never fired over tcp")
+	}
+	if d.AppliedSeq != d.MaxSeq {
+		t.Errorf("reader not caught up over tcp: applied %d, observed %d", d.AppliedSeq, d.MaxSeq)
+	}
+}
+
+// TestHotTierRefreshOverTCP exercises the hot-entry tier end to end: a
+// client with HotEntries keeps re-resolving its top directories in the
+// background, so a hot entry stays servable past the plain lease without a
+// foreground miss.
+func TestHotTierRefreshOverTCP(t *testing.T) {
+	l, err := netsim.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rpc.NewServer()
+	dms.New(dms.Options{LeaseDur: 50 * time.Millisecond}).Attach(rs)
+	go rs.Serve(l)
+	t.Cleanup(rs.Shutdown)
+	fl, err := netsim.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frs := rpc.NewServer()
+	fms.New(fms.Options{ServerID: 1}).Attach(frs)
+	go frs.Serve(fl)
+	t.Cleanup(frs.Shutdown)
+
+	c, err := Dial(Config{
+		Dialer:             netsim.TCPDialer{},
+		DMSAddr:            l.Addr(),
+		FMSAddrs:           []string{fl.Addr()},
+		OSSAddrs:           []string{fl.Addr()}, // unused
+		HotEntries:         4,
+		HotRefreshInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Mkdir("/hot", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Touch it enough to rank in the TopK, and give the refresher a few
+	// ticks to install the hot set and start re-resolving.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.StatDir("/hot"); err != nil {
+			t.Fatal(err)
+		}
+		if c.cache.isHot("/hot") {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.cache.isHot("/hot") {
+		t.Fatal("hot set never installed")
+	}
+	// Wait past several plain lease durations; the refresher must keep the
+	// entry warm, so a stat is a cache hit (zero trips).
+	time.Sleep(150 * time.Millisecond)
+	trips := c.Trips()
+	if _, err := c.StatDir("/hot"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Trips() != trips {
+		t.Error("hot entry was not kept warm by the background refresher")
+	}
+}

@@ -49,8 +49,14 @@ type Options struct {
 	// DisableClientCache turns new clients' directory caches off
 	// (LocoFS-NC). Individual clients can override via ClientConfig.
 	DisableClientCache bool
-	// Lease is the client cache lease (default 30 s).
+	// Lease is the client cache lease (default 30 s). It also sets the
+	// DMS's granted lease duration, so coherent clients and the server's
+	// suppression horizon agree.
 	Lease time.Duration
+	// DisableLeaseCoherence reverts new clients' directory caches to
+	// TTL-only semantics (see client.Config.DisableLeaseCoherence).
+	// Individual clients can override via ClientConfig.
+	DisableLeaseCoherence bool
 	// BlockSize is the object-store block size stamped on new files
 	// (default fms.DefaultBlockSize).
 	BlockSize uint32
@@ -198,6 +204,7 @@ func Start(opts Options) (*Cluster, error) {
 	c.DMS = dms.New(dms.Options{
 		Store:            c.DMSStore,
 		CheckPermissions: opts.CheckPermissions,
+		LeaseDur:         opts.Lease,
 	})
 	if err := c.serve("dms", c.DMSStore, c.DMS.Attach); err != nil {
 		return nil, err
@@ -289,7 +296,17 @@ type ClientConfig struct {
 	UID, GID     uint32
 	DisableCache bool
 	Lease        time.Duration
-	Now          func() time.Time
+	// DisableLeaseCoherence reverts this client's directory cache to
+	// TTL-only semantics (see client.Config.DisableLeaseCoherence).
+	DisableLeaseCoherence bool
+	// DisableNegativeCache turns off negative-entry (ENOENT) caching.
+	DisableNegativeCache bool
+	// HotEntries / HotLeaseFactor / HotRefreshInterval configure the
+	// hot-entry tier (see client.Config); HotEntries 0 disables it.
+	HotEntries         int
+	HotLeaseFactor     int
+	HotRefreshInterval time.Duration
+	Now                func() time.Time
 	// Metrics receives the client's per-op round-trip telemetry; nil means
 	// a private registry (see client.Config.Metrics). A shared registry
 	// aggregates a whole client fleet into one snapshot.
@@ -330,26 +347,31 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 	}
 	c.mu.Unlock()
 	return client.Dial(client.Config{
-		Dialer:          c.net,
-		Link:            c.opts.Link,
-		DMSAddr:         "dms",
-		FMSAddrs:        fmsAddrs,
-		FMSIDs:          fmsIDs,
-		OSSAddrs:        c.ossAddrs,
-		DisableCache:    cfg.DisableCache || c.opts.DisableClientCache,
-		Lease:           lease,
-		UID:             cfg.UID,
-		GID:             cfg.GID,
-		Now:             cfg.Now,
-		Metrics:         cfg.Metrics,
-		SlowThreshold:   cfg.SlowThreshold,
-		SerialFanOut:    cfg.SerialFanOut,
-		DisableBatchRPC: cfg.DisableBatchRPC,
-		CacheEntries:    cfg.CacheEntries,
-		Tracer:          cfg.Tracer,
-		OpTimeout:       cfg.OpTimeout,
-		Retry:           cfg.Retry,
-		Breaker:         cfg.Breaker,
+		Dialer:                c.net,
+		Link:                  c.opts.Link,
+		DMSAddr:               "dms",
+		FMSAddrs:              fmsAddrs,
+		FMSIDs:                fmsIDs,
+		OSSAddrs:              c.ossAddrs,
+		DisableCache:          cfg.DisableCache || c.opts.DisableClientCache,
+		Lease:                 lease,
+		DisableLeaseCoherence: cfg.DisableLeaseCoherence || c.opts.DisableLeaseCoherence,
+		DisableNegativeCache:  cfg.DisableNegativeCache,
+		HotEntries:            cfg.HotEntries,
+		HotLeaseFactor:        cfg.HotLeaseFactor,
+		HotRefreshInterval:    cfg.HotRefreshInterval,
+		UID:                   cfg.UID,
+		GID:                   cfg.GID,
+		Now:                   cfg.Now,
+		Metrics:               cfg.Metrics,
+		SlowThreshold:         cfg.SlowThreshold,
+		SerialFanOut:          cfg.SerialFanOut,
+		DisableBatchRPC:       cfg.DisableBatchRPC,
+		CacheEntries:          cfg.CacheEntries,
+		Tracer:                cfg.Tracer,
+		OpTimeout:             cfg.OpTimeout,
+		Retry:                 cfg.Retry,
+		Breaker:               cfg.Breaker,
 	})
 }
 
@@ -451,6 +473,15 @@ func (c *Cluster) MetadataOpsServed() uint64 {
 		n += rs.Served.Load()
 	}
 	return n
+}
+
+// DMSOpsServed returns completed requests on the directory metadata server
+// alone — the offered load client caching is supposed to shed.
+func (c *Cluster) DMSOpsServed() uint64 {
+	if rs := c.rsByAddr["dms"]; rs != nil {
+		return rs.Served.Load()
+	}
+	return 0
 }
 
 // Link returns the modeled link configuration.

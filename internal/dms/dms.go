@@ -47,6 +47,9 @@ type Options struct {
 	CheckPermissions bool
 	// Now supplies timestamps; defaults to time.Now().UnixNano.
 	Now func() int64
+	// LeaseDur is the read-lease duration granted to clients on lookup and
+	// readdir responses (see lease.go). Default DefaultLeaseDur (30 s).
+	LeaseDur time.Duration
 }
 
 // PathInode pairs a directory path with its inode, for lookup responses that
@@ -66,6 +69,7 @@ type Server struct {
 	checkPerm bool
 	now       func() int64
 	tombs     uint64 // dirent tombstones logged, for amortized compaction
+	leases    *leaseTable
 
 	// hot ranks the directories the RPC handlers touch most (space-saving
 	// top-K; always on — a Touch is a few atomic-free map operations under
@@ -95,6 +99,7 @@ func New(opts Options) *Server {
 	if s.now == nil {
 		s.now = func() int64 { return time.Now().UnixNano() }
 	}
+	s.leases = newLeaseTable(opts.LeaseDur, s.now)
 	if _, ok := st.Get(pathKey("/")); !ok {
 		root := layout.NewDirInode()
 		root.SetUUID(uuid.Root)
@@ -168,25 +173,32 @@ func (s *Server) checkAncestors(path string, uid, gid uint32) ([]PathInode, wire
 
 // Mkdir creates a directory. It returns the new directory's UUID.
 func (s *Server) Mkdir(path string, mode, uid, gid uint32) (uuid.UUID, wire.Status) {
+	u, _, st := s.mkdirPub(path, mode, uid, gid)
+	return u, st
+}
+
+// mkdirPub is Mkdir plus the lease recall the creation published (if any),
+// which the RPC handler returns to the mutating client (see lease.go).
+func (s *Server) mkdirPub(path string, mode, uid, gid uint32) (uuid.UUID, pubResult, wire.Status) {
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
-		return uuid.Nil, wire.StatusInval
+		return uuid.Nil, pubResult{}, wire.StatusInval
 	}
 	if cleaned == "/" {
-		return uuid.Nil, wire.StatusExist
+		return uuid.Nil, pubResult{}, wire.StatusExist
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	chain, st := s.checkAncestors(cleaned, uid, gid)
 	if st != wire.StatusOK {
-		return uuid.Nil, st
+		return uuid.Nil, pubResult{}, st
 	}
 	parent := chain[len(chain)-1].Inode
 	if s.checkPerm && !acl.CanWrite(parent.Mode(), parent.UID(), parent.GID(), uid, gid) {
-		return uuid.Nil, wire.StatusPerm
+		return uuid.Nil, pubResult{}, wire.StatusPerm
 	}
 	if _, ok := s.getInode(cleaned); ok {
-		return uuid.Nil, wire.StatusExist
+		return uuid.Nil, pubResult{}, wire.StatusExist
 	}
 	ino := layout.NewDirInode()
 	u := s.gen.Next()
@@ -196,10 +208,10 @@ func (s *Server) Mkdir(path string, mode, uid, gid uint32) (uuid.UUID, wire.Stat
 	ino.SetUID(uid)
 	ino.SetGID(gid)
 	s.store.Put(pathKey(cleaned), ino)
-	_, name := fspath.Split(cleaned)
+	parentPath, name := fspath.Split(cleaned)
 	ent := layout.AppendDirent(nil, layout.Dirent{Name: name, UUID: u})
 	s.store.AppendValue(subdirsKey(parent.UUID()), ent)
-	return u, wire.StatusOK
+	return u, s.leases.bumpCreated(cleaned, parentPath), wire.StatusOK
 }
 
 // Lookup resolves path, enforcing the ancestor ACL walk, and returns the
@@ -212,6 +224,11 @@ func (s *Server) Lookup(path string, uid, gid uint32) ([]PathInode, wire.Status)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.lookupLocked(cleaned, uid, gid)
+}
+
+// lookupLocked is Lookup past path cleaning. Caller holds s.mu (read).
+func (s *Server) lookupLocked(cleaned string, uid, gid uint32) ([]PathInode, wire.Status) {
 	chain, st := s.checkAncestors(cleaned, uid, gid)
 	if st != wire.StatusOK {
 		return nil, st
@@ -221,6 +238,28 @@ func (s *Server) Lookup(path string, uid, gid uint32) ([]PathInode, wire.Status)
 		return nil, wire.StatusNotFound
 	}
 	return append(chain, PathInode{Path: cleaned, Inode: ino}), wire.StatusOK
+}
+
+// lookupLeased is the RPC handler's lookup: it additionally records lease
+// grants for every inode in the returned chain — or a negative-entry grant
+// when the path resolves ENOENT — while still under the read lock, so a
+// grant can never be recorded for state a concurrent mutation already
+// changed. The returned grant rides as a response-body trailer.
+func (s *Server) lookupLeased(path string, uid, gid uint32) ([]PathInode, wire.LeaseGrant, wire.Status) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, wire.LeaseGrant{}, wire.StatusInval
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain, st := s.lookupLocked(cleaned, uid, gid)
+	switch st {
+	case wire.StatusOK:
+		return chain, s.leases.grantChain(chain), st
+	case wire.StatusNotFound:
+		return nil, s.leases.grantNeg(cleaned), st
+	}
+	return nil, wire.LeaseGrant{}, st
 }
 
 // Stat returns the inode of one directory (no chain).
@@ -252,6 +291,12 @@ func (s *Server) ReaddirSubdirsAt(path string, uid, gid uint32, cursor string, s
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.readdirLocked(cleaned, uid, gid, cursor, skip, limit)
+}
+
+// readdirLocked is ReaddirSubdirsAt past path cleaning. Caller holds s.mu
+// (read).
+func (s *Server) readdirLocked(cleaned string, uid, gid uint32, cursor string, skip, limit int) (ents []layout.Dirent, remaining int, st wire.Status) {
 	if _, st := s.checkAncestors(cleaned, uid, gid); st != wire.StatusOK {
 		return nil, 0, st
 	}
@@ -263,51 +308,77 @@ func (s *Server) ReaddirSubdirsAt(path string, uid, gid uint32, cursor string, s
 		return nil, 0, wire.StatusPerm
 	}
 	list, _ := s.store.Get(subdirsKey(ino.UUID()))
-	ents, remaining, err = layout.DirentPageAt(list, cursor, skip, limit)
+	ents, remaining, err := layout.DirentPageAt(list, cursor, skip, limit)
 	if err != nil {
 		return nil, 0, wire.StatusIO
 	}
 	return ents, remaining, wire.StatusOK
 }
 
+// readdirLeased is the RPC handler's readdir: when the response is the
+// complete listing (first page, nothing remaining) it additionally records
+// a listing lease grant under the same read lock, so clients can serve
+// whole-directory readdirs from cache until the listing changes. Partial
+// pages return the zero grant — not cacheable.
+func (s *Server) readdirLeased(path string, uid, gid uint32, cursor string, skip, limit int) (ents []layout.Dirent, remaining int, g wire.LeaseGrant, st wire.Status) {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return nil, 0, wire.LeaseGrant{}, wire.StatusInval
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ents, remaining, st = s.readdirLocked(cleaned, uid, gid, cursor, skip, limit)
+	if st == wire.StatusOK && cursor == "" && skip == 0 && remaining == 0 {
+		g = s.leases.grantList(cleaned)
+	}
+	return ents, remaining, g, st
+}
+
 // Rmdir removes an empty directory. "Empty" here means no subdirectories;
 // the client is responsible for first confirming with every FMS that the
 // directory holds no files (§4.2.1 — the readdir/rmdir fan-out cost).
 func (s *Server) Rmdir(path string, uid, gid uint32) wire.Status {
+	_, st := s.rmdirPub(path, uid, gid)
+	return st
+}
+
+// rmdirPub is Rmdir plus the lease recall the removal published (if any).
+func (s *Server) rmdirPub(path string, uid, gid uint32) (pubResult, wire.Status) {
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
-		return wire.StatusInval
+		return pubResult{}, wire.StatusInval
 	}
 	if cleaned == "/" {
-		return wire.StatusPerm
+		return pubResult{}, wire.StatusPerm
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	chain, st := s.checkAncestors(cleaned, uid, gid)
 	if st != wire.StatusOK {
-		return st
+		return pubResult{}, st
 	}
 	parent := chain[len(chain)-1].Inode
 	if s.checkPerm && !acl.CanWrite(parent.Mode(), parent.UID(), parent.GID(), uid, gid) {
-		return wire.StatusPerm
+		return pubResult{}, wire.StatusPerm
 	}
 	ino, ok := s.getInode(cleaned)
 	if !ok {
-		return wire.StatusNotFound
+		return pubResult{}, wire.StatusNotFound
 	}
 	if list, ok := s.store.Get(subdirsKey(ino.UUID())); ok {
 		n, err := layout.CountDirents(list)
 		if err != nil {
-			return wire.StatusIO
+			return pubResult{}, wire.StatusIO
 		}
 		if n > 0 {
-			return wire.StatusNotEmpty
+			return pubResult{}, wire.StatusNotEmpty
 		}
 	}
 	s.store.Delete(pathKey(cleaned))
 	s.store.Delete(subdirsKey(ino.UUID()))
 	s.removeParentDirent(parent.UUID(), cleaned)
-	return wire.StatusOK
+	parentPath, _ := fspath.Split(cleaned)
+	return s.leases.bumpRemoved(cleaned, parentPath), wire.StatusOK
 }
 
 // removeParentDirent logs a tombstone for cleaned in its parent's subdir
@@ -336,6 +407,11 @@ const compactEvery = 64
 
 // Chmod updates a directory's permission bits in place (no value rewrite).
 func (s *Server) Chmod(path string, mode, uid, gid uint32) wire.Status {
+	_, st := s.chmodPub(path, mode, uid, gid)
+	return st
+}
+
+func (s *Server) chmodPub(path string, mode, uid, gid uint32) (pubResult, wire.Status) {
 	return s.patchInode(path, uid, gid, func(ino layout.DirInode) ([]layout.FieldPatch, wire.Status) {
 		if s.checkPerm && !acl.IsOwner(ino.UID(), uid) {
 			return nil, wire.StatusPerm
@@ -347,6 +423,11 @@ func (s *Server) Chmod(path string, mode, uid, gid uint32) wire.Status {
 
 // Chown updates a directory's owner in place.
 func (s *Server) Chown(path string, newUID, newGID, uid, gid uint32) wire.Status {
+	_, st := s.chownPub(path, newUID, newGID, uid, gid)
+	return st
+}
+
+func (s *Server) chownPub(path string, newUID, newGID, uid, gid uint32) (pubResult, wire.Status) {
 	return s.patchInode(path, uid, gid, func(ino layout.DirInode) ([]layout.FieldPatch, wire.Status) {
 		if s.checkPerm && uid != 0 {
 			return nil, wire.StatusPerm // only root may chown
@@ -355,30 +436,30 @@ func (s *Server) Chown(path string, newUID, newGID, uid, gid uint32) wire.Status
 	})
 }
 
-func (s *Server) patchInode(path string, uid, gid uint32, fn func(layout.DirInode) ([]layout.FieldPatch, wire.Status)) wire.Status {
+func (s *Server) patchInode(path string, uid, gid uint32, fn func(layout.DirInode) ([]layout.FieldPatch, wire.Status)) (pubResult, wire.Status) {
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
-		return wire.StatusInval
+		return pubResult{}, wire.StatusInval
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, st := s.checkAncestors(cleaned, uid, gid); st != wire.StatusOK {
-		return st
+		return pubResult{}, st
 	}
 	ino, ok := s.getInode(cleaned)
 	if !ok {
-		return wire.StatusNotFound
+		return pubResult{}, wire.StatusNotFound
 	}
 	patches, st := fn(ino)
 	if st != wire.StatusOK {
-		return st
+		return pubResult{}, st
 	}
 	for _, p := range patches {
 		if !s.store.PatchInPlace(pathKey(cleaned), p.Off, p.Data) {
-			return wire.StatusIO
+			return pubResult{}, wire.StatusIO
 		}
 	}
-	return wire.StatusOK
+	return s.leases.bumpPatched(cleaned), wire.StatusOK
 }
 
 // Rename moves a directory (and its whole subtree of directory inodes) from
@@ -387,43 +468,49 @@ func (s *Server) patchInode(path string, uid, gid uint32, fn func(layout.DirInod
 // dirent lists are indexed by UUID and never move (§3.4.2). It returns the
 // number of relocated directory inodes (including the directory itself).
 func (s *Server) Rename(oldPath, newPath string, uid, gid uint32) (int, wire.Status) {
+	moved, _, st := s.renamePub(oldPath, newPath, uid, gid)
+	return moved, st
+}
+
+// renamePub is Rename plus the lease recalls the move published.
+func (s *Server) renamePub(oldPath, newPath string, uid, gid uint32) (int, pubResult, wire.Status) {
 	oldC, err := fspath.Clean(oldPath)
 	if err != nil {
-		return 0, wire.StatusInval
+		return 0, pubResult{}, wire.StatusInval
 	}
 	newC, err := fspath.Clean(newPath)
 	if err != nil {
-		return 0, wire.StatusInval
+		return 0, pubResult{}, wire.StatusInval
 	}
 	if oldC == "/" || newC == "/" || oldC == newC {
-		return 0, wire.StatusInval
+		return 0, pubResult{}, wire.StatusInval
 	}
 	if fspath.IsAncestorOf(oldC, newC) {
-		return 0, wire.StatusInval // cannot move a directory under itself
+		return 0, pubResult{}, wire.StatusInval // cannot move a directory under itself
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	oldChain, st := s.checkAncestors(oldC, uid, gid)
 	if st != wire.StatusOK {
-		return 0, st
+		return 0, pubResult{}, st
 	}
 	newChain, st := s.checkAncestors(newC, uid, gid)
 	if st != wire.StatusOK {
-		return 0, st
+		return 0, pubResult{}, st
 	}
 	ino, ok := s.getInode(oldC)
 	if !ok {
-		return 0, wire.StatusNotFound
+		return 0, pubResult{}, wire.StatusNotFound
 	}
 	if _, exists := s.getInode(newC); exists {
-		return 0, wire.StatusExist
+		return 0, pubResult{}, wire.StatusExist
 	}
 	oldParent := oldChain[len(oldChain)-1].Inode
 	newParent := newChain[len(newChain)-1].Inode
 	if s.checkPerm {
 		if !acl.CanWrite(oldParent.Mode(), oldParent.UID(), oldParent.GID(), uid, gid) ||
 			!acl.CanWrite(newParent.Mode(), newParent.UID(), newParent.GID(), uid, gid) {
-			return 0, wire.StatusPerm
+			return 0, pubResult{}, wire.StatusPerm
 		}
 	}
 
@@ -445,7 +532,7 @@ func (s *Server) Rename(oldPath, newPath string, uid, gid uint32) (int, wire.Sta
 	_, newName := fspath.Split(newC)
 	ent := layout.AppendDirent(nil, layout.Dirent{Name: newName, UUID: ino.UUID()})
 	s.store.AppendValue(subdirsKey(newParent.UUID()), ent)
-	return moved, wire.StatusOK
+	return moved, s.leases.bumpRenamed(oldC, newC), wire.StatusOK
 }
 
 // movePrefixByScan is the hash-store rename path: every record in the store
@@ -488,9 +575,27 @@ func (s *Server) DirCount() int {
 // RPC handlers touch, ranked by touch count (see /debug/hot).
 func (s *Server) HotKeys() *trace.TopK { return s.hot }
 
+// LeaseSeq returns the published lease-recall sequence (see lease.go).
+func (s *Server) LeaseSeq() uint64 { return s.leases.Seq() }
+
+// RecallsSuppressed returns how many mutations published no recall because
+// no live lease grant covered the touched paths.
+func (s *Server) RecallsSuppressed() uint64 { return s.leases.Suppressed() }
+
+// appendPub appends a mutation response's recall trailer: the last recall
+// sequence the mutation published and how many entries (0 = suppressed).
+// The mutating client uses it to account for its own recalls — it already
+// drops the affected entries locally — without an OpLeaseRecall fetch.
+func appendPub(e *wire.Enc, pr pubResult) *wire.Enc {
+	return e.U64(pr.Last).U32(pr.N)
+}
+
 // Attach registers the DMS request handlers on an rpc.Server. Every handler
-// feeds the path it operates on into the hot-directory sketch.
+// feeds the path it operates on into the hot-directory sketch; lookups and
+// readdirs additionally grant lease trailers, mutations publish recalls,
+// and the server stamps the recall sequence on every response header.
 func (s *Server) Attach(rs *rpc.Server) {
+	rs.SetLeaseFunc(s.leases.Seq)
 	rs.Handle(wire.OpMkdir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
 		path, mode, uid, gid := d.Str(), d.U32(), d.U32(), d.U32()
@@ -498,11 +603,11 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(path)
-		u, st := s.Mkdir(path, mode, uid, gid)
+		u, pr, st := s.mkdirPub(path, mode, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil
 		}
-		return wire.StatusOK, wire.NewEnc().UUID(u).Bytes()
+		return wire.StatusOK, appendPub(wire.NewEnc().UUID(u), pr).Bytes()
 	})
 	rs.Handle(wire.OpLookupDir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
@@ -511,7 +616,14 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(path)
-		chain, st := s.Lookup(path, uid, gid)
+		chain, g, st := s.lookupLeased(path, uid, gid)
+		if st == wire.StatusNotFound && g.Valid() {
+			// ENOENT with a negative-entry grant: the client may cache the
+			// absence until the grant expires or a creation recalls it.
+			e := wire.NewEnc()
+			wire.AppendLeaseGrant(e, g)
+			return st, e.Bytes()
+		}
 		if st != wire.StatusOK {
 			return st, nil
 		}
@@ -519,7 +631,16 @@ func (s *Server) Attach(rs *rpc.Server) {
 		for _, pi := range chain {
 			e.Str(pi.Path).Blob(pi.Inode)
 		}
+		wire.AppendLeaseGrant(e, g)
 		return wire.StatusOK, e.Bytes()
+	})
+	rs.Handle(wire.OpLeaseRecall, func(body []byte) (wire.Status, []byte) {
+		since, err := wire.DecodeRecallReq(body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		cur, reset, entries := s.leases.entriesSince(since)
+		return wire.StatusOK, wire.EncodeRecallResp(cur, reset, entries)
 	})
 	rs.Handle(wire.OpStatDir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
@@ -547,7 +668,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(path)
-		ents, remaining, st := s.ReaddirSubdirsAt(path, uid, gid, cursor, int(skip), int(limit))
+		ents, remaining, g, st := s.readdirLeased(path, uid, gid, cursor, int(skip), int(limit))
 		if st != wire.StatusOK {
 			return st, nil
 		}
@@ -558,6 +679,11 @@ func (s *Server) Attach(rs *rpc.Server) {
 		// Trailing exact remaining count (newer clients size prefetch
 		// batches from it; older ones ignore it).
 		e.U32(uint32(remaining))
+		// Trailing listing lease grant, present only when this response is
+		// the complete listing (first page, nothing remaining).
+		if g.Valid() {
+			wire.AppendLeaseGrant(e, g)
+		}
 		return wire.StatusOK, e.Bytes()
 	})
 	rs.Handle(wire.OpRmdir, func(body []byte) (wire.Status, []byte) {
@@ -567,7 +693,11 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(path)
-		return s.Rmdir(path, uid, gid), nil
+		pr, st := s.rmdirPub(path, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		return wire.StatusOK, appendPub(wire.NewEnc(), pr).Bytes()
 	})
 	rs.Handle(wire.OpChmodDir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
@@ -576,7 +706,11 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(path)
-		return s.Chmod(path, mode, uid, gid), nil
+		pr, st := s.chmodPub(path, mode, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		return wire.StatusOK, appendPub(wire.NewEnc(), pr).Bytes()
 	})
 	rs.Handle(wire.OpChownDir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
@@ -585,7 +719,11 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(path)
-		return s.Chown(path, newUID, newGID, uid, gid), nil
+		pr, st := s.chownPub(path, newUID, newGID, uid, gid)
+		if st != wire.StatusOK {
+			return st, nil
+		}
+		return wire.StatusOK, appendPub(wire.NewEnc(), pr).Bytes()
 	})
 	rs.Handle(wire.OpRenameDir, func(body []byte) (wire.Status, []byte) {
 		d := wire.NewDec(body)
@@ -594,10 +732,10 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return wire.StatusInval, nil
 		}
 		s.hot.Touch(oldPath)
-		moved, st := s.Rename(oldPath, newPath, uid, gid)
+		moved, pr, st := s.renamePub(oldPath, newPath, uid, gid)
 		if st != wire.StatusOK {
 			return st, nil
 		}
-		return wire.StatusOK, wire.NewEnc().U64(uint64(moved)).Bytes()
+		return wire.StatusOK, appendPub(wire.NewEnc().U64(uint64(moved)), pr).Bytes()
 	})
 }

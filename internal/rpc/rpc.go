@@ -102,6 +102,11 @@ type Server struct {
 	member   atomic.Pointer[memberState]
 	epoch    atomic.Uint64
 
+	// leaseFn, when set (DMS only), supplies the current lease-recall
+	// sequence stamped on every response header's Lease field, the same
+	// piggyback channel epoch uses for membership staleness.
+	leaseFn atomic.Pointer[func() uint64]
+
 	// Served counts completed requests, for load accounting in experiments.
 	Served atomic.Uint64
 	// busyNS accumulates total service time (measured + modeled) across
@@ -194,6 +199,21 @@ func (s *Server) Membership() (*wire.Membership, int) {
 
 // Epoch returns the installed membership epoch (0 = static topology).
 func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// SetLeaseFunc installs the source of the lease-recall sequence stamped on
+// every response (see wire.Msg.Lease). fn must be safe for concurrent use
+// and cheap — it runs on every response send. The DMS installs its lease
+// table's published sequence here during Attach.
+func (s *Server) SetLeaseFunc(fn func() uint64) { s.leaseFn.Store(&fn) }
+
+// leaseSeq returns the current lease-recall sequence, 0 when no source is
+// installed (FMS/OSS servers, tests).
+func (s *Server) leaseSeq() uint64 {
+	if fn := s.leaseFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return 0
+}
 
 // OwnsKey reports whether this server owns key under the installed
 // membership's current ring. known is false when no membership is
@@ -382,7 +402,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 					}
 					resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 						Status: ent.status, ServiceNS: ent.service, Trace: req.Trace, Span: req.Span,
-						Epoch: s.epoch.Load(), Body: ent.body}
+						Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: ent.body}
 					_ = conn.Send(resp)
 					return
 				}
@@ -401,7 +421,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			}
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span,
-				Epoch: s.epoch.Load(), Body: body}
+				Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: body}
 			_ = conn.Send(resp)
 		}(req)
 	}
@@ -476,7 +496,7 @@ func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 	reply := func(st wire.Status, body []byte, service time.Duration) {
 		resp := &wire.Msg{ID: req.ID, IsResp: true, Op: wire.OpBatch,
 			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span,
-			Epoch: s.epoch.Load(), Body: body}
+			Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: body}
 		_ = conn.Send(resp)
 	}
 	// The envelope gets its own server-side span under the client's span;
@@ -683,6 +703,11 @@ type CallSpec struct {
 	// notice, on ordinary traffic, that the cluster installed a newer FMS
 	// membership than the one its ring was built from.
 	OnEpoch func(epoch uint64)
+	// OnLease, if set, is invoked with the response header's lease-recall
+	// sequence when it is non-zero — the hook the client cache uses to
+	// notice, on ordinary traffic, that the DMS recalled directory leases
+	// it may still be caching (see internal/client lease coherence).
+	OnLease func(seq uint64)
 }
 
 // Do issues the call described by spec and blocks for its response (or
@@ -751,6 +776,9 @@ func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
 	c.virtNS.Add(uint64(virt))
 	if resp.Epoch != 0 && spec.OnEpoch != nil {
 		spec.OnEpoch(resp.Epoch)
+	}
+	if resp.Lease != 0 && spec.OnLease != nil {
+		spec.OnLease(resp.Lease)
 	}
 	return resp.Status, resp.Body, virt, nil
 }

@@ -1,0 +1,103 @@
+package wire
+
+import "testing"
+
+func TestLeaseGrantTrailerRoundTrip(t *testing.T) {
+	// A grant appended after arbitrary payload decodes once the payload is
+	// consumed — the trailing-extension pattern readdir's remaining count uses.
+	e := NewEnc()
+	e.U32(2).Str("a").Str("b")
+	AppendLeaseGrant(e, LeaseGrant{Seq: 7, DurMS: 30_000})
+	d := NewDec(e.Bytes())
+	if n := d.U32(); n != 2 {
+		t.Fatalf("payload count = %d", n)
+	}
+	if d.Str() != "a" || d.Str() != "b" {
+		t.Fatal("payload strings mangled")
+	}
+	g := DecodeLeaseGrant(d)
+	if !g.Valid() || g.Seq != 7 || g.DurMS != 30_000 {
+		t.Errorf("grant = %+v", g)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("leftover bytes: %d", d.Remaining())
+	}
+}
+
+func TestLeaseGrantAbsent(t *testing.T) {
+	// An old-format body without the trailer yields the zero (invalid) grant.
+	e := NewEnc()
+	e.U32(1).Str("only")
+	d := NewDec(e.Bytes())
+	d.U32()
+	d.Str()
+	if g := DecodeLeaseGrant(d); g.Valid() {
+		t.Errorf("grant from trailerless body = %+v", g)
+	}
+	var zero LeaseGrant
+	if zero.Valid() {
+		t.Error("zero grant must be invalid")
+	}
+}
+
+func TestRecallReqRoundTrip(t *testing.T) {
+	body := EncodeRecallReq(41)
+	since, err := DecodeRecallReq(body)
+	if err != nil || since != 41 {
+		t.Errorf("since = %d, err = %v", since, err)
+	}
+}
+
+func TestRecallRespRoundTrip(t *testing.T) {
+	in := []Recall{
+		{Seq: 5, Kind: RecallCreated, Path: "/a/b"},
+		{Seq: 6, Kind: RecallRemoved, Path: "/a"},
+		{Seq: 7, Kind: RecallPatched, Path: "/c"},
+	}
+	body := EncodeRecallResp(7, false, in)
+	cur, reset, got, err := DecodeRecallResp(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur != 7 || reset {
+		t.Errorf("cur=%d reset=%v", cur, reset)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("entries = %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], in[i])
+		}
+	}
+}
+
+func TestRecallRespReset(t *testing.T) {
+	body := EncodeRecallResp(99, true, nil)
+	cur, reset, entries, err := DecodeRecallResp(body)
+	if err != nil || cur != 99 || !reset || len(entries) != 0 {
+		t.Errorf("cur=%d reset=%v entries=%v err=%v", cur, reset, entries, err)
+	}
+}
+
+func TestRecallRespTruncated(t *testing.T) {
+	body := EncodeRecallResp(3, false, []Recall{{Seq: 3, Kind: RecallCreated, Path: "/x"}})
+	if _, _, _, err := DecodeRecallResp(body[:len(body)-2]); err == nil {
+		t.Error("truncated recall response decoded without error")
+	}
+}
+
+func TestLeaseRecallOpProperties(t *testing.T) {
+	if !OpLeaseRecall.Idempotent() {
+		t.Error("OpLeaseRecall must be idempotent (pure read of the recall log)")
+	}
+	if OpLeaseRecall.String() != "LeaseRecall" {
+		t.Errorf("String() = %q", OpLeaseRecall.String())
+	}
+	kinds := map[RecallKind]string{RecallCreated: "created", RecallRemoved: "removed", RecallPatched: "patched"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -24,6 +24,11 @@ const (
 	OpRenameDir // directory rename (prefix move)
 	OpChmodDir
 	OpChownDir
+	// OpLeaseRecall fetches the DMS lease-recall log entries published after
+	// a client-supplied sequence number, so a client whose cached lease seq
+	// fell behind (detected via the response header's Lease field) can drop
+	// exactly the directories that changed instead of its whole cache.
+	OpLeaseRecall
 )
 
 // Operations served by the file metadata servers (FMS).
@@ -90,6 +95,8 @@ func (o Op) String() string {
 		return "ChmodDir"
 	case OpChownDir:
 		return "ChownDir"
+	case OpLeaseRecall:
+		return "LeaseRecall"
 	case OpCreateFile:
 		return "CreateFile"
 	case OpRemoveFile:
@@ -167,6 +174,7 @@ func (o Op) String() string {
 func (o Op) Idempotent() bool {
 	switch o {
 	case OpPing, OpStatDir, OpStatFile, OpLookupDir, OpReaddirSubdirs,
+		OpLeaseRecall,
 		OpReaddirFiles, OpAccessFile, OpOpenFile, OpDirHasFiles, OpGetBlock,
 		OpChmodFile, OpChownFile, OpChmodDir, OpChownDir, OpUtimensFile,
 		OpUpdateSize, OpPutBlock, OpDeleteBlocks,
@@ -310,12 +318,19 @@ type Msg struct {
 	// client's ring triggers an asynchronous membership refresh. Zero
 	// means "no membership installed" (static topology) and is ignored.
 	Epoch uint64
+	// Lease is the DMS's lease-recall sequence number, stamped on every DMS
+	// response the same way Epoch piggybacks membership staleness: a value
+	// newer than what the client has applied means some cached directory
+	// lease was recalled, and the client must treat unverified cache entries
+	// as stale until it catches up (see internal/dms lease table). Zero
+	// means "nothing ever recalled" and is ignored.
+	Lease uint64
 	Body  []byte
 }
 
 // header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8)
-// req(8) epoch(8)
-const headerSize = 53
+// req(8) epoch(8) lease(8)
+const headerSize = 61
 
 // MaxBody bounds a single message body (64 MiB), protecting servers from
 // malformed frames.
@@ -342,6 +357,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 	binary.BigEndian.PutUint64(hdr[33:], m.Span)
 	binary.BigEndian.PutUint64(hdr[41:], m.Req)
 	binary.BigEndian.PutUint64(hdr[49:], m.Epoch)
+	binary.BigEndian.PutUint64(hdr[57:], m.Lease)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -373,6 +389,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		Span:      binary.BigEndian.Uint64(payload[29:]),
 		Req:       binary.BigEndian.Uint64(payload[37:]),
 		Epoch:     binary.BigEndian.Uint64(payload[45:]),
+		Lease:     binary.BigEndian.Uint64(payload[53:]),
 		Body:      payload[headerSize:],
 	}
 	return m, nil

@@ -10,7 +10,7 @@ import (
 func TestMsgRoundTrip(t *testing.T) {
 	m := &Msg{ID: 42, IsResp: true, Op: OpCreateFile, Status: StatusExist,
 		ServiceNS: 123456, Trace: 0xdeadbeef, Span: 0xfeedface, Epoch: 9,
-		Body: []byte("hello")}
+		Lease: 17, Body: []byte("hello")}
 	var buf bytes.Buffer
 	if err := WriteMsg(&buf, m); err != nil {
 		t.Fatal(err)
@@ -21,7 +21,7 @@ func TestMsgRoundTrip(t *testing.T) {
 	}
 	if got.ID != 42 || !got.IsResp || got.Op != OpCreateFile || got.Status != StatusExist ||
 		got.ServiceNS != 123456 || got.Trace != 0xdeadbeef || got.Span != 0xfeedface ||
-		got.Epoch != 9 || string(got.Body) != "hello" {
+		got.Epoch != 9 || got.Lease != 17 || string(got.Body) != "hello" {
 		t.Errorf("round trip = %+v", got)
 	}
 }
@@ -41,9 +41,9 @@ func TestMsgEmptyBody(t *testing.T) {
 }
 
 func TestMsgQuickRoundTrip(t *testing.T) {
-	f := func(id uint64, isResp bool, op uint16, status uint16, service, trace, span, epoch uint64, body []byte) bool {
+	f := func(id uint64, isResp bool, op uint16, status uint16, service, trace, span, epoch, lease uint64, body []byte) bool {
 		m := &Msg{ID: id, IsResp: isResp, Op: Op(op), Status: Status(status),
-			ServiceNS: service, Trace: trace, Span: span, Epoch: epoch, Body: body}
+			ServiceNS: service, Trace: trace, Span: span, Epoch: epoch, Lease: lease, Body: body}
 		var buf bytes.Buffer
 		if err := WriteMsg(&buf, m); err != nil {
 			return false
@@ -55,7 +55,7 @@ func TestMsgQuickRoundTrip(t *testing.T) {
 		return got.ID == id && got.IsResp == isResp && got.Op == Op(op) &&
 			got.Status == Status(status) && got.ServiceNS == service &&
 			got.Trace == trace && got.Span == span && got.Epoch == epoch &&
-			bytes.Equal(got.Body, body)
+			got.Lease == lease && bytes.Equal(got.Body, body)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
