@@ -385,8 +385,16 @@ func (c *dirCache) leaseFor(path string, g wire.LeaseGrant) (time.Duration, uint
 }
 
 // put caches an inode under path, evicting the oldest entries if the cap is
-// exceeded.
+// exceeded. In coherent mode an invalid grant is not cached at all: a
+// sequence-less entry cannot be matched against recalls, and stamping it
+// grantSeq 0 would get it silently rejected below as soon as any recall
+// had been applied — a coherent client requires a lease-granting server on
+// every OK lookup (TTL-only mode caches under the configured lease as
+// before).
 func (c *dirCache) put(path string, inode layout.DirInode, g wire.LeaseGrant) {
+	if c.coherent && !g.Valid() {
+		return
+	}
 	dur, gseq := c.leaseFor(path, g)
 	expires := c.now().Add(dur)
 	c.mu.Lock()
@@ -543,13 +551,17 @@ func (c *dirCache) applyRecalls(cur uint64, reset bool, entries []wire.Recall) {
 			c.met.recalls.Add(uint64(len(entries)))
 		}
 	}
-	c.mu.Unlock()
+	// Advance the applied watermark while still holding c.mu: put/putNeg/
+	// putList validate gseq < appliedSeq under the same lock, so a delayed
+	// lookup response granted before these recalls cannot slip in between
+	// the drops above and the watermark advance and then be served as fresh.
 	for {
 		a := c.appliedSeq.Load()
 		if cur <= a || c.appliedSeq.CompareAndSwap(a, cur) {
-			return
+			break
 		}
 	}
+	c.mu.Unlock()
 }
 
 // applyOneLocked performs one recall's drops. Entries granted at or after
@@ -642,12 +654,14 @@ func (c *dirCache) selfApply(last uint64, n uint32, ops ...selfOp) {
 	for _, op := range ops {
 		c.applyOneLocked(guard, op.kind, op.path)
 	}
-	c.mu.Unlock()
 	if last > 0 && n > 0 {
 		// The published seqs last-n+1..last are exactly this mutation's;
-		// if everything before them was applied, they now are too.
+		// if everything before them was applied, they now are too. Advanced
+		// under c.mu for the same reason as applyRecalls: the put-side
+		// gseq < appliedSeq guard must be atomic with the drops above.
 		c.appliedSeq.CompareAndSwap(last-uint64(n), last)
 	}
+	c.mu.Unlock()
 }
 
 func (c *dirCache) selfCreated(path string, last uint64, n uint32) {

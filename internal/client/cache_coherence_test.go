@@ -154,6 +154,80 @@ func TestPutGuardAfterAppliedRecall(t *testing.T) {
 	}
 }
 
+// TestCoherentPutInvalidGrantSkipped: in coherent mode an invalid grant is
+// not cached at all — stamping it grantSeq 0 would get every such put
+// silently rejected once any recall had been applied, making the path
+// permanently uncacheable against a server that ever stops granting.
+func TestCoherentPutInvalidGrantSkipped(t *testing.T) {
+	c, _ := newCoherentCache(0)
+	c.put("/a", freshInode(1), wire.LeaseGrant{})
+	if _, ok := c.get("/a"); ok {
+		t.Error("coherent put with an invalid grant cached")
+	}
+	if c.size() != 0 {
+		t.Errorf("size = %d after skipped put", c.size())
+	}
+	c.put("/a", freshInode(1), grant(1))
+	if _, ok := c.get("/a"); !ok {
+		t.Error("valid grant rejected")
+	}
+}
+
+// TestPutRecallWatermarkAtomic: the applied watermark must advance while
+// the recall's drops still hold c.mu, so a delayed lookup response granted
+// before the recall cannot slip in between the drops and the advance and
+// then be served as fresh. Pre-fix, the put could land in the
+// unlock-to-CAS window and survive both the drop pass and the put guard.
+func TestPutRecallWatermarkAtomic(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		c, _ := newCoherentCache(0)
+		seq := uint64(i + 2)
+		c.observe(seq)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.applyRecalls(seq, false, []wire.Recall{{Seq: seq, Kind: wire.RecallRemoved, Path: "/r"}})
+		}()
+		go func() {
+			defer wg.Done()
+			c.put("/r", freshInode(1), grant(seq-1))
+		}()
+		wg.Wait()
+		// appliedSeq == maxSeq now, so fresh() passes for any entry: the
+		// pre-recall grant must have been dropped or rejected, never kept.
+		if _, ok := c.get("/r"); ok {
+			t.Fatalf("iter %d: entry granted before an applied recall served as fresh", i)
+		}
+	}
+}
+
+// TestSelfApplyWatermarkAtomic is the selfApply counterpart of
+// TestPutRecallWatermarkAtomic: a racing put granted before the client's
+// own published mutation must never survive the self-apply as servable.
+func TestSelfApplyWatermarkAtomic(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		c, _ := newCoherentCache(0)
+		seq := uint64(i + 2)
+		c.applyRecalls(seq-1, false, nil) // caught up through seq-1
+		c.observe(seq)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.selfRemoved("/r", seq, 1)
+		}()
+		go func() {
+			defer wg.Done()
+			c.put("/r", freshInode(1), grant(seq-1))
+		}()
+		wg.Wait()
+		if _, ok := c.get("/r"); ok {
+			t.Fatalf("iter %d: entry granted before own mutation served as fresh", i)
+		}
+	}
+}
+
 // TestRecallReset: falling behind the server's bounded log drops the whole
 // cache and jumps the watermark.
 func TestRecallReset(t *testing.T) {

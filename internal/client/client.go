@@ -95,7 +95,10 @@ type Config struct {
 	// baseline (see internal/bench's fan-out experiment).
 	SerialFanOut bool
 	// DisableBatchRPC disables wire-level request batching (wire.OpBatch):
-	// every sub-request travels as its own framed message.
+	// every sub-request travels as its own framed message. In coherent
+	// caching mode this also costs coherence catch-ups an extra DMS trip —
+	// the OpLeaseRecall fetch travels standalone instead of riding along
+	// with the next lookup.
 	DisableBatchRPC bool
 	// CacheEntries bounds the directory cache; on overflow the oldest
 	// entries are evicted. Zero means DefaultCacheEntries, negative means
@@ -320,7 +323,7 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 			}
 			c.hotStop = make(chan struct{})
 			c.hotDone = make(chan struct{})
-			go c.hotRefreshLoop(cfg.HotEntries, interval)
+			go c.hotRefreshLoop(cfg.HotEntries, interval, cfg.Now)
 		}
 	}
 	reg.GaugeFunc(MetricInflight, func() float64 {
@@ -438,7 +441,8 @@ func (c *Client) ossFor(u uuid.UUID, blk uint64) *endpoint {
 // ancestor chain; every link is cached under its granted lease). When the
 // cache has observed recalls it has not applied, the missed entries are
 // fetched in the same round trip as the lookup, so a coherence catch-up
-// costs exactly one DMS trip — the same as the plain miss. oc is the
+// costs exactly one DMS trip — the same as the plain miss (with batching
+// disabled the recall fetch is a standalone second trip). oc is the
 // logical operation's context; its span is annotated with the cache
 // outcome.
 func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
@@ -467,7 +471,8 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 		err        error
 		recallResp []byte
 	)
-	if since, behind := c.cacheBehind(); behind && !c.disableBatch {
+	since, behind := c.cacheBehind()
+	if behind && !c.disableBatch {
 		var resps []wire.SubResp
 		resps, _, err = c.dms.CallBatch(oc, []wire.SubReq{
 			{Op: wire.OpLookupDir, Body: body},
@@ -481,6 +486,17 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 		}
 	} else {
 		st, resp, err = c.dms.CallT(oc, wire.OpLookupDir, body)
+		if err == nil && behind {
+			// Batching is off, so the recall fetch cannot ride along with
+			// the lookup; issue it standalone. One extra trip, but without
+			// it appliedSeq would never advance and every previously cached
+			// entry would stay degraded to a miss until individually
+			// re-fetched.
+			rst, rbody, rerr := c.dms.CallT(oc, wire.OpLeaseRecall, wire.EncodeRecallReq(since))
+			if rerr == nil && rst == wire.StatusOK {
+				recallResp = rbody
+			}
+		}
 	}
 	enc.Free()
 	if err != nil {

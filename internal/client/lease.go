@@ -50,9 +50,12 @@ func (c *Client) applyRecallResp(body []byte) {
 }
 
 // decodePub reads the publication trailer (last recall sequence, entry
-// count) a successful DMS mutation response ends with. Absent trailer —
-// a pre-lease server — reads as zero, which selfApply treats as "drop
-// unconditionally", the legacy behavior.
+// count) a successful DMS mutation response ends with. A body too short to
+// hold the trailer reads as zero, which selfApply treats as "drop
+// unconditionally" — defense-in-depth only: any server speaking the
+// current 61-byte wire header also writes the trailer (the header growth
+// was a flag-day protocol break, see DESIGN.md §14), so a short body here
+// means a malformed response, not an older server.
 func decodePub(d *wire.Dec) (last uint64, n uint32) {
 	if d.Remaining() >= 12 {
 		last = d.U64()
@@ -61,18 +64,43 @@ func decodePub(d *wire.Dec) (last uint64, n uint32) {
 	return last, n
 }
 
+// hotRefreshPoll paces the wall-clock polls of an injected clock: fast
+// enough to track a virtual clock running well ahead of real time, cheap
+// enough to idle (one channel receive per tick).
+const hotRefreshPoll = time.Millisecond
+
 // hotRefreshLoop periodically promotes the client's most-resolved
-// directories into the hot tier and refreshes their leases.
-func (c *Client) hotRefreshLoop(n int, interval time.Duration) {
+// directories into the hot tier and refreshes their leases. clk is the
+// injected clock (Config.Now), or nil for real time. With an injected
+// clock the refresh cadence follows *that* clock — a real ticker only
+// paces the polls — so virtual-time tests and benchmarks model the hot
+// tier consistently instead of refreshing on wall time.
+func (c *Client) hotRefreshLoop(n int, interval time.Duration, clk func() time.Time) {
 	defer close(c.hotDone)
-	t := time.NewTicker(interval)
+	if clk == nil {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.hotStop:
+				return
+			case <-t.C:
+				c.refreshHot(n)
+			}
+		}
+	}
+	t := time.NewTicker(hotRefreshPoll)
 	defer t.Stop()
+	last := clk()
 	for {
 		select {
 		case <-c.hotStop:
 			return
 		case <-t.C:
-			c.refreshHot(n)
+			if now := clk(); now.Sub(last) >= interval {
+				last = now
+				c.refreshHot(n)
+			}
 		}
 	}
 }
@@ -110,6 +138,14 @@ func (c *Client) refreshHot(n int) {
 			}
 			if st == wire.StatusOK {
 				c.cacheLookupChain(p, resp)
+			}
+		}
+		if since, behind := c.cacheBehind(); behind {
+			// No batch to piggyback on: fetch missed recalls standalone so
+			// the refreshed entries become servable (see resolveDir).
+			st, resp, cerr := c.dms.CallT(oc, wire.OpLeaseRecall, wire.EncodeRecallReq(since))
+			if cerr == nil && st == wire.StatusOK {
+				c.applyRecallResp(resp)
 			}
 		}
 		return

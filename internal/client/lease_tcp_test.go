@@ -16,8 +16,17 @@ import (
 // TCP sockets — the deployment mode of cmd/locofsd: a reader caches
 // directory state, a writer mutates it, the reader observes the bumped
 // recall sequence stamped on an unrelated response header, and its next
-// access must re-resolve instead of serving the stale entry.
+// access must re-resolve instead of serving the stale entry. The no-batch
+// variant covers the standalone OpLeaseRecall fallback: without batching
+// the recall fetch cannot ride along with a lookup, but the reader must
+// still catch its applied watermark up instead of degrading every cached
+// entry forever.
 func TestLeaseCoherenceOverTCP(t *testing.T) {
+	t.Run("batched", func(t *testing.T) { testLeaseCoherenceOverTCP(t, false) })
+	t.Run("no-batch", func(t *testing.T) { testLeaseCoherenceOverTCP(t, true) })
+}
+
+func testLeaseCoherenceOverTCP(t *testing.T, disableBatch bool) {
 	listen := func(attach func(*rpc.Server)) string {
 		l, err := netsim.ListenTCP("127.0.0.1:0")
 		if err != nil {
@@ -35,10 +44,11 @@ func TestLeaseCoherenceOverTCP(t *testing.T) {
 
 	dial := func() *Client {
 		c, err := Dial(Config{
-			Dialer:   netsim.TCPDialer{},
-			DMSAddr:  dmsAddr,
-			FMSAddrs: []string{fmsAddr},
-			OSSAddrs: []string{ossAddr},
+			Dialer:          netsim.TCPDialer{},
+			DMSAddr:         dmsAddr,
+			FMSAddrs:        []string{fmsAddr},
+			OSSAddrs:        []string{ossAddr},
+			DisableBatchRPC: disableBatch,
 		})
 		if err != nil {
 			t.Fatal(err)
