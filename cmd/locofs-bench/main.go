@@ -15,9 +15,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"locofs/internal/bench"
@@ -25,6 +27,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced scale (fewer servers, ops)")
+	jsonDir := flag.String("json-dir", "", "also write each experiment's table as BENCH_<name>.json under this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
@@ -120,9 +123,39 @@ func main() {
 			continue
 		}
 		tbl.Fprint(os.Stdout)
-		fmt.Printf("(%s completed in %v)\n", e.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(%s completed in %v)\n", e.name, elapsed.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, e.name, *quick, tbl, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "locofs-bench: %s: %v\n", e.name, err)
+				failed = true
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeJSON spools one experiment's table as BENCH_<name>.json — the
+// machine-readable twin of the aligned-column text, so CI artifacts can be
+// diffed or trended without screen-scraping.
+func writeJSON(dir, name string, quick bool, tbl *bench.Table, elapsed time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	out := struct {
+		Name      string     `json:"name"`
+		Quick     bool       `json:"quick"`
+		Title     string     `json:"title"`
+		Note      string     `json:"note,omitempty"`
+		Headers   []string   `json:"headers"`
+		Rows      [][]string `json:"rows"`
+		ElapsedMS int64      `json:"elapsed_ms"`
+	}{name, quick, tbl.Title, tbl.Note, tbl.Headers, tbl.Rows, elapsed.Milliseconds()}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
 }

@@ -78,6 +78,7 @@ import (
 	"locofs/internal/client"
 	"locofs/internal/core"
 	"locofs/internal/dms"
+	"locofs/internal/flight"
 	"locofs/internal/fms"
 	"locofs/internal/kv"
 	"locofs/internal/netsim"
@@ -117,6 +118,9 @@ func main() {
 	window := flag.Duration("window", 0, "telemetry sub-window width for time-local quantiles and SLO burn (0 = default 10s)")
 	windowNum := flag.Int("window-num", 0, "number of telemetry sub-windows merged per snapshot (0 = default 6)")
 	peers := flag.String("peers", "", "comma-separated peer admin endpoints (name=http://host:port or bare URL) merged into /debug/cluster and the status role")
+	flightBuf := flag.Int("flight-buf", flight.DefaultBufEvents, "flight-recorder event journal capacity (events; served at /debug/events)")
+	flightDir := flag.String("flight-dir", "", "directory where anomaly-triggered diagnostic bundles are written (empty = memory only, latest at /debug/bundle)")
+	anomalyPoll := flag.Duration("anomaly-poll", 0, "anomaly-engine poll interval (0 = default 2s)")
 	flag.Parse()
 
 	// With -data, metadata survives restarts: mutations are WAL-logged and
@@ -140,17 +144,23 @@ func main() {
 		tracer:      trace.New(trace.Config{Sample: *traceSample, BufSpans: *traceBuf}),
 		window:      telemetry.WindowConfig{Width: *window, Num: *windowNum},
 		peers:       parsePeers(*peers),
+		flightJ:     flight.NewJournal(*flightBuf),
+		flightDir:   *flightDir,
+		anomalyPoll: *anomalyPoll,
 	}
 	switch *role {
 	case "dms":
 		store := kv.Instrument(durable("dms", kv.NewBTreeStore()), kv.RAM)
 		d := dms.New(dms.Options{Store: store, CheckPermissions: true, LeaseDur: *leaseDur})
+		d.SetFlight(srv.flightJ, "dms")
 		srv.hot = map[string]*trace.TopK{"dms": d.HotKeys()}
+		srv.extraReg = d.RegisterMetrics
 		srv.serve(*listen, "dms", store, d.Attach)
 	case "fms":
 		name := fmt.Sprintf("fms-%d", *id)
 		store := kv.Instrument(durable(name, kv.NewHashStore()), kv.RAM)
 		f := fms.New(fms.Options{Store: store, ServerID: uint32(*id), Coupled: *coupled, CheckPermissions: true})
+		f.SetFlight(srv.flightJ, name)
 		srv.hot = map[string]*trace.TopK{name: f.HotKeys()}
 		srv.serve(*listen, name, store, f.Attach)
 	case "oss":
@@ -189,6 +199,12 @@ type serverFlags struct {
 	hot         map[string]*trace.TopK // hot-key sketches for /debug/hot
 	window      telemetry.WindowConfig
 	peers       []peer
+	flightJ     *flight.Journal // this process's flight-recorder journal (always on)
+	flightDir   string          // where anomaly bundles are spooled ("" = memory only)
+	anomalyPoll time.Duration   // anomaly-engine poll interval (0 = default)
+	// extraReg, when set, registers role-specific gauges (e.g. DMS lease
+	// counters) on the serve registry once it exists.
+	extraReg func(*telemetry.Registry)
 }
 
 // peer is one -peers entry: a display name and its /debug/slo URL.
@@ -246,11 +262,12 @@ func hotEntries(hot map[string]*trace.TopK) []slo.HotEntry {
 
 // adminRoutes builds the extra admin endpoints mounted next to /metrics:
 // span trees under /debug/traces, heavy-hitter keys under /debug/hot, this
-// process's SLO evaluation under /debug/slo, and the merged view of this
-// process plus every -peers endpoint under /debug/cluster. All endpoints
-// exist even when their feed is empty, so operators can probe them to check
-// whether a feature is enabled.
-func (sf serverFlags) adminRoutes(local func() *slo.ServerStatus) map[string]http.Handler {
+// process's SLO evaluation under /debug/slo, the merged view of this
+// process plus every -peers endpoint under /debug/cluster, and the flight
+// recorder's /debug/events journal and /debug/bundle diagnostics. All
+// endpoints exist even when their feed is empty, so operators can probe
+// them to check whether a feature is enabled.
+func (sf serverFlags) adminRoutes(local func() *slo.ServerStatus, rec *flight.Recorder) map[string]http.Handler {
 	sources := func() []core.StatusSource {
 		self := core.StatusSource{
 			Name:  "self",
@@ -258,14 +275,24 @@ func (sf serverFlags) adminRoutes(local func() *slo.ServerStatus) map[string]htt
 		}
 		return append([]core.StatusSource{self}, sf.peerSources()...)
 	}
-	return map[string]http.Handler{
+	routes := map[string]http.Handler{
 		"/debug/traces/": trace.TracesHandler(sf.tracer),
 		"/debug/hot":     trace.HotHandler(sf.hot),
 		"/debug/slo":     slo.StatusHandler(func() any { return local() }),
 		"/debug/cluster": slo.StatusHandler(func() any {
-			return (&core.Aggregator{Sources: sources}).Poll()
+			a := &core.Aggregator{Sources: sources}
+			if rec != nil {
+				a.Anomalies = rec.AnomalyState
+			}
+			return a.Poll()
 		}),
 	}
+	if rec != nil {
+		for p, h := range rec.Routes() {
+			routes[p] = h
+		}
+	}
+	return routes
 }
 
 // registerKVGauges exports the store's live KV engine counters on reg as
@@ -305,16 +332,35 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 		rs.SetTracer(sf.tracer, name)
 	}
 	registerKVGauges(reg, store)
+	if sf.extraReg != nil {
+		sf.extraReg(reg)
+	}
 	slo.NewTracker(reg, slo.ServerObjectives()).Export(reg)
+	var rec *flight.Recorder
 	local := func() *slo.ServerStatus {
-		return slo.Collect(reg, slo.CollectOptions{
+		opts := slo.CollectOptions{
 			Server: name,
 			Epoch:  rs.Epoch(),
 			Hot:    hotEntries(sf.hot),
-		})
+		}
+		if rec != nil {
+			opts.Anomalies = rec.AnomalyState()
+		}
+		return slo.Collect(reg, opts)
 	}
+	rec = flight.New(flight.Config{
+		Server:       name,
+		Journal:      sf.flightJ,
+		Tracer:       sf.tracer,
+		Status:       local,
+		Dir:          sf.flightDir,
+		PollInterval: sf.anomalyPoll,
+	})
+	rec.RegisterMetrics(reg)
+	reg.SetRotateHook(flight.WindowRollEmitter(sf.flightJ, name, 0))
+	rs.SetFlight(sf.flightJ, name)
 	if sf.metricsAddr != "" {
-		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(local), reg)
+		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(local, rec), reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locofsd: metrics:", err)
 			os.Exit(1)
@@ -323,11 +369,13 @@ func (sf serverFlags) serve(addr, name string, store *kv.Instrumented, attach fu
 	}
 	attach(rs)
 	go rs.Serve(l)
+	rec.Start()
 	fmt.Printf("locofsd: serving on %s\n", l.Addr())
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("locofsd: shutting down")
+	rec.Close()
 	rs.Shutdown()
 }
 
@@ -371,14 +419,31 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, cc cacheF
 	telemetry.RegisterBuildInfo(reg)
 	trace.RegisterMetrics(reg, sf.tracer)
 	slo.NewTracker(reg, slo.ClientObjectives()).Export(reg)
+	var rec *flight.Recorder
 	local := func() *slo.ServerStatus {
-		return slo.Collect(reg, slo.CollectOptions{
+		opts := slo.CollectOptions{
 			Server:     "client",
 			Objectives: slo.ClientObjectives(),
-		})
+		}
+		if rec != nil {
+			opts.Anomalies = rec.AnomalyState()
+		}
+		return slo.Collect(reg, opts)
 	}
+	rec = flight.New(flight.Config{
+		Server:       "client",
+		Journal:      sf.flightJ,
+		Tracer:       sf.tracer,
+		Status:       local,
+		Dir:          sf.flightDir,
+		PollInterval: sf.anomalyPoll,
+	})
+	rec.RegisterMetrics(reg)
+	reg.SetRotateHook(flight.WindowRollEmitter(sf.flightJ, "client", 0))
+	rec.Start()
+	defer rec.Close()
 	if sf.metricsAddr != "" {
-		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(local), reg)
+		_, bound, err := telemetry.ServeWith(sf.metricsAddr, sf.adminRoutes(local, rec), reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "locofsd client: metrics:", err)
 			os.Exit(1)
@@ -399,6 +464,7 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, cc cacheF
 		HotEntries:            cc.hotEntries,
 		HotLeaseFactor:        cc.hotFactor,
 		HotRefreshInterval:    cc.hotRefresh,
+		Flight:                sf.flightJ,
 	}, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locofsd client:", err)

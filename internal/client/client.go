@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"locofs/internal/chash"
+	"locofs/internal/flight"
 	"locofs/internal/fms"
 	"locofs/internal/fspath"
 	"locofs/internal/layout"
@@ -109,6 +110,11 @@ type Config struct {
 	// and a child span per fan-out branch. Nil disables client tracing; a
 	// tracer shared with in-process servers yields complete trees.
 	Tracer *trace.Tracer
+	// Flight receives client-side flight-recorder events: breaker
+	// transitions, retries and coordinator migration batches. Nil disables
+	// emission; a journal shared with in-process servers yields one
+	// cluster-wide timeline.
+	Flight *flight.Journal
 	// OpTimeout bounds each RPC attempt; an attempt exceeding it fails with
 	// wire.StatusDeadline and the connection is replaced. Zero disables
 	// per-attempt deadlines (the historical behavior).
@@ -258,7 +264,7 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 		gid:          cfg.GID,
 		serialFanOut: cfg.SerialFanOut,
 		disableBatch: cfg.DisableBatchRPC,
-		telem:        &clientTelem{reg: reg, slow: cfg.SlowThreshold},
+		telem:        &clientTelem{reg: reg, slow: cfg.SlowThreshold, fl: cfg.Flight},
 		tracer:       cfg.Tracer,
 		traceBase:    (nextClientID.Add(1) & 0xffff) << 48,
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locofs/internal/flight"
 	"locofs/internal/netsim"
 	"locofs/internal/rpc"
 	"locofs/internal/telemetry"
@@ -20,8 +21,9 @@ import (
 // lock.
 type clientTelem struct {
 	reg  *telemetry.Registry
-	slow time.Duration // 0 = slow-call logging disabled
-	byOp sync.Map      // wire.Op -> *clientOpMetrics
+	slow time.Duration   // 0 = slow-call logging disabled
+	fl   *flight.Journal // nil = flight-recorder emission disabled
+	byOp sync.Map        // wire.Op -> *clientOpMetrics
 
 	// inflight counts RPCs currently on the wire across every endpoint of
 	// the client, exported as the locofs_client_inflight_rpcs gauge. Fan-out
@@ -110,6 +112,7 @@ func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *c
 	e.brk = newBreaker(res.breaker, res.now, func(state string) {
 		telem.reg.Counter(MetricBreaker,
 			telemetry.L("addr", addr), telemetry.L("state", state)).Inc()
+		telem.fl.Emit(flight.KindBreaker, "client", "", 0, 0, addr+" "+state)
 	})
 	cl, err := rpc.Dial(d, addr)
 	if err != nil {
@@ -288,6 +291,7 @@ func (e *endpoint) callAttempts(tid uint64, sp *trace.Span, op wire.Op, body []b
 		if attempt > 0 {
 			d := e.res.retry.backoff(attempt)
 			m.retries.Inc()
+			e.telem.fl.Emit(flight.KindRetry, "client", op.String(), tid, int64(attempt), e.addr)
 			if sp != nil {
 				sp.Annotate(fmt.Sprintf("retry=%d backoff=%v", attempt, d))
 			}

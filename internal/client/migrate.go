@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"locofs/internal/chash"
+	"locofs/internal/flight"
 	"locofs/internal/fms"
 	"locofs/internal/uuid"
 	"locofs/internal/wire"
@@ -184,6 +185,7 @@ func (c *Client) changeFMS(cur *wire.Membership, next []wire.Member) (rep *Rebal
 			}
 			rep.Moved += len(moved)
 			migrated.Add(uint64(len(moved)))
+			c.telem.fl.Emit(flight.KindMigration, "client", "drain", oc.tid, int64(len(moved)), src.Addr)
 		}
 	}
 

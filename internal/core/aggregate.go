@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -66,6 +68,11 @@ func HTTPSource(name, url string, timeout time.Duration) StatusSource {
 type Aggregator struct {
 	Sources func() []StatusSource
 
+	// Anomalies, when set, contributes cluster-level anomaly state (e.g.
+	// a flight recorder's engine via Recorder.AnomalyState) on top of
+	// whatever the per-server statuses carried.
+	Anomalies func() []slo.AnomalyState
+
 	mu   sync.Mutex
 	last *slo.ClusterStatus
 }
@@ -96,6 +103,14 @@ func (a *Aggregator) Poll() *slo.ClusterStatus {
 		ok = append(ok, st)
 	}
 	cs := slo.MergeCluster(ok, unreachable)
+	if a.Anomalies != nil {
+		if extra := a.Anomalies(); len(extra) > 0 {
+			cs.Anomalies = append(cs.Anomalies, extra...)
+			sort.SliceStable(cs.Anomalies, func(i, j int) bool {
+				return cs.Anomalies[i].LastNS > cs.Anomalies[j].LastNS
+			})
+		}
+	}
 	a.mu.Lock()
 	a.last = cs
 	a.mu.Unlock()
@@ -127,7 +142,9 @@ func (a *Aggregator) Run(interval time.Duration, stop <-chan struct{}) {
 
 // StatusSources returns one local source per live server — DMS, the
 // current FMS set (membership-driven: servers added or removed online
-// appear/disappear on the next poll), and every OSS.
+// appear/disappear on the next poll), and every OSS — plus one source per
+// tracked client registry, so client-side dircache/breaker/RTT telemetry
+// (PR 7) joins the merge.
 func (c *Cluster) StatusSources() []StatusSource {
 	c.mu.Lock()
 	addrs := append([]string{"dms"}, c.fmsAddrs...)
@@ -146,6 +163,7 @@ func (c *Cluster) StatusSources() []StatusSource {
 		}
 		regs[addr] = c.Metrics[addr]
 	}
+	clientRegs := append([]*telemetry.Registry{}, c.clientRegs...)
 	c.mu.Unlock()
 
 	var out []StatusSource
@@ -155,11 +173,19 @@ func (c *Cluster) StatusSources() []StatusSource {
 		}
 		out = append(out, LocalSource(addr, regs[addr], epochs[addr], hots[addr], slo.ServerObjectives()))
 	}
+	for i, reg := range clientRegs {
+		out = append(out, LocalSource(fmt.Sprintf("client-%d", i), reg, nil, nil, slo.ClientObjectives()))
+	}
 	return out
 }
 
 // ClusterStatus scrapes every live server and returns the merged
-// cluster-health snapshot — the in-process equivalent of /debug/cluster.
+// cluster-health snapshot — the in-process equivalent of /debug/cluster —
+// including the flight recorder's anomaly state.
 func (c *Cluster) ClusterStatus() *slo.ClusterStatus {
-	return (&Aggregator{Sources: c.StatusSources}).Poll()
+	a := &Aggregator{Sources: c.StatusSources}
+	if c.Flight != nil {
+		a.Anomalies = c.Flight.AnomalyState
+	}
+	return a.Poll()
 }

@@ -34,8 +34,8 @@ func TestClusterStatusMergesAllServers(t *testing.T) {
 	driveOps(t, c)
 
 	cs := c.ClusterStatus()
-	if len(cs.Servers) != 6 { // dms + 4 fms + 1 oss
-		t.Fatalf("servers = %d, want 6", len(cs.Servers))
+	if len(cs.Servers) != 7 { // dms + 4 fms + 1 oss + driveOps's client
+		t.Fatalf("servers = %d, want 7", len(cs.Servers))
 	}
 	seen := map[string]bool{}
 	for _, st := range cs.Servers {
@@ -47,7 +47,7 @@ func TestClusterStatusMergesAllServers(t *testing.T) {
 			t.Errorf("%s: window geometry missing", st.Server)
 		}
 	}
-	for _, want := range []string{"dms", "fms-0", "fms-3", "oss-0"} {
+	for _, want := range []string{"dms", "fms-0", "fms-3", "oss-0", "client-0"} {
 		if !seen[want] {
 			t.Errorf("server %s missing from cluster status", want)
 		}
@@ -99,8 +99,8 @@ func TestAggregatorToleratesDeadSource(t *testing.T) {
 	if cs == nil {
 		t.Fatal("poll with dead sources returned nil")
 	}
-	if len(cs.Servers) != 4 { // dms + 2 fms + oss
-		t.Fatalf("live servers = %d, want 4", len(cs.Servers))
+	if len(cs.Servers) != 5 { // dms + 2 fms + oss + driveOps's client
+		t.Fatalf("live servers = %d, want 5", len(cs.Servers))
 	}
 	if len(cs.Unreachable) != 2 {
 		t.Fatalf("unreachable = %v, want [fms-9 oss-9]", cs.Unreachable)

@@ -12,11 +12,13 @@ import (
 
 	"locofs/internal/client"
 	"locofs/internal/dms"
+	"locofs/internal/flight"
 	"locofs/internal/fms"
 	"locofs/internal/kv"
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
 	"locofs/internal/rpc"
+	"locofs/internal/slo"
 	"locofs/internal/telemetry"
 	"locofs/internal/trace"
 	"locofs/internal/wire"
@@ -75,6 +77,15 @@ type Options struct {
 	// registry (time-local quantiles, SLO burn). The zero value keeps the
 	// telemetry package defaults (6 × 10 s).
 	Window telemetry.WindowConfig
+	// FlightBuf sizes the cluster's shared flight-recorder journal
+	// (0 = flight.DefaultBufEvents). The journal is always on — every
+	// server, and every client the cluster dials, emits into one timeline.
+	FlightBuf int
+	// FlightDir spools anomaly-triggered diagnostic bundles to disk
+	// ("" = memory only).
+	FlightDir string
+	// FlightRules overrides the anomaly rule set (nil = flight.DefaultRules).
+	FlightRules []flight.Rule
 }
 
 // KVCost prices Kyoto-Cabinet-style storage work on the paper's metadata
@@ -169,18 +180,29 @@ type Cluster struct {
 	// service/queue latency histograms.
 	Metrics map[string]*telemetry.Registry
 
+	// Flight is the cluster's black-box recorder: one shared event journal
+	// every server and cluster-dialed client emits into, plus the anomaly
+	// engine and bundle capture over it. Always present; Start does not
+	// launch background polling (call Flight.Start, or Flight.Poll from a
+	// deterministic test loop).
+	Flight *flight.Recorder
+
 	rpcServers []*rpc.Server
 	rsByAddr   map[string]*rpc.Server
 	ossAddrs   []string
 
 	// mu guards the mutable membership state below. members is the live
 	// FMS set (stable ring IDs, never reused); nextFMSID is the next fresh
-	// ID an AddFMS will assign.
-	mu        sync.Mutex
-	fmsAddrs  []string
-	members   []wire.Member
-	nextFMSID int32
-	epoch     uint64
+	// ID an AddFMS will assign. clientRegs tracks the registries of clients
+	// this cluster dialed (deduped), so client-side telemetry — dircache
+	// counters, breaker transitions, RTT windows — joins the cluster status
+	// merge.
+	mu         sync.Mutex
+	fmsAddrs   []string
+	members    []wire.Member
+	nextFMSID  int32
+	epoch      uint64
+	clientRegs []*telemetry.Registry
 }
 
 // Start builds and starts a cluster.
@@ -192,6 +214,28 @@ func Start(opts Options) (*Cluster, error) {
 		Metrics:  make(map[string]*telemetry.Registry),
 		rsByAddr: make(map[string]*rpc.Server),
 	}
+
+	// Black-box flight recorder: one journal shared by every server (and
+	// every client this cluster dials), an anomaly engine fed from the
+	// cluster-wide SLO merge, and bundle capture. Safe to build before the
+	// servers — the SLO feed only runs when Poll/Start is invoked, and by
+	// then the status sources exist.
+	c.Flight = flight.New(flight.Config{
+		Server:  "cluster",
+		Journal: flight.NewJournal(opts.FlightBuf),
+		Rules:   opts.FlightRules,
+		Tracer:  opts.Tracer,
+		SLO:     func() []slo.ClassStatus { return c.ClusterStatus().SLO },
+		Extra: func() map[string]any {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return map[string]any{
+				"epoch":   c.epoch,
+				"members": append([]wire.Member{}, c.members...),
+			}
+		},
+		Dir: opts.FlightDir,
+	})
 
 	// Directory metadata server.
 	var base kv.Store
@@ -206,9 +250,14 @@ func Start(opts Options) (*Cluster, error) {
 		CheckPermissions: opts.CheckPermissions,
 		LeaseDur:         opts.Lease,
 	})
+	c.DMS.SetFlight(c.Flight.Journal(), "dms")
 	if err := c.serve("dms", c.DMSStore, c.DMS.Attach); err != nil {
 		return nil, err
 	}
+	c.DMS.RegisterMetrics(c.Metrics["dms"])
+	// The journal is cluster-wide, so its counters are exported exactly once
+	// (through the DMS registry) to keep SumCounter from double-counting.
+	c.Flight.RegisterMetrics(c.Metrics["dms"])
 
 	// File metadata servers.
 	for i := 0; i < opts.FMSCount; i++ {
@@ -222,6 +271,7 @@ func Start(opts Options) (*Cluster, error) {
 		})
 		c.FMS = append(c.FMS, f)
 		addr := fmt.Sprintf("fms-%d", i)
+		f.SetFlight(c.Flight.Journal(), addr)
 		c.fmsAddrs = append(c.fmsAddrs, addr)
 		if err := c.serve(addr, fstore, f.Attach); err != nil {
 			return nil, err
@@ -276,6 +326,8 @@ func (c *Cluster) serve(addr string, store *kv.Instrumented, attach func(*rpc.Se
 	telemetry.RegisterBuildInfo(reg)
 	trace.RegisterMetrics(reg, c.opts.Tracer)
 	rs.SetTelemetry(reg)
+	rs.SetFlight(c.Flight.Journal(), addr)
+	reg.SetRotateHook(flight.WindowRollEmitter(c.Flight.Journal(), addr, 0))
 	attach(rs)
 	l, err := c.net.Listen(addr)
 	if err != nil {
@@ -346,7 +398,7 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		fmsIDs[i] = int(m.ID)
 	}
 	c.mu.Unlock()
-	return client.Dial(client.Config{
+	cl, err := client.Dial(client.Config{
 		Dialer:                c.net,
 		Link:                  c.opts.Link,
 		DMSAddr:               "dms",
@@ -372,7 +424,27 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		OpTimeout:             cfg.OpTimeout,
 		Retry:                 cfg.Retry,
 		Breaker:               cfg.Breaker,
+		Flight:                c.Flight.Journal(),
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Track the client's registry (deduped — fleets may share one) so
+	// dircache/breaker/RTT telemetry joins the cluster status merge.
+	c.mu.Lock()
+	reg := cl.Metrics()
+	found := false
+	for _, r := range c.clientRegs {
+		if r == reg {
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.clientRegs = append(c.clientRegs, reg)
+	}
+	c.mu.Unlock()
+	return cl, nil
 }
 
 // AddFMS grows the cluster by one file metadata server while it serves
@@ -396,6 +468,7 @@ func (c *Cluster) AddFMS() (*client.RebalanceReport, error) {
 		CheckPermissions: c.opts.CheckPermissions,
 		BlockSize:        c.opts.BlockSize,
 	})
+	f.SetFlight(c.Flight.Journal(), addr)
 	if err := c.serve(addr, fstore, f.Attach); err != nil {
 		return nil, err
 	}
@@ -499,6 +572,7 @@ func (c *Cluster) ServerBusy() []time.Duration {
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() {
+	c.Flight.Close()
 	c.net.Close()
 	for _, rs := range c.rpcServers {
 		rs.Shutdown()

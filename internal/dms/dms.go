@@ -18,10 +18,12 @@ import (
 	"time"
 
 	"locofs/internal/acl"
+	"locofs/internal/flight"
 	"locofs/internal/fspath"
 	"locofs/internal/kv"
 	"locofs/internal/layout"
 	"locofs/internal/rpc"
+	"locofs/internal/telemetry"
 	"locofs/internal/trace"
 	"locofs/internal/uuid"
 	"locofs/internal/wire"
@@ -581,6 +583,35 @@ func (s *Server) LeaseSeq() uint64 { return s.leases.Seq() }
 // RecallsSuppressed returns how many mutations published no recall because
 // no live lease grant covered the touched paths.
 func (s *Server) RecallsSuppressed() uint64 { return s.leases.Suppressed() }
+
+// LeaseGrants returns how many lease grants have been recorded on responses.
+func (s *Server) LeaseGrants() uint64 { return s.leases.Granted() }
+
+// SetFlight installs the flight journal the lease table emits recall and
+// overflow events to (nil disables emission); source names this server in
+// the events.
+func (s *Server) SetFlight(j *flight.Journal, source string) { s.leases.setFlight(j, source) }
+
+// Lease-coherence gauge names exported by RegisterMetrics. The cluster
+// status merge (slo.MergeCluster + Format) sums these by name, so they must
+// stay stable.
+const (
+	MetricLeaseSeq        = "locofs_dms_lease_seq"
+	MetricLeaseGrants     = "locofs_dms_lease_grants_total"
+	MetricLeaseRecalls    = "locofs_dms_lease_recalls_total"
+	MetricLeaseSuppressed = "locofs_dms_lease_recalls_suppressed_total"
+)
+
+// RegisterMetrics exports the lease table's coherence counters as gauges:
+// the published recall sequence, grants recorded, recalls published (the
+// sequence is bumped exactly once per published entry) and mutations whose
+// recall was suppressed.
+func (s *Server) RegisterMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc(MetricLeaseSeq, func() float64 { return float64(s.leases.Seq()) })
+	reg.GaugeFunc(MetricLeaseGrants, func() float64 { return float64(s.leases.Granted()) })
+	reg.GaugeFunc(MetricLeaseRecalls, func() float64 { return float64(s.leases.Seq()) })
+	reg.GaugeFunc(MetricLeaseSuppressed, func() float64 { return float64(s.leases.Suppressed()) })
+}
 
 // appendPub appends a mutation response's recall trailer: the last recall
 // sequence the mutation published and how many entries (0 = suppressed).

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locofs/internal/flight"
 	"locofs/internal/wire"
 )
 
@@ -76,6 +77,14 @@ type leaseTable struct {
 	log           []wire.Recall // contiguous seqs, bounded to logCap
 	logCap        int
 	suppressed    uint64 // mutations that published nothing (introspection)
+	granted       uint64 // lease grants recorded (inode + neg + list)
+
+	// fl, when set, receives flight-recorder events: one KindLeaseRecall
+	// per published recall and one KindLeaseOverflow per overflow-mode
+	// entry. The journal's append lock is a leaf, so emitting under lt.mu
+	// (itself under the server's write lock) cannot deadlock.
+	fl       *flight.Journal
+	flSource string
 
 	pub atomic.Uint64 // mirror of seq for lock-free response stamping
 }
@@ -129,6 +138,7 @@ func (lt *leaseTable) rec(path string, t int64) *grantRec {
 			// per-path tracking for one horizon and publish everything.
 			lt.grants = make(map[string]*grantRec)
 			lt.overflowUntil = t + int64(lt.horizon)
+			lt.fl.Emit(flight.KindLeaseOverflow, lt.flSource, "", 0, int64(lt.maxGrants), "grants map over bound; suppression off for one horizon")
 			return nil
 		}
 		g = &grantRec{}
@@ -158,6 +168,7 @@ func (lt *leaseTable) grantChain(paths []PathInode) wire.LeaseGrant {
 		if g := lt.rec(paths[i].Path, t); g != nil {
 			g.inode = t + int64(lt.horizon)
 		}
+		lt.granted++
 	}
 	return wire.LeaseGrant{Seq: lt.seq, DurMS: lt.durMS()}
 }
@@ -170,6 +181,7 @@ func (lt *leaseTable) grantNeg(path string) wire.LeaseGrant {
 	if g := lt.rec(path, t); g != nil {
 		g.neg = t + int64(lt.horizon)
 	}
+	lt.granted++
 	return wire.LeaseGrant{Seq: lt.seq, DurMS: lt.durMS()}
 }
 
@@ -182,6 +194,7 @@ func (lt *leaseTable) grantList(path string) wire.LeaseGrant {
 	if g := lt.rec(path, t); g != nil {
 		g.list = t + int64(lt.horizon)
 	}
+	lt.granted++
 	return wire.LeaseGrant{Seq: lt.seq, DurMS: lt.durMS()}
 }
 
@@ -210,6 +223,7 @@ func (lt *leaseTable) publish(kind wire.RecallKind, path string) {
 		lt.log = append(lt.log[:0], lt.log[len(lt.log)-lt.logCap:]...)
 	}
 	lt.pub.Store(lt.seq)
+	lt.fl.Emit(flight.KindLeaseRecall, lt.flSource, "", 0, int64(lt.seq), path)
 }
 
 // bumpCreated handles a directory creation: clients may hold a negative
@@ -292,4 +306,21 @@ func (lt *leaseTable) Suppressed() uint64 {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	return lt.suppressed
+}
+
+// Granted returns how many lease grants (inode, negative and listing) have
+// been recorded on responses.
+func (lt *leaseTable) Granted() uint64 {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return lt.granted
+}
+
+// setFlight installs the flight journal recall/overflow events are emitted
+// to (nil disables emission).
+func (lt *leaseTable) setFlight(j *flight.Journal, source string) {
+	lt.mu.Lock()
+	lt.fl = j
+	lt.flSource = source
+	lt.mu.Unlock()
 }

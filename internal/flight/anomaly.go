@@ -1,0 +1,337 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"locofs/internal/slo"
+)
+
+// RuleKind selects an anomaly rule's evaluation strategy.
+type RuleKind string
+
+// Rule kinds.
+const (
+	// RuleEventRate fires when at least Count journal events of kind Event
+	// were appended within the trailing Window.
+	RuleEventRate RuleKind = "event-rate"
+	// RuleBurnRate fires when an SLO class's windowed burn rate reaches
+	// Threshold (1.0 = burning exactly at budget).
+	RuleBurnRate RuleKind = "burn-rate"
+	// RuleP99Step fires when an SLO class's windowed headline percentile
+	// jumps to Factor times its recent baseline (median of the engine's own
+	// poll history) — a step change rather than an absolute threshold.
+	RuleP99Step RuleKind = "p99-step"
+)
+
+// Rule is one declarative anomaly condition.
+type Rule struct {
+	Name string   `json:"name"`
+	Kind RuleKind `json:"kind"`
+
+	// Event-rate rules.
+	Event  Kind          `json:"-"`
+	Count  int           `json:"count,omitempty"`
+	Window time.Duration `json:"window_ns,omitempty"`
+
+	// SLO rules. Class restricts to one op class ("" = any).
+	Class     string  `json:"class,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Factor    float64 `json:"factor,omitempty"`
+	MinCount  uint64  `json:"min_count,omitempty"`
+
+	// Cooldown suppresses refiring for this long after a trigger
+	// (<= 0 means DefaultCooldown).
+	Cooldown time.Duration `json:"cooldown_ns,omitempty"`
+}
+
+// Default rule tuning.
+const (
+	DefaultCooldown   = 30 * time.Second
+	defaultRateWindow = 10 * time.Second
+)
+
+// DefaultRules is the stock rule set: breaker flap, lease-recall storm,
+// SLO burn-rate spike, and a p99 step change.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "breaker-flap", Kind: RuleEventRate, Event: KindBreaker, Count: 3, Window: defaultRateWindow},
+		{Name: "recall-storm", Kind: RuleEventRate, Event: KindLeaseRecall, Count: 256, Window: defaultRateWindow},
+		{Name: "burn-spike", Kind: RuleBurnRate, Threshold: 2, MinCount: 20},
+		{Name: "p99-step", Kind: RuleP99Step, Factor: 4, MinCount: 50, Cooldown: time.Minute},
+	}
+}
+
+// Anomaly is one rule firing.
+type Anomaly struct {
+	Rule   string `json:"rule"`
+	AtNS   int64  `json:"at_ns"`
+	Seq    uint64 `json:"seq"` // journal seq at trigger (correlates events)
+	Detail string `json:"detail,omitempty"`
+}
+
+// EngineConfig configures an Engine.
+type EngineConfig struct {
+	// Journal supplies event rates and receives KindAnomaly events.
+	Journal *Journal
+	// Rules evaluated each Poll (nil = DefaultRules).
+	Rules []Rule
+	// Source stamps the engine's own journal events and anomaly state.
+	Source string
+	// SLO supplies the current windowed class statuses for burn-rate and
+	// p99-step rules (nil disables those rules).
+	SLO func() []slo.ClassStatus
+	// Now is the engine clock (nil = time.Now).
+	Now func() time.Time
+	// OnTrigger runs once per firing, outside the engine lock — the hook
+	// the Recorder uses to capture a bundle.
+	OnTrigger func(Anomaly)
+}
+
+// ruleState is one rule's firing history.
+type ruleState struct {
+	count  uint64
+	last   time.Time
+	detail string
+}
+
+// Engine evaluates anomaly rules on demand (Poll) or on a timer (Run).
+type Engine struct {
+	j         *Journal
+	rules     []Rule
+	source    string
+	sloFn     func() []slo.ClassStatus
+	now       func() time.Time
+	onTrigger func(Anomaly)
+
+	mu     sync.Mutex
+	state  map[string]*ruleState
+	hist   map[string][]float64 // per-class p99 poll history (baseline)
+	recent []Anomaly            // newest last, bounded
+	total  uint64
+}
+
+const (
+	maxRecentAnomalies = 64
+	p99HistoryLen      = 16
+	p99BaselineMin     = 4 // polls of history before a step can fire
+)
+
+// NewEngine builds an engine from cfg.
+func NewEngine(cfg EngineConfig) *Engine {
+	e := &Engine{
+		j:         cfg.Journal,
+		rules:     cfg.Rules,
+		source:    cfg.Source,
+		sloFn:     cfg.SLO,
+		now:       cfg.Now,
+		onTrigger: cfg.OnTrigger,
+		state:     make(map[string]*ruleState),
+		hist:      make(map[string][]float64),
+	}
+	if e.rules == nil {
+		e.rules = DefaultRules()
+	}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	return e
+}
+
+// Rules returns the evaluated rule set.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// Total returns the lifetime number of rule firings.
+func (e *Engine) Total() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.total
+}
+
+// Poll evaluates every rule once and returns the anomalies that fired this
+// poll (cooldown-suppressed triggers fire nothing). Firings are journaled
+// as KindAnomaly events and handed to OnTrigger.
+func (e *Engine) Poll() []Anomaly {
+	now := e.now()
+	var statuses []slo.ClassStatus
+	if e.sloFn != nil {
+		for _, r := range e.rules {
+			if r.Kind == RuleBurnRate || r.Kind == RuleP99Step {
+				statuses = e.sloFn()
+				break
+			}
+		}
+	}
+
+	type trigger struct {
+		rule   Rule
+		detail string
+	}
+	var trigs []trigger
+	for _, r := range e.rules {
+		if det, ok := e.eval(r, now, statuses); ok {
+			trigs = append(trigs, trigger{r, det})
+		}
+	}
+	// p99 baselines advance every poll, fired or not.
+	e.pushBaselines(statuses)
+
+	var fired []Anomaly
+	e.mu.Lock()
+	for _, t := range trigs {
+		cd := t.rule.Cooldown
+		if cd <= 0 {
+			cd = DefaultCooldown
+		}
+		st := e.state[t.rule.Name]
+		if st == nil {
+			st = &ruleState{}
+			e.state[t.rule.Name] = st
+		}
+		if !st.last.IsZero() && now.Sub(st.last) < cd {
+			continue
+		}
+		st.count++
+		st.last = now
+		st.detail = t.detail
+		e.total++
+		a := Anomaly{Rule: t.rule.Name, AtNS: now.UnixNano(), Seq: e.j.Seq(), Detail: t.detail}
+		e.recent = append(e.recent, a)
+		if len(e.recent) > maxRecentAnomalies {
+			e.recent = append(e.recent[:0], e.recent[len(e.recent)-maxRecentAnomalies:]...)
+		}
+		fired = append(fired, a)
+	}
+	e.mu.Unlock()
+
+	for _, a := range fired {
+		e.j.Emit(KindAnomaly, e.source, "", 0, int64(a.Seq), a.Rule)
+		if e.onTrigger != nil {
+			e.onTrigger(a)
+		}
+	}
+	return fired
+}
+
+// eval checks one rule (no engine state mutated except reading baselines).
+func (e *Engine) eval(r Rule, now time.Time, statuses []slo.ClassStatus) (string, bool) {
+	switch r.Kind {
+	case RuleEventRate:
+		w := r.Window
+		if w <= 0 {
+			w = defaultRateWindow
+		}
+		n := e.j.CountKindSince(r.Event, now.Add(-w).UnixNano())
+		if r.Count > 0 && n >= r.Count {
+			return fmt.Sprintf("%d %s events in %s", n, r.Event, w), true
+		}
+	case RuleBurnRate:
+		for _, cs := range statuses {
+			if r.Class != "" && cs.Class != r.Class {
+				continue
+			}
+			if cs.WindowCount >= r.MinCount && r.Threshold > 0 && cs.BurnRate >= r.Threshold {
+				return fmt.Sprintf("class %s burn rate %.2f (threshold %.2f)", cs.Class, cs.BurnRate, r.Threshold), true
+			}
+		}
+	case RuleP99Step:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		for _, cs := range statuses {
+			if r.Class != "" && cs.Class != r.Class {
+				continue
+			}
+			if cs.WindowCount < r.MinCount || cs.WindowPSec <= 0 {
+				continue
+			}
+			base := median(e.hist[cs.Metric+"/"+cs.Class])
+			if base > 0 && r.Factor > 0 && cs.WindowPSec >= r.Factor*base {
+				return fmt.Sprintf("class %s p%.0f %.4fs is %.1fx baseline %.4fs",
+					cs.Class, cs.Percentile*100, cs.WindowPSec, cs.WindowPSec/base, base), true
+			}
+		}
+	}
+	return "", false
+}
+
+// pushBaselines records this poll's headline percentiles into the step-rule
+// history (only classes with traffic, so idle polls don't dilute the
+// baseline toward zero).
+func (e *Engine) pushBaselines(statuses []slo.ClassStatus) {
+	if len(statuses) == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, cs := range statuses {
+		if cs.WindowCount == 0 || cs.WindowPSec <= 0 {
+			continue
+		}
+		k := cs.Metric + "/" + cs.Class
+		h := append(e.hist[k], cs.WindowPSec)
+		if len(h) > p99HistoryLen {
+			h = h[len(h)-p99HistoryLen:]
+		}
+		e.hist[k] = h
+	}
+}
+
+// median of a baseline history; 0 until p99BaselineMin polls accumulated.
+func median(h []float64) float64 {
+	if len(h) < p99BaselineMin {
+		return 0
+	}
+	s := append([]float64(nil), h...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// Recent returns the engine's bounded firing history, oldest first.
+func (e *Engine) Recent() []Anomaly {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Anomaly(nil), e.recent...)
+}
+
+// State summarizes per-rule firing history as the AnomalyState entries a
+// ServerStatus carries (rules that never fired are omitted), sorted by rule
+// name.
+func (e *Engine) State() []slo.AnomalyState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]slo.AnomalyState, 0, len(e.state))
+	for name, st := range e.state {
+		out = append(out, slo.AnomalyState{
+			Source: e.source,
+			Rule:   name,
+			Count:  st.count,
+			LastNS: st.last.UnixNano(),
+			Detail: st.detail,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}
+
+// Run polls every interval (<= 0 means DefaultPollInterval) until stop
+// closes. Blocking; callers run it in a goroutine.
+func (e *Engine) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.Poll()
+		}
+	}
+}
+
+// DefaultPollInterval is the engine's default evaluation cadence.
+const DefaultPollInterval = 2 * time.Second

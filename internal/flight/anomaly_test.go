@@ -1,0 +1,227 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"locofs/internal/slo"
+)
+
+// fakeClock is a hand-advanced engine/journal clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) nowNS() int64            { return c.t.UnixNano() }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestEventRateRuleFiresAndCoolsDown(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(64)
+	j.SetNow(clk.nowNS)
+	e := NewEngine(EngineConfig{
+		Journal: j,
+		Source:  "test",
+		Now:     clk.now,
+		Rules: []Rule{{
+			Name: "breaker-flap", Kind: RuleEventRate, Event: KindBreaker,
+			Count: 3, Window: 10 * time.Second, Cooldown: 30 * time.Second,
+		}},
+	})
+
+	// Two breaker events in the window: below threshold, no firing.
+	j.Emit(KindBreaker, "client", "", 0, 0, "fms-0 open")
+	j.Emit(KindBreaker, "client", "", 0, 0, "fms-0 half-open")
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("fired below threshold: %v", fired)
+	}
+
+	// Third event crosses it.
+	j.Emit(KindBreaker, "client", "", 0, 0, "fms-0 open")
+	fired := e.Poll()
+	if len(fired) != 1 || fired[0].Rule != "breaker-flap" {
+		t.Fatalf("fired = %v, want one breaker-flap", fired)
+	}
+	if fired[0].Seq == 0 || fired[0].AtNS != clk.nowNS() {
+		t.Errorf("anomaly not stamped: %+v", fired[0])
+	}
+	// The firing itself is journaled.
+	if got := j.KindCounts()["anomaly"]; got != 1 {
+		t.Errorf("KindAnomaly events = %d, want 1", got)
+	}
+
+	// Within cooldown the rule stays silent even though the condition holds.
+	clk.advance(5 * time.Second)
+	j.Emit(KindBreaker, "client", "", 0, 0, "fms-0 open")
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("fired inside cooldown: %v", fired)
+	}
+
+	// Past cooldown, with fresh events inside the rate window, it refires.
+	clk.advance(40 * time.Second)
+	for i := 0; i < 3; i++ {
+		j.Emit(KindBreaker, "client", "", 0, 0, "fms-1 open")
+	}
+	if fired := e.Poll(); len(fired) != 1 {
+		t.Fatalf("did not refire after cooldown: %v", fired)
+	}
+	if e.Total() != 2 {
+		t.Errorf("Total = %d, want 2", e.Total())
+	}
+
+	// State carries both firings of the one rule.
+	st := e.State()
+	if len(st) != 1 || st[0].Rule != "breaker-flap" || st[0].Count != 2 || st[0].Source != "test" {
+		t.Fatalf("State = %+v", st)
+	}
+}
+
+func TestEventRateRuleIgnoresEventsOutsideWindow(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(64)
+	j.SetNow(clk.nowNS)
+	e := NewEngine(EngineConfig{
+		Journal: j,
+		Now:     clk.now,
+		Rules: []Rule{{
+			Name: "storm", Kind: RuleEventRate, Event: KindLeaseRecall,
+			Count: 3, Window: 10 * time.Second,
+		}},
+	})
+	for i := 0; i < 5; i++ {
+		j.Emit(KindLeaseRecall, "dms", "", 0, int64(i), "/d")
+	}
+	// All five recalls age out of the rate window.
+	clk.advance(time.Minute)
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("stale events fired the rule: %v", fired)
+	}
+}
+
+func TestBurnRateRule(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(16)
+	burn := 0.5
+	e := NewEngine(EngineConfig{
+		Journal: j,
+		Now:     clk.now,
+		SLO: func() []slo.ClassStatus {
+			return []slo.ClassStatus{{Class: "md_read", Metric: "m", WindowCount: 100, BurnRate: burn}}
+		},
+		Rules: []Rule{{Name: "burn-spike", Kind: RuleBurnRate, Threshold: 2, MinCount: 20}},
+	})
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("fired at burn 0.5: %v", fired)
+	}
+	burn = 3
+	fired := e.Poll()
+	if len(fired) != 1 || !strings.Contains(fired[0].Detail, "md_read") {
+		t.Fatalf("fired = %v, want md_read burn spike", fired)
+	}
+}
+
+func TestBurnRateRuleRespectsMinCount(t *testing.T) {
+	clk := newFakeClock()
+	e := NewEngine(EngineConfig{
+		Journal: NewJournal(16),
+		Now:     clk.now,
+		SLO: func() []slo.ClassStatus {
+			// Burning hot but on 3 samples: too little traffic to trust.
+			return []slo.ClassStatus{{Class: "md_read", WindowCount: 3, BurnRate: 100}}
+		},
+		Rules: []Rule{{Name: "burn-spike", Kind: RuleBurnRate, Threshold: 2, MinCount: 20}},
+	})
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("fired below MinCount: %v", fired)
+	}
+}
+
+func TestP99StepRule(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(16)
+	p99 := 0.001
+	e := NewEngine(EngineConfig{
+		Journal: j,
+		Now:     clk.now,
+		SLO: func() []slo.ClassStatus {
+			return []slo.ClassStatus{{
+				Class: "md_read", Metric: "m", Percentile: 0.99,
+				WindowCount: 100, WindowPSec: p99,
+			}}
+		},
+		Rules: []Rule{{Name: "p99-step", Kind: RuleP99Step, Factor: 4, MinCount: 50, Cooldown: time.Minute}},
+	})
+	// Build a baseline: the step rule needs history before it can compare.
+	for i := 0; i < 6; i++ {
+		if fired := e.Poll(); len(fired) != 0 {
+			t.Fatalf("fired while flat at poll %d: %v", i, fired)
+		}
+		clk.advance(2 * time.Second)
+	}
+	// 1 ms -> 10 ms: a 10x step over the baseline median.
+	p99 = 0.010
+	fired := e.Poll()
+	if len(fired) != 1 || fired[0].Rule != "p99-step" {
+		t.Fatalf("fired = %v, want one p99-step", fired)
+	}
+	if !strings.Contains(fired[0].Detail, "baseline") {
+		t.Errorf("detail lacks baseline context: %q", fired[0].Detail)
+	}
+}
+
+func TestP99StepNeedsBaselineHistory(t *testing.T) {
+	clk := newFakeClock()
+	p99 := 0.001
+	e := NewEngine(EngineConfig{
+		Journal: NewJournal(16),
+		Now:     clk.now,
+		SLO: func() []slo.ClassStatus {
+			return []slo.ClassStatus{{Class: "c", Metric: "m", WindowCount: 100, WindowPSec: p99}}
+		},
+		Rules: []Rule{{Name: "p99-step", Kind: RuleP99Step, Factor: 4, MinCount: 50}},
+	})
+	e.Poll() // one poll of history — below p99BaselineMin
+	p99 = 1.0
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("fired without enough baseline history: %v", fired)
+	}
+}
+
+func TestOnTriggerRunsPerFiring(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(16)
+	j.SetNow(clk.nowNS)
+	var got []Anomaly
+	e := NewEngine(EngineConfig{
+		Journal:   j,
+		Now:       clk.now,
+		OnTrigger: func(a Anomaly) { got = append(got, a) },
+		Rules: []Rule{{
+			Name: "flap", Kind: RuleEventRate, Event: KindBreaker, Count: 1, Window: 10 * time.Second,
+		}},
+	})
+	j.Emit(KindBreaker, "client", "", 0, 0, "open")
+	e.Poll()
+	if len(got) != 1 || got[0].Rule != "flap" {
+		t.Fatalf("OnTrigger saw %v", got)
+	}
+	if recent := e.Recent(); len(recent) != 1 || recent[0].Rule != "flap" {
+		t.Fatalf("Recent = %v", recent)
+	}
+}
+
+func TestDefaultRulesCoverTentpoleConditions(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range DefaultRules() {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"breaker-flap", "recall-storm", "burn-spike", "p99-step"} {
+		if !names[want] {
+			t.Errorf("default rule %s missing", want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"locofs/internal/slo"
+	"locofs/internal/trace"
+)
+
+// Bundle capture defaults.
+const (
+	DefaultBundleEvents = 512
+	DefaultBundleSpans  = 256
+)
+
+// BundleSpan is one retained span in a bundle, a flattened copy of
+// trace.Span with ids in 0x-hex (matching /debug/traces and the journal).
+type BundleSpan struct {
+	Trace       string   `json:"trace"`
+	Span        string   `json:"span"`
+	Parent      string   `json:"parent,omitempty"`
+	Name        string   `json:"name"`
+	Server      string   `json:"server,omitempty"`
+	Status      string   `json:"status,omitempty"`
+	Sub         int      `json:"sub,omitempty"`
+	StartNS     int64    `json:"start_ns"`
+	DurNS       int64    `json:"dur_ns"`
+	Annotations []string `json:"annotations,omitempty"`
+}
+
+// Bundle is one one-shot diagnostic capture: everything an engineer (or a
+// later control loop) needs to reconstruct what the process was doing when
+// an anomaly fired, frozen at capture time.
+type Bundle struct {
+	Server       string             `json:"server"`
+	Reason       string             `json:"reason"`
+	CapturedAtNS int64              `json:"captured_at_ns"`
+	JournalSeq   uint64             `json:"journal_seq"`
+	Anomalies    []slo.AnomalyState `json:"anomalies,omitempty"`
+	Events       []Event            `json:"events,omitempty"`
+	Spans        []BundleSpan       `json:"spans,omitempty"`
+	Status       *slo.ServerStatus  `json:"status,omitempty"`
+	// Extra carries component-specific sections keyed by name (e.g. a
+	// client's cache detail, the cluster's membership map).
+	Extra      map[string]any `json:"extra,omitempty"`
+	Goroutines string         `json:"goroutines,omitempty"` // text profile, debug=1
+	Heap       string         `json:"heap,omitempty"`       // text profile, debug=1
+	// File is where the bundle was spooled on disk ("" = memory only).
+	File string `json:"file,omitempty"`
+}
+
+// CaptureConfig is everything Capture reads. All fields are optional; an
+// empty config yields a bundle holding only profiles and timestamps.
+type CaptureConfig struct {
+	Server    string
+	Journal   *Journal
+	Tracer    *trace.Tracer
+	Status    func() *slo.ServerStatus
+	Anomalies func() []slo.AnomalyState
+	Extra     func() map[string]any
+	MaxEvents int // journal tail length (<= 0 = DefaultBundleEvents)
+	MaxSpans  int // span budget (<= 0 = DefaultBundleSpans)
+	NowNS     func() int64
+}
+
+// Capture freezes a diagnostic bundle. Cold path by design: it snapshots
+// the journal and span ring, evaluates the status fetch, and renders the
+// goroutine and heap profiles (text form, debug=1).
+func Capture(cfg CaptureConfig, reason string) *Bundle {
+	nowNS := cfg.NowNS
+	if nowNS == nil {
+		nowNS = func() int64 { return time.Now().UnixNano() }
+	}
+	maxEv := cfg.MaxEvents
+	if maxEv <= 0 {
+		maxEv = DefaultBundleEvents
+	}
+	maxSp := cfg.MaxSpans
+	if maxSp <= 0 {
+		maxSp = DefaultBundleSpans
+	}
+	b := &Bundle{
+		Server:       cfg.Server,
+		Reason:       reason,
+		CapturedAtNS: nowNS(),
+		JournalSeq:   cfg.Journal.Seq(),
+		Events:       cfg.Journal.Recent(maxEv),
+		Spans:        selectSpans(cfg.Tracer, maxSp),
+	}
+	if cfg.Status != nil {
+		b.Status = cfg.Status()
+	}
+	if cfg.Anomalies != nil {
+		b.Anomalies = cfg.Anomalies()
+	}
+	if cfg.Extra != nil {
+		b.Extra = cfg.Extra()
+	}
+	var buf bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(&buf, 1)
+		b.Goroutines = buf.String()
+	}
+	buf.Reset()
+	if p := pprof.Lookup("heap"); p != nil {
+		_ = p.WriteTo(&buf, 1)
+		b.Heap = buf.String()
+	}
+	return b
+}
+
+// selectSpans picks the bundle's span set from the ring: every errored
+// (force-kept) span is guaranteed a slot first — those explain the failing
+// ops — then the newest remaining spans fill the budget. Output is ordered
+// by start time.
+func selectSpans(t *trace.Tracer, max int) []BundleSpan {
+	spans := t.Spans() // oldest first
+	if len(spans) == 0 {
+		return nil
+	}
+	picked := make([]*trace.Span, 0, max)
+	for i := len(spans) - 1; i >= 0 && len(picked) < max; i-- {
+		if spans[i].Status != "" {
+			picked = append(picked, spans[i])
+		}
+	}
+	for i := len(spans) - 1; i >= 0 && len(picked) < max; i-- {
+		if spans[i].Status == "" {
+			picked = append(picked, spans[i])
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool { return picked[i].Start.Before(picked[j].Start) })
+	out := make([]BundleSpan, 0, len(picked))
+	for _, sp := range picked {
+		bs := BundleSpan{
+			Trace:       fmt.Sprintf("%#x", sp.TraceID),
+			Span:        fmt.Sprintf("%#x", sp.SpanID),
+			Name:        sp.Name,
+			Server:      sp.Server,
+			Status:      sp.Status,
+			Sub:         sp.Sub,
+			StartNS:     sp.Start.UnixNano(),
+			DurNS:       int64(sp.Dur),
+			Annotations: sp.Annotations,
+		}
+		if sp.Parent != 0 {
+			bs.Parent = fmt.Sprintf("%#x", sp.Parent)
+		}
+		out = append(out, bs)
+	}
+	return out
+}
+
+// ErrorSpans returns the bundle's spans carrying a non-OK status.
+func (b *Bundle) ErrorSpans() []BundleSpan {
+	var out []BundleSpan
+	for _, sp := range b.Spans {
+		if sp.Status != "" {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// EventsOfKind returns the bundle's events of one kind.
+func (b *Bundle) EventsOfKind(k Kind) []Event {
+	var out []Event
+	for _, ev := range b.Events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteFile spools the bundle as indented JSON under dir, creating the
+// directory as needed, and records the path in b.File. The filename embeds
+// the capture timestamp and reason: bundle-<unixnano>-<reason>.json.
+func (b *Bundle) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("bundle-%d-%s.json", b.CapturedAtNS, sanitizeReason(b.Reason))
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	b.File = path
+	return path, nil
+}
+
+// sanitizeReason maps a rule name / reason to a filename-safe slug.
+func sanitizeReason(s string) string {
+	if s == "" {
+		return "manual"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

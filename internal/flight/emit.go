@@ -1,0 +1,33 @@
+package flight
+
+import (
+	"sync/atomic"
+	"time"
+
+	"locofs/internal/telemetry"
+)
+
+// WindowRollEmitter adapts the journal to telemetry.Registry.SetRotateHook:
+// it turns window rotations into KindWindowRoll events, coalesced to at
+// most one event per minGap (<= 0 = the default window width) — one
+// registry rotating a dozen per-op histograms at the same boundary yields
+// one SLO-rollover signal, not a dozen.
+func WindowRollEmitter(j *Journal, source string, minGap time.Duration) func(name string, n int) {
+	if minGap <= 0 {
+		minGap = telemetry.DefaultWindowWidth
+	}
+	var last atomic.Int64
+	return func(name string, n int) {
+		now := time.Now().UnixNano()
+		for {
+			prev := last.Load()
+			if now-prev < int64(minGap) {
+				return
+			}
+			if last.CompareAndSwap(prev, now) {
+				j.Emit(KindWindowRoll, source, name, 0, int64(n), "")
+				return
+			}
+		}
+	}
+}

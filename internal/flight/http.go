@@ -1,0 +1,110 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"locofs/internal/telemetry"
+)
+
+// Event-paging defaults for /debug/events.
+const (
+	defaultPageEvents = 256
+	maxPageEvents     = 4096
+)
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// EventsHandler serves GET /debug/events over the journal:
+//
+//	?since=N  return events with seq > N (0 = from the oldest retained)
+//	?max=N    page size (default 256, capped at 4096)
+//
+// The body carries the paging state a tailing consumer needs:
+//
+//	{"cur": <newest seq>, "next": <cursor for the next call>,
+//	 "reset": <true when events between since and the oldest retained
+//	           were overwritten>, "events": [...]}
+func EventsHandler(j *Journal) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !telemetry.RequireGET(w, r) {
+			return
+		}
+		var since uint64
+		if q := r.URL.Query().Get("since"); q != "" {
+			v, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				telemetry.WriteJSONError(w, http.StatusBadRequest, "bad since "+strconv.Quote(q))
+				return
+			}
+			since = v
+		}
+		max := defaultPageEvents
+		if q := r.URL.Query().Get("max"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				telemetry.WriteJSONError(w, http.StatusBadRequest, "bad max "+strconv.Quote(q))
+				return
+			}
+			max = v
+		}
+		if max > maxPageEvents {
+			max = maxPageEvents
+		}
+		events, next, reset := j.Since(since, max)
+		if events == nil {
+			events = []Event{}
+		}
+		writeJSON(w, struct {
+			Cur    uint64  `json:"cur"`
+			Next   uint64  `json:"next"`
+			Reset  bool    `json:"reset"`
+			Events []Event `json:"events"`
+		}{j.Seq(), next, reset, events})
+	})
+}
+
+// BundleHandler serves GET /debug/bundle over the recorder:
+//
+//	GET /debug/bundle         capture a fresh bundle now (reason "manual")
+//	GET /debug/bundle?last=1  return the most recent captured bundle
+//	                          (404 when none has been captured yet)
+func BundleHandler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if !telemetry.RequireGET(w, req) {
+			return
+		}
+		if q := req.URL.Query().Get("last"); q != "" {
+			v, err := strconv.ParseBool(q)
+			if err != nil {
+				telemetry.WriteJSONError(w, http.StatusBadRequest, "bad last "+strconv.Quote(q))
+				return
+			}
+			if v {
+				b := r.LastBundle()
+				if b == nil {
+					telemetry.WriteJSONError(w, http.StatusNotFound, "no bundle captured yet")
+					return
+				}
+				writeJSON(w, b)
+				return
+			}
+		}
+		writeJSON(w, r.Capture("manual"))
+	})
+}
+
+// Routes returns the recorder's admin endpoints, ready for
+// telemetry.HandlerWith.
+func (r *Recorder) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/debug/events": EventsHandler(r.Journal()),
+		"/debug/bundle": BundleHandler(r),
+	}
+}

@@ -1,0 +1,225 @@
+package flight
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locofs/internal/slo"
+	"locofs/internal/telemetry"
+	"locofs/internal/trace"
+)
+
+// DefaultMaxBundles is the in-memory bundle retention when Config.MaxBundles
+// is zero.
+const DefaultMaxBundles = 4
+
+// DefaultBundleGap rate-limits anomaly-triggered captures: at most one
+// bundle per gap (manual captures are never limited).
+const DefaultBundleGap = 10 * time.Second
+
+// Config assembles a Recorder.
+type Config struct {
+	// Server names the process ("dms", "fms-1", "cluster", ...).
+	Server string
+	// Journal to record into; nil creates a fresh one of BufEvents capacity.
+	Journal *Journal
+	// BufEvents sizes a journal created here (<= 0 = DefaultBufEvents).
+	BufEvents int
+	// Rules for the anomaly engine (nil = DefaultRules).
+	Rules []Rule
+	// Tracer supplies force-kept spans for bundles (nil = none).
+	Tracer *trace.Tracer
+	// Status supplies the process status frozen into bundles and, unless
+	// SLO is set, the class statuses the SLO rules evaluate.
+	Status func() *slo.ServerStatus
+	// SLO overrides the class-status feed for the anomaly rules.
+	SLO func() []slo.ClassStatus
+	// Extra supplies component-specific bundle sections (cache detail,
+	// membership state, ...).
+	Extra func() map[string]any
+	// Dir spools captured bundles to disk ("" = memory only).
+	Dir string
+	// MaxBundles bounds in-memory bundle retention (<= 0 = DefaultMaxBundles).
+	MaxBundles int
+	// MaxEvents / MaxSpans bound each bundle (<= 0 = package defaults).
+	MaxEvents, MaxSpans int
+	// PollInterval paces the engine's Run loop (<= 0 = DefaultPollInterval).
+	PollInterval time.Duration
+	// BundleGap rate-limits anomaly captures (<= 0 = DefaultBundleGap;
+	// negative to disable the limit is not supported — use manual reasons).
+	BundleGap time.Duration
+	// Now is the recorder clock (nil = time.Now).
+	Now func() time.Time
+	// OnBundle runs after every capture (e.g. logging the spool path).
+	OnBundle func(*Bundle)
+}
+
+// Recorder bundles one process's (or one in-process cluster's) flight
+// recorder: the journal, the anomaly engine driving it, and bundle capture
+// with bounded retention. One Recorder per admin surface.
+type Recorder struct {
+	cfg      Config
+	journal  *Journal
+	engine   *Engine
+	now      func() time.Time
+	gap      time.Duration
+	mu       sync.Mutex
+	bundles  []*Bundle // newest last
+	lastCap  time.Time // last anomaly-triggered capture (rate limit)
+	captures atomic.Uint64
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  atomic.Bool
+}
+
+// New assembles a Recorder from cfg (the engine is created but not started;
+// call Start for background polling or Poll from your own loop).
+func New(cfg Config) *Recorder {
+	r := &Recorder{cfg: cfg, journal: cfg.Journal, now: cfg.Now, gap: cfg.BundleGap, stop: make(chan struct{})}
+	if r.journal == nil {
+		r.journal = NewJournal(cfg.BufEvents)
+	}
+	if r.now == nil {
+		r.now = time.Now
+	}
+	if r.gap <= 0 {
+		r.gap = DefaultBundleGap
+	}
+	sloFn := cfg.SLO
+	if sloFn == nil && cfg.Status != nil {
+		status := cfg.Status
+		sloFn = func() []slo.ClassStatus {
+			if st := status(); st != nil {
+				return st.SLO
+			}
+			return nil
+		}
+	}
+	r.engine = NewEngine(EngineConfig{
+		Journal:   r.journal,
+		Rules:     cfg.Rules,
+		Source:    cfg.Server,
+		SLO:       sloFn,
+		Now:       r.now,
+		OnTrigger: func(a Anomaly) { r.capture(a.Rule, false) },
+	})
+	return r
+}
+
+// Journal returns the recorder's journal (the handle emitters write to).
+func (r *Recorder) Journal() *Journal { return r.journal }
+
+// Engine returns the anomaly engine.
+func (r *Recorder) Engine() *Engine { return r.engine }
+
+// AnomalyState returns the engine's per-rule firing summary, the section a
+// ServerStatus carries.
+func (r *Recorder) AnomalyState() []slo.AnomalyState { return r.engine.State() }
+
+// Poll runs one anomaly evaluation (bundles capture synchronously inside).
+func (r *Recorder) Poll() []Anomaly { return r.engine.Poll() }
+
+// Start launches the engine's polling loop. Safe to call once; Close stops
+// it.
+func (r *Recorder) Start() {
+	if r.started.Swap(true) {
+		return
+	}
+	go r.engine.Run(r.cfg.PollInterval, r.stop)
+}
+
+// Close stops the polling loop (idempotent).
+func (r *Recorder) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+}
+
+// Capture freezes a bundle on demand (never rate-limited), spools it when a
+// Dir is configured, and retains it in memory.
+func (r *Recorder) Capture(reason string) *Bundle {
+	return r.capture(reason, true)
+}
+
+func (r *Recorder) capture(reason string, manual bool) *Bundle {
+	now := r.now()
+	if !manual {
+		r.mu.Lock()
+		if !r.lastCap.IsZero() && now.Sub(r.lastCap) < r.gap {
+			last := r.lastBundleLocked()
+			r.mu.Unlock()
+			return last
+		}
+		r.lastCap = now
+		r.mu.Unlock()
+	}
+	b := Capture(CaptureConfig{
+		Server:    r.cfg.Server,
+		Journal:   r.journal,
+		Tracer:    r.cfg.Tracer,
+		Status:    r.cfg.Status,
+		Anomalies: r.engine.State,
+		Extra:     r.cfg.Extra,
+		MaxEvents: r.cfg.MaxEvents,
+		MaxSpans:  r.cfg.MaxSpans,
+		NowNS:     func() int64 { return now.UnixNano() },
+	}, reason)
+	if r.cfg.Dir != "" {
+		_, _ = b.WriteFile(r.cfg.Dir) // best-effort spool; b.File stays "" on error
+	}
+	r.captures.Add(1)
+	r.journal.Emit(KindBundle, r.cfg.Server, "", 0, int64(len(b.Events)), reason)
+	r.mu.Lock()
+	r.bundles = append(r.bundles, b)
+	max := r.cfg.MaxBundles
+	if max <= 0 {
+		max = DefaultMaxBundles
+	}
+	if len(r.bundles) > max {
+		r.bundles = append(r.bundles[:0], r.bundles[len(r.bundles)-max:]...)
+	}
+	r.mu.Unlock()
+	if r.cfg.OnBundle != nil {
+		r.cfg.OnBundle(b)
+	}
+	return b
+}
+
+// Captures returns the lifetime number of bundles captured.
+func (r *Recorder) Captures() uint64 { return r.captures.Load() }
+
+// Bundles returns the retained bundles, oldest first.
+func (r *Recorder) Bundles() []*Bundle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Bundle(nil), r.bundles...)
+}
+
+// LastBundle returns the most recent bundle (nil if none captured yet).
+func (r *Recorder) LastBundle() *Bundle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastBundleLocked()
+}
+
+func (r *Recorder) lastBundleLocked() *Bundle {
+	if len(r.bundles) == 0 {
+		return nil
+	}
+	return r.bundles[len(r.bundles)-1]
+}
+
+// RegisterMetrics exposes the journal's totals plus the recorder's
+// anomaly/bundle counters on reg:
+//
+//	locofs_flight_events_total{kind=...}
+//	locofs_flight_overwritten_total
+//	locofs_flight_anomalies_total
+//	locofs_flight_bundles_total
+func (r *Recorder) RegisterMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	r.journal.RegisterMetrics(reg)
+	reg.GaugeFunc(MetricAnomalies, func() float64 { return float64(r.engine.Total()) })
+	reg.GaugeFunc(MetricBundles, func() float64 { return float64(r.Captures()) })
+}

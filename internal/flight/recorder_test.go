@@ -1,0 +1,209 @@
+package flight
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"locofs/internal/slo"
+	"locofs/internal/telemetry"
+	"locofs/internal/trace"
+)
+
+func TestRecorderAnomalyTriggersBundle(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(128)
+	j.SetNow(clk.nowNS)
+	r := New(Config{
+		Server:  "test",
+		Journal: j,
+		Now:     clk.now,
+		Status: func() *slo.ServerStatus {
+			return &slo.ServerStatus{Server: "test"}
+		},
+		Extra: func() map[string]any { return map[string]any{"note": "hello"} },
+		Rules: []Rule{{
+			Name: "breaker-flap", Kind: RuleEventRate, Event: KindBreaker,
+			Count: 3, Window: 10 * time.Second, Cooldown: 30 * time.Second,
+		}},
+	})
+	for i := 0; i < 3; i++ {
+		j.Emit(KindBreaker, "client", "", 0, 0, "fms-0 open")
+	}
+	fired := r.Poll()
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v, want one", fired)
+	}
+	if r.Captures() != 1 {
+		t.Fatalf("Captures = %d, want 1", r.Captures())
+	}
+	b := r.LastBundle()
+	if b == nil {
+		t.Fatal("no bundle after trigger")
+	}
+	if b.Reason != "breaker-flap" || b.Server != "test" {
+		t.Errorf("bundle identity: reason %q server %q", b.Reason, b.Server)
+	}
+	if got := len(b.EventsOfKind(KindBreaker)); got != 3 {
+		t.Errorf("bundle breaker events = %d, want 3", got)
+	}
+	if len(b.Anomalies) != 1 || b.Anomalies[0].Rule != "breaker-flap" {
+		t.Errorf("bundle anomalies = %+v", b.Anomalies)
+	}
+	if b.Status == nil || b.Status.Server != "test" {
+		t.Errorf("bundle status = %+v", b.Status)
+	}
+	if b.Extra["note"] != "hello" {
+		t.Errorf("bundle extra = %+v", b.Extra)
+	}
+	if !strings.Contains(b.Goroutines, "goroutine") {
+		t.Error("bundle goroutine profile empty")
+	}
+	// The capture itself lands in the journal, correlated by kind.
+	if j.KindCounts()["bundle"] != 1 || j.KindCounts()["anomaly"] != 1 {
+		t.Errorf("journal counts = %v, want one bundle + one anomaly", j.KindCounts())
+	}
+}
+
+func TestRecorderRateLimitsAnomalyCaptures(t *testing.T) {
+	clk := newFakeClock()
+	j := NewJournal(128)
+	j.SetNow(clk.nowNS)
+	// Two rules so the second trigger is not cooldown-suppressed — only the
+	// bundle gap should hold it back.
+	r := New(Config{
+		Server:  "test",
+		Journal: j,
+		Now:     clk.now,
+		Rules: []Rule{
+			{Name: "a", Kind: RuleEventRate, Event: KindBreaker, Count: 1, Window: time.Hour},
+			{Name: "b", Kind: RuleEventRate, Event: KindLeaseRecall, Count: 1, Window: time.Hour},
+		},
+		BundleGap: 10 * time.Second,
+	})
+	j.Emit(KindBreaker, "client", "", 0, 0, "open")
+	r.Poll()
+	if r.Captures() != 1 {
+		t.Fatalf("Captures after first trigger = %d, want 1", r.Captures())
+	}
+	// Rule b fires 1s later: inside the gap, no second bundle.
+	clk.advance(time.Second)
+	j.Emit(KindLeaseRecall, "dms", "", 0, 1, "/d")
+	fired := r.Poll()
+	if len(fired) != 1 || fired[0].Rule != "b" {
+		t.Fatalf("fired = %v, want rule b", fired)
+	}
+	if r.Captures() != 1 {
+		t.Fatalf("Captures inside gap = %d, want still 1", r.Captures())
+	}
+	// Manual capture is never rate-limited.
+	if b := r.Capture("operator"); b == nil || b.Reason != "operator" {
+		t.Fatalf("manual capture = %+v", b)
+	}
+	if r.Captures() != 2 {
+		t.Fatalf("Captures after manual = %d, want 2", r.Captures())
+	}
+}
+
+func TestRecorderSpoolsBundlesToDisk(t *testing.T) {
+	dir := t.TempDir()
+	j := NewJournal(16)
+	r := New(Config{Server: "test", Journal: j, Dir: dir})
+	j.Emit(KindEpoch, "dms", "", 0, 2, "")
+	b := r.Capture("manual")
+	if b.File == "" {
+		t.Fatal("bundle not spooled: File empty")
+	}
+	data, err := os.ReadFile(b.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Bundle
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("spooled bundle not valid JSON: %v", err)
+	}
+	if round.Server != "test" || round.Reason != "manual" {
+		t.Errorf("round-tripped bundle = %+v", round)
+	}
+	if filepath.Dir(b.File) != dir {
+		t.Errorf("bundle spooled to %s, want under %s", b.File, dir)
+	}
+}
+
+func TestRecorderBoundsBundleRetention(t *testing.T) {
+	j := NewJournal(16)
+	r := New(Config{Server: "test", Journal: j, MaxBundles: 2})
+	for i := 0; i < 5; i++ {
+		r.Capture("manual")
+	}
+	if got := len(r.Bundles()); got != 2 {
+		t.Fatalf("retained bundles = %d, want 2", got)
+	}
+	if r.Captures() != 5 {
+		t.Fatalf("Captures = %d, want 5", r.Captures())
+	}
+}
+
+func TestRecorderBundleKeepsErrorSpans(t *testing.T) {
+	tr := trace.New(trace.Config{Sample: 1, BufSpans: 32})
+	sp := tr.StartSpan(1, 0, "stat", "client")
+	sp.SetStatus("EIO")
+	sp.Finish()
+	ok := tr.StartSpan(2, 0, "stat", "client")
+	ok.Finish()
+	j := NewJournal(16)
+	r := New(Config{Server: "test", Journal: j, Tracer: tr})
+	b := r.Capture("manual")
+	errSpans := b.ErrorSpans()
+	if len(errSpans) != 1 || errSpans[0].Status != "EIO" {
+		t.Fatalf("error spans = %+v, want the one EIO span", errSpans)
+	}
+	if len(b.Spans) < 2 {
+		t.Fatalf("bundle spans = %d, want both", len(b.Spans))
+	}
+}
+
+func TestRecorderRegisterMetrics(t *testing.T) {
+	j := NewJournal(16)
+	r := New(Config{Server: "test", Journal: j, Rules: []Rule{
+		{Name: "a", Kind: RuleEventRate, Event: KindBreaker, Count: 1, Window: time.Hour},
+	}})
+	reg := telemetry.NewRegistry()
+	r.RegisterMetrics(reg)
+	j.Emit(KindBreaker, "client", "", 0, 0, "open")
+	r.Poll()
+	vals := map[string]float64{}
+	for _, m := range reg.Snapshot().Metrics {
+		if m.Labels == "" {
+			vals[m.Name] = m.Value
+		}
+	}
+	if vals[MetricAnomalies] != 1 {
+		t.Errorf("%s = %v, want 1", MetricAnomalies, vals[MetricAnomalies])
+	}
+	if vals[MetricBundles] != 1 {
+		t.Errorf("%s = %v, want 1", MetricBundles, vals[MetricBundles])
+	}
+}
+
+func TestWindowRollEmitterCoalesces(t *testing.T) {
+	j := NewJournal(16)
+	hook := WindowRollEmitter(j, "dms", time.Hour)
+	for i := 0; i < 10; i++ {
+		hook("locofs_rpc_service_seconds", 1)
+	}
+	if got := j.KindCounts()["window_roll"]; got != 1 {
+		t.Fatalf("window_roll events = %d, want 1 (coalesced)", got)
+	}
+}
+
+func TestRecorderStartCloseIdempotent(t *testing.T) {
+	r := New(Config{Server: "test", PollInterval: time.Millisecond})
+	r.Start()
+	r.Start()
+	r.Close()
+	r.Close()
+}

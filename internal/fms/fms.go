@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"locofs/internal/acl"
+	"locofs/internal/flight"
 	"locofs/internal/kv"
 	"locofs/internal/layout"
 	"locofs/internal/rpc"
@@ -79,6 +80,22 @@ type Server struct {
 	// per-file ops, bare dir-uuid for directory-wide ops). Always on;
 	// served by the admin plane's /debug/hot.
 	hot *trace.TopK
+
+	// fl, when set, receives flight-recorder events: one KindMigration per
+	// non-empty ExportMoved batch (the source side of a drain).
+	fl       atomic.Pointer[flight.Journal]
+	flSource atomic.Pointer[string]
+}
+
+// SetFlight installs the flight journal migration events are emitted to
+// (nil disables emission); source names this server in the events.
+func (s *Server) SetFlight(j *flight.Journal, source string) {
+	if j == nil {
+		s.fl.Store(nil)
+		return
+	}
+	s.flSource.Store(&source)
+	s.fl.Store(j)
 }
 
 // New returns an FMS.

@@ -21,6 +21,7 @@ import (
 	"bytes"
 
 	"locofs/internal/chash"
+	"locofs/internal/flight"
 	"locofs/internal/layout"
 	"locofs/internal/rpc"
 	"locofs/internal/uuid"
@@ -86,6 +87,15 @@ func (s *Server) ExportMoved(next *chash.Ring, self, limit int) (moved []MovedFi
 			continue
 		}
 		moved = append(moved, MovedFile{Dir: k.dir, Name: k.name, Meta: m})
+	}
+	if len(moved) > 0 {
+		if j := s.fl.Load(); j != nil {
+			src := ""
+			if p := s.flSource.Load(); p != nil {
+				src = *p
+			}
+			j.Emit(flight.KindMigration, src, "export", 0, int64(len(moved)), "")
+		}
 	}
 	return moved, total, more
 }

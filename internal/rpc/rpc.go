@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"locofs/internal/chash"
+	"locofs/internal/flight"
 	"locofs/internal/netsim"
 	"locofs/internal/telemetry"
 	"locofs/internal/trace"
@@ -90,10 +91,11 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[netsim.Conn]struct{}
 
-	telem  atomic.Pointer[serverTelem]
-	tracer atomic.Pointer[serverTracer]
-	slowNS atomic.Int64 // slow-request log threshold (0 = disabled)
-	dedup  dedupWindow  // at-most-once replay cache for retried mutations
+	telem     atomic.Pointer[serverTelem]
+	tracer    atomic.Pointer[serverTracer]
+	flightRef atomic.Pointer[serverFlight]
+	slowNS    atomic.Int64 // slow-request log threshold (0 = disabled)
+	dedup     dedupWindow  // at-most-once replay cache for retried mutations
 
 	// member holds the installed FMS membership (nil on a static
 	// topology); epoch mirrors member's epoch for lock-free stamping on
@@ -184,6 +186,9 @@ func (s *Server) SetMembership(m *wire.Membership, self int) bool {
 	}
 	s.member.Store(ms)
 	s.epoch.Store(m.Epoch)
+	if f := s.flightRef.Load(); f != nil {
+		f.j.Emit(flight.KindEpoch, f.source, "", 0, int64(m.Epoch), "membership installed")
+	}
 	return true
 }
 
@@ -283,6 +288,25 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 // and queue time, so one logical operation can be followed across servers.
 // Zero disables logging.
 func (s *Server) SetSlowThreshold(d time.Duration) { s.slowNS.Store(int64(d)) }
+
+// serverFlight couples a flight journal with the source name stamped on
+// every event this server emits.
+type serverFlight struct {
+	j      *flight.Journal
+	source string
+}
+
+// SetFlight installs the flight-recorder journal this server emits into:
+// dedup replays, slow requests, and membership epoch installs become typed
+// events carrying the request's trace id. name labels the events (e.g.
+// "fms-1"). A nil journal disables emission. Safe to call while serving.
+func (s *Server) SetFlight(j *flight.Journal, name string) {
+	if j == nil {
+		s.flightRef.Store(nil)
+		return
+	}
+	s.flightRef.Store(&serverFlight{j: j, source: name})
+}
 
 // serverTracer couples a span tracer with the server name stamped on every
 // span it opens.
@@ -400,6 +424,9 @@ func (s *Server) serveConn(conn netsim.Conn) {
 					if t := s.telem.Load(); t != nil {
 						t.forOp(req.Op).dedup.Inc()
 					}
+					if f := s.flightRef.Load(); f != nil {
+						f.j.Emit(flight.KindDedupReplay, f.source, req.Op.String(), req.Trace, 0, "")
+					}
 					resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 						Status: ent.status, ServiceNS: ent.service, Trace: req.Trace, Span: req.Span,
 						Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: ent.body}
@@ -470,6 +497,9 @@ func (s *Server) execute(op wire.Op, reqBody []byte, trace, parentSpan uint64, s
 		m.queue.Record(queueWait)
 	}
 	if slow := time.Duration(s.slowNS.Load()); slow > 0 && service >= slow {
+		if f := s.flightRef.Load(); f != nil {
+			f.j.Emit(flight.KindSlowRequest, f.source, op.String(), trace, int64(service), status.String())
+		}
 		if sub >= 0 {
 			log.Printf("rpc: slow request trace=%#x op=Batch[%d]=%s status=%s service=%v queue=%v",
 				trace, sub, op, status, service, queueWait)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"locofs/internal/telemetry"
 )
 
 // StatusHandler serves the JSON of fetch() — a *ServerStatus for
@@ -12,12 +14,19 @@ import (
 // so the body is always a fresh evaluation.
 func StatusHandler(fetch func() any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(fetch()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if !telemetry.RequireGET(w, r) {
+			return
 		}
+		// Marshal before writing so an encoding failure can still produce a
+		// clean 500 in the shared JSON error shape (once the body has begun
+		// streaming the status code is committed).
+		body, err := json.MarshalIndent(fetch(), "", "  ")
+		if err != nil {
+			telemetry.WriteJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(body, '\n'))
 	})
 }
 

@@ -82,6 +82,18 @@ type HotEntry struct {
 	Count  uint64 `json:"count"`
 }
 
+// AnomalyState is one flight-recorder rule's most recent firing state, as
+// carried by a server's status and merged into the cluster view. Defined
+// here (not in internal/flight) so slo stays the bottom of the status
+// dependency graph: flight imports slo, never the reverse.
+type AnomalyState struct {
+	Source string `json:"source,omitempty"` // emitting process ("" until merged)
+	Rule   string `json:"rule"`
+	Count  uint64 `json:"count"`   // lifetime firings of this rule
+	LastNS int64  `json:"last_ns"` // unix ns of the most recent firing
+	Detail string `json:"detail,omitempty"`
+}
+
 // ServerStatus is one process's health snapshot: identity, windowed per-op
 // latency for each metric family, SLO evaluation, cumulative counters and
 // gauges, and its hottest keys. It is the JSON body of /debug/slo and the
@@ -99,9 +111,10 @@ type ServerStatus struct {
 	Queue   []OpWindow `json:"queue,omitempty"`   // queue wait per op
 	RTT     []OpWindow `json:"rtt,omitempty"`     // client round trips per op
 
-	SLO      []ClassStatus      `json:"slo,omitempty"`
-	Counters map[string]float64 `json:"counters,omitempty"`
-	Hot      []HotEntry         `json:"hot,omitempty"`
+	SLO       []ClassStatus      `json:"slo,omitempty"`
+	Counters  map[string]float64 `json:"counters,omitempty"`
+	Hot       []HotEntry         `json:"hot,omitempty"`
+	Anomalies []AnomalyState     `json:"anomalies,omitempty"`
 
 	// Err is set by the aggregator when this server could not be scraped;
 	// a server never reports it about itself.
@@ -120,6 +133,8 @@ type CollectOptions struct {
 	Objectives []Objective
 	// Hot carries the process's TopK entries, already flattened.
 	Hot []HotEntry
+	// Anomalies carries the process's flight-recorder rule state.
+	Anomalies []AnomalyState
 }
 
 // Collect builds a ServerStatus from one process's registry.
@@ -131,6 +146,7 @@ func Collect(reg *telemetry.Registry, opts CollectOptions) *ServerStatus {
 		UptimeSec: telemetry.Uptime().Seconds(),
 		Epoch:     opts.Epoch,
 		Hot:       opts.Hot,
+		Anomalies: opts.Anomalies,
 	}
 	cfg := reg.Window()
 	st.WindowWidthSec = cfg.Width.Seconds()
@@ -187,6 +203,7 @@ type ClusterStatus struct {
 	SLO            []ClassStatus      `json:"slo,omitempty"`
 	Counters       map[string]float64 `json:"counters,omitempty"`
 	Hot            []HotEntry         `json:"hot,omitempty"`
+	Anomalies      []AnomalyState     `json:"anomalies,omitempty"`
 }
 
 // MergeCluster folds per-server statuses into one cluster view. Statuses
@@ -238,6 +255,12 @@ func MergeCluster(statuses []*ServerStatus, unreachable []string) *ClusterStatus
 			cs.Counters[k] += v
 		}
 		cs.Hot = append(cs.Hot, st.Hot...)
+		for _, a := range st.Anomalies {
+			if a.Source == "" {
+				a.Source = st.Server
+			}
+			cs.Anomalies = append(cs.Anomalies, a)
+		}
 	}
 	cs.Service = mergeOpMap(svc)
 	cs.RTT = mergeOpMap(rtt)
@@ -245,6 +268,7 @@ func MergeCluster(statuses []*ServerStatus, unreachable []string) *ClusterStatus
 		cs.SLO = append(cs.SLO, MergeClassStatuses(slos[k]))
 	}
 	sort.Slice(cs.Hot, func(i, j int) bool { return cs.Hot[i].Count > cs.Hot[j].Count })
+	sort.Slice(cs.Anomalies, func(i, j int) bool { return cs.Anomalies[i].LastNS > cs.Anomalies[j].LastNS })
 	return cs
 }
 
@@ -272,6 +296,31 @@ func yesNo(b bool) string {
 	return "no"
 }
 
+// SumCounter totals every label series of one metric name in the merged
+// counter map (whose keys are name+canonical-labels).
+func (cs *ClusterStatus) SumCounter(name string) float64 {
+	var s float64
+	for k, v := range cs.Counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			s += v
+		}
+	}
+	return s
+}
+
+// Flight-recorder and lease metric names rendered by Format. Spelled out
+// rather than imported (flight and dms both sit above slo in the dependency
+// graph).
+const (
+	metricFlightEvents      = "locofs_flight_events_total"
+	metricFlightOverwritten = "locofs_flight_overwritten_total"
+	metricFlightBundles     = "locofs_flight_bundles_total"
+	metricLeaseGrants       = "locofs_dms_lease_grants_total"
+	metricLeaseRecalls      = "locofs_dms_lease_recalls_total"
+	metricLeaseSuppressed   = "locofs_dms_lease_recalls_suppressed_total"
+	metricDirCachePrefix    = "locofs_client_dircache_"
+)
+
 // Format writes the cluster status as the human-readable table behind
 // `locofsd status`.
 func (cs *ClusterStatus) Format(w io.Writer) {
@@ -279,6 +328,14 @@ func (cs *ClusterStatus) Format(w io.Writer) {
 		cs.Epoch, yesNo(cs.EpochAgreement), len(cs.Servers), len(cs.Unreachable))
 	if len(cs.Unreachable) > 0 {
 		fmt.Fprintf(w, "unreachable: %s\n", strings.Join(cs.Unreachable, ", "))
+	}
+	if ev := cs.SumCounter(metricFlightEvents); ev > 0 || len(cs.Anomalies) > 0 {
+		fmt.Fprintf(w, "flight: %.0f event(s) journaled (%.0f overwritten), %.0f bundle(s), %d anomaly rule(s) fired\n",
+			ev, cs.SumCounter(metricFlightOverwritten), cs.SumCounter(metricFlightBundles), len(cs.Anomalies))
+		for _, a := range cs.Anomalies {
+			fmt.Fprintf(w, "  anomaly %s@%s: x%d, last %s  %s\n",
+				a.Rule, a.Source, a.Count, time.Unix(0, a.LastNS).Format(time.RFC3339), a.Detail)
+		}
 	}
 	fmt.Fprintln(w)
 
@@ -331,6 +388,35 @@ func (cs *ClusterStatus) Format(w io.Writer) {
 			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%s\t%s\t%s\t%s\n", ow.Op, ow.Count, ow.RatePerSec,
 				fmtDur(ow.P50Sec), fmtDur(ow.P95Sec), fmtDur(ow.P99Sec), fmtDur(ow.MaxSec))
 		}
+		tw.Flush()
+	}
+
+	// Lease/cache coherence section: the PR-7 dircache counters summed over
+	// every client plus the DMS lease-table totals, so cache health is
+	// visible cluster-wide and not just per process.
+	hits := cs.SumCounter(metricDirCachePrefix + "hits_total")
+	misses := cs.SumCounter(metricDirCachePrefix + "misses_total")
+	grants := cs.SumCounter(metricLeaseGrants)
+	if hits+misses+grants > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "CACHE/LEASES\tVALUE")
+		ratio := 0.0
+		if hits+misses > 0 {
+			ratio = hits / (hits + misses)
+		}
+		fmt.Fprintf(tw, "dircache hits\t%.0f (%.0f neg, %.0f list; %.1f%% hit rate)\n",
+			hits, cs.SumCounter(metricDirCachePrefix+"neg_hits_total"),
+			cs.SumCounter(metricDirCachePrefix+"list_hits_total"), 100*ratio)
+		fmt.Fprintf(tw, "dircache misses\t%.0f (%.0f stale)\n",
+			misses, cs.SumCounter(metricDirCachePrefix+"stale_total"))
+		fmt.Fprintf(tw, "dircache entries\t%.0f (%.0f evictions, %.0f recalls applied)\n",
+			cs.SumCounter(metricDirCachePrefix+"entries"),
+			cs.SumCounter(metricDirCachePrefix+"evictions_total"),
+			cs.SumCounter(metricDirCachePrefix+"recalls_total"))
+		fmt.Fprintf(tw, "leases granted\t%.0f\n", grants)
+		fmt.Fprintf(tw, "lease recalls\t%.0f published, %.0f suppressed\n",
+			cs.SumCounter(metricLeaseRecalls), cs.SumCounter(metricLeaseSuppressed))
 		tw.Flush()
 	}
 

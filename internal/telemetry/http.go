@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -9,6 +10,28 @@ import (
 	"sort"
 	"strings"
 )
+
+// WriteJSONError writes a {"error": msg} JSON body with the given status
+// code — the uniform error shape shared by every /debug endpoint (trace,
+// slo, flight), so clients parse one format regardless of which handler
+// rejected them.
+func WriteJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// RequireGET rejects anything but GET/HEAD with a 405 JSON error, reporting
+// whether the request may proceed. Every read-only admin endpoint starts
+// with this check.
+func RequireGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead || r.Method == "" {
+		return true
+	}
+	w.Header().Set("Allow", "GET, HEAD")
+	WriteJSONError(w, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
+	return false
+}
 
 // Handler builds the admin HTTP surface over the given registries:
 //
@@ -27,6 +50,9 @@ func Handler(regs ...*Registry) http.Handler {
 func HandlerWith(extra map[string]http.Handler, regs ...*Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !RequireGET(w, r) {
+			return
+		}
 		snaps := make([]Snapshot, len(regs))
 		for i, reg := range regs {
 			snaps[i] = reg.Snapshot()
@@ -34,7 +60,12 @@ func HandlerWith(extra map[string]http.Handler, regs ...*Registry) http.Handler 
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = Merge(snaps...).WriteProm(w)
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		if !RequireGET(w, r) {
+			return
+		}
+		expvar.Handler().ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

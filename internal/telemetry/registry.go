@@ -61,6 +61,7 @@ type Registry struct {
 	gauges   map[metricKey]gaugeFunc
 	windows  map[metricKey]*Windowed
 	winCfg   WindowConfig
+	rotHook  func(name string, n int) // stamped on every Windowed (see SetRotateHook)
 }
 
 // NewRegistry returns an empty registry with the given base labels.
@@ -88,6 +89,34 @@ func (r *Registry) Window() WindowConfig {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.winCfg.withDefaults()
+}
+
+// SetRotateHook installs fn as the rotation observer of every windowed
+// histogram in the registry, present and future: fn(name, n) runs after a
+// window of the named metric closes (n = windows closed at once), outside
+// any lock. One hook per registry (later calls replace it); nil clears.
+// This is how the flight recorder turns SLO window rollovers into journal
+// events without telemetry importing anything.
+func (r *Registry) SetRotateHook(fn func(name string, n int)) {
+	r.mu.Lock()
+	r.rotHook = fn
+	type winEntry struct {
+		name string
+		w    *Windowed
+	}
+	wins := make([]winEntry, 0, len(r.windows))
+	for k, w := range r.windows {
+		wins = append(wins, winEntry{k.name, w})
+	}
+	r.mu.Unlock()
+	for _, e := range wins {
+		if fn == nil {
+			e.w.SetOnRotate(nil)
+			continue
+		}
+		name := e.name
+		e.w.SetOnRotate(func(n int) { fn(name, n) })
+	}
 }
 
 // canonLabels renders labels sorted by key into the {k="v",...} form used
@@ -171,6 +200,10 @@ func (r *Registry) Windowed(name string, labels ...Label) *Windowed {
 	defer r.mu.Unlock()
 	if w = r.windows[k]; w == nil {
 		w = NewWindowed(h, r.winCfg)
+		if hook := r.rotHook; hook != nil {
+			name := k.name
+			w.SetOnRotate(func(n int) { hook(name, n) })
+		}
 		r.windows[k] = w
 	}
 	return w

@@ -60,6 +60,11 @@ type Windowed struct {
 	base   HistSnapshot
 	baseAt time.Time
 	closed []WindowSnapshot // oldest first; len <= num-1
+
+	// onRotate, when set, observes window closures (n = windows closed by
+	// one rotation). Invoked outside mu so observers may snapshot freely;
+	// never invoked on the Record fast path unless a boundary was crossed.
+	onRotate atomic.Pointer[func(n int)]
 }
 
 // NewWindowed wraps h with a rotating window per cfg. The wrapped histogram
@@ -85,6 +90,28 @@ func (w *Windowed) SetNow(now func() time.Time) {
 }
 
 func (w *Windowed) now() time.Time { return (*w.nowFn.Load())() }
+
+// SetOnRotate installs fn as the rotation observer (nil clears it). The
+// hook runs outside the window lock, at most once per boundary crossing,
+// from whichever goroutine drove the rotation — it must be cheap and
+// non-blocking (the flight recorder's coalesced SLO-rollover events).
+func (w *Windowed) SetOnRotate(fn func(n int)) {
+	if fn == nil {
+		w.onRotate.Store(nil)
+		return
+	}
+	w.onRotate.Store(&fn)
+}
+
+// notifyRotate fires the rotation observer (caller must NOT hold mu).
+func (w *Windowed) notifyRotate(n int) {
+	if n <= 0 {
+		return
+	}
+	if fn := w.onRotate.Load(); fn != nil {
+		(*fn)(n)
+	}
+}
 
 // resetTo restarts the window sequence at t (caller holds mu).
 func (w *Windowed) resetTo(t time.Time) {
@@ -123,22 +150,26 @@ func (w *Windowed) maybeRotate() {
 		return
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.rotateLocked(nowT)
+	n := w.rotateLocked(nowT)
+	w.mu.Unlock()
+	w.notifyRotate(n)
 }
 
-func (w *Windowed) rotateLocked(nowT time.Time) {
+// rotateLocked closes every window boundary the clock has passed, returning
+// how many windows were closed (an idle-gap reset counts as one).
+func (w *Windowed) rotateLocked(nowT time.Time) int {
 	nowNS := nowT.UnixNano()
 	if nowNS < w.nextNS.Load() {
-		return // another rotator won the race
+		return 0 // another rotator won the race
 	}
 	// After an idle gap longer than the whole window span, every retained
 	// window would be empty anyway: restart aligned at now instead of
 	// closing them one by one.
 	if nowT.Sub(w.baseAt) >= w.width*time.Duration(w.num+1) {
 		w.resetTo(nowT)
-		return
+		return 1
 	}
+	rotated := 0
 	for end := w.baseAt.Add(w.width); end.UnixNano() <= nowNS; end = w.baseAt.Add(w.width) {
 		cur := w.h.Snapshot()
 		delta := subSnapshot(cur, w.base)
@@ -149,8 +180,10 @@ func (w *Windowed) rotateLocked(nowT time.Time) {
 		}
 		w.base = cur
 		w.baseAt = end
+		rotated++
 	}
 	w.nextNS.Store(w.baseAt.Add(w.width).UnixNano())
+	return rotated
 }
 
 // WindowSnapshot is one closed (or, at the tail of a windowed snapshot, the
@@ -188,10 +221,14 @@ func (s WindowedSnapshot) Rate() float64 {
 func (w *Windowed) Snapshot() WindowedSnapshot {
 	nowT := w.now()
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	rotated := 0
 	if nowT.UnixNano() >= w.nextNS.Load() {
-		w.rotateLocked(nowT)
+		rotated = w.rotateLocked(nowT)
 	}
+	defer func() {
+		w.mu.Unlock()
+		w.notifyRotate(rotated)
+	}()
 	cur := w.h.Snapshot()
 	live := subSnapshot(cur, w.base)
 	live.Max = time.Duration(w.liveMax.Load())

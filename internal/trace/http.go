@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"locofs/internal/telemetry"
 )
 
 // jsonSpan is the wire form of a Span on the admin surface. IDs render as
@@ -98,13 +100,19 @@ func TracesHandler(tracers ...*Tracer) http.Handler {
 		}
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !telemetry.RequireGET(w, r) {
+			return
+		}
 		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
 		if rest == "" {
 			limit := 100
 			if q := r.URL.Query().Get("limit"); q != "" {
-				if v, err := strconv.Atoi(q); err == nil && v > 0 {
-					limit = v
+				v, err := strconv.Atoi(q)
+				if err != nil || v <= 0 {
+					telemetry.WriteJSONError(w, http.StatusBadRequest, "bad limit "+strconv.Quote(q))
+					return
 				}
+				limit = v
 			}
 			type jsonSummary struct {
 				Trace  string `json:"trace"`
@@ -159,7 +167,7 @@ func TracesHandler(tracers ...*Tracer) http.Handler {
 		}
 		id, err := parseTraceID(rest)
 		if err != nil {
-			http.Error(w, "trace: bad trace id "+strconv.Quote(rest), http.StatusBadRequest)
+			telemetry.WriteJSONError(w, http.StatusBadRequest, "bad trace id "+strconv.Quote(rest))
 			return
 		}
 		var spans []*Span
@@ -167,7 +175,7 @@ func TracesHandler(tracers ...*Tracer) http.Handler {
 			spans = append(spans, t.Trace(id)...)
 		}
 		if len(spans) == 0 {
-			http.Error(w, "trace: no spans retained for "+hexID(id), http.StatusNotFound)
+			telemetry.WriteJSONError(w, http.StatusNotFound, "no spans retained for "+hexID(id))
 			return
 		}
 		writeJSON(w, struct {
@@ -184,11 +192,17 @@ func TracesHandler(tracers ...*Tracer) http.Handler {
 // Nil sketches are skipped.
 func HotHandler(sources map[string]*TopK) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !telemetry.RequireGET(w, r) {
+			return
+		}
 		n := 10
 		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil && v > 0 {
-				n = v
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				telemetry.WriteJSONError(w, http.StatusBadRequest, "bad n "+strconv.Quote(q))
+				return
 			}
+			n = v
 		}
 		type jsonSource struct {
 			Source string   `json:"source"`
