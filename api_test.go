@@ -2,8 +2,11 @@ package locofs_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"locofs"
 )
@@ -103,5 +106,104 @@ func TestPublicAPIStandaloneServers(t *testing.T) {
 	var u locofs.UUID = a.UUID
 	if u.IsNil() {
 		t.Error("file has nil UUID")
+	}
+}
+
+// TestUnifiedStatAndKinds: Stat resolves either kind of namespace object in
+// one call and reports what it found in Attr.Kind; the kind-specific
+// StatDir/StatFile wrappers agree with it.
+func TestUnifiedStatAndKinds(t *testing.T) {
+	cluster, err := locofs.Start(locofs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.NewClient(locofs.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/d/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := fs.Stat("/d")
+	if err != nil || a.Kind != locofs.KindDir || !a.IsDir {
+		t.Fatalf("Stat of directory: %+v, %v", a, err)
+	}
+	a, err = fs.Stat("/d/f")
+	if err != nil || a.Kind != locofs.KindFile || a.IsDir {
+		t.Fatalf("Stat of file: %+v, %v", a, err)
+	}
+	if a, err = fs.StatDir("/d"); err != nil || a.Kind != locofs.KindDir {
+		t.Fatalf("StatDir: %+v, %v", a, err)
+	}
+	if a, err = fs.StatFile("/d/f"); err != nil || a.Kind != locofs.KindFile {
+		t.Fatalf("StatFile: %+v, %v", a, err)
+	}
+	// The kind-specific wrappers refuse the other kind.
+	if _, err := fs.StatFile("/d"); err == nil {
+		t.Error("StatFile accepted a directory")
+	}
+	if _, err := fs.StatDir("/d/f"); err == nil {
+		t.Error("StatDir accepted a file")
+	}
+}
+
+// TestContextVariants: every public method's *Context variant honors its
+// context — cancellation stops the operation (including its retries)
+// immediately, and a deadline already expired fails fast with an error in
+// both the locofs and context error classes.
+func TestContextVariants(t *testing.T) {
+	cluster, err := locofs.Start(locofs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.NewClient(locofs.ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// A live context behaves exactly like the legacy methods.
+	ctx := context.Background()
+	if err := fs.MkdirContext(ctx, "/c", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CreateContext(ctx, "/c/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if a, err := fs.StatContext(ctx, "/c/f"); err != nil || a.Kind != locofs.KindFile {
+		t.Fatalf("StatContext: %+v, %v", a, err)
+	}
+	if ents, err := fs.ReaddirContext(ctx, "/"); err != nil || len(ents) != 1 {
+		t.Fatalf("ReaddirContext: %d entries, %v", len(ents), err)
+	}
+	if f, err := fs.OpenContext(ctx, "/c/f", false); err != nil {
+		t.Fatal(err)
+	} else {
+		f.Close()
+	}
+
+	// A canceled context fails before any RPC goes out.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := fs.MkdirContext(canceled, "/c/nope", 0o755); !errors.Is(err, context.Canceled) {
+		t.Fatalf("MkdirContext under canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := fs.StatDir("/c/nope"); !errors.Is(err, locofs.ErrNotFound) {
+		t.Fatalf("canceled mkdir still created the directory: %v", err)
+	}
+
+	// An expired deadline maps into both error vocabularies.
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	_, err = fs.StatContext(expired, "/c/f")
+	if !errors.Is(err, locofs.ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("StatContext under expired deadline: %v, want ErrDeadlineExceeded/context.DeadlineExceeded", err)
 	}
 }

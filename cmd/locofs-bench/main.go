@@ -9,8 +9,8 @@
 //	locofs-bench [-quick] [experiment ...]
 //
 // Experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 fig14 fanout opstats spans faults rebalance slostorm cachestorm, or
-// "all"
+// fig13 fig14 fanout opstats spans faults rebalance slostorm cachestorm
+// dmsshard, or "all"
 // (default).
 package main
 
@@ -31,7 +31,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm cachestorm all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm cachestorm dmsshard all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -82,6 +82,9 @@ func main() {
 		// (see internal/slo).
 		{"slostorm", func() (*bench.Table, error) { return bench.FigSLOStorm(env) }},
 		{"cachestorm", func() (*bench.Table, error) { return bench.FigCacheStorm(env) }},
+		// Sharded-DMS study: mdtest mix at 1/2/4 partitions plus the
+		// same- vs cross-partition rename cost (see DESIGN.md §16).
+		{"dmsshard", func() (*bench.Table, error) { return bench.FigDMSShard(env) }},
 	}
 
 	want := flag.Args()

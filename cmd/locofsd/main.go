@@ -35,6 +35,23 @@
 //	locofsd -role dms -listen :7000 -lease-dur 30s
 //	locofsd -role client ... -hot-entries 64 -hot-factor 4 -hot-refresh 5s
 //
+// Sharded DMS: the directory namespace can be split into replicated
+// subtree partitions (DESIGN.md §16). Every DMS process gets the same
+// -dms-groups (partition groups separated by ";", replica addresses
+// comma-separated leader-first) and -dms-cuts (cut directories, assigned
+// round-robin to partitions 1..N-1), plus its own -partition/-replica
+// coordinates; clients add -dms-sharded and dial partition 0's leader as
+// the bootstrap -dms. Note the wire-format flag day: sharded-era binaries
+// carry a partition-map version in every message header, so servers and
+// clients must be built from the same release.
+//
+//	locofsd -role dms -listen :7000 -partition 0 -replica 0 \
+//	        -dms-groups "h0:7000,h0:7010;h1:7001,h1:7011" -dms-cuts /data
+//	locofsd -role dms -listen :7010 -partition 0 -replica 1 -dms-groups ... -dms-cuts /data
+//	locofsd -role dms -listen :7001 -partition 1 -replica 0 -dms-groups ... -dms-cuts /data
+//	locofsd -role dms -listen :7011 -partition 1 -replica 1 -dms-groups ... -dms-cuts /data
+//	locofsd -role client -dms h0:7000 -dms-sharded ...
+//
 // Online elasticity: the client role doubles as the membership-change
 // coordinator. Start the new FMS process first, then grow the ring from
 // any client (the namespace stays fully readable while keys migrate):
@@ -78,8 +95,10 @@ import (
 	"locofs/internal/client"
 	"locofs/internal/core"
 	"locofs/internal/dms"
+	"locofs/internal/dms/partition"
 	"locofs/internal/flight"
 	"locofs/internal/fms"
+	"locofs/internal/fspath"
 	"locofs/internal/kv"
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
@@ -87,6 +106,7 @@ import (
 	"locofs/internal/slo"
 	"locofs/internal/telemetry"
 	"locofs/internal/trace"
+	"locofs/internal/wire"
 )
 
 func main() {
@@ -105,6 +125,11 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failures that trip the per-server circuit breaker (client role; 0 = breaker off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long a tripped breaker fails fast before probing (client role; 0 = 1s)")
 	leaseDur := flag.Duration("lease-dur", 0, "directory lease duration granted to clients (dms role; 0 = default 30s)")
+	dmsGroups := flag.String("dms-groups", "", "sharded DMS deployment: semicolon-separated partition groups, each a comma-separated replica address list leader-first (dms role; empty = single unsharded DMS)")
+	dmsCuts := flag.String("dms-cuts", "", "comma-separated namespace cut directories, assigned round-robin to partitions 1..N-1 (dms role with -dms-groups)")
+	dmsPartition := flag.Int("partition", 0, "this node's partition id (dms role with -dms-groups)")
+	dmsReplica := flag.Int("replica", 0, "this node's replica slot in its partition group, 0 = leader (dms role with -dms-groups)")
+	dmsSharded := flag.Bool("dms-sharded", false, "route directory operations by partition map fetched from -dms (client role against a -dms-groups deployment)")
 	lease := flag.Duration("lease", 0, "directory cache lease for the TTL-only fallback (client role; 0 = default 30s)")
 	noCoherent := flag.Bool("no-coherent-cache", false, "revert the directory cache to TTL-only semantics, no lease coherence (client role)")
 	noNegCache := flag.Bool("no-neg-cache", false, "disable negative-entry (ENOENT) caching (client role)")
@@ -150,12 +175,42 @@ func main() {
 	}
 	switch *role {
 	case "dms":
-		store := kv.Instrument(durable("dms", kv.NewBTreeStore()), kv.RAM)
-		d := dms.New(dms.Options{Store: store, CheckPermissions: true, LeaseDur: *leaseDur})
-		d.SetFlight(srv.flightJ, "dms")
-		srv.hot = map[string]*trace.TopK{"dms": d.HotKeys()}
+		name := "dms"
+		if *dmsGroups != "" {
+			name = fmt.Sprintf("dms-p%d-r%d", *dmsPartition, *dmsReplica)
+		}
+		store := kv.Instrument(durable(name, kv.NewBTreeStore()), kv.RAM)
+		opts := dms.Options{Store: store, CheckPermissions: true, LeaseDur: *leaseDur}
+		if *dmsGroups != "" {
+			// Replicas of one partition must produce byte-identical inodes
+			// from log replay, so they share a deterministic ServerID (high
+			// bit keeps it out of the FMS id range).
+			opts.ServerID = 0x80000000 | uint32(*dmsPartition)
+		}
+		d := dms.New(opts)
+		d.SetFlight(srv.flightJ, name)
+		srv.hot = map[string]*trace.TopK{name: d.HotKeys()}
 		srv.extraReg = d.RegisterMetrics
-		srv.serve(*listen, "dms", store, d.Attach)
+		attach := d.Attach
+		if *dmsGroups != "" {
+			pm, self, err := parsePartMap(*dmsGroups, *dmsCuts, *dmsPartition, *dmsReplica)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "locofsd:", err)
+				os.Exit(2)
+			}
+			node := partition.New(partition.Config{
+				PID:     uint32(*dmsPartition),
+				Index:   *dmsReplica,
+				Self:    self,
+				Map:     pm,
+				DMS:     d,
+				Dialer:  netsim.TCPDialer{},
+				Journal: srv.flightJ,
+				Source:  name,
+			})
+			attach = node.Attach
+		}
+		srv.serve(*listen, name, store, attach)
 	case "fms":
 		name := fmt.Sprintf("fms-%d", *id)
 		store := kv.Instrument(durable(name, kv.NewHashStore()), kv.RAM)
@@ -180,6 +235,7 @@ func main() {
 			hotEntries: *hotEntriesN,
 			hotFactor:  *hotFactor,
 			hotRefresh: *hotRefresh,
+			sharded:    *dmsSharded,
 		}
 		runClient(*dmsAddr, *fmsAddrs, *ossAddrs, *cmds, srv, cc, opts)
 	case "status":
@@ -205,6 +261,52 @@ type serverFlags struct {
 	// extraReg, when set, registers role-specific gauges (e.g. DMS lease
 	// counters) on the serve registry once it exists.
 	extraReg func(*telemetry.Registry)
+}
+
+// parsePartMap builds the version-1 partition map every node of a sharded
+// deployment starts from: groups is the -dms-groups spec (semicolon-
+// separated partitions, comma-separated replica addresses leader-first),
+// cuts the -dms-cuts list assigned round-robin to partitions 1..N-1 in
+// order — the same convention as the in-process cluster. It returns the map
+// and this node's own address (groups[pid][rep]).
+func parsePartMap(groups, cuts string, pid, rep int) (*wire.PartMap, string, error) {
+	pm := &wire.PartMap{Ver: 1}
+	for _, g := range strings.Split(groups, ";") {
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, "", fmt.Errorf("-dms-groups: empty partition group in %q", groups)
+		}
+		pm.Groups = append(pm.Groups, addrs)
+	}
+	parts := len(pm.Groups)
+	var cutList []string
+	for _, cd := range strings.Split(cuts, ",") {
+		if cd = strings.TrimSpace(cd); cd != "" {
+			cutList = append(cutList, cd)
+		}
+	}
+	if parts > 1 && len(cutList) < parts-1 {
+		return nil, "", fmt.Errorf("-dms-cuts: %d partitions need at least %d cut directories, got %d", parts, parts-1, len(cutList))
+	}
+	for i, cd := range cutList {
+		clean, err := fspath.Clean(cd)
+		if err != nil || clean == "/" {
+			return nil, "", fmt.Errorf("-dms-cuts: bad cut directory %q", cd)
+		}
+		pm.Cuts = append(pm.Cuts, wire.PartCut{Dir: clean, PID: uint32(i%(parts-1)) + 1})
+	}
+	if pid < 0 || pid >= parts {
+		return nil, "", fmt.Errorf("-partition %d out of range for %d groups", pid, parts)
+	}
+	if rep < 0 || rep >= len(pm.Groups[pid]) {
+		return nil, "", fmt.Errorf("-replica %d out of range for partition %d's %d replicas", rep, pid, len(pm.Groups[pid]))
+	}
+	return pm, pm.Groups[pid][rep], nil
 }
 
 // peer is one -peers entry: a display name and its /debug/slo URL.
@@ -406,6 +508,7 @@ type cacheFlags struct {
 	hotEntries int
 	hotFactor  int
 	hotRefresh time.Duration
+	sharded    bool // -dms-sharded: route directory ops by partition map
 }
 
 // runClient connects to a TCP cluster and executes simple commands.
@@ -453,6 +556,7 @@ func runClient(dmsAddr, fmsList, ossList, cmds string, sf serverFlags, cc cacheF
 	cl, err := client.Dial(client.Config{
 		Dialer:                netsim.TCPDialer{},
 		DMSAddr:               dmsAddr,
+		DMSSharded:            cc.sharded,
 		FMSAddrs:              strings.Split(fmsList, ","),
 		OSSAddrs:              strings.Split(ossList, ","),
 		Metrics:               reg,

@@ -9,6 +9,7 @@ import (
 	"locofs"
 	"locofs/internal/fsapi"
 	"locofs/internal/netsim"
+	"locofs/internal/wire"
 )
 
 // TestSentinelErrors checks that every failure class coming out of a Client
@@ -167,5 +168,24 @@ func TestDialOptionsOverTCP(t *testing.T) {
 	}
 	if _, err := fs.StatFile("/tcp/missing"); !errors.Is(err, locofs.ErrNotFound) {
 		t.Errorf("TCP stat of missing file: %v, want ErrNotFound", err)
+	}
+}
+
+// TestErrStaleSentinel: both staleness classes the servers raise — the FMS
+// ownership guard's ESTALE and the sharded DMS's EWRONGPART — match the one
+// public ErrStale sentinel.
+func TestErrStaleSentinel(t *testing.T) {
+	if !errors.Is(wire.StatusStale.Err(), locofs.ErrStale) {
+		t.Error("ESTALE does not match ErrStale")
+	}
+	if !errors.Is(wire.StatusWrongPartition.Err(), locofs.ErrStale) {
+		t.Error("EWRONGPART does not match ErrStale")
+	}
+	// Distinct from the other sentinels.
+	if errors.Is(wire.StatusWrongPartition.Err(), locofs.ErrNotFound) {
+		t.Error("EWRONGPART matched ErrNotFound")
+	}
+	if errors.Is(locofs.ErrNotFound, locofs.ErrStale) {
+		t.Error("ErrNotFound matched ErrStale")
 	}
 }

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFigDMSShardShape runs the sharding experiment at Quick scale and
+// asserts its headline claims: the DMS capacity bound scales going from 1
+// to 4 partitions, and a cross-partition rename costs measurably more DMS
+// service than one staying inside a partition (the two-partition commit's
+// extra log entries and replication).
+func TestFigDMSShardShape(t *testing.T) {
+	tbl, err := FigDMSShard(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(tbl)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (3 partition counts + 2 rename rows)", len(tbl.Rows))
+	}
+	mkdirCol := col(t, tbl, "mkdir")
+	p1 := kiops(t, tbl.Rows[0][mkdirCol])
+	p4 := kiops(t, tbl.Rows[2][mkdirCol])
+	if p4 < 2*p1 {
+		t.Errorf("mkdir capacity at 4 partitions = %.1fK, want at least 2x the 1-partition %.1fK", p4, p1)
+	}
+	costCol := col(t, tbl, "rename-dms-cost")
+	same := us(t, tbl.Rows[3][costCol])
+	cross := us(t, tbl.Rows[4][costCol])
+	if cross < 1.2*same {
+		t.Errorf("cross-partition rename DMS cost %.1fus not measurably above same-partition %.1fus", cross, same)
+	}
+}
+
+// kiops parses a fmtKIOPS cell ("135.9K") back to thousands of ops/s.
+func kiops(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "K"), 64)
+	if err != nil {
+		t.Fatalf("bad kIOPS cell %q: %v", cell, err)
+	}
+	return v
+}
+
+// us parses a fmtUS cell ("305.0us") back to microseconds.
+func us(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "us"), 64)
+	if err != nil {
+		t.Fatalf("bad latency cell %q: %v", cell, err)
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/core"
+	"locofs/internal/fsapi"
+	"locofs/internal/mdtest"
+)
+
+// shardClients is the fixed workload width of the sharding sweep: the same
+// 8 mdtest clients run against 1, 2 and 4 partitions, so any throughput
+// difference comes from spreading the directory namespace over more DMS
+// leaders, not from offering more load.
+const shardClients = 8
+
+// FigDMSShard measures DMS namespace sharding (DESIGN.md §16; beyond the
+// paper, whose DMS is a single server). The mdtest directory mix runs with
+// a fixed client count against 1, 2 and 4 partitions (2 replicas each),
+// with each client's private subtree cut onto partition clientIndex mod P.
+// Reported is the DMS capacity bound — phase ops over the busiest
+// partition's accumulated service time (as in Table 3's capacity column) —
+// which is what sharding moves: cutting the namespace over P leaders
+// divides the busiest server's work by ~P. The second section prices the
+// explicit two-partition commit: for a directory rename (one subdirectory,
+// one file) staying inside a partition versus crossing the cut, the mean
+// client-visible modeled latency and the mean DMS service time summed over
+// every replica — the latter is where the commit's extra log entries,
+// destination-side apply and replication show up.
+func FigDMSShard(env Env) (*Table, error) {
+	tbl := &Table{
+		Title: "dmsshard: DMS partition scaling and cross-partition rename cost",
+		Note: "mdtest mix, " + fmt.Sprint(shardClients) + " clients, 2 replicas/partition; kIOPS is the DMS\n" +
+			"capacity bound (busiest partition), as in Table 3's capacity column.\n" +
+			"rename rows, per directory rename (dir + 1 file): client-visible modeled\n" +
+			"latency, and DMS service time summed over all replicas (the cost of the\n" +
+			"two-partition commit's extra log entries and replication).",
+		Headers: []string{"workload", "partitions", "mkdir", "dir-stat", "readdir", "rmdir", "rename-lat", "rename-dms-cost"},
+	}
+	phases := []string{mdtest.PhaseMkdir, mdtest.PhaseDirStat, mdtest.PhaseReaddir, mdtest.PhaseRmdir}
+	for _, parts := range []int{1, 2, 4} {
+		ach, err := shardMdtest(env, parts, phases)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("mdtest", fmt.Sprint(parts),
+			fmtKIOPS(ach[mdtest.PhaseMkdir]), fmtKIOPS(ach[mdtest.PhaseDirStat]),
+			fmtKIOPS(ach[mdtest.PhaseReaddir]), fmtKIOPS(ach[mdtest.PhaseRmdir]), "", "")
+	}
+
+	same, cross, err := shardRenameCost(env)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("rename same-partition", "2", "", "", "", "", fmtUS(same.lat), fmtUS(same.dms))
+	tbl.AddRow("rename cross-partition", "2", "", "", "", "", fmtUS(cross.lat), fmtUS(cross.dms))
+	return tbl, nil
+}
+
+// shardMdtest runs the mdtest directory mix on a parts-partition cluster
+// and returns the DMS capacity bound per phase: phase ops over the busiest
+// partition's accumulated service time (per-server parallelism factored
+// out as in throughputs).
+func shardMdtest(env Env, parts int, phases []string) (Throughputs, error) {
+	// Cut each client's private mdtest subtree /mdtest/c<j> onto partition
+	// j mod parts. core assigns cut i to partition (i mod parts-1)+1, so
+	// the cuts are listed in partition-cycling order; clients with
+	// j mod parts == 0 keep the residual partition 0.
+	var cuts []string
+	for k := 0; k*parts < shardClients; k++ {
+		for rem := 1; rem < parts; rem++ {
+			cuts = append(cuts, fmt.Sprintf("/mdtest/c%d", k*parts+rem))
+		}
+	}
+	cluster, err := core.Start(core.Options{
+		DMSPartitions: parts,
+		DMSCuts:       cuts,
+		DMSReplicas:   2,
+		Link:          env.Link,
+		CostModel:     &core.PaperKVCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	var prevBusy []time.Duration
+	busyDelta := make(map[string]time.Duration, len(phases))
+	rep, err := mdtest.Run(mdtest.Config{
+		Clients:        shardClients,
+		ItemsPerClient: env.TputItems,
+		Depth:          1,
+		Phases:         phases,
+		SetupHook:      func() { prevBusy = cluster.DMSBusy() },
+		PhaseHook: func(phase string) {
+			cur := cluster.DMSBusy()
+			var max time.Duration
+			for i := range cur {
+				d := cur[i]
+				if i < len(prevBusy) {
+					d -= prevBusy[i]
+				}
+				if d > max {
+					max = d
+				}
+			}
+			prevBusy = cur
+			busyDelta[phase] = max
+		},
+	}, func() (fsapi.FS, error) {
+		cl, err := cluster.NewClient(core.ClientConfig{})
+		if err != nil {
+			return nil, err
+		}
+		return fsapi.LocoFS{C: cl}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: dmsshard %d-partition run: %w", parts, err)
+	}
+	cap := make(Throughputs, len(rep.Results))
+	for _, pr := range rep.Results {
+		if pr.Errors > 0 {
+			return nil, fmt.Errorf("bench: dmsshard %d-partition phase %s had %d errors", parts, pr.Phase, pr.Errors)
+		}
+		if sb := busyDelta[pr.Phase] / locoWorkers; sb > 0 {
+			cap[pr.Phase] = float64(pr.Ops) / sb.Seconds()
+		}
+	}
+	return cap, nil
+}
+
+// renameCost is the per-rename price from one batch of directory renames:
+// the mean client-visible modeled latency, and the mean DMS service time
+// summed over every replica of every partition.
+type renameCost struct {
+	lat time.Duration
+	dms time.Duration
+}
+
+// shardRenameCost measures a directory rename within one partition versus
+// across the cut (the two-partition commit: prepare at the destination
+// group, commit markers on both op logs).
+func shardRenameCost(env Env) (same, cross renameCost, err error) {
+	cluster, err := core.Start(core.Options{
+		DMSPartitions: 2,
+		DMSCuts:       []string{"/far"},
+		DMSReplicas:   2,
+		Link:          env.Link,
+		CostModel:     &core.PaperKVCost,
+	})
+	if err != nil {
+		return same, cross, err
+	}
+	defer cluster.Close()
+	// The cache would absorb part of the rename's lookup work; disable it
+	// so both rows price the same full server path.
+	cl, err := cluster.NewClient(core.ClientConfig{DisableCache: true})
+	if err != nil {
+		return same, cross, err
+	}
+	defer cl.Close()
+
+	n := env.TputItems
+	if n < 20 {
+		n = 20
+	}
+	if err := cl.Mkdir("/near", 0o755); err != nil {
+		return same, cross, err
+	}
+	if err := cl.Mkdir("/far", 0o755); err != nil {
+		return same, cross, err
+	}
+	for i := 0; i < 2*n; i++ {
+		d := fmt.Sprintf("/near/d%04d", i)
+		if err := cl.Mkdir(d, 0o755); err != nil {
+			return same, cross, err
+		}
+		if err := cl.Create(d+"/f", 0o644); err != nil {
+			return same, cross, err
+		}
+	}
+
+	dmsTotal := func() time.Duration {
+		var sum time.Duration
+		for _, b := range cluster.DMSBusy() {
+			sum += b
+		}
+		return sum
+	}
+	renameBatch := func(from, to string, lo, hi int) (renameCost, error) {
+		startLat, startDMS := cl.Cost(), dmsTotal()
+		for i := lo; i < hi; i++ {
+			if _, err := cl.RenameDir(fmt.Sprintf("%s/d%04d", from, i), fmt.Sprintf("%s/r%04d", to, i)); err != nil {
+				return renameCost{}, fmt.Errorf("bench: dmsshard rename %s->%s #%d: %w", from, to, i, err)
+			}
+		}
+		ops := time.Duration(hi - lo)
+		return renameCost{
+			lat: (cl.Cost() - startLat) / ops,
+			dms: (dmsTotal() - startDMS) / ops,
+		}, nil
+	}
+	if same, err = renameBatch("/near", "/near", 0, n); err != nil {
+		return same, cross, err
+	}
+	if cross, err = renameBatch("/near", "/far", n, 2*n); err != nil {
+		return same, cross, err
+	}
+	return same, cross, nil
+}

@@ -53,12 +53,23 @@ type dirCache struct {
 	fifo []fifoRec // insertion order; stale records skipped lazily
 	seq  uint64    // ties entries to their live fifo record
 
-	// maxSeq is the highest DMS recall sequence observed on any response
-	// header; appliedSeq the highest sequence fully applied to this cache.
-	// appliedSeq <= maxSeq always; they are equal when the cache is
-	// provably coherent.
-	maxSeq     atomic.Uint64
-	appliedSeq atomic.Uint64
+	// srcs holds one watermark pair per recall source. Against a single
+	// (unsharded) DMS every sequence comes from source 0; against a
+	// partitioned DMS each partition runs its own lease table with its own
+	// recall log, so the sequences are comparable only within one partition
+	// and the cache keys its watermarks by partition id. Entries carry the
+	// source they were granted by, and freshness is judged against that
+	// source's watermarks alone — sound because the partition cut rules
+	// guarantee every mutation that can invalidate a path's cached state is
+	// published by the partition that granted it (seed updates republish
+	// ancestor changes locally; straddling renames are refused).
+	//
+	// Per source: maxSeq is the highest recall sequence observed on any
+	// response header, appliedSeq the highest sequence fully applied to this
+	// cache. appliedSeq <= maxSeq always; they are equal when the cache is
+	// provably coherent with that source.
+	srcMu sync.RWMutex
+	srcs  map[uint32]*srcMarks
 
 	hits        atomic.Uint64
 	negHits     atomic.Uint64
@@ -78,17 +89,29 @@ type dirCache struct {
 	hotSet    atomic.Pointer[map[string]struct{}]
 }
 
+// srcMarks is one recall source's watermark pair (see dirCache.srcs).
+type srcMarks struct {
+	maxSeq     atomic.Uint64
+	appliedSeq atomic.Uint64
+}
+
+// srcAny is the source wildcard for unconditional drops: invalidations that
+// must hit entries regardless of which partition granted them.
+const srcAny = ^uint32(0)
+
 type cacheEntry struct {
 	inode    layout.DirInode
 	expires  time.Time
 	seq      uint64
 	grantSeq uint64
+	src      uint32
 }
 
 type negEntry struct {
 	expires  time.Time
 	seq      uint64
 	grantSeq uint64
+	src      uint32
 }
 
 type listEntry struct {
@@ -96,6 +119,7 @@ type listEntry struct {
 	expires  time.Time
 	seq      uint64
 	grantSeq uint64
+	src      uint32
 }
 
 // fifoRec kinds: which map the record's entry lives in.
@@ -197,6 +221,7 @@ func newDirCache(lease time.Duration, now func() time.Time, maxEntries int, cohe
 		entries:   make(map[string]cacheEntry),
 		negs:      make(map[string]negEntry),
 		lists:     make(map[string]listEntry),
+		srcs:      make(map[uint32]*srcMarks),
 		max:       maxEntries,
 		met:       met,
 	}
@@ -228,35 +253,79 @@ func (c *dirCache) isHot(path string) bool {
 	return ok
 }
 
-// observe records a recall sequence seen on a response header. Monotonic.
-func (c *dirCache) observe(seq uint64) {
+// marks returns source src's watermark pair, creating it on first use.
+func (c *dirCache) marks(src uint32) *srcMarks {
+	c.srcMu.RLock()
+	m := c.srcs[src]
+	c.srcMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.srcMu.Lock()
+	if m = c.srcs[src]; m == nil {
+		m = &srcMarks{}
+		c.srcs[src] = m
+	}
+	c.srcMu.Unlock()
+	return m
+}
+
+// marksIfAny returns src's watermark pair without creating it.
+func (c *dirCache) marksIfAny(src uint32) *srcMarks {
+	c.srcMu.RLock()
+	m := c.srcs[src]
+	c.srcMu.RUnlock()
+	return m
+}
+
+// observe records a recall sequence seen on a response header from the
+// single legacy source. Monotonic.
+func (c *dirCache) observe(seq uint64) { c.observeFrom(0, seq) }
+
+// observeFrom records a recall sequence seen on a response header from
+// source src. Monotonic per source.
+func (c *dirCache) observeFrom(src uint32, seq uint64) {
+	m := c.marks(src)
 	for {
-		cur := c.maxSeq.Load()
-		if seq <= cur || c.maxSeq.CompareAndSwap(cur, seq) {
+		cur := m.maxSeq.Load()
+		if seq <= cur || m.maxSeq.CompareAndSwap(cur, seq) {
 			return
 		}
 	}
 }
 
-// behind reports whether the cache has observed recalls it has not applied,
-// returning the applied watermark to fetch from.
-func (c *dirCache) behind() (since uint64, ok bool) {
+// behind reports whether the cache has observed legacy-source recalls it has
+// not applied, returning the applied watermark to fetch from.
+func (c *dirCache) behind() (since uint64, ok bool) { return c.behindFrom(0) }
+
+// behindFrom reports whether the cache has observed recalls from source src
+// it has not applied, returning that source's applied watermark.
+func (c *dirCache) behindFrom(src uint32) (since uint64, ok bool) {
 	if !c.coherent {
 		return 0, false
 	}
-	applied := c.appliedSeq.Load()
-	return applied, applied < c.maxSeq.Load()
+	m := c.marksIfAny(src)
+	if m == nil {
+		return 0, false
+	}
+	applied := m.appliedSeq.Load()
+	return applied, applied < m.maxSeq.Load()
 }
 
-// fresh reports whether an entry granted at gseq may be served: either it
-// postdates every observed mutation, or the cache has applied every
-// observed recall (so the entry surviving proves it untouched).
-func (c *dirCache) fresh(gseq uint64) bool {
+// fresh reports whether an entry granted by src at gseq may be served:
+// either it postdates every mutation observed from that source, or the
+// cache has applied every recall observed from it (so the entry surviving
+// proves it untouched).
+func (c *dirCache) fresh(src uint32, gseq uint64) bool {
 	if !c.coherent {
 		return true
 	}
-	max := c.maxSeq.Load()
-	return gseq >= max || c.appliedSeq.Load() >= max
+	m := c.marksIfAny(src)
+	if m == nil {
+		return true
+	}
+	max := m.maxSeq.Load()
+	return gseq >= max || m.appliedSeq.Load() >= max
 }
 
 // get returns the cached inode for path if its lease is valid and it is
@@ -268,7 +337,7 @@ func (c *dirCache) get(path string) (layout.DirInode, bool) {
 	c.mu.RLock()
 	e, ok := c.entries[path]
 	c.mu.RUnlock()
-	if ok && !c.now().After(e.expires) && c.fresh(e.grantSeq) {
+	if ok && !c.now().After(e.expires) && c.fresh(e.src, e.grantSeq) {
 		c.hits.Add(1)
 		if c.met != nil {
 			c.met.hits.Inc()
@@ -323,7 +392,7 @@ func (c *dirCache) negHit(path string) bool {
 		c.mu.Unlock()
 		return false
 	}
-	if !c.fresh(e.grantSeq) {
+	if !c.fresh(e.src, e.grantSeq) {
 		c.staleMisses.Add(1)
 		if c.met != nil {
 			c.met.stale.Inc()
@@ -357,7 +426,7 @@ func (c *dirCache) getList(path string) ([]DirEntry, bool) {
 		c.mu.Unlock()
 		return nil, false
 	}
-	if !c.fresh(e.grantSeq) {
+	if !c.fresh(e.src, e.grantSeq) {
 		c.staleMisses.Add(1)
 		if c.met != nil {
 			c.met.stale.Inc()
@@ -392,39 +461,51 @@ func (c *dirCache) leaseFor(path string, g wire.LeaseGrant) (time.Duration, uint
 // every OK lookup (TTL-only mode caches under the configured lease as
 // before).
 func (c *dirCache) put(path string, inode layout.DirInode, g wire.LeaseGrant) {
+	c.putFrom(0, path, inode, g)
+}
+
+// putFrom is put for an entry granted by recall source src.
+func (c *dirCache) putFrom(src uint32, path string, inode layout.DirInode, g wire.LeaseGrant) {
 	if c.coherent && !g.Valid() {
 		return
 	}
 	dur, gseq := c.leaseFor(path, g)
 	expires := c.now().Add(dur)
+	var m *srcMarks
+	if c.coherent {
+		m = c.marks(src)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.coherent && gseq < c.appliedSeq.Load() {
+	if m != nil && gseq < m.appliedSeq.Load() {
 		// A recall newer than this grant has already been applied; caching
 		// the value could resurrect an entry that recall dropped.
 		return
 	}
 	c.seq++
-	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: expires, seq: c.seq, grantSeq: gseq}
+	c.entries[path] = cacheEntry{inode: inode.Clone(), expires: expires, seq: c.seq, grantSeq: gseq, src: src}
 	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq, kind: recInode})
 	c.evictLocked()
 	c.compactLocked()
 }
 
 // putNeg caches an ENOENT result under the server's negative-entry grant.
-func (c *dirCache) putNeg(path string, g wire.LeaseGrant) {
+func (c *dirCache) putNeg(path string, g wire.LeaseGrant) { c.putNegFrom(0, path, g) }
+
+func (c *dirCache) putNegFrom(src uint32, path string, g wire.LeaseGrant) {
 	if !c.negatives || !g.Valid() {
 		return
 	}
 	dur, gseq := c.leaseFor(path, g)
 	expires := c.now().Add(dur)
+	m := c.marks(src)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gseq < c.appliedSeq.Load() {
+	if gseq < m.appliedSeq.Load() {
 		return
 	}
 	c.seq++
-	c.negs[path] = negEntry{expires: expires, seq: c.seq, grantSeq: gseq}
+	c.negs[path] = negEntry{expires: expires, seq: c.seq, grantSeq: gseq, src: src}
 	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq, kind: recNeg})
 	c.evictLocked()
 	c.compactLocked()
@@ -433,18 +514,23 @@ func (c *dirCache) putNeg(path string, g wire.LeaseGrant) {
 // putList caches a complete subdirectory listing under the server's listing
 // grant.
 func (c *dirCache) putList(path string, ents []DirEntry, g wire.LeaseGrant) {
+	c.putListFrom(0, path, ents, g)
+}
+
+func (c *dirCache) putListFrom(src uint32, path string, ents []DirEntry, g wire.LeaseGrant) {
 	if !c.coherent || !g.Valid() {
 		return
 	}
 	dur, gseq := c.leaseFor(path, g)
 	expires := c.now().Add(dur)
+	m := c.marks(src)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if gseq < c.appliedSeq.Load() {
+	if gseq < m.appliedSeq.Load() {
 		return
 	}
 	c.seq++
-	c.lists[path] = listEntry{ents: ents, expires: expires, seq: c.seq, grantSeq: gseq}
+	c.lists[path] = listEntry{ents: ents, expires: expires, seq: c.seq, grantSeq: gseq, src: src}
 	c.fifo = append(c.fifo, fifoRec{path: path, seq: c.seq, kind: recList})
 	c.evictLocked()
 	c.compactLocked()
@@ -528,10 +614,20 @@ func (c *dirCache) compactLocked() {
 // reset — the client fell behind the server's bounded log — drops
 // everything. The applied watermark advances to cur.
 func (c *dirCache) applyRecalls(cur uint64, reset bool, entries []wire.Recall) {
+	c.applyRecallsFrom(0, cur, reset, entries)
+}
+
+// applyRecallsFrom is applyRecalls for a segment fetched from source src.
+// Drops are scoped to entries granted by that source: a partition's recall
+// log describes exactly the mutations of its own key range (including seed
+// updates republished locally), so entries granted elsewhere are untouched
+// — and their grant sequences would not be comparable anyway.
+func (c *dirCache) applyRecallsFrom(src uint32, cur uint64, reset bool, entries []wire.Recall) {
 	if !c.coherent {
 		return
 	}
-	c.observe(cur)
+	c.observeFrom(src, cur)
+	m := c.marks(src)
 	c.mu.Lock()
 	if reset {
 		clear(c.entries)
@@ -544,7 +640,7 @@ func (c *dirCache) applyRecalls(cur uint64, reset bool, entries []wire.Recall) {
 		}
 	} else {
 		for _, r := range entries {
-			c.applyOneLocked(r.Seq, r.Kind, r.Path)
+			c.applyOneLocked(src, r.Seq, r.Kind, r.Path)
 		}
 		c.recalls.Add(uint64(len(entries)))
 		if c.met != nil {
@@ -556,8 +652,8 @@ func (c *dirCache) applyRecalls(cur uint64, reset bool, entries []wire.Recall) {
 	// lookup response granted before these recalls cannot slip in between
 	// the drops above and the watermark advance and then be served as fresh.
 	for {
-		a := c.appliedSeq.Load()
-		if cur <= a || c.appliedSeq.CompareAndSwap(a, cur) {
+		a := m.appliedSeq.Load()
+		if cur <= a || m.appliedSeq.CompareAndSwap(a, cur) {
 			break
 		}
 	}
@@ -565,32 +661,34 @@ func (c *dirCache) applyRecalls(cur uint64, reset bool, entries []wire.Recall) {
 }
 
 // applyOneLocked performs one recall's drops. Entries granted at or after
-// seq survive: their grant postdates the mutation. Caller holds c.mu.
-func (c *dirCache) applyOneLocked(seq uint64, kind wire.RecallKind, path string) {
+// seq by the same source survive: their grant postdates the mutation.
+// src == srcAny drops regardless of granting source. Caller holds c.mu.
+func (c *dirCache) applyOneLocked(src uint32, seq uint64, kind wire.RecallKind, path string) {
 	switch kind {
 	case wire.RecallPatched:
 		// In-place attribute change: only the exact inode entry is stale.
-		if e, ok := c.entries[path]; ok && e.grantSeq < seq {
+		if e, ok := c.entries[path]; ok && e.grantSeq < seq && (src == srcAny || e.src == src) {
 			delete(c.entries, path)
 		}
 	case wire.RecallCreated:
 		// The path now exists: negative entries at/under it are wrong (a
 		// rename can materialize a whole subtree), and listings of it and
 		// of its parent gained an entry.
-		c.dropTreeLocked(path, seq, false, true, true)
-		c.dropParentListLocked(path, seq)
+		c.dropTreeLocked(src, path, seq, false, true, true)
+		c.dropParentListLocked(src, path, seq)
 	case wire.RecallRemoved:
 		// The subtree is gone: inodes and listings at/under it are stale,
 		// and the parent's listing lost an entry. Negative entries are
 		// dropped too (over-broad but cheap and safe).
-		c.dropTreeLocked(path, seq, true, true, true)
-		c.dropParentListLocked(path, seq)
+		c.dropTreeLocked(src, path, seq, true, true, true)
+		c.dropParentListLocked(src, path, seq)
 	}
 }
 
 // dropTreeLocked drops cached state at and under path from the selected
-// maps, honoring the grant-sequence guard. Caller holds c.mu.
-func (c *dirCache) dropTreeLocked(path string, seq uint64, inodes, negs, lists bool) {
+// maps, honoring the grant-sequence guard and the source scope. Caller
+// holds c.mu.
+func (c *dirCache) dropTreeLocked(src uint32, path string, seq uint64, inodes, negs, lists bool) {
 	prefix := path
 	if prefix != "/" {
 		prefix += "/"
@@ -600,33 +698,33 @@ func (c *dirCache) dropTreeLocked(path string, seq uint64, inodes, negs, lists b
 	}
 	if inodes {
 		for p, e := range c.entries {
-			if e.grantSeq < seq && at(p) {
+			if e.grantSeq < seq && (src == srcAny || e.src == src) && at(p) {
 				delete(c.entries, p)
 			}
 		}
 	}
 	if negs {
 		for p, e := range c.negs {
-			if e.grantSeq < seq && at(p) {
+			if e.grantSeq < seq && (src == srcAny || e.src == src) && at(p) {
 				delete(c.negs, p)
 			}
 		}
 	}
 	if lists {
 		for p, e := range c.lists {
-			if e.grantSeq < seq && at(p) {
+			if e.grantSeq < seq && (src == srcAny || e.src == src) && at(p) {
 				delete(c.lists, p)
 			}
 		}
 	}
 }
 
-func (c *dirCache) dropParentListLocked(path string, seq uint64) {
+func (c *dirCache) dropParentListLocked(src uint32, path string, seq uint64) {
 	if path == "/" {
 		return
 	}
 	parent, _ := fspath.Split(path)
-	if e, ok := c.lists[parent]; ok && e.grantSeq < seq {
+	if e, ok := c.lists[parent]; ok && e.grantSeq < seq && (src == srcAny || e.src == src) {
 		delete(c.lists, parent)
 	}
 }
@@ -642,47 +740,83 @@ type selfOp struct {
 // publication trailer (last, n) — accounts the recalls as applied, so the
 // mutating client never pays a recall fetch for its own writes. last == 0
 // (TTL mode, or a fully suppressed mutation) drops unconditionally.
-func (c *dirCache) selfApply(last uint64, n uint32, ops ...selfOp) {
+func (c *dirCache) selfApply(src uint32, last uint64, n uint32, ops ...selfOp) {
 	guard := last
+	guardSrc := src
 	if guard == 0 {
 		guard = ^uint64(0)
+		guardSrc = srcAny
 	}
 	if last > 0 {
-		c.observe(last)
+		c.observeFrom(src, last)
 	}
+	m := c.marks(src)
 	c.mu.Lock()
 	for _, op := range ops {
-		c.applyOneLocked(guard, op.kind, op.path)
+		c.applyOneLocked(guardSrc, guard, op.kind, op.path)
 	}
 	if last > 0 && n > 0 {
 		// The published seqs last-n+1..last are exactly this mutation's;
 		// if everything before them was applied, they now are too. Advanced
 		// under c.mu for the same reason as applyRecalls: the put-side
 		// gseq < appliedSeq guard must be atomic with the drops above.
-		c.appliedSeq.CompareAndSwap(last-uint64(n), last)
+		m.appliedSeq.CompareAndSwap(last-uint64(n), last)
 	}
 	c.mu.Unlock()
 }
 
 func (c *dirCache) selfCreated(path string, last uint64, n uint32) {
-	c.selfApply(last, n, selfOp{wire.RecallCreated, path})
+	c.selfCreatedFrom(0, path, last, n)
+}
+
+func (c *dirCache) selfCreatedFrom(src uint32, path string, last uint64, n uint32) {
+	c.selfApply(src, last, n, selfOp{wire.RecallCreated, path})
 }
 
 func (c *dirCache) selfRemoved(path string, last uint64, n uint32) {
-	c.selfApply(last, n, selfOp{wire.RecallRemoved, path})
+	c.selfRemovedFrom(0, path, last, n)
+}
+
+func (c *dirCache) selfRemovedFrom(src uint32, path string, last uint64, n uint32) {
+	c.selfApply(src, last, n, selfOp{wire.RecallRemoved, path})
 }
 
 func (c *dirCache) selfPatched(path string, last uint64, n uint32) {
-	c.selfApply(last, n, selfOp{wire.RecallPatched, path})
+	c.selfPatchedFrom(0, path, last, n)
+}
+
+func (c *dirCache) selfPatchedFrom(src uint32, path string, last uint64, n uint32) {
+	c.selfApply(src, last, n, selfOp{wire.RecallPatched, path})
 }
 
 func (c *dirCache) selfRenamed(oldPath, newPath string, last uint64, n uint32) {
+	c.selfRenamedFrom(0, oldPath, newPath, last, n)
+}
+
+func (c *dirCache) selfRenamedFrom(src uint32, oldPath, newPath string, last uint64, n uint32) {
 	// Mirror the published removed(old)+created(new), plus an entry drop
 	// under the new path (matches the legacy invalidateSubtree there).
-	c.selfApply(last, n,
+	c.selfApply(src, last, n,
 		selfOp{wire.RecallRemoved, oldPath},
 		selfOp{wire.RecallRemoved, newPath},
 		selfOp{wire.RecallCreated, newPath})
+}
+
+// accountPub folds a mutation's publication trailer into source src's
+// watermarks without performing any drops — used when the caller already
+// invalidated the affected paths unconditionally (cross-partition renames,
+// whose destination-side recalls are published by a different source).
+func (c *dirCache) accountPub(src uint32, last uint64, n uint32) {
+	if !c.coherent || last == 0 {
+		return
+	}
+	c.observeFrom(src, last)
+	m := c.marks(src)
+	c.mu.Lock()
+	if n > 0 {
+		m.appliedSeq.CompareAndSwap(last-uint64(n), last)
+	}
+	c.mu.Unlock()
 }
 
 // invalidate drops path from the cache (every kind, unconditionally).
@@ -697,7 +831,7 @@ func (c *dirCache) invalidate(path string) {
 // invalidateSubtree drops path and everything beneath it, unconditionally.
 func (c *dirCache) invalidateSubtree(path string) {
 	c.mu.Lock()
-	c.dropTreeLocked(path, ^uint64(0), true, true, true)
+	c.dropTreeLocked(srcAny, path, ^uint64(0), true, true, true)
 	c.mu.Unlock()
 }
 
@@ -730,6 +864,10 @@ func (c *dirCache) detail() CacheDetail {
 	c.mu.RLock()
 	entries, negs, lists := len(c.entries), len(c.negs), len(c.lists)
 	c.mu.RUnlock()
+	var maxSeq, appliedSeq uint64
+	if m := c.marksIfAny(0); m != nil {
+		maxSeq, appliedSeq = m.maxSeq.Load(), m.appliedSeq.Load()
+	}
 	return CacheDetail{
 		Hits:           c.hits.Load(),
 		NegHits:        c.negHits.Load(),
@@ -741,7 +879,7 @@ func (c *dirCache) detail() CacheDetail {
 		Entries:        entries,
 		Negatives:      negs,
 		Listings:       lists,
-		MaxSeq:         c.maxSeq.Load(),
-		AppliedSeq:     c.appliedSeq.Load(),
+		MaxSeq:         maxSeq,
+		AppliedSeq:     appliedSeq,
 	}
 }

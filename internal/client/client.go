@@ -10,6 +10,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,8 +38,17 @@ type Config struct {
 	// Link is the modeled network link used for virtual-time accounting
 	// (see rpc.Client.SetLink). Zero models a co-located deployment.
 	Link netsim.LinkConfig
-	// DMSAddr is the directory metadata server address.
+	// DMSAddr is the directory metadata server address. Against a sharded
+	// DMS this is the bootstrap endpoint — any replica of any partition —
+	// from which the client fetches the partition map.
 	DMSAddr string
+	// DMSSharded declares the DMS partitioned: Dial fetches the partition
+	// map synchronously before returning (failing if no replica serves
+	// one), so the first operation routes correctly instead of discovering
+	// the sharding through an EWRONGPART round trip. Leave false for an
+	// unsharded DMS; the client then also adopts a map pushed via response
+	// headers, just lazily.
+	DMSSharded bool
 	// FMSAddrs lists file metadata servers; the slice index is the server
 	// ID used by the consistent-hash ring (unless FMSIDs overrides it).
 	FMSAddrs []string
@@ -169,6 +179,23 @@ type Client struct {
 	maxEpoch   atomic.Uint64
 	refreshing atomic.Bool
 
+	// DMS partition routing (see route.go): pmap holds the installed
+	// partition map (nil against an unsharded DMS — the zero-cost legacy
+	// mode), dmsEps is the by-address DMS connection registry (the
+	// bootstrap endpoint is seeded under dmsAddr), maxPVer the highest map
+	// version seen on the wire, and pmRefreshing collapses concurrent
+	// async map refreshes into one.
+	pmap         atomic.Pointer[wire.PartMap]
+	pmapMu       sync.Mutex // serializes map installs
+	pmapFetchMu  sync.Mutex // serializes map fetches
+	maxPVer      atomic.Uint64
+	pmRefreshing atomic.Bool
+	dmsEpMu      sync.Mutex
+	dmsEps       map[string]*endpoint
+	dialDMSPart  func(addr string, pid uint32) (*endpoint, error)
+	dmsAddr      string
+	res          *resilience
+
 	serialFanOut bool
 	disableBatch bool
 	// parSavedNS accumulates the virtual time parallel fan-out groups
@@ -190,12 +217,15 @@ type Client struct {
 }
 
 // opCtx carries one logical file-system operation's identity through the
-// client: the trace ID stamped on every RPC the operation issues, and the
+// client: the trace ID stamped on every RPC the operation issues, the
 // client-side root span (nil when tracing is disabled or sampled out —
-// every use is nil-safe, so the disabled path stays allocation-free).
+// every use is nil-safe, so the disabled path stays allocation-free), and
+// the caller's context (nil on the legacy context-free API — also
+// nil-safe everywhere, so the legacy path pays nothing).
 type opCtx struct {
 	tid uint64
 	sp  *trace.Span
+	ctx context.Context
 }
 
 // startOp mints the opCtx for one logical operation, opening its client
@@ -203,6 +233,18 @@ type opCtx struct {
 func (c *Client) startOp(name string) opCtx {
 	oc := opCtx{tid: c.newTrace()}
 	oc.sp = c.tracer.StartSpan(oc.tid, 0, name, "client")
+	return oc
+}
+
+// startOpCtx is startOp carrying the caller's context into every RPC the
+// operation issues (per-attempt deadlines, retry waits — see the *Context
+// method docs). context.Background collapses to the context-free path so
+// the delegating legacy methods stay byte-identical in behavior.
+func (c *Client) startOpCtx(ctx context.Context, name string) opCtx {
+	oc := c.startOp(name)
+	if ctx != nil && ctx != context.Background() {
+		oc.ctx = ctx
+	}
 	return oc
 }
 
@@ -269,13 +311,23 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 		traceBase:    (nextClientID.Add(1) & 0xffff) << 48,
 	}
 	res := newResilience(cfg.OpTimeout, cfg.Retry, cfg.Breaker, cfg.Now)
+	c.res = res
 	dial := func(addr string) (*endpoint, error) {
-		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res, c.observeEpoch, c.observeLease)
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res, c.observeEpoch, c.observeLease, nil)
 	}
 	c.eps = make(map[string]*endpoint)
 	c.dialFMS = dial
+	// DMS endpoints bind their lease hook to the partition they serve (so
+	// recall sequences from different partitions land in different cache
+	// watermark sources) and report partition-map versions to the router.
+	c.dmsEps = make(map[string]*endpoint)
+	c.dmsAddr = cfg.DMSAddr
+	c.dialDMSPart = func(addr string, pid uint32) (*endpoint, error) {
+		return dialEndpoint(cfg.Dialer, addr, cfg.Link, c.telem, res, c.observeEpoch,
+			func(seq uint64) { c.observeLeaseFrom(pid, seq) }, c.observePMap)
+	}
 	var err error
-	if c.dms, err = dial(cfg.DMSAddr); err != nil {
+	if c.dms, err = c.dmsEndpointAt(cfg.DMSAddr, 0); err != nil {
 		return nil, fmt.Errorf("client: dial DMS: %w", err)
 	}
 	if cfg.FMSIDs != nil && len(cfg.FMSIDs) != len(cfg.FMSAddrs) {
@@ -340,6 +392,19 @@ func Dial(cfg Config, opts ...DialOption) (*Client, error) {
 			return float64(c.cache.size())
 		}, c.label)
 	}
+	// Against a declared-sharded DMS, fetch the partition map before the
+	// first operation: routing is then correct from the start and the
+	// membership fetch below already goes to the right leader.
+	if cfg.DMSSharded {
+		if err := c.refreshPartMap(opCtx{}, ""); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: fetch partition map: %w", err)
+		}
+		if c.pmap.Load() == nil {
+			c.Close()
+			return nil, fmt.Errorf("client: DMS at %s serves no partition map", cfg.DMSAddr)
+		}
+	}
 	// Align the view with the cluster's installed membership (if any) up
 	// front: the static config above may be behind a cluster that has
 	// already grown or shrunk, and a synchronous refresh here means the
@@ -367,10 +432,9 @@ func (c *Client) Close() error {
 		c.cache.met.unregister(c.telem.reg, c.label)
 	}
 	fmsEps := c.fmsEndpoints()
-	eps := make([]*endpoint, 0, 1+len(fmsEps)+len(c.oss))
-	if c.dms != nil {
-		eps = append(eps, c.dms)
-	}
+	dmsEps := c.dmsEndpoints()
+	eps := make([]*endpoint, 0, len(dmsEps)+len(fmsEps)+len(c.oss))
+	eps = append(eps, dmsEps...)
 	eps = append(eps, fmsEps...)
 	eps = append(eps, c.oss...)
 	c.fanOut(opCtx{}, "close", len(eps), func(_ opCtx, i int) (time.Duration, error) {
@@ -383,7 +447,10 @@ func (c *Client) Close() error {
 // Trips returns the total network round trips issued by this client, the
 // unit the paper's latency figures are normalized in.
 func (c *Client) Trips() uint64 {
-	n := c.dms.Trips()
+	var n uint64
+	for _, cl := range c.dmsEndpoints() {
+		n += cl.Trips()
+	}
 	for _, cl := range c.fmsEndpoints() {
 		n += cl.Trips()
 	}
@@ -399,7 +466,10 @@ func (c *Client) Trips() uint64 {
 // costs its slowest branch, not the sum). Per-operation virtual latency is
 // the delta of Cost around the operation.
 func (c *Client) Cost() time.Duration {
-	d := c.dms.VirtualTime()
+	var d time.Duration
+	for _, cl := range c.dmsEndpoints() {
+		d += cl.VirtualTime()
+	}
 	for _, cl := range c.fmsEndpoints() {
 		d += cl.VirtualTime()
 	}
@@ -474,13 +544,25 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 	var (
 		st         wire.Status
 		resp       []byte
+		src        uint32
 		err        error
 		recallResp []byte
 	)
-	since, behind := c.cacheBehind()
+	// The recall catch-up is per-source: probe the route first so `since`
+	// is the watermark of the partition this lookup will land on. If a
+	// retry inside dmsCall reroutes to a different partition, the recall
+	// response is still applied under the source that actually served it —
+	// recall entries are genuine for their server regardless of the
+	// watermark they were requested from (a stale `since` at worst costs a
+	// reset).
+	var since uint64
+	var behind bool
+	if _, psrc, rerr := c.routeDMS(cleaned, false); rerr == nil {
+		since, behind = c.cacheBehind(psrc)
+	}
 	if behind && !c.disableBatch {
 		var resps []wire.SubResp
-		resps, _, err = c.dms.CallBatch(oc, []wire.SubReq{
+		resps, src, err = c.dmsBatch(oc, cleaned, false, []wire.SubReq{
 			{Op: wire.OpLookupDir, Body: body},
 			{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)},
 		})
@@ -491,16 +573,17 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 			}
 		}
 	} else {
-		st, resp, err = c.dms.CallT(oc, wire.OpLookupDir, body)
+		st, resp, src, err = c.dmsCall(oc, cleaned, false, wire.OpLookupDir, body)
 		if err == nil && behind {
 			// Batching is off, so the recall fetch cannot ride along with
 			// the lookup; issue it standalone. One extra trip, but without
 			// it appliedSeq would never advance and every previously cached
 			// entry would stay degraded to a miss until individually
 			// re-fetched.
-			rst, rbody, rerr := c.dms.CallT(oc, wire.OpLeaseRecall, wire.EncodeRecallReq(since))
+			rst, rbody, rsrc, rerr := c.dmsCall(oc, cleaned, false, wire.OpLeaseRecall, wire.EncodeRecallReq(since))
 			if rerr == nil && rst == wire.StatusOK {
 				recallResp = rbody
+				src = rsrc
 			}
 		}
 	}
@@ -511,21 +594,21 @@ func (c *Client) resolveDir(cleaned string, oc opCtx) (layout.DirInode, error) {
 	// Cache the lookup result first, then apply the recalls: the fresh
 	// entries carry their grant sequence, so any newer recall in the batch
 	// still drops them, while older ones leave them alone.
-	ino, rerr := c.finishLookup(cleaned, st, resp)
+	ino, rerr := c.finishLookup(src, cleaned, st, resp)
 	if recallResp != nil {
-		c.applyRecallResp(recallResp)
+		c.applyRecallResp(src, recallResp)
 	}
 	return ino, rerr
 }
 
-// finishLookup turns an OpLookupDir outcome into the resolved inode,
-// caching the ancestor chain on success and the negative entry (under its
-// grant) on ENOENT.
-func (c *Client) finishLookup(cleaned string, st wire.Status, resp []byte) (layout.DirInode, error) {
+// finishLookup turns an OpLookupDir outcome served by partition src into
+// the resolved inode, caching the ancestor chain on success and the
+// negative entry (under its grant) on ENOENT.
+func (c *Client) finishLookup(src uint32, cleaned string, st wire.Status, resp []byte) (layout.DirInode, error) {
 	if st == wire.StatusNotFound {
 		if c.cache != nil {
 			if g := wire.DecodeLeaseGrant(wire.NewDec(resp)); g.Valid() {
-				c.cache.putNeg(cleaned, g)
+				c.cache.putNegFrom(src, cleaned, g)
 			}
 		}
 		return nil, st.Err()
@@ -533,13 +616,14 @@ func (c *Client) finishLookup(cleaned string, st wire.Status, resp []byte) (layo
 	if st != wire.StatusOK {
 		return nil, st.Err()
 	}
-	return c.cacheLookupChain(cleaned, resp)
+	return c.cacheLookupChainFrom(src, cleaned, resp)
 }
 
-// cacheLookupChain decodes an OpLookupDir response — the ancestor chain of
-// cleaned plus the trailing lease grant — caching every link under the
-// grant and returning the target's inode.
-func (c *Client) cacheLookupChain(cleaned string, resp []byte) (layout.DirInode, error) {
+// cacheLookupChainFrom decodes an OpLookupDir response served by partition
+// src — the ancestor chain of cleaned plus the trailing lease grant —
+// caching every link under the grant (keyed to src's watermarks) and
+// returning the target's inode.
+func (c *Client) cacheLookupChainFrom(src uint32, cleaned string, resp []byte) (layout.DirInode, error) {
 	d := wire.NewDec(resp)
 	n := d.U32()
 	type link struct {
@@ -559,7 +643,7 @@ func (c *Client) cacheLookupChain(cleaned string, resp []byte) (layout.DirInode,
 	var target layout.DirInode
 	for _, l := range links {
 		if c.cache != nil {
-			c.cache.put(l.path, l.ino, g)
+			c.cache.putFrom(src, l.path, l.ino, g)
 		}
 		if l.path == cleaned {
 			target = l.ino
@@ -585,8 +669,20 @@ func (c *Client) splitPath(path string, oc opCtx) (parent layout.DirInode, clean
 	return parent, cleaned, name, err
 }
 
-// Attr is the stat result for a file or directory.
+// Kind discriminates what an Attr describes.
+type Kind uint8
+
+const (
+	// KindFile is a regular file.
+	KindFile Kind = iota
+	// KindDir is a directory.
+	KindDir
+)
+
+// Attr is the stat result for a file or directory. Kind tells which; IsDir
+// is the same information as a bool, kept for existing callers.
 type Attr struct {
+	Kind      Kind
 	IsDir     bool
 	Mode      uint32
 	UID, GID  uint32
@@ -599,15 +695,21 @@ type Attr struct {
 }
 
 // Mkdir creates a directory.
-func (c *Client) Mkdir(path string, mode uint32) (err error) {
-	oc := c.startOp("Mkdir")
+func (c *Client) Mkdir(path string, mode uint32) error {
+	return c.MkdirContext(context.Background(), path, mode)
+}
+
+// MkdirContext is Mkdir under ctx (see the package locofs docs on how a
+// context bounds an operation's RPC attempts and retry waits).
+func (c *Client) MkdirContext(ctx context.Context, path string, mode uint32) (err error) {
+	oc := c.startOpCtx(ctx, "Mkdir")
 	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(oc, wire.OpMkdir, body)
+	st, resp, src, err := c.dmsCall(oc, cleaned, false, wire.OpMkdir, body)
 	if err != nil {
 		return err
 	}
@@ -619,7 +721,7 @@ func (c *Client) Mkdir(path string, mode uint32) (err error) {
 		d := wire.NewDec(resp)
 		d.UUID() // created directory's uuid
 		last, n := decodePub(d)
-		c.cache.selfCreated(cleaned, last, n)
+		c.cache.selfCreatedFrom(src, cleaned, last, n)
 	}
 	return st.Err()
 }
@@ -627,8 +729,13 @@ func (c *Client) Mkdir(path string, mode uint32) (err error) {
 // Rmdir removes an empty directory. LocoFS cannot know from the DMS alone
 // whether any FMS still holds files of the directory, so the client probes
 // every FMS first — the fan-out the paper charges rmdir with (§4.2.1).
-func (c *Client) Rmdir(path string) (err error) {
-	oc := c.startOp("Rmdir")
+func (c *Client) Rmdir(path string) error {
+	return c.RmdirContext(context.Background(), path)
+}
+
+// RmdirContext is Rmdir under ctx.
+func (c *Client) RmdirContext(ctx context.Context, path string) (err error) {
+	oc := c.startOpCtx(ctx, "Rmdir")
 	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
@@ -663,13 +770,13 @@ func (c *Client) Rmdir(path string) (err error) {
 		return err
 	}
 	body := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(oc, wire.OpRmdir, body)
+	st, resp, src, err := c.dmsCall(oc, cleaned, false, wire.OpRmdir, body)
 	if err != nil {
 		return err
 	}
 	if st == wire.StatusOK && c.cache != nil {
 		last, n := decodePub(wire.NewDec(resp))
-		c.cache.selfRemoved(cleaned, last, n)
+		c.cache.selfRemovedFrom(src, cleaned, last, n)
 	}
 	return st.Err()
 }
@@ -749,6 +856,14 @@ func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInod
 		ino, err = c.resolveDir(cleaned, oc)
 		return ino, nil, false, 0, false, err
 	}
+	if pm := c.partMap(); pm != nil && pm.Locate(cleaned) != pm.LocateList(cleaned) {
+		// cleaned is a partition cut: its inode lives with its parent's
+		// partition while its listing lives on the partition it roots, so
+		// the lookup and the first page cannot share one batch. Resolve
+		// plainly; the listing pages go to their own leader unseeded.
+		ino, err = c.resolveDir(cleaned, oc)
+		return ino, nil, false, 0, false, err
+	}
 	lookup := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).Bytes()
 	page := wire.NewEnc().Str(cleaned).U32(c.uid).U32(c.gid).
 		Str("").U32(ReaddirPageSize).U32(0).Bytes()
@@ -757,18 +872,20 @@ func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInod
 		{Op: wire.OpReaddirSubdirs, Body: page},
 	}
 	recallAt := -1
-	if since, behind := c.cacheBehind(); behind {
-		recallAt = len(subs)
-		subs = append(subs, wire.SubReq{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)})
+	if _, psrc, rerr := c.routeDMS(cleaned, false); rerr == nil {
+		if since, behind := c.cacheBehind(psrc); behind {
+			recallAt = len(subs)
+			subs = append(subs, wire.SubReq{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)})
+		}
 	}
-	resps, _, err := c.dms.CallBatch(oc, subs)
+	resps, src, err := c.dmsBatch(oc, cleaned, false, subs)
 	if err != nil {
 		return nil, nil, false, 0, false, err
 	}
 	if recallAt >= 0 && resps[recallAt].Status == wire.StatusOK {
-		defer c.applyRecallResp(resps[recallAt].Body)
+		defer c.applyRecallResp(src, resps[recallAt].Body)
 	}
-	if ino, err = c.finishLookup(cleaned, resps[0].Status, resps[0].Body); err != nil {
+	if ino, err = c.finishLookup(src, cleaned, resps[0].Status, resps[0].Body); err != nil {
 		return nil, nil, false, 0, false, err
 	}
 	if st := resps[1].Status; st != wire.StatusOK {
@@ -779,7 +896,7 @@ func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInod
 		return nil, nil, false, 0, false, err
 	}
 	if c.cache != nil && g.Valid() && !more {
-		c.cache.putList(cleaned, first, g)
+		c.cache.putListFrom(src, cleaned, first, g)
 	}
 	return ino, first, more, remaining, true, nil
 }
@@ -789,14 +906,25 @@ func (c *Client) resolveForReaddir(cleaned string, oc opCtx) (ino layout.DirInod
 // name-sorted. The DMS and all FMSes are paged in parallel (one fan-out
 // branch per server), and each server's follow-up pages are prefetched in
 // batched round trips (see readPages).
-func (c *Client) Readdir(path string) (out []DirEntry, err error) {
-	oc := c.startOp("Readdir")
+func (c *Client) Readdir(path string) ([]DirEntry, error) {
+	return c.ReaddirContext(context.Background(), path)
+}
+
+// ReaddirContext is Readdir under ctx.
+func (c *Client) ReaddirContext(ctx context.Context, path string) (out []DirEntry, err error) {
+	oc := c.startOpCtx(ctx, "Readdir")
 	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
 	ino, firstSubs, firstMore, firstRemaining, seeded, err := c.resolveForReaddir(cleaned, oc)
+	if err != nil {
+		return nil, err
+	}
+	// The subdirectory pages come from the partition owning cleaned's
+	// listing (the bootstrap DMS when unsharded).
+	listEp, listSrc, err := c.routeDMS(cleaned, true)
 	if err != nil {
 		return nil, err
 	}
@@ -820,9 +948,9 @@ func (c *Client) Readdir(path string) (out []DirEntry, err error) {
 		var err error
 		if i == 0 {
 			if seeded {
-				ents, virt, err = c.readMorePages(c.dms, boc, wire.OpReaddirSubdirs, subBody, true, firstSubs, firstMore, firstRemaining)
+				ents, virt, err = c.readMorePages(listEp, boc, wire.OpReaddirSubdirs, subBody, true, firstSubs, firstMore, firstRemaining)
 			} else {
-				ents, virt, err = c.readSubdirPages(cleaned, boc, subBody)
+				ents, virt, err = c.readSubdirPages(listEp, listSrc, cleaned, boc, subBody)
 			}
 		} else {
 			ents, virt, err = c.readPages(fmsEps[i-1], boc, wire.OpReaddirFiles, fileBody, false)
@@ -857,9 +985,16 @@ func (c *Client) Readdir(path string) (out []DirEntry, err error) {
 	return dedup, nil
 }
 
-// StatDir stats a directory (one DMS round trip, or zero on a cache hit).
-func (c *Client) StatDir(path string) (a *Attr, err error) {
-	oc := c.startOp("StatDir")
+// StatDir stats a path known to be a directory — a kind-specific shortcut
+// for Stat that skips the FMS probe (one DMS round trip, or zero on a
+// cache hit). A file path answers ENOENT.
+func (c *Client) StatDir(path string) (*Attr, error) {
+	return c.StatDirContext(context.Background(), path)
+}
+
+// StatDirContext is StatDir under ctx.
+func (c *Client) StatDirContext(ctx context.Context, path string) (a *Attr, err error) {
+	oc := c.startOpCtx(ctx, "StatDir")
 	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
@@ -870,6 +1005,7 @@ func (c *Client) StatDir(path string) (a *Attr, err error) {
 		return nil, err
 	}
 	return &Attr{
+		Kind:  KindDir,
 		IsDir: true,
 		Mode:  ino.Mode(),
 		UID:   ino.UID(), GID: ino.GID(),
@@ -880,8 +1016,13 @@ func (c *Client) StatDir(path string) (a *Attr, err error) {
 
 // Create makes an empty file (the mdtest "touch"): resolve the parent
 // directory (cached: zero trips) and issue one FMS create.
-func (c *Client) Create(path string, mode uint32) (err error) {
-	oc := c.startOp("Create")
+func (c *Client) Create(path string, mode uint32) error {
+	return c.CreateContext(context.Background(), path, mode)
+}
+
+// CreateContext is Create under ctx.
+func (c *Client) CreateContext(ctx context.Context, path string, mode uint32) (err error) {
+	oc := c.startOpCtx(ctx, "Create")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -915,9 +1056,16 @@ func (c *Client) Create(path string, mode uint32) (err error) {
 	return st.Err()
 }
 
-// StatFile stats a file: one round trip to its FMS.
-func (c *Client) StatFile(path string) (a *Attr, err error) {
-	oc := c.startOp("StatFile")
+// StatFile stats a path known to be a regular file — a kind-specific
+// shortcut for Stat that goes straight to the file's FMS (one round trip).
+// A directory path answers ENOENT.
+func (c *Client) StatFile(path string) (*Attr, error) {
+	return c.StatFileContext(context.Background(), path)
+}
+
+// StatFileContext is StatFile under ctx.
+func (c *Client) StatFileContext(ctx context.Context, path string) (a *Attr, err error) {
+	oc := c.startOpCtx(ctx, "StatFile")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -951,6 +1099,7 @@ func (c *Client) statOn(dir uuid.UUID, name string, oc opCtx) (*fms.FileMeta, er
 
 func metaToAttr(m *fms.FileMeta) *Attr {
 	return &Attr{
+		Kind: KindFile,
 		Mode: m.Access.Mode(),
 		UID:  m.Access.UID(), GID: m.Access.GID(),
 		Size:      m.Content.Size(),
@@ -962,29 +1111,41 @@ func metaToAttr(m *fms.FileMeta) *Attr {
 	}
 }
 
-// Stat stats a path of unknown kind: it asks the file's FMS first (files
-// dominate) and falls back to the DMS for directories.
+// Stat stats a path of any kind and reports what it found in Attr.Kind
+// (KindFile or KindDir). It asks the file's FMS first (files dominate) and
+// falls back to the DMS for directories; callers that already know the
+// kind can use the StatFile/StatDir shortcuts and skip the probe.
 func (c *Client) Stat(path string) (*Attr, error) {
+	return c.StatContext(context.Background(), path)
+}
+
+// StatContext is Stat under ctx.
+func (c *Client) StatContext(ctx context.Context, path string) (*Attr, error) {
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return nil, wire.StatusInval.Err()
 	}
 	if cleaned == "/" {
-		return c.StatDir(cleaned)
+		return c.StatDirContext(ctx, cleaned)
 	}
-	a, err := c.StatFile(cleaned)
+	a, err := c.StatFileContext(ctx, cleaned)
 	if err == nil {
 		return a, nil
 	}
 	if wire.StatusOf(err) != wire.StatusNotFound {
 		return nil, err
 	}
-	return c.StatDir(cleaned)
+	return c.StatDirContext(ctx, cleaned)
 }
 
 // Remove deletes a file and its data blocks.
-func (c *Client) Remove(path string) (err error) {
-	oc := c.startOp("Remove")
+func (c *Client) Remove(path string) error {
+	return c.RemoveContext(context.Background(), path)
+}
+
+// RemoveContext is Remove under ctx.
+func (c *Client) RemoveContext(ctx context.Context, path string) (err error) {
+	oc := c.startOpCtx(ctx, "Remove")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -1054,8 +1215,13 @@ func (c *Client) deleteBlocks(oc opCtx, dels ...blockDel) {
 }
 
 // Chmod changes a file's permission bits (access part only, Table 1).
-func (c *Client) Chmod(path string, mode uint32) (err error) {
-	oc := c.startOp("Chmod")
+func (c *Client) Chmod(path string, mode uint32) error {
+	return c.ChmodContext(context.Background(), path, mode)
+}
+
+// ChmodContext is Chmod under ctx.
+func (c *Client) ChmodContext(ctx context.Context, path string, mode uint32) (err error) {
+	oc := c.startOpCtx(ctx, "Chmod")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -1070,8 +1236,13 @@ func (c *Client) Chmod(path string, mode uint32) (err error) {
 }
 
 // Chown changes a file's owner (access part only).
-func (c *Client) Chown(path string, uid, gid uint32) (err error) {
-	oc := c.startOp("Chown")
+func (c *Client) Chown(path string, uid, gid uint32) error {
+	return c.ChownContext(context.Background(), path, uid, gid)
+}
+
+// ChownContext is Chown under ctx.
+func (c *Client) ChownContext(ctx context.Context, path string, uid, gid uint32) (err error) {
+	oc := c.startOpCtx(ctx, "Chown")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -1086,8 +1257,13 @@ func (c *Client) Chown(path string, uid, gid uint32) (err error) {
 }
 
 // Access checks permissions on a file (reads the access part only).
-func (c *Client) Access(path string, wantWrite bool) (err error) {
-	oc := c.startOp("Access")
+func (c *Client) Access(path string, wantWrite bool) error {
+	return c.AccessContext(context.Background(), path, wantWrite)
+}
+
+// AccessContext is Access under ctx.
+func (c *Client) AccessContext(ctx context.Context, path string, wantWrite bool) (err error) {
+	oc := c.startOpCtx(ctx, "Access")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -1102,8 +1278,13 @@ func (c *Client) Access(path string, wantWrite bool) (err error) {
 }
 
 // Utimens sets a file's atime/mtime (content part only).
-func (c *Client) Utimens(path string, atime, mtime int64) (err error) {
-	oc := c.startOp("Utimens")
+func (c *Client) Utimens(path string, atime, mtime int64) error {
+	return c.UtimensContext(context.Background(), path, atime, mtime)
+}
+
+// UtimensContext is Utimens under ctx.
+func (c *Client) UtimensContext(ctx context.Context, path string, atime, mtime int64) (err error) {
+	oc := c.startOpCtx(ctx, "Utimens")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -1118,8 +1299,13 @@ func (c *Client) Utimens(path string, atime, mtime int64) (err error) {
 }
 
 // Truncate sets a file's size and trims its data blocks.
-func (c *Client) Truncate(path string, size uint64) (err error) {
-	oc := c.startOp("Truncate")
+func (c *Client) Truncate(path string, size uint64) error {
+	return c.TruncateContext(context.Background(), path, size)
+}
+
+// TruncateContext is Truncate under ctx.
+func (c *Client) TruncateContext(ctx context.Context, path string, size uint64) (err error) {
+	oc := c.startOpCtx(ctx, "Truncate")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {
@@ -1143,21 +1329,26 @@ func (c *Client) Truncate(path string, size uint64) (err error) {
 }
 
 // ChmodDir changes a directory's permission bits on the DMS.
-func (c *Client) ChmodDir(path string, mode uint32) (err error) {
-	oc := c.startOp("ChmodDir")
+func (c *Client) ChmodDir(path string, mode uint32) error {
+	return c.ChmodDirContext(context.Background(), path, mode)
+}
+
+// ChmodDirContext is ChmodDir under ctx.
+func (c *Client) ChmodDirContext(ctx context.Context, path string, mode uint32) (err error) {
+	oc := c.startOpCtx(ctx, "ChmodDir")
 	defer func() { oc.finish(err) }()
 	cleaned, err := fspath.Clean(path)
 	if err != nil {
 		return wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(cleaned).U32(mode).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(oc, wire.OpChmodDir, body)
+	st, resp, src, err := c.dmsCall(oc, cleaned, false, wire.OpChmodDir, body)
 	if err != nil {
 		return err
 	}
 	if st == wire.StatusOK && c.cache != nil {
 		last, n := decodePub(wire.NewDec(resp))
-		c.cache.selfPatched(cleaned, last, n)
+		c.cache.selfPatchedFrom(src, cleaned, last, n)
 	}
 	return st.Err()
 }
@@ -1165,8 +1356,16 @@ func (c *Client) ChmodDir(path string, mode uint32) (err error) {
 // RenameDir renames a directory; the DMS relocates the subtree's d-inodes
 // (a prefix move on the tree store) while files and data stay put (§3.4.2).
 // It returns the number of relocated directory inodes.
-func (c *Client) RenameDir(oldPath, newPath string) (n int, err error) {
-	oc := c.startOp("RenameDir")
+func (c *Client) RenameDir(oldPath, newPath string) (int, error) {
+	return c.RenameDirContext(context.Background(), oldPath, newPath)
+}
+
+// RenameDirContext is RenameDir under ctx. Against a sharded DMS a rename
+// whose source and destination live on different partitions runs as a
+// two-partition commit coordinated by the source leader (DESIGN.md §16) —
+// same result, roughly double the cost of a partition-local rename.
+func (c *Client) RenameDirContext(ctx context.Context, oldPath, newPath string) (n int, err error) {
+	oc := c.startOpCtx(ctx, "RenameDir")
 	defer func() { oc.finish(err) }()
 	oldC, err := fspath.Clean(oldPath)
 	if err != nil {
@@ -1177,7 +1376,8 @@ func (c *Client) RenameDir(oldPath, newPath string) (n int, err error) {
 		return 0, wire.StatusInval.Err()
 	}
 	body := wire.NewEnc().Str(oldC).Str(newC).U32(c.uid).U32(c.gid).Bytes()
-	st, resp, err := c.dms.CallT(oc, wire.OpRenameDir, body)
+	// The source partition's leader coordinates; route by oldC.
+	st, resp, src, err := c.dmsCall(oc, oldC, false, wire.OpRenameDir, body)
 	if err != nil {
 		return 0, err
 	}
@@ -1188,7 +1388,21 @@ func (c *Client) RenameDir(oldPath, newPath string) (n int, err error) {
 	moved := d.U64()
 	if c.cache != nil {
 		last, n := decodePub(d)
-		c.cache.selfRenamed(oldC, newC, last, n)
+		cross := false
+		if pm := c.partMap(); pm != nil && pm.Locate(oldC) != pm.Locate(newC) {
+			cross = true
+		}
+		if !cross {
+			c.cache.selfRenamedFrom(src, oldC, newC, last, n)
+		} else {
+			// Two partitions published recalls for this rename but the
+			// trailer carries only the source side's. Drop both subtrees
+			// unconditionally and account just the source watermarks; the
+			// destination side's recalls arrive through its own channel.
+			c.cache.invalidateSubtree(oldC)
+			c.cache.invalidateSubtree(newC)
+			c.cache.accountPub(src, last, n)
+		}
 	}
 	return int(moved), nil
 }
@@ -1196,8 +1410,13 @@ func (c *Client) RenameDir(oldPath, newPath string) (n int, err error) {
 // RenameFile renames a file. Only the metadata object moves (its placement
 // key directory_uuid + file_name changed); data blocks are addressed by the
 // stable file UUID and never move (§3.4.2).
-func (c *Client) RenameFile(oldPath, newPath string) (err error) {
-	oc := c.startOp("RenameFile")
+func (c *Client) RenameFile(oldPath, newPath string) error {
+	return c.RenameFileContext(context.Background(), oldPath, newPath)
+}
+
+// RenameFileContext is RenameFile under ctx.
+func (c *Client) RenameFileContext(ctx context.Context, oldPath, newPath string) (err error) {
+	oc := c.startOpCtx(ctx, "RenameFile")
 	defer func() { oc.finish(err) }()
 	oldParent, _, oldName, err := c.splitPath(oldPath, oc)
 	if err != nil {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -97,7 +98,15 @@ type endpoint struct {
 	// onLease, when set, receives the recall sequence stamped on every
 	// response (see wire.Msg.Lease) — the same passive channel, for
 	// noticing directory mutations that may invalidate cached leases.
+	// For DMS partition endpoints the hook is bound to the endpoint's
+	// partition id, so sequences from different lease tables never mix.
 	onLease func(seq uint64)
+
+	// onPMap, when set, receives the partition-map version stamped on
+	// every response (see wire.Msg.PMap) — the passive channel for
+	// noticing that the DMS partition map changed (a failover or re-split)
+	// without any push protocol.
+	onPMap func(ver uint64)
 
 	mu        sync.Mutex
 	cl        *rpc.Client
@@ -107,8 +116,8 @@ type endpoint struct {
 }
 
 // dialEndpoint connects the first generation.
-func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience, onEpoch, onLease func(uint64)) (*endpoint, error) {
-	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res, onEpoch: onEpoch, onLease: onLease}
+func dialEndpoint(d netsim.Dialer, addr string, link netsim.LinkConfig, telem *clientTelem, res *resilience, onEpoch, onLease, onPMap func(uint64)) (*endpoint, error) {
+	e := &endpoint{dialer: d, addr: addr, link: link, telem: telem, res: res, onEpoch: onEpoch, onLease: onLease, onPMap: onPMap}
 	e.brk = newBreaker(res.breaker, res.now, func(state string) {
 		telem.reg.Counter(MetricBreaker,
 			telemetry.L("addr", addr), telemetry.L("state", state)).Inc()
@@ -166,6 +175,17 @@ func (e *endpoint) CallT(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte
 	return st, resp, err
 }
 
+// CallTR is CallT with an explicit dedup request id. A non-zero req pins
+// the id across callers' own higher-level retries — the partition router
+// uses it so a mutation re-sent to a promoted leader after a failover
+// replays from the replicated applied table instead of executing twice.
+// req == 0 behaves exactly like CallT (the endpoint mints one per call for
+// non-idempotent ops).
+func (e *endpoint) CallTR(oc opCtx, op wire.Op, body []byte, req uint64) (wire.Status, []byte, error) {
+	st, resp, _, err := e.callV(oc, op, body, req)
+	return st, resp, err
+}
+
 // CallV issues one request stamped with oc's trace ID under the client's
 // fault-tolerance policy (per-attempt deadline, bounded retries through
 // fresh connections, circuit breaker — see callAttempts), and returns the
@@ -178,13 +198,17 @@ func (e *endpoint) CallT(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte
 // the server address, each retry and any breaker fast-fail) whose ID rides
 // the wire header as the parent of the server-side span.
 func (e *endpoint) CallV(oc opCtx, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
+	return e.callV(oc, op, body, 0)
+}
+
+func (e *endpoint) callV(oc opCtx, op wire.Op, body []byte, req uint64) (wire.Status, []byte, time.Duration, error) {
 	sp := oc.sp.StartChild("rpc:" + op.String())
 	if sp != nil {
 		sp.Annotate("addr=" + e.addr)
 	}
 	t0 := time.Now()
 	e.telem.inflight.Add(1)
-	st, resp, virt, err := e.callAttempts(oc.tid, sp, op, body)
+	st, resp, virt, err := e.callAttempts(oc, sp, op, body, req)
 	e.telem.inflight.Add(-1)
 	rtt := time.Since(t0)
 	m := e.telem.forOp(op)
@@ -277,9 +301,8 @@ func (e *endpoint) CallBatch(oc opCtx, subs []wire.SubReq) ([]wire.SubResp, time
 // once no matter how deliveries are duplicated (wire.Op.Idempotent is the
 // retry matrix; OpBatch envelopes are retried freely because the client
 // only batches idempotent sub-ops: readdir pages and block deletes).
-func (e *endpoint) callAttempts(tid uint64, sp *trace.Span, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, error) {
-	var req uint64
-	if !op.Idempotent() && op != wire.OpBatch {
+func (e *endpoint) callAttempts(oc opCtx, sp *trace.Span, op wire.Op, body []byte, req uint64) (wire.Status, []byte, time.Duration, error) {
+	if req == 0 && !op.Idempotent() && op != wire.OpBatch {
 		req = e.res.nextReq()
 	}
 	m := e.telem.forOp(op)
@@ -291,12 +314,25 @@ func (e *endpoint) callAttempts(tid uint64, sp *trace.Span, op wire.Op, body []b
 		if attempt > 0 {
 			d := e.res.retry.backoff(attempt)
 			m.retries.Inc()
-			e.telem.fl.Emit(flight.KindRetry, "client", op.String(), tid, int64(attempt), e.addr)
+			e.telem.fl.Emit(flight.KindRetry, "client", op.String(), oc.tid, int64(attempt), e.addr)
 			if sp != nil {
 				sp.Annotate(fmt.Sprintf("retry=%d backoff=%v", attempt, d))
 			}
 			if d > 0 {
-				time.Sleep(d)
+				// Backoff waits honor the operation's context: a cancelled
+				// caller stops retrying immediately instead of sleeping out
+				// the full schedule first.
+				if oc.ctx != nil {
+					t := time.NewTimer(d)
+					select {
+					case <-oc.ctx.Done():
+						t.Stop()
+						return st, resp, virt, ctxAttemptErr(oc.ctx.Err())
+					case <-t.C:
+					}
+				} else {
+					time.Sleep(d)
+				}
 			}
 		}
 		if berr := e.brk.allow(); berr != nil {
@@ -308,7 +344,7 @@ func (e *endpoint) callAttempts(tid uint64, sp *trace.Span, op wire.Op, body []b
 			e.telem.fastFails().Inc()
 			return wire.StatusUnavailable, nil, virt, berr
 		}
-		st, resp, virt, err = e.callOnce(tid, sp, op, body, req)
+		st, resp, virt, err = e.callOnce(oc, sp, op, body, req)
 		failed := err != nil || st == wire.StatusUnavailable
 		e.brk.report(!failed)
 		if !failed {
@@ -317,24 +353,42 @@ func (e *endpoint) callAttempts(tid uint64, sp *trace.Span, op wire.Op, body []b
 		if wire.StatusOf(err) == wire.StatusDeadline {
 			m.deadlines.Inc()
 		}
+		// A cancelled or expired operation context ends the whole call —
+		// retrying on the caller's behalf after it gave up would only burn
+		// backoff time (its per-attempt deadline may still retry above).
+		if oc.ctx != nil && oc.ctx.Err() != nil {
+			return st, resp, virt, err
+		}
 	}
 	return st, resp, virt, err
+}
+
+// ctxAttemptErr maps an operation context's termination to the call error:
+// an expired deadline becomes the same wire.StatusDeadline error a
+// per-attempt timeout produces (it also matches context.DeadlineExceeded
+// under errors.Is), a bare cancellation surfaces as the context's error.
+func ctxAttemptErr(err error) error {
+	if err == context.DeadlineExceeded {
+		return wire.StatusDeadline.Err()
+	}
+	return err
 }
 
 // callOnce performs a single attempt on the current connection generation,
 // retiring it on any transport- or deadline-level failure so the next
 // attempt (or call) starts from a fresh dial.
-func (e *endpoint) callOnce(tid uint64, sp *trace.Span, op wire.Op, body []byte, req uint64) (wire.Status, []byte, time.Duration, error) {
+func (e *endpoint) callOnce(oc opCtx, sp *trace.Span, op wire.Op, body []byte, req uint64) (wire.Status, []byte, time.Duration, error) {
 	cl, err := e.current()
 	if err != nil {
 		return wire.StatusIO, nil, 0, err
 	}
 	st, resp, virt, err := cl.Do(rpc.CallSpec{
-		Op: op, Body: body,
-		Trace: tid, Span: sp.ID(), Req: req,
+		Op: op, Body: body, Ctx: oc.ctx,
+		Trace: oc.tid, Span: sp.ID(), Req: req,
 		Timeout: e.res.timeout,
 		OnEpoch: e.onEpoch,
 		OnLease: e.onLease,
+		OnPMap:  e.onPMap,
 	})
 	if err != nil {
 		// The connection is unusable (died) or suspect (a response may

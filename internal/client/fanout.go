@@ -130,13 +130,15 @@ func (c *Client) readPages(e *endpoint, oc opCtx, op wire.Op, mkBody func(cursor
 }
 
 // readSubdirPages drains the DMS subdirectory listing for a directory
-// whose inode was cached but whose listing was not. It is readPages with
-// one addition: when the first page is the complete listing and carries a
+// whose inode was cached but whose listing was not. e is the endpoint
+// owning the listing (the routed partition leader, or the bootstrap DMS
+// when unsharded) and src its partition. It is readPages with one
+// addition: when the first page is the complete listing and carries a
 // listing lease, it is installed in the directory cache, so the next
 // readdir's DMS branch costs zero trips (the cold-miss path does the same
 // inside resolveForReaddir).
-func (c *Client) readSubdirPages(cleaned string, oc opCtx, mkBody func(cursor string, skip uint32) []byte) ([]DirEntry, time.Duration, error) {
-	st, resp, virt, err := c.dms.CallV(oc, wire.OpReaddirSubdirs, mkBody("", 0))
+func (c *Client) readSubdirPages(e *endpoint, src uint32, cleaned string, oc opCtx, mkBody func(cursor string, skip uint32) []byte) ([]DirEntry, time.Duration, error) {
+	st, resp, virt, err := e.CallV(oc, wire.OpReaddirSubdirs, mkBody("", 0))
 	if err != nil {
 		return nil, virt, err
 	}
@@ -148,9 +150,9 @@ func (c *Client) readSubdirPages(cleaned string, oc opCtx, mkBody func(cursor st
 		return nil, virt, err
 	}
 	if c.cache != nil && g.Valid() && !more {
-		c.cache.putList(cleaned, ents, g)
+		c.cache.putListFrom(src, cleaned, ents, g)
 	}
-	out, vrest, err := c.readMorePages(c.dms, oc, wire.OpReaddirSubdirs, mkBody, true, ents, more, remaining)
+	out, vrest, err := c.readMorePages(e, oc, wire.OpReaddirSubdirs, mkBody, true, ents, more, remaining)
 	return out, virt + vrest, err
 }
 

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"sync"
 
 	"locofs/internal/fms"
@@ -25,8 +26,14 @@ type File struct {
 }
 
 // Open opens a file for reading (write=false) or reading+writing.
-func (c *Client) Open(path string, write bool) (f *File, err error) {
-	oc := c.startOp("Open")
+func (c *Client) Open(path string, write bool) (*File, error) {
+	return c.OpenContext(context.Background(), path, write)
+}
+
+// OpenContext is Open under ctx. The context bounds only the open itself;
+// the returned handle's reads and writes are not tied to it.
+func (c *Client) OpenContext(ctx context.Context, path string, write bool) (f *File, err error) {
+	oc := c.startOpCtx(ctx, "Open")
 	defer func() { oc.finish(err) }()
 	parent, _, name, err := c.splitPath(path, oc)
 	if err != nil {

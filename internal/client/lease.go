@@ -20,25 +20,32 @@ import (
 const DefaultHotRefreshInterval = 5 * time.Second
 
 // observeLease receives the recall sequence stamped on every response
-// header (rpc.CallSpec.OnLease). TTL-only caches ignore it: they trust
-// entries for the configured lease regardless of server-side mutations.
-func (c *Client) observeLease(seq uint64) {
+// header (rpc.CallSpec.OnLease) by the single unsharded DMS. TTL-only
+// caches ignore it: they trust entries for the configured lease regardless
+// of server-side mutations.
+func (c *Client) observeLease(seq uint64) { c.observeLeaseFrom(0, seq) }
+
+// observeLeaseFrom receives a recall sequence stamped by DMS partition src.
+// Each partition endpoint's OnLease hook is bound to its partition id, so
+// the per-source cache watermarks never mix incomparable sequences.
+func (c *Client) observeLeaseFrom(src uint32, seq uint64) {
 	if ca := c.cache; ca != nil && ca.coherent {
-		ca.observe(seq)
+		ca.observeFrom(src, seq)
 	}
 }
 
-// cacheBehind reports whether the cache must fetch missed recalls, and the
-// applied watermark to fetch from.
-func (c *Client) cacheBehind() (since uint64, ok bool) {
+// cacheBehind reports whether the cache must fetch missed recalls from
+// source src, and that source's applied watermark to fetch from.
+func (c *Client) cacheBehind(src uint32) (since uint64, ok bool) {
 	if c.cache == nil {
 		return 0, false
 	}
-	return c.cache.behind()
+	return c.cache.behindFrom(src)
 }
 
-// applyRecallResp decodes an OpLeaseRecall response body and applies it.
-func (c *Client) applyRecallResp(body []byte) {
+// applyRecallResp decodes an OpLeaseRecall response body fetched from
+// source src and applies it.
+func (c *Client) applyRecallResp(src uint32, body []byte) {
 	if c.cache == nil {
 		return
 	}
@@ -46,7 +53,7 @@ func (c *Client) applyRecallResp(body []byte) {
 	if err != nil {
 		return
 	}
-	c.cache.applyRecalls(cur, reset, entries)
+	c.cache.applyRecallsFrom(src, cur, reset, entries)
 }
 
 // decodePub reads the publication trailer (last recall sequence, entry
@@ -107,8 +114,11 @@ func (c *Client) hotRefreshLoop(n int, interval time.Duration, clk func() time.T
 
 // refreshHot ranks the top n resolved directories, installs them as the hot
 // set (so subsequent puts stretch their leases), and re-resolves them — in
-// one batched DMS round trip when batching is enabled — so hot entries are
-// renewed in the background instead of expiring under foreground traffic.
+// one batched DMS round trip per partition when batching is enabled — so
+// hot entries are renewed in the background instead of expiring under
+// foreground traffic. Against a sharded DMS the hot paths are grouped by
+// their owning partition leader first (one group, the bootstrap endpoint,
+// when unsharded).
 func (c *Client) refreshHot(n int) {
 	ca := c.cache
 	if ca == nil || ca.hot == nil {
@@ -119,36 +129,65 @@ func (c *Client) refreshHot(n int) {
 		return
 	}
 	set := make(map[string]struct{}, len(top))
-	paths := make([]string, 0, len(top))
 	for _, h := range top {
 		set[h.Key] = struct{}{}
-		paths = append(paths, h.Key)
 	}
 	ca.setHot(set)
 	oc := c.startOp("HotRefresh")
 	var err error
 	defer func() { oc.finish(err) }()
+	type hotGroup struct {
+		e     *endpoint
+		src   uint32
+		paths []string
+	}
+	byEp := make(map[*endpoint]*hotGroup)
+	var order []*hotGroup
+	for _, h := range top {
+		e, src, rerr := c.routeDMS(h.Key, false)
+		if rerr != nil {
+			continue
+		}
+		g, ok := byEp[e]
+		if !ok {
+			g = &hotGroup{e: e, src: src}
+			byEp[e] = g
+			order = append(order, g)
+		}
+		g.paths = append(g.paths, h.Key)
+	}
+	for _, g := range order {
+		if gerr := c.refreshHotGroup(oc, g.e, g.src, g.paths); gerr != nil {
+			err = gerr
+			return
+		}
+	}
+}
+
+// refreshHotGroup re-resolves one endpoint's hot paths, piggybacking that
+// source's recall catch-up on the batch (or issuing it standalone with
+// batching disabled).
+func (c *Client) refreshHotGroup(oc opCtx, e *endpoint, src uint32, paths []string) error {
 	if c.disableBatch {
 		for _, p := range paths {
 			body := wire.NewEnc().Str(p).U32(c.uid).U32(c.gid).Bytes()
-			st, resp, cerr := c.dms.CallT(oc, wire.OpLookupDir, body)
+			st, resp, cerr := e.CallT(oc, wire.OpLookupDir, body)
 			if cerr != nil {
-				err = cerr
-				return
+				return cerr
 			}
 			if st == wire.StatusOK {
-				c.cacheLookupChain(p, resp)
+				c.cacheLookupChainFrom(src, p, resp)
 			}
 		}
-		if since, behind := c.cacheBehind(); behind {
+		if since, behind := c.cacheBehind(src); behind {
 			// No batch to piggyback on: fetch missed recalls standalone so
 			// the refreshed entries become servable (see resolveDir).
-			st, resp, cerr := c.dms.CallT(oc, wire.OpLeaseRecall, wire.EncodeRecallReq(since))
+			st, resp, cerr := e.CallT(oc, wire.OpLeaseRecall, wire.EncodeRecallReq(since))
 			if cerr == nil && st == wire.StatusOK {
-				c.applyRecallResp(resp)
+				c.applyRecallResp(src, resp)
 			}
 		}
-		return
+		return nil
 	}
 	subs := make([]wire.SubReq, 0, len(paths)+1)
 	for _, p := range paths {
@@ -158,20 +197,21 @@ func (c *Client) refreshHot(n int) {
 		})
 	}
 	recallAt := -1
-	if since, behind := c.cacheBehind(); behind {
+	if since, behind := c.cacheBehind(src); behind {
 		recallAt = len(subs)
 		subs = append(subs, wire.SubReq{Op: wire.OpLeaseRecall, Body: wire.EncodeRecallReq(since)})
 	}
-	resps, _, err := c.dms.CallBatch(oc, subs)
+	resps, _, err := e.CallBatch(oc, subs)
 	if err != nil {
-		return
+		return err
 	}
 	for i, p := range paths {
 		if resps[i].Status == wire.StatusOK {
-			c.cacheLookupChain(p, resps[i].Body)
+			c.cacheLookupChainFrom(src, p, resps[i].Body)
 		}
 	}
 	if recallAt >= 0 && resps[recallAt].Status == wire.StatusOK {
-		c.applyRecallResp(resps[recallAt].Body)
+		c.applyRecallResp(src, resps[recallAt].Body)
 	}
+	return nil
 }

@@ -1,0 +1,311 @@
+package client
+
+// DMS partition routing (DESIGN.md §16). A sharded DMS splits the directory
+// namespace into subtree range partitions, each a replicated group whose
+// leader serves that range's operations. The client holds the versioned
+// partition map (wire.PartMap) and routes every DMS request before dialing:
+// path → partition (deepest-cut match) → leader endpoint. Against an
+// unsharded DMS the map is nil and every request goes to the bootstrap
+// endpoint, byte-for-byte the pre-sharding behavior.
+//
+// Map staleness is learned two ways, mirroring the FMS membership epoch
+// protocol (view.go): passively, from the partition-map version stamped on
+// every response header (wire.Msg.PMap → observePMap → async refresh), and
+// actively, when a request trips over the change — an explicit EWRONGPART
+// from a node that does not own the path under its installed map, or a
+// transport error from a leader that died. Both trigger a synchronous
+// refetch (OpGetPartMap, answered by any replica) and a bounded retry.
+// Mutations retried across a failover carry the same dedup request id, so a
+// mutation that committed before the crash replays its recorded response
+// from the new leader's replicated applied table instead of executing
+// twice.
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/wire"
+)
+
+// dmsRouteAttempts bounds the route-refresh-retry loop: first try, plus
+// retries after map refreshes triggered by EWRONGPART or a dead leader.
+const dmsRouteAttempts = 4
+
+// partMap returns the installed partition map, nil when unsharded.
+func (c *Client) partMap() *wire.PartMap { return c.pmap.Load() }
+
+// observePMap receives the partition-map version stamped on every response
+// header. It keeps maxPVer at the highest version seen and kicks off one
+// asynchronous map refresh when the installed map has fallen behind — the
+// passive path by which clients notice a failover within about one round
+// trip. A client of an unsharded cluster never sees a non-zero version and
+// never pays anything here.
+func (c *Client) observePMap(ver uint64) {
+	for {
+		cur := c.maxPVer.Load()
+		if ver <= cur {
+			break
+		}
+		if c.maxPVer.CompareAndSwap(cur, ver) {
+			break
+		}
+	}
+	pm := c.pmap.Load()
+	if (pm == nil || ver > pm.Ver) && c.pmRefreshing.CompareAndSwap(false, true) {
+		go func() {
+			defer c.pmRefreshing.Store(false)
+			c.refreshPartMap(opCtx{}, "")
+		}()
+	}
+}
+
+// refreshPartMap fetches the partition map and installs it if newer than
+// the installed one. Fetches are serialized; concurrent callers queue
+// rather than race. Candidates are tried in order: every replica of the
+// installed map (leaders first — they are known-recent), then the bootstrap
+// endpoint; avoid (a just-failed leader address) is demoted to last. The
+// first decodable map wins. Finding no map anywhere leaves the client in
+// its current mode.
+func (c *Client) refreshPartMap(oc opCtx, avoid string) error {
+	c.pmapFetchMu.Lock()
+	defer c.pmapFetchMu.Unlock()
+	type cand struct {
+		addr string
+		pid  uint32
+	}
+	var cands []cand
+	seen := map[string]bool{}
+	add := func(addr string, pid uint32) {
+		if addr != "" && !seen[addr] {
+			seen[addr] = true
+			cands = append(cands, cand{addr, pid})
+		}
+	}
+	if pm := c.pmap.Load(); pm != nil {
+		for pid, g := range pm.Groups {
+			if len(g) > 0 {
+				add(g[0], uint32(pid))
+			}
+		}
+		for pid, g := range pm.Groups {
+			for _, a := range g[min(1, len(g)):] {
+				add(a, uint32(pid))
+			}
+		}
+	}
+	add(c.dmsAddr, 0)
+	// Demote the failed address: it stays a candidate (it may be the only
+	// one) but everything else is asked first.
+	for i, cd := range cands {
+		if cd.addr == avoid && len(cands) > 1 {
+			cands = append(append(cands[:i:i], cands[i+1:]...), cd)
+			break
+		}
+	}
+	var lastErr error
+	for _, cd := range cands {
+		e, err := c.dmsEndpointAt(cd.addr, cd.pid)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, resp, err := e.CallT(oc, wire.OpGetPartMap, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if st != wire.StatusOK {
+			// ENOENT/EINVAL: the node has no map (or is a legacy DMS that
+			// does not speak the op). Not an error — try the next candidate.
+			lastErr = st.Err()
+			continue
+		}
+		pm, err := wire.DecodePartMap(resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.installPartMap(pm)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: no partition map source")
+	}
+	return lastErr
+}
+
+// installPartMap swaps in pm unless an equal-or-newer map is installed.
+func (c *Client) installPartMap(pm *wire.PartMap) {
+	if len(pm.Groups) == 0 {
+		return
+	}
+	c.pmapMu.Lock()
+	defer c.pmapMu.Unlock()
+	if cur := c.pmap.Load(); cur != nil && pm.Ver <= cur.Ver {
+		return
+	}
+	c.pmap.Store(pm)
+	for {
+		cur := c.maxPVer.Load()
+		if pm.Ver <= cur || c.maxPVer.CompareAndSwap(cur, pm.Ver) {
+			break
+		}
+	}
+}
+
+// dmsEndpointAt returns the connection to the DMS replica at addr, dialing
+// it on first use. pid binds the endpoint's OnLease hook to the partition's
+// recall-sequence source; an address serves one partition for its lifetime
+// (failovers promote within a group, they never move an address across
+// groups), so the binding is stable.
+func (c *Client) dmsEndpointAt(addr string, pid uint32) (*endpoint, error) {
+	c.dmsEpMu.Lock()
+	defer c.dmsEpMu.Unlock()
+	if e, ok := c.dmsEps[addr]; ok {
+		return e, nil
+	}
+	e, err := c.dialDMSPart(addr, pid)
+	if err != nil {
+		return nil, err
+	}
+	c.dmsEps[addr] = e
+	return e, nil
+}
+
+// dmsEndpoints snapshots every DMS connection ever dialed (for Close,
+// Trips, Cost). The bootstrap endpoint is seeded into the registry at Dial,
+// so it appears exactly once.
+func (c *Client) dmsEndpoints() []*endpoint {
+	c.dmsEpMu.Lock()
+	defer c.dmsEpMu.Unlock()
+	out := make([]*endpoint, 0, len(c.dmsEps))
+	for _, e := range c.dmsEps {
+		out = append(out, e)
+	}
+	return out
+}
+
+// routeDMS resolves the DMS endpoint and recall source for a cleaned path:
+// the leader of the partition owning the path's metadata — or, with list
+// set, the path's subdir listing (a cut directory's inode and listing live
+// on different partitions, see wire.PartMap.LocateList). Unsharded clients
+// route everything to the bootstrap endpoint as source 0.
+func (c *Client) routeDMS(path string, list bool) (*endpoint, uint32, error) {
+	pm := c.pmap.Load()
+	if pm == nil {
+		return c.dms, 0, nil
+	}
+	var pid uint32
+	if list {
+		pid = pm.LocateList(path)
+	} else {
+		pid = pm.Locate(path)
+	}
+	addr := pm.Leader(pid)
+	if addr == "" {
+		return nil, pid, wire.StatusUnavailable.Err()
+	}
+	e, err := c.dmsEndpointAt(addr, pid)
+	if err != nil {
+		return nil, pid, err
+	}
+	return e, pid, nil
+}
+
+// dmsCall issues one DMS request routed by path, retrying through map
+// refreshes on EWRONGPART (stale routing) and on transport errors (dead
+// leader) up to dmsRouteAttempts times. Non-idempotent requests carry one
+// dedup id across every attempt and every endpoint, so a mutation is
+// executed at most once cluster-wide no matter where the retries land. The
+// returned source is the partition that served the final attempt — the key
+// for the caller's cache accounting.
+func (c *Client) dmsCall(oc opCtx, path string, list bool, op wire.Op, body []byte) (wire.Status, []byte, uint32, error) {
+	st, resp, _, _, src, err := c.dmsCallV(oc, path, list, op, body)
+	return st, resp, src, err
+}
+
+// dmsCallV is dmsCall returning the call's modeled time and the endpoint
+// that served it (for follow-up calls that must stick to one server, e.g.
+// listing pagination).
+func (c *Client) dmsCallV(oc opCtx, path string, list bool, op wire.Op, body []byte) (wire.Status, []byte, time.Duration, *endpoint, uint32, error) {
+	var req uint64
+	if !op.Idempotent() {
+		req = c.res.nextReq()
+	}
+	var (
+		st   wire.Status
+		resp []byte
+		virt time.Duration
+		e    *endpoint
+		src  uint32
+		err  error
+	)
+	for attempt := 0; attempt < dmsRouteAttempts; attempt++ {
+		var rerr error
+		e, src, rerr = c.routeDMS(path, list)
+		if rerr != nil {
+			c.refreshPartMap(oc, "")
+			err = rerr
+			continue
+		}
+		st, resp, virt, err = e.callV(oc, op, body, req)
+		if err != nil {
+			if c.pmap.Load() == nil {
+				return st, resp, virt, e, src, err
+			}
+			c.refreshPartMap(oc, e.addr)
+			continue
+		}
+		if st == wire.StatusWrongPartition {
+			c.refreshPartMap(oc, "")
+			continue
+		}
+		return st, resp, virt, e, src, nil
+	}
+	return st, resp, virt, e, src, err
+}
+
+// dmsBatch issues one batched DMS request routed by path, with the same
+// refresh-and-retry loop as dmsCall (batches carry only idempotent
+// sub-requests, so whole-batch retries are safe). A batch any of whose
+// sub-responses reports EWRONGPART is retried wholesale after a refresh.
+func (c *Client) dmsBatch(oc opCtx, path string, list bool, subs []wire.SubReq) ([]wire.SubResp, uint32, error) {
+	var (
+		resps []wire.SubResp
+		src   uint32
+		err   error
+	)
+	for attempt := 0; attempt < dmsRouteAttempts; attempt++ {
+		var e *endpoint
+		var rerr error
+		e, src, rerr = c.routeDMS(path, list)
+		if rerr != nil {
+			c.refreshPartMap(oc, "")
+			err = rerr
+			continue
+		}
+		resps, _, err = e.CallBatch(oc, subs)
+		if err != nil {
+			if c.pmap.Load() == nil {
+				return resps, src, err
+			}
+			c.refreshPartMap(oc, e.addr)
+			continue
+		}
+		wrong := false
+		for _, r := range resps {
+			if r.Status == wire.StatusWrongPartition {
+				wrong = true
+				break
+			}
+		}
+		if !wrong {
+			return resps, src, nil
+		}
+		c.refreshPartMap(oc, "")
+	}
+	if err == nil {
+		err = wire.StatusWrongPartition.Err()
+	}
+	return resps, src, err
+}

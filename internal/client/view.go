@@ -163,7 +163,16 @@ func (c *Client) refreshView(oc opCtx) error {
 	if c.refreshing.CompareAndSwap(false, true) {
 		defer c.refreshing.Store(false)
 	}
-	st, resp, err := c.dms.CallT(oc, wire.OpGetMembership, nil)
+	// Membership lives on partition 0 (the residual partition, which owns
+	// the root); route there so the fetch survives a bootstrap-leader
+	// failover. Unsharded clients route straight to the bootstrap DMS.
+	e := c.dms
+	if c.pmap.Load() != nil {
+		if ep, _, rerr := c.routeDMS("/", false); rerr == nil {
+			e = ep
+		}
+	}
+	st, resp, err := e.CallT(oc, wire.OpGetMembership, nil)
 	if err != nil {
 		return err
 	}

@@ -7,13 +7,17 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"locofs/internal/client"
 	"locofs/internal/dms"
+	"locofs/internal/dms/partition"
 	"locofs/internal/flight"
 	"locofs/internal/fms"
+	"locofs/internal/fspath"
 	"locofs/internal/kv"
 	"locofs/internal/netsim"
 	"locofs/internal/objstore"
@@ -42,6 +46,24 @@ type Options struct {
 	// DMSOnHashStore runs the DMS on a hash store instead of the B+ tree
 	// (the Fig 14 "hash" rename mode).
 	DMSOnHashStore bool
+	// DMSPartitions shards the directory namespace across this many DMS
+	// partitions (DESIGN.md §16). Default/0/1 with DMSReplicas <= 1 keeps
+	// the single unsharded DMS. Partition 0 is the residual partition
+	// (it owns the root); partition i >= 1 owns the proper descendants of
+	// DMSCuts[i-1].
+	DMSPartitions int
+	// DMSCuts lists the cut directories — at least one per partition
+	// beyond the first (len >= DMSPartitions-1), assigned round-robin to
+	// partitions 1..DMSPartitions-1 in order, so a partition may own
+	// several subtrees. A cut directory's own inode stays with its
+	// parent's partition; create it like any directory before using its
+	// subtree.
+	DMSCuts []string
+	// DMSReplicas is the replica-group size of each DMS partition
+	// (default 1). With more than one, each partition runs a leader and
+	// followers behind a replicated op log and FailoverDMS can promote a
+	// follower after killing the leader.
+	DMSReplicas int
 	// DMSDevice/FMSDevice charge virtual storage time per KV op (Fig 14's
 	// HDD vs SSD). Zero means RAM (no charge).
 	DMSDevice kv.DeviceModel
@@ -161,6 +183,12 @@ func (o Options) withDefaults() Options {
 	if o.OSSCount <= 0 {
 		o.OSSCount = 1
 	}
+	if o.DMSPartitions <= 0 {
+		o.DMSPartitions = 1
+	}
+	if o.DMSReplicas <= 0 {
+		o.DMSReplicas = 1
+	}
 	return o
 }
 
@@ -169,8 +197,15 @@ type Cluster struct {
 	opts Options
 	net  *netsim.Network
 
+	// DMS and DMSStore are the directory metadata server and its store.
+	// On a sharded cluster they alias the current leader of partition 0
+	// (the residual partition) and are repointed by FailoverDMS.
 	DMS      *dms.Server
 	DMSStore *kv.Instrumented
+	// DMSNodes, on a sharded cluster, holds each partition's live replica
+	// nodes leader-first (mirroring the partition map's groups). Tests use
+	// it to reach a leader's crash hooks; FailoverDMS trims it.
+	DMSNodes [][]*partition.Node
 	FMS      []*fms.Server
 	OSS      []*objstore.Server
 
@@ -203,6 +238,18 @@ type Cluster struct {
 	nextFMSID  int32
 	epoch      uint64
 	clientRegs []*telemetry.Registry
+
+	// Sharded-DMS state (DESIGN.md §16), guarded by mu after Start.
+	// dmsGroups mirrors the current partition map's replica groups
+	// (leader first); dmsStores parallels DMSNodes; dmsAllNodes keeps every
+	// node ever started so Close can release peer connections of replaced
+	// leaders too.
+	sharded     bool
+	dmsCuts     []wire.PartCut
+	dmsGroups   [][]string
+	dmsStores   [][]*kv.Instrumented
+	dmsAllNodes []*partition.Node
+	pmVer       uint64
 }
 
 // Start builds and starts a cluster.
@@ -237,26 +284,100 @@ func Start(opts Options) (*Cluster, error) {
 		Dir: opts.FlightDir,
 	})
 
-	// Directory metadata server.
-	var base kv.Store
-	if opts.DMSOnHashStore {
-		base = kv.NewHashStore()
+	// Directory metadata service: one unsharded server, or a partitioned,
+	// replicated node set (DESIGN.md §16).
+	newDMSStore := func() *kv.Instrumented {
+		var base kv.Store
+		if opts.DMSOnHashStore {
+			base = kv.NewHashStore()
+		} else {
+			base = kv.NewBTreeStore()
+		}
+		return kv.Instrument(base, opts.DMSDevice)
+	}
+	c.sharded = opts.DMSPartitions > 1 || opts.DMSReplicas > 1
+	if len(opts.DMSCuts) < opts.DMSPartitions-1 {
+		return nil, fmt.Errorf("core: %d DMS partitions need at least %d cut directories, got %d",
+			opts.DMSPartitions, opts.DMSPartitions-1, len(opts.DMSCuts))
+	}
+	if opts.DMSPartitions == 1 && len(opts.DMSCuts) > 0 {
+		return nil, fmt.Errorf("core: DMS cuts given but only one partition configured")
+	}
+	if !c.sharded {
+		c.DMSStore = newDMSStore()
+		c.DMS = dms.New(dms.Options{
+			Store:            c.DMSStore,
+			CheckPermissions: opts.CheckPermissions,
+			LeaseDur:         opts.Lease,
+		})
+		c.DMS.SetFlight(c.Flight.Journal(), "dms")
+		if err := c.serve("dms", c.DMSStore, c.DMS.Attach); err != nil {
+			return nil, err
+		}
+		c.DMS.RegisterMetrics(c.Metrics["dms"])
 	} else {
-		base = kv.NewBTreeStore()
+		for i, d := range opts.DMSCuts {
+			cd, err := fspath.Clean(d)
+			if err != nil || cd == "/" {
+				return nil, fmt.Errorf("core: invalid DMS cut %q", d)
+			}
+			for _, prev := range c.dmsCuts {
+				if prev.Dir == cd {
+					return nil, fmt.Errorf("core: duplicate DMS cut %q", cd)
+				}
+			}
+			c.dmsCuts = append(c.dmsCuts, wire.PartCut{Dir: cd, PID: uint32(i%(opts.DMSPartitions-1)) + 1})
+		}
+		c.dmsGroups = make([][]string, opts.DMSPartitions)
+		for pid := range c.dmsGroups {
+			for rep := 0; rep < opts.DMSReplicas; rep++ {
+				c.dmsGroups[pid] = append(c.dmsGroups[pid], dmsAddr(pid, rep))
+			}
+		}
+		c.pmVer = 1
+		pm := &wire.PartMap{Ver: c.pmVer, Cuts: c.dmsCuts, Groups: c.dmsGroups}
+		c.DMSNodes = make([][]*partition.Node, opts.DMSPartitions)
+		c.dmsStores = make([][]*kv.Instrumented, opts.DMSPartitions)
+		for pid := 0; pid < opts.DMSPartitions; pid++ {
+			for rep := 0; rep < opts.DMSReplicas; rep++ {
+				addr := dmsAddr(pid, rep)
+				store := newDMSStore()
+				// Replicas of one partition share a ServerID: UUIDs are
+				// drawn deterministically from it, so applying the same op
+				// log yields byte-identical inodes on every replica. The
+				// high bit keeps the IDs clear of the FMS range.
+				ds := dms.New(dms.Options{
+					Store:            store,
+					CheckPermissions: opts.CheckPermissions,
+					LeaseDur:         opts.Lease,
+					ServerID:         0x80000000 | uint32(pid),
+				})
+				ds.SetFlight(c.Flight.Journal(), addr)
+				node := partition.New(partition.Config{
+					PID:     uint32(pid),
+					Index:   rep,
+					Self:    addr,
+					Map:     pm,
+					DMS:     ds,
+					Dialer:  c.net,
+					Journal: c.Flight.Journal(),
+					Source:  addr,
+				})
+				if err := c.serve(addr, store, node.Attach); err != nil {
+					return nil, err
+				}
+				ds.RegisterMetrics(c.Metrics[addr])
+				c.DMSNodes[pid] = append(c.DMSNodes[pid], node)
+				c.dmsStores[pid] = append(c.dmsStores[pid], store)
+				c.dmsAllNodes = append(c.dmsAllNodes, node)
+			}
+		}
+		c.DMS = c.DMSNodes[0][0].DMS()
+		c.DMSStore = c.dmsStores[0][0]
 	}
-	c.DMSStore = kv.Instrument(base, opts.DMSDevice)
-	c.DMS = dms.New(dms.Options{
-		Store:            c.DMSStore,
-		CheckPermissions: opts.CheckPermissions,
-		LeaseDur:         opts.Lease,
-	})
-	c.DMS.SetFlight(c.Flight.Journal(), "dms")
-	if err := c.serve("dms", c.DMSStore, c.DMS.Attach); err != nil {
-		return nil, err
-	}
-	c.DMS.RegisterMetrics(c.Metrics["dms"])
 	// The journal is cluster-wide, so its counters are exported exactly once
-	// (through the DMS registry) to keep SumCounter from double-counting.
+	// (through the bootstrap DMS registry) to keep SumCounter from
+	// double-counting.
 	c.Flight.RegisterMetrics(c.Metrics["dms"])
 
 	// File metadata servers.
@@ -310,6 +431,17 @@ func Start(opts Options) (*Cluster, error) {
 		rs.SetMembership(m, self)
 	}
 	return c, nil
+}
+
+// dmsAddr names DMS partition pid's replica rep on the fabric. Partition
+// 0's leader keeps the address "dms": it is the bootstrap endpoint clients
+// dial first, and the residual partition owning the root — exactly where an
+// unsharded cluster's single DMS lives.
+func dmsAddr(pid, rep int) string {
+	if pid == 0 && rep == 0 {
+		return "dms"
+	}
+	return fmt.Sprintf("dms-p%d-r%d", pid, rep)
 }
 
 // serve starts one rpc.Server for a component on the fabric.
@@ -402,6 +534,7 @@ func (c *Cluster) NewClient(cfg ClientConfig) (*client.Client, error) {
 		Dialer:                c.net,
 		Link:                  c.opts.Link,
 		DMSAddr:               "dms",
+		DMSSharded:            c.sharded,
 		FMSAddrs:              fmsAddrs,
 		FMSIDs:                fmsIDs,
 		OSSAddrs:              c.ossAddrs,
@@ -527,6 +660,72 @@ func (c *Cluster) RemoveFMS() (*client.RebalanceReport, error) {
 	return rep, nil
 }
 
+// FailoverDMS kills the current leader of DMS partition pid and promotes
+// its first surviving follower: the leader's rpc server is shut down (its
+// fabric address disappears, so in-flight client calls fail fast and
+// re-route), a successor partition map with a bumped version is built, and
+// the map is pushed to every live replica of every partition. The promoted
+// follower recovers its partition state (replaying un-applied log entries
+// and resolving in-flight cross-partition renames) synchronously inside the
+// push, so when FailoverDMS returns the partition is serving again. Every
+// mutation the dead leader acked survives — acked means logged on all
+// non-excluded replicas.
+func (c *Cluster) FailoverDMS(pid int) error {
+	c.mu.Lock()
+	if !c.sharded || pid < 0 || pid >= len(c.dmsGroups) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: no such DMS partition %d", pid)
+	}
+	if len(c.dmsGroups[pid]) < 2 {
+		c.mu.Unlock()
+		return fmt.Errorf("core: DMS partition %d has no follower to promote", pid)
+	}
+	dead := c.dmsGroups[pid][0]
+	deadRS := c.rsByAddr[dead]
+	groups := make([][]string, len(c.dmsGroups))
+	for i, g := range c.dmsGroups {
+		groups[i] = append([]string{}, g...)
+	}
+	groups[pid] = groups[pid][1:]
+	c.pmVer++
+	pm := &wire.PartMap{Ver: c.pmVer, Cuts: c.dmsCuts, Groups: groups}
+	c.dmsGroups = groups
+	c.DMSNodes[pid] = c.DMSNodes[pid][1:]
+	c.dmsStores[pid] = c.dmsStores[pid][1:]
+	if pid == 0 {
+		c.DMS = c.DMSNodes[0][0].DMS()
+		c.DMSStore = c.dmsStores[0][0]
+	}
+	c.mu.Unlock()
+
+	// Kill first: the address must be gone before the successor map is
+	// live, or a slow client could keep talking to a deposed leader.
+	if deadRS != nil {
+		deadRS.Shutdown()
+	}
+
+	var firstErr error
+	for p := range groups {
+		for idx, addr := range groups[p] {
+			cl, err := rpc.Dial(c.net, addr)
+			if err == nil {
+				var st wire.Status
+				st, _, err = cl.Call(wire.OpSetPartMap, wire.EncodeSetPartMap(pm, uint32(p), idx))
+				cl.Close()
+				// ESTALE means the replica already holds this or a newer
+				// map — fine.
+				if err == nil && st != wire.StatusOK && st != wire.StatusStale {
+					err = st.Err()
+				}
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("core: push partition map to %s: %w", addr, err)
+			}
+		}
+	}
+	return firstErr
+}
+
 // Epoch returns the cluster's current membership epoch.
 func (c *Cluster) Epoch() uint64 {
 	c.mu.Lock()
@@ -548,13 +747,39 @@ func (c *Cluster) MetadataOpsServed() uint64 {
 	return n
 }
 
-// DMSOpsServed returns completed requests on the directory metadata server
-// alone — the offered load client caching is supposed to shed.
+// DMSOpsServed returns completed requests on the directory metadata service
+// alone — the offered load client caching is supposed to shed. On a sharded
+// cluster it sums every partition replica (including deposed leaders, whose
+// pre-failover traffic still counts).
 func (c *Cluster) DMSOpsServed() uint64 {
-	if rs := c.rsByAddr["dms"]; rs != nil {
-		return rs.Served.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for addr, rs := range c.rsByAddr {
+		if addr == "dms" || strings.HasPrefix(addr, "dms-p") {
+			n += rs.Served.Load()
+		}
 	}
-	return 0
+	return n
+}
+
+// DMSBusy returns cumulative service time per DMS server — one entry per
+// partition replica on a sharded cluster, in deterministic (address) order.
+func (c *Cluster) DMSBusy() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addrs := make([]string, 0, 4)
+	for addr := range c.rsByAddr {
+		if addr == "dms" || strings.HasPrefix(addr, "dms-p") {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	out := make([]time.Duration, 0, len(addrs))
+	for _, a := range addrs {
+		out = append(out, c.rsByAddr[a].Busy())
+	}
+	return out
 }
 
 // Link returns the modeled link configuration.
@@ -576,5 +801,8 @@ func (c *Cluster) Close() {
 	c.net.Close()
 	for _, rs := range c.rpcServers {
 		rs.Shutdown()
+	}
+	for _, n := range c.dmsAllNodes {
+		n.Close()
 	}
 }

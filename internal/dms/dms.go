@@ -15,6 +15,7 @@ package dms
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"locofs/internal/acl"
@@ -73,6 +74,13 @@ type Server struct {
 	tombs     uint64 // dirent tombstones logged, for amortized compaction
 	leases    *leaseTable
 
+	// pin, when pinOn is set, overrides the clock: every replica of a
+	// sharded partition applies a replicated op-log entry under the
+	// leader-pinned timestamp the entry carries, so all replicas produce
+	// byte-identical inodes (see PinClock).
+	pin   atomic.Int64
+	pinOn atomic.Bool
+
 	// hot ranks the directories the RPC handlers touch most (space-saving
 	// top-K; always on — a Touch is a few atomic-free map operations under
 	// the sketch's own lock). Served by the admin plane's /debug/hot.
@@ -89,7 +97,6 @@ func New(opts Options) *Server {
 		store:     st,
 		gen:       uuid.NewGenerator(opts.ServerID),
 		checkPerm: opts.CheckPermissions,
-		now:       opts.Now,
 		hot:       trace.NewTopK(trace.DefaultTopKCapacity),
 	}
 	if o, ok := st.(kv.Ordered); ok {
@@ -98,8 +105,15 @@ func New(opts Options) *Server {
 	if inst, ok := st.(*kv.Instrumented); ok && !inst.IsOrdered() {
 		s.ordered = nil
 	}
-	if s.now == nil {
-		s.now = func() int64 { return time.Now().UnixNano() }
+	userNow := opts.Now
+	if userNow == nil {
+		userNow = func() int64 { return time.Now().UnixNano() }
+	}
+	s.now = func() int64 {
+		if s.pinOn.Load() {
+			return s.pin.Load()
+		}
+		return userNow()
 	}
 	s.leases = newLeaseTable(opts.LeaseDur, s.now)
 	if _, ok := st.Get(pathKey("/")); !ok {
@@ -621,13 +635,33 @@ func appendPub(e *wire.Enc, pr pubResult) *wire.Enc {
 	return e.U64(pr.Last).U32(pr.N)
 }
 
-// Attach registers the DMS request handlers on an rpc.Server. Every handler
-// feeds the path it operates on into the hot-directory sketch; lookups and
-// readdirs additionally grant lease trailers, mutations publish recalls,
-// and the server stamps the recall sequence on every response header.
-func (s *Server) Attach(rs *rpc.Server) {
-	rs.SetLeaseFunc(s.leases.Seq)
-	rs.Handle(wire.OpMkdir, func(body []byte) (wire.Status, []byte) {
+// Ops lists every client-facing operation the DMS serves. Attach registers
+// a handler per op; the sharded-DMS partition node wraps the same set with
+// its range guard and replication (see internal/dms/partition).
+var Ops = []wire.Op{
+	wire.OpMkdir, wire.OpLookupDir, wire.OpLeaseRecall, wire.OpStatDir,
+	wire.OpReaddirSubdirs, wire.OpRmdir, wire.OpChmodDir, wire.OpChownDir,
+	wire.OpRenameDir,
+}
+
+// MutationOp reports whether op changes DMS state (and therefore must go
+// through a partition's replicated op log when the DMS is sharded).
+func MutationOp(op wire.Op) bool {
+	switch op {
+	case wire.OpMkdir, wire.OpRmdir, wire.OpChmodDir, wire.OpChownDir, wire.OpRenameDir:
+		return true
+	}
+	return false
+}
+
+// Dispatch executes one DMS operation against local state and returns the
+// wire response. It is the single entry point shared by the RPC handlers
+// (Attach) and the sharded DMS's log-apply path — a follower replaying a
+// replicated op-log entry produces byte-identical state and responses by
+// dispatching the entry's opcode and body here under a pinned clock.
+func (s *Server) Dispatch(op wire.Op, body []byte) (wire.Status, []byte) {
+	switch op {
+	case wire.OpMkdir:
 		d := wire.NewDec(body)
 		path, mode, uid, gid := d.Str(), d.U32(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -639,8 +673,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return st, nil
 		}
 		return wire.StatusOK, appendPub(wire.NewEnc().UUID(u), pr).Bytes()
-	})
-	rs.Handle(wire.OpLookupDir, func(body []byte) (wire.Status, []byte) {
+	case wire.OpLookupDir:
 		d := wire.NewDec(body)
 		path, uid, gid := d.Str(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -664,16 +697,14 @@ func (s *Server) Attach(rs *rpc.Server) {
 		}
 		wire.AppendLeaseGrant(e, g)
 		return wire.StatusOK, e.Bytes()
-	})
-	rs.Handle(wire.OpLeaseRecall, func(body []byte) (wire.Status, []byte) {
+	case wire.OpLeaseRecall:
 		since, err := wire.DecodeRecallReq(body)
 		if err != nil {
 			return wire.StatusInval, nil
 		}
 		cur, reset, entries := s.leases.entriesSince(since)
 		return wire.StatusOK, wire.EncodeRecallResp(cur, reset, entries)
-	})
-	rs.Handle(wire.OpStatDir, func(body []byte) (wire.Status, []byte) {
+	case wire.OpStatDir:
 		d := wire.NewDec(body)
 		path, uid, gid := d.Str(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -685,8 +716,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return st, nil
 		}
 		return wire.StatusOK, wire.NewEnc().Blob(ino).Bytes()
-	})
-	rs.Handle(wire.OpReaddirSubdirs, func(body []byte) (wire.Status, []byte) {
+	case wire.OpReaddirSubdirs:
 		d := wire.NewDec(body)
 		path, uid, gid := d.Str(), d.U32(), d.U32()
 		cursor := d.Str()
@@ -716,8 +746,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			wire.AppendLeaseGrant(e, g)
 		}
 		return wire.StatusOK, e.Bytes()
-	})
-	rs.Handle(wire.OpRmdir, func(body []byte) (wire.Status, []byte) {
+	case wire.OpRmdir:
 		d := wire.NewDec(body)
 		path, uid, gid := d.Str(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -729,8 +758,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return st, nil
 		}
 		return wire.StatusOK, appendPub(wire.NewEnc(), pr).Bytes()
-	})
-	rs.Handle(wire.OpChmodDir, func(body []byte) (wire.Status, []byte) {
+	case wire.OpChmodDir:
 		d := wire.NewDec(body)
 		path, mode, uid, gid := d.Str(), d.U32(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -742,8 +770,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return st, nil
 		}
 		return wire.StatusOK, appendPub(wire.NewEnc(), pr).Bytes()
-	})
-	rs.Handle(wire.OpChownDir, func(body []byte) (wire.Status, []byte) {
+	case wire.OpChownDir:
 		d := wire.NewDec(body)
 		path, newUID, newGID, uid, gid := d.Str(), d.U32(), d.U32(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -755,8 +782,7 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return st, nil
 		}
 		return wire.StatusOK, appendPub(wire.NewEnc(), pr).Bytes()
-	})
-	rs.Handle(wire.OpRenameDir, func(body []byte) (wire.Status, []byte) {
+	case wire.OpRenameDir:
 		d := wire.NewDec(body)
 		oldPath, newPath, uid, gid := d.Str(), d.Str(), d.U32(), d.U32()
 		if d.Err() != nil {
@@ -768,5 +794,20 @@ func (s *Server) Attach(rs *rpc.Server) {
 			return st, nil
 		}
 		return wire.StatusOK, appendPub(wire.NewEnc().U64(uint64(moved)), pr).Bytes()
-	})
+	}
+	return wire.StatusInval, nil
+}
+
+// Attach registers the DMS request handlers on an rpc.Server. Every handler
+// feeds the path it operates on into the hot-directory sketch; lookups and
+// readdirs additionally grant lease trailers, mutations publish recalls,
+// and the server stamps the recall sequence on every response header.
+func (s *Server) Attach(rs *rpc.Server) {
+	rs.SetLeaseFunc(s.leases.Seq)
+	for _, op := range Ops {
+		op := op
+		rs.Handle(op, func(body []byte) (wire.Status, []byte) {
+			return s.Dispatch(op, body)
+		})
+	}
 }

@@ -1,0 +1,781 @@
+// Package partition turns a set of dms.Server instances into a sharded,
+// replicated directory metadata service (DESIGN.md §16).
+//
+// The namespace is split into subtree range partitions by a versioned
+// wire.PartMap. Each partition is a replica group of Nodes wrapping one
+// dms.Server each; replica 0 is the leader. Mutations reach the leader,
+// which appends them to a replicated op log, pushes the entry to every
+// live follower (all must ack before the leader replies — an acked
+// mutation is on every live replica, so promoting any follower loses
+// nothing), then applies locally under the entry's pinned timestamp.
+// Followers apply entries in log order through the same dms.Dispatch,
+// producing byte-identical state, and serve leased reads locally.
+//
+// A directory rename that crosses a partition boundary runs a two-
+// partition commit: the source leader (coordinator) logs an intent marker
+// and freezes the subtree, ships the re-keyed records to the destination
+// leader (which validates, logs the prepare on its own group, and freezes
+// the target), then logs the commit decision — the transaction's point of
+// no return — applies the source-side delete, and drives the destination
+// commit. Every decision is in both groups' logs before it takes effect,
+// so a promoted leader on either side can finish or abort the transaction
+// (Recover): an intent without a logged decision is presumed aborted; a
+// logged decision is re-pushed to the destination, where commit/abort are
+// idempotent by transaction id.
+package partition
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locofs/internal/dms"
+	"locofs/internal/flight"
+	"locofs/internal/fspath"
+	"locofs/internal/netsim"
+	"locofs/internal/rpc"
+	"locofs/internal/wire"
+)
+
+// Config assembles one partition replica.
+type Config struct {
+	// PID is the partition this node belongs to; Index its replica slot in
+	// the partition's group (0 = leader). Self is this node's own fabric
+	// address (so it can exclude itself from replication fan-out).
+	PID   uint32
+	Index int
+	Self  string
+	// Map is the initial partition map.
+	Map *wire.PartMap
+	// DMS is the node's local directory metadata server.
+	DMS *dms.Server
+	// Dialer reaches peer nodes (followers, other partition leaders).
+	Dialer netsim.Dialer
+	// Journal, when non-nil, receives partition events (failovers,
+	// follower exclusions, 2PC recovery actions) stamped Source.
+	Journal *flight.Journal
+	Source  string
+	// Now supplies the leader-pinned log-entry timestamps. Default:
+	// time.Now().UnixNano via the wire clock of the DMS is NOT used —
+	// the node needs its own reading before dispatch.
+	Now func() int64
+}
+
+type appliedRes struct {
+	status wire.Status
+	body   []byte
+}
+
+type srcTx struct {
+	sp        *wire.SrcPrepare
+	committed bool
+}
+
+// Node is one replica of one DMS partition.
+type Node struct {
+	dms    *dms.Server
+	pid    uint32
+	self   string
+	dialer netsim.Dialer
+	j      *flight.Journal
+	source string
+	now    func() int64
+
+	pm  atomic.Pointer[wire.PartMap]
+	idx atomic.Int32 // replica index; 0 = leader
+
+	// txSeq generates fallback transaction ids for cross-partition renames
+	// issued without a client dedup id (top bit set, never colliding with
+	// rpc-assigned ids).
+	txSeq atomic.Uint64
+
+	// CrashAfterPrepare / CrashAfterCommit are test hooks: when set, the
+	// coordinator abandons a cross-partition rename at that protocol point
+	// (as if the process died) and returns StatusIO. The crash-recovery
+	// tests drive failover through them deterministically.
+	CrashAfterPrepare atomic.Bool
+	CrashAfterCommit  atomic.Bool
+
+	// mu serializes log append + apply. It is never held across an RPC to
+	// another partition (deadlock with opposite-direction traffic); RPCs to
+	// this partition's own followers are safe — followers never call out.
+	mu        sync.Mutex
+	log       []*wire.LogEntry
+	nextIndex uint64
+	// applied maps a client dedup id to its mutation's outcome. It is
+	// rebuilt identically on every replica from the log, so a retry that
+	// lands on a freshly promoted leader replays the original response
+	// instead of re-executing (the rpc-layer dedup window died with the
+	// old leader). Unbounded by design at this scale; a production system
+	// would trim it with a client watermark.
+	applied map[uint64]appliedRes
+	// excluded holds follower addresses permanently dropped from the
+	// group after a failed append: there is no catch-up protocol in this
+	// design — the operator replaces the replica (re-split). Keeping the
+	// invariant "acked ⇒ on every non-excluded replica" is what makes any
+	// surviving follower promotable.
+	excluded map[string]bool
+	frozen   map[string]int                 // subtree roots locked by in-flight 2PC
+	dtx      map[uint64]*wire.RenamePrepare // destination-side prepared txs
+	stx      map[uint64]*srcTx              // coordinator-side txs
+
+	peerMu sync.Mutex
+	peers  map[string]*rpc.Client
+
+	// seedMu serializes seed pushes (read-state + push) so two back-to-back
+	// mutations of one path cannot reorder their absolute-state updates on
+	// the target partition. It is never held together with mu.
+	seedMu sync.Mutex
+}
+
+// New builds a Node. Call Attach to wire it to the replica's rpc.Server.
+func New(cfg Config) *Node {
+	n := &Node{
+		dms:      cfg.DMS,
+		pid:      cfg.PID,
+		self:     cfg.Self,
+		dialer:   cfg.Dialer,
+		j:        cfg.Journal,
+		source:   cfg.Source,
+		now:      cfg.Now,
+		applied:  make(map[uint64]appliedRes),
+		excluded: make(map[string]bool),
+		frozen:   make(map[string]int),
+		dtx:      make(map[uint64]*wire.RenamePrepare),
+		stx:      make(map[uint64]*srcTx),
+		peers:    make(map[string]*rpc.Client),
+	}
+	n.pm.Store(cfg.Map)
+	n.idx.Store(int32(cfg.Index))
+	if n.now == nil {
+		n.now = defaultNow
+	}
+	return n
+}
+
+func defaultNow() int64 { return time.Now().UnixNano() }
+
+// DMS returns the node's local directory metadata server.
+func (n *Node) DMS() *dms.Server { return n.dms }
+
+// Map returns the node's installed partition map.
+func (n *Node) Map() *wire.PartMap { return n.pm.Load() }
+
+// IsLeader reports whether this node currently leads its partition.
+func (n *Node) IsLeader() bool { return n.idx.Load() == 0 }
+
+// LogLen returns the replicated op log's length (tests assert replica
+// convergence with it).
+func (n *Node) LogLen() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nextIndex
+}
+
+func (n *Node) emit(op string, value int64, detail string) {
+	if n.j != nil {
+		n.j.Emit(flight.KindPartition, n.source, op, 0, value, detail)
+	}
+}
+
+// Attach registers the partition-aware handler set on rs: the full DMS op
+// set wrapped with the range guard and replication, the replication ops
+// (OpLogAppend, OpSeedUpdate), the 2PC destination ops, and the partition-
+// map admin ops. It replaces dms.Server.Attach for sharded deployments.
+func (n *Node) Attach(rs *rpc.Server) {
+	rs.SetLeaseFunc(n.dms.LeaseSeq)
+	rs.SetPMapFunc(func() uint64 {
+		if pm := n.pm.Load(); pm != nil {
+			return pm.Ver
+		}
+		return 0
+	})
+	for _, op := range dms.Ops {
+		op := op
+		if dms.MutationOp(op) {
+			rs.HandleMsg(op, func(req uint64, body []byte) (wire.Status, []byte) {
+				return n.serveMutation(op, req, body)
+			})
+		} else {
+			rs.Handle(op, func(body []byte) (wire.Status, []byte) {
+				return n.serveRead(op, body)
+			})
+		}
+	}
+	rs.Handle(wire.OpLogAppend, n.serveLogAppend)
+	rs.Handle(wire.OpSeedUpdate, n.serveSeedUpdate)
+	rs.Handle(wire.OpRenamePrepare, n.serveRenamePrepare)
+	rs.Handle(wire.OpRenameCommit, n.serveRenameDecision(wire.OpRenameCommit))
+	rs.Handle(wire.OpRenameAbort, n.serveRenameDecision(wire.OpRenameAbort))
+	rs.Handle(wire.OpGetPartMap, func([]byte) (wire.Status, []byte) {
+		pm := n.pm.Load()
+		if pm == nil {
+			return wire.StatusNotFound, nil
+		}
+		return wire.StatusOK, wire.EncodePartMap(pm)
+	})
+	rs.Handle(wire.OpSetPartMap, n.serveSetPartMap)
+}
+
+// ---- reads ----
+
+func (n *Node) serveRead(op wire.Op, body []byte) (wire.Status, []byte) {
+	p1, _, hasPath, err := dms.RequestPaths(op, body)
+	if err != nil {
+		return wire.StatusInval, nil
+	}
+	if hasPath {
+		pm := n.pm.Load()
+		owner := pm.Locate(p1)
+		if op == wire.OpReaddirSubdirs {
+			owner = pm.LocateList(p1)
+		}
+		if owner != n.pid {
+			return wire.StatusWrongPartition, nil
+		}
+	}
+	return n.dms.Dispatch(op, body)
+}
+
+// ---- mutations ----
+
+func (n *Node) serveMutation(op wire.Op, req uint64, body []byte) (wire.Status, []byte) {
+	p1, p2, _, err := dms.RequestPaths(op, body)
+	if err != nil {
+		return wire.StatusInval, nil
+	}
+	pm := n.pm.Load()
+	if op == wire.OpRenameDir {
+		if pm.CutWithin(p1) || pm.CutWithin(p2) {
+			return wire.StatusInval, []byte("rename source or target subtree straddles a partition cut")
+		}
+		if pm.Locate(p1) != n.pid || !n.IsLeader() {
+			return wire.StatusWrongPartition, nil
+		}
+		if dst := pm.Locate(p2); dst != n.pid {
+			return n.coordRename(req, p1, p2, body, dst, pm)
+		}
+		return n.replicate(op, req, body, p1, p2)
+	}
+	if op == wire.OpRmdir && isCutDir(pm, p1) {
+		// A cut directory is a mount-point-like fixture: its (empty or not)
+		// listing lives on another partition and removing it would orphan
+		// the cut. EBUSY analog.
+		return wire.StatusInval, []byte("directory is a partition cut point")
+	}
+	if pm.Locate(p1) != n.pid || !n.IsLeader() {
+		return wire.StatusWrongPartition, nil
+	}
+	st, respBody := n.replicate(op, req, body, p1, "")
+	if st == wire.StatusOK {
+		n.pushSeeds(p1, pm)
+	}
+	return st, respBody
+}
+
+func isCutDir(pm *wire.PartMap, p string) bool {
+	for _, c := range pm.Cuts {
+		if c.Dir == p {
+			return true
+		}
+	}
+	return false
+}
+
+// replicate runs one mutation through the replicated op log: dedup check,
+// freeze check, append + all-follower fan-out + local apply.
+func (n *Node) replicate(op wire.Op, req uint64, body []byte, p1, p2 string) (wire.Status, []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req != 0 {
+		if r, ok := n.applied[req]; ok {
+			return r.status, r.body
+		}
+	}
+	for _, p := range [2]string{p1, p2} {
+		if p != "" && n.frozenConflictLocked(p) {
+			return wire.StatusUnavailable, []byte("subtree locked by an in-flight cross-partition rename")
+		}
+	}
+	return n.appendApplyLocked(&wire.LogEntry{Req: req, TS: n.now(), Op: op, Body: body})
+}
+
+// appendApplyLocked assigns the next index to le, appends it, replicates
+// it to every live follower (a failed follower is permanently excluded),
+// applies it locally, and returns the local outcome. Caller holds n.mu.
+func (n *Node) appendApplyLocked(le *wire.LogEntry) (wire.Status, []byte) {
+	le.Index = n.nextIndex
+	n.log = append(n.log, le)
+	n.nextIndex++
+	enc := wire.EncodeLogEntry(le)
+	for _, addr := range n.followersLocked() {
+		st, _, err := n.callPeer(addr, wire.OpLogAppend, enc)
+		if err != nil || st != wire.StatusOK {
+			n.excluded[addr] = true
+			n.emit("follower_excluded", int64(le.Index), addr)
+		}
+	}
+	return n.applyLocked(le)
+}
+
+// followersLocked lists the live replication targets: the group minus this
+// node and minus excluded replicas.
+func (n *Node) followersLocked() []string {
+	pm := n.pm.Load()
+	if pm == nil || int(n.pid) >= len(pm.Groups) {
+		return nil
+	}
+	var out []string
+	for _, addr := range pm.Groups[n.pid] {
+		if addr != n.self && !n.excluded[addr] {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// applyLocked applies one log entry to local state. It runs identically on
+// the leader (after fan-out) and on followers (from OpLogAppend), in log
+// order, producing byte-identical stores and the same applied-response
+// table everywhere.
+func (n *Node) applyLocked(le *wire.LogEntry) (wire.Status, []byte) {
+	switch le.Op {
+	case wire.OpSeedUpdate:
+		path, present, inode, err := wire.DecodeSeedUpdate(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		return n.dms.InstallSeed(path, present, inode), nil
+
+	case wire.OpRenamePrepare:
+		rp, err := wire.DecodeRenamePrepare(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		n.dtx[rp.TxID] = rp
+		n.freezeLocked(rp.NewPath)
+		return wire.StatusOK, nil
+
+	case wire.OpRenameCommit:
+		txid, err := wire.DecodeRenameDecision(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		rp, ok := n.dtx[txid]
+		if !ok {
+			return wire.StatusOK, nil // replayed decision
+		}
+		st := n.dms.ApplyRenameDestCommit(rp.NewPath, rp.Recs)
+		n.unfreezeLocked(rp.NewPath)
+		delete(n.dtx, txid)
+		return st, nil
+
+	case wire.OpRenameAbort:
+		txid, err := wire.DecodeRenameDecision(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		if rp, ok := n.dtx[txid]; ok {
+			n.unfreezeLocked(rp.NewPath)
+			delete(n.dtx, txid)
+		}
+		return wire.StatusOK, nil
+
+	case wire.OpRenameSrcPrepare:
+		sp, err := wire.DecodeSrcPrepare(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		n.stx[sp.TxID] = &srcTx{sp: sp}
+		n.freezeLocked(sp.OldPath)
+		return wire.StatusOK, nil
+
+	case wire.OpRenameSrcCommit:
+		txid, err := wire.DecodeRenameDecision(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		tx, ok := n.stx[txid]
+		if !ok || tx.committed {
+			return wire.StatusOK, nil
+		}
+		body, st := n.dms.ApplyRenameSrcCommit(tx.sp.OldPath)
+		tx.committed = true
+		n.unfreezeLocked(tx.sp.OldPath)
+		if st == wire.StatusOK && txid != 0 {
+			n.applied[txid] = appliedRes{status: st, body: body}
+		}
+		return st, body
+
+	case wire.OpRenameSrcComplete:
+		txid, err := wire.DecodeRenameDecision(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		delete(n.stx, txid)
+		return wire.StatusOK, nil
+
+	case wire.OpRenameSrcAbort:
+		txid, err := wire.DecodeRenameDecision(le.Body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		if tx, ok := n.stx[txid]; ok {
+			n.unfreezeLocked(tx.sp.OldPath)
+			delete(n.stx, txid)
+		}
+		return wire.StatusOK, nil
+
+	default:
+		// Ordinary DMS mutation: dispatch under the leader-pinned clock so
+		// every replica stamps the same ctime and generates the same UUIDs
+		// (replicas share the DMS ServerID and apply in log order).
+		n.dms.PinClock(le.TS)
+		st, body := n.dms.Dispatch(le.Op, le.Body)
+		n.dms.UnpinClock()
+		if le.Req != 0 {
+			n.applied[le.Req] = appliedRes{status: st, body: body}
+		}
+		return st, body
+	}
+}
+
+// ---- freeze bookkeeping ----
+
+func (n *Node) freezeLocked(root string) { n.frozen[root]++ }
+func (n *Node) unfreezeLocked(root string) {
+	if n.frozen[root] <= 1 {
+		delete(n.frozen, root)
+	} else {
+		n.frozen[root]--
+	}
+}
+
+// frozenConflictLocked reports whether p overlaps a frozen subtree: p is a
+// frozen root, inside one, or an ancestor of one (an ancestor rename or
+// rmdir would move or check state the transaction owns).
+func (n *Node) frozenConflictLocked(p string) bool {
+	for f := range n.frozen {
+		if p == f || fspath.IsAncestorOf(f, p) || fspath.IsAncestorOf(p, f) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- seed pushes ----
+
+// pushSeeds propagates p's post-mutation inode state to every partition
+// holding p as a seeded ancestor. Runs after the local commit, outside
+// n.mu (cross-partition call), serialized per node so back-to-back
+// mutations of one path cannot reorder their absolute-state updates.
+// A push failure only degrades that partition's seed freshness (flight
+// event); the local mutation is already acked and must stand.
+func (n *Node) pushSeeds(p string, pm *wire.PartMap) {
+	targets := pm.SeedTargets(p, n.pid)
+	if len(targets) == 0 {
+		return
+	}
+	n.seedMu.Lock()
+	defer n.seedMu.Unlock()
+	ino, ok := n.dms.CurrentInode(p)
+	body := wire.EncodeSeedUpdate(p, ok, ino)
+	for _, pid := range targets {
+		addr := pm.Leader(pid)
+		if addr == "" {
+			continue
+		}
+		st, _, err := n.callPeer(addr, wire.OpSeedUpdate, body)
+		if err != nil || st != wire.StatusOK {
+			n.emit("seed_push_failed", int64(pid), p)
+		}
+	}
+}
+
+func (n *Node) serveSeedUpdate(body []byte) (wire.Status, []byte) {
+	if _, _, _, err := wire.DecodeSeedUpdate(body); err != nil {
+		return wire.StatusInval, nil
+	}
+	if !n.IsLeader() {
+		return wire.StatusWrongPartition, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, _ := n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpSeedUpdate, Body: body})
+	return st, nil
+}
+
+// ---- replication (follower side) ----
+
+func (n *Node) serveLogAppend(body []byte) (wire.Status, []byte) {
+	le, err := wire.DecodeLogEntry(body)
+	if err != nil {
+		return wire.StatusInval, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if le.Index < n.nextIndex {
+		return wire.StatusOK, nil // duplicate append (leader retry)
+	}
+	if le.Index > n.nextIndex {
+		// A gap means this replica missed an entry — it must not ack, or
+		// the acked-everywhere invariant breaks. The leader excludes it.
+		return wire.StatusInval, []byte("op-log gap")
+	}
+	n.log = append(n.log, le)
+	n.nextIndex++
+	// The apply outcome is recorded in n.applied for client-retry replay;
+	// the append itself succeeded regardless of the mutation's own status
+	// (the leader returns that status to the client).
+	n.applyLocked(le)
+	return wire.StatusOK, nil
+}
+
+// ---- two-partition rename (coordinator = source leader) ----
+
+func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID uint32, pm *wire.PartMap) (wire.Status, []byte) {
+	dest := pm.Leader(dstPID)
+	if dest == "" {
+		return wire.StatusUnavailable, nil
+	}
+	d := wire.NewDec(body)
+	_, _ = d.Str(), d.Str()
+	uid, gid := d.U32(), d.U32()
+	if d.Err() != nil {
+		return wire.StatusInval, nil
+	}
+	txid := req
+	if txid == 0 {
+		txid = n.txSeq.Add(1) | 1<<63
+	}
+
+	// Intent: validate the source half, export the subtree, log the
+	// prepare marker (replicated — any promoted source replica knows the
+	// transaction exists), freeze the subtree.
+	n.mu.Lock()
+	if r, ok := n.applied[txid]; ok {
+		n.mu.Unlock()
+		return r.status, r.body
+	}
+	if n.frozenConflictLocked(oldC) || n.frozenConflictLocked(newC) {
+		n.mu.Unlock()
+		return wire.StatusUnavailable, []byte("subtree locked by an in-flight cross-partition rename")
+	}
+	if st := n.dms.ValidateRenameSource(oldC, uid, gid); st != wire.StatusOK {
+		n.mu.Unlock()
+		return st, nil
+	}
+	recs, st := n.dms.ExportRename(oldC, newC)
+	if st != wire.StatusOK {
+		n.mu.Unlock()
+		return st, nil
+	}
+	sp := &wire.SrcPrepare{TxID: txid, OldPath: oldC, NewPath: newC, UID: uid, GID: gid, DestPID: dstPID}
+	n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcPrepare, Body: wire.EncodeSrcPrepare(sp)})
+	n.mu.Unlock()
+
+	// Phase 1: prepare at the destination leader (validates, logs on its
+	// group, freezes the target). Never called under n.mu.
+	prep := &wire.RenamePrepare{TxID: txid, OldPath: oldC, NewPath: newC, UID: uid, GID: gid, Recs: recs}
+	pst, _, perr := n.callPeer(dest, wire.OpRenamePrepare, wire.EncodeRenamePrepare(prep))
+	if n.CrashAfterPrepare.Load() {
+		// Test hook: the coordinator dies here — intent logged on both
+		// sides, no decision anywhere. Recovery presumes abort.
+		return wire.StatusIO, nil
+	}
+	if perr != nil || pst != wire.StatusOK {
+		n.abortTx(txid, dest)
+		if perr != nil {
+			return wire.StatusUnavailable, nil
+		}
+		return pst, nil
+	}
+
+	// Decision: the commit marker in the source log is the point of no
+	// return. Applying it deletes the source subtree and records the
+	// client response on every source replica.
+	n.mu.Lock()
+	cst, respBody := n.appendApplyLocked(&wire.LogEntry{Req: txid, TS: n.now(), Op: wire.OpRenameSrcCommit, Body: wire.EncodeRenameDecision(txid)})
+	n.mu.Unlock()
+	if n.CrashAfterCommit.Load() {
+		// Test hook: the coordinator dies after deciding commit but before
+		// telling the destination. Recovery re-drives the commit.
+		return wire.StatusIO, nil
+	}
+
+	// Phase 2: drive the destination commit, then retire the transaction.
+	dst2, _, derr := n.callPeer(dest, wire.OpRenameCommit, wire.EncodeRenameDecision(txid))
+	if derr != nil || dst2 != wire.StatusOK {
+		// The rename is committed; the destination will converge when a
+		// promoted source leader re-drives it (the tx stays in stx).
+		n.emit("2pc_commit_push_failed", int64(dstPID), newC)
+		return cst, respBody
+	}
+	n.mu.Lock()
+	n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcComplete, Body: wire.EncodeRenameDecision(txid)})
+	n.mu.Unlock()
+	return cst, respBody
+}
+
+// abortTx logs the abort decision locally (unfreezing the subtree on every
+// source replica) and best-effort tells the destination.
+func (n *Node) abortTx(txid uint64, dest string) {
+	n.mu.Lock()
+	n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcAbort, Body: wire.EncodeRenameDecision(txid)})
+	n.mu.Unlock()
+	n.callPeer(dest, wire.OpRenameAbort, wire.EncodeRenameDecision(txid))
+}
+
+// ---- two-partition rename (destination side) ----
+
+func (n *Node) serveRenamePrepare(body []byte) (wire.Status, []byte) {
+	rp, err := wire.DecodeRenamePrepare(body)
+	if err != nil {
+		return wire.StatusInval, nil
+	}
+	if !n.IsLeader() {
+		return wire.StatusWrongPartition, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.dtx[rp.TxID]; ok {
+		return wire.StatusOK, nil // duplicate prepare (coordinator retry)
+	}
+	if n.frozenConflictLocked(rp.NewPath) {
+		return wire.StatusUnavailable, []byte("target subtree locked by another cross-partition rename")
+	}
+	if st := n.dms.ValidateRenameDest(rp.NewPath, rp.UID, rp.GID); st != wire.StatusOK {
+		return st, nil
+	}
+	st, _ := n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenamePrepare, Body: body})
+	return st, nil
+}
+
+func (n *Node) serveRenameDecision(op wire.Op) rpc.HandlerFunc {
+	return func(body []byte) (wire.Status, []byte) {
+		txid, err := wire.DecodeRenameDecision(body)
+		if err != nil {
+			return wire.StatusInval, nil
+		}
+		if !n.IsLeader() {
+			return wire.StatusWrongPartition, nil
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if _, ok := n.dtx[txid]; !ok {
+			// Unknown transaction: already decided and retired here, or
+			// never prepared (presumed abort). Either way the decision is
+			// idempotent.
+			return wire.StatusOK, nil
+		}
+		st, _ := n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: op, Body: body})
+		return st, nil
+	}
+}
+
+// ---- partition map administration / failover ----
+
+func (n *Node) serveSetPartMap(body []byte) (wire.Status, []byte) {
+	pm, pid, idx, err := wire.DecodeSetPartMap(body)
+	if err != nil {
+		return wire.StatusInval, []byte(err.Error())
+	}
+	if pid != n.pid {
+		return wire.StatusInval, []byte("partition id mismatch")
+	}
+	cur := n.pm.Load()
+	if cur != nil && pm.Ver <= cur.Ver {
+		return wire.StatusStale, nil
+	}
+	wasLeader := n.IsLeader()
+	n.pm.Store(pm)
+	n.idx.Store(int32(idx))
+	n.emit("map_installed", int64(pm.Ver), n.self)
+	if idx == 0 && !wasLeader {
+		n.emit("promoted", int64(pm.Ver), n.self)
+		n.Recover()
+	}
+	return wire.StatusOK, nil
+}
+
+// Recover finishes or aborts cross-partition renames left open by the
+// failed leader, using only replicated state. An intent without a logged
+// decision is presumed aborted (the destination may hold a prepare — the
+// abort is pushed there, where an unknown transaction id is a no-op). A
+// logged commit without a completion marker is re-driven: the destination
+// commit is idempotent by transaction id. Called on promotion; exported
+// for tests.
+func (n *Node) Recover() {
+	type action struct {
+		txid    uint64
+		commit  bool
+		destPID uint32
+	}
+	var acts []action
+	n.mu.Lock()
+	for txid, tx := range n.stx {
+		acts = append(acts, action{txid: txid, commit: tx.committed, destPID: tx.sp.DestPID})
+	}
+	pm := n.pm.Load()
+	n.mu.Unlock()
+
+	for _, a := range acts {
+		dest := pm.Leader(a.destPID)
+		if a.commit {
+			n.emit("2pc_recover_commit", int64(a.destPID), "")
+			st, _, err := n.callPeer(dest, wire.OpRenameCommit, wire.EncodeRenameDecision(a.txid))
+			if err == nil && st == wire.StatusOK {
+				n.mu.Lock()
+				n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcComplete, Body: wire.EncodeRenameDecision(a.txid)})
+				n.mu.Unlock()
+			}
+		} else {
+			n.emit("2pc_recover_abort", int64(a.destPID), "")
+			n.abortTx(a.txid, dest)
+		}
+	}
+}
+
+// ---- peers ----
+
+func (n *Node) peer(addr string) (*rpc.Client, error) {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	if cl, ok := n.peers[addr]; ok {
+		return cl, nil
+	}
+	cl, err := rpc.Dial(n.dialer, addr)
+	if err != nil {
+		return nil, err
+	}
+	n.peers[addr] = cl
+	return cl, nil
+}
+
+func (n *Node) callPeer(addr string, op wire.Op, body []byte) (wire.Status, []byte, error) {
+	cl, err := n.peer(addr)
+	if err != nil {
+		return wire.StatusIO, nil, err
+	}
+	st, respBody, err := cl.Call(op, body)
+	if err != nil {
+		// Drop the broken connection; the next call re-dials.
+		n.peerMu.Lock()
+		if n.peers[addr] == cl {
+			delete(n.peers, addr)
+		}
+		n.peerMu.Unlock()
+		cl.Close()
+	}
+	return st, respBody, err
+}
+
+// Close releases the node's peer connections.
+func (n *Node) Close() {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	for addr, cl := range n.peers {
+		cl.Close()
+		delete(n.peers, addr)
+	}
+}

@@ -1,0 +1,357 @@
+package dms
+
+// Sharded-DMS support (DESIGN.md §16). The partition node
+// (internal/dms/partition) drives replication and two-partition renames;
+// this file holds the storage-level primitives it needs from the DMS
+// proper: a pinnable clock for deterministic log replay, seed-inode
+// installation, subtree export/install/delete for splits, and the
+// source/destination halves of a cross-partition rename.
+//
+// Seeds: a partition cut at directory d owns every proper descendant of d,
+// but operations there still walk the full ancestor chain ("/", ..., d).
+// Those ancestor inodes are *seeded* into the cut partition's store as
+// ordinary "P:" records — read-only copies kept in sync by OpSeedUpdate
+// pushes from their owning partition — so checkAncestors works unmodified.
+
+import (
+	"locofs/internal/acl"
+	"locofs/internal/fspath"
+	"locofs/internal/layout"
+	"locofs/internal/uuid"
+	"locofs/internal/wire"
+)
+
+// PinClock pins the server's clock to ts: every timestamp taken until
+// UnpinClock returns ts. The sharded DMS pins the leader-assigned log-entry
+// timestamp around each Dispatch of a replicated mutation, so leader and
+// followers stamp byte-identical ctimes (apply is serialized by the
+// partition node; concurrent reads observing the pinned value only shift
+// lease horizons by the clock skew, which is harmless).
+func (s *Server) PinClock(ts int64) {
+	s.pin.Store(ts)
+	s.pinOn.Store(true)
+}
+
+// UnpinClock releases a PinClock.
+func (s *Server) UnpinClock() { s.pinOn.Store(false) }
+
+// CurrentInode returns the stored inode bytes for cleaned path (a copy),
+// or false when absent. The partition node reads it after a mutation to
+// push fresh seed state to partitions below the path.
+func (s *Server) CurrentInode(cleaned string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ino, ok := s.getInode(cleaned)
+	return ino, ok
+}
+
+// InstallSeed installs absolute seed state for cleaned path: the inode
+// bytes when present, removal when not. It publishes the same lease
+// recalls the original mutation would have, because clients may hold
+// grants on the seeded path from *this* partition (lookup chains include
+// seeded ancestors).
+func (s *Server) InstallSeed(path string, present bool, inode []byte) wire.Status {
+	cleaned, err := fspath.Clean(path)
+	if err != nil {
+		return wire.StatusInval
+	}
+	if present && len(inode) != layout.DirInodeSize {
+		return wire.StatusInval
+	}
+	parentPath, _ := fspath.Split(cleaned)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.getInode(cleaned)
+	switch {
+	case present && existed:
+		s.store.Put(pathKey(cleaned), inode)
+		s.leases.bumpPatched(cleaned)
+	case present:
+		s.store.Put(pathKey(cleaned), inode)
+		s.leases.bumpCreated(cleaned, parentPath)
+	case existed:
+		s.store.Delete(pathKey(cleaned))
+		s.leases.bumpRemoved(cleaned, parentPath)
+	}
+	return wire.StatusOK
+}
+
+// subtreeVisit calls fn for every stored record whose key starts with
+// prefix, using the ordered engine's range scan when available. Caller
+// holds s.mu.
+func (s *Server) subtreeVisit(prefix []byte, fn func(k, v []byte)) {
+	if s.ordered != nil {
+		end := append(append([]byte(nil), prefix[:len(prefix)-1]...), prefix[len(prefix)-1]+1)
+		s.ordered.AscendRange(prefix, end, func(k, v []byte) bool {
+			fn(k, v)
+			return true
+		})
+		return
+	}
+	s.store.ForEach(func(k, v []byte) bool {
+		if len(k) >= len(prefix) && string(k[:len(prefix)]) == string(prefix) {
+			fn(k, v)
+		}
+		return true
+	})
+}
+
+// ValidateRenameSource checks the source half of a cross-partition rename
+// under the read lock: the moved directory exists, its ancestors are
+// traversable, and the caller may write the old parent.
+func (s *Server) ValidateRenameSource(oldC string, uid, gid uint32) wire.Status {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain, st := s.checkAncestors(oldC, uid, gid)
+	if st != wire.StatusOK {
+		return st
+	}
+	if _, ok := s.getInode(oldC); !ok {
+		return wire.StatusNotFound
+	}
+	parent := chain[len(chain)-1].Inode
+	if s.checkPerm && !acl.CanWrite(parent.Mode(), parent.UID(), parent.GID(), uid, gid) {
+		return wire.StatusPerm
+	}
+	return wire.StatusOK
+}
+
+// ValidateRenameDest checks the destination half of a cross-partition
+// rename under the read lock: the target's ancestors exist and are
+// traversable, the caller may write the new parent, and the target itself
+// is absent.
+func (s *Server) ValidateRenameDest(newC string, uid, gid uint32) wire.Status {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain, st := s.checkAncestors(newC, uid, gid)
+	if st != wire.StatusOK {
+		return st
+	}
+	parent := chain[len(chain)-1].Inode
+	if s.checkPerm && !acl.CanWrite(parent.Mode(), parent.UID(), parent.GID(), uid, gid) {
+		return wire.StatusPerm
+	}
+	if _, exists := s.getInode(newC); exists {
+		return wire.StatusExist
+	}
+	return wire.StatusOK
+}
+
+// ExportRename exports the records a cross-partition rename moves: the
+// directory's own inode re-keyed from oldC to newC, every subtree inode
+// re-keyed likewise, and the (UUID-keyed, key-stable) subdir lists of
+// every exported directory. Returned values are copies; the source store
+// is untouched until ApplyRenameSrcCommit.
+func (s *Server) ExportRename(oldC, newC string) ([]wire.KVRec, wire.Status) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ino, ok := s.getInode(oldC)
+	if !ok {
+		return nil, wire.StatusNotFound
+	}
+	recs := []wire.KVRec{{Key: pathKey(newC), Val: ino.Clone()}}
+	uuids := []uuid.UUID{ino.UUID()}
+	oldPrefix := pathKey(oldC + "/")
+	newPrefix := pathKey(newC + "/")
+	s.subtreeVisit(oldPrefix, func(k, v []byte) {
+		nk := append(append([]byte(nil), newPrefix...), k[len(oldPrefix):]...)
+		recs = append(recs, wire.KVRec{Key: nk, Val: append([]byte(nil), v...)})
+		if len(v) == layout.DirInodeSize {
+			uuids = append(uuids, layout.DirInode(v).UUID())
+		}
+	})
+	for _, u := range uuids {
+		if list, ok := s.store.Get(subdirsKey(u)); ok {
+			recs = append(recs, wire.KVRec{Key: subdirsKey(u), Val: list})
+		}
+	}
+	return recs, wire.StatusOK
+}
+
+// ApplyRenameSrcCommit applies the source side of a committed cross-
+// partition rename: it deletes the moved directory, its subtree, and
+// their subdir lists, removes the old parent's dirent, and publishes the
+// removal recall. Deterministic — replicas apply it from the op log.
+// It returns the client-facing OpRenameDir response body (move count plus
+// recall trailer, same layout Dispatch produces for a local rename).
+func (s *Server) ApplyRenameSrcCommit(oldC string) ([]byte, wire.Status) {
+	parentPath, _ := fspath.Split(oldC)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.getInode(oldC)
+	if !ok {
+		// Replay of the idempotent commit: already applied.
+		return appendPub(wire.NewEnc().U64(0), pubResult{}).Bytes(), wire.StatusOK
+	}
+	parent, pok := s.getInode(parentPath)
+	var keys [][]byte
+	uuids := []uuid.UUID{ino.UUID()}
+	oldPrefix := pathKey(oldC + "/")
+	s.subtreeVisit(oldPrefix, func(k, v []byte) {
+		keys = append(keys, append([]byte(nil), k...))
+		if len(v) == layout.DirInodeSize {
+			uuids = append(uuids, layout.DirInode(v).UUID())
+		}
+	})
+	moved := 1 + len(keys)
+	s.store.Delete(pathKey(oldC))
+	for _, k := range keys {
+		s.store.Delete(k)
+	}
+	for _, u := range uuids {
+		s.store.Delete(subdirsKey(u))
+	}
+	if pok {
+		s.removeParentDirent(parent.UUID(), oldC)
+	}
+	pr := s.leases.bumpRemoved(oldC, parentPath)
+	return appendPub(wire.NewEnc().U64(uint64(moved)), pr).Bytes(), wire.StatusOK
+}
+
+// ApplyRenameDestCommit applies the destination side of a committed
+// cross-partition rename: it installs the exported records, appends the
+// new parent's dirent, and publishes the creation recall. Idempotent per
+// newC (a resent commit after coordinator recovery re-puts identical
+// bytes; the dirent append is guarded by a presence check).
+func (s *Server) ApplyRenameDestCommit(newC string, recs []wire.KVRec) wire.Status {
+	parentPath, name := fspath.Split(newC)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.getInode(newC)
+	for _, r := range recs {
+		s.store.Put(r.Key, r.Val)
+	}
+	ino, ok := s.getInode(newC)
+	if !ok {
+		return wire.StatusInval
+	}
+	if !existed {
+		if parent, pok := s.getInode(parentPath); pok {
+			ent := layout.AppendDirent(nil, layout.Dirent{Name: name, UUID: ino.UUID()})
+			s.store.AppendValue(subdirsKey(parent.UUID()), ent)
+		}
+	}
+	s.leases.bumpCreated(newC, parentPath)
+	return wire.StatusOK
+}
+
+// SeedRec is one seeded ancestor record of a subtree export: absolute
+// present/absent state of an ancestor path's inode.
+type SeedRec struct {
+	Path    string
+	Present bool
+	Inode   []byte
+}
+
+// ExportSubtree exports everything a new partition cut at cutDir needs:
+// the proper-descendant records (inodes re-keyed nowhere — the range keeps
+// its keys — plus their subdir lists and cutDir's own subdir list), and
+// the seed chain ("/", ..., cutDir) with each ancestor's current state.
+func (s *Server) ExportSubtree(cutDir string) (recs []wire.KVRec, seeds []SeedRec, st wire.Status) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var uuids []uuid.UUID
+	if ino, ok := s.getInode(cutDir); ok {
+		uuids = append(uuids, ino.UUID())
+	}
+	prefix := pathKey(cutDir + "/")
+	s.subtreeVisit(prefix, func(k, v []byte) {
+		recs = append(recs, wire.KVRec{Key: append([]byte(nil), k...), Val: append([]byte(nil), v...)})
+		if len(v) == layout.DirInodeSize {
+			uuids = append(uuids, layout.DirInode(v).UUID())
+		}
+	})
+	for _, u := range uuids {
+		if list, ok := s.store.Get(subdirsKey(u)); ok {
+			recs = append(recs, wire.KVRec{Key: subdirsKey(u), Val: list})
+		}
+	}
+	for _, a := range append(fspath.Ancestors(cutDir), cutDir) {
+		ino, ok := s.getInode(a)
+		sr := SeedRec{Path: a, Present: ok}
+		if ok {
+			sr.Inode = ino.Clone()
+		}
+		seeds = append(seeds, sr)
+	}
+	return recs, seeds, wire.StatusOK
+}
+
+// InstallRecords puts raw records into the store (split bootstrap of a
+// fresh partition; no lease traffic — nobody holds grants from it yet).
+func (s *Server) InstallRecords(recs []wire.KVRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		s.store.Put(r.Key, r.Val)
+	}
+}
+
+// DeleteSubtree removes the proper descendants of cutDir (and their subdir
+// lists, and cutDir's own list) after a split handed them to a new
+// partition. cutDir's inode stays — the parent partition still owns it.
+// A removal recall for cutDir is published so clients re-resolve the
+// handed-off subtree instead of serving entries this partition no longer
+// backs.
+func (s *Server) DeleteSubtree(cutDir string) int {
+	parentPath, _ := fspath.Split(cutDir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys [][]byte
+	var uuids []uuid.UUID
+	if ino, ok := s.getInode(cutDir); ok {
+		uuids = append(uuids, ino.UUID())
+	}
+	prefix := pathKey(cutDir + "/")
+	s.subtreeVisit(prefix, func(k, v []byte) {
+		keys = append(keys, append([]byte(nil), k...))
+		if len(v) == layout.DirInodeSize {
+			uuids = append(uuids, layout.DirInode(v).UUID())
+		}
+	})
+	for _, k := range keys {
+		s.store.Delete(k)
+	}
+	for _, u := range uuids {
+		s.store.Delete(subdirsKey(u))
+	}
+	s.leases.bumpRemoved(cutDir, parentPath)
+	return len(keys)
+}
+
+// RequestPaths extracts the cleaned path(s) a client-facing DMS request
+// operates on — the partition node's routing key. p2 is non-empty only for
+// OpRenameDir. hasPath is false for path-free ops (OpLeaseRecall), which
+// any replica answers locally.
+func RequestPaths(op wire.Op, body []byte) (p1, p2 string, hasPath bool, err error) {
+	switch op {
+	case wire.OpLeaseRecall:
+		return "", "", false, nil
+	case wire.OpRenameDir:
+		d := wire.NewDec(body)
+		rawOld, rawNew := d.Str(), d.Str()
+		if e := d.Err(); e != nil {
+			return "", "", false, e
+		}
+		oldC, e1 := fspath.Clean(rawOld)
+		newC, e2 := fspath.Clean(rawNew)
+		if e1 != nil {
+			return "", "", false, e1
+		}
+		if e2 != nil {
+			return "", "", false, e2
+		}
+		return oldC, newC, true, nil
+	default:
+		d := wire.NewDec(body)
+		raw := d.Str()
+		if e := d.Err(); e != nil {
+			return "", "", false, e
+		}
+		cleaned, e := fspath.Clean(raw)
+		if e != nil {
+			return "", "", false, e
+		}
+		return cleaned, "", true, nil
+	}
+}

@@ -52,6 +52,7 @@ const (
 	KindSlowRequest                   // server handler exceeded the slow threshold
 	KindAnomaly                       // anomaly engine rule fired
 	KindBundle                        // diagnostic bundle captured
+	KindPartition                     // sharded-DMS partition event (failover, follower exclusion, 2PC recovery)
 	numKinds
 )
 
@@ -67,6 +68,7 @@ var kindNames = [numKinds]string{
 	KindSlowRequest:   "slow_request",
 	KindAnomaly:       "anomaly",
 	KindBundle:        "bundle",
+	KindPartition:     "partition",
 }
 
 // String returns the kind's stable wire name ("" for the zero Kind).

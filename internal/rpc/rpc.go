@@ -4,6 +4,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -75,11 +76,19 @@ func (t *serverTelem) forOp(op wire.Op) *opMetrics {
 // body. Handlers run concurrently; they must be safe for concurrent use.
 type HandlerFunc func(body []byte) (wire.Status, []byte)
 
+// MsgHandlerFunc is a HandlerFunc that also receives the request's dedup id
+// (wire.Msg.Req; 0 when the client sent none). The sharded DMS registers
+// these for mutations: the id keys the replicated op log and doubles as the
+// cross-partition transaction id, so it must survive past this server's own
+// dedup window (which a leader failover discards).
+type MsgHandlerFunc func(req uint64, body []byte) (wire.Status, []byte)
+
 // Server dispatches requests to registered handlers.
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[wire.Op]HandlerFunc
-	virtual  map[wire.Op]time.Duration
+	mu          sync.RWMutex
+	handlers    map[wire.Op]HandlerFunc
+	msgHandlers map[wire.Op]MsgHandlerFunc
+	virtual     map[wire.Op]time.Duration
 
 	wg        sync.WaitGroup
 	closed    atomic.Bool
@@ -109,6 +118,11 @@ type Server struct {
 	// piggyback channel epoch uses for membership staleness.
 	leaseFn atomic.Pointer[func() uint64]
 
+	// pmapFn, when set (sharded DMS only), supplies the current partition-
+	// map version stamped on every response header's PMap field — the third
+	// piggyback channel, for partition-routing staleness.
+	pmapFn atomic.Pointer[func() uint64]
+
 	// Served counts completed requests, for load accounting in experiments.
 	Served atomic.Uint64
 	// busyNS accumulates total service time (measured + modeled) across
@@ -128,10 +142,11 @@ func NewServer() *Server {
 // workers/serviceTime, which is how the experiments saturate servers.
 func NewServerWithWorkers(workers int) *Server {
 	s := &Server{
-		handlers:  make(map[wire.Op]HandlerFunc),
-		virtual:   make(map[wire.Op]time.Duration),
-		workerCap: workers,
-		conns:     make(map[netsim.Conn]struct{}),
+		handlers:    make(map[wire.Op]HandlerFunc),
+		msgHandlers: make(map[wire.Op]MsgHandlerFunc),
+		virtual:     make(map[wire.Op]time.Duration),
+		workerCap:   workers,
+		conns:       make(map[netsim.Conn]struct{}),
 	}
 	if workers > 0 {
 		s.workers = make(chan struct{}, workers)
@@ -220,6 +235,21 @@ func (s *Server) leaseSeq() uint64 {
 	return 0
 }
 
+// SetPMapFunc installs the source of the partition-map version stamped on
+// every response (see wire.Msg.PMap). fn must be safe for concurrent use
+// and cheap — it runs on every response send. Sharded DMS nodes install
+// their partition node's map version here.
+func (s *Server) SetPMapFunc(fn func() uint64) { s.pmapFn.Store(&fn) }
+
+// pmapVer returns the current partition-map version, 0 when no source is
+// installed (unsharded DMS, FMS/OSS servers, tests).
+func (s *Server) pmapVer() uint64 {
+	if fn := s.pmapFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return 0
+}
+
 // OwnsKey reports whether this server owns key under the installed
 // membership's current ring. known is false when no membership is
 // installed or the server is not an FMS — callers must then skip the
@@ -240,6 +270,16 @@ func (s *Server) DedupInflightSkips() uint64 { return s.dedup.InflightSkips() }
 func (s *Server) Handle(op wire.Op, fn HandlerFunc) {
 	s.mu.Lock()
 	s.handlers[op] = fn
+	delete(s.msgHandlers, op)
+	s.mu.Unlock()
+}
+
+// HandleMsg registers a dedup-id-aware handler for op, replacing any
+// previous handler (of either kind).
+func (s *Server) HandleMsg(op wire.Op, fn MsgHandlerFunc) {
+	s.mu.Lock()
+	s.msgHandlers[op] = fn
+	delete(s.handlers, op)
 	s.mu.Unlock()
 }
 
@@ -429,7 +469,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 					}
 					resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 						Status: ent.status, ServiceNS: ent.service, Trace: req.Trace, Span: req.Span,
-						Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: ent.body}
+						Epoch: s.epoch.Load(), Lease: s.leaseSeq(), PMap: s.pmapVer(), Body: ent.body}
 					_ = conn.Send(resp)
 					return
 				}
@@ -442,13 +482,13 @@ func (s *Server) serveConn(conn netsim.Conn) {
 			// this is just goroutine scheduling; with a worker cap it is the
 			// time spent waiting for a CPU slot — the server-side queueing
 			// the paper's saturation experiments exercise.
-			status, body, service := s.execute(req.Op, req.Body, req.Trace, req.Span, -1, time.Since(recvT))
+			status, body, service := s.execute(req.Op, req.Body, req.Req, req.Trace, req.Span, -1, time.Since(recvT))
 			if ent != nil {
 				ent.complete(status, body, uint64(service))
 			}
 			resp := &wire.Msg{ID: req.ID, IsResp: true, Op: req.Op,
 				Status: status, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span,
-				Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: body}
+				Epoch: s.epoch.Load(), Lease: s.leaseSeq(), PMap: s.pmapVer(), Body: body}
 			_ = conn.Send(resp)
 		}(req)
 	}
@@ -462,7 +502,7 @@ func (s *Server) serveConn(conn netsim.Conn) {
 // appears on the span and in the slow-request log line, so a slow batched
 // sub-op is attributable to its position and opcode, not just the parent
 // trace.
-func (s *Server) execute(op wire.Op, reqBody []byte, trace, parentSpan uint64, sub int, queueWait time.Duration) (wire.Status, []byte, time.Duration) {
+func (s *Server) execute(op wire.Op, reqBody []byte, req, trace, parentSpan uint64, sub int, queueWait time.Duration) (wire.Status, []byte, time.Duration) {
 	var status wire.Status
 	var body []byte
 	sp := s.startSpan(trace, parentSpan, op, sub)
@@ -473,11 +513,11 @@ func (s *Server) execute(op wire.Op, reqBody []byte, trace, parentSpan uint64, s
 	var service time.Duration
 	if fn != nil {
 		service = fn(op, func() {
-			status, body = s.dispatch(op, reqBody)
+			status, body = s.dispatch(op, reqBody, req)
 		})
 	} else {
 		t0 := time.Now()
-		status, body = s.dispatch(op, reqBody)
+		status, body = s.dispatch(op, reqBody, req)
 		service = time.Since(t0)
 	}
 	service += virtual
@@ -526,7 +566,7 @@ func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 	reply := func(st wire.Status, body []byte, service time.Duration) {
 		resp := &wire.Msg{ID: req.ID, IsResp: true, Op: wire.OpBatch,
 			Status: st, ServiceNS: uint64(service), Trace: req.Trace, Span: req.Span,
-			Epoch: s.epoch.Load(), Lease: s.leaseSeq(), Body: body}
+			Epoch: s.epoch.Load(), Lease: s.leaseSeq(), PMap: s.pmapVer(), Body: body}
 		_ = conn.Send(resp)
 	}
 	// The envelope gets its own server-side span under the client's span;
@@ -550,7 +590,7 @@ func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 				s.workers <- struct{}{}
 				defer func() { <-s.workers }()
 			}
-			st, body, service := s.execute(subs[i].Op, subs[i].Body, req.Trace, esp.ID(), i, time.Since(recvT))
+			st, body, service := s.execute(subs[i].Op, subs[i].Body, 0, req.Trace, esp.ID(), i, time.Since(recvT))
 			resps[i] = wire.SubResp{Status: st, Body: body}
 			services[i] = service
 		}(i)
@@ -564,10 +604,14 @@ func (s *Server) serveBatch(conn netsim.Conn, req *wire.Msg, recvT time.Time) {
 	reply(wire.StatusOK, wire.EncodeBatchResp(resps), total)
 }
 
-func (s *Server) dispatch(op wire.Op, body []byte) (wire.Status, []byte) {
+func (s *Server) dispatch(op wire.Op, body []byte, req uint64) (wire.Status, []byte) {
 	s.mu.RLock()
+	mfn, mok := s.msgHandlers[op]
 	fn, ok := s.handlers[op]
 	s.mu.RUnlock()
+	if mok {
+		return mfn(req, body)
+	}
 	if !ok {
 		return wire.StatusInval, []byte(fmt.Sprintf("unknown op %#x", uint16(op)))
 	}
@@ -716,6 +760,13 @@ func (c *Client) CallSpanV(op wire.Op, body []byte, trace, span uint64) (wire.St
 type CallSpec struct {
 	Op   wire.Op
 	Body []byte
+	// Ctx, if non-nil, bounds the call: when it is cancelled or its
+	// deadline expires before a response arrives, Do returns early (a
+	// deadline maps to the same wire.StatusDeadline error as Timeout; a
+	// bare cancellation returns the context's error). It composes with
+	// Timeout — whichever bound trips first wins. The request itself is
+	// not revoked server-side; mutations stay protected by Req dedup.
+	Ctx context.Context
 	// Trace and Span are the correlation ids stamped on the wire header
 	// (see wire.Msg).
 	Trace, Span uint64
@@ -738,6 +789,10 @@ type CallSpec struct {
 	// notice, on ordinary traffic, that the DMS recalled directory leases
 	// it may still be caching (see internal/client lease coherence).
 	OnLease func(seq uint64)
+	// OnPMap, if set, is invoked with the response header's partition-map
+	// version when it is non-zero — the hook the client router uses to
+	// notice, on ordinary traffic, that the DMS partition map changed.
+	OnPMap func(ver uint64)
 }
 
 // Do issues the call described by spec and blocks for its response (or
@@ -746,6 +801,11 @@ type CallSpec struct {
 // wire.StatusDeadline; application-level failures arrive as a non-OK
 // status with a nil error.
 func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
+	if spec.Ctx != nil {
+		if err := spec.Ctx.Err(); err != nil {
+			return ctxStatus(err), nil, 0, ctxErr(err)
+		}
+	}
 	id := c.nextID.Add(1)
 	ch := make(chan *wire.Msg, 1)
 	c.mu.Lock()
@@ -778,6 +838,10 @@ func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
 		defer t.Stop()
 		timeout = t.C
 	}
+	var ctxDone <-chan struct{}
+	if spec.Ctx != nil {
+		ctxDone = spec.Ctx.Done()
+	}
 	var resp *wire.Msg
 	var ok bool
 	select {
@@ -788,6 +852,12 @@ func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
 		delete(c.pending, id)
 		c.mu.Unlock()
 		return wire.StatusDeadline, nil, 0, wire.StatusDeadline.Err()
+	case <-ctxDone:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		err := spec.Ctx.Err()
+		return ctxStatus(err), nil, 0, ctxErr(err)
 	}
 	if !ok {
 		c.mu.Lock()
@@ -810,7 +880,32 @@ func (c *Client) Do(spec CallSpec) (wire.Status, []byte, time.Duration, error) {
 	if resp.Lease != 0 && spec.OnLease != nil {
 		spec.OnLease(resp.Lease)
 	}
+	if resp.PMap != 0 && spec.OnPMap != nil {
+		spec.OnPMap(resp.PMap)
+	}
 	return resp.Status, resp.Body, virt, nil
+}
+
+// ctxStatus maps a context error to the wire status Do reports: an expired
+// deadline is indistinguishable from a per-attempt timeout, while a bare
+// cancellation is not a server condition at all and surfaces as StatusIO
+// with the context's own error.
+func ctxStatus(err error) wire.Status {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return wire.StatusDeadline
+	}
+	return wire.StatusIO
+}
+
+// ctxErr converts a context error to the error Do returns: deadline expiry
+// becomes the StatusDeadline error (which errors.Is-matches
+// context.DeadlineExceeded), cancellation passes through untouched so
+// callers can recognize context.Canceled.
+func ctxErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return wire.StatusDeadline.Err()
+	}
+	return err
 }
 
 // Trips returns the number of round trips issued so far. Callers snapshot it

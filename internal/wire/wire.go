@@ -73,6 +73,46 @@ const (
 	// OpSetMembership installs a Membership on the server if its epoch is
 	// not older than the installed one (StatusStale otherwise).
 	OpSetMembership Op = 0x0003
+	// OpGetPartMap returns the server's current encoded PartMap
+	// (StatusNotFound if none was ever installed — an unsharded DMS).
+	OpGetPartMap Op = 0x0004
+	// OpSetPartMap installs a PartMap on a DMS node if its version is not
+	// older than the installed one (StatusStale otherwise).
+	OpSetPartMap Op = 0x0005
+)
+
+// Operations of the sharded DMS replication/partition plane (0x0400 range).
+// These are spoken between DMS replicas (leader -> follower) and between
+// partition leaders (two-partition rename commit), never by clients.
+const (
+	// OpLogAppend replicates one op-log entry from a partition leader to a
+	// follower, which appends, applies, and acks. The body is an encoded
+	// LogEntry; the follower rejects index gaps with StatusInval and older
+	// indexes with StatusOK (already applied — ack replay).
+	OpLogAppend Op = 0x0400 + iota
+	// OpSeedUpdate pushes an ancestor-inode seed copy (or its removal) from
+	// the partition owning a path to a partition whose range lies below it.
+	OpSeedUpdate
+	// OpRenamePrepare asks the destination partition of a cross-partition
+	// directory rename to validate, persist the exported subtree records in
+	// its replicated log, and freeze the destination range.
+	OpRenamePrepare
+	// OpRenameCommit makes a prepared cross-partition rename visible at the
+	// destination. Idempotent per transaction id: a recovered coordinator
+	// may resend it.
+	OpRenameCommit
+	// OpRenameAbort discards a prepared cross-partition rename at the
+	// destination. Unknown transaction ids ack OK (presumed abort).
+	OpRenameAbort
+	// The OpRenameSrc* ops never travel as standalone RPCs: they are the
+	// coordinator-side (source partition) op-log markers of a cross-
+	// partition rename, replicated inside OpLogAppend entries so that every
+	// source replica can reconstruct the transaction's state — and a
+	// promoted follower can finish or abort it — from its log alone.
+	OpRenameSrcPrepare
+	OpRenameSrcCommit
+	OpRenameSrcAbort
+	OpRenameSrcComplete
 )
 
 // String returns the operation's symbolic name, used as the op label on
@@ -145,6 +185,28 @@ func (o Op) String() string {
 		return "GetMembership"
 	case OpSetMembership:
 		return "SetMembership"
+	case OpGetPartMap:
+		return "GetPartMap"
+	case OpSetPartMap:
+		return "SetPartMap"
+	case OpLogAppend:
+		return "LogAppend"
+	case OpSeedUpdate:
+		return "SeedUpdate"
+	case OpRenamePrepare:
+		return "RenamePrepare"
+	case OpRenameCommit:
+		return "RenameCommit"
+	case OpRenameAbort:
+		return "RenameAbort"
+	case OpRenameSrcPrepare:
+		return "RenameSrcPrepare"
+	case OpRenameSrcCommit:
+		return "RenameSrcCommit"
+	case OpRenameSrcAbort:
+		return "RenameSrcAbort"
+	case OpRenameSrcComplete:
+		return "RenameSrcComplete"
 	case OpBatch:
 		return "Batch"
 	}
@@ -167,6 +229,13 @@ func (o Op) String() string {
 // delete is conditional on the stored bytes, and set-membership installs
 // an absolute epoch-guarded state.
 //
+// The partition-plane ops are designed idempotent: get/set-part-map follow
+// the membership pattern (read / version-guarded absolute state), a log
+// append at an already-applied index replays its ack, a seed update
+// installs absolute bytes, and the two-partition rename messages are
+// deduplicated by transaction id at the destination (a re-prepare,
+// re-commit, or re-abort of a known transaction acks without re-executing).
+//
 // Everything else — create, remove, mkdir, rmdir, renames, truncate,
 // subtree file removal, and the OpBatch envelope — reports false: a replay
 // observes the first execution's effects (EEXIST, ENOENT, an empty removal
@@ -179,7 +248,9 @@ func (o Op) Idempotent() bool {
 		OpChmodFile, OpChownFile, OpChmodDir, OpChownDir, OpUtimensFile,
 		OpUpdateSize, OpPutBlock, OpDeleteBlocks,
 		OpMigrateScan, OpMigrateInstall, OpMigrateDelete,
-		OpGetMembership, OpSetMembership:
+		OpGetMembership, OpSetMembership,
+		OpGetPartMap, OpSetPartMap, OpLogAppend, OpSeedUpdate,
+		OpRenamePrepare, OpRenameCommit, OpRenameAbort:
 		return true
 	}
 	return false
@@ -209,6 +280,13 @@ const (
 	// before a response arrived. The request may or may not have executed;
 	// mutations are protected by the request-id dedup window (see Msg.Req).
 	StatusDeadline
+	// StatusWrongPartition reports that the addressed DMS node does not own
+	// the request's path under its installed partition map — the client
+	// routed with a stale map. Like StatusStale it signals routing
+	// staleness, not failure: the client refreshes its partition map and
+	// retries against the correct owner. StatusError.Is treats it as
+	// matching StatusStale so callers can test both with one sentinel.
+	StatusWrongPartition
 )
 
 // String returns a short human-readable form of the status.
@@ -238,6 +316,8 @@ func (s Status) String() string {
 		return "EUNAVAIL"
 	case StatusDeadline:
 		return "ETIMEDOUT"
+	case StatusWrongPartition:
+		return "EWRONGPART"
 	}
 	return fmt.Sprintf("status(%d)", uint16(s))
 }
@@ -260,10 +340,15 @@ func (e *StatusError) Error() string { return "locofs: " + e.Status.String() }
 // so the public package can export sentinel values (locofs.ErrNotFound etc.)
 // that match errors produced anywhere in the stack. A StatusDeadline error
 // additionally matches context.DeadlineExceeded, the standard-library
-// convention for expired deadlines.
+// convention for expired deadlines, and a StatusWrongPartition error
+// matches a StatusStale target — both report routing staleness, so the
+// public locofs.ErrStale sentinel covers them together.
 func (e *StatusError) Is(target error) bool {
 	if se, ok := target.(*StatusError); ok {
-		return se.Status == e.Status
+		if se.Status == e.Status {
+			return true
+		}
+		return e.Status == StatusWrongPartition && se.Status == StatusStale
 	}
 	if e.Status == StatusDeadline && target == context.DeadlineExceeded {
 		return true
@@ -325,12 +410,19 @@ type Msg struct {
 	// as stale until it catches up (see internal/dms lease table). Zero
 	// means "nothing ever recalled" and is ignored.
 	Lease uint64
-	Body  []byte
+	// PMap is the DMS partition-map version, stamped on every DMS response
+	// exactly as Epoch piggybacks FMS membership: a value newer than the
+	// client's routing map means partitions split, merged, or failed over,
+	// and the client refreshes via OpGetPartMap before its routing goes
+	// stale enough to draw StatusWrongPartition. Zero means "no partition
+	// map installed" (single unsharded DMS) and is ignored.
+	PMap uint64
+	Body []byte
 }
 
 // header: id(8) flags(1) op(2) status(2) service(8) trace(8) span(8)
-// req(8) epoch(8) lease(8)
-const headerSize = 61
+// req(8) epoch(8) lease(8) pmap(8)
+const headerSize = 69
 
 // MaxBody bounds a single message body (64 MiB), protecting servers from
 // malformed frames.
@@ -358,6 +450,7 @@ func WriteMsg(w io.Writer, m *Msg) error {
 	binary.BigEndian.PutUint64(hdr[41:], m.Req)
 	binary.BigEndian.PutUint64(hdr[49:], m.Epoch)
 	binary.BigEndian.PutUint64(hdr[57:], m.Lease)
+	binary.BigEndian.PutUint64(hdr[65:], m.PMap)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -390,6 +483,7 @@ func ReadMsg(r io.Reader) (*Msg, error) {
 		Req:       binary.BigEndian.Uint64(payload[37:]),
 		Epoch:     binary.BigEndian.Uint64(payload[45:]),
 		Lease:     binary.BigEndian.Uint64(payload[53:]),
+		PMap:      binary.BigEndian.Uint64(payload[61:]),
 		Body:      payload[headerSize:],
 	}
 	return m, nil

@@ -23,6 +23,36 @@
 // Servers run over TCP via DialConfig/NewClient and the server constructors
 // in this package; see cmd/locofsd for a complete daemon.
 //
+// # Contexts and deadlines
+//
+// Every Client method has a *Context variant (MkdirContext, StatContext,
+// OpenContext, ...) taking a context.Context as its first argument; the
+// plain methods are equivalent to passing context.Background(). The context
+// governs the whole logical operation — every RPC attempt it issues and
+// every backoff wait between retries:
+//
+//   - A context deadline bounds each RPC attempt in flight: the attempt
+//     fails with ErrDeadlineExceeded (which matches
+//     context.DeadlineExceeded under errors.Is) when the deadline expires
+//     first. WithOpTimeout still applies per attempt; the effective
+//     per-attempt deadline is the tighter of the two.
+//   - Cancellation is checked before every retry and wakes any backoff
+//     sleep immediately, so a canceled operation stops retrying at once.
+//     Cancellation does not recall an attempt already on the wire — a
+//     mutation whose request was already sent may still execute on the
+//     server even though the call returns the context's error.
+//
+// # Sharded directory metadata
+//
+// Options.DMSPartitions/DMSCuts/DMSReplicas shard the directory namespace
+// into replicated subtree partitions (DESIGN.md §16). Clients route by
+// path using a versioned partition map fetched from the cluster and
+// refreshed automatically when responses carry a newer map version or a
+// partition refuses a misrouted path (see ErrStale). Note the wire-format
+// flag day: sharded-era servers and clients exchange a partition-map
+// version field in every message header, so both sides must be built from
+// the same release.
+//
 // The packages under internal/ hold the implementation: metadata layouts,
 // KV engines, the RPC stack, the servers, the baseline systems the paper
 // compares against, and the experiment harness (see DESIGN.md).
@@ -66,8 +96,18 @@ type Client = client.Client
 // File is an open file handle.
 type File = client.File
 
-// Attr is a stat result.
+// Attr is a stat result. Attr.Kind distinguishes files from directories —
+// Client.Stat resolves either with one call.
 type Attr = client.Attr
+
+// Kind is the kind of namespace object an Attr describes.
+type Kind = client.Kind
+
+// Kinds reported in Attr.Kind.
+const (
+	KindFile = client.KindFile
+	KindDir  = client.KindDir
+)
 
 // DirEntry is one readdir result.
 type DirEntry = client.DirEntry
