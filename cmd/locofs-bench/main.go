@@ -10,7 +10,7 @@
 //
 // Experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 fig14 fanout opstats spans faults rebalance slostorm cachestorm
-// dmsshard, or "all"
+// dmsshard dmscatchup, or "all"
 // (default).
 package main
 
@@ -31,7 +31,7 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: locofs-bench [-quick] [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "experiments: fig1 table1 table2 table3 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14\n")
-		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm cachestorm dmsshard all\n")
+		fmt.Fprintf(os.Stderr, "             ablation-rename ablation-lease ablation-dirent fanout opstats spans faults rebalance slostorm cachestorm dmsshard dmscatchup all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,6 +85,9 @@ func main() {
 		// Sharded-DMS study: mdtest mix at 1/2/4 partitions plus the
 		// same- vs cross-partition rename cost (see DESIGN.md §16).
 		{"dmsshard", func() (*bench.Table, error) { return bench.FigDMSShard(env) }},
+		// Replication-plane operability study: mutation throughput with a
+		// dark follower and during its catch-up, plus the op-log bound.
+		{"dmscatchup", func() (*bench.Table, error) { return bench.FigDMSCatchup(env) }},
 	}
 
 	want := flag.Args()

@@ -45,6 +45,14 @@
 // carry a partition-map version in every message header, so servers and
 // clients must be built from the same release.
 //
+// Replication-plane knobs: -dms-log-cap bounds each partition's retained
+// op log (the leader truncates entries below the group-wide applied
+// watermark once the cap is exceeded; default 4096), and -dms-catchup sets
+// how often a follower probes its leader for missed entries, so a replica
+// that was excluded after an unreachable spell catches up and rejoins the
+// live fan-out set on its own (default 5s; 0 limits catch-up to the
+// on-demand triggers: append gaps and partition-map installs).
+//
 //	locofsd -role dms -listen :7000 -partition 0 -replica 0 \
 //	        -dms-groups "h0:7000,h0:7010;h1:7001,h1:7011" -dms-cuts /data
 //	locofsd -role dms -listen :7010 -partition 0 -replica 1 -dms-groups ... -dms-cuts /data
@@ -130,6 +138,8 @@ func main() {
 	dmsPartition := flag.Int("partition", 0, "this node's partition id (dms role with -dms-groups)")
 	dmsReplica := flag.Int("replica", 0, "this node's replica slot in its partition group, 0 = leader (dms role with -dms-groups)")
 	dmsSharded := flag.Bool("dms-sharded", false, "route directory operations by partition map fetched from -dms (client role against a -dms-groups deployment)")
+	dmsLogCap := flag.Int("dms-log-cap", 0, "retained op-log entries per DMS partition before the leader truncates below the group-wide applied watermark (dms role with -dms-groups; 0 = default 4096)")
+	dmsCatchup := flag.Duration("dms-catchup", 5*time.Second, "how often a follower replica probes its leader for missed log entries so an excluded replica rejoins on its own (dms role with -dms-groups; 0 = on-demand only)")
 	lease := flag.Duration("lease", 0, "directory cache lease for the TTL-only fallback (client role; 0 = default 30s)")
 	noCoherent := flag.Bool("no-coherent-cache", false, "revert the directory cache to TTL-only semantics, no lease coherence (client role)")
 	noNegCache := flag.Bool("no-neg-cache", false, "disable negative-entry (ENOENT) caching (client role)")
@@ -199,14 +209,16 @@ func main() {
 				os.Exit(2)
 			}
 			node := partition.New(partition.Config{
-				PID:     uint32(*dmsPartition),
-				Index:   *dmsReplica,
-				Self:    self,
-				Map:     pm,
-				DMS:     d,
-				Dialer:  netsim.TCPDialer{},
-				Journal: srv.flightJ,
-				Source:  name,
+				PID:          uint32(*dmsPartition),
+				Index:        *dmsReplica,
+				Self:         self,
+				Map:          pm,
+				DMS:          d,
+				Dialer:       netsim.TCPDialer{},
+				Journal:      srv.flightJ,
+				Source:       name,
+				LogCap:       *dmsLogCap,
+				CatchupEvery: *dmsCatchup,
 			})
 			attach = node.Attach
 		}

@@ -43,4 +43,13 @@ var (
 	// retries are exhausted, which normally indicates churn still in
 	// progress. The operation is safe to retry.
 	ErrStale error = wire.StatusStale.Err()
+	// ErrExpired: the mutation's retry horizon has passed. A DMS partition
+	// prunes its dedup-replay records together with its replicated op log
+	// (below the group-wide applied watermark); a retry older than that
+	// watermark can no longer be told apart from a fresh request, so it is
+	// refused without executing — the safe side of at-most-once. Seen only
+	// on retries delayed past thousands of subsequent mutations on the same
+	// partition; the caller should re-check the target's state rather than
+	// retry blindly.
+	ErrExpired error = wire.StatusExpired.Err()
 )

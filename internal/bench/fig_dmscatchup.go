@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"locofs/internal/core"
+	"locofs/internal/netsim"
+)
+
+// FigDMSCatchup measures the replication plane's operability properties
+// (DESIGN.md §16 follow-on): what one dark follower costs the partition's
+// mutation throughput, what a concurrent follower catch-up costs, and that
+// the bounded op log holds its cap under sustained load. Three mutation
+// bursts run against a 3-replica partition — steady state; with one
+// follower blackholed (it is excluded after one replication timeout, so
+// the burst absorbs exactly one timeout); and with the healed follower
+// replaying its missed range while the burst runs (catch-up fetches serve
+// from the leader's log under the partition lock, contending with live
+// appends). The log rows report the leader's retained log and dedup-replay
+// table against the configured cap after every burst — the memory bound
+// the truncation protocol promises.
+func FigDMSCatchup(env Env) (*Table, error) {
+	const logCap = 1024
+	repTimeout := 150 * time.Millisecond
+	n := env.TputItems * 4
+	if n < 100 {
+		n = 100
+	}
+
+	cluster, err := core.Start(core.Options{
+		DMSReplicas:   3,
+		DMSLogCap:     logCap,
+		DMSRepTimeout: repTimeout,
+		Link:          env.Link,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	cl, err := cluster.NewClient(core.ClientConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	leader := cluster.DMSNodes[0][0]
+	straggler := cluster.DMSNodes[0][2]
+	stragglerAddr := straggler.Map().Groups[0][2]
+
+	burst := func(tag string, count int) (float64, error) {
+		start := time.Now()
+		for i := 0; i < count; i++ {
+			if err := cl.Mkdir(fmt.Sprintf("/%s%06d", tag, i), 0o755); err != nil {
+				return 0, fmt.Errorf("bench: dmscatchup %s mkdir %d: %w", tag, i, err)
+			}
+		}
+		return float64(count) / time.Since(start).Seconds(), nil
+	}
+
+	tbl := &Table{
+		Title: "dmscatchup: mutation throughput around follower catch-up, log bound",
+		Note: fmt.Sprintf("3 replicas, log cap %d entries, replication timeout %v; wall-clock\n"+
+			"mkdir throughput on one partition. \"dark follower\" absorbs the one\n"+
+			"replication timeout that excludes it; \"during catch-up\" runs while the\n"+
+			"healed follower replays its missed range from the leader's log.",
+			logCap, repTimeout),
+		Headers: []string{"phase", "kIOPS", "catch-up", "log retained", "dedup entries"},
+	}
+	logRow := func() (string, string) {
+		return fmt.Sprintf("%d/%d", leader.LogRetained(), logCap), fmt.Sprint(leader.DedupLen())
+	}
+
+	steady, err := burst("s", n)
+	if err != nil {
+		return nil, err
+	}
+	lr, de := logRow()
+	tbl.AddRow("steady state", fmtKIOPS(steady), "", lr, de)
+
+	// One follower goes dark: the first append to it eats the replication
+	// timeout, then it is excluded and the burst runs at two-replica speed.
+	cluster.Network().SetFault(stragglerAddr, netsim.FaultConfig{Blackhole: true})
+	dark, err := burst("d", n)
+	if err != nil {
+		return nil, err
+	}
+	lr, de = logRow()
+	tbl.AddRow("one follower dark", fmtKIOPS(dark), "", lr, de)
+
+	// Heal and catch up while a fresh burst runs: the follower replays
+	// roughly n missed entries (bounded below the cap by truncation).
+	cluster.Network().SetFault(stragglerAddr, netsim.FaultConfig{})
+	cuStart := time.Now()
+	cuDone := make(chan error, 1)
+	go func() { cuDone <- straggler.CatchUp() }()
+	during, err := burst("c", n)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-cuDone; err != nil {
+		return nil, fmt.Errorf("bench: dmscatchup catch-up: %w", err)
+	}
+	cuDur := time.Since(cuStart)
+	lr, de = logRow()
+	tbl.AddRow("during catch-up", fmtKIOPS(during), cuDur.Round(time.Millisecond).String(), lr, de)
+
+	if exc := leader.Excluded(); len(exc) != 0 {
+		return nil, fmt.Errorf("bench: dmscatchup follower still excluded after catch-up: %v", exc)
+	}
+	if got := leader.LogRetained(); got > logCap+1 {
+		return nil, fmt.Errorf("bench: dmscatchup retained log %d exceeds cap %d", got, logCap)
+	}
+	return tbl, nil
+}

@@ -188,6 +188,7 @@ type Client struct {
 	pmap         atomic.Pointer[wire.PartMap]
 	pmapMu       sync.Mutex // serializes map installs
 	pmapFetchMu  sync.Mutex // serializes map fetches
+	pmFetchGen   atomic.Uint64
 	maxPVer      atomic.Uint64
 	pmRefreshing atomic.Bool
 	dmsEpMu      sync.Mutex

@@ -59,16 +59,33 @@ func (c *Client) observePMap(ver uint64) {
 	}
 }
 
+// MetricPMapSuppressed counts partition-map fetches coalesced into a
+// concurrent one: callers that queued behind an in-flight fetch and reused
+// its result instead of issuing their own (single-flight, mirroring the
+// membership epoch refresh).
+const MetricPMapSuppressed = "locofs_client_pmap_refresh_suppressed_total"
+
 // refreshPartMap fetches the partition map and installs it if newer than
-// the installed one. Fetches are serialized; concurrent callers queue
-// rather than race. Candidates are tried in order: every replica of the
-// installed map (leaders first — they are known-recent), then the bootstrap
-// endpoint; avoid (a just-failed leader address) is demoted to last. The
-// first decodable map wins. Finding no map anywhere leaves the client in
-// its current mode.
+// the installed one. Fetches are single-flight: concurrent callers — a
+// failover trips every in-flight request at once with EWRONGPART or a
+// dead-leader transport error — queue behind the running fetch and return
+// when it completes, reusing its freshly installed map instead of each
+// issuing their own OpGetPartMap storm. Candidates are tried in order:
+// every replica of the installed map (leaders first — they are
+// known-recent), then the bootstrap endpoint; avoid (a just-failed leader
+// address) is demoted to last. The first decodable map wins. Finding no
+// map anywhere leaves the client in its current mode.
 func (c *Client) refreshPartMap(oc opCtx, avoid string) error {
+	gen := c.pmFetchGen.Load()
 	c.pmapFetchMu.Lock()
 	defer c.pmapFetchMu.Unlock()
+	if c.pmFetchGen.Load() != gen {
+		// A fetch completed while this caller queued for the lock: its
+		// installed result is as fresh as a new fetch would be.
+		c.telem.reg.Counter(MetricPMapSuppressed).Inc()
+		return nil
+	}
+	defer c.pmFetchGen.Add(1)
 	type cand struct {
 		addr string
 		pid  uint32

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"locofs/internal/netsim"
+)
+
+// TestFollowerCatchUpRejoinAndPromotion is the acceptance e2e: a follower
+// that missed appends while blackholed is excluded, catches up when the
+// network heals, rejoins the live fan-out set, and — after two failovers
+// promote it to sole leader — serves every mutation the cluster ever
+// acked. "Acked ⇒ on every non-excluded replica" holds across the rejoin.
+func TestFollowerCatchUpRejoinAndPromotion(t *testing.T) {
+	c, err := Start(Options{DMSReplicas: 3, DMSRepTimeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.NewClient(ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	var acked []string
+	mk := func(path string) {
+		t.Helper()
+		if err := fs.Mkdir(path, 0o755); err != nil {
+			t.Fatalf("mkdir %s: %v", path, err)
+		}
+		acked = append(acked, path)
+	}
+	mk("/before")
+
+	// The second follower goes dark and misses appends: the leader excludes
+	// it after one replication timeout and keeps serving.
+	slow := dmsAddr(0, 2)
+	c.net.SetFault(slow, netsim.FaultConfig{Blackhole: true})
+	for i := 0; i < 5; i++ {
+		mk(fmt.Sprintf("/during%d", i))
+	}
+	if exc := c.DMSNodes[0][0].Excluded(); len(exc) != 1 || exc[0] != slow {
+		t.Fatalf("excluded = %v, want [%s]", exc, slow)
+	}
+
+	// Network heals; the follower replays the missed range and rejoins.
+	c.net.SetFault(slow, netsim.FaultConfig{})
+	if err := c.DMSNodes[0][2].CatchUp(); err != nil {
+		t.Fatalf("catch-up: %v", err)
+	}
+	if exc := c.DMSNodes[0][0].Excluded(); len(exc) != 0 {
+		t.Fatalf("still excluded after rejoin: %v", exc)
+	}
+	for i := 0; i < 5; i++ {
+		mk(fmt.Sprintf("/after%d", i))
+	}
+
+	// Two failovers promote the once-excluded replica to sole leader; every
+	// acked mutation must be visible from it alone. The verifying client
+	// dials before the failovers (the bootstrap address dies with the first
+	// one) and follows the map pushes; its cache is off, so every stat
+	// below reaches the promoted replica.
+	fresh, err := c.NewClient(ClientConfig{DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := c.FailoverDMS(0); err != nil {
+		t.Fatalf("first failover: %v", err)
+	}
+	if err := c.FailoverDMS(0); err != nil {
+		t.Fatalf("second failover: %v", err)
+	}
+	if !c.DMSNodes[0][0].IsLeader() || c.DMSNodes[0][0].Map().Leader(0) != slow {
+		t.Fatalf("once-excluded replica %s is not the leader after two failovers", slow)
+	}
+	for _, p := range acked {
+		if _, err := fresh.StatDir(p); err != nil {
+			t.Errorf("acked mkdir %s lost on the rejoined replica: %v", p, err)
+		}
+	}
+}
+
+// TestDMSLogBoundedUnderSustainedLoad: across a 10k-mutation workload the
+// retained op log and the dedup-replay table on every replica stay at the
+// configured cap (the follower may lag the leader's floor by the one
+// append that carries it).
+func TestDMSLogBoundedUnderSustainedLoad(t *testing.T) {
+	const cap = 256
+	c, err := Start(Options{DMSReplicas: 2, DMSLogCap: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.NewClient(ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	const total = 10000
+	for i := 0; i < total; i++ {
+		if err := fs.Mkdir(fmt.Sprintf("/d%05d", i), 0o755); err != nil {
+			t.Fatalf("mkdir %d: %v", i, err)
+		}
+	}
+	for rep, n := range c.DMSNodes[0] {
+		if got := n.LogLen(); got < total {
+			t.Errorf("replica %d log length = %d, want >= %d", rep, got, total)
+		}
+		if got := n.LogRetained(); got > cap+1 {
+			t.Errorf("replica %d retained log = %d, want <= %d", rep, got, cap+1)
+		}
+		if got := n.DedupLen(); got > cap+1 {
+			t.Errorf("replica %d dedup table = %d, want <= %d", rep, got, cap+1)
+		}
+	}
+}
+
+// TestNoPartitionStallUnderBlackholedFollower: with one follower dark,
+// reads and mutations on the partition complete within the client op
+// timeout — the slow follower costs one replication timeout and an
+// exclusion, not a partition-wide stall (replication no longer runs under
+// the partition lock).
+func TestNoPartitionStallUnderBlackholedFollower(t *testing.T) {
+	c, err := Start(Options{DMSReplicas: 2, DMSRepTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs, err := c.NewClient(ClientConfig{
+		OpTimeout:    2 * time.Second,
+		DisableCache: true, // every stat below must hit the DMS, not a cache
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Mkdir("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	c.net.SetFault(dmsAddr(0, 1), netsim.FaultConfig{Blackhole: true})
+	// The first mutation eats the replication timeout while the follower is
+	// excluded; reads racing it must still complete well inside the op
+	// timeout (they never touch the replication path).
+	done := make(chan error, 1)
+	go func() { done <- fs.Mkdir("/d2", 0o755) }()
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		if _, err := fs.StatDir("/d"); err != nil {
+			t.Fatalf("read during exclusion: %v", err)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("read during exclusion took %v — partition stalled", el)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("mutation during exclusion: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mutation under a blackholed follower never completed")
+	}
+	// Steady state after exclusion: no timeout per op anymore.
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := fs.Mkdir(fmt.Sprintf("/post%d", i), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("20 mutations after exclusion took %v", el)
+	}
+}

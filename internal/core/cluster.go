@@ -64,6 +64,20 @@ type Options struct {
 	// followers behind a replicated op log and FailoverDMS can promote a
 	// follower after killing the leader.
 	DMSReplicas int
+	// DMSLogCap bounds each partition's retained op log (and, through it,
+	// the dedup-replay table): the leader prunes entries below the
+	// group-wide applied watermark once more than this many are held.
+	// 0 = partition.DefaultLogCap.
+	DMSLogCap int
+	// DMSRepTimeout bounds each replication RPC; a follower that cannot
+	// ack within it is excluded from the live fan-out set and must catch
+	// up to rejoin. 0 = partition.DefaultRepTimeout.
+	DMSRepTimeout time.Duration
+	// DMSCatchupEvery, when positive, has follower replicas periodically
+	// probe their leader for missed log entries, so a replica excluded
+	// while unreachable rejoins on its own. Zero leaves catch-up
+	// on-demand (append gaps, map installs, Node.CatchUp).
+	DMSCatchupEvery time.Duration
 	// DMSDevice/FMSDevice charge virtual storage time per KV op (Fig 14's
 	// HDD vs SSD). Zero means RAM (no charge).
 	DMSDevice kv.DeviceModel
@@ -354,14 +368,17 @@ func Start(opts Options) (*Cluster, error) {
 				})
 				ds.SetFlight(c.Flight.Journal(), addr)
 				node := partition.New(partition.Config{
-					PID:     uint32(pid),
-					Index:   rep,
-					Self:    addr,
-					Map:     pm,
-					DMS:     ds,
-					Dialer:  c.net,
-					Journal: c.Flight.Journal(),
-					Source:  addr,
+					PID:          uint32(pid),
+					Index:        rep,
+					Self:         addr,
+					Map:          pm,
+					DMS:          ds,
+					Dialer:       c.net,
+					Journal:      c.Flight.Journal(),
+					Source:       addr,
+					LogCap:       opts.DMSLogCap,
+					RepTimeout:   opts.DMSRepTimeout,
+					CatchupEvery: opts.DMSCatchupEvery,
 				})
 				if err := c.serve(addr, store, node.Attach); err != nil {
 					return nil, err

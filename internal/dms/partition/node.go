@@ -4,10 +4,19 @@
 // The namespace is split into subtree range partitions by a versioned
 // wire.PartMap. Each partition is a replica group of Nodes wrapping one
 // dms.Server each; replica 0 is the leader. Mutations reach the leader,
-// which appends them to a replicated op log, pushes the entry to every
-// live follower (all must ack before the leader replies — an acked
-// mutation is on every live replica, so promoting any follower loses
-// nothing), then applies locally under the entry's pinned timestamp.
+// which appends them to a replicated op log under the partition lock, then
+// fans the entry out to every live follower through per-follower ordered
+// replicators *outside* the lock (a slow follower costs one replication
+// timeout, not a partition-wide stall). All live followers must ack before
+// the leader replies — an acked mutation is on every non-excluded replica,
+// so promoting any follower loses nothing. A follower that cannot ack is
+// excluded from the live set and re-admitted by the catch-up protocol
+// (catchup.go): it replays the missed log range via OpLogFetch and rejoins
+// at the tip. The log itself is bounded: followers report applied
+// watermarks on every ack, and entries below the group-wide minimum are
+// truncated together with their dedup-replay records (see
+// maybePruneLocked).
+//
 // Followers apply entries in log order through the same dms.Dispatch,
 // producing byte-identical state, and serve leased reads locally.
 //
@@ -37,6 +46,22 @@ import (
 	"locofs/internal/wire"
 )
 
+// Replication-plane defaults (overridable per Config).
+const (
+	// DefaultLogCap bounds the retained op-log suffix (and, through it, the
+	// dedup-replay table) when Config.LogCap is zero.
+	DefaultLogCap = 4096
+	// DefaultRepTimeout bounds each replication RPC when Config.RepTimeout
+	// is zero. A follower that cannot ack within it is excluded from the
+	// live fan-out set (catch-up re-admits it).
+	DefaultRepTimeout = 2 * time.Second
+	// catchupBatch is the per-OpLogFetch entry limit.
+	catchupBatch = 512
+	// catchupGrace is how long an idle catch-up session may hold truncation
+	// before the leader declares it abandoned.
+	catchupGrace = 30 * time.Second
+)
+
 // Config assembles one partition replica.
 type Config struct {
 	// PID is the partition this node belongs to; Index its replica slot in
@@ -52,13 +77,27 @@ type Config struct {
 	// Dialer reaches peer nodes (followers, other partition leaders).
 	Dialer netsim.Dialer
 	// Journal, when non-nil, receives partition events (failovers,
-	// follower exclusions, 2PC recovery actions) stamped Source.
+	// follower exclusions, catch-up progress, 2PC recovery actions)
+	// stamped Source.
 	Journal *flight.Journal
 	Source  string
 	// Now supplies the leader-pinned log-entry timestamps. Default:
 	// time.Now().UnixNano via the wire clock of the DMS is NOT used —
 	// the node needs its own reading before dispatch.
 	Now func() int64
+	// LogCap bounds the retained op log: once more entries than this are
+	// held, the leader prunes down toward the cap, limited by the
+	// group-wide applied watermark and any active catch-up session.
+	// 0 = DefaultLogCap.
+	LogCap int
+	// RepTimeout bounds each replication/catch-up RPC (0 = DefaultRepTimeout).
+	RepTimeout time.Duration
+	// CatchupEvery, when positive, runs a background probe on follower
+	// replicas: every interval the node asks its leader for entries past
+	// its own tip, so a replica that was excluded while unreachable (and
+	// therefore receives no more appends to trip over) rejoins on its own.
+	// Zero leaves catch-up on-demand (append gaps, map installs, CatchUp).
+	CatchupEvery time.Duration
 }
 
 type appliedRes struct {
@@ -71,6 +110,21 @@ type srcTx struct {
 	committed bool
 }
 
+// reqIndex remembers which log index recorded which dedup id, so pruning
+// the log prefix prunes exactly the matching applied-table entries.
+type reqIndex struct {
+	idx uint64
+	req uint64
+}
+
+// catchSession tracks one follower's active catch-up on the leader: the
+// oldest index it still needs (truncation must not pass it) and the time of
+// its last fetch (sessions idle past catchupGrace are abandoned).
+type catchSession struct {
+	from uint64
+	at   int64
+}
+
 // Node is one replica of one DMS partition.
 type Node struct {
 	dms    *dms.Server
@@ -81,13 +135,23 @@ type Node struct {
 	source string
 	now    func() int64
 
+	logCap     int
+	repTimeout time.Duration
+
 	pm  atomic.Pointer[wire.PartMap]
 	idx atomic.Int32 // replica index; 0 = leader
 
 	// txSeq generates fallback transaction ids for cross-partition renames
-	// issued without a client dedup id (top bit set, never colliding with
-	// rpc-assigned ids).
+	// issued without a client dedup id (see mintTxID). It restarts at zero
+	// on every process, so minted ids are disambiguated by the map version
+	// folded in — not by the sequence alone.
 	txSeq atomic.Uint64
+
+	// catching collapses concurrent catch-up passes into one.
+	catching atomic.Bool
+
+	closed    chan struct{}
+	closeOnce sync.Once
 
 	// CrashAfterPrepare / CrashAfterCommit are test hooks: when set, the
 	// coordinator abandons a cross-partition rename at that protocol point
@@ -96,28 +160,64 @@ type Node struct {
 	CrashAfterPrepare atomic.Bool
 	CrashAfterCommit  atomic.Bool
 
-	// mu serializes log append + apply. It is never held across an RPC to
-	// another partition (deadlock with opposite-direction traffic); RPCs to
-	// this partition's own followers are safe — followers never call out.
-	mu        sync.Mutex
-	log       []*wire.LogEntry
-	nextIndex uint64
+	// mu serializes log append and apply bookkeeping. It is never held
+	// across an RPC: replication to this partition's own followers runs in
+	// per-follower replicator goroutines outside the lock, and RPCs to
+	// other partitions were always lock-free (deadlock with opposite-
+	// direction traffic).
+	mu sync.Mutex
+	// applyC signals appliedIdx advancing: appenders wait on it until the
+	// log prefix before their entry has applied, keeping applies in strict
+	// index order even though fan-outs complete out of order.
+	applyC *sync.Cond
+	// log holds the retained entries [firstIndex, nextIndex); the prefix
+	// below firstIndex has been truncated (see maybePruneLocked).
+	log        []*wire.LogEntry
+	firstIndex uint64
+	nextIndex  uint64
+	// appliedIdx is the next index to apply; every entry below it has been
+	// applied to the local DMS.
+	appliedIdx uint64
+	// preApplied holds results of entries applied eagerly at append time
+	// (2PC freeze markers — their guard effects must be visible to the
+	// next mutation's checks immediately, see coordRename). The in-order
+	// pass skips them and returns the recorded result.
+	preApplied map[uint64]appliedRes
 	// applied maps a client dedup id to its mutation's outcome. It is
 	// rebuilt identically on every replica from the log, so a retry that
 	// lands on a freshly promoted leader replays the original response
 	// instead of re-executing (the rpc-layer dedup window died with the
-	// old leader). Unbounded by design at this scale; a production system
-	// would trim it with a client watermark.
-	applied map[uint64]appliedRes
-	// excluded holds follower addresses permanently dropped from the
-	// group after a failed append: there is no catch-up protocol in this
-	// design — the operator replaces the replica (re-split). Keeping the
+	// old leader). It is pruned in lockstep with the log: dropping entry i
+	// drops the record it created (reqAt), and reqFloor remembers the
+	// highest pruned per-client sequence so an ancient retry is refused
+	// (EEXPIRED) instead of silently re-executed.
+	applied  map[uint64]appliedRes
+	reqAt    []reqIndex
+	reqFloor map[uint64]uint64
+	// pendingReq maps a dedup id to its log index between append and
+	// apply: a duplicate arriving in that window waits for the apply and
+	// replays the recorded outcome instead of appending twice.
+	pendingReq map[uint64]uint64
+	// excluded holds follower addresses dropped from the live fan-out set
+	// after a failed or timed-out append. Exclusion is no longer permanent:
+	// the follower replays the missed range via OpLogFetch (catchup.go) and
+	// is re-admitted once it reaches the tip, and installing a map whose
+	// group no longer lists an address clears its entry. Keeping the
 	// invariant "acked ⇒ on every non-excluded replica" is what makes any
 	// surviving follower promotable.
 	excluded map[string]bool
-	frozen   map[string]int                 // subtree roots locked by in-flight 2PC
-	dtx      map[uint64]*wire.RenamePrepare // destination-side prepared txs
-	stx      map[uint64]*srcTx              // coordinator-side txs
+	// ackMark is each live follower's applied watermark, reported on every
+	// append ack; the group-wide minimum bounds truncation.
+	ackMark map[string]uint64
+	// catch tracks active catch-up sessions by follower address (leader
+	// side); an active session holds truncation at its oldest needed index.
+	catch map[string]catchSession
+	// reps holds the live per-follower replicators (leader side).
+	reps map[string]*replicator
+
+	frozen map[string]int                 // subtree roots locked by in-flight 2PC
+	dtx    map[uint64]*wire.RenamePrepare // destination-side prepared txs
+	stx    map[uint64]*srcTx              // coordinator-side txs
 
 	peerMu sync.Mutex
 	peers  map[string]*rpc.Client
@@ -131,24 +231,43 @@ type Node struct {
 // New builds a Node. Call Attach to wire it to the replica's rpc.Server.
 func New(cfg Config) *Node {
 	n := &Node{
-		dms:      cfg.DMS,
-		pid:      cfg.PID,
-		self:     cfg.Self,
-		dialer:   cfg.Dialer,
-		j:        cfg.Journal,
-		source:   cfg.Source,
-		now:      cfg.Now,
-		applied:  make(map[uint64]appliedRes),
-		excluded: make(map[string]bool),
-		frozen:   make(map[string]int),
-		dtx:      make(map[uint64]*wire.RenamePrepare),
-		stx:      make(map[uint64]*srcTx),
-		peers:    make(map[string]*rpc.Client),
+		dms:        cfg.DMS,
+		pid:        cfg.PID,
+		self:       cfg.Self,
+		dialer:     cfg.Dialer,
+		j:          cfg.Journal,
+		source:     cfg.Source,
+		now:        cfg.Now,
+		logCap:     cfg.LogCap,
+		repTimeout: cfg.RepTimeout,
+		closed:     make(chan struct{}),
+		preApplied: make(map[uint64]appliedRes),
+		applied:    make(map[uint64]appliedRes),
+		reqFloor:   make(map[uint64]uint64),
+		pendingReq: make(map[uint64]uint64),
+		excluded:   make(map[string]bool),
+		ackMark:    make(map[string]uint64),
+		catch:      make(map[string]catchSession),
+		reps:       make(map[string]*replicator),
+		frozen:     make(map[string]int),
+		dtx:        make(map[uint64]*wire.RenamePrepare),
+		stx:        make(map[uint64]*srcTx),
+		peers:      make(map[string]*rpc.Client),
 	}
+	n.applyC = sync.NewCond(&n.mu)
 	n.pm.Store(cfg.Map)
 	n.idx.Store(int32(cfg.Index))
 	if n.now == nil {
 		n.now = defaultNow
+	}
+	if n.logCap <= 0 {
+		n.logCap = DefaultLogCap
+	}
+	if n.repTimeout <= 0 {
+		n.repTimeout = DefaultRepTimeout
+	}
+	if cfg.CatchupEvery > 0 {
+		go n.catchupLoop(cfg.CatchupEvery)
 	}
 	return n
 }
@@ -164,12 +283,42 @@ func (n *Node) Map() *wire.PartMap { return n.pm.Load() }
 // IsLeader reports whether this node currently leads its partition.
 func (n *Node) IsLeader() bool { return n.idx.Load() == 0 }
 
-// LogLen returns the replicated op log's length (tests assert replica
+// LogLen returns the replicated op log's length — total entries ever
+// appended, including the truncated prefix (tests assert replica
 // convergence with it).
 func (n *Node) LogLen() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.nextIndex
+}
+
+// LogRetained returns the number of op-log entries currently held in
+// memory: LogLen minus the truncated prefix. Bounded near Config.LogCap
+// under sustained load (catch-up sessions may hold it higher temporarily).
+func (n *Node) LogRetained() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.log)
+}
+
+// DedupLen returns the size of the dedup-replay table, pruned in lockstep
+// with the log.
+func (n *Node) DedupLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.applied)
+}
+
+// Excluded snapshots the follower addresses currently excluded from the
+// live fan-out set (catch-up re-admits them).
+func (n *Node) Excluded() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.excluded))
+	for a := range n.excluded {
+		out = append(out, a)
+	}
+	return out
 }
 
 func (n *Node) emit(op string, value int64, detail string) {
@@ -180,8 +329,9 @@ func (n *Node) emit(op string, value int64, detail string) {
 
 // Attach registers the partition-aware handler set on rs: the full DMS op
 // set wrapped with the range guard and replication, the replication ops
-// (OpLogAppend, OpSeedUpdate), the 2PC destination ops, and the partition-
-// map admin ops. It replaces dms.Server.Attach for sharded deployments.
+// (OpLogAppend, OpLogFetch, OpSeedUpdate), the 2PC destination ops, and the
+// partition-map admin ops. It replaces dms.Server.Attach for sharded
+// deployments.
 func (n *Node) Attach(rs *rpc.Server) {
 	rs.SetLeaseFunc(n.dms.LeaseSeq)
 	rs.SetPMapFunc(func() uint64 {
@@ -203,6 +353,7 @@ func (n *Node) Attach(rs *rpc.Server) {
 		}
 	}
 	rs.Handle(wire.OpLogAppend, n.serveLogAppend)
+	rs.Handle(wire.OpLogFetch, n.serveLogFetch)
 	rs.Handle(wire.OpSeedUpdate, n.serveSeedUpdate)
 	rs.Handle(wire.OpRenamePrepare, n.serveRenamePrepare)
 	rs.Handle(wire.OpRenameCommit, n.serveRenameDecision(wire.OpRenameCommit))
@@ -282,40 +433,162 @@ func isCutDir(pm *wire.PartMap, p string) bool {
 	return false
 }
 
-// replicate runs one mutation through the replicated op log: dedup check,
-// freeze check, append + all-follower fan-out + local apply.
+// replicate runs one mutation through the replicated op log: dedup check
+// (including the in-flight window and the pruned-watermark guard), freeze
+// check, append under the lock, follower fan-out outside it, in-order local
+// apply.
 func (n *Node) replicate(op wire.Op, req uint64, body []byte, p1, p2 string) (wire.Status, []byte) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if req != 0 {
 		if r, ok := n.applied[req]; ok {
+			n.mu.Unlock()
 			return r.status, r.body
+		}
+		if idx, ok := n.pendingReq[req]; ok {
+			// The same request is mid-replication (it slipped past the
+			// rpc-layer dedup window): wait for its apply and replay the
+			// recorded outcome rather than appending it twice.
+			for n.appliedIdx <= idx {
+				n.applyC.Wait()
+			}
+			r := n.applied[req]
+			n.mu.Unlock()
+			return r.status, r.body
+		}
+		if n.reqExpiredLocked(req) {
+			n.mu.Unlock()
+			return wire.StatusExpired, []byte("request predates the pruned dedup watermark")
 		}
 	}
 	for _, p := range [2]string{p1, p2} {
 		if p != "" && n.frozenConflictLocked(p) {
+			n.mu.Unlock()
 			return wire.StatusUnavailable, []byte("subtree locked by an in-flight cross-partition rename")
 		}
 	}
-	return n.appendApplyLocked(&wire.LogEntry{Req: req, TS: n.now(), Op: op, Body: body})
+	f := n.appendLocked(&wire.LogEntry{Req: req, TS: n.now(), Op: op, Body: body}, false)
+	n.mu.Unlock()
+	if f == nil {
+		// Deposed between the routing check and the append: nothing was
+		// logged; the client re-routes off the successor map.
+		return wire.StatusWrongPartition, nil
+	}
+	return n.finishAppend(f)
 }
 
-// appendApplyLocked assigns the next index to le, appends it, replicates
-// it to every live follower (a failed follower is permanently excluded),
-// applies it locally, and returns the local outcome. Caller holds n.mu.
-func (n *Node) appendApplyLocked(le *wire.LogEntry) (wire.Status, []byte) {
+// fanout is the ticket of one append's replication round: finishAppend
+// waits for every live follower's replicator to ack (or exclude itself),
+// then applies the entry in log order.
+type fanout struct {
+	le *wire.LogEntry
+	wg sync.WaitGroup
+}
+
+// appendLocked assigns the next index to le, appends it to the log, and
+// enqueues it on every live follower's replicator (ordered per follower;
+// the actual sends run outside n.mu). It returns nil — appending nothing —
+// when this node is not, or no longer, the partition leader: the check runs
+// under n.mu, the same lock serveSetPartMap installs maps under, so a
+// deposed leader cannot slip an entry in after its successor took over.
+//
+// Every non-nil return must be finished with exactly one finishAppend (or
+// appendLocked's caller must otherwise call applyInOrderLocked), or
+// appliedIdx stalls and every later apply waits forever.
+//
+// With eager set, the entry's effects are also applied immediately, under
+// this same lock, and the in-order pass later skips it: used for the 2PC
+// freeze markers, whose guard effects must be visible to the next
+// mutation's freeze check the moment the marker is in the log — waiting
+// for the fan-out round would let a mutation slip into a subtree whose
+// export is already on its way to the destination. Only entries whose
+// apply touches pure bookkeeping (no store state) may be eager; freezing
+// early is conservative, the symmetric unfreeze stays strictly in order.
+func (n *Node) appendLocked(le *wire.LogEntry, eager bool) *fanout {
+	if n.idx.Load() != 0 {
+		return nil
+	}
 	le.Index = n.nextIndex
 	n.log = append(n.log, le)
 	n.nextIndex++
-	enc := wire.EncodeLogEntry(le)
-	for _, addr := range n.followersLocked() {
-		st, _, err := n.callPeer(addr, wire.OpLogAppend, enc)
-		if err != nil || st != wire.StatusOK {
-			n.excluded[addr] = true
-			n.emit("follower_excluded", int64(le.Index), addr)
+	if le.Req != 0 {
+		n.pendingReq[le.Req] = le.Index
+	}
+	f := &fanout{le: le}
+	if flw := n.followersLocked(); len(flw) > 0 {
+		enc := wire.EncodeLogAppend(n.firstIndex, le)
+		for _, addr := range flw {
+			r := n.reps[addr]
+			if r == nil {
+				r = newReplicator(n, addr)
+				n.reps[addr] = r
+			}
+			f.wg.Add(1)
+			r.enqueue(enc, le.Index, &f.wg)
 		}
 	}
-	return n.applyLocked(le)
+	if eager {
+		st, body := n.applyLocked(le)
+		n.preApplied[le.Index] = appliedRes{status: st, body: body}
+	}
+	return f
+}
+
+// finishAppend completes one append outside n.mu: wait for the fan-out
+// round (every live follower acked, or was excluded trying — exclusion
+// happens before the ticket releases, so the acked-everywhere invariant
+// holds at reply time), then apply in log order and prune.
+func (n *Node) finishAppend(f *fanout) (wire.Status, []byte) {
+	f.wg.Wait()
+	n.mu.Lock()
+	st, body := n.applyInOrderLocked(f.le)
+	n.maybePruneLocked()
+	n.mu.Unlock()
+	return st, body
+}
+
+// finishInternal completes an internal (2PC marker / seed) append,
+// surfacing failure instead of proceeding as if the entry were durable: a
+// nil fanout means the node was deposed before appending — the entry is
+// not in any log — and a non-OK apply means the marker itself was broken.
+// Both are journaled and returned as EIO.
+func (n *Node) finishInternal(f *fanout, what, detail string) wire.Status {
+	if f == nil {
+		n.emit("append_failed", 0, what+" refused, not leader: "+detail)
+		return wire.StatusIO
+	}
+	st, _ := n.finishAppend(f)
+	if st != wire.StatusOK {
+		n.emit("append_failed", int64(f.le.Index), what+": "+st.String())
+		return wire.StatusIO
+	}
+	return wire.StatusOK
+}
+
+// applyInOrderLocked applies le once every entry before it has applied,
+// waiting on applyC if fan-out rounds completed out of order. Eagerly
+// applied entries (preApplied) only advance the watermark and replay their
+// recorded result. Caller holds n.mu.
+func (n *Node) applyInOrderLocked(le *wire.LogEntry) (wire.Status, []byte) {
+	for n.appliedIdx != le.Index {
+		n.applyC.Wait()
+	}
+	var st wire.Status
+	var body []byte
+	if r, ok := n.preApplied[le.Index]; ok {
+		delete(n.preApplied, le.Index)
+		st, body = r.status, r.body
+	} else {
+		st, body = n.applyLocked(le)
+	}
+	n.appliedIdx++
+	if le.Req != 0 {
+		delete(n.pendingReq, le.Req)
+		if _, ok := n.applied[le.Req]; ok {
+			n.reqAt = append(n.reqAt, reqIndex{idx: le.Index, req: le.Req})
+		}
+	}
+	n.applyC.Broadcast()
+	return st, body
 }
 
 // followersLocked lists the live replication targets: the group minus this
@@ -334,10 +607,50 @@ func (n *Node) followersLocked() []string {
 	return out
 }
 
+// inGroupLocked reports whether addr is a member of this partition's group
+// under the installed map.
+func (n *Node) inGroupLocked(addr string) bool {
+	pm := n.pm.Load()
+	if pm == nil || int(n.pid) >= len(pm.Groups) {
+		return false
+	}
+	for _, a := range pm.Groups[n.pid] {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// excludeFollower drops addr from the live fan-out set: its replicator is
+// detached (the caller — the replicator itself — stops on its own) and its
+// ack watermark forgotten. Exclusion happens before the failing append's
+// ticket is released, so the leader never acks a mutation a non-excluded
+// replica is missing. Catch-up re-admits the follower (serveLogFetch).
+func (n *Node) excludeFollower(addr string, idx uint64, detail string) {
+	n.mu.Lock()
+	if !n.excluded[addr] {
+		n.excluded[addr] = true
+		n.emit("follower_excluded", int64(idx), detail)
+	}
+	delete(n.reps, addr)
+	delete(n.ackMark, addr)
+	n.mu.Unlock()
+}
+
+// noteAck records a follower's applied watermark from an append ack.
+func (n *Node) noteAck(addr string, mark uint64) {
+	n.mu.Lock()
+	if !n.excluded[addr] && mark > n.ackMark[addr] {
+		n.ackMark[addr] = mark
+	}
+	n.mu.Unlock()
+}
+
 // applyLocked applies one log entry to local state. It runs identically on
-// the leader (after fan-out) and on followers (from OpLogAppend), in log
-// order, producing byte-identical stores and the same applied-response
-// table everywhere.
+// the leader (in log order, after fan-out) and on followers (from
+// OpLogAppend or catch-up), producing byte-identical stores and the same
+// applied-response table everywhere.
 func (n *Node) applyLocked(le *wire.LogEntry) (wire.Status, []byte) {
 	switch le.Op {
 	case wire.OpSeedUpdate:
@@ -440,6 +753,101 @@ func (n *Node) applyLocked(le *wire.LogEntry) (wire.Status, []byte) {
 	}
 }
 
+// ---- dedup-horizon bookkeeping ----
+
+// splitReq splits a dedup id into its per-client base and 24-bit sequence
+// (the client layout: identity bits above a 24-bit per-client counter —
+// see the client resilience layer's request ids). Coordinator-minted txids
+// (mintTxID) split mechanically the same way; their base carries the top
+// bit and the map version, so they never share a floor with a real client.
+func splitReq(req uint64) (base, seq uint64) {
+	return req &^ (1<<24 - 1), req & (1<<24 - 1)
+}
+
+// reqExpiredLocked reports whether req lies below its client's pruned dedup
+// watermark: a *later* request from the same client has already been pruned
+// from the applied table, so if req had executed, its record is long gone —
+// the node can no longer tell the retry from a fresh request, and refusing
+// (EEXPIRED) is the safe side of at-most-once. The 24-bit client sequence
+// wraps at 16M mutations per client; retrying across a full wrap is out of
+// scope at this scale. reqFloor grows one entry per client base ever pruned
+// — O(clients), not O(mutations).
+func (n *Node) reqExpiredLocked(req uint64) bool {
+	base, seq := splitReq(req)
+	f, ok := n.reqFloor[base]
+	return ok && seq <= f
+}
+
+// ---- truncation ----
+
+// maybePruneLocked trims the op log toward LogCap when every retention
+// constraint allows. The prune target is the minimum of: the cap overflow
+// point, the leader's own applied tip (never truncate the unapplied
+// suffix), every live follower's acked watermark (an entry below the
+// group-wide minimum is applied everywhere, so no promotable replica can
+// ever need it again — the truncation safety argument), and the floor of
+// every active catch-up session (a catching-up replica still needs the
+// range it is replaying; sessions idle past catchupGrace stop counting).
+// Followers mirror the leader's floor from the value piggybacked on every
+// append, so the whole group truncates identically.
+func (n *Node) maybePruneLocked() {
+	if n.idx.Load() != 0 || int(n.nextIndex-n.firstIndex) <= n.logCap {
+		return
+	}
+	target := n.nextIndex - uint64(n.logCap)
+	if target > n.appliedIdx {
+		target = n.appliedIdx
+	}
+	for _, addr := range n.followersLocked() {
+		if m := n.ackMark[addr]; m < target {
+			target = m
+		}
+	}
+	nowTS := n.now()
+	for addr, cs := range n.catch {
+		if nowTS-cs.at > int64(catchupGrace) {
+			delete(n.catch, addr) // abandoned session: stop holding truncation
+			continue
+		}
+		if cs.from < target {
+			target = cs.from
+		}
+	}
+	n.pruneToLocked(target)
+}
+
+// pruneToLocked drops log entries below target (clamped to the applied
+// prefix), releasing their dedup-replay records and advancing the
+// per-client floors the EEXPIRED guard checks. Caller holds n.mu.
+func (n *Node) pruneToLocked(target uint64) {
+	if target > n.appliedIdx {
+		target = n.appliedIdx
+	}
+	if target <= n.firstIndex {
+		return
+	}
+	drop := int(target - n.firstIndex)
+	if drop > len(n.log) {
+		drop = len(n.log)
+	}
+	rest := n.log[drop:]
+	// Copy so the dropped prefix's backing array is actually released.
+	n.log = append(make([]*wire.LogEntry, 0, len(rest)), rest...)
+	n.firstIndex = target
+	for len(n.reqAt) > 0 && n.reqAt[0].idx < target {
+		ra := n.reqAt[0]
+		n.reqAt = n.reqAt[1:]
+		delete(n.applied, ra.req)
+		base, seq := splitReq(ra.req)
+		if f, ok := n.reqFloor[base]; !ok || seq > f {
+			n.reqFloor[base] = seq
+		}
+	}
+	if len(n.reqAt) == 0 {
+		n.reqAt = nil // release the sliced-away backing array
+	}
+}
+
 // ---- freeze bookkeeping ----
 
 func (n *Node) freezeLocked(root string) { n.frozen[root]++ }
@@ -493,45 +901,73 @@ func (n *Node) pushSeeds(p string, pm *wire.PartMap) {
 }
 
 func (n *Node) serveSeedUpdate(body []byte) (wire.Status, []byte) {
-	if _, _, _, err := wire.DecodeSeedUpdate(body); err != nil {
+	path, _, _, err := wire.DecodeSeedUpdate(body)
+	if err != nil {
 		return wire.StatusInval, nil
 	}
 	if !n.IsLeader() {
 		return wire.StatusWrongPartition, nil
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	st, _ := n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpSeedUpdate, Body: body})
-	return st, nil
+	f := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpSeedUpdate, Body: body}, false)
+	n.mu.Unlock()
+	// A refused or failed append means the seed is NOT in the replicated
+	// log — returning OK would let the pusher believe this partition's
+	// replicas hold the fresh ancestor state when a promoted follower would
+	// not. Surface EIO so the pusher journals the degraded freshness.
+	return n.finishInternal(f, "seed_update", path), nil
 }
 
 // ---- replication (follower side) ----
 
 func (n *Node) serveLogAppend(body []byte) (wire.Status, []byte) {
-	le, err := wire.DecodeLogEntry(body)
+	floor, le, err := wire.DecodeLogAppend(body)
 	if err != nil {
 		return wire.StatusInval, nil
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if le.Index < n.nextIndex {
-		return wire.StatusOK, nil // duplicate append (leader retry)
+		mark := n.appliedIdx
+		n.mu.Unlock()
+		return wire.StatusOK, wire.EncodeLogAck(mark) // duplicate append (leader retry)
 	}
 	if le.Index > n.nextIndex {
+		n.mu.Unlock()
 		// A gap means this replica missed an entry — it must not ack, or
-		// the acked-everywhere invariant breaks. The leader excludes it.
+		// the acked-everywhere invariant breaks. The leader excludes it;
+		// the catch-up pass kicked here replays the gap and rejoins.
+		n.startCatchUp("append-gap")
 		return wire.StatusInval, []byte("op-log gap")
 	}
 	n.log = append(n.log, le)
 	n.nextIndex++
 	// The apply outcome is recorded in n.applied for client-retry replay;
 	// the append itself succeeded regardless of the mutation's own status
-	// (the leader returns that status to the client).
-	n.applyLocked(le)
-	return wire.StatusOK, nil
+	// (the leader returns that status to the client). The ack carries this
+	// replica's applied watermark; the piggybacked floor mirrors the
+	// leader's truncation.
+	n.applyInOrderLocked(le)
+	n.pruneToLocked(floor)
+	mark := n.appliedIdx
+	n.mu.Unlock()
+	return wire.StatusOK, wire.EncodeLogAck(mark)
 }
 
 // ---- two-partition rename (coordinator = source leader) ----
+
+// mintTxID builds a coordinator-generated transaction id for a cross-
+// partition rename issued without a client dedup id. The top bit marks it
+// coordinator-minted; the installed map's version is folded in so ids
+// minted by successive leaders — each restarting txSeq at zero after a
+// promotion — cannot collide with a failed leader's transactions still
+// live in dtx/applied: every failover bumps the map version, and a given
+// version's ids are minted by exactly one leader. 22 version bits wrap
+// after 4M map pushes; 41 sequence bits never wrap in practice. (Collision
+// with a client-supplied id is probabilistic either way: client bases are
+// random and may carry the top bit too.)
+func (n *Node) mintTxID(ver uint64) uint64 {
+	return 1<<63 | (ver&(1<<22-1))<<41 | (n.txSeq.Add(1) & (1<<41 - 1))
+}
 
 func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID uint32, pm *wire.PartMap) (wire.Status, []byte) {
 	dest := pm.Leader(dstPID)
@@ -546,16 +982,22 @@ func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID ui
 	}
 	txid := req
 	if txid == 0 {
-		txid = n.txSeq.Add(1) | 1<<63
+		txid = n.mintTxID(pm.Ver)
 	}
 
 	// Intent: validate the source half, export the subtree, log the
 	// prepare marker (replicated — any promoted source replica knows the
-	// transaction exists), freeze the subtree.
+	// transaction exists), freeze the subtree. The marker is applied
+	// eagerly under the same lock hold: the freeze must guard the subtree
+	// from the instant the export is taken, not an in-order apply later.
 	n.mu.Lock()
 	if r, ok := n.applied[txid]; ok {
 		n.mu.Unlock()
 		return r.status, r.body
+	}
+	if n.reqExpiredLocked(txid) {
+		n.mu.Unlock()
+		return wire.StatusExpired, []byte("request predates the pruned dedup watermark")
 	}
 	if n.frozenConflictLocked(oldC) || n.frozenConflictLocked(newC) {
 		n.mu.Unlock()
@@ -571,8 +1013,14 @@ func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID ui
 		return st, nil
 	}
 	sp := &wire.SrcPrepare{TxID: txid, OldPath: oldC, NewPath: newC, UID: uid, GID: gid, DestPID: dstPID}
-	n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcPrepare, Body: wire.EncodeSrcPrepare(sp)})
+	fPrep := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcPrepare, Body: wire.EncodeSrcPrepare(sp)}, true)
 	n.mu.Unlock()
+	if st := n.finishInternal(fPrep, "rename_intent", oldC); st != wire.StatusOK {
+		// The intent never made the replicated log (deposed mid-request):
+		// nothing is frozen anywhere durable; the client re-routes and
+		// retries against the new leader.
+		return st, nil
+	}
 
 	// Phase 1: prepare at the destination leader (validates, logs on its
 	// group, freezes the target). Never called under n.mu.
@@ -595,8 +1043,16 @@ func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID ui
 	// return. Applying it deletes the source subtree and records the
 	// client response on every source replica.
 	n.mu.Lock()
-	cst, respBody := n.appendApplyLocked(&wire.LogEntry{Req: txid, TS: n.now(), Op: wire.OpRenameSrcCommit, Body: wire.EncodeRenameDecision(txid)})
+	fCommit := n.appendLocked(&wire.LogEntry{Req: txid, TS: n.now(), Op: wire.OpRenameSrcCommit, Body: wire.EncodeRenameDecision(txid)}, false)
 	n.mu.Unlock()
+	if fCommit == nil {
+		// Deposed between intent and decision: no commit was logged, so the
+		// successor's recovery presumes abort and tells the destination.
+		// EIO (not OK) — the rename did not happen here.
+		n.emit("append_failed", 0, "rename_decision refused, not leader: "+oldC)
+		return wire.StatusIO, nil
+	}
+	cst, respBody := n.finishAppend(fCommit)
 	if n.CrashAfterCommit.Load() {
 		// Test hook: the coordinator dies after deciding commit but before
 		// telling the destination. Recovery re-drives the commit.
@@ -612,8 +1068,11 @@ func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID ui
 		return cst, respBody
 	}
 	n.mu.Lock()
-	n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcComplete, Body: wire.EncodeRenameDecision(txid)})
+	fDone := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcComplete, Body: wire.EncodeRenameDecision(txid)}, false)
 	n.mu.Unlock()
+	if fDone != nil {
+		n.finishAppend(fDone)
+	}
 	return cst, respBody
 }
 
@@ -621,8 +1080,11 @@ func (n *Node) coordRename(req uint64, oldC, newC string, body []byte, dstPID ui
 // source replica) and best-effort tells the destination.
 func (n *Node) abortTx(txid uint64, dest string) {
 	n.mu.Lock()
-	n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcAbort, Body: wire.EncodeRenameDecision(txid)})
+	f := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcAbort, Body: wire.EncodeRenameDecision(txid)}, false)
 	n.mu.Unlock()
+	if f != nil {
+		n.finishAppend(f)
+	}
 	n.callPeer(dest, wire.OpRenameAbort, wire.EncodeRenameDecision(txid))
 }
 
@@ -637,18 +1099,23 @@ func (n *Node) serveRenamePrepare(body []byte) (wire.Status, []byte) {
 		return wire.StatusWrongPartition, nil
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, ok := n.dtx[rp.TxID]; ok {
+		n.mu.Unlock()
 		return wire.StatusOK, nil // duplicate prepare (coordinator retry)
 	}
 	if n.frozenConflictLocked(rp.NewPath) {
+		n.mu.Unlock()
 		return wire.StatusUnavailable, []byte("target subtree locked by another cross-partition rename")
 	}
 	if st := n.dms.ValidateRenameDest(rp.NewPath, rp.UID, rp.GID); st != wire.StatusOK {
+		n.mu.Unlock()
 		return st, nil
 	}
-	st, _ := n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenamePrepare, Body: body})
-	return st, nil
+	// Eager, like the source intent: the destination freeze must hold from
+	// the moment the prepare is logged.
+	f := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenamePrepare, Body: body}, true)
+	n.mu.Unlock()
+	return n.finishInternal(f, "rename_prepare", rp.NewPath), nil
 }
 
 func (n *Node) serveRenameDecision(op wire.Op) rpc.HandlerFunc {
@@ -661,14 +1128,19 @@ func (n *Node) serveRenameDecision(op wire.Op) rpc.HandlerFunc {
 			return wire.StatusWrongPartition, nil
 		}
 		n.mu.Lock()
-		defer n.mu.Unlock()
 		if _, ok := n.dtx[txid]; !ok {
+			n.mu.Unlock()
 			// Unknown transaction: already decided and retired here, or
 			// never prepared (presumed abort). Either way the decision is
 			// idempotent.
 			return wire.StatusOK, nil
 		}
-		st, _ := n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: op, Body: body})
+		f := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: op, Body: body}, false)
+		n.mu.Unlock()
+		if f == nil {
+			return wire.StatusWrongPartition, nil
+		}
+		st, _ := n.finishAppend(f)
 		return st, nil
 	}
 }
@@ -683,17 +1155,64 @@ func (n *Node) serveSetPartMap(body []byte) (wire.Status, []byte) {
 	if pid != n.pid {
 		return wire.StatusInval, []byte("partition id mismatch")
 	}
+	n.mu.Lock()
 	cur := n.pm.Load()
 	if cur != nil && pm.Ver <= cur.Ver {
+		n.mu.Unlock()
 		return wire.StatusStale, nil
 	}
-	wasLeader := n.IsLeader()
+	wasLeader := n.idx.Load() == 0
 	n.pm.Store(pm)
 	n.idx.Store(int32(idx))
+	// Reconcile replication bookkeeping with the new group: the exclusion,
+	// ack watermark, and catch-up session of an address the group no longer
+	// lists die with the map install — a replaced replica must not stay
+	// excluded, hold truncation back, or count toward the group watermark
+	// under a map that no longer knows it.
+	group := make(map[string]bool)
+	if int(n.pid) < len(pm.Groups) {
+		for _, a := range pm.Groups[n.pid] {
+			group[a] = true
+		}
+	}
+	for a := range n.excluded {
+		if !group[a] {
+			delete(n.excluded, a)
+			n.emit("exclusion_dropped", int64(pm.Ver), a)
+		}
+	}
+	for a := range n.ackMark {
+		if !group[a] {
+			delete(n.ackMark, a)
+		}
+	}
+	for a := range n.catch {
+		if !group[a] {
+			delete(n.catch, a)
+		}
+	}
+	var stopped []*replicator
+	for a, r := range n.reps {
+		if idx != 0 || !group[a] {
+			delete(n.reps, a)
+			stopped = append(stopped, r)
+		}
+	}
+	n.mu.Unlock()
+	for _, r := range stopped {
+		r.stop()
+	}
 	n.emit("map_installed", int64(pm.Ver), n.self)
 	if idx == 0 && !wasLeader {
 		n.emit("promoted", int64(pm.Ver), n.self)
 		n.Recover()
+	}
+	if idx != 0 {
+		// A (re-)added or demoted replica pulls itself to the leader's tip
+		// and rejoins the live fan-out set; an already-current one gets a
+		// cheap at-tip ack. Asynchronous — the map push must not block on
+		// a leader that is itself mid-recovery.
+		n.startCatchUp("map-install")
 	}
 	return wire.StatusOK, nil
 }
@@ -726,8 +1245,11 @@ func (n *Node) Recover() {
 			st, _, err := n.callPeer(dest, wire.OpRenameCommit, wire.EncodeRenameDecision(a.txid))
 			if err == nil && st == wire.StatusOK {
 				n.mu.Lock()
-				n.appendApplyLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcComplete, Body: wire.EncodeRenameDecision(a.txid)})
+				f := n.appendLocked(&wire.LogEntry{TS: n.now(), Op: wire.OpRenameSrcComplete, Body: wire.EncodeRenameDecision(a.txid)}, false)
 				n.mu.Unlock()
+				if f != nil {
+					n.finishAppend(f)
+				}
 			}
 		} else {
 			n.emit("2pc_recover_abort", int64(a.destPID), "")
@@ -759,19 +1281,48 @@ func (n *Node) callPeer(addr string, op wire.Op, body []byte) (wire.Status, []by
 	}
 	st, respBody, err := cl.Call(op, body)
 	if err != nil {
-		// Drop the broken connection; the next call re-dials.
-		n.peerMu.Lock()
-		if n.peers[addr] == cl {
-			delete(n.peers, addr)
-		}
-		n.peerMu.Unlock()
-		cl.Close()
+		n.dropPeer(addr, cl)
 	}
 	return st, respBody, err
 }
 
-// Close releases the node's peer connections.
+// callPeerT is callPeer with a per-attempt deadline, used on the
+// replication plane (append fan-out, catch-up fetches) where a blackholed
+// peer must cost one bounded timeout, never a hang: netsim faults swallow
+// messages without closing the connection, so only a deadline detects them.
+func (n *Node) callPeerT(addr string, op wire.Op, body []byte, timeout time.Duration) (wire.Status, []byte, error) {
+	cl, err := n.peer(addr)
+	if err != nil {
+		return wire.StatusIO, nil, err
+	}
+	st, respBody, _, err := cl.Do(rpc.CallSpec{Op: op, Body: body, Timeout: timeout})
+	if err != nil {
+		n.dropPeer(addr, cl)
+	}
+	return st, respBody, err
+}
+
+// dropPeer discards a broken connection; the next call re-dials.
+func (n *Node) dropPeer(addr string, cl *rpc.Client) {
+	n.peerMu.Lock()
+	if n.peers[addr] == cl {
+		delete(n.peers, addr)
+	}
+	n.peerMu.Unlock()
+	cl.Close()
+}
+
+// Close stops the node's replicators and background catch-up and releases
+// its peer connections.
 func (n *Node) Close() {
+	n.closeOnce.Do(func() { close(n.closed) })
+	n.mu.Lock()
+	reps := n.reps
+	n.reps = make(map[string]*replicator)
+	n.mu.Unlock()
+	for _, r := range reps {
+		r.stop()
+	}
 	n.peerMu.Lock()
 	defer n.peerMu.Unlock()
 	for addr, cl := range n.peers {

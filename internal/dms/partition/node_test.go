@@ -14,33 +14,43 @@ import (
 // testShard runs every replica of every partition of pm on an in-process
 // fabric, exactly as core.Start wires a sharded cluster (minus telemetry).
 type testShard struct {
-	net   *netsim.Network
-	pm    *wire.PartMap
-	nodes map[string]*Node
-	rss   map[string]*rpc.Server
+	net    *netsim.Network
+	pm     *wire.PartMap
+	nodes  map[string]*Node
+	rss    map[string]*rpc.Server
+	stores map[string]*kv.Instrumented
 }
 
-func startShard(t *testing.T, pm *wire.PartMap) *testShard {
+// startShard builds the shard; mods tweak each replica's Config before New
+// (replication timeout, log cap, ...).
+func startShard(t *testing.T, pm *wire.PartMap, mods ...func(*Config)) *testShard {
 	t.Helper()
 	ts := &testShard{
-		net:   netsim.NewNetwork(netsim.Loopback),
-		pm:    pm,
-		nodes: make(map[string]*Node),
-		rss:   make(map[string]*rpc.Server),
+		net:    netsim.NewNetwork(netsim.Loopback),
+		pm:     pm,
+		nodes:  make(map[string]*Node),
+		rss:    make(map[string]*rpc.Server),
+		stores: make(map[string]*kv.Instrumented),
 	}
 	t.Cleanup(func() { ts.net.Close() })
 	for pid, g := range pm.Groups {
 		for idx, addr := range g {
+			store := kv.Instrument(kv.NewBTreeStore(), kv.RAM)
 			ds := dms.New(dms.Options{
-				Store: kv.Instrument(kv.NewBTreeStore(), kv.RAM),
+				Store: store,
 				// Replicas of one partition share a ServerID so replaying
 				// the same op log yields byte-identical inodes.
 				ServerID: 0x80000000 | uint32(pid),
 			})
-			n := New(Config{
+			cfg := Config{
 				PID: uint32(pid), Index: idx, Self: addr,
 				Map: pm, DMS: ds, Dialer: ts.net,
-			})
+			}
+			for _, mod := range mods {
+				mod(&cfg)
+			}
+			n := New(cfg)
+			ts.stores[addr] = store
 			rs := rpc.NewServer()
 			n.Attach(rs)
 			l, err := ts.net.Listen(addr)

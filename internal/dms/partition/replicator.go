@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"sync"
+
+	"locofs/internal/wire"
+)
+
+// replicator is one follower's ordered append stream. The leader's
+// appendLocked enqueues each log entry (already encoded) under n.mu —
+// preserving log order per follower — and a dedicated goroutine performs
+// the sends outside the lock, each bounded by the replication timeout. One
+// slow or blackholed follower therefore costs exactly one timed-out send,
+// after which it is excluded from the live set and its queued tickets are
+// released; the partition keeps serving.
+//
+// Lock order: n.mu → r.mu only (enqueue and stop are called under n.mu);
+// run never takes n.mu while holding r.mu.
+type replicator struct {
+	n    *Node
+	addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []repItem
+	stopped bool
+}
+
+// repItem is one queued append: the encoded OpLogAppend body, the entry's
+// index (for diagnostics), and the fan-out ticket to release when the send
+// concludes — by ack, by exclusion, or by the replicator stopping.
+type repItem struct {
+	enc []byte
+	idx uint64
+	wg  *sync.WaitGroup
+}
+
+func newReplicator(n *Node, addr string) *replicator {
+	r := &replicator{n: n, addr: addr}
+	r.cond = sync.NewCond(&r.mu)
+	go r.run()
+	return r
+}
+
+// enqueue adds one append to the stream. Called under n.mu (which is what
+// serializes enqueues into log order). If the replicator already stopped —
+// excluded concurrently, demoted, or closing — the ticket is released
+// immediately; the exclusion path has already accounted for this follower.
+func (r *replicator) enqueue(enc []byte, idx uint64, wg *sync.WaitGroup) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		wg.Done()
+		return
+	}
+	r.queue = append(r.queue, repItem{enc: enc, idx: idx, wg: wg})
+	r.cond.Signal()
+	r.mu.Unlock()
+}
+
+// stop shuts the stream down without excluding the follower (demotion, map
+// change, node close), releasing every queued ticket. Safe to call under
+// n.mu and more than once.
+func (r *replicator) stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	q := r.queue
+	r.queue = nil
+	r.cond.Signal()
+	r.mu.Unlock()
+	for _, it := range q {
+		it.wg.Done()
+	}
+}
+
+func (r *replicator) run() {
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.stopped {
+			r.cond.Wait()
+		}
+		if r.stopped && len(r.queue) == 0 {
+			r.mu.Unlock()
+			return
+		}
+		it := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+
+		st, resp, err := r.n.callPeerT(r.addr, wire.OpLogAppend, it.enc, r.n.repTimeout)
+		if err != nil || st != wire.StatusOK {
+			// The follower missed this entry: exclude it before releasing
+			// the ticket, so the leader never acks a mutation that a
+			// non-excluded replica lacks. (A gap response means the
+			// follower is already starting catch-up on its own.)
+			detail := st.String()
+			if err != nil {
+				detail = err.Error()
+			}
+			r.n.excludeFollower(r.addr, it.idx, detail)
+			it.wg.Done()
+			r.fail()
+			return
+		}
+		if mark, derr := wire.DecodeLogAck(resp); derr == nil {
+			r.n.noteAck(r.addr, mark)
+		}
+		it.wg.Done()
+	}
+}
+
+// fail drains the queue after an exclusion: every still-queued append's
+// ticket is released (the follower is excluded, so those entries no longer
+// wait on it) and the goroutine exits.
+func (r *replicator) fail() {
+	r.mu.Lock()
+	r.stopped = true
+	q := r.queue
+	r.queue = nil
+	r.mu.Unlock()
+	for _, it := range q {
+		it.wg.Done()
+	}
+}

@@ -186,6 +186,94 @@ func DecodeLogEntry(body []byte) (*LogEntry, error) {
 	return le, d.Err()
 }
 
+// EncodeLogAppend builds an OpLogAppend request: the leader's retained-log
+// floor — followers prune their own log and dedup records below it, so the
+// whole group truncates identically — plus one log entry.
+func EncodeLogAppend(floor uint64, le *LogEntry) []byte {
+	return NewEnc().U64(floor).Blob(EncodeLogEntry(le)).Bytes()
+}
+
+// DecodeLogAppend parses an EncodeLogAppend body.
+func DecodeLogAppend(body []byte) (floor uint64, le *LogEntry, err error) {
+	d := NewDec(body)
+	floor = d.U64()
+	blob := d.Blob()
+	if err := d.Err(); err != nil {
+		return 0, nil, err
+	}
+	le, err = DecodeLogEntry(blob)
+	return floor, le, err
+}
+
+// EncodeLogAck builds an OpLogAppend OK-response body: the follower's
+// applied watermark (its next log index — every entry below it is applied).
+// The leader keeps the maximum seen per follower; the group-wide minimum
+// over live followers bounds log truncation.
+func EncodeLogAck(watermark uint64) []byte {
+	return NewEnc().U64(watermark).Bytes()
+}
+
+// DecodeLogAck parses an EncodeLogAck body.
+func DecodeLogAck(body []byte) (watermark uint64, err error) {
+	d := NewDec(body)
+	watermark = d.U64()
+	return watermark, d.Err()
+}
+
+// EncodeLogFetch builds an OpLogFetch request: the fetching replica's own
+// address (the leader keys its catch-up session and rejoin decision on it),
+// the first index it is missing, and the maximum entries to return.
+func EncodeLogFetch(self string, from uint64, max uint32) []byte {
+	return NewEnc().Str(self).U64(from).U32(max).Bytes()
+}
+
+// DecodeLogFetch parses an EncodeLogFetch body.
+func DecodeLogFetch(body []byte) (self string, from uint64, max uint32, err error) {
+	d := NewDec(body)
+	self, from, max = d.Str(), d.U64(), d.U32()
+	return self, from, max, d.Err()
+}
+
+// LogFetchResp is the OpLogFetch response: a contiguous run of log entries
+// starting at the requested index, the leader's log tip (nextIndex) and
+// retained floor (the fetcher prunes to it), and the rejoined flag — set
+// when the fetcher had reached the tip and the leader re-admitted it to the
+// live fan-out set, ending catch-up.
+type LogFetchResp struct {
+	Tip      uint64
+	Floor    uint64
+	Rejoined bool
+	Entries  []*LogEntry
+}
+
+// EncodeLogFetchResp serializes an OpLogFetch response.
+func EncodeLogFetchResp(r *LogFetchResp) []byte {
+	e := NewEnc().U64(r.Tip).U64(r.Floor).Bool(r.Rejoined).U32(uint32(len(r.Entries)))
+	for _, le := range r.Entries {
+		e.Blob(EncodeLogEntry(le))
+	}
+	return e.Bytes()
+}
+
+// DecodeLogFetchResp parses an EncodeLogFetchResp body.
+func DecodeLogFetchResp(body []byte) (*LogFetchResp, error) {
+	d := NewDec(body)
+	r := &LogFetchResp{Tip: d.U64(), Floor: d.U64(), Rejoined: d.Bool()}
+	n := d.U32()
+	for i := uint32(0); i < n; i++ {
+		blob := d.Blob()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		le, err := DecodeLogEntry(blob)
+		if err != nil {
+			return nil, err
+		}
+		r.Entries = append(r.Entries, le)
+	}
+	return r, d.Err()
+}
+
 // EncodeSeedUpdate builds an OpSeedUpdate body: absolute state of one
 // seeded ancestor inode — present with the given bytes, or absent.
 func EncodeSeedUpdate(path string, present bool, inode []byte) []byte {

@@ -87,8 +87,11 @@ const (
 const (
 	// OpLogAppend replicates one op-log entry from a partition leader to a
 	// follower, which appends, applies, and acks. The body is an encoded
-	// LogEntry; the follower rejects index gaps with StatusInval and older
-	// indexes with StatusOK (already applied — ack replay).
+	// LogAppend (the leader's retained-log floor plus one LogEntry); the OK
+	// response body carries the follower's applied watermark (EncodeLogAck),
+	// which the leader folds into the group-wide truncation minimum. The
+	// follower rejects index gaps with StatusInval (and starts catching up)
+	// and acks older indexes with StatusOK (already applied — ack replay).
 	OpLogAppend Op = 0x0400 + iota
 	// OpSeedUpdate pushes an ancestor-inode seed copy (or its removal) from
 	// the partition owning a path to a partition whose range lies below it.
@@ -113,6 +116,15 @@ const (
 	OpRenameSrcCommit
 	OpRenameSrcAbort
 	OpRenameSrcComplete
+	// OpLogFetch serves a range of op-log entries from a partition leader
+	// to a replica replaying missed appends (catch-up). The request names
+	// the fetching replica and its next index; the response returns entries
+	// from that index (bounded by the request's batch limit), the leader's
+	// log tip and retained floor, and — when the replica has reached the
+	// tip — the rejoined flag, meaning the leader has re-admitted it to the
+	// live fan-out set. A request below the leader's retained floor fails
+	// with StatusExpired: log replay cannot rebuild that replica.
+	OpLogFetch
 )
 
 // String returns the operation's symbolic name, used as the op label on
@@ -207,6 +219,8 @@ func (o Op) String() string {
 		return "RenameSrcAbort"
 	case OpRenameSrcComplete:
 		return "RenameSrcComplete"
+	case OpLogFetch:
+		return "LogFetch"
 	case OpBatch:
 		return "Batch"
 	}
@@ -249,7 +263,7 @@ func (o Op) Idempotent() bool {
 		OpUpdateSize, OpPutBlock, OpDeleteBlocks,
 		OpMigrateScan, OpMigrateInstall, OpMigrateDelete,
 		OpGetMembership, OpSetMembership,
-		OpGetPartMap, OpSetPartMap, OpLogAppend, OpSeedUpdate,
+		OpGetPartMap, OpSetPartMap, OpLogAppend, OpSeedUpdate, OpLogFetch,
 		OpRenamePrepare, OpRenameCommit, OpRenameAbort:
 		return true
 	}
@@ -287,6 +301,14 @@ const (
 	// retries against the correct owner. StatusError.Is treats it as
 	// matching StatusStale so callers can test both with one sentinel.
 	StatusWrongPartition
+	// StatusExpired reports that the request's dedup horizon has passed:
+	// the server pruned the replay record the request id would have been
+	// checked against (log truncation below the group watermark), so it can
+	// no longer tell a fresh request from a retry of one it already
+	// executed. Refusing is the safe side of at-most-once — the request is
+	// NOT executed. It also rejects a catch-up fetch below a leader's
+	// retained-log floor (the range needed for replay has been truncated).
+	StatusExpired
 )
 
 // String returns a short human-readable form of the status.
@@ -318,6 +340,8 @@ func (s Status) String() string {
 		return "ETIMEDOUT"
 	case StatusWrongPartition:
 		return "EWRONGPART"
+	case StatusExpired:
+		return "EEXPIRED"
 	}
 	return fmt.Sprintf("status(%d)", uint16(s))
 }
